@@ -1,0 +1,66 @@
+// Ablation A1: the distance exponent. The paper uses |l_i1 - l_i2|^4 "to
+// model the sharp increment of a connection cost with the increase in
+// distance". This bench re-partitions with exponent 2 and compares the
+// resulting distance histograms: the quartic cost should suppress the
+// long-distance tail (d >= 2) harder, at similar d = 0 locality.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace sfqpart::bench {
+namespace {
+
+constexpr int kPlanes = 5;
+
+PartitionMetrics run_with_exponent(const Netlist& netlist, int exponent) {
+  PartitionOptions options;
+  options.num_planes = kPlanes;
+  options.weights.distance_exponent = exponent;
+  return compute_metrics(netlist, partition_netlist(netlist, options).partition);
+}
+
+void print_ablation() {
+  TablePrinter table({"Circuit", "exp", "d=0", "d<=1", "d<=2", "tail d>=3",
+                      "I_comp (%)", "A_FS (%)"});
+  CsvWriter csv({"circuit", "exponent", "d0", "d1", "d2", "tail", "icomp_pct",
+                 "afs_pct"});
+  for (const char* name : {"ksa8", "mult4", "c432"}) {
+    const Netlist netlist = build_mapped(name);
+    for (const int exponent : {2, 4}) {
+      const PartitionMetrics m = run_with_exponent(netlist, exponent);
+      const double tail = 1.0 - m.frac_within(2);
+      table.add_row({name, std::to_string(exponent), fmt_percent(m.frac_within(0)),
+                     fmt_percent(m.frac_within(1)), fmt_percent(m.frac_within(2)),
+                     fmt_percent(tail), fmt_percent(m.icomp_frac(), 2),
+                     fmt_percent(m.afs_frac(), 2)});
+      csv.add_row({name, std::to_string(exponent), fmt_double(m.frac_within(0), 4),
+                   fmt_double(m.frac_within(1), 4), fmt_double(m.frac_within(2), 4),
+                   fmt_double(tail, 4), fmt_double(100 * m.icomp_frac(), 2),
+                   fmt_double(100 * m.afs_frac(), 2)});
+    }
+  }
+  std::printf("== Ablation A1: distance exponent 2 vs 4 (paper: power of 4) ==\n");
+  table.print();
+  write_results_csv("ablation_exponent", csv);
+}
+
+void BM_ExponentCost(::benchmark::State& state) {
+  const Netlist netlist = build_mapped("ksa8");
+  PartitionOptions options;
+  options.num_planes = kPlanes;
+  options.weights.distance_exponent = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(partition_netlist(netlist, options).discrete_total);
+  }
+}
+BENCHMARK(BM_ExponentCost)->Arg(2)->Arg(4)->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::print_ablation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

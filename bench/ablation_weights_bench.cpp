@@ -1,0 +1,96 @@
+// Ablation A2: cost weights, gradient style, and refinement.
+//
+// The paper leaves c1..c4 unpublished ("constants which can be tuned");
+// this bench sweeps each weight around the repo defaults to show the
+// locality-vs-balance trade-off, compares the analytic gradients against
+// the paper's printed equation 10, and measures what the optional greedy
+// refinement adds.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace sfqpart::bench {
+namespace {
+
+constexpr int kPlanes = 5;
+
+struct Variant {
+  std::string label;
+  PartitionOptions options;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  auto add = [&out](const std::string& label, auto&& tweak) {
+    Variant variant;
+    variant.label = label;
+    variant.options.num_planes = kPlanes;
+    tweak(variant.options);
+    out.push_back(std::move(variant));
+  };
+  add("defaults", [](PartitionOptions&) {});
+  add("c1 x4 (locality)", [](PartitionOptions& o) { o.weights.c1 *= 4.0; });
+  add("c1 /4", [](PartitionOptions& o) { o.weights.c1 /= 4.0; });
+  add("c2,c3 x4 (balance)", [](PartitionOptions& o) {
+    o.weights.c2 *= 4.0;
+    o.weights.c3 *= 4.0;
+  });
+  add("c2,c3 /4", [](PartitionOptions& o) {
+    o.weights.c2 /= 4.0;
+    o.weights.c3 /= 4.0;
+  });
+  add("c4 x4 (one-hot)", [](PartitionOptions& o) { o.weights.c4 *= 4.0; });
+  add("paper eq.10 grads", [](PartitionOptions& o) {
+    o.gradient_style = GradientStyle::kPaperEq10;
+  });
+  add("+ greedy refine", [](PartitionOptions& o) { o.refine = true; });
+  return out;
+}
+
+void print_ablation() {
+  TablePrinter table({"Variant", "Circuit", "d<=1", "d<=2", "I_comp (%)",
+                      "A_FS (%)", "discrete cost"});
+  CsvWriter csv({"variant", "circuit", "d1", "d2", "icomp_pct", "afs_pct",
+                 "cost"});
+  for (const char* name : {"ksa4", "ksa8"}) {
+    const Netlist netlist = build_mapped(name);
+    for (const Variant& variant : variants()) {
+      const PartitionResult result = partition_netlist(netlist, variant.options);
+      const PartitionMetrics m = compute_metrics(netlist, result.partition);
+      table.add_row({variant.label, name, fmt_percent(m.frac_within(1)),
+                     fmt_percent(m.frac_within(2)), fmt_percent(m.icomp_frac(), 2),
+                     fmt_percent(m.afs_frac(), 2),
+                     fmt_double(result.discrete_total, 5)});
+      csv.add_row({variant.label, name, fmt_double(m.frac_within(1), 4),
+                   fmt_double(m.frac_within(2), 4),
+                   fmt_double(100 * m.icomp_frac(), 2),
+                   fmt_double(100 * m.afs_frac(), 2),
+                   fmt_double(result.discrete_total, 6)});
+    }
+    table.add_separator();
+  }
+  std::printf("== Ablation A2: cost weights / gradient style / refinement ==\n");
+  table.print();
+  write_results_csv("ablation_weights", csv);
+}
+
+void BM_RefineOverhead(::benchmark::State& state) {
+  const Netlist netlist = build_mapped("ksa8");
+  PartitionOptions options;
+  options.num_planes = kPlanes;
+  options.refine = state.range(0) != 0;
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(partition_netlist(netlist, options).discrete_total);
+  }
+}
+BENCHMARK(BM_RefineOverhead)->Arg(0)->Arg(1)->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::print_ablation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

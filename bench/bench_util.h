@@ -1,0 +1,55 @@
+// Shared helpers for the paper-table benches.
+//
+// Every bench binary prints its table(s) on stdout (same rows/columns as
+// the paper, AVERAGE row included where the paper quotes one), writes a
+// CSV copy under results/, and then runs its google-benchmark timers.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "core/partitioner.h"
+#include "gen/suite.h"
+#include "metrics/partition_metrics.h"
+#include "metrics/report.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace sfqpart::bench {
+
+// One gradient-descent partitioning run with the repo's default options.
+inline PartitionResult run_gd(const Netlist& netlist, int num_planes,
+                              std::uint64_t seed = 1) {
+  PartitionOptions options;
+  options.num_planes = num_planes;
+  options.seed = seed;
+  return partition_netlist(netlist, options);
+}
+
+inline PartitionMetrics run_gd_metrics(const Netlist& netlist, int num_planes,
+                                       std::uint64_t seed = 1) {
+  return compute_metrics(netlist, run_gd(netlist, num_planes, seed).partition);
+}
+
+// Writes the CSV next to the binary's working directory under results/.
+inline void write_results_csv(const std::string& name, const CsvWriter& csv) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/" + name + ".csv";
+  if (auto status = csv.write_file(path); status) {
+    std::printf("[csv] wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[csv] %s\n", status.message().c_str());
+  }
+}
+
+// Relative deviation as a "+12%"-style string for paper-vs-ours columns.
+inline std::string rel_delta(double ours, double paper) {
+  if (paper == 0.0) return "n/a";
+  return str_format("%+.0f%%", 100.0 * (ours - paper) / paper);
+}
+
+}  // namespace sfqpart::bench

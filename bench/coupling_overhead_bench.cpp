@@ -1,0 +1,81 @@
+// Extension bench: second-order cost of coupling insertion.
+//
+// The paper counts coupling pairs but stops before the feedback effect:
+// inserted TXDRV/TXRCV cells draw bias current *on their own planes*, so
+// materializing the links perturbs the bias balance the partition just
+// optimized. This bench measures, per circuit at K = 5: pairs inserted,
+// gate-count growth, added bias, and the I_comp drift before vs after
+// insertion (post-insertion metrics recomputed on the implemented
+// netlist).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/feedback.h"
+#include "recycling/insertion.h"
+
+namespace sfqpart::bench {
+namespace {
+
+constexpr int kPlanes = 5;
+
+void print_overhead() {
+  TablePrinter table({"Circuit", "pairs", "gates before", "gates after",
+                      "bias added (mA)", "I_comp before", "I_comp implemented",
+                      "I_comp w/ feedback", "d<=1 before"});
+  CsvWriter csv({"circuit", "pairs", "gates_before", "gates_after",
+                 "bias_added_ma", "icomp_before_pct", "icomp_after_pct",
+                 "icomp_feedback_pct"});
+  for (const char* name : {"ksa4", "ksa8", "mult4", "c499"}) {
+    const Netlist netlist = build_mapped(name);
+    const PartitionResult result = run_gd(netlist, kPlanes);
+    const PartitionMetrics before = compute_metrics(netlist, result.partition);
+    const CouplingInsertion inserted =
+        apply_coupling_insertion(netlist, result.partition);
+    const PartitionMetrics after =
+        compute_metrics(inserted.netlist, inserted.partition);
+    double added = 0.0;
+    for (const double b : inserted.added_bias_ma) added += b;
+
+    // Closing the loop: re-partition with the coupling bias folded into
+    // the gate weights (core/feedback.h).
+    FeedbackOptions feedback;
+    feedback.base.num_planes = kPlanes;
+    const FeedbackResult closed = partition_with_coupling_feedback(netlist, feedback);
+
+    table.add_row({name, std::to_string(inserted.pairs_inserted),
+                   std::to_string(before.num_gates), std::to_string(after.num_gates),
+                   fmt_double(added, 2), fmt_percent(before.icomp_frac(), 2),
+                   fmt_percent(after.icomp_frac(), 2),
+                   fmt_percent(closed.icomp_final, 2),
+                   fmt_percent(before.frac_within(1))});
+    csv.add_row({name, std::to_string(inserted.pairs_inserted),
+                 std::to_string(before.num_gates), std::to_string(after.num_gates),
+                 fmt_double(added, 3), fmt_double(100 * before.icomp_frac(), 2),
+                 fmt_double(100 * after.icomp_frac(), 2),
+                 fmt_double(100 * closed.icomp_final, 2)});
+  }
+  std::printf("== Extension: bias/area feedback of coupling insertion (K = %d) ==\n",
+              kPlanes);
+  table.print();
+  write_results_csv("coupling_overhead", csv);
+}
+
+void BM_Insertion(::benchmark::State& state) {
+  const Netlist netlist = build_mapped("ksa8");
+  const PartitionResult result = run_gd(netlist, kPlanes);
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(
+        apply_coupling_insertion(netlist, result.partition).pairs_inserted);
+  }
+}
+BENCHMARK(BM_Insertion)->Unit(::benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::print_overhead();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

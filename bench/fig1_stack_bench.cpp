@@ -1,0 +1,72 @@
+// Fig. 1 reproduction (E4): the paper's only figure illustrates the
+// current-recycling stack -- serially biased ground planes, dummy loads,
+// and driver/receiver coupling between adjacent planes. This bench
+// regenerates that figure's content as data for a real partitioned
+// circuit: the ASCII stack, per-boundary coupling-pair counts, and the
+// supply/pad arithmetic.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "recycling/bias_plan.h"
+#include "recycling/coupling.h"
+
+namespace sfqpart::bench {
+namespace {
+
+constexpr const char* kCircuit = "ksa8";
+constexpr int kPlanes = 4;
+
+void print_fig1() {
+  const Netlist netlist = build_mapped(kCircuit);
+  const PartitionResult result = run_gd(netlist, kPlanes);
+  const BiasPlan plan = make_bias_plan(netlist, result.partition);
+  const CouplingReport coupling = plan_coupling(netlist, result.partition);
+
+  std::printf("== Fig. 1: current recycling stack for %s, K = %d ==\n\n",
+              kCircuit, kPlanes);
+  std::fputs(format_bias_plan(plan).c_str(), stdout);
+  std::printf("\n");
+  std::fputs(format_coupling_report(coupling).c_str(), stdout);
+
+  CsvWriter csv({"plane", "gates", "bias_ma", "dummy_ma", "potential_mv",
+                 "pairs_to_next"});
+  for (const PlaneBias& plane : plan.planes) {
+    const std::size_t boundary = static_cast<std::size_t>(plane.plane);
+    const int pairs = boundary < coupling.pairs_per_boundary.size()
+                          ? coupling.pairs_per_boundary[boundary]
+                          : 0;
+    csv.add_row({std::to_string(plane.plane), std::to_string(plane.gates),
+                 fmt_double(plane.bias_ma, 2), fmt_double(plane.dummy_ma, 2),
+                 fmt_double(plane.potential_mv, 1), std::to_string(pairs)});
+  }
+  write_results_csv("fig1_stack", csv);
+}
+
+void BM_BiasPlan(::benchmark::State& state) {
+  const Netlist netlist = build_mapped(kCircuit);
+  const PartitionResult result = run_gd(netlist, kPlanes);
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(
+        make_bias_plan(netlist, result.partition).total_dummy_ma);
+  }
+}
+BENCHMARK(BM_BiasPlan)->Unit(::benchmark::kMicrosecond);
+
+void BM_CouplingPlan(::benchmark::State& state) {
+  const Netlist netlist = build_mapped(kCircuit);
+  const PartitionResult result = run_gd(netlist, kPlanes);
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(plan_coupling(netlist, result.partition).total_pairs);
+  }
+}
+BENCHMARK(BM_CouplingPlan)->Unit(::benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::print_fig1();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Extension bench: operating-frequency cost of ground-plane partitioning.
+//
+// Section III-B3 of the paper notes that a connection between non-adjacent
+// planes needs several chained coupling circuits, which "decreases the
+// operating frequency of the circuit". This bench quantifies that: static
+// timing of ksa8/mult4 with the coupling hop model, sweeping K, plus the
+// implemented (TX-cells-inserted) netlist for comparison.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "recycling/insertion.h"
+#include "timing/timing.h"
+
+namespace sfqpart::bench {
+namespace {
+
+void print_fmax() {
+  TablePrinter table({"Circuit", "K", "Fmax flat (GHz)", "Fmax hop-model (GHz)",
+                      "Fmax implemented (GHz)", "coupling on crit. path (ps)"});
+  CsvWriter csv({"circuit", "k", "fmax_flat_ghz", "fmax_model_ghz",
+                 "fmax_impl_ghz", "crit_coupling_ps"});
+  for (const char* name : {"ksa8", "mult4"}) {
+    const Netlist netlist = build_mapped(name);
+    const TimingReport flat = analyze_timing(netlist);
+    for (const int k : {2, 4, 6, 8, 10}) {
+      const PartitionResult result = run_gd(netlist, k);
+      const TimingReport modeled =
+          analyze_timing(netlist, {}, nullptr, &result.partition);
+      const CouplingInsertion inserted =
+          apply_coupling_insertion(netlist, result.partition);
+      const TimingReport implemented =
+          analyze_timing(inserted.netlist, {}, nullptr, &inserted.partition);
+      table.add_row({name, std::to_string(k), fmt_double(flat.fmax_ghz, 1),
+                     fmt_double(modeled.fmax_ghz, 1),
+                     fmt_double(implemented.fmax_ghz, 1),
+                     fmt_double(modeled.critical_coupling_ps, 1)});
+      csv.add_row({name, std::to_string(k), fmt_double(flat.fmax_ghz, 2),
+                   fmt_double(modeled.fmax_ghz, 2),
+                   fmt_double(implemented.fmax_ghz, 2),
+                   fmt_double(modeled.critical_coupling_ps, 1)});
+    }
+    table.add_separator();
+  }
+  std::printf("== Extension: Fmax vs number of ground planes "
+              "(paper section III-B3's frequency argument) ==\n");
+  table.print();
+  write_results_csv("fmax_vs_k", csv);
+}
+
+void BM_TimingAnalysis(::benchmark::State& state, const char* name) {
+  const Netlist netlist = build_mapped(name);
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(analyze_timing(netlist).min_period_ps);
+  }
+}
+BENCHMARK_CAPTURE(BM_TimingAnalysis, ksa8, "ksa8")->Unit(::benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_TimingAnalysis, c3540, "c3540")->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::print_fmax();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

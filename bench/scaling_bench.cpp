@@ -1,0 +1,90 @@
+// Ablation A4: optimizer scaling. The paper justifies first-order gradient
+// descent over Newton's method by compute cost ("within an acceptable time
+// window"); this bench measures wall time and iteration counts across the
+// suite and across K, showing the near-linear O(iters * (G*K + |E|))
+// behaviour of one descent step.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/soft_assign.h"
+#include "netlist/stats.h"
+#include "util/rng.h"
+
+namespace sfqpart::bench {
+namespace {
+
+void print_scaling() {
+  TablePrinter table({"Circuit", "G", "|E|", "K", "iterations", "converged"});
+  CsvWriter csv({"circuit", "gates", "edges", "k", "iterations", "converged"});
+  for (const char* name : {"ksa4", "ksa8", "ksa16", "ksa32", "id8", "c3540"}) {
+    const Netlist netlist = build_mapped(name);
+    for (const int k : {5, 10}) {
+      const PartitionResult result = run_gd(netlist, k);
+      table.add_row({name, std::to_string(netlist.num_partitionable_gates()),
+                     std::to_string(static_cast<int>(netlist.unique_edges().size())),
+                     std::to_string(k), std::to_string(result.iterations),
+                     result.converged ? "yes" : "no"});
+      csv.add_row({name, std::to_string(netlist.num_partitionable_gates()),
+                   std::to_string(static_cast<int>(netlist.unique_edges().size())),
+                   std::to_string(k), std::to_string(result.iterations),
+                   result.converged ? "1" : "0"});
+    }
+  }
+  std::printf("== Ablation A4: optimizer iteration counts across the suite ==\n");
+  table.print();
+  write_results_csv("scaling", csv);
+}
+
+// Wall-time scaling over circuit size at K = 5.
+void BM_PartitionScaling(::benchmark::State& state, const char* name) {
+  const Netlist netlist = build_mapped(name);
+  PartitionOptions options;
+  options.restarts = 1;
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(partition_netlist(netlist, options).discrete_total);
+  }
+  state.counters["gates"] = netlist.num_partitionable_gates();
+  state.counters["edges"] = static_cast<double>(netlist.unique_edges().size());
+}
+BENCHMARK_CAPTURE(BM_PartitionScaling, ksa4, "ksa4")->Unit(::benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PartitionScaling, ksa8, "ksa8")->Unit(::benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PartitionScaling, ksa16, "ksa16")->Unit(::benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PartitionScaling, ksa32, "ksa32")->Unit(::benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PartitionScaling, c3540, "c3540")->Unit(::benchmark::kMillisecond);
+
+// Wall-time scaling over K for a fixed circuit.
+void BM_KScaling(::benchmark::State& state) {
+  const Netlist netlist = build_mapped("c432");
+  PartitionOptions options;
+  options.num_planes = static_cast<int>(state.range(0));
+  options.restarts = 1;
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(partition_netlist(netlist, options).discrete_total);
+  }
+}
+BENCHMARK(BM_KScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(::benchmark::kMillisecond);
+
+// One gradient evaluation in isolation (the optimizer's inner loop body).
+void BM_GradientStep(::benchmark::State& state, const char* name) {
+  const Netlist netlist = build_mapped(name);
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 5);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(1);
+  const Matrix w = random_soft_assignment(problem.num_gates, 5, rng);
+  Matrix grad;
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(model.evaluate_with_gradient(w, grad).f1);
+  }
+}
+BENCHMARK_CAPTURE(BM_GradientStep, ksa8, "ksa8")->Unit(::benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_GradientStep, c3540, "c3540")->Unit(::benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::print_scaling();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

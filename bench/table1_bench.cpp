@@ -1,0 +1,107 @@
+// Table I reproduction: partition every suite circuit into K = 5 ground
+// planes and report #gates, #connections, d<=1, d<=2, B_cir, B_max,
+// I_comp%, A_cir, A_max, A_FS% -- ours next to the paper's published row.
+// The AVERAGE row reproduces the section V claims (paper: d<=1 65.1%,
+// d<=2 87.7%, I_comp 8.0%, A_FS 7.7%).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "netlist/stats.h"
+
+namespace sfqpart::bench {
+namespace {
+
+constexpr int kPlanes = 5;
+
+void print_table1() {
+  TablePrinter ours({"Circuit", "#Gates", "#Conn", "d<=1", "d<=2", "B_cir (mA)",
+                     "B_max (mA)", "I_comp (%)", "A_cir (mm2)", "A_max (mm2)",
+                     "A_FS (%)"});
+  TablePrinter compare({"Circuit", "d<=1 ours", "d<=1 paper", "d<=2 ours",
+                        "d<=2 paper", "I_comp ours", "I_comp paper", "A_FS ours",
+                        "A_FS paper", "gates ours/paper"});
+  CsvWriter csv({"circuit", "gates", "connections", "d1", "d2", "bcir_ma",
+                 "bmax_ma", "icomp_pct", "acir_mm2", "amax_mm2", "afs_pct"});
+
+  Averager d1;
+  Averager d2;
+  Averager icomp;
+  Averager afs;
+  Averager paper_d1;
+  Averager paper_d2;
+  Averager paper_icomp;
+  Averager paper_afs;
+
+  for (const SuiteEntry& entry : benchmark_suite()) {
+    const Netlist netlist = build_mapped(entry);
+    const PartitionMetrics m = run_gd_metrics(netlist, kPlanes);
+    ours.add_row({entry.name, std::to_string(m.num_gates),
+                  std::to_string(m.num_connections), fmt_percent(m.frac_within(1)),
+                  fmt_percent(m.frac_within(2)), fmt_double(m.total_bias_ma, 2),
+                  fmt_double(m.bmax_ma, 2), fmt_percent(m.icomp_frac(), 2),
+                  fmt_double(m.total_area_mm2(), 4), fmt_double(m.amax_mm2(), 4),
+                  fmt_percent(m.afs_frac(), 2)});
+    compare.add_row({entry.name, fmt_percent(m.frac_within(1)),
+                     fmt_percent(entry.paper.d1), fmt_percent(m.frac_within(2)),
+                     fmt_percent(entry.paper.d2), fmt_percent(m.icomp_frac(), 2),
+                     fmt_percent(entry.paper.icomp, 2), fmt_percent(m.afs_frac(), 2),
+                     fmt_percent(entry.paper.afs, 2),
+                     str_format("%d / %d", m.num_gates, entry.paper.gates)});
+    csv.add_row({entry.name, std::to_string(m.num_gates),
+                 std::to_string(m.num_connections),
+                 fmt_double(m.frac_within(1), 4), fmt_double(m.frac_within(2), 4),
+                 fmt_double(m.total_bias_ma, 3), fmt_double(m.bmax_ma, 3),
+                 fmt_double(100 * m.icomp_frac(), 2),
+                 fmt_double(m.total_area_mm2(), 4), fmt_double(m.amax_mm2(), 4),
+                 fmt_double(100 * m.afs_frac(), 2)});
+
+    d1.add(m.frac_within(1));
+    d2.add(m.frac_within(2));
+    icomp.add(m.icomp_frac());
+    afs.add(m.afs_frac());
+    paper_d1.add(entry.paper.d1);
+    paper_d2.add(entry.paper.d2);
+    paper_icomp.add(entry.paper.icomp);
+    paper_afs.add(entry.paper.afs);
+  }
+
+  ours.add_separator();
+  ours.add_row({"AVERAGE", "", "", fmt_percent(d1.mean()), fmt_percent(d2.mean()),
+                "", "", fmt_percent(icomp.mean(), 2), "", "",
+                fmt_percent(afs.mean(), 2)});
+  compare.add_separator();
+  compare.add_row({"AVERAGE", fmt_percent(d1.mean()), fmt_percent(paper_d1.mean()),
+                   fmt_percent(d2.mean()), fmt_percent(paper_d2.mean()),
+                   fmt_percent(icomp.mean(), 2), fmt_percent(paper_icomp.mean(), 2),
+                   fmt_percent(afs.mean(), 2), fmt_percent(paper_afs.mean(), 2), ""});
+
+  std::printf("== Table I: partition results of benchmark circuits with K = %d ==\n",
+              kPlanes);
+  ours.print();
+  std::printf("\n== Table I: ours vs paper (published averages: d<=1 65.1%%, "
+              "d<=2 87.7%%, I_comp 8.0%%, A_FS 7.7%%) ==\n");
+  compare.print();
+  write_results_csv("table1", csv);
+}
+
+void BM_PartitionK5(::benchmark::State& state, const char* name) {
+  const Netlist netlist = build_mapped(name);
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(run_gd(netlist, kPlanes).discrete_total);
+  }
+  state.counters["gates"] = netlist.num_partitionable_gates();
+}
+
+BENCHMARK_CAPTURE(BM_PartitionK5, ksa4, "ksa4")->Unit(::benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PartitionK5, ksa16, "ksa16")->Unit(::benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PartitionK5, c432, "c432")->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::print_table1();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Table II reproduction: the KSA4 netlist partitioned for K = 5..10,
+// reporting d<=1, d<=floor(K/2), B_max, I_comp%, A_max, A_FS%. The paper's
+// trends to reproduce: d<=1 falls as K grows; B_max and A_max fall;
+// I_comp and A_FS rise; on average 92.1% of connections stay within
+// floor(K/2) planes.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace sfqpart::bench {
+namespace {
+
+// Published Table II rows for the comparison print.
+struct PaperRow {
+  int k;
+  double d1, dhalf, bmax, icomp, amax, afs;
+};
+constexpr PaperRow kPaper[] = {
+    {5, 0.746, 0.975, 17.50, 0.0924, 0.0972, 0.0771},
+    {6, 0.644, 0.949, 14.40, 0.0788, 0.0840, 0.1170},
+    {7, 0.534, 0.898, 12.45, 0.0879, 0.0696, 0.0798},
+    {8, 0.458, 0.958, 11.16, 0.1149, 0.0648, 0.1489},
+    {9, 0.381, 0.839, 10.24, 0.1512, 0.0576, 0.1489},
+    {10, 0.381, 0.907, 9.69, 0.2164, 0.0552, 0.2234},
+};
+
+void print_table2() {
+  const Netlist netlist = build_mapped("ksa4");
+  TablePrinter table({"K", "d<=1", "d<=K/2", "B_max (mA)", "I_comp (%)",
+                      "A_max (mm2)", "A_FS (%)", "paper d<=1", "paper d<=K/2",
+                      "paper I_comp"});
+  CsvWriter csv({"k", "d1", "dhalf", "bmax_ma", "icomp_pct", "amax_mm2",
+                 "afs_pct"});
+  Averager dhalf;
+  Averager paper_dhalf;
+
+  for (const PaperRow& paper : kPaper) {
+    const PartitionMetrics m = run_gd_metrics(netlist, paper.k);
+    table.add_row({std::to_string(paper.k), fmt_percent(m.frac_within(1)),
+                   fmt_percent(m.frac_within(m.half_k())),
+                   fmt_double(m.bmax_ma, 2), fmt_percent(m.icomp_frac(), 2),
+                   fmt_double(m.amax_mm2(), 4), fmt_percent(m.afs_frac(), 2),
+                   fmt_percent(paper.d1), fmt_percent(paper.dhalf),
+                   fmt_percent(paper.icomp, 2)});
+    csv.add_row({std::to_string(paper.k), fmt_double(m.frac_within(1), 4),
+                 fmt_double(m.frac_within(m.half_k()), 4), fmt_double(m.bmax_ma, 3),
+                 fmt_double(100 * m.icomp_frac(), 2), fmt_double(m.amax_mm2(), 4),
+                 fmt_double(100 * m.afs_frac(), 2)});
+    dhalf.add(m.frac_within(m.half_k()));
+    paper_dhalf.add(paper.dhalf);
+  }
+  table.add_separator();
+  table.add_row({"AVG", "", fmt_percent(dhalf.mean()), "", "", "", "", "",
+                 fmt_percent(paper_dhalf.mean()), ""});
+
+  std::printf("== Table II: KSA4 partitioned for K = 5..10 "
+              "(paper average d<=K/2: 92.1%%) ==\n");
+  table.print();
+  write_results_csv("table2", csv);
+}
+
+void BM_Ksa4Sweep(::benchmark::State& state) {
+  const Netlist netlist = build_mapped("ksa4");
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(run_gd(netlist, k).discrete_total);
+  }
+}
+
+BENCHMARK(BM_Ksa4Sweep)->DenseRange(5, 10)->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::print_table2();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table III reproduction: smallest plane count K_res with B_max <= 100 mA
+// (the current a bias pad sustains, [23]) for the 12 larger circuits,
+// against the lower bound K_LB = ceil(B_cir / 100 mA). Also quantifies the
+// section V claim that recycling replaces ceil(B_cir/100mA) bias lines
+// with ceil(B_max/100mA) ("save 30 bias lines" on a 2.5 A chip).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/kres_search.h"
+#include "recycling/bias_plan.h"
+
+namespace sfqpart::bench {
+namespace {
+
+constexpr double kPadLimitMa = 100.0;
+
+// Published K_LB / K_res pairs for the comparison column.
+struct PaperRow {
+  const char* name;
+  int k_lb, k_res;
+  double dhalf, icomp, afs;
+};
+constexpr PaperRow kPaper[] = {
+    {"ksa8", 3, 3, 0.959, 0.0840, 0.1014},   {"ksa16", 6, 7, 0.849, 0.1720, 0.1613},
+    {"ksa32", 14, 17, 0.774, 0.2474, 0.2458}, {"mult4", 3, 3, 0.910, 0.0720, 0.0837},
+    {"mult8", 13, 15, 0.775, 0.2087, 0.2145}, {"id4", 5, 6, 0.926, 0.1155, 0.1070},
+    {"id8", 28, 40, 0.753, 0.4317, 0.4363},   {"c432", 11, 14, 0.830, 0.1673, 0.1869},
+    {"c499", 9, 11, 0.796, 0.2044, 0.2222},   {"c1355", 9, 11, 0.807, 0.2051, 0.2185},
+    {"c1908", 15, 17, 0.782, 0.1488, 0.1592}, {"c3540", 32, 50, 0.771, 0.4501, 0.4551},
+};
+
+void print_table3() {
+  TablePrinter table({"Circuit", "K_LB/K_res", "d<=K/2", "B_max (mA)",
+                      "I_comp (%)", "A_max (mm2)", "A_FS (%)", "pads saved",
+                      "paper K_LB/K_res", "paper d<=K/2"});
+  CsvWriter csv({"circuit", "k_lb", "k_res", "dhalf", "bmax_ma", "icomp_pct",
+                 "amax_mm2", "afs_pct", "pads_saved"});
+
+  for (const PaperRow& paper : kPaper) {
+    const Netlist netlist = build_mapped(paper.name);
+    KresOptions options;
+    options.bias_limit_ma = kPadLimitMa;
+    // One restart per K keeps the search loop close to the paper's flow.
+    options.base.restarts = 2;
+    const KresResult kres = find_min_planes(netlist, options);
+    if (!kres.found) {
+      std::printf("  %s: no feasible K found!\n", paper.name);
+      continue;
+    }
+    const PartitionMetrics m = compute_metrics(netlist, kres.result.partition);
+    const BiasPlan plan = make_bias_plan(netlist, kres.result.partition);
+    table.add_row({paper.name, str_format("%d / %d", kres.k_lb, kres.k_res),
+                   fmt_percent(m.frac_within(m.half_k())), fmt_double(m.bmax_ma, 2),
+                   fmt_percent(m.icomp_frac(), 2), fmt_double(m.amax_mm2(), 4),
+                   fmt_percent(m.afs_frac(), 2), std::to_string(plan.pads_saved()),
+                   str_format("%d / %d", paper.k_lb, paper.k_res),
+                   fmt_percent(paper.dhalf)});
+    csv.add_row({paper.name, std::to_string(kres.k_lb), std::to_string(kres.k_res),
+                 fmt_double(m.frac_within(m.half_k()), 4), fmt_double(m.bmax_ma, 3),
+                 fmt_double(100 * m.icomp_frac(), 2), fmt_double(m.amax_mm2(), 4),
+                 fmt_double(100 * m.afs_frac(), 2), std::to_string(plan.pads_saved())});
+  }
+
+  std::printf("== Table III: partition results for %.0f mA maximum supplied "
+              "current ==\n", kPadLimitMa);
+  table.print();
+  write_results_csv("table3", csv);
+}
+
+void BM_KresSearch(::benchmark::State& state, const char* name) {
+  const Netlist netlist = build_mapped(name);
+  KresOptions options;
+  options.bias_limit_ma = kPadLimitMa;
+  options.base.restarts = 1;
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(find_min_planes(netlist, options).k_res);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_KresSearch, ksa8, "ksa8")->Unit(::benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_KresSearch, id4, "id4")->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::print_table3();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

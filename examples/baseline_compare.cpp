@@ -1,0 +1,63 @@
+// Baseline comparison: the paper's gradient-descent partitioner vs the
+// classic alternatives it argues against (section IV-A) on one circuit.
+//
+//   ./baseline_compare [--circuit ksa8] [--planes 5]
+#include <cstdio>
+
+#include "baseline/fm_kway.h"
+#include "baseline/layered_partition.h"
+#include "baseline/random_partition.h"
+#include "core/partitioner.h"
+#include "gen/suite.h"
+#include "metrics/partition_metrics.h"
+#include "util/options.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sfqpart;
+
+  OptionsParser options("Compare partitioners on one benchmark circuit.");
+  options.add_string("circuit", "ksa8", "benchmark name");
+  options.add_int("planes", 5, "number of ground planes K");
+  options.add_int("seed", 1, "random seed");
+  if (auto status = options.parse(argc - 1, argv + 1); !status) {
+    std::fprintf(stderr, "%s\n%s", status.message().c_str(), options.usage().c_str());
+    return 1;
+  }
+  const SuiteEntry* entry = find_benchmark(options.get_string("circuit"));
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown circuit '%s'\n", options.get_string("circuit").c_str());
+    return 1;
+  }
+  const int planes = static_cast<int>(options.get_int("planes"));
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed"));
+  const Netlist netlist = build_mapped(*entry);
+
+  TablePrinter table({"method", "d<=1", "d<=2", "cut", "I_comp", "A_FS"});
+  auto report = [&](const char* method, const Partition& partition) {
+    const PartitionMetrics m = compute_metrics(netlist, partition);
+    table.add_row({method, fmt_percent(m.frac_within(1)), fmt_percent(m.frac_within(2)),
+                   std::to_string(cut_count(netlist, partition)),
+                   fmt_percent(m.icomp_frac()), fmt_percent(m.afs_frac())});
+  };
+
+  PartitionOptions popt;
+  popt.num_planes = planes;
+  popt.seed = seed;
+  report("gradient-descent (paper)", partition_netlist(netlist, popt).partition);
+
+  PartitionOptions refined = popt;
+  refined.refine = true;
+  report("gradient-descent + refine", partition_netlist(netlist, refined).partition);
+
+  report("layered (topological)", layered_partition(netlist, planes));
+  FmOptions fm_options;
+  fm_options.seed = seed;
+  report("FM k-way (cut objective)", fm_kway_partition(netlist, planes, fm_options).partition);
+  report("random balanced", random_partition(netlist, planes, seed));
+
+  std::printf("circuit %s, K=%d, %d gates\n", entry->name.c_str(), planes,
+              netlist.num_partitionable_gates());
+  table.print();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Floorplan the partition as the paper's stripe layout (Fig. 1): one
+// full-width stripe of cell rows per ground plane, coupling moats between
+// stripes, and barycenter-ordered rows. Prints the stripe table, the
+// wirelength, and an ASCII density map of the die.
+//
+//   ./floorplan_view [--circuit ksa8] [--planes 4] [--passes 4]
+#include <cstdio>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "floorplan/floorplan.h"
+#include "gen/suite.h"
+#include "metrics/partition_metrics.h"
+#include "recycling/coupling.h"
+#include "util/options.h"
+
+int main(int argc, char** argv) {
+  using namespace sfqpart;
+
+  OptionsParser options("Stripe floorplan of a partitioned SFQ circuit.");
+  options.add_string("circuit", "ksa8", "benchmark name");
+  options.add_int("planes", 4, "number of ground planes K");
+  options.add_int("passes", 4, "barycenter ordering passes");
+  if (auto status = options.parse(argc - 1, argv + 1); !status) {
+    std::fprintf(stderr, "%s\n%s", status.message().c_str(), options.usage().c_str());
+    return 1;
+  }
+  const SuiteEntry* entry = find_benchmark(options.get_string("circuit"));
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown circuit '%s'\n", options.get_string("circuit").c_str());
+    return 1;
+  }
+  const Netlist netlist = build_mapped(*entry);
+
+  PartitionOptions popt;
+  popt.num_planes = static_cast<int>(options.get_int("planes"));
+  const PartitionResult result = partition_netlist(netlist, popt);
+
+  FloorplanOptions fopt;
+  fopt.ordering_passes = static_cast<int>(options.get_int("passes"));
+  const Floorplan plan = build_floorplan(netlist, result.partition, fopt);
+  std::fputs(format_floorplan(netlist, plan).c_str(), stdout);
+
+  FloorplanOptions unordered = fopt;
+  unordered.ordering_passes = 0;
+  const double hpwl0 =
+      total_hpwl_um(netlist, build_floorplan(netlist, result.partition, unordered));
+  std::printf("swap refinement: HPWL %.2f mm -> %.2f mm (%.0f%% of initial)\n",
+              hpwl0 * 1e-3, total_hpwl_um(netlist, plan) * 1e-3,
+              100.0 * total_hpwl_um(netlist, plan) / hpwl0);
+
+  // ASCII density map: '#' dense, '.' sparse, '=' the coupling moats.
+  constexpr int kCols = 64;
+  constexpr int kRowsPerStripe = 2;
+  const CouplingReport coupling = plan_coupling(netlist, result.partition);
+  for (const PlaneStripe& stripe : plan.stripes) {
+    std::vector<std::vector<int>> density(
+        kRowsPerStripe, std::vector<int>(kCols, 0));
+    for (GateId g = 0; g < netlist.num_gates(); ++g) {
+      if (!result.partition.assigned(g) ||
+          result.partition.plane(g) != stripe.plane) {
+        continue;
+      }
+      const int col = std::min(kCols - 1,
+          static_cast<int>(plan.x_um[static_cast<std::size_t>(g)] /
+                           plan.die_width_um * kCols));
+      const double rel = (plan.y_um[static_cast<std::size_t>(g)] - stripe.y_lo_um) /
+                         (stripe.y_hi_um - stripe.y_lo_um);
+      const int row = std::min(kRowsPerStripe - 1,
+                               static_cast<int>((1.0 - rel) * kRowsPerStripe));
+      ++density[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+    }
+    std::printf("GP%d\n", stripe.plane);
+    for (const auto& row : density) {
+      std::string line;
+      for (const int d : row) line += d == 0 ? ' ' : (d < 3 ? '.' : '#');
+      std::printf("  |%s|\n", line.c_str());
+    }
+    const auto boundary = static_cast<std::size_t>(stripe.plane);
+    if (boundary < coupling.pairs_per_boundary.size()) {
+      std::printf("  %s  <- moat, %d coupling pairs\n",
+                  std::string(kCols + 2, '=').c_str(),
+                  coupling.pairs_per_boundary[boundary]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "baseline/annealing.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "baseline/random_partition.h"
+#include "core/move_eval.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+
+AnnealingResult anneal_partition(const Netlist& netlist, int num_planes,
+                                 const AnnealingOptions& options) {
+  assert(num_planes >= 2);
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, num_planes);
+  const CostModel model(problem, options.weights);
+  Rng rng(options.seed);
+
+  // Random balanced start (as the gradient method's random init).
+  const Partition start = random_partition(netlist, num_planes, options.seed);
+  std::vector<int> labels;
+  labels.reserve(static_cast<std::size_t>(problem.num_gates));
+  for (const GateId g : problem.gate_ids) {
+    labels.push_back(start.plane(g));
+  }
+  MoveEvaluator eval(model, std::move(labels));
+
+  AnnealingResult result;
+  result.initial_cost = eval.current_cost();
+
+  // Calibrate the starting temperature from the mean uphill delta so the
+  // requested initial acceptance rate holds regardless of circuit scale.
+  double uphill_sum = 0.0;
+  int uphill_count = 0;
+  for (int probe = 0; probe < 200; ++probe) {
+    const int gate = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(problem.num_gates)));
+    const int target = rng.uniform_int(0, num_planes - 1);
+    const double delta = eval.delta(gate, target);
+    if (delta > 0.0) {
+      uphill_sum += delta;
+      ++uphill_count;
+    }
+  }
+  const double mean_uphill = uphill_count > 0 ? uphill_sum / uphill_count : 1e-6;
+  double temperature = -mean_uphill / std::log(options.initial_acceptance);
+
+  const long long moves_per_step = std::max<long long>(
+      64, static_cast<long long>(options.moves_per_gate * problem.num_gates));
+
+  std::vector<int> best_labels = eval.labels();
+  double best_cost = result.initial_cost;
+  double running_cost = result.initial_cost;
+  int steps_without_improvement = 0;
+
+  for (int step = 0; step < options.temperature_steps; ++step) {
+    result.steps = step + 1;
+    for (long long move = 0; move < moves_per_step; ++move) {
+      const int gate = static_cast<int>(rng.uniform_index(
+          static_cast<std::uint64_t>(problem.num_gates)));
+      int target = rng.uniform_int(0, num_planes - 1);
+      if (target == eval.label(gate)) continue;
+      ++result.moves_tried;
+      const double delta = eval.delta(gate, target);
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+        eval.apply(gate, target);
+        running_cost += delta;
+        ++result.moves_accepted;
+      }
+    }
+    if (running_cost < best_cost - 1e-12) {
+      best_cost = running_cost;
+      best_labels = eval.labels();
+      steps_without_improvement = 0;
+    } else if (++steps_without_improvement >= options.patience) {
+      break;
+    }
+    temperature *= options.cooling;
+  }
+
+  result.partition = problem.to_partition(best_labels, netlist.num_gates());
+  // Recompute exactly: the running sum accumulates float error over many
+  // moves.
+  result.final_cost =
+      model.evaluate_discrete(best_labels).total(options.weights);
+  return result;
+}
+
+}  // namespace sfqpart

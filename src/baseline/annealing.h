@@ -1,0 +1,42 @@
+// Simulated-annealing partitioner.
+//
+// Optimizes the *discrete* weighted cost (the same F1..F3 objective the
+// gradient-descent relaxation targets) directly with single-gate moves
+// under a geometric cooling schedule. Serves two roles: an independent
+// reference optimizer to sanity-check the relaxation's solution quality,
+// and the natural "how far can the objective be pushed" upper baseline
+// for ablation A2/A3.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost_model.h"
+#include "core/partition.h"
+
+namespace sfqpart {
+
+struct AnnealingOptions {
+  CostWeights weights;
+  std::uint64_t seed = 1;
+  // Moves per temperature step = moves_per_gate * G.
+  double moves_per_gate = 4.0;
+  double initial_acceptance = 0.5;  // calibrates the starting temperature
+  double cooling = 0.9;             // geometric factor per step
+  int temperature_steps = 40;
+  // Stop early after this many consecutive steps without improvement.
+  int patience = 8;
+};
+
+struct AnnealingResult {
+  Partition partition;
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  long long moves_tried = 0;
+  long long moves_accepted = 0;
+  int steps = 0;
+};
+
+AnnealingResult anneal_partition(const Netlist& netlist, int num_planes,
+                                 const AnnealingOptions& options = {});
+
+}  // namespace sfqpart

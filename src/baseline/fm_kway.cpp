@@ -1,0 +1,156 @@
+#include "baseline/fm_kway.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "baseline/random_partition.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+
+int cut_count(const Netlist& netlist, const Partition& partition) {
+  int cut = 0;
+  for (const Connection& edge : netlist.unique_edges()) {
+    if (partition.plane(edge.from) != partition.plane(edge.to)) ++cut;
+  }
+  return cut;
+}
+
+FmResult fm_kway_partition(const Netlist& netlist, int num_planes,
+                           const FmOptions& options) {
+  assert(num_planes >= 2);
+
+  // Compact the problem: partitionable gates and their adjacency.
+  std::vector<int> compact(static_cast<std::size_t>(netlist.num_gates()), -1);
+  std::vector<GateId> gate_ids;
+  std::vector<double> bias;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (!netlist.is_partitionable(g)) continue;
+    compact[static_cast<std::size_t>(g)] = static_cast<int>(gate_ids.size());
+    gate_ids.push_back(g);
+    bias.push_back(netlist.bias_of(g));
+  }
+  const int num_gates = static_cast<int>(gate_ids.size());
+  std::vector<std::vector<int>> neighbors(static_cast<std::size_t>(num_gates));
+  for (const Connection& edge : netlist.unique_edges()) {
+    const int a = compact[static_cast<std::size_t>(edge.from)];
+    const int b = compact[static_cast<std::size_t>(edge.to)];
+    neighbors[static_cast<std::size_t>(a)].push_back(b);
+    neighbors[static_cast<std::size_t>(b)].push_back(a);
+  }
+
+  FmResult result;
+  result.partition = random_partition(netlist, num_planes, options.seed);
+  result.initial_cut = cut_count(netlist, result.partition);
+
+  std::vector<int> label(static_cast<std::size_t>(num_gates));
+  std::vector<double> plane_bias(static_cast<std::size_t>(num_planes), 0.0);
+  for (int i = 0; i < num_gates; ++i) {
+    label[static_cast<std::size_t>(i)] =
+        result.partition.plane(gate_ids[static_cast<std::size_t>(i)]);
+    plane_bias[static_cast<std::size_t>(label[static_cast<std::size_t>(i)])] +=
+        bias[static_cast<std::size_t>(i)];
+  }
+  const double total_bias = std::accumulate(bias.begin(), bias.end(), 0.0);
+  const double ideal = total_bias / num_planes;
+  const double max_bias = ideal * (1.0 + options.balance_tolerance);
+  const double min_bias = ideal * (1.0 - options.balance_tolerance);
+
+  // Cut-count gain of moving gate i to plane t: neighbors on t become
+  // uncut, neighbors on the current plane become cut.
+  auto gain_of = [&](int i, int t) {
+    const auto ui = static_cast<std::size_t>(i);
+    int gain = 0;
+    for (const int j : neighbors[ui]) {
+      const int lj = label[static_cast<std::size_t>(j)];
+      if (lj == t) ++gain;
+      if (lj == label[ui]) --gain;
+    }
+    return gain;
+  };
+  auto feasible = [&](int i, int t) {
+    const auto ui = static_cast<std::size_t>(i);
+    const int s = label[ui];
+    if (s == t) return false;
+    return plane_bias[static_cast<std::size_t>(t)] + bias[ui] <= max_bias &&
+           plane_bias[static_cast<std::size_t>(s)] - bias[ui] >= min_bias;
+  };
+
+  Rng rng(options.seed ^ 0x5bd1e995ULL);
+  std::vector<int> order(static_cast<std::size_t>(num_gates));
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    result.passes = pass + 1;
+    rng.shuffle(order);
+    std::vector<bool> locked(static_cast<std::size_t>(num_gates), false);
+
+    // Move log for best-prefix rollback.
+    struct Move {
+      int gate;
+      int from;
+      int to;
+    };
+    std::vector<Move> moves;
+    int cumulative_gain = 0;
+    int best_gain = 0;
+    std::size_t best_prefix = 0;
+
+    // Greedy FM pass: repeatedly apply the best feasible move among the
+    // unlocked gates (scanning in shuffled order), even when its gain is
+    // negative -- hill climbing out of local minima is the point of FM.
+    for (int step = 0; step < num_gates; ++step) {
+      int best_gate = -1;
+      int best_target = -1;
+      int step_gain = -1 << 30;
+      for (const int i : order) {
+        if (locked[static_cast<std::size_t>(i)]) continue;
+        for (int t = 0; t < num_planes; ++t) {
+          if (!feasible(i, t)) continue;
+          const int gain = gain_of(i, t);
+          if (gain > step_gain) {
+            step_gain = gain;
+            best_gate = i;
+            best_target = t;
+          }
+        }
+      }
+      if (best_gate < 0) break;  // nothing movable
+      const auto ug = static_cast<std::size_t>(best_gate);
+      const int from = label[ug];
+      plane_bias[static_cast<std::size_t>(from)] -= bias[ug];
+      plane_bias[static_cast<std::size_t>(best_target)] += bias[ug];
+      label[ug] = best_target;
+      locked[ug] = true;
+      moves.push_back(Move{best_gate, from, best_target});
+      cumulative_gain += step_gain;
+      if (cumulative_gain > best_gain) {
+        best_gain = cumulative_gain;
+        best_prefix = moves.size();
+      }
+      // Deep negative streaks will not recover; stop the pass early.
+      if (cumulative_gain < best_gain - 50) break;
+    }
+
+    // Roll back past the best prefix.
+    for (std::size_t m = moves.size(); m > best_prefix; --m) {
+      const Move& move = moves[m - 1];
+      const auto ug = static_cast<std::size_t>(move.gate);
+      plane_bias[static_cast<std::size_t>(move.to)] -= bias[ug];
+      plane_bias[static_cast<std::size_t>(move.from)] += bias[ug];
+      label[ug] = move.from;
+    }
+    if (best_gain <= 0) break;  // converged
+  }
+
+  for (int i = 0; i < num_gates; ++i) {
+    result.partition.plane_of[static_cast<std::size_t>(gate_ids[static_cast<std::size_t>(i)])] =
+        label[static_cast<std::size_t>(i)];
+  }
+  result.final_cut = cut_count(netlist, result.partition);
+  return result;
+}
+
+}  // namespace sfqpart

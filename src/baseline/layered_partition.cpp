@@ -1,0 +1,53 @@
+#include "baseline/layered_partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "sfq/balance.h"
+
+namespace sfqpart {
+
+Partition layered_partition(const Netlist& netlist, int num_planes,
+                            const LayeredOptions& options) {
+  assert(num_planes >= 1);
+
+  // Order gates by pipeline stage so each chunk is a band of consecutive
+  // stages; ties break by gate id for determinism.
+  const std::vector<int> depth = stage_depths(netlist);
+  std::vector<GateId> gates;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_partitionable(g)) gates.push_back(g);
+  }
+  std::stable_sort(gates.begin(), gates.end(), [&](GateId a, GateId b) {
+    return depth[static_cast<std::size_t>(a)] < depth[static_cast<std::size_t>(b)];
+  });
+
+  auto weight = [&](GateId g) {
+    return options.balance_bias ? netlist.bias_of(g) : netlist.area_of(g);
+  };
+  double total = 0.0;
+  for (const GateId g : gates) total += weight(g);
+
+  Partition partition;
+  partition.num_planes = num_planes;
+  partition.plane_of.assign(static_cast<std::size_t>(netlist.num_gates()),
+                            kUnassignedPlane);
+
+  // Equal-weight cumulative thresholds: gate midpoints falling past
+  // total*(p+1)/K advance to the next plane.
+  int plane = 0;
+  double cum = 0.0;
+  for (const GateId g : gates) {
+    const double w = weight(g);
+    while (plane < num_planes - 1 &&
+           cum + w / 2.0 > total * (plane + 1) / num_planes) {
+      ++plane;
+    }
+    partition.plane_of[static_cast<std::size_t>(g)] = plane;
+    cum += w;
+  }
+  return partition;
+}
+
+}  // namespace sfqpart

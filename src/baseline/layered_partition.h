@@ -1,0 +1,22 @@
+// Layered (topological) baseline.
+//
+// SFQ circuits are gate-level pipelines, so slicing the topological order
+// into K contiguous chunks of equal bias current keeps most connections
+// within or between adjacent chunks. This is the "obvious" constructive
+// heuristic a designer would try before the paper's optimizer; the benches
+// compare both.
+#pragma once
+
+#include "core/partition.h"
+
+namespace sfqpart {
+
+struct LayeredOptions {
+  // Balance bias current (true) or gate area (false) across chunks.
+  bool balance_bias = true;
+};
+
+Partition layered_partition(const Netlist& netlist, int num_planes,
+                            const LayeredOptions& options = {});
+
+}  // namespace sfqpart

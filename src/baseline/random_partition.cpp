@@ -1,0 +1,32 @@
+#include "baseline/random_partition.h"
+
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sfqpart {
+
+Partition random_partition(const Netlist& netlist, int num_planes, std::uint64_t seed) {
+  assert(num_planes >= 1);
+  Rng rng(seed);
+
+  std::vector<GateId> gates;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_partitionable(g)) gates.push_back(g);
+  }
+  rng.shuffle(gates);
+
+  Partition partition;
+  partition.num_planes = num_planes;
+  partition.plane_of.assign(static_cast<std::size_t>(netlist.num_gates()),
+                            kUnassignedPlane);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    partition.plane_of[static_cast<std::size_t>(gates[i])] =
+        static_cast<int>(i % static_cast<std::size_t>(num_planes));
+  }
+  return partition;
+}
+
+}  // namespace sfqpart

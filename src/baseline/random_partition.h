@@ -1,0 +1,17 @@
+// Random balanced baseline: shuffled round-robin assignment.
+//
+// Lower bound on partition quality: expected d<=1 share is about
+// (3K-2)/K^2 regardless of circuit structure. Benches use it to show how
+// much structure the gradient-descent partitioner actually exploits.
+#pragma once
+
+#include <cstdint>
+
+#include "core/partition.h"
+
+namespace sfqpart {
+
+Partition random_partition(const Netlist& netlist, int num_planes,
+                           std::uint64_t seed = 1);
+
+}  // namespace sfqpart

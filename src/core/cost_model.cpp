@@ -1,0 +1,212 @@
+#include "core/cost_model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/soft_assign.h"
+
+namespace sfqpart {
+namespace {
+
+double ipow(double base, int exponent) {
+  double result = 1.0;
+  for (int i = 0; i < exponent; ++i) result *= base;
+  return result;
+}
+
+}  // namespace
+
+PartitionProblem PartitionProblem::from_netlist(const Netlist& netlist, int num_planes) {
+  assert(num_planes >= 2);
+  PartitionProblem problem;
+  problem.num_planes = num_planes;
+
+  std::vector<int> compact(static_cast<std::size_t>(netlist.num_gates()), -1);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (!netlist.is_partitionable(g)) continue;
+    compact[static_cast<std::size_t>(g)] = problem.num_gates++;
+    problem.gate_ids.push_back(g);
+    problem.bias.push_back(netlist.bias_of(g));
+    problem.area.push_back(netlist.area_of(g));
+  }
+  for (const Connection& edge : netlist.unique_edges()) {
+    problem.edges.emplace_back(compact[static_cast<std::size_t>(edge.from)],
+                               compact[static_cast<std::size_t>(edge.to)]);
+  }
+  return problem;
+}
+
+Partition PartitionProblem::to_partition(const std::vector<int>& labels,
+                                         int netlist_num_gates) const {
+  assert(static_cast<int>(labels.size()) == num_gates);
+  Partition partition;
+  partition.num_planes = num_planes;
+  partition.plane_of.assign(static_cast<std::size_t>(netlist_num_gates),
+                            kUnassignedPlane);
+  for (int i = 0; i < num_gates; ++i) {
+    partition.plane_of[static_cast<std::size_t>(gate_ids[static_cast<std::size_t>(i)])] =
+        labels[static_cast<std::size_t>(i)];
+  }
+  return partition;
+}
+
+CostModel::CostModel(const PartitionProblem& problem, const CostWeights& weights,
+                     GradientStyle style)
+    : problem_(&problem), weights_(weights), style_(style) {
+  const int k = problem.num_planes;
+  const int g = problem.num_gates;
+  assert(k >= 2);
+  // N1 = |E| (K-1)^p; N2 = (K-1) Bbar^2 with the ideal Bbar = B_cir / K;
+  // N3 analogous; N4 = G (K-1)^2. Degenerate problems (no edges, zero
+  // bias) fall back to 1 to keep the terms finite.
+  const double k1 = static_cast<double>(k - 1);
+  double total_bias = 0.0;
+  double total_area = 0.0;
+  for (const double b : problem.bias) total_bias += b;
+  for (const double a : problem.area) total_area += a;
+  const double mean_bias = total_bias / k;
+  const double mean_area = total_area / k;
+  n1_ = static_cast<double>(problem.edges.size()) * ipow(k1, weights.distance_exponent);
+  n2_ = k1 * mean_bias * mean_bias;
+  n3_ = k1 * mean_area * mean_area;
+  n4_ = static_cast<double>(g) * k1 * k1;
+  if (n1_ <= 0.0) n1_ = 1.0;
+  if (n2_ <= 0.0) n2_ = 1.0;
+  if (n3_ <= 0.0) n3_ = 1.0;
+  if (n4_ <= 0.0) n4_ = 1.0;
+}
+
+CostModel::Aggregates CostModel::aggregate(const Matrix& w) const {
+  const auto g = static_cast<std::size_t>(problem_->num_gates);
+  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  assert(w.rows() == g && w.cols() == k);
+
+  Aggregates agg;
+  agg.labels.assign(g, 0.0);
+  agg.plane_bias.assign(k, 0.0);
+  agg.plane_area.assign(k, 0.0);
+  agg.row_mean.assign(g, 0.0);
+  for (std::size_t i = 0; i < g; ++i) {
+    const auto row = w.row(i);
+    double label = 0.0;
+    double sum = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double value = row[kk];
+      label += static_cast<double>(kk + 1) * value;  // plane values 1..K
+      sum += value;
+      agg.plane_bias[kk] += problem_->bias[i] * value;
+      agg.plane_area[kk] += problem_->area[i] * value;
+    }
+    agg.labels[i] = label;
+    agg.row_mean[i] = sum / static_cast<double>(k);
+  }
+  for (const double b : agg.plane_bias) agg.mean_bias += b;
+  for (const double a : agg.plane_area) agg.mean_area += a;
+  agg.mean_bias /= static_cast<double>(k);
+  agg.mean_area /= static_cast<double>(k);
+  return agg;
+}
+
+CostTerms CostModel::terms_from(const Matrix& w, const Aggregates& agg) const {
+  const auto g = static_cast<std::size_t>(problem_->num_gates);
+  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  const double kd = static_cast<double>(k);
+  CostTerms terms;
+
+  for (const auto& [a, b] : problem_->edges) {
+    const double delta = std::abs(agg.labels[static_cast<std::size_t>(a)] -
+                                  agg.labels[static_cast<std::size_t>(b)]);
+    terms.f1 += ipow(delta, weights_.distance_exponent);
+  }
+  terms.f1 /= n1_;
+
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const double db = agg.plane_bias[kk] - agg.mean_bias;
+    const double da = agg.plane_area[kk] - agg.mean_area;
+    terms.f2 += db * db;
+    terms.f3 += da * da;
+  }
+  terms.f2 /= kd * n2_;
+  terms.f3 /= kd * n3_;
+
+  for (std::size_t i = 0; i < g; ++i) {
+    const double mean = agg.row_mean[i];
+    const double sum_term = kd * mean - 1.0;
+    double variance = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double dev = w(i, kk) - mean;
+      variance += dev * dev;
+    }
+    terms.f4 += sum_term * sum_term - variance / kd;
+  }
+  terms.f4 /= n4_;
+  return terms;
+}
+
+CostTerms CostModel::evaluate(const Matrix& w) const {
+  return terms_from(w, aggregate(w));
+}
+
+CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad) const {
+  const auto g = static_cast<std::size_t>(problem_->num_gates);
+  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  const double kd = static_cast<double>(k);
+  const int p = weights_.distance_exponent;
+
+  const Aggregates agg = aggregate(w);
+  const CostTerms terms = terms_from(w, agg);
+
+  if (grad.rows() != g || grad.cols() != k) {
+    grad = Matrix(g, k);
+  } else {
+    grad.fill(0.0);
+  }
+
+  // F1: dF1/dl_i accumulated per gate, then dl_i/dw_{i,k} = (k+1).
+  std::vector<double> dlabel(g, 0.0);
+  for (const auto& [a, b] : problem_->edges) {
+    const auto ua = static_cast<std::size_t>(a);
+    const auto ub = static_cast<std::size_t>(b);
+    const double delta = agg.labels[ua] - agg.labels[ub];
+    const double magnitude = p * ipow(std::abs(delta), p - 1) / n1_;
+    if (style_ == GradientStyle::kAnalytic) {
+      const double signed_term = delta >= 0.0 ? magnitude : -magnitude;
+      dlabel[ua] += signed_term;
+      dlabel[ub] -= signed_term;
+    } else {
+      // Equation 10 as printed: first-endpoint sum minus second-endpoint
+      // sum of unsigned |l_i1 - l_i2|^3 terms.
+      dlabel[ua] += magnitude;
+      dlabel[ub] -= magnitude;
+    }
+  }
+
+  const double bias_coef = 2.0 / (kd * n2_);
+  const double area_coef = 2.0 / (kd * n3_);
+  for (std::size_t i = 0; i < g; ++i) {
+    const auto grow = grad.row(i);
+    const double mean = agg.row_mean[i];
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      double value = weights_.c1 * dlabel[i] * static_cast<double>(kk + 1);
+      value += weights_.c2 * bias_coef * problem_->bias[i] *
+               (agg.plane_bias[kk] - agg.mean_bias);
+      value += weights_.c3 * area_coef * problem_->area[i] *
+               (agg.plane_area[kk] - agg.mean_area);
+      if (style_ == GradientStyle::kAnalytic) {
+        value += weights_.c4 * (2.0 / n4_) *
+                 ((kd * mean - 1.0) - (w(i, kk) - mean) / kd);
+      } else {
+        value += weights_.c4 * (2.0 / n4_) *
+                 ((kd + 1.0 / kd) * (mean - w(i, kk)) + kd - 1.0);
+      }
+      grow[kk] += value;
+    }
+  }
+  return terms;
+}
+
+CostTerms CostModel::evaluate_discrete(const std::vector<int>& labels) const {
+  return evaluate(one_hot(labels, problem_->num_planes));
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,99 @@
+// The paper's cost function F = c1*F1 + c2*F2 + c3*F3 + c4*F4 and its
+// gradients (equations 4-10).
+//
+//  F1: interconnect distance cost   sum |l_i1 - l_i2|^4 / N1
+//  F2: bias-current variance        sum (B_k - Bbar)^2 / (K*N2)
+//  F3: block-area variance          sum (A_k - Abar)^2 / (K*N3)
+//  F4: relaxed one-hot constraint (Lagrangian of equation 7)
+//
+// Two gradient styles are provided: kAnalytic (the exact derivatives,
+// validated against finite differences) and kPaperEq10 (the expressions
+// exactly as printed in equation 10 of the paper; see DESIGN.md section 1
+// for where they differ).
+#pragma once
+
+#include <vector>
+
+#include "core/partition.h"
+#include "util/matrix.h"
+
+namespace sfqpart {
+
+struct CostWeights {
+  double c1 = 1.0;   // interconnections
+  double c2 = 0.35;  // bias-current balance
+  double c3 = 0.35;  // area balance
+  double c4 = 1.0;   // one-hot constraint
+
+  // Exponent of the distance term (the paper uses 4, "to model the sharp
+  // increment of a connection cost with the increase in distance").
+  // Exposed for the A1 ablation bench.
+  int distance_exponent = 4;
+};
+
+enum class GradientStyle {
+  kAnalytic,
+  kPaperEq10,
+};
+
+struct CostTerms {
+  double f1 = 0.0;
+  double f2 = 0.0;
+  double f3 = 0.0;
+  double f4 = 0.0;
+
+  double total(const CostWeights& w) const {
+    return w.c1 * f1 + w.c2 * f2 + w.c3 * f3 + w.c4 * f4;
+  }
+};
+
+class CostModel {
+ public:
+  CostModel(const PartitionProblem& problem, const CostWeights& weights,
+            GradientStyle style = GradientStyle::kAnalytic);
+
+  const PartitionProblem& problem() const { return *problem_; }
+  const CostWeights& weights() const { return weights_; }
+  GradientStyle gradient_style() const { return style_; }
+
+  // Normalization constants (for incremental delta evaluation in refine).
+  double n1() const { return n1_; }
+  double n2() const { return n2_; }
+  double n3() const { return n3_; }
+  double n4() const { return n4_; }
+
+  // Cost of a soft assignment W (G x K).
+  CostTerms evaluate(const Matrix& w) const;
+
+  // Cost and the gradient of the *weighted* total; `grad` is resized and
+  // overwritten.
+  CostTerms evaluate_with_gradient(const Matrix& w, Matrix& grad) const;
+
+  // Cost of a hard assignment (labels are 0-based planes). F4 of a one-hot
+  // assignment is the constant -(K-1)/(K^2 (K-1)^2) * G/N4-normalized value;
+  // it is reported for completeness but does not rank assignments.
+  CostTerms evaluate_discrete(const std::vector<int>& labels) const;
+
+ private:
+  struct Aggregates {
+    std::vector<double> labels;      // l_i (soft), size G
+    std::vector<double> plane_bias;  // B_k, size K
+    std::vector<double> plane_area;  // A_k, size K
+    std::vector<double> row_mean;    // wbar_i, size G
+    double mean_bias = 0.0;          // Bbar
+    double mean_area = 0.0;          // Abar
+  };
+  Aggregates aggregate(const Matrix& w) const;
+  CostTerms terms_from(const Matrix& w, const Aggregates& agg) const;
+
+  const PartitionProblem* problem_;
+  CostWeights weights_;
+  GradientStyle style_;
+  // Normalization constants (equations 4-6, 9). Computed once.
+  double n1_ = 1.0;
+  double n2_ = 1.0;
+  double n3_ = 1.0;
+  double n4_ = 1.0;
+};
+
+}  // namespace sfqpart

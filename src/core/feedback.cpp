@@ -1,0 +1,90 @@
+#include "core/feedback.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "metrics/partition_metrics.h"
+#include "recycling/insertion.h"
+
+namespace sfqpart {
+namespace {
+
+// Implemented-balance score: I_comp fraction of the netlist with the
+// coupling cells actually inserted.
+double implemented_icomp(const Netlist& netlist, const Partition& partition,
+                         int* pairs) {
+  const CouplingInsertion inserted = apply_coupling_insertion(netlist, partition);
+  if (pairs != nullptr) *pairs = inserted.pairs_inserted;
+  return compute_metrics(inserted.netlist, inserted.partition).icomp_frac();
+}
+
+}  // namespace
+
+FeedbackResult partition_with_coupling_feedback(const Netlist& netlist,
+                                                const FeedbackOptions& options) {
+  const int num_planes = options.base.num_planes;
+  const CellLibrary& lib = netlist.library();
+  const double pair_bias =
+      lib.cell(*lib.find_kind(CellKind::kTxDriver)).bias_ma +
+      lib.cell(*lib.find_kind(CellKind::kTxReceiver)).bias_ma;
+
+  PartitionProblem problem = PartitionProblem::from_netlist(netlist, num_planes);
+  const std::vector<double> base_bias = problem.bias;
+
+  // Directed physical links between partitionable gates, in compact ids.
+  std::vector<int> compact(static_cast<std::size_t>(netlist.num_gates()), -1);
+  for (int i = 0; i < problem.num_gates; ++i) {
+    compact[static_cast<std::size_t>(problem.gate_ids[static_cast<std::size_t>(i)])] = i;
+  }
+  std::vector<std::pair<int, int>> links;
+  for (const Connection& conn : netlist.connections()) {
+    const int a = compact[static_cast<std::size_t>(conn.from)];
+    const int b = compact[static_cast<std::size_t>(conn.to)];
+    if (a >= 0 && b >= 0 && a != b) links.emplace_back(a, b);
+  }
+
+  FeedbackResult result;
+  double best_icomp = 1e300;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    result.rounds = round + 1;
+    PartitionOptions round_options = options.base;
+    round_options.seed = options.base.seed + static_cast<std::uint64_t>(round);
+    const LabelResult solved = solve_labels(problem, round_options);
+    const Partition partition =
+        problem.to_partition(solved.labels, netlist.num_gates());
+
+    int pairs = 0;
+    const double icomp = implemented_icomp(netlist, partition, &pairs);
+    if (round == 0) result.icomp_first = icomp;
+    if (icomp < best_icomp) {
+      best_icomp = icomp;
+      result.partition = partition;
+      result.pairs_final = pairs;
+    }
+    if (round > 0 && best_icomp > icomp - options.min_improvement &&
+        icomp >= best_icomp) {
+      break;  // no longer improving
+    }
+
+    // Re-weight: each gate's effective bias grows by half of the coupling
+    // pairs its cross-plane links imply under the current assignment.
+    std::vector<double> extra(static_cast<std::size_t>(problem.num_gates), 0.0);
+    for (const auto& [a, b] : links) {
+      const int da = solved.labels[static_cast<std::size_t>(a)];
+      const int db = solved.labels[static_cast<std::size_t>(b)];
+      const int distance = std::abs(da - db);
+      if (distance == 0) continue;
+      const double weight = 0.5 * distance * pair_bias;
+      extra[static_cast<std::size_t>(a)] += weight;
+      extra[static_cast<std::size_t>(b)] += weight;
+    }
+    for (int i = 0; i < problem.num_gates; ++i) {
+      problem.bias[static_cast<std::size_t>(i)] =
+          base_bias[static_cast<std::size_t>(i)] + extra[static_cast<std::size_t>(i)];
+    }
+  }
+  result.icomp_final = best_icomp;
+  return result;
+}
+
+}  // namespace sfqpart

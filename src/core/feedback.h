@@ -1,0 +1,40 @@
+// Coupling-aware partitioning loop (extension).
+//
+// A5 of EXPERIMENTS.md shows the gap the paper's flow leaves open: the
+// partition is balanced *before* coupling insertion, but the inserted
+// TXDRV/TXRCV cells draw bias on their own planes, so the implemented
+// chip is unbalanced again (I_comp roughly triples at K = 5). This driver
+// closes the loop: after each round it folds the coupling cells each
+// gate's connectivity implied into the gate's effective bias weight and
+// re-partitions, converging to an assignment whose *implemented* balance
+// is good.
+#pragma once
+
+#include "core/partitioner.h"
+
+namespace sfqpart {
+
+struct FeedbackOptions {
+  PartitionOptions base;
+  // Maximum partition/insert/re-weight rounds (the first round is the
+  // plain paper flow).
+  int max_rounds = 4;
+  // Stop when the implemented I_comp fraction improves by less than this
+  // between rounds.
+  double min_improvement = 0.005;
+};
+
+struct FeedbackResult {
+  Partition partition;          // over the original netlist
+  int rounds = 0;
+  // Implemented (post-insertion) compensation current fraction, before
+  // (round 1) and after the feedback loop.
+  double icomp_first = 0.0;
+  double icomp_final = 0.0;
+  int pairs_final = 0;
+};
+
+FeedbackResult partition_with_coupling_feedback(const Netlist& netlist,
+                                                const FeedbackOptions& options = {});
+
+}  // namespace sfqpart

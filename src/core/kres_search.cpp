@@ -1,0 +1,46 @@
+#include "core/kres_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sfqpart {
+namespace {
+
+double max_plane_bias(const PartitionProblem& problem, const Partition& partition) {
+  std::vector<double> plane_bias(static_cast<std::size_t>(partition.num_planes), 0.0);
+  for (int i = 0; i < problem.num_gates; ++i) {
+    const GateId gate = problem.gate_ids[static_cast<std::size_t>(i)];
+    const int plane = partition.plane(gate);
+    assert(plane != kUnassignedPlane);
+    plane_bias[static_cast<std::size_t>(plane)] += problem.bias[static_cast<std::size_t>(i)];
+  }
+  return *std::max_element(plane_bias.begin(), plane_bias.end());
+}
+
+}  // namespace
+
+KresResult find_min_planes(const Netlist& netlist, const KresOptions& options) {
+  assert(options.bias_limit_ma > 0.0);
+  KresResult result;
+  const double total_bias = netlist.total_bias_ma();
+  result.k_lb = std::max(2, static_cast<int>(std::ceil(total_bias / options.bias_limit_ma)));
+
+  for (int k = result.k_lb; k <= options.max_planes; ++k) {
+    PartitionOptions attempt = options.base;
+    attempt.num_planes = k;
+    const PartitionProblem problem = PartitionProblem::from_netlist(netlist, k);
+    PartitionResult partition = partition_problem(problem, netlist.num_gates(), attempt);
+    const double bmax = max_plane_bias(problem, partition.partition);
+    if (bmax <= options.bias_limit_ma) {
+      result.found = true;
+      result.k_res = k;
+      result.bmax_ma = bmax;
+      result.result = std::move(partition);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace sfqpart

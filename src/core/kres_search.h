@@ -1,0 +1,34 @@
+// Constrained-K search (Table III of the paper).
+//
+// A bias pad sustains at most B_limit (100 mA in the paper, after [23]);
+// the externally supplied current equals B_max of the partition, so K must
+// be raised until B_max <= B_limit. The search starts from the lower bound
+// K_LB = ceil(B_cir / B_limit) and increases K until the partitioner
+// produces a feasible stack.
+#pragma once
+
+#include "core/partitioner.h"
+
+namespace sfqpart {
+
+struct KresOptions {
+  double bias_limit_ma = 100.0;
+  // Give up beyond this many planes (a malformed limit would otherwise
+  // loop toward K = G).
+  int max_planes = 256;
+  // Base options for each partitioning attempt; num_planes is overwritten
+  // by the search.
+  PartitionOptions base;
+};
+
+struct KresResult {
+  bool found = false;
+  int k_lb = 0;   // ceil(B_cir / B_limit)
+  int k_res = 0;  // smallest feasible K found
+  double bmax_ma = 0.0;
+  PartitionResult result;  // the feasible partition (valid when found)
+};
+
+KresResult find_min_planes(const Netlist& netlist, const KresOptions& options = {});
+
+}  // namespace sfqpart

@@ -1,0 +1,48 @@
+// Incremental evaluation of single-gate moves against the discrete
+// weighted cost (c1*F1 + c2*F2 + c3*F3; F4 is constant over one-hot
+// assignments). Shared by the greedy refinement pass, the simulated
+// annealer and the multilevel refiner: delta() is O(degree), apply() is
+// O(1).
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.h"
+
+namespace sfqpart {
+
+class MoveEvaluator {
+ public:
+  // Keeps references to `model`'s problem; `labels` is copied and evolves
+  // through apply().
+  MoveEvaluator(const CostModel& model, std::vector<int> labels);
+
+  const std::vector<int>& labels() const { return labels_; }
+  int label(int gate) const { return labels_[static_cast<std::size_t>(gate)]; }
+  int num_planes() const { return num_planes_; }
+  int num_gates() const { return static_cast<int>(labels_.size()); }
+
+  // Weighted-cost change of moving `gate` to `target` (0 when already there).
+  double delta(int gate, int target) const;
+
+  // Commits the move, updating the incremental aggregates.
+  void apply(int gate, int target);
+
+  // Exact discrete cost of the current labels (recomputed, for checks).
+  double current_cost() const;
+
+ private:
+  const CostModel* model_;
+  std::vector<int> labels_;
+  int num_planes_;
+  std::vector<std::vector<int>> neighbors_;
+  std::vector<double> plane_bias_;
+  std::vector<double> plane_area_;
+  double mean_bias_ = 0.0;
+  double mean_area_ = 0.0;
+  double f1_coef_ = 0.0;
+  double f2_coef_ = 0.0;
+  double f3_coef_ = 0.0;
+};
+
+}  // namespace sfqpart

@@ -1,0 +1,41 @@
+// Multilevel ground-plane partitioning (extension).
+//
+// The paper's conclusion leaves scaling beyond ~4k gates open; the classic
+// answer (Karypis/Kumar, the paper's reference [18]) is multilevel:
+// coarsen the connection graph by heavy-edge matching until it is small,
+// run the gradient-descent partitioner on the coarse graph (where the
+// relaxation is cheap and the landscape smooth), then project the labels
+// back level by level with greedy refinement at each step. Bias and area
+// weights accumulate through the merges, so the coarse problem optimizes
+// the same F1..F3 objective; contracted parallel edges keep their
+// multiplicity, preserving F1's edge weighting.
+#pragma once
+
+#include "core/partitioner.h"
+
+namespace sfqpart {
+
+struct MultilevelOptions {
+  // Coarsen until at most this many vertices (never below 4*K).
+  int coarse_target = 160;
+  // Safety cap on coarsening levels.
+  int max_levels = 20;
+  // Options for the coarse-level gradient-descent solve; num_planes is
+  // overwritten by the multilevel driver.
+  PartitionOptions coarse;
+  // Refinement applied after each projection.
+  RefineOptions refine;
+  std::uint64_t seed = 1;
+};
+
+struct MultilevelResult {
+  Partition partition;
+  int levels = 0;            // coarsening levels actually used
+  int coarse_gates = 0;      // vertex count of the coarsest graph
+  double discrete_total = 0.0;
+};
+
+MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
+                                      const MultilevelOptions& options = {});
+
+}  // namespace sfqpart

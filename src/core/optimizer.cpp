@@ -1,0 +1,65 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/soft_assign.h"
+
+namespace sfqpart {
+
+OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
+                                     const OptimizerOptions& options) {
+  OptimizerResult result;
+  result.w = std::move(w0);
+  Matrix grad;
+
+  double cost_old = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.final_terms = model.evaluate_with_gradient(result.w, grad);
+    const double cost_new = result.final_terms.total(model.weights());
+    if (options.record_trace) result.cost_trace.push_back(cost_new);
+
+    // Stop on relative cost change (Algorithm 1 line 14). cost_old is
+    // +inf on the first iteration, so the loop always takes a step first.
+    if (std::isfinite(cost_old)) {
+      const double denominator = std::abs(cost_old) > 1e-300 ? cost_old : 1e-300;
+      if (std::abs(cost_new / denominator - 1.0) <= options.margin) {
+        result.converged = true;
+        result.iterations = iter;
+        return result;
+      }
+    }
+
+    double scale = options.learning_rate;
+    if (options.normalize_step) {
+      double max_abs = 0.0;
+      for (const double value : grad.flat()) {
+        max_abs = std::max(max_abs, std::abs(value));
+      }
+      if (max_abs <= 0.0) {  // exactly at a stationary point
+        result.converged = true;
+        result.iterations = iter;
+        return result;
+      }
+      scale /= max_abs;
+    }
+
+    auto w_flat = result.w.flat();
+    const auto g_flat = grad.flat();
+    for (std::size_t i = 0; i < w_flat.size(); ++i) {
+      w_flat[i] = std::clamp(w_flat[i] - scale * g_flat[i], 0.0, 1.0);
+    }
+    cost_old = cost_new;
+    result.iterations = iter + 1;
+  }
+  // Max iterations reached: refresh terms for the final W.
+  result.final_terms = model.evaluate(result.w);
+  if (options.record_trace) {
+    result.cost_trace.push_back(result.final_terms.total(model.weights()));
+  }
+  return result;
+}
+
+}  // namespace sfqpart

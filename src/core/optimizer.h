@@ -1,0 +1,46 @@
+// Gradient descent over the relaxed cost (Algorithm 1 of the paper).
+//
+// Starting from a random row-normalized W, the loop computes the weighted
+// cost and its gradient, steps against the gradient, clips W into [0,1],
+// and stops when the relative cost change drops below `margin` (the paper
+// uses 1e-4). Deviations from the verbatim pseudo-code are opt-in and
+// documented in DESIGN.md section 6: an explicit learning rate (the paper
+// folds it into the c-constants) and optional gradient-norm step scaling
+// that makes one tuning work across circuit sizes.
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.h"
+#include "util/matrix.h"
+
+namespace sfqpart {
+
+struct OptimizerOptions {
+  // Relative cost-change stopping margin (Algorithm 1 line 14).
+  double margin = 1e-4;
+  // Hard iteration cap; Algorithm 1 has none, but gradient descent on a
+  // non-convex relaxation can plateau-cycle.
+  int max_iterations = 500;
+  // Step size. With normalize_step the update is
+  //   W -= learning_rate * grad / max|grad|,
+  // i.e. the largest per-entry move is exactly learning_rate; without it
+  // the raw gradient is applied as in the paper's pseudo-code.
+  double learning_rate = 0.05;
+  bool normalize_step = true;
+  // Record the cost after every iteration (for convergence tests/plots).
+  bool record_trace = false;
+};
+
+struct OptimizerResult {
+  Matrix w;                        // final soft assignment
+  CostTerms final_terms;           // cost terms at w
+  int iterations = 0;
+  bool converged = false;          // stopped by margin (not by max_iterations)
+  std::vector<double> cost_trace;  // weighted totals, if record_trace
+};
+
+OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
+                                     const OptimizerOptions& options = {});
+
+}  // namespace sfqpart

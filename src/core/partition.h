@@ -1,0 +1,44 @@
+// Partition result type shared by the core partitioner, the baselines and
+// the metrics/recycling consumers.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+inline constexpr int kUnassignedPlane = -1;
+
+// Assignment of gates to serially-biased ground planes. Planes are indexed
+// 0..num_planes-1 in bias-stack order: plane p and plane p+1 are physically
+// adjacent, so a connection between planes p and q needs |p - q| inductive
+// coupling hops. I/O gates keep kUnassignedPlane (they live on the shared
+// pad-ring ground).
+struct Partition {
+  int num_planes = 0;
+  std::vector<int> plane_of;  // indexed by GateId
+
+  int plane(GateId gate) const { return plane_of.at(static_cast<std::size_t>(gate)); }
+  bool assigned(GateId gate) const { return plane(gate) != kUnassignedPlane; }
+};
+
+// The compact optimization problem the paper formulates: G partitionable
+// gates with bias/area weights, the undirected connection set E, and K.
+// Compact indices 0..G-1 map back to netlist gate ids via gate_ids.
+struct PartitionProblem {
+  int num_gates = 0;   // G
+  int num_planes = 0;  // K
+  std::vector<double> bias;                 // b_i, size G
+  std::vector<double> area;                 // a_i, size G
+  std::vector<std::pair<int, int>> edges;   // E (compact indices)
+  std::vector<GateId> gate_ids;             // compact -> GateId
+
+  static PartitionProblem from_netlist(const Netlist& netlist, int num_planes);
+
+  // Expands compact labels (size G, 0-based planes) into a Partition over
+  // the full netlist.
+  Partition to_partition(const std::vector<int>& labels, int netlist_num_gates) const;
+};
+
+}  // namespace sfqpart

@@ -1,0 +1,26 @@
+// Partition persistence: gate -> plane assignments as CSV, so partitions
+// can be archived, diffed, hand-edited, and re-evaluated (`sfqpart
+// evaluate`). The format matches what `sfqpart partition --csv` writes:
+// a header row `gate,cell,plane` followed by one row per gate.
+#pragma once
+
+#include <string>
+
+#include "core/partition.h"
+#include "util/status.h"
+
+namespace sfqpart {
+
+Status save_partition_csv(const std::string& path, const Netlist& netlist,
+                          const Partition& partition);
+
+// Loads and cross-checks against `netlist`: unknown gate names, missing
+// partitionable gates, cell-name mismatches and negative planes are
+// errors. num_planes is max(plane)+1 unless every row is smaller than a
+// previously saved K (planes may legitimately be empty -- kept as-is).
+StatusOr<Partition> load_partition_csv(const std::string& path,
+                                       const Netlist& netlist);
+StatusOr<Partition> parse_partition_csv(const std::string& text,
+                                        const Netlist& netlist);
+
+}  // namespace sfqpart

@@ -1,0 +1,66 @@
+// Top-level ground-plane partitioner: the paper's contribution, end to end.
+//
+// netlist + K -> PartitionProblem -> random soft init -> gradient descent
+// (Algorithm 1) -> argmax hardening (-> optional greedy refinement) ->
+// Partition. Multiple random restarts keep the best hardened result; one
+// restart with refinement off reproduces the published algorithm verbatim.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost_model.h"
+#include "core/optimizer.h"
+#include "core/partition.h"
+#include "core/refine.h"
+
+namespace sfqpart {
+
+struct PartitionOptions {
+  int num_planes = 5;  // K (Table I uses 5)
+  CostWeights weights;
+  GradientStyle gradient_style = GradientStyle::kAnalytic;
+  OptimizerOptions optimizer;
+  // Independent random restarts; the best discrete-cost result wins.
+  int restarts = 3;
+  std::uint64_t seed = 1;
+  // Post-hardening greedy improvement (not part of the published
+  // algorithm; see DESIGN.md section 6 and ablation A2).
+  bool refine = false;
+  RefineOptions refine_options;
+};
+
+struct PartitionResult {
+  Partition partition;
+  CostTerms soft_terms;        // relaxed cost at the winning restart's W
+  CostTerms discrete_terms;    // cost of the hardened assignment
+  double discrete_total = 0.0; // weighted discrete cost used for selection
+  int iterations = 0;          // optimizer iterations of the winning restart
+  int winning_restart = 0;
+  bool converged = false;
+};
+
+PartitionResult partition_netlist(const Netlist& netlist,
+                                  const PartitionOptions& options = {});
+
+// Same flow on a prebuilt problem (used by benches that sweep K without
+// re-extracting the netlist).
+PartitionResult partition_problem(const PartitionProblem& problem,
+                                  int netlist_num_gates,
+                                  const PartitionOptions& options);
+
+// Core solve returning compact labels (0-based planes indexed like the
+// problem), for callers that manage their own problems (e.g. the
+// multilevel driver, whose coarse problems do not map to netlist gates).
+struct LabelResult {
+  std::vector<int> labels;
+  CostTerms soft_terms;
+  CostTerms discrete_terms;
+  double discrete_total = 0.0;
+  int iterations = 0;
+  int winning_restart = 0;
+  bool converged = false;
+};
+LabelResult solve_labels(const PartitionProblem& problem,
+                         const PartitionOptions& options);
+
+}  // namespace sfqpart

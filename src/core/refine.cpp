@@ -1,0 +1,50 @@
+#include "core/refine.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "core/move_eval.h"
+
+namespace sfqpart {
+
+RefineResult refine_partition(const CostModel& model, std::vector<int>& labels,
+                              Rng& rng, const RefineOptions& options) {
+  const int num_gates = model.problem().num_gates;
+  const int num_planes = model.problem().num_planes;
+  assert(static_cast<int>(labels.size()) == num_gates);
+
+  MoveEvaluator eval(model, labels);
+
+  RefineResult result;
+  result.initial_cost = eval.current_cost();
+
+  std::vector<int> order(static_cast<std::size_t>(num_gates));
+  std::iota(order.begin(), order.end(), 0);
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    rng.shuffle(order);
+    int moves_this_pass = 0;
+    for (const int gate : order) {
+      int best_target = eval.label(gate);
+      double best_delta = -1e-12;  // strict improvement only
+      for (int target = 0; target < num_planes; ++target) {
+        const double delta = eval.delta(gate, target);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_target = target;
+        }
+      }
+      if (best_target != eval.label(gate)) {
+        eval.apply(gate, best_target);
+        ++moves_this_pass;
+      }
+    }
+    result.moves += moves_this_pass;
+    result.passes = pass + 1;
+    if (moves_this_pass < options.min_moves_per_pass) break;
+  }
+  labels = eval.labels();
+  result.final_cost = eval.current_cost();
+  return result;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,34 @@
+// Greedy discrete refinement of a hardened partition.
+//
+// The paper stops at the argmax of the converged soft assignment. This
+// optional pass (off by default for paper fidelity, see PartitionOptions)
+// sweeps gates in random order and applies single-gate moves that reduce
+// the *discrete* weighted cost, using incremental delta evaluation. It is
+// the ablation point A2 of DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+
+struct RefineOptions {
+  int max_passes = 8;
+  // Stop a pass early once fewer than this many moves were applied.
+  int min_moves_per_pass = 1;
+};
+
+struct RefineResult {
+  int passes = 0;
+  int moves = 0;
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+};
+
+// Improves `labels` in place (compact indices, 0-based planes).
+RefineResult refine_partition(const CostModel& model, std::vector<int>& labels,
+                              Rng& rng, const RefineOptions& options = {});
+
+}  // namespace sfqpart

@@ -1,0 +1,53 @@
+#include "core/soft_assign.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sfqpart {
+
+Matrix random_soft_assignment(int num_gates, int num_planes, Rng& rng) {
+  assert(num_gates >= 0 && num_planes >= 1);
+  Matrix w(static_cast<std::size_t>(num_gates), static_cast<std::size_t>(num_planes));
+  for (double& value : w.flat()) value = rng.uniform();
+  normalize_rows(w);
+  return w;
+}
+
+void normalize_rows(Matrix& w) {
+  const std::size_t cols = w.cols();
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    auto row = w.row(r);
+    double sum = 0.0;
+    for (const double value : row) sum += value;
+    if (sum <= 0.0) {
+      for (double& value : row) value = 1.0 / static_cast<double>(cols);
+    } else {
+      for (double& value : row) value /= sum;
+    }
+  }
+}
+
+void clip01(Matrix& w) {
+  for (double& value : w.flat()) value = std::clamp(value, 0.0, 1.0);
+}
+
+std::vector<int> harden(const Matrix& w) {
+  std::vector<int> labels(w.rows(), 0);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const auto row = w.row(r);
+    labels[r] = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return labels;
+}
+
+Matrix one_hot(const std::vector<int>& labels, int num_planes) {
+  Matrix w(labels.size(), static_cast<std::size_t>(num_planes));
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    assert(labels[r] >= 0 && labels[r] < num_planes);
+    w(r, static_cast<std::size_t>(labels[r])) = 1.0;
+  }
+  return w;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,31 @@
+// Soft assignment matrix helpers.
+//
+// The paper relaxes the one-hot gate-to-plane indicator w_{i,k} in {0,1}
+// to w_{i,k} in [0,1] (equation 8). These helpers implement the random
+// initialization + row normalization of Algorithm 1 (lines 3-11), the
+// clipping of line 22-23, and the final argmax hardening (lines 27-30).
+#pragma once
+
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+
+// Uniform random W (G x K) with rows normalized to sum 1.
+Matrix random_soft_assignment(int num_gates, int num_planes, Rng& rng);
+
+// Divides each row by its sum (rows of all zeros become uniform 1/K).
+void normalize_rows(Matrix& w);
+
+// Clamps every entry into [0, 1].
+void clip01(Matrix& w);
+
+// Per-row argmax -> 0-based plane labels. Ties resolve to the lowest plane.
+std::vector<int> harden(const Matrix& w);
+
+// One-hot matrix from labels (used by tests and the refinement pass).
+Matrix one_hot(const std::vector<int>& labels, int num_planes);
+
+}  // namespace sfqpart

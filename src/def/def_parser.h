@@ -1,0 +1,88 @@
+// DEF (Design Exchange Format) subset reader.
+//
+// Reads what the partitioning flow needs from a post-P&R SFQ design (the
+// paper's benchmark format, reference [22]): DESIGN, UNITS, DIEAREA,
+// COMPONENTS with placement, PINS, and NETS connectivity. Routing sections
+// (SPECIALNETS wiring, TRACKS, GCELLGRID, VIAS) are skipped.
+//
+// def_to_netlist() converts a parsed design into a Netlist against a cell
+// library, using the standard pin naming convention of lef_parser.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "def/lef_parser.h"
+#include "netlist/netlist.h"
+#include "util/status.h"
+
+namespace sfqpart::def {
+
+struct DefPoint {
+  long long x = 0;  // database units
+  long long y = 0;
+
+  bool operator==(const DefPoint&) const = default;
+};
+
+struct DefComponent {
+  std::string name;
+  std::string macro;
+  bool placed = false;
+  DefPoint location;
+  std::string orient = "N";
+};
+
+struct DefPin {
+  std::string name;
+  std::string net;
+  PinDirection direction = PinDirection::kUnknown;
+};
+
+struct DefNetConn {
+  std::string component;  // "PIN" for a top-level pin connection
+  std::string pin;
+
+  bool is_top_pin() const { return component == "PIN"; }
+};
+
+struct DefNet {
+  std::string name;
+  std::vector<DefNetConn> connections;
+};
+
+struct DefDesign {
+  std::string name;
+  int dbu_per_micron = 1000;
+  DefPoint die_lo;
+  DefPoint die_hi;
+  std::vector<DefComponent> components;
+  std::vector<DefPin> pins;
+  std::vector<DefNet> nets;
+
+  const DefComponent* find_component(const std::string& name) const;
+  double die_area_mm2() const;
+};
+
+StatusOr<DefDesign> parse_def(const std::string& text);
+StatusOr<DefDesign> read_def_file(const std::string& path);
+
+// Inverse of the standard pin naming convention (lef_parser.h): resolves a
+// pin name on a cell to its role and index. Shared by the DEF and Verilog
+// netlist builders.
+struct ResolvedPin {
+  bool is_output = false;
+  bool is_clock = false;
+  int index = 0;
+};
+StatusOr<ResolvedPin> resolve_standard_pin(const Cell& cell,
+                                           const std::string& pin_name);
+
+// Builds a Netlist from a DEF design. Every component macro must exist in
+// `library`; net terms must reference known pins (per the standard naming
+// convention). Top-level pins become kInput/kOutput interface gates named
+// "pin:<name>". Clock nets (all sinks on CLK pins) are wired with
+// connect_clock.
+StatusOr<Netlist> def_to_netlist(const DefDesign& design, const CellLibrary& library);
+
+}  // namespace sfqpart::def

@@ -1,0 +1,176 @@
+#include "def/def_writer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "def/lef_parser.h"
+#include "util/strings.h"
+
+namespace sfqpart::def {
+namespace {
+
+std::string pin_display_name(const Netlist& netlist, GateId gate) {
+  const std::string& name = netlist.gate(gate).name;
+  if (starts_with(name, "pin:")) return name.substr(4);
+  return name;
+}
+
+// Net names derive from driver gate names, which may carry the internal
+// "pin:" prefix; DEF identifiers use '_' instead of ':'.
+std::string sanitize_net_name(std::string name) {
+  for (char& c : name) {
+    if (c == ':') c = '_';
+  }
+  return name;
+}
+
+std::string term_for(const Netlist& netlist, GateId gate, const std::string& pin) {
+  if (netlist.is_io(gate)) {
+    return "( PIN " + pin_display_name(netlist, gate) + " )";
+  }
+  return "( " + netlist.gate(gate).name + " " + pin + " )";
+}
+
+}  // namespace
+
+namespace {
+
+// Emits everything after COMPONENTS; shared by both writer entry points.
+std::string write_def_body(const Netlist& netlist, const DefWriterOptions& options,
+                           const std::string& components_section,
+                           double die_width_um, double die_height_um);
+
+}  // namespace
+
+std::string write_def(const Netlist& netlist, const DefWriterOptions& options) {
+  const double dbu = options.dbu_per_micron;
+
+  // Row placement of non-I/O components, sized from total area.
+  std::vector<GateId> placeable;
+  double total_area = 0.0;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_io(g)) continue;
+    placeable.push_back(g);
+    total_area += netlist.area_of(g);
+  }
+  const double target_area = total_area / std::max(0.05, options.utilization);
+  double die_side = std::sqrt(std::max(target_area, 1.0));
+  die_side = std::ceil(die_side / options.row_height_um) * options.row_height_um;
+
+  std::string components = str_format("\nCOMPONENTS %zu ;\n", placeable.size());
+  double x = 0.0;
+  double y = 0.0;
+  for (const GateId g : placeable) {
+    const Cell& cell = netlist.cell_of(g);
+    const double width = cell.area_um2 > 0.0 ? cell.area_um2 / options.row_height_um
+                                             : options.row_height_um;
+    if (x + width > die_side) {
+      x = 0.0;
+      y += options.row_height_um;
+    }
+    components += str_format("  - %s %s + PLACED ( %lld %lld ) N ;\n",
+                      netlist.gate(g).name.c_str(), cell.name.c_str(),
+                      static_cast<long long>(x * dbu), static_cast<long long>(y * dbu));
+    x += width;
+  }
+  components += "END COMPONENTS\n";
+  return write_def_body(netlist, options, components, die_side, die_side);
+}
+
+std::string write_def_placed(const Netlist& netlist, const DefWriterOptions& options,
+                             const std::vector<double>& x_um,
+                             const std::vector<double>& y_um) {
+  assert(static_cast<int>(x_um.size()) == netlist.num_gates());
+  assert(static_cast<int>(y_um.size()) == netlist.num_gates());
+  const double dbu = options.dbu_per_micron;
+
+  std::vector<GateId> placeable;
+  double die_w = options.row_height_um;
+  double die_h = options.row_height_um;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_io(g)) continue;
+    placeable.push_back(g);
+    const double width = netlist.area_of(g) > 0.0
+                             ? netlist.area_of(g) / options.row_height_um
+                             : options.row_height_um;
+    die_w = std::max(die_w, x_um[static_cast<std::size_t>(g)] + width);
+    die_h = std::max(die_h, y_um[static_cast<std::size_t>(g)] + options.row_height_um);
+  }
+
+  std::string components = str_format("\nCOMPONENTS %zu ;\n", placeable.size());
+  for (const GateId g : placeable) {
+    components += str_format(
+        "  - %s %s + PLACED ( %lld %lld ) N ;\n", netlist.gate(g).name.c_str(),
+        netlist.cell_of(g).name.c_str(),
+        static_cast<long long>(x_um[static_cast<std::size_t>(g)] * dbu),
+        static_cast<long long>(y_um[static_cast<std::size_t>(g)] * dbu));
+  }
+  components += "END COMPONENTS\n";
+  return write_def_body(netlist, options, components, die_w, die_h);
+}
+
+namespace {
+
+std::string write_def_body(const Netlist& netlist, const DefWriterOptions& options,
+                           const std::string& components_section,
+                           double die_width_um, double die_height_um) {
+  const double dbu = options.dbu_per_micron;
+  std::string out;
+  out += "VERSION 5.8 ;\nDIVIDERCHAR \"/\" ;\nBUSBITCHARS \"[]\" ;\n";
+  out += "DESIGN " + netlist.name() + " ;\n";
+  out += str_format("UNITS DISTANCE MICRONS %d ;\n", options.dbu_per_micron);
+  out += str_format("DIEAREA ( 0 0 ) ( %lld %lld ) ;\n",
+                    static_cast<long long>(die_width_um * dbu),
+                    static_cast<long long>(die_height_um * dbu));
+  out += components_section;
+
+  // PINS from interface gates. The pin's NET is the net on its single
+  // data pin (output net for inputs, input net for outputs).
+  std::vector<GateId> io_gates;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_io(g)) io_gates.push_back(g);
+  }
+  out += str_format("\nPINS %zu ;\n", io_gates.size());
+  for (const GateId g : io_gates) {
+    const bool is_input = netlist.cell_of(g).kind == CellKind::kInput;
+    const NetId net_id = is_input ? netlist.output_net(g, 0) : netlist.input_net(g, 0);
+    const std::string net_name =
+        net_id == kInvalidNet ? "unconnected"
+                              : sanitize_net_name(netlist.net(net_id).name);
+    out += str_format("  - %s + NET %s + DIRECTION %s + USE SIGNAL ;\n",
+                      pin_display_name(netlist, g).c_str(), net_name.c_str(),
+                      is_input ? "INPUT" : "OUTPUT");
+  }
+  out += "END PINS\n";
+
+  // NETS.
+  int connected_nets = 0;
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    if (netlist.net(n).driver.gate != kInvalidGate && !netlist.net(n).sinks.empty()) {
+      ++connected_nets;
+    }
+  }
+  out += str_format("\nNETS %d ;\n", connected_nets);
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    if (net.driver.gate == kInvalidGate || net.sinks.empty()) continue;
+    const Cell& driver_cell = netlist.cell_of(net.driver.gate);
+    std::string line = "  - " + sanitize_net_name(net.name) + " " +
+                       term_for(netlist, net.driver.gate,
+                                output_pin_name(net.driver.pin, driver_cell.num_outputs));
+    for (const PinRef& sink : net.sinks) {
+      const std::string pin_name =
+          sink.pin == kClockPin ? kClockPinName : input_pin_name(sink.pin);
+      line += " " + term_for(netlist, sink.gate, pin_name);
+    }
+    out += line + " + USE SIGNAL ;\n";
+  }
+  out += "END NETS\n\nEND DESIGN\n";
+  return out;
+}
+
+}  // namespace
+
+}  // namespace sfqpart::def

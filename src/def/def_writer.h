@@ -1,0 +1,29 @@
+// DEF writer: serializes a Netlist (with an automatic row placement) back
+// to the DEF subset understood by def_parser. Interface gates (kInput /
+// kOutput cells) are emitted as top-level PINS; an optional "pin:" name
+// prefix is stripped so that write -> parse round-trips reproduce names.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart::def {
+
+struct DefWriterOptions {
+  int dbu_per_micron = 1000;
+  double row_height_um = 60.0;
+  // Placement-row fill factor used to size the die.
+  double utilization = 0.85;
+};
+
+std::string write_def(const Netlist& netlist, const DefWriterOptions& options = {});
+
+// Writes with an externally computed placement (e.g. the plane-stripe
+// floorplanner's): per-gate lower-left coordinates in um, indexed by
+// GateId. The die is sized to the placement's bounding box.
+std::string write_def_placed(const Netlist& netlist, const DefWriterOptions& options,
+                             const std::vector<double>& x_um,
+                             const std::vector<double>& y_um);
+
+}  // namespace sfqpart::def

@@ -1,0 +1,202 @@
+#include "def/lef_parser.h"
+
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+#include "def/lexer.h"
+#include "netlist/cell_library.h"
+#include "util/strings.h"
+
+namespace sfqpart::def {
+namespace {
+
+PinDirection parse_direction(const std::string& text) {
+  const std::string upper = to_upper(text);
+  if (upper == "INPUT") return PinDirection::kInput;
+  if (upper == "OUTPUT") return PinDirection::kOutput;
+  if (upper == "INOUT") return PinDirection::kInout;
+  return PinDirection::kUnknown;
+}
+
+// PIN <name> ... END <name>
+Status parse_pin(TokenStream& ts, LefMacro& macro) {
+  if (ts.at_end()) return ts.error("unexpected end of file in PIN");
+  LefPin pin;
+  pin.name = ts.take();
+  while (!ts.at_end()) {
+    const std::string word = ts.take();
+    if (word == "END") {
+      if (ts.at_end()) return ts.error("unexpected end of file after END");
+      const std::string closer = ts.take();
+      if (closer != pin.name) {
+        return ts.error("PIN '" + pin.name + "' closed by END '" + closer + "'");
+      }
+      macro.pins.push_back(std::move(pin));
+      return Status::ok();
+    }
+    if (word == "DIRECTION") {
+      if (ts.at_end()) return ts.error("DIRECTION needs a value");
+      pin.direction = parse_direction(ts.take());
+      ts.skip_statement();
+    } else if (word == "USE") {
+      if (ts.at_end()) return ts.error("USE needs a value");
+      pin.use = to_upper(ts.take());
+      ts.skip_statement();
+    } else if (word == "PORT") {
+      // Skip geometry until the matching END (PORT blocks have no name).
+      while (!ts.at_end() && ts.peek() != "END") ts.take();
+      if (!ts.accept("END")) return ts.error("unterminated PORT");
+    }
+    // Other pin properties (SHAPE, ANTENNA*) are statement-shaped; they are
+    // consumed by the loop via their trailing tokens or skip_statement above.
+  }
+  return ts.error("unterminated PIN '" + pin.name + "'");
+}
+
+// MACRO <name> ... END <name>
+Status parse_macro(TokenStream& ts, LefLibrary& lib) {
+  if (ts.at_end()) return ts.error("unexpected end of file in MACRO");
+  LefMacro macro;
+  macro.name = ts.take();
+  while (!ts.at_end()) {
+    const std::string word = ts.take();
+    if (word == "END") {
+      if (ts.at_end()) return ts.error("unexpected end of file after END");
+      const std::string closer = ts.take();
+      if (closer != macro.name) {
+        return ts.error("MACRO '" + macro.name + "' closed by END '" + closer + "'");
+      }
+      lib.macros.emplace(macro.name, std::move(macro));
+      return Status::ok();
+    }
+    if (word == "CLASS") {
+      if (ts.at_end()) return ts.error("CLASS needs a value");
+      macro.macro_class = to_upper(ts.take());
+      ts.skip_statement();
+    } else if (word == "SIZE") {
+      auto width = ts.take_double();
+      if (!width) return width.status();
+      if (auto st = ts.expect("BY"); !st) return st;
+      auto height = ts.take_double();
+      if (!height) return height.status();
+      if (auto st = ts.expect(";"); !st) return st;
+      macro.width_um = *width;
+      macro.height_um = *height;
+    } else if (word == "PIN") {
+      if (auto st = parse_pin(ts, macro); !st) return st;
+    } else if (word == "ORIGIN" || word == "SYMMETRY" || word == "SITE" ||
+               word == "FOREIGN") {
+      ts.skip_statement();
+    } else if (word == "OBS") {
+      while (!ts.at_end() && ts.peek() != "END") ts.take();
+      if (!ts.accept("END")) return ts.error("unterminated OBS");
+    }
+  }
+  return ts.error("unterminated MACRO '" + macro.name + "'");
+}
+
+}  // namespace
+
+const LefPin* LefMacro::find_pin(const std::string& pin_name) const {
+  for (const LefPin& pin : pins) {
+    if (pin.name == pin_name) return &pin;
+  }
+  return nullptr;
+}
+
+const LefMacro* LefLibrary::find(const std::string& name) const {
+  auto it = macros.find(name);
+  return it == macros.end() ? nullptr : &it->second;
+}
+
+StatusOr<LefLibrary> parse_lef(const std::string& text) {
+  TokenStream ts = tokenize(text);
+  LefLibrary lib;
+  while (!ts.at_end()) {
+    const std::string word = ts.take();
+    if (word == "MACRO") {
+      if (auto st = parse_macro(ts, lib); !st) return st;
+    } else if (word == "END") {
+      // END LIBRARY finishes the file; END <name> closes an anonymous-ish
+      // block whose statements were consumed one by one (UNITS, ...).
+      if (!ts.at_end() && ts.peek() == "LIBRARY") {
+        ts.take();
+        break;
+      }
+      if (!ts.at_end()) ts.take();
+    } else if (word == "LAYER" || word == "VIA" || word == "VIARULE" ||
+               word == "SITE" || word == "SPACING") {
+      // Skip the whole named block: LAYER <name> ... END <name>.
+      if (ts.at_end()) return ts.error(word + " needs a name");
+      const std::string name = ts.take();
+      for (;;) {
+        if (ts.at_end()) return ts.error("unterminated " + word + " '" + name + "'");
+        if (ts.take() == "END") {
+          if (!ts.at_end() && ts.peek() == name) {
+            ts.take();
+            break;
+          }
+        }
+      }
+    } else {
+      // VERSION, NAMESCASESENSITIVE, UNITS values, etc.
+      ts.skip_statement();
+    }
+  }
+  return lib;
+}
+
+StatusOr<LefLibrary> read_lef_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::error("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_lef(buffer.str());
+}
+
+std::string input_pin_name(int index) {
+  assert(index >= 0);
+  std::string name;
+  // A, B, ..., Z, A1, B1, ... — two-input cells dominate, so this stays "A"/"B".
+  name += static_cast<char>('A' + index % 26);
+  if (index >= 26) name += std::to_string(index / 26);
+  return name;
+}
+
+std::string output_pin_name(int index, int num_outputs) {
+  assert(index >= 0 && index < num_outputs);
+  if (num_outputs == 1) return "Q";
+  std::string name = "Q";
+  name += std::to_string(index);
+  return name;
+}
+
+std::string write_lef(const CellLibrary& library) {
+  std::string out;
+  out += "VERSION 5.8 ;\nNAMESCASESENSITIVE ON ;\nUNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n\n";
+  constexpr double kRowHeightUm = 60.0;
+  for (const Cell& cell : library.cells()) {
+    const double width = cell.area_um2 > 0.0 ? cell.area_um2 / kRowHeightUm : kRowHeightUm;
+    out += "MACRO " + cell.name + "\n";
+    out += "  CLASS CORE ;\n";
+    out += str_format("  SIZE %.3f BY %.3f ;\n", width, kRowHeightUm);
+    for (int i = 0; i < cell.num_inputs; ++i) {
+      out += "  PIN " + input_pin_name(i) + "\n    DIRECTION INPUT ;\n    USE SIGNAL ;\n  END " +
+             input_pin_name(i) + "\n";
+    }
+    if (cell.is_clocked()) {
+      out += std::string("  PIN ") + kClockPinName +
+             "\n    DIRECTION INPUT ;\n    USE CLOCK ;\n  END " + kClockPinName + "\n";
+    }
+    for (int i = 0; i < cell.num_outputs; ++i) {
+      const std::string name = output_pin_name(i, cell.num_outputs);
+      out += "  PIN " + name + "\n    DIRECTION OUTPUT ;\n    USE SIGNAL ;\n  END " + name + "\n";
+    }
+    out += "END " + cell.name + "\n\n";
+  }
+  out += "END LIBRARY\n";
+  return out;
+}
+
+}  // namespace sfqpart::def

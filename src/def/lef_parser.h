@@ -1,0 +1,61 @@
+// LEF (Library Exchange Format) subset reader.
+//
+// Reads the macro geometry the DEF flow needs: MACRO blocks with CLASS,
+// SIZE, and PIN name/direction/use. Technology sections (LAYER, VIA, SITE)
+// are skipped. This matches the LEF/DEF subset the SFQ benchmark suite of
+// the paper uses (reference [22]).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sfqpart {
+class CellLibrary;
+}
+
+namespace sfqpart::def {
+
+enum class PinDirection { kInput, kOutput, kInout, kUnknown };
+
+struct LefPin {
+  std::string name;
+  PinDirection direction = PinDirection::kUnknown;
+  std::string use;  // SIGNAL, CLOCK, POWER, GROUND, "" if unspecified
+};
+
+struct LefMacro {
+  std::string name;
+  std::string macro_class;  // e.g. "CORE"
+  double width_um = 0.0;
+  double height_um = 0.0;
+  std::vector<LefPin> pins;
+
+  const LefPin* find_pin(const std::string& pin_name) const;
+  double area_um2() const { return width_um * height_um; }
+};
+
+struct LefLibrary {
+  std::map<std::string, LefMacro> macros;
+
+  const LefMacro* find(const std::string& name) const;
+};
+
+StatusOr<LefLibrary> parse_lef(const std::string& text);
+StatusOr<LefLibrary> read_lef_file(const std::string& path);
+
+// Standard pin naming convention shared by the LEF/DEF writer and the
+// DEF-to-netlist converter: data inputs "A", "B", "C", ...; outputs "Q"
+// (or "Q0", "Q1" for multi-output cells); clock "CLK".
+std::string input_pin_name(int index);
+std::string output_pin_name(int index, int num_outputs);
+inline constexpr const char* kClockPinName = "CLK";
+
+// Generates LEF text for a cell library: one MACRO per cell with a
+// rectangular footprint matching the cell's area (fixed 60 um row height)
+// and the standard pin names above.
+std::string write_lef(const CellLibrary& library);
+
+}  // namespace sfqpart::def

@@ -1,0 +1,124 @@
+#include "def/lexer.h"
+
+#include <cassert>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace sfqpart::def {
+namespace {
+
+bool is_punct(char c) {
+  return c == '(' || c == ')' || c == ';' || c == '+' || c == '-';
+}
+
+// `-` and `+` start numbers as well as acting as item markers; treat them
+// as punctuation only when not immediately followed by a digit or dot.
+bool splits_here(const std::string& text, std::size_t i) {
+  const char c = text[i];
+  if (c == '(' || c == ')' || c == ';') return true;
+  if (c == '+' || c == '-') {
+    const char next = i + 1 < text.size() ? text[i + 1] : ' ';
+    return !(std::isdigit(static_cast<unsigned char>(next)) || next == '.');
+  }
+  return false;
+}
+
+}  // namespace
+
+TokenStream tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(Token{current, line});
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      flush();
+      ++line;
+      continue;
+    }
+    if (c == '#') {  // line comment
+      flush();
+      while (i + 1 < text.size() && text[i + 1] != '\n') ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+      continue;
+    }
+    if (is_punct(c) && splits_here(text, i)) {
+      flush();
+      tokens.push_back(Token{std::string(1, c), line});
+      continue;
+    }
+    current += c;
+  }
+  flush();
+  return TokenStream(std::move(tokens));
+}
+
+const std::string& TokenStream::peek() const {
+  static const std::string kEmpty;
+  return at_end() ? kEmpty : tokens_[pos_].text;
+}
+
+int TokenStream::line() const {
+  if (tokens_.empty()) return 0;
+  return at_end() ? tokens_.back().line : tokens_[pos_].line;
+}
+
+std::string TokenStream::take() {
+  assert(!at_end());
+  return tokens_[pos_++].text;
+}
+
+bool TokenStream::accept(const std::string& expected) {
+  if (!at_end() && tokens_[pos_].text == expected) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+Status TokenStream::expect(const std::string& expected) {
+  if (at_end()) return error("unexpected end of file, expected '" + expected + "'");
+  if (tokens_[pos_].text != expected) {
+    return error("expected '" + expected + "', got '" + tokens_[pos_].text + "'");
+  }
+  ++pos_;
+  return Status::ok();
+}
+
+StatusOr<long long> TokenStream::take_int() {
+  if (at_end()) return error("unexpected end of file, expected integer");
+  const auto value = parse_int(tokens_[pos_].text);
+  if (!value) return error("expected integer, got '" + tokens_[pos_].text + "'");
+  ++pos_;
+  return *value;
+}
+
+StatusOr<double> TokenStream::take_double() {
+  if (at_end()) return error("unexpected end of file, expected number");
+  const auto value = parse_double(tokens_[pos_].text);
+  if (!value) return error("expected number, got '" + tokens_[pos_].text + "'");
+  ++pos_;
+  return *value;
+}
+
+void TokenStream::skip_statement() {
+  while (!at_end()) {
+    if (take() == ";") return;
+  }
+}
+
+Status TokenStream::error(const std::string& message) const {
+  return Status::error(str_format("line %d: %s", line(), message.c_str()));
+}
+
+}  // namespace sfqpart::def

@@ -1,0 +1,58 @@
+// Shared tokenizer for the LEF/DEF readers.
+//
+// LEF/DEF are whitespace-separated token streams with `#` line comments and
+// statements terminated by `;`. The lexer also splits the punctuation
+// characters ( ) - + ; into standalone tokens even when glued to a word,
+// and tracks line numbers for error messages.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sfqpart::def {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  bool at_end() const { return pos_ >= tokens_.size(); }
+  // Current token text; empty string at end.
+  const std::string& peek() const;
+  int line() const;
+
+  // Consumes and returns the current token. Asserts if at end.
+  std::string take();
+
+  // Consumes the current token if it equals `expected`; returns whether it did.
+  bool accept(const std::string& expected);
+
+  // Consumes the current token, requiring it to equal `expected`.
+  Status expect(const std::string& expected);
+
+  // Consumes one token and parses it as an integer / double.
+  StatusOr<long long> take_int();
+  StatusOr<double> take_double();
+
+  // Skips tokens up to and including the next `;`.
+  void skip_statement();
+
+  // Error with current line context.
+  Status error(const std::string& message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+// Tokenizes LEF/DEF text.
+TokenStream tokenize(const std::string& text);
+
+}  // namespace sfqpart::def

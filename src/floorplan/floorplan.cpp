@@ -1,0 +1,237 @@
+#include "floorplan/floorplan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/strings.h"
+
+namespace sfqpart {
+namespace {
+
+double cell_width(const Netlist& netlist, GateId g, double row_height) {
+  const double area = netlist.area_of(g);
+  return area > 0.0 ? area / row_height : row_height;
+}
+
+}  // namespace
+
+Floorplan build_floorplan(const Netlist& netlist, const Partition& partition,
+                          const FloorplanOptions& options) {
+  assert(options.utilization > 0.05);
+  const int num_planes = partition.num_planes;
+
+  // Gates per plane and area per plane.
+  std::vector<std::vector<GateId>> plane_gates(static_cast<std::size_t>(num_planes));
+  std::vector<double> plane_area(static_cast<std::size_t>(num_planes), 0.0);
+  double total_area = 0.0;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (!partition.assigned(g)) continue;
+    const auto plane = static_cast<std::size_t>(partition.plane(g));
+    plane_gates[plane].push_back(g);
+    plane_area[plane] += netlist.area_of(g);
+    total_area += netlist.area_of(g);
+  }
+
+  Floorplan plan;
+  // Square-ish die: width from total area at target utilization.
+  plan.die_width_um = std::ceil(
+      std::sqrt(std::max(total_area / options.utilization, 1.0)) /
+      options.row_height_um) * options.row_height_um;
+
+  // Stripe heights, top-down (plane 0 on top, matching the bias stack).
+  plan.stripes.resize(static_cast<std::size_t>(num_planes));
+  double total_height = 0.0;
+  for (int k = 0; k < num_planes; ++k) {
+    const double needed =
+        plane_area[static_cast<std::size_t>(k)] / options.utilization;
+    const int rows = std::max(
+        1, static_cast<int>(std::ceil(needed / (plan.die_width_um * options.row_height_um))));
+    plan.stripes[static_cast<std::size_t>(k)].plane = k;
+    plan.stripes[static_cast<std::size_t>(k)].rows = rows;
+    total_height += rows * options.row_height_um;
+    if (k > 0) total_height += options.stripe_gap_um;
+  }
+  plan.die_height_um = total_height;
+
+  double y_top = plan.die_height_um;
+  for (int k = 0; k < num_planes; ++k) {
+    PlaneStripe& stripe = plan.stripes[static_cast<std::size_t>(k)];
+    stripe.y_hi_um = y_top;
+    stripe.y_lo_um = y_top - stripe.rows * options.row_height_um;
+    y_top = stripe.y_lo_um - options.stripe_gap_um;
+  }
+
+  plan.x_um.assign(static_cast<std::size_t>(netlist.num_gates()), 0.0);
+  plan.y_um.assign(static_cast<std::size_t>(netlist.num_gates()), 0.0);
+
+  // Initial within-stripe order: topological, so connected gates start
+  // near each other along x.
+  std::vector<int> topo_index(static_cast<std::size_t>(netlist.num_gates()), 0);
+  {
+    int position = 0;
+    for (const GateId g : netlist.topological_order()) {
+      topo_index[static_cast<std::size_t>(g)] = position++;
+    }
+  }
+  for (auto& gates : plane_gates) {
+    std::sort(gates.begin(), gates.end(), [&](GateId a, GateId b) {
+      return topo_index[static_cast<std::size_t>(a)] < topo_index[static_cast<std::size_t>(b)];
+    });
+  }
+
+  // Neighbor lists over all connections (clock edges included: they are
+  // wires too).
+  std::vector<std::vector<GateId>> neighbors(static_cast<std::size_t>(netlist.num_gates()));
+  for (const Connection& conn : netlist.connections()) {
+    neighbors[static_cast<std::size_t>(conn.from)].push_back(conn.to);
+    neighbors[static_cast<std::size_t>(conn.to)].push_back(conn.from);
+  }
+
+  // Packs a stripe's gates into serpentine rows in their current order.
+  auto pack = [&](const PlaneStripe& stripe, const std::vector<GateId>& gates) {
+    double x = 0.0;
+    int row = 0;
+    for (const GateId g : gates) {
+      const double width = cell_width(netlist, g, options.row_height_um);
+      if (x + width > plan.die_width_um && x > 0.0) {
+        x = 0.0;
+        row = std::min(row + 1, stripe.rows - 1);  // overflow stays in last row
+      }
+      plan.x_um[static_cast<std::size_t>(g)] = x;
+      plan.y_um[static_cast<std::size_t>(g)] =
+          stripe.y_hi_um - (row + 1) * options.row_height_um;
+      x += width;
+    }
+  };
+  for (int k = 0; k < num_planes; ++k) {
+    pack(plan.stripes[static_cast<std::size_t>(k)], plane_gates[static_cast<std::size_t>(k)]);
+  }
+
+  // Wirelength refinement: greedy adjacent-swap sweeps within each row.
+  // Swapping two same-row neighbors only moves those two cells, so the
+  // exact HPWL delta over their incident nets is cheap to evaluate and a
+  // swap is accepted only when it strictly helps -- total wirelength never
+  // increases over the topological-order baseline.
+  if (options.ordering_passes > 0) {
+    // HPWL contribution of the nets touching gate `a` or gate `b`.
+    auto incident_hpwl = [&](GateId a, GateId b) {
+      double total = 0.0;
+      std::vector<NetId> nets;
+      for (const GateId g : {a, b}) {
+        const Cell& cell = netlist.cell_of(g);
+        for (int pin = 0; pin < cell.num_outputs; ++pin) {
+          if (const NetId n = netlist.output_net(g, pin); n != kInvalidNet) {
+            nets.push_back(n);
+          }
+        }
+        for (int pin = 0; pin < cell.num_inputs; ++pin) {
+          if (const NetId n = netlist.input_net(g, pin); n != kInvalidNet) {
+            nets.push_back(n);
+          }
+        }
+        if (const NetId n = netlist.clock_net(g); n != kInvalidNet) {
+          nets.push_back(n);
+        }
+      }
+      std::sort(nets.begin(), nets.end());
+      nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+      for (const NetId n : nets) {
+        const Net& net = netlist.net(n);
+        if (net.sinks.empty()) continue;
+        double x_lo = plan.x_um[static_cast<std::size_t>(net.driver.gate)];
+        double x_hi = x_lo;
+        double y_lo = plan.y_um[static_cast<std::size_t>(net.driver.gate)];
+        double y_hi = y_lo;
+        for (const PinRef& sink : net.sinks) {
+          const auto us = static_cast<std::size_t>(sink.gate);
+          x_lo = std::min(x_lo, plan.x_um[us]);
+          x_hi = std::max(x_hi, plan.x_um[us]);
+          y_lo = std::min(y_lo, plan.y_um[us]);
+          y_hi = std::max(y_hi, plan.y_um[us]);
+        }
+        total += (x_hi - x_lo) + (y_hi - y_lo);
+      }
+      return total;
+    };
+
+    for (int pass = 0; pass < options.ordering_passes; ++pass) {
+      bool improved = false;
+      for (auto& gates : plane_gates) {
+        for (std::size_t i = 0; i + 1 < gates.size(); ++i) {
+          const GateId a = gates[i];
+          const GateId b = gates[i + 1];
+          const auto ua = static_cast<std::size_t>(a);
+          const auto ub = static_cast<std::size_t>(b);
+          if (plan.y_um[ua] != plan.y_um[ub]) continue;  // row boundary
+          const double xa = plan.x_um[ua];
+          const double wa = cell_width(netlist, a, options.row_height_um);
+          const double wb = cell_width(netlist, b, options.row_height_um);
+          const double before = incident_hpwl(a, b);
+          plan.x_um[ub] = xa;
+          plan.x_um[ua] = xa + wb;
+          if (incident_hpwl(a, b) + 1e-9 < before) {
+            std::swap(gates[i], gates[i + 1]);
+            improved = true;
+          } else {
+            plan.x_um[ua] = xa;        // revert
+            plan.x_um[ub] = xa + wa;
+          }
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  // I/O gates on the left edge of the die, spread vertically (the pad
+  // ring shares a common ground; exact pad placement is out of scope).
+  std::vector<GateId> io;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_io(g)) io.push_back(g);
+  }
+  for (std::size_t i = 0; i < io.size(); ++i) {
+    plan.x_um[static_cast<std::size_t>(io[i])] = 0.0;
+    plan.y_um[static_cast<std::size_t>(io[i])] =
+        plan.die_height_um * static_cast<double>(i) /
+        std::max<std::size_t>(1, io.size());
+  }
+  return plan;
+}
+
+double total_hpwl_um(const Netlist& netlist, const Floorplan& floorplan) {
+  double total = 0.0;
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    if (net.driver.gate == kInvalidGate || net.sinks.empty()) continue;
+    double x_lo = floorplan.x_um[static_cast<std::size_t>(net.driver.gate)];
+    double x_hi = x_lo;
+    double y_lo = floorplan.y_um[static_cast<std::size_t>(net.driver.gate)];
+    double y_hi = y_lo;
+    for (const PinRef& sink : net.sinks) {
+      const double x = floorplan.x_um[static_cast<std::size_t>(sink.gate)];
+      const double y = floorplan.y_um[static_cast<std::size_t>(sink.gate)];
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+    }
+    total += (x_hi - x_lo) + (y_hi - y_lo);
+  }
+  return total;
+}
+
+std::string format_floorplan(const Netlist& netlist, const Floorplan& floorplan) {
+  std::string out = str_format(
+      "floorplan: die %.0f x %.0f um (%.4f mm^2), HPWL %.2f mm\n",
+      floorplan.die_width_um, floorplan.die_height_um,
+      floorplan.die_width_um * floorplan.die_height_um * 1e-6,
+      total_hpwl_um(netlist, floorplan) * 1e-3);
+  for (const PlaneStripe& stripe : floorplan.stripes) {
+    out += str_format("  GP%-2d stripe y = [%7.0f, %7.0f) um, %d rows\n",
+                      stripe.plane, stripe.y_lo_um, stripe.y_hi_um, stripe.rows);
+  }
+  return out;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,65 @@
+// Plane-aware floorplanning.
+//
+// The paper's layout model (section III-B, Fig. 1) stacks the K ground
+// planes as full-width horizontal stripes: plane k is physically adjacent
+// to planes k-1 and k+1 only, which is where the |plane distance| term of
+// the cost function comes from. This module realizes a partition as that
+// stripe floorplan: it sizes the die, allocates one stripe of standard-
+// cell rows per plane (proportional to the plane's area), orders gates
+// within each stripe with barycenter passes to shorten wires, and packs
+// them into rows. The result quantifies the wirelength the partition
+// implies and feeds the DEF writer for a placed design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+
+namespace sfqpart {
+
+struct FloorplanOptions {
+  double row_height_um = 60.0;
+  // Row fill factor: stripe widths are sized so rows are this full.
+  double utilization = 0.80;
+  // Greedy same-row adjacent-swap wirelength sweeps over the topological
+  // seed order (0 = keep the seed order; never increases wirelength).
+  int ordering_passes = 4;
+  // Gap between adjacent plane stripes (moat separating the ground
+  // planes; coupling pairs sit across it).
+  double stripe_gap_um = 20.0;
+};
+
+struct PlaneStripe {
+  int plane = 0;
+  double y_lo_um = 0.0;  // bottom edge
+  double y_hi_um = 0.0;  // top edge
+  int rows = 0;
+};
+
+struct Floorplan {
+  double die_width_um = 0.0;
+  double die_height_um = 0.0;
+  // Stripes in stack order: plane 0 at the top of the die (matching the
+  // bias stack of Fig. 1), one per plane.
+  std::vector<PlaneStripe> stripes;
+  // Per-gate placement (lower-left corner), indexed by GateId; I/O gates
+  // sit on the die's left/right edges.
+  std::vector<double> x_um;
+  std::vector<double> y_um;
+
+  const PlaneStripe& stripe_of(int plane) const {
+    return stripes.at(static_cast<std::size_t>(plane));
+  }
+};
+
+Floorplan build_floorplan(const Netlist& netlist, const Partition& partition,
+                          const FloorplanOptions& options = {});
+
+// Half-perimeter wirelength over all nets (both endpoints placed).
+double total_hpwl_um(const Netlist& netlist, const Floorplan& floorplan);
+
+// Stripe table plus aggregate wirelength, for the examples.
+std::string format_floorplan(const Netlist& netlist, const Floorplan& floorplan);
+
+}  // namespace sfqpart

@@ -1,0 +1,67 @@
+#include "gen/alu.h"
+
+#include <cassert>
+#include <vector>
+
+#include "gen/fold.h"
+#include "gen/logic_builder.h"
+#include "util/strings.h"
+
+namespace sfqpart {
+
+Netlist build_alu(int width) {
+  assert(width >= 2);
+  LogicBuilder b(str_format("alu%d", width));
+  FoldingOps ops(b);
+  const auto w = static_cast<std::size_t>(width);
+
+  std::vector<CSig> a(w);
+  std::vector<CSig> bb(w);
+  for (int i = 0; i < width; ++i) {
+    a[static_cast<std::size_t>(i)] = CSig::dyn(b.input(str_format("a[%d]", i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    bb[static_cast<std::size_t>(i)] = CSig::dyn(b.input(str_format("b[%d]", i)));
+  }
+  const CSig op0 = CSig::dyn(b.input("op[0]"));
+  const CSig op1 = CSig::dyn(b.input("op[1]"));
+
+  // Adder/subtractor: the B operand is conditionally inverted and the
+  // carry-in set for SUB (op = 01); both share one Kogge-Stone network.
+  const CSig subtract = ops.and2(ops.not1(op1), op0);
+  std::vector<CSig> b_eff(w);
+  for (std::size_t i = 0; i < w; ++i) b_eff[i] = ops.xor2(bb[i], subtract);
+  const std::vector<CSig> sum = ks_prefix_add(ops, a, b_eff, subtract);
+
+  // Logic unit.
+  std::vector<CSig> and_bits(w);
+  std::vector<CSig> xor_bits(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    and_bits[i] = ops.and2(a[i], bb[i]);
+    xor_bits[i] = ops.xor2(a[i], bb[i]);
+  }
+
+  // Result mux: op1 selects logic vs arithmetic, op0 selects within.
+  std::vector<CSig> y(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    const CSig logic = ops.mux2(op0, and_bits[i], xor_bits[i]);
+    y[i] = ops.mux2(op1, sum[i], logic);
+  }
+
+  // Flags: carry is only meaningful for arithmetic; zero covers y.
+  const CSig carry = ops.and2(ops.not1(op1), sum[w]);
+  CSig any = y[0];
+  for (std::size_t i = 1; i < w; ++i) any = ops.or2(any, y[i]);
+  const CSig zero = ops.not1(any);
+
+  for (int i = 0; i < width; ++i) {
+    assert(!y[static_cast<std::size_t>(i)].is_const());
+    b.output(str_format("y[%d]", i), y[static_cast<std::size_t>(i)].sig);
+  }
+  assert(!carry.is_const() && !zero.is_const());
+  b.output("carry", carry.sig);
+  b.output("zero", zero.sig);
+  return prune_unused(b.take());
+}
+
+}  // namespace sfqpart

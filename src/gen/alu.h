@@ -1,0 +1,18 @@
+// ALU generator: a realistic control+datapath circuit (the function class
+// of ISCAS85 C3540, an 8-bit ALU) built from the library's own adder.
+//
+// Operations, selected by op[1:0]:
+//   00  ADD   a + b            (Kogge-Stone carry network)
+//   01  SUB   a - b            (two's complement through the same adder)
+//   10  AND   a & b
+//   11  XOR   a ^ b
+// Outputs: y[0..W-1] and flags "zero" and "carry".
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+Netlist build_alu(int width);
+
+}  // namespace sfqpart

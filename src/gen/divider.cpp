@@ -1,0 +1,63 @@
+#include "gen/divider.h"
+
+#include <cassert>
+#include <vector>
+
+#include "gen/fold.h"
+#include "gen/logic_builder.h"
+#include "util/strings.h"
+
+namespace sfqpart {
+
+Netlist build_divider(int width) {
+  assert(width >= 2);
+  LogicBuilder b(str_format("id%d", width));
+  FoldingOps ops(b);
+  const auto w = static_cast<std::size_t>(width);
+
+  std::vector<CSig> n(w);
+  std::vector<CSig> d(w);
+  for (int i = 0; i < width; ++i) {
+    n[static_cast<std::size_t>(i)] = CSig::dyn(b.input(str_format("n[%d]", i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    d[static_cast<std::size_t>(i)] = CSig::dyn(b.input(str_format("d[%d]", i)));
+  }
+
+  // ~Dext once: the subtraction in every row is Rext + ~Dext + 1 (two's
+  // complement), computed with a Kogge-Stone prefix adder so a row costs
+  // O(log W) depth instead of a W-deep borrow ripple.
+  std::vector<CSig> not_dext(w + 1);
+  for (std::size_t j = 0; j < w; ++j) not_dext[j] = ops.not1(d[j]);
+  not_dext[w] = CSig::one();  // ~0
+
+  // Restoring division, one row per quotient bit (MSB first):
+  //   Rext = (R << 1) | n[i];  S = Rext - D;
+  //   q[i] = (S >= 0) = carry out;  R = q[i] ? S : Rext.
+  std::vector<CSig> r(w, CSig::zero());
+  std::vector<CSig> q(w);
+  for (int i = width - 1; i >= 0; --i) {
+    std::vector<CSig> rext(w + 1);
+    rext[0] = n[static_cast<std::size_t>(i)];
+    for (std::size_t j = 0; j < w; ++j) rext[j + 1] = r[j];
+
+    const std::vector<CSig> s = ks_prefix_add(ops, rext, not_dext, CSig::one());
+    q[static_cast<std::size_t>(i)] = s[w + 1];  // carry out <=> Rext >= D
+
+    // The invariant R < D keeps the remainder in W bits, so bit W of the
+    // selected value is always zero and only bits 0..W-1 are kept.
+    for (std::size_t j = 0; j < w; ++j) {
+      r[j] = ops.mux2(q[static_cast<std::size_t>(i)], rext[j], s[j]);
+    }
+  }
+
+  for (int i = 0; i < width; ++i) {
+    assert(!q[static_cast<std::size_t>(i)].is_const() && "degenerate quotient bit");
+    assert(!r[static_cast<std::size_t>(i)].is_const() && "degenerate remainder bit");
+    b.output(str_format("q[%d]", i), q[static_cast<std::size_t>(i)].sig);
+    b.output(str_format("r[%d]", i), r[static_cast<std::size_t>(i)].sig);
+  }
+  return prune_unused(b.take());
+}
+
+}  // namespace sfqpart

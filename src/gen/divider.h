@@ -1,0 +1,14 @@
+// Restoring integer divider generator (the ID4/ID8 circuits of Table I).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+// Builds a structural W-bit restoring array divider: inputs n[0..W-1]
+// (dividend) and d[0..W-1] (divisor); outputs q[0..W-1] (quotient) and
+// r[0..W-1] (remainder). Behaviour for d == 0 is unspecified, as in
+// hardware dividers without a zero-detect path.
+Netlist build_divider(int width);
+
+}  // namespace sfqpart

@@ -1,0 +1,88 @@
+#include "gen/fold.h"
+
+#include <cassert>
+
+namespace sfqpart {
+
+CSig FoldingOps::and2(CSig a, CSig b) {
+  if (a.konst == 0 || b.konst == 0) return CSig::zero();
+  if (a.konst == 1) return b;
+  if (b.konst == 1) return a;
+  return CSig::dyn(b_.and2(a.sig, b.sig));
+}
+
+CSig FoldingOps::or2(CSig a, CSig b) {
+  if (a.konst == 1 || b.konst == 1) return CSig::one();
+  if (a.konst == 0) return b;
+  if (b.konst == 0) return a;
+  return CSig::dyn(b_.or2(a.sig, b.sig));
+}
+
+CSig FoldingOps::xor2(CSig a, CSig b) {
+  if (a.konst == 0) return b;
+  if (b.konst == 0) return a;
+  if (a.konst == 1) return not1(b);
+  if (b.konst == 1) return not1(a);
+  return CSig::dyn(b_.xor2(a.sig, b.sig));
+}
+
+CSig FoldingOps::not1(CSig a) {
+  if (a.is_const()) return a.konst == 0 ? CSig::one() : CSig::zero();
+  return CSig::dyn(b_.not1(a.sig));
+}
+
+CSig FoldingOps::mux2(CSig sel, CSig if0, CSig if1) {
+  if (sel.konst == 0) return if0;
+  if (sel.konst == 1) return if1;
+  return or2(and2(not1(sel), if0), and2(sel, if1));
+}
+
+FoldingOps::SumCarry FoldingOps::half_adder(CSig a, CSig b) {
+  return SumCarry{xor2(a, b), and2(a, b)};
+}
+
+FoldingOps::SumCarry FoldingOps::full_adder(CSig a, CSig b, CSig c) {
+  const CSig ab = xor2(a, b);
+  return SumCarry{xor2(ab, c), or2(and2(a, b), and2(ab, c))};
+}
+
+std::vector<CSig> ks_prefix_add(FoldingOps& ops, const std::vector<CSig>& x,
+                                const std::vector<CSig>& y, CSig cin) {
+  assert(x.size() == y.size());
+  const std::size_t width = x.size();
+
+  // Bit-level generate/propagate; the carry-in folds into bit 0's generate
+  // (g0' = g0 | p0*cin).
+  std::vector<CSig> g(width);
+  std::vector<CSig> p(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    g[i] = ops.and2(x[i], y[i]);
+    p[i] = ops.xor2(x[i], y[i]);
+  }
+  std::vector<CSig> gg = g;
+  std::vector<CSig> pp = p;
+  if (cin.konst != 0) {
+    gg[0] = ops.or2(g[0], ops.and2(p[0], cin));
+  }
+  for (std::size_t dist = 1; dist < width; dist *= 2) {
+    std::vector<CSig> g_next = gg;
+    std::vector<CSig> p_next = pp;
+    for (std::size_t i = dist; i < width; ++i) {
+      g_next[i] = ops.or2(gg[i], ops.and2(pp[i], gg[i - dist]));
+      p_next[i] = ops.and2(pp[i], pp[i - dist]);
+    }
+    gg = std::move(g_next);
+    pp = std::move(p_next);
+  }
+
+  // sum_i = p_i ^ carry_i, carry_0 = cin, carry_{i+1} = G[i:0].
+  std::vector<CSig> out(width + 1);
+  out[0] = ops.xor2(p[0], cin);
+  for (std::size_t i = 1; i < width; ++i) {
+    out[i] = ops.xor2(p[i], gg[i - 1]);
+  }
+  out[width] = gg[width - 1];
+  return out;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,58 @@
+// Constant-folded signal algebra for the arithmetic generators.
+//
+// Generators frequently combine dynamic signals with known-zero bits (the
+// divider's initial remainder, a Wallace column's missing second row).
+// CSig tracks 0/1 constants symbolically and FoldingOps only instantiates
+// gates for genuinely dynamic terms, reproducing what logic synthesis
+// would emit. ks_prefix_add() is a shared Kogge-Stone adder used to keep
+// generator depth logarithmic (deep ripple structures would otherwise
+// drown the SFQ mapping in path-balancing DFFs).
+#pragma once
+
+#include <vector>
+
+#include "gen/logic_builder.h"
+
+namespace sfqpart {
+
+struct CSig {
+  int konst = -1;  // 0 or 1 when constant, -1 when dynamic
+  LogicBuilder::Signal sig{};
+
+  static CSig zero() { return CSig{0, {}}; }
+  static CSig one() { return CSig{1, {}}; }
+  static CSig dyn(LogicBuilder::Signal s) { return CSig{-1, s}; }
+  bool is_const() const { return konst >= 0; }
+};
+
+class FoldingOps {
+ public:
+  explicit FoldingOps(LogicBuilder& b) : b_(b) {}
+
+  CSig and2(CSig a, CSig b);
+  CSig or2(CSig a, CSig b);
+  CSig xor2(CSig a, CSig b);
+  CSig not1(CSig a);
+  // sel ? if1 : if0 (sel may be constant).
+  CSig mux2(CSig sel, CSig if0, CSig if1);
+
+  struct SumCarry {
+    CSig sum;
+    CSig carry;
+  };
+  SumCarry half_adder(CSig a, CSig b);
+  SumCarry full_adder(CSig a, CSig b, CSig c);
+
+  LogicBuilder& builder() { return b_; }
+
+ private:
+  LogicBuilder& b_;
+};
+
+// Kogge-Stone parallel-prefix addition x + y + cin over equal-width bit
+// vectors (LSB first). Returns width+1 bits; the last is the carry out.
+// Logic depth is O(log width).
+std::vector<CSig> ks_prefix_add(FoldingOps& ops, const std::vector<CSig>& x,
+                                const std::vector<CSig>& y, CSig cin);
+
+}  // namespace sfqpart

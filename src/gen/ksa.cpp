@@ -1,0 +1,63 @@
+#include "gen/ksa.h"
+
+#include <cassert>
+#include <vector>
+
+#include "gen/logic_builder.h"
+#include "util/strings.h"
+
+namespace sfqpart {
+
+Netlist build_ksa(int width) {
+  assert(width >= 1);
+  LogicBuilder b(str_format("ksa%d", width));
+  using Signal = LogicBuilder::Signal;
+
+  std::vector<Signal> a(static_cast<std::size_t>(width));
+  std::vector<Signal> bb(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    a[static_cast<std::size_t>(i)] = b.input(str_format("a[%d]", i));
+    bb[static_cast<std::size_t>(i)] = b.input(str_format("b[%d]", i));
+  }
+
+  // Preprocessing: generate/propagate per bit.
+  std::vector<Signal> g(static_cast<std::size_t>(width));
+  std::vector<Signal> p(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    g[static_cast<std::size_t>(i)] = b.and2(a[static_cast<std::size_t>(i)],
+                                            bb[static_cast<std::size_t>(i)]);
+    p[static_cast<std::size_t>(i)] = b.xor2(a[static_cast<std::size_t>(i)],
+                                            bb[static_cast<std::size_t>(i)]);
+  }
+
+  // Parallel-prefix tree: after the last level, g[i] is the carry out of
+  // bit i (i.e. the group generate G[i:0]). Propagate combines use AND of
+  // XOR-propagates, which is valid for carry computation.
+  std::vector<Signal> gg = g;
+  std::vector<Signal> pp = p;
+  for (int dist = 1; dist < width; dist *= 2) {
+    std::vector<Signal> g_next = gg;
+    std::vector<Signal> p_next = pp;
+    for (int i = dist; i < width; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const auto li = static_cast<std::size_t>(i - dist);
+      g_next[ui] = b.or2(gg[ui], b.and2(pp[ui], gg[li]));
+      p_next[ui] = b.and2(pp[ui], pp[li]);
+    }
+    gg = std::move(g_next);
+    pp = std::move(p_next);
+  }
+
+  // Postprocessing: s[0] = p[0]; s[i] = p[i] xor carry[i-1]; cout = carry[W-1].
+  b.output("s[0]", p[0]);
+  for (int i = 1; i < width; ++i) {
+    b.output(str_format("s[%d]", i),
+             b.xor2(p[static_cast<std::size_t>(i)], gg[static_cast<std::size_t>(i - 1)]));
+  }
+  b.output("cout", gg[static_cast<std::size_t>(width - 1)]);
+
+  // The last prefix level's propagate terms are dead; drop them.
+  return prune_unused(b.take());
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,13 @@
+// Kogge-Stone adder generator (the KSA4..KSA32 circuits of Table I).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+// Builds a structural W-bit Kogge-Stone adder: inputs a[0..W-1], b[0..W-1];
+// outputs s[0..W-1] and carry-out "cout". Use map_to_sfq() to obtain the
+// physical SFQ netlist.
+Netlist build_ksa(int width);
+
+}  // namespace sfqpart

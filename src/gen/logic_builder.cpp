@@ -1,0 +1,127 @@
+#include "gen/logic_builder.h"
+
+#include <cassert>
+
+namespace sfqpart {
+
+LogicBuilder::LogicBuilder(std::string name)
+    : netlist_(&structural_library(), std::move(name)) {}
+
+LogicBuilder::Signal LogicBuilder::input(const std::string& name) {
+  const GateId g = netlist_.add_gate_of_kind("pin:" + name, CellKind::kInput);
+  return Signal{g, 0};
+}
+
+void LogicBuilder::output(const std::string& name, Signal value) {
+  const GateId g = netlist_.add_gate_of_kind("pin:" + name, CellKind::kOutput);
+  netlist_.connect(value.gate, value.pin, g, 0);
+}
+
+LogicBuilder::Signal LogicBuilder::op2(CellKind kind, const char* prefix, Signal a,
+                                       Signal b) {
+  const GateId g = netlist_.add_gate_of_kind(
+      std::string(prefix) + "_" + std::to_string(next_id_++), kind);
+  netlist_.connect(a.gate, a.pin, g, 0);
+  netlist_.connect(b.gate, b.pin, g, 1);
+  return Signal{g, 0};
+}
+
+LogicBuilder::Signal LogicBuilder::op1(CellKind kind, const char* prefix, Signal a) {
+  const GateId g = netlist_.add_gate_of_kind(
+      std::string(prefix) + "_" + std::to_string(next_id_++), kind);
+  netlist_.connect(a.gate, a.pin, g, 0);
+  return Signal{g, 0};
+}
+
+LogicBuilder::Signal LogicBuilder::and2(Signal a, Signal b) {
+  return op2(CellKind::kAnd2, "and", a, b);
+}
+LogicBuilder::Signal LogicBuilder::or2(Signal a, Signal b) {
+  return op2(CellKind::kOr2, "or", a, b);
+}
+LogicBuilder::Signal LogicBuilder::xor2(Signal a, Signal b) {
+  return op2(CellKind::kXor2, "xor", a, b);
+}
+LogicBuilder::Signal LogicBuilder::not1(Signal a) {
+  return op1(CellKind::kNot, "not", a);
+}
+LogicBuilder::Signal LogicBuilder::dff(Signal a) {
+  return op1(CellKind::kDff, "dff", a);
+}
+
+LogicBuilder::Signal LogicBuilder::mux2(Signal sel, Signal if0, Signal if1) {
+  const Signal not_sel = not1(sel);
+  return or2(and2(not_sel, if0), and2(sel, if1));
+}
+
+LogicBuilder::SumCarry LogicBuilder::half_adder(Signal a, Signal b) {
+  return SumCarry{xor2(a, b), and2(a, b)};
+}
+
+LogicBuilder::SumCarry LogicBuilder::full_adder(Signal a, Signal b, Signal c) {
+  const Signal ab = xor2(a, b);
+  const Signal sum = xor2(ab, c);
+  const Signal carry = or2(and2(a, b), and2(ab, c));
+  return SumCarry{sum, carry};
+}
+
+Netlist prune_unused(const Netlist& netlist) {
+  // Backward reachability from primary outputs (and from gates with no
+  // outputs at all, e.g. kOutput cells) over data and clock edges.
+  std::vector<bool> keep(static_cast<std::size_t>(netlist.num_gates()), false);
+  std::vector<GateId> stack;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.cell_of(g).kind == CellKind::kOutput) {
+      keep[static_cast<std::size_t>(g)] = true;
+      stack.push_back(g);
+    }
+  }
+  // Primary inputs are always kept: they are the chip interface even when
+  // a particular input ends up unused by the pruned logic.
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.cell_of(g).kind == CellKind::kInput) {
+      keep[static_cast<std::size_t>(g)] = true;
+    }
+  }
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    const Cell& cell = netlist.cell_of(g);
+    auto visit = [&](NetId net_id) {
+      if (net_id == kInvalidNet) return;
+      const GateId driver = netlist.net(net_id).driver.gate;
+      if (driver == kInvalidGate || keep[static_cast<std::size_t>(driver)]) return;
+      keep[static_cast<std::size_t>(driver)] = true;
+      stack.push_back(driver);
+    };
+    for (int pin = 0; pin < cell.num_inputs; ++pin) visit(netlist.input_net(g, pin));
+    visit(netlist.clock_net(g));
+  }
+
+  Netlist pruned(&netlist.library(), netlist.name());
+  std::vector<GateId> new_id(static_cast<std::size_t>(netlist.num_gates()), kInvalidGate);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (keep[static_cast<std::size_t>(g)]) {
+      new_id[static_cast<std::size_t>(g)] =
+          pruned.add_gate(netlist.gate(g).name, netlist.gate(g).cell);
+    }
+  }
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    if (net.driver.gate == kInvalidGate) continue;
+    const GateId driver = new_id[static_cast<std::size_t>(net.driver.gate)];
+    if (driver == kInvalidGate) continue;
+    for (const PinRef& sink : net.sinks) {
+      const GateId sink_gate = new_id[static_cast<std::size_t>(sink.gate)];
+      if (sink_gate == kInvalidGate) continue;
+      if (sink.pin == kClockPin) {
+        pruned.connect_clock(driver, net.driver.pin, sink_gate);
+      } else {
+        pruned.connect(driver, net.driver.pin, sink_gate, sink.pin);
+      }
+    }
+  }
+  return pruned;
+}
+
+}  // namespace sfqpart

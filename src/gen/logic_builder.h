@@ -1,0 +1,59 @@
+// Convenience builder for structural (pre-mapping) boolean netlists.
+//
+// The circuit generators express adders/multipliers/dividers as DAGs of
+// idealized two-input operators with unlimited fanout; the SFQ mapper then
+// turns them into legal SFQ netlists. Signals are driver output pins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+class LogicBuilder {
+ public:
+  using Signal = PinRef;
+
+  explicit LogicBuilder(std::string name);
+
+  // Primary input/output. I/O gates are named "pin:<name>" so the DEF
+  // writer round-trips names exactly.
+  Signal input(const std::string& name);
+  void output(const std::string& name, Signal value);
+
+  Signal and2(Signal a, Signal b);
+  Signal or2(Signal a, Signal b);
+  Signal xor2(Signal a, Signal b);
+  Signal not1(Signal a);
+  Signal dff(Signal a);
+
+  // Derived macros.
+  Signal mux2(Signal sel, Signal if0, Signal if1);  // sel ? if1 : if0
+  // Full adder; returns {sum, carry}.
+  struct SumCarry {
+    Signal sum;
+    Signal carry;
+  };
+  SumCarry half_adder(Signal a, Signal b);
+  SumCarry full_adder(Signal a, Signal b, Signal c);
+
+  const Netlist& netlist() const { return netlist_; }
+  // Moves the finished netlist out of the builder.
+  Netlist take() { return std::move(netlist_); }
+
+ private:
+  Signal op2(CellKind kind, const char* prefix, Signal a, Signal b);
+  Signal op1(CellKind kind, const char* prefix, Signal a);
+
+  Netlist netlist_;
+  int next_id_ = 0;
+};
+
+// Returns a copy of `netlist` without gates that cannot reach any primary
+// output (generators may produce dead prefix terms; SFQ netlists must not
+// have dangling outputs).
+Netlist prune_unused(const Netlist& netlist);
+
+}  // namespace sfqpart

@@ -1,0 +1,12 @@
+// Array multiplier generator (the MULT4/MULT8 circuits of Table I).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+// Builds a structural W x W array multiplier: inputs a[0..W-1], b[0..W-1];
+// outputs p[0..2W-1] (the full product).
+Netlist build_multiplier(int width);
+
+}  // namespace sfqpart

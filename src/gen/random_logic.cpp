@@ -1,0 +1,81 @@
+#include "gen/random_logic.h"
+
+#include <cassert>
+#include <vector>
+
+#include "gen/logic_builder.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sfqpart {
+
+Netlist build_random_logic(const RandomLogicParams& params) {
+  assert(params.num_inputs >= 2);
+  assert(params.num_outputs >= 1);
+  LogicBuilder b(params.name);
+  Rng rng(params.seed);
+  using Signal = LogicBuilder::Signal;
+
+  std::vector<Signal> pool;
+  pool.reserve(static_cast<std::size_t>(params.num_inputs + params.num_gates));
+  for (int i = 0; i < params.num_inputs; ++i) {
+    pool.push_back(b.input(str_format("x[%d]", i)));
+  }
+
+  // Uniform operand choice over the whole pool keeps the expected depth
+  // logarithmic in circuit size (~e*ln(G)), the depth class of the ISCAS
+  // originals.
+  std::vector<int> fanout(pool.size(), 0);
+  auto pick = [&]() -> std::size_t { return rng.uniform_index(pool.size()); };
+  auto emit = [&](Signal s) {
+    pool.push_back(s);
+    fanout.push_back(0);
+  };
+
+  const double total_weight =
+      params.weight_and + params.weight_or + params.weight_xor + params.weight_not;
+  assert(total_weight > 0.0);
+  for (int g = 0; g < params.num_gates; ++g) {
+    const double roll = rng.uniform(0.0, total_weight);
+    const std::size_t i = pick();
+    ++fanout[i];
+    if (roll < params.weight_not) {
+      emit(b.not1(pool[i]));
+      continue;
+    }
+    std::size_t j = pick();
+    if (j == i) j = (j + 1) % pool.size();  // avoid trivial x op x gates
+    ++fanout[j];
+    if (roll < params.weight_not + params.weight_and) {
+      emit(b.and2(pool[i], pool[j]));
+    } else if (roll < params.weight_not + params.weight_and + params.weight_or) {
+      emit(b.or2(pool[i], pool[j]));
+    } else {
+      emit(b.xor2(pool[i], pool[j]));
+    }
+  }
+
+  // Consolidate: every dangling cone must reach an output (SFQ pulses may
+  // not dead-end). Fold the dangling signals into num_outputs OR trees.
+  std::vector<Signal> dangling;
+  for (std::size_t i = static_cast<std::size_t>(params.num_inputs); i < pool.size(); ++i) {
+    if (fanout[i] == 0) dangling.push_back(pool[i]);
+  }
+  if (dangling.empty()) dangling.push_back(pool.back());
+  rng.shuffle(dangling);
+  while (static_cast<int>(dangling.size()) > params.num_outputs) {
+    const Signal x = dangling.back();
+    dangling.pop_back();
+    const Signal y = dangling.back();
+    dangling.pop_back();
+    dangling.insert(dangling.begin() +
+                        static_cast<std::ptrdiff_t>(rng.uniform_index(dangling.size() + 1)),
+                    b.or2(x, y));
+  }
+  for (std::size_t i = 0; i < dangling.size(); ++i) {
+    b.output(str_format("y[%zu]", i), dangling[i]);
+  }
+  return prune_unused(b.take());
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,34 @@
+// Synthetic random-logic generator.
+//
+// Stands in for the ISCAS85 control/datapath circuits of the paper's
+// benchmark suite (C432..C3540), which are not redistributable in their
+// SFQ-mapped DEF form. Produces a seeded random DAG of two-input
+// operators whose size, I/O counts and depth class match the originals
+// (see DESIGN.md section 4 for the substitution rationale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+struct RandomLogicParams {
+  std::string name = "rand";
+  int num_inputs = 16;
+  int num_outputs = 8;
+  // Number of random operator gates generated before output consolidation
+  // (OR trees that fold dangling cones into the outputs add a few percent).
+  int num_gates = 200;
+  std::uint64_t seed = 1;
+  // Operator mix; weights are normalized internally.
+  double weight_and = 0.35;
+  double weight_or = 0.25;
+  double weight_xor = 0.20;
+  double weight_not = 0.20;
+};
+
+Netlist build_random_logic(const RandomLogicParams& params);
+
+}  // namespace sfqpart

@@ -1,0 +1,88 @@
+#include "gen/sim.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace sfqpart {
+namespace {
+
+std::string pin_name(const Netlist& netlist, GateId g) {
+  const std::string& name = netlist.gate(g).name;
+  return starts_with(name, "pin:") ? name.substr(4) : name;
+}
+
+}  // namespace
+
+SignalValues simulate(const Netlist& netlist, const SignalValues& inputs) {
+  std::vector<bool> value(static_cast<std::size_t>(netlist.num_gates()), false);
+  SignalValues outputs;
+  for (const GateId g : netlist.topological_order()) {
+    const Cell& cell = netlist.cell_of(g);
+    auto in = [&](int pin) -> bool {
+      const NetId net_id = netlist.input_net(g, pin);
+      assert(net_id != kInvalidNet && "simulating a netlist with undriven pins");
+      return value[static_cast<std::size_t>(netlist.net(net_id).driver.gate)];
+    };
+    bool out = false;
+    switch (cell.kind) {
+      case CellKind::kInput: {
+        const auto it = inputs.find(pin_name(netlist, g));
+        assert(it != inputs.end() && "missing value for primary input");
+        out = it->second;
+        break;
+      }
+      case CellKind::kOutput:
+        outputs[pin_name(netlist, g)] = in(0);
+        break;
+      case CellKind::kAnd2:
+        out = in(0) && in(1);
+        break;
+      case CellKind::kOr2:
+        out = in(0) || in(1);
+        break;
+      case CellKind::kXor2:
+        out = in(0) != in(1);
+        break;
+      case CellKind::kNot:
+        out = !in(0);
+        break;
+      case CellKind::kMerge:
+        // Pulse merger: in boolean steady state a pulse on either input
+        // appears at the output.
+        out = in(0) || in(1);
+        break;
+      case CellKind::kDff:
+      case CellKind::kNdro:
+      case CellKind::kJtl:
+      case CellKind::kSplit:
+      case CellKind::kTff:
+      case CellKind::kTxDriver:
+      case CellKind::kTxReceiver:
+        out = in(0);  // transparent for word-level steady state
+        break;
+    }
+    value[static_cast<std::size_t>(g)] = out;
+  }
+  return outputs;
+}
+
+void set_word(SignalValues& values, const std::string& prefix, int width,
+              std::uint64_t value) {
+  for (int i = 0; i < width; ++i) {
+    values[str_format("%s[%d]", prefix.c_str(), i)] = ((value >> i) & 1) != 0;
+  }
+}
+
+std::uint64_t get_word(const SignalValues& values, const std::string& prefix,
+                       int width) {
+  std::uint64_t word = 0;
+  for (int i = 0; i < width; ++i) {
+    const auto it = values.find(str_format("%s[%d]", prefix.c_str(), i));
+    assert(it != values.end() && "missing output bit");
+    if (it->second) word |= (1ULL << i);
+  }
+  return word;
+}
+
+}  // namespace sfqpart

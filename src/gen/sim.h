@@ -1,0 +1,31 @@
+// Boolean simulation of netlists.
+//
+// Used by the generator tests to prove the synthesized circuits compute
+// the function they claim (a KSA4 really adds, MULT8 really multiplies).
+// DFFs are evaluated transparently (identity), which yields the circuit's
+// steady-state word-level function — exactly what path-balancing DFFs and
+// splitters preserve, so the same checks validate mapped netlists too.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+// Input/output values keyed by pin name (the "pin:" prefix is stripped).
+using SignalValues = std::map<std::string, bool>;
+
+// Evaluates the netlist for one input vector. Asserts that every primary
+// input named in the netlist has a value in `inputs`.
+SignalValues simulate(const Netlist& netlist, const SignalValues& inputs);
+
+// Word helpers for the arithmetic circuits: bit i of `value` is assigned
+// to pin "<prefix>[i]".
+void set_word(SignalValues& values, const std::string& prefix, int width,
+              std::uint64_t value);
+std::uint64_t get_word(const SignalValues& values, const std::string& prefix, int width);
+
+}  // namespace sfqpart

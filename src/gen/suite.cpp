@@ -1,0 +1,122 @@
+#include "gen/suite.h"
+
+#include <cassert>
+
+#include "gen/alu.h"
+#include "gen/divider.h"
+#include "gen/ksa.h"
+#include "gen/multiplier.h"
+#include "gen/random_logic.h"
+
+namespace sfqpart {
+namespace {
+
+// ISCAS85-class synthetic stand-ins: I/O counts follow the originals;
+// num_gates is calibrated so the SFQ-mapped size lands near the paper's
+// Table I gate counts (see gen/random_logic.h for the substitution note).
+RandomLogicParams iscas_params(const char* name, int inputs, int outputs,
+                               int num_gates, std::uint64_t seed) {
+  RandomLogicParams params;
+  params.name = name;
+  params.num_inputs = inputs;
+  params.num_outputs = outputs;
+  params.num_gates = num_gates;
+  params.seed = seed;
+  return params;
+}
+
+std::vector<SuiteEntry> make_suite() {
+  std::vector<SuiteEntry> suite;
+  auto add = [&suite](std::string name, std::string description,
+                      PaperTable1Row paper, std::function<Netlist()> build) {
+    suite.push_back(SuiteEntry{std::move(name), std::move(description),
+                               paper, std::move(build)});
+  };
+
+  // Published Table I rows: gates, connections, d<=1, d<=2, B_cir, B_max,
+  // I_comp, A_cir, A_max, A_FS.
+  add("ksa4", "4-bit Kogge-Stone adder",
+      {93, 118, 0.746, 0.975, 80.089, 17.50, 0.0924, 0.4512, 0.0972, 0.0771},
+      [] { return build_ksa(4); });
+  add("ksa8", "8-bit Kogge-Stone adder",
+      {252, 320, 0.703, 0.944, 216.72, 45.27, 0.0443, 1.2192, 0.2520, 0.0335},
+      [] { return build_ksa(8); });
+  add("ksa16", "16-bit Kogge-Stone adder",
+      {650, 826, 0.665, 0.887, 557.66, 118.09, 0.0588, 3.1392, 0.6600, 0.0512},
+      [] { return build_ksa(16); });
+  add("ksa32", "32-bit Kogge-Stone adder",
+      {1592, 2029, 0.644, 0.859, 1362.55, 304.07, 0.1158, 7.6800, 1.7028, 0.1086},
+      [] { return build_ksa(32); });
+  add("mult4", "4x4 array multiplier",
+      {254, 310, 0.732, 0.932, 222.03, 47.70, 0.0742, 1.2192, 0.2616, 0.0728},
+      [] { return build_multiplier(4); });
+  add("mult8", "8x8 array multiplier",
+      {1374, 1678, 0.636, 0.856, 1201.32, 256.85, 0.0690, 6.5952, 1.4004, 0.0617},
+      [] { return build_multiplier(8); });
+  add("id4", "4-bit restoring integer divider",
+      {553, 678, 0.711, 0.914, 467.00, 100.29, 0.0669, 2.6796, 0.5700, 0.0636},
+      [] { return build_divider(4); });
+  add("id8", "8-bit restoring integer divider",
+      {3209, 3705, 0.582, 0.816, 2783.89, 622.39, 0.1178, 15.5400, 3.4860, 0.1216},
+      [] { return build_divider(8); });
+  add("c432", "ISCAS85 C432-class random logic (27-channel interrupt controller)",
+      {1216, 1434, 0.650, 0.875, 1045.17, 222.31, 0.0635, 5.9448, 1.2792, 0.0759},
+      [] { return build_random_logic(iscas_params("c432", 36, 7, 260, 432)); });
+  add("c499", "ISCAS85 C499-class random logic (32-bit SEC circuit)",
+      {991, 1318, 0.635, 0.863, 834.92, 178.17, 0.0670, 4.8060, 1.0212, 0.0624},
+      [] { return build_random_logic(iscas_params("c499", 41, 32, 220, 499)); });
+  add("c1355", "ISCAS85 C1355-class random logic (32-bit SEC circuit)",
+      {1046, 1367, 0.618, 0.854, 883.35, 192.41, 0.0897, 5.0808, 1.1076, 0.0900},
+      [] { return build_random_logic(iscas_params("c1355", 41, 32, 230, 1355)); });
+  add("c1908", "ISCAS85 C1908-class random logic (16-bit SEC/DED circuit)",
+      {1695, 2095, 0.600, 0.850, 1447.03, 328.53, 0.1352, 8.2536, 1.8804, 0.1391},
+      [] { return build_random_logic(iscas_params("c1908", 33, 25, 370, 1908)); });
+  add("c3540", "ISCAS85 C3540-class random logic (8-bit ALU)",
+      {3792, 4927, 0.540, 0.777, 3193.23, 670.01, 0.0491, 18.5556, 3.8784, 0.0451},
+      [] { return build_random_logic(iscas_params("c3540", 50, 22, 760, 3540)); });
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& benchmark_suite() {
+  static const std::vector<SuiteEntry> suite = make_suite();
+  return suite;
+}
+
+const std::vector<SuiteEntry>& extra_circuits() {
+  static const std::vector<SuiteEntry> extras = [] {
+    std::vector<SuiteEntry> out;
+    for (const int width : {4, 8, 16}) {
+      out.push_back(SuiteEntry{
+          "alu" + std::to_string(width),
+          std::to_string(width) + "-bit ALU (add/sub/and/xor + flags)",
+          PaperTable1Row{},  // not part of the paper's table
+          [width] { return build_alu(width); }});
+    }
+    return out;
+  }();
+  return extras;
+}
+
+const SuiteEntry* find_benchmark(const std::string& name) {
+  for (const SuiteEntry& entry : benchmark_suite()) {
+    if (entry.name == name) return &entry;
+  }
+  for (const SuiteEntry& entry : extra_circuits()) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Netlist build_mapped(const SuiteEntry& entry, const SfqMapperOptions& options) {
+  return map_to_sfq(entry.build_structural(), options);
+}
+
+Netlist build_mapped(const std::string& name, const SfqMapperOptions& options) {
+  const SuiteEntry* entry = find_benchmark(name);
+  assert(entry != nullptr && "unknown benchmark name");
+  return build_mapped(*entry, options);
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,56 @@
+// Benchmark suite registry: the 13 circuits of Table I, regenerated.
+//
+// Each entry carries the paper's published Table I row (for the
+// paper-vs-measured comparisons in EXPERIMENTS.md and the benches) and a
+// builder for our regenerated structural netlist. build_mapped() runs the
+// builder through the SFQ mapper, producing the netlist the partitioner
+// consumes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sfq/mapper.h"
+
+namespace sfqpart {
+
+// Published Table I values (K = 5) for reference printing. Percentages are
+// stored as fractions of 1.
+struct PaperTable1Row {
+  int gates = 0;
+  int connections = 0;
+  double d1 = 0.0;        // share of connections with distance <= 1
+  double d2 = 0.0;        // ... distance <= 2
+  double bias_ma = 0.0;   // B_cir
+  double bmax_ma = 0.0;   // B_max
+  double icomp = 0.0;     // I_comp / B_cir
+  double area_mm2 = 0.0;  // A_cir
+  double amax_mm2 = 0.0;  // A_max
+  double afs = 0.0;       // A_FS
+};
+
+struct SuiteEntry {
+  std::string name;
+  std::string description;
+  PaperTable1Row paper;
+  std::function<Netlist()> build_structural;
+};
+
+// All 13 circuits, in Table I order.
+const std::vector<SuiteEntry>& benchmark_suite();
+
+// Additional circuits beyond the paper's table (paper fields zeroed):
+// ALUs of several widths, for users and the extension benches.
+const std::vector<SuiteEntry>& extra_circuits();
+
+// Looks up both the paper suite and the extras; nullptr if unknown.
+// Names are lowercase ("ksa4", "c432", "alu8", ...).
+const SuiteEntry* find_benchmark(const std::string& name);
+
+// Builds the SFQ-mapped physical netlist for a suite entry.
+Netlist build_mapped(const SuiteEntry& entry, const SfqMapperOptions& options = {});
+Netlist build_mapped(const std::string& name, const SfqMapperOptions& options = {});
+
+}  // namespace sfqpart

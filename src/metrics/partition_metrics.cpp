@@ -1,0 +1,61 @@
+#include "metrics/partition_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace sfqpart {
+
+double PartitionMetrics::frac_within(int d) const {
+  if (num_connections == 0) return 1.0;
+  int count = 0;
+  const int limit = std::min(d, num_planes - 1);
+  for (int i = 0; i <= limit; ++i) {
+    count += distance_histogram[static_cast<std::size_t>(i)];
+  }
+  return static_cast<double>(count) / num_connections;
+}
+
+PartitionMetrics compute_metrics(const Netlist& netlist, const Partition& partition) {
+  assert(partition.num_planes >= 1);
+  assert(static_cast<int>(partition.plane_of.size()) == netlist.num_gates());
+
+  PartitionMetrics metrics;
+  metrics.num_planes = partition.num_planes;
+  metrics.distance_histogram.assign(static_cast<std::size_t>(partition.num_planes), 0);
+  metrics.plane_gates.assign(static_cast<std::size_t>(partition.num_planes), 0);
+  metrics.plane_bias_ma.assign(static_cast<std::size_t>(partition.num_planes), 0.0);
+  metrics.plane_area_um2.assign(static_cast<std::size_t>(partition.num_planes), 0.0);
+
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (!netlist.is_partitionable(g)) continue;
+    const int plane = partition.plane(g);
+    assert(plane >= 0 && plane < partition.num_planes &&
+           "partition leaves a partitionable gate unassigned");
+    ++metrics.num_gates;
+    const auto up = static_cast<std::size_t>(plane);
+    ++metrics.plane_gates[up];
+    metrics.plane_bias_ma[up] += netlist.bias_of(g);
+    metrics.plane_area_um2[up] += netlist.area_of(g);
+    metrics.total_bias_ma += netlist.bias_of(g);
+    metrics.total_area_um2 += netlist.area_of(g);
+  }
+
+  for (const Connection& edge : netlist.unique_edges()) {
+    const int d = std::abs(partition.plane(edge.from) - partition.plane(edge.to));
+    ++metrics.distance_histogram[static_cast<std::size_t>(d)];
+    ++metrics.num_connections;
+  }
+
+  metrics.bmax_ma = *std::max_element(metrics.plane_bias_ma.begin(),
+                                      metrics.plane_bias_ma.end());
+  metrics.amax_um2 = *std::max_element(metrics.plane_area_um2.begin(),
+                                       metrics.plane_area_um2.end());
+  for (int k = 0; k < partition.num_planes; ++k) {
+    metrics.icomp_ma += metrics.bmax_ma - metrics.plane_bias_ma[static_cast<std::size_t>(k)];
+    metrics.afs_um2 += metrics.amax_um2 - metrics.plane_area_um2[static_cast<std::size_t>(k)];
+  }
+  return metrics;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,54 @@
+// Partition quality metrics: everything Tables I-III report.
+//
+//   d <= x        share of connections crossing at most x planes
+//   B_max, I_comp bias current of the heaviest plane and the total dummy
+//                 (compensation) current (equation 11)
+//   A_max, A_FS   heaviest plane area and the free space caused by area
+//                 imbalance, as a share of total gate area
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+
+namespace sfqpart {
+
+struct PartitionMetrics {
+  int num_planes = 0;
+  int num_gates = 0;        // partitionable gates
+  int num_connections = 0;  // |E|
+
+  // Histogram over connection distance d = |plane(i1) - plane(i2)|,
+  // indices 0..num_planes-1.
+  std::vector<int> distance_histogram;
+
+  std::vector<int> plane_gates;      // gates per plane
+  std::vector<double> plane_bias_ma; // B_k
+  std::vector<double> plane_area_um2;// A_k
+
+  double total_bias_ma = 0.0;   // B_cir
+  double total_area_um2 = 0.0;  // A_cir
+  double bmax_ma = 0.0;         // B_max
+  double amax_um2 = 0.0;        // A_max
+  double icomp_ma = 0.0;        // sum_k (B_max - B_k)
+  double afs_um2 = 0.0;         // sum_k (A_max - A_k)
+
+  // Share of connections with distance <= d (1.0 when there are none).
+  double frac_within(int d) const;
+  // The paper's percentage metrics, as fractions of 1.
+  double icomp_frac() const {
+    return total_bias_ma > 0.0 ? icomp_ma / total_bias_ma : 0.0;
+  }
+  double afs_frac() const {
+    return total_area_um2 > 0.0 ? afs_um2 / total_area_um2 : 0.0;
+  }
+  double amax_mm2() const { return amax_um2 * 1e-6; }
+  double total_area_mm2() const { return total_area_um2 * 1e-6; }
+  // floor(K/2), the Table II/III distance column.
+  int half_k() const { return num_planes / 2; }
+};
+
+PartitionMetrics compute_metrics(const Netlist& netlist, const Partition& partition);
+
+}  // namespace sfqpart

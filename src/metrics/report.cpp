@@ -1,0 +1,44 @@
+#include "metrics/report.h"
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace sfqpart {
+
+std::string format_partition_report(const Netlist& netlist,
+                                    const Partition& /*partition*/,
+                                    const PartitionMetrics& metrics) {
+  std::string out = str_format(
+      "partition of '%s' into K=%d ground planes: %d gates, %d connections\n",
+      netlist.name().c_str(), metrics.num_planes, metrics.num_gates,
+      metrics.num_connections);
+
+  TablePrinter planes({"plane", "gates", "B_k (mA)", "A_k (mm^2)", "dummy (mA)"});
+  for (int k = 0; k < metrics.num_planes; ++k) {
+    const auto uk = static_cast<std::size_t>(k);
+    planes.add_row({std::to_string(k),
+                    std::to_string(metrics.plane_gates[uk]),
+                    fmt_double(metrics.plane_bias_ma[uk], 2),
+                    fmt_double(metrics.plane_area_um2[uk] * 1e-6, 4),
+                    fmt_double(metrics.bmax_ma - metrics.plane_bias_ma[uk], 2)});
+  }
+  out += planes.to_string();
+
+  out += "connection distance histogram:\n";
+  for (int d = 0; d < metrics.num_planes; ++d) {
+    const int count = metrics.distance_histogram[static_cast<std::size_t>(d)];
+    if (d > 1 && count == 0) continue;
+    out += str_format("  d = %d : %5d  (cumulative %s)\n", d, count,
+                      fmt_percent(metrics.frac_within(d)).c_str());
+  }
+
+  out += str_format(
+      "B_cir = %.2f mA, B_max = %.2f mA, I_comp = %.2f mA (%s)\n"
+      "A_cir = %.4f mm^2, A_max = %.4f mm^2, A_FS = %s\n",
+      metrics.total_bias_ma, metrics.bmax_ma, metrics.icomp_ma,
+      fmt_percent(metrics.icomp_frac()).c_str(), metrics.total_area_mm2(),
+      metrics.amax_mm2(), fmt_percent(metrics.afs_frac()).c_str());
+  return out;
+}
+
+}  // namespace sfqpart

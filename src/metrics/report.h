@@ -1,0 +1,31 @@
+// Human-readable partition reports shared by the examples and benches.
+#pragma once
+
+#include <string>
+
+#include "metrics/partition_metrics.h"
+
+namespace sfqpart {
+
+// Multi-line report: per-plane gates/bias/area/dummy-current table plus the
+// connection distance histogram and the Table I summary metrics.
+std::string format_partition_report(const Netlist& netlist, const Partition& partition,
+                                    const PartitionMetrics& metrics);
+
+// Simple running average for the AVERAGE rows the paper quotes in
+// section V ("On average, 65.1% ...").
+class Averager {
+ public:
+  void add(double value) {
+    sum_ += value;
+    ++count_;
+  }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  int count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  int count_ = 0;
+};
+
+}  // namespace sfqpart

@@ -1,0 +1,57 @@
+// Cell (library element) model.
+//
+// Two kinds of libraries exist in the flow:
+//  * the *structural* library: idealized boolean operators with unlimited
+//    fanout, produced by the circuit generators (src/gen) before SFQ
+//    technology mapping;
+//  * the *physical* SFQ library: real cells with JJ counts, bias currents
+//    and layout areas, the form the partitioner consumes (src/sfq maps
+//    structural netlists onto it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sfqpart {
+
+// Functional class of a cell. Mirrors the gate set of RSFQ/ERSFQ cell
+// libraries (see paper section II): clocked logic gates, the unclocked
+// splitter/merger/JTL interconnect cells, and storage elements.
+enum class CellKind : std::uint8_t {
+  kDff,      // destructive read-out storage / pipeline stage (clocked)
+  kAnd2,     // clocked 2-input AND
+  kOr2,      // clocked 2-input OR
+  kXor2,     // clocked 2-input XOR
+  kNot,      // clocked inverter
+  kSplit,    // unclocked 1-to-2 splitter (paper section II item ii)
+  kMerge,    // unclocked confluence buffer (2-to-1 merger)
+  kJtl,      // Josephson transmission line buffer (unclocked)
+  kNdro,     // non-destructive read-out storage
+  kTff,      // toggle flip-flop
+  kTxDriver,   // inductive-coupling driver (sending ground plane)
+  kTxReceiver, // inductive-coupling receiver (receiving ground plane)
+  kInput,    // primary-input interface cell (DC/SFQ converter)
+  kOutput,   // primary-output interface cell (SFQ/DC converter)
+};
+
+const char* cell_kind_name(CellKind kind);
+
+// True for gates that consume a clock pulse (gate-level pipelining).
+bool cell_kind_is_clocked(CellKind kind);
+
+struct Cell {
+  std::string name;      // library name, e.g. "AND2T"
+  CellKind kind = CellKind::kJtl;
+  int num_inputs = 1;    // data inputs (clock pin not counted)
+  int num_outputs = 1;
+  int jj_count = 2;      // Josephson junctions in the cell
+  double bias_ma = 0.0;  // bias current requirement b_i [mA]
+  double area_um2 = 0.0; // placed area footprint a_i [um^2]
+  // Structural cells have no physical limits: any fanout is allowed until
+  // SFQ mapping legalizes it with splitter trees.
+  bool physical = true;
+
+  bool is_clocked() const { return cell_kind_is_clocked(kind); }
+};
+
+}  // namespace sfqpart

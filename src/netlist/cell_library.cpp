@@ -1,0 +1,155 @@
+#include "netlist/cell_library.h"
+
+#include <cassert>
+
+namespace sfqpart {
+
+const char* cell_kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kDff:    return "DFF";
+    case CellKind::kAnd2:   return "AND2";
+    case CellKind::kOr2:    return "OR2";
+    case CellKind::kXor2:   return "XOR2";
+    case CellKind::kNot:    return "NOT";
+    case CellKind::kSplit:  return "SPLIT";
+    case CellKind::kMerge:  return "MERGE";
+    case CellKind::kJtl:    return "JTL";
+    case CellKind::kNdro:   return "NDRO";
+    case CellKind::kTff:    return "TFF";
+    case CellKind::kTxDriver:   return "TXDRV";
+    case CellKind::kTxReceiver: return "TXRCV";
+    case CellKind::kInput:  return "INPUT";
+    case CellKind::kOutput: return "OUTPUT";
+  }
+  return "UNKNOWN";
+}
+
+bool cell_kind_is_clocked(CellKind kind) {
+  switch (kind) {
+    case CellKind::kDff:
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kXor2:
+    case CellKind::kNot:
+    case CellKind::kNdro:
+      return true;
+    case CellKind::kSplit:
+    case CellKind::kMerge:
+    case CellKind::kJtl:
+    case CellKind::kTff:
+    case CellKind::kTxDriver:
+    case CellKind::kTxReceiver:
+    case CellKind::kInput:
+    case CellKind::kOutput:
+      return false;
+  }
+  return false;
+}
+
+int CellLibrary::add_cell(Cell cell) {
+  assert(by_name_.find(cell.name) == by_name_.end() && "duplicate cell name");
+  const int index = static_cast<int>(cells_.size());
+  by_name_.emplace(cell.name, index);
+  cells_.push_back(std::move(cell));
+  return index;
+}
+
+std::optional<int> CellLibrary::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<int> CellLibrary::find_kind(CellKind kind) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].kind == kind) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+void CellLibrary::scale(double bias_factor, double area_factor) {
+  for (Cell& cell : cells_) {
+    cell.bias_ma *= bias_factor;
+    cell.area_um2 *= area_factor;
+  }
+}
+
+namespace {
+
+CellLibrary make_default_sfq_library() {
+  CellLibrary lib("usc10k");
+  // name, kind, #in, #out, #JJ, bias mA, area um^2.
+  // Bias currents follow the usual RSFQ rule of thumb ~70 uA per JJ of
+  // I_c ~100 uA scaled per cell complexity; areas assume a 30 um routing
+  // pitch with one to three tracks per cell. The set is calibrated so a
+  // mapped netlist averages ~0.86 mA and ~4.9e3 um^2 per gate, the
+  // per-gate averages implied by Table I of the paper.
+  auto add = [&lib](const char* name, CellKind kind, int ni, int no, int jj,
+                    double bias, double area) {
+    Cell cell;
+    cell.name = name;
+    cell.kind = kind;
+    cell.num_inputs = ni;
+    cell.num_outputs = no;
+    cell.jj_count = jj;
+    cell.bias_ma = bias;
+    cell.area_um2 = area;
+    cell.physical = true;
+    lib.add_cell(std::move(cell));
+  };
+  add("DFFT",   CellKind::kDff,   1, 1,  6, 0.95, 4800.0);
+  add("AND2T",  CellKind::kAnd2,  2, 1, 11, 1.30, 6600.0);
+  add("OR2T",   CellKind::kOr2,   2, 1,  9, 1.15, 6000.0);
+  add("XOR2T",  CellKind::kXor2,  2, 1, 11, 1.35, 6600.0);
+  add("NOTT",   CellKind::kNot,   1, 1,  8, 1.00, 5100.0);
+  add("SPLITT", CellKind::kSplit, 1, 2,  3, 0.50, 2700.0);
+  add("CBU",    CellKind::kMerge, 2, 1,  5, 0.80, 3900.0);
+  add("JTL",    CellKind::kJtl,   1, 1,  2, 0.30, 1500.0);
+  add("NDROT",  CellKind::kNdro,  1, 1,  9, 1.10, 5700.0);
+  add("TFFT",   CellKind::kTff,   1, 1,  8, 1.05, 5400.0);
+  // Differential inductive-coupling pair (paper section III-A / [16]):
+  // driver sits on the sending plane, receiver SQUID on the receiving one.
+  add("TXDRV",  CellKind::kTxDriver,   1, 1, 2, 0.12,  600.0);
+  add("TXRCV",  CellKind::kTxReceiver, 1, 1, 2, 0.16,  600.0);
+  add("DCSFQ",  CellKind::kInput, 0, 1,  4, 0.70, 3600.0);
+  add("SFQDC",  CellKind::kOutput,1, 0,  6, 0.90, 4500.0);
+  return lib;
+}
+
+CellLibrary make_structural_library() {
+  CellLibrary lib("structural");
+  auto add = [&lib](const char* name, CellKind kind, int ni, int no) {
+    Cell cell;
+    cell.name = name;
+    cell.kind = kind;
+    cell.num_inputs = ni;
+    cell.num_outputs = no;
+    cell.jj_count = 0;
+    cell.bias_ma = 0.0;
+    cell.area_um2 = 0.0;
+    cell.physical = false;
+    lib.add_cell(std::move(cell));
+  };
+  add("and",  CellKind::kAnd2,  2, 1);
+  add("or",   CellKind::kOr2,   2, 1);
+  add("xor",  CellKind::kXor2,  2, 1);
+  add("not",  CellKind::kNot,   1, 1);
+  add("dff",  CellKind::kDff,   1, 1);
+  add("in",   CellKind::kInput, 0, 1);
+  add("out",  CellKind::kOutput,1, 0);
+  return lib;
+}
+
+}  // namespace
+
+const CellLibrary& default_sfq_library() {
+  static const CellLibrary lib = make_default_sfq_library();
+  return lib;
+}
+
+const CellLibrary& structural_library() {
+  static const CellLibrary lib = make_structural_library();
+  return lib;
+}
+
+}  // namespace sfqpart

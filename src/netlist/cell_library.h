@@ -1,0 +1,57 @@
+// Cell library registry.
+//
+// The paper's benchmark suite ships per-gate bias currents (b_i) and areas
+// (a_i); our substitute is default_sfq_library(), a realistic RSFQ cell set
+// calibrated so that circuit-level averages match what Table I implies
+// (~0.86 mA and ~4.9e-3 mm^2 per gate; see DESIGN.md section 2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/cell.h"
+
+namespace sfqpart {
+
+class CellLibrary {
+ public:
+  CellLibrary() = default;
+  explicit CellLibrary(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Registers a cell; returns its index. Cell names must be unique.
+  int add_cell(Cell cell);
+
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+  const Cell& cell(int index) const { return cells_.at(static_cast<std::size_t>(index)); }
+
+  // Lookup by library name; nullopt if absent.
+  std::optional<int> find(const std::string& name) const;
+
+  // First cell of the given kind; nullopt if the library has none.
+  std::optional<int> find_kind(CellKind kind) const;
+
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  // Multiplies every bias current / area by the given factors. Used to
+  // calibrate the library against published circuit-level totals.
+  void scale(double bias_factor, double area_factor);
+
+ private:
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+// Physical SFQ library used by all benchmarks ("usc10k": a generic
+// 10 kA/cm^2 Nb process cell set).
+const CellLibrary& default_sfq_library();
+
+// Idealized structural library (unlimited fanout, no physical data) used
+// by the circuit generators before technology mapping.
+const CellLibrary& structural_library();
+
+}  // namespace sfqpart

@@ -1,0 +1,49 @@
+#include "netlist/dot.h"
+
+#include "util/strings.h"
+
+namespace sfqpart {
+namespace {
+
+// Categorical fill colors cycled by plane index.
+const char* plane_color(int plane) {
+  static const char* kColors[] = {"#8ecae6", "#ffb703", "#90be6d", "#f28482",
+                                  "#cdb4db", "#f9c74f", "#a3b18a", "#e5989b"};
+  return kColors[plane % 8];
+}
+
+}  // namespace
+
+std::string to_dot(const Netlist& netlist, const DotOptions& options) {
+  std::string out = "digraph \"" + netlist.name() + "\" {\n";
+  out += "  rankdir=LR;\n  node [shape=box, style=filled, fillcolor=white];\n";
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Cell& cell = netlist.cell_of(g);
+    std::string attrs = str_format("label=\"%s\\n%s\"", netlist.gate(g).name.c_str(),
+                                   cell.name.c_str());
+    if (netlist.is_io(g)) {
+      attrs += ", shape=ellipse, fillcolor=\"#dddddd\"";
+    } else if (static_cast<std::size_t>(g) < options.plane_of.size()) {
+      attrs += str_format(", fillcolor=\"%s\"",
+                          plane_color(options.plane_of[static_cast<std::size_t>(g)]));
+    }
+    out += str_format("  g%d [%s];\n", g, attrs.c_str());
+  }
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    if (net.driver.gate == kInvalidGate) continue;
+    for (const PinRef& sink : net.sinks) {
+      if (sink.pin == kClockPin) {
+        if (!options.show_clock_edges) continue;
+        out += str_format("  g%d -> g%d [style=dashed, color=gray];\n",
+                          net.driver.gate, sink.gate);
+      } else {
+        out += str_format("  g%d -> g%d;\n", net.driver.gate, sink.gate);
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sfqpart

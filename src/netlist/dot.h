@@ -1,0 +1,20 @@
+// Graphviz DOT export for visual inspection of netlists and partitions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+struct DotOptions {
+  // Optional per-gate plane labels (size num_gates); gates are colored by
+  // plane when provided. Entries for I/O gates are ignored.
+  std::vector<int> plane_of;
+  bool show_clock_edges = false;
+};
+
+std::string to_dot(const Netlist& netlist, const DotOptions& options = {});
+
+}  // namespace sfqpart

@@ -1,0 +1,200 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sfqpart {
+
+Netlist::Netlist(const CellLibrary* library, std::string name)
+    : name_(std::move(name)), library_(library) {
+  assert(library_ != nullptr);
+}
+
+GateId Netlist::add_gate(const std::string& name, int cell_index) {
+  assert(cell_index >= 0 && cell_index < library_->num_cells());
+  assert(gate_by_name_.find(name) == gate_by_name_.end() && "duplicate gate name");
+  const GateId id = static_cast<GateId>(gates_.size());
+  gates_.push_back(Gate{name, cell_index});
+  gate_by_name_.emplace(name, id);
+  const Cell& cell = library_->cell(cell_index);
+  input_nets_.emplace_back(static_cast<std::size_t>(cell.num_inputs), kInvalidNet);
+  output_nets_.emplace_back(static_cast<std::size_t>(cell.num_outputs), kInvalidNet);
+  clock_nets_.push_back(kInvalidNet);
+  return id;
+}
+
+GateId Netlist::add_gate_of_kind(const std::string& name, CellKind kind) {
+  const auto cell = library_->find_kind(kind);
+  assert(cell.has_value() && "library has no cell of requested kind");
+  return add_gate(name, *cell);
+}
+
+NetId Netlist::net_for_output(GateId from, int out_pin, const std::string& fallback_name) {
+  auto& outputs = output_nets_.at(static_cast<std::size_t>(from));
+  assert(out_pin >= 0 && out_pin < static_cast<int>(outputs.size()));
+  NetId& slot = outputs[static_cast<std::size_t>(out_pin)];
+  if (slot == kInvalidNet) {
+    slot = static_cast<NetId>(nets_.size());
+    Net net;
+    net.name = fallback_name;
+    net.driver = PinRef{from, out_pin};
+    nets_.push_back(std::move(net));
+  }
+  return slot;
+}
+
+NetId Netlist::connect(GateId from, int out_pin, GateId to, int in_pin) {
+  const Cell& sink_cell = cell_of(to);
+  assert(in_pin >= 0 && in_pin < sink_cell.num_inputs);
+  (void)sink_cell;
+  auto& inputs = input_nets_.at(static_cast<std::size_t>(to));
+  assert(inputs[static_cast<std::size_t>(in_pin)] == kInvalidNet &&
+         "input pin already connected");
+  const NetId net_id =
+      net_for_output(from, out_pin, gate(from).name + "_o" + std::to_string(out_pin));
+  nets_[static_cast<std::size_t>(net_id)].sinks.push_back(PinRef{to, in_pin});
+  inputs[static_cast<std::size_t>(in_pin)] = net_id;
+  return net_id;
+}
+
+NetId Netlist::connect_clock(GateId from, int out_pin, GateId to) {
+  assert(cell_of(to).is_clocked() && "clock connection to unclocked cell");
+  assert(clock_nets_.at(static_cast<std::size_t>(to)) == kInvalidNet &&
+         "clock pin already connected");
+  const NetId net_id =
+      net_for_output(from, out_pin, gate(from).name + "_o" + std::to_string(out_pin));
+  nets_[static_cast<std::size_t>(net_id)].sinks.push_back(PinRef{to, kClockPin});
+  clock_nets_[static_cast<std::size_t>(to)] = net_id;
+  return net_id;
+}
+
+GateId Netlist::find_gate(const std::string& name) const {
+  auto it = gate_by_name_.find(name);
+  return it == gate_by_name_.end() ? kInvalidGate : it->second;
+}
+
+bool Netlist::is_io(GateId id) const {
+  const CellKind kind = cell_of(id).kind;
+  return kind == CellKind::kInput || kind == CellKind::kOutput;
+}
+
+int Netlist::num_partitionable_gates() const {
+  int count = 0;
+  for (GateId g = 0; g < num_gates(); ++g) {
+    if (is_partitionable(g)) ++count;
+  }
+  return count;
+}
+
+NetId Netlist::output_net(GateId id, int out_pin) const {
+  const auto& outputs = output_nets_.at(static_cast<std::size_t>(id));
+  assert(out_pin >= 0 && out_pin < static_cast<int>(outputs.size()));
+  return outputs[static_cast<std::size_t>(out_pin)];
+}
+
+NetId Netlist::input_net(GateId id, int in_pin) const {
+  const auto& inputs = input_nets_.at(static_cast<std::size_t>(id));
+  assert(in_pin >= 0 && in_pin < static_cast<int>(inputs.size()));
+  return inputs[static_cast<std::size_t>(in_pin)];
+}
+
+NetId Netlist::clock_net(GateId id) const {
+  return clock_nets_.at(static_cast<std::size_t>(id));
+}
+
+int Netlist::fanout(GateId id) const {
+  int count = 0;
+  for (const NetId net_id : output_nets_.at(static_cast<std::size_t>(id))) {
+    if (net_id != kInvalidNet) {
+      count += static_cast<int>(net(net_id).sinks.size());
+    }
+  }
+  return count;
+}
+
+std::vector<Connection> Netlist::connections() const {
+  std::vector<Connection> out;
+  for (const Net& n : nets_) {
+    if (n.driver.gate == kInvalidGate) continue;
+    for (const PinRef& sink : n.sinks) {
+      out.push_back(Connection{n.driver.gate, sink.gate});
+    }
+  }
+  return out;
+}
+
+std::vector<Connection> Netlist::unique_edges() const {
+  std::vector<Connection> edges;
+  for (const Net& n : nets_) {
+    if (n.driver.gate == kInvalidGate) continue;
+    if (!is_partitionable(n.driver.gate)) continue;
+    for (const PinRef& sink : n.sinks) {
+      if (!is_partitionable(sink.gate)) continue;
+      if (sink.gate == n.driver.gate) continue;  // self loops carry no cost
+      const GateId a = std::min(n.driver.gate, sink.gate);
+      const GateId b = std::max(n.driver.gate, sink.gate);
+      edges.push_back(Connection{a, b});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Connection& x, const Connection& y) {
+    return x.from != y.from ? x.from < y.from : x.to < y.to;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+double Netlist::total_bias_ma() const {
+  double total = 0.0;
+  for (GateId g = 0; g < num_gates(); ++g) {
+    if (is_partitionable(g)) total += bias_of(g);
+  }
+  return total;
+}
+
+double Netlist::total_area_um2() const {
+  double total = 0.0;
+  for (GateId g = 0; g < num_gates(); ++g) {
+    if (is_partitionable(g)) total += area_of(g);
+  }
+  return total;
+}
+
+std::vector<GateId> Netlist::topological_order() const {
+  // Kahn's algorithm over data edges (clock edges excluded: the clock
+  // network may be generated after data-path construction and can reuse
+  // splitters fed by logic, which must not create ordering constraints).
+  std::vector<int> in_degree(static_cast<std::size_t>(num_gates()), 0);
+  for (const Net& n : nets_) {
+    if (n.driver.gate == kInvalidGate) continue;
+    for (const PinRef& sink : n.sinks) {
+      if (sink.pin == kClockPin) continue;
+      ++in_degree[static_cast<std::size_t>(sink.gate)];
+    }
+  }
+  std::vector<GateId> ready;
+  for (GateId g = 0; g < num_gates(); ++g) {
+    if (in_degree[static_cast<std::size_t>(g)] == 0) ready.push_back(g);
+  }
+  std::vector<GateId> order;
+  order.reserve(static_cast<std::size_t>(num_gates()));
+  while (!ready.empty()) {
+    const GateId g = ready.back();
+    ready.pop_back();
+    order.push_back(g);
+    const auto& outputs = output_nets_[static_cast<std::size_t>(g)];
+    for (const NetId net_id : outputs) {
+      if (net_id == kInvalidNet) continue;
+      for (const PinRef& sink : net(net_id).sinks) {
+        if (sink.pin == kClockPin) continue;
+        if (--in_degree[static_cast<std::size_t>(sink.gate)] == 0) {
+          ready.push_back(sink.gate);
+        }
+      }
+    }
+  }
+  assert(static_cast<int>(order.size()) == num_gates() &&
+         "combinational cycle in netlist");
+  return order;
+}
+
+}  // namespace sfqpart

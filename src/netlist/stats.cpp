@@ -1,0 +1,59 @@
+#include "netlist/stats.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sfqpart {
+
+NetlistStats compute_stats(const Netlist& netlist) {
+  NetlistStats stats;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Cell& cell = netlist.cell_of(g);
+    ++stats.by_kind[cell.kind];
+    if (!netlist.is_partitionable(g)) {
+      ++stats.num_io;
+      continue;
+    }
+    ++stats.num_gates;
+    stats.total_bias_ma += cell.bias_ma;
+    stats.total_area_um2 += cell.area_um2;
+    stats.total_jj += cell.jj_count;
+  }
+  stats.num_connections = static_cast<int>(netlist.unique_edges().size());
+
+  // Longest data path via topological order.
+  std::vector<int> depth(static_cast<std::size_t>(netlist.num_gates()), 1);
+  for (const GateId g : netlist.topological_order()) {
+    const Cell& cell = netlist.cell_of(g);
+    for (int pin = 0; pin < cell.num_outputs; ++pin) {
+      const NetId net_id = netlist.output_net(g, pin);
+      if (net_id == kInvalidNet) continue;
+      for (const PinRef& sink : netlist.net(net_id).sinks) {
+        if (sink.pin == kClockPin) continue;
+        auto& d = depth[static_cast<std::size_t>(sink.gate)];
+        d = std::max(d, depth[static_cast<std::size_t>(g)] + 1);
+      }
+    }
+  }
+  for (const int d : depth) stats.logic_depth = std::max(stats.logic_depth, d);
+  return stats;
+}
+
+std::string format_stats(const Netlist& netlist, const NetlistStats& stats) {
+  std::string out = str_format(
+      "netlist '%s': %d gates (+%d I/O), %d connections, depth %d\n"
+      "  B_cir = %.3f mA (avg %.3f mA/gate)\n"
+      "  A_cir = %.4f mm^2 (avg %.0f um^2/gate), %d JJs\n",
+      netlist.name().c_str(), stats.num_gates, stats.num_io, stats.num_connections,
+      stats.logic_depth, stats.total_bias_ma, stats.avg_bias_ma(),
+      stats.total_area_mm2(), stats.avg_area_um2(), stats.total_jj);
+  out += "  cell mix:";
+  for (const auto& [kind, count] : stats.by_kind) {
+    out += str_format(" %s=%d", cell_kind_name(kind), count);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace sfqpart

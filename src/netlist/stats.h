@@ -1,0 +1,37 @@
+// Netlist statistics: the per-circuit properties reported in Table I
+// (#gates, #connections, B_cir, A_cir) plus cell-mix and depth data used by
+// the generators' calibration tests.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+struct NetlistStats {
+  int num_gates = 0;          // partitionable gates (G of the paper)
+  int num_io = 0;             // interface cells (excluded from G)
+  int num_connections = 0;    // |E|: unique partitionable gate pairs
+  double total_bias_ma = 0.0; // B_cir
+  double total_area_um2 = 0.0;// A_cir
+  int total_jj = 0;
+  int logic_depth = 0;        // longest data path, in gates
+  std::map<CellKind, int> by_kind;
+
+  double total_area_mm2() const { return total_area_um2 * 1e-6; }
+  double avg_bias_ma() const {
+    return num_gates > 0 ? total_bias_ma / num_gates : 0.0;
+  }
+  double avg_area_um2() const {
+    return num_gates > 0 ? total_area_um2 / num_gates : 0.0;
+  }
+};
+
+NetlistStats compute_stats(const Netlist& netlist);
+
+// Human-readable one-circuit summary block.
+std::string format_stats(const Netlist& netlist, const NetlistStats& stats);
+
+}  // namespace sfqpart

@@ -1,0 +1,107 @@
+#include "netlist/validate.h"
+
+#include "util/strings.h"
+
+namespace sfqpart {
+namespace {
+
+void check_pins(const Netlist& netlist, const ValidateOptions& options,
+                std::vector<std::string>& issues) {
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Cell& cell = netlist.cell_of(g);
+    if (options.require_inputs_driven) {
+      for (int pin = 0; pin < cell.num_inputs; ++pin) {
+        if (netlist.input_net(g, pin) == kInvalidNet) {
+          issues.push_back(str_format("gate '%s': input pin %d undriven",
+                                      netlist.gate(g).name.c_str(), pin));
+        }
+      }
+    }
+    if (options.require_clocks && cell.is_clocked() &&
+        netlist.clock_net(g) == kInvalidNet) {
+      issues.push_back(str_format("gate '%s': clocked cell %s has no clock",
+                                  netlist.gate(g).name.c_str(), cell.name.c_str()));
+    }
+    if (options.require_outputs_used && cell.physical &&
+        cell.kind != CellKind::kInput) {
+      for (int pin = 0; pin < cell.num_outputs; ++pin) {
+        if (netlist.output_net(g, pin) == kInvalidNet) {
+          issues.push_back(str_format("gate '%s': output pin %d unused",
+                                      netlist.gate(g).name.c_str(), pin));
+        }
+      }
+    }
+  }
+}
+
+void check_fanout(const Netlist& netlist, std::vector<std::string>& issues) {
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    if (net.driver.gate == kInvalidGate) {
+      issues.push_back(str_format("net '%s': no driver", net.name.c_str()));
+      continue;
+    }
+    if (net.sinks.empty()) {
+      issues.push_back(str_format("net '%s': no sinks (dangling output of '%s')",
+                                  net.name.c_str(),
+                                  netlist.gate(net.driver.gate).name.c_str()));
+    }
+    if (netlist.cell_of(net.driver.gate).physical && net.sinks.size() > 1) {
+      issues.push_back(str_format(
+          "net '%s': SFQ output of '%s' drives %zu sinks (needs a splitter tree)",
+          net.name.c_str(), netlist.gate(net.driver.gate).name.c_str(),
+          net.sinks.size()));
+    }
+  }
+}
+
+void check_cycles(const Netlist& netlist, std::vector<std::string>& issues) {
+  // Kahn's algorithm over data edges; leftovers are on a cycle.
+  std::vector<int> in_degree(static_cast<std::size_t>(netlist.num_gates()), 0);
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    if (net.driver.gate == kInvalidGate) continue;
+    for (const PinRef& sink : net.sinks) {
+      if (sink.pin == kClockPin) continue;
+      ++in_degree[static_cast<std::size_t>(sink.gate)];
+    }
+  }
+  std::vector<GateId> ready;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (in_degree[static_cast<std::size_t>(g)] == 0) ready.push_back(g);
+  }
+  int visited = 0;
+  while (!ready.empty()) {
+    const GateId g = ready.back();
+    ready.pop_back();
+    ++visited;
+    const Cell& cell = netlist.cell_of(g);
+    for (int pin = 0; pin < cell.num_outputs; ++pin) {
+      const NetId net_id = netlist.output_net(g, pin);
+      if (net_id == kInvalidNet) continue;
+      for (const PinRef& sink : netlist.net(net_id).sinks) {
+        if (sink.pin == kClockPin) continue;
+        if (--in_degree[static_cast<std::size_t>(sink.gate)] == 0) {
+          ready.push_back(sink.gate);
+        }
+      }
+    }
+  }
+  if (visited != netlist.num_gates()) {
+    issues.push_back(str_format("combinational cycle: %d of %d gates unreachable "
+                                "from sources",
+                                netlist.num_gates() - visited, netlist.num_gates()));
+  }
+}
+
+}  // namespace
+
+ValidationReport validate(const Netlist& netlist, const ValidateOptions& options) {
+  ValidationReport report;
+  check_pins(netlist, options, report.issues);
+  if (options.enforce_sfq_fanout) check_fanout(netlist, report.issues);
+  if (options.reject_cycles) check_cycles(netlist, report.issues);
+  return report;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,41 @@
+// Structural validation of netlists.
+//
+// Run at module boundaries (after generation, after mapping, after DEF
+// parsing) to catch malformed circuits early with precise messages rather
+// than corrupting downstream analyses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+struct ValidateOptions {
+  // Require every data-input pin to be driven.
+  bool require_inputs_driven = true;
+  // Require every clocked gate to have a clock connection. Off by default:
+  // the benchmark flow treats clock distribution as part of routing unless
+  // an explicit clock tree is synthesized (see SfqMapperOptions).
+  bool require_clocks = false;
+  // Enforce the SFQ fanout rule (any physical cell output drives exactly
+  // one sink; fanout comes from splitter trees). Applied only to gates
+  // whose cells are physical.
+  bool enforce_sfq_fanout = true;
+  // Require every output pin of a physical cell to drive a net with at
+  // least one sink (an SFQ pulse must not dead-end). Unconnected kInput
+  // interface cells are tolerated: spare chip pins are common.
+  bool require_outputs_used = true;
+  // Reject combinational cycles (clock edges excluded).
+  bool reject_cycles = true;
+};
+
+struct ValidationReport {
+  std::vector<std::string> issues;
+  bool ok() const { return issues.empty(); }
+};
+
+ValidationReport validate(const Netlist& netlist, const ValidateOptions& options = {});
+
+}  // namespace sfqpart

@@ -1,0 +1,166 @@
+#include "pulse/pulse_sim.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sfq/balance.h"
+#include "util/strings.h"
+
+namespace sfqpart {
+namespace {
+
+std::string pin_name(const Netlist& netlist, GateId g) {
+  const std::string& name = netlist.gate(g).name;
+  return starts_with(name, "pin:") ? name.substr(4) : name;
+}
+
+// Clock-edge decision of a clocked cell given which data inputs pulsed
+// during the closing cycle.
+bool fires(CellKind kind, bool in0, bool in1) {
+  switch (kind) {
+    case CellKind::kDff:
+    case CellKind::kNdro:
+      return in0;
+    case CellKind::kAnd2:
+      return in0 && in1;
+    case CellKind::kOr2:
+      return in0 || in1;
+    case CellKind::kXor2:
+      return in0 != in1;
+    case CellKind::kNot:
+      return !in0;  // clocked inverter: pulse on absence
+    default:
+      assert(false && "fires() called for unclocked cell");
+      return false;
+  }
+}
+
+}  // namespace
+
+PulseSimulator::PulseSimulator(const Netlist& netlist)
+    : netlist_(&netlist), topo_(netlist.topological_order()) {
+  const std::vector<int> depth = stage_depths(netlist);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.cell_of(g).kind == CellKind::kOutput) {
+      latency_ = std::max(latency_, depth[static_cast<std::size_t>(g)]);
+    }
+  }
+}
+
+PulseTrains PulseSimulator::run(const PulseTrains& inputs, int cycles) {
+  const Netlist& netlist = *netlist_;
+  const auto num_gates = static_cast<std::size_t>(netlist.num_gates());
+
+  // emit[g]: the pulse a clocked gate releases this cycle (decided at the
+  // previous clock edge). pulse[g]: the pulse on g's output(s) this cycle.
+  std::vector<bool> emit(num_gates, false);
+  std::vector<bool> pulse(num_gates, false);
+  std::vector<bool> tff_parity(num_gates, false);
+
+  PulseTrains outputs;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.cell_of(g).kind == CellKind::kOutput) {
+      outputs[pin_name(netlist, g)].assign(static_cast<std::size_t>(cycles), false);
+    }
+  }
+
+  auto input_train = [&](GateId g) -> const std::vector<bool>* {
+    const auto it = inputs.find(pin_name(netlist, g));
+    return it == inputs.end() ? nullptr : &it->second;
+  };
+
+  for (int t = 0; t < cycles; ++t) {
+    // Propagate this cycle's pulses through the data network.
+    for (const GateId g : topo_) {
+      const Cell& cell = netlist.cell_of(g);
+      const auto ug = static_cast<std::size_t>(g);
+      auto arrived = [&](int pin) -> bool {
+        const NetId net = netlist.input_net(g, pin);
+        if (net == kInvalidNet) return false;
+        return pulse[static_cast<std::size_t>(netlist.net(net).driver.gate)];
+      };
+      switch (cell.kind) {
+        case CellKind::kInput: {
+          const std::vector<bool>* train = input_train(g);
+          pulse[ug] = train != nullptr && t < static_cast<int>(train->size()) &&
+                      (*train)[static_cast<std::size_t>(t)];
+          break;
+        }
+        case CellKind::kOutput:
+          pulse[ug] = arrived(0);
+          outputs[pin_name(netlist, g)][static_cast<std::size_t>(t)] = pulse[ug];
+          break;
+        case CellKind::kSplit:
+        case CellKind::kJtl:
+        case CellKind::kTxDriver:
+        case CellKind::kTxReceiver:
+          pulse[ug] = arrived(0);
+          break;
+        case CellKind::kMerge:
+          pulse[ug] = arrived(0) || arrived(1);
+          break;
+        case CellKind::kTff:
+          if (arrived(0)) {
+            tff_parity[ug] = !tff_parity[ug];
+            pulse[ug] = !tff_parity[ug];  // emit on every second pulse
+          } else {
+            pulse[ug] = false;
+          }
+          break;
+        default:  // clocked logic releases the pulse decided last edge
+          pulse[ug] = emit[ug];
+          break;
+      }
+    }
+
+    // Clock edge: latch this cycle's arrivals into next cycle's emissions.
+    for (const GateId g : topo_) {
+      const Cell& cell = netlist.cell_of(g);
+      if (!cell.is_clocked()) continue;
+      auto arrived = [&](int pin) -> bool {
+        if (pin >= cell.num_inputs) return false;
+        const NetId net = netlist.input_net(g, pin);
+        if (net == kInvalidNet) return false;
+        return pulse[static_cast<std::size_t>(netlist.net(net).driver.gate)];
+      };
+      emit[static_cast<std::size_t>(g)] = fires(cell.kind, arrived(0), arrived(1));
+    }
+  }
+  return outputs;
+}
+
+std::vector<std::uint64_t> PulseSimulator::stream_words(
+    const std::string& in_a, const std::vector<std::uint64_t>& a,
+    const std::string& in_b, const std::vector<std::uint64_t>& b, int in_width,
+    const std::string& out, int out_width) {
+  assert(a.size() == b.size());
+  const int words = static_cast<int>(a.size());
+  const int cycles = words + latency_;
+
+  PulseTrains inputs;
+  for (int bit = 0; bit < in_width; ++bit) {
+    std::vector<bool> train_a(static_cast<std::size_t>(cycles), false);
+    std::vector<bool> train_b(static_cast<std::size_t>(cycles), false);
+    for (int i = 0; i < words; ++i) {
+      train_a[static_cast<std::size_t>(i)] = ((a[static_cast<std::size_t>(i)] >> bit) & 1) != 0;
+      train_b[static_cast<std::size_t>(i)] = ((b[static_cast<std::size_t>(i)] >> bit) & 1) != 0;
+    }
+    inputs[str_format("%s[%d]", in_a.c_str(), bit)] = std::move(train_a);
+    inputs[str_format("%s[%d]", in_b.c_str(), bit)] = std::move(train_b);
+  }
+
+  const PulseTrains trains = run(inputs, cycles);
+  std::vector<std::uint64_t> result(static_cast<std::size_t>(words), 0);
+  for (int bit = 0; bit < out_width; ++bit) {
+    const auto it = trains.find(str_format("%s[%d]", out.c_str(), bit));
+    assert(it != trains.end() && "missing output pin");
+    for (int i = 0; i < words; ++i) {
+      if (it->second[static_cast<std::size_t>(i + latency_)]) {
+        result[static_cast<std::size_t>(i)] |= (1ULL << bit);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,65 @@
+// Cycle-accurate pulse-level SFQ simulator.
+//
+// SFQ logic is gate-level pipelined (paper section II): a clocked gate
+// collects input pulses during clock cycle t and emits its result pulse in
+// cycle t+1; unclocked cells (splitters, JTLs, mergers) forward pulses
+// within the cycle. This simulator executes mapped netlists under those
+// semantics, which checks what the word-level simulator (gen/sim.h)
+// cannot: that path balancing actually aligns every gate's fan-ins, so a
+// new input word can be streamed *every* cycle and the answers emerge
+// wave-pipelined after exactly `latency()` cycles.
+//
+// Gate semantics per RSFQ cell conventions:
+//   DFF   emits iff a pulse arrived on D          (1-cycle delay element)
+//   AND2  emits iff pulses arrived on both inputs
+//   OR2   emits iff a pulse arrived on either input
+//   XOR2  emits iff a pulse arrived on exactly one input
+//   NOT   emits iff NO pulse arrived               (clocked inverter)
+//   NDRO  state element: set by D, emits stored state each clock (simplified
+//         here to DFF behaviour, matching the mapper's usage)
+//   SPLIT/JTL forward immediately; MERGE forwards a pulse if either input
+//         pulsed this cycle; TFF emits every second input pulse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+// Pulse trains keyed by primary-pin name ("pin:" prefix stripped);
+// train[t] is whether a pulse occurs in cycle t.
+using PulseTrains = std::map<std::string, std::vector<bool>>;
+
+class PulseSimulator {
+ public:
+  explicit PulseSimulator(const Netlist& netlist);
+
+  // Pipeline latency in clock cycles from primary inputs to the deepest
+  // primary output (= the netlist's clocked stage depth).
+  int latency() const { return latency_; }
+
+  // Runs for `cycles` clock cycles. Input trains shorter than `cycles`
+  // are zero-extended. Returns output trains of length `cycles`.
+  PulseTrains run(const PulseTrains& inputs, int cycles);
+
+  // Convenience: streams per-cycle input words through the pipeline and
+  // returns the output words aligned by latency: result[i] corresponds to
+  // input word i. `width` words use pins "<name>[bit]".
+  std::vector<std::uint64_t> stream_words(const std::string& in_a,
+                                          const std::vector<std::uint64_t>& a,
+                                          const std::string& in_b,
+                                          const std::vector<std::uint64_t>& b,
+                                          int in_width, const std::string& out,
+                                          int out_width);
+
+ private:
+  const Netlist* netlist_;
+  std::vector<GateId> topo_;
+  int latency_ = 0;
+};
+
+}  // namespace sfqpart

@@ -1,0 +1,78 @@
+#include "recycling/bias_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace sfqpart {
+
+BiasPlan make_bias_plan(const Netlist& netlist, const Partition& partition,
+                        const BiasPlanOptions& options) {
+  assert(options.pad_limit_ma > 0.0);
+  const int num_planes = partition.num_planes;
+
+  BiasPlan plan;
+  plan.planes.resize(static_cast<std::size_t>(num_planes));
+  for (int k = 0; k < num_planes; ++k) {
+    plan.planes[static_cast<std::size_t>(k)].plane = k;
+  }
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (!netlist.is_partitionable(g)) continue;
+    const int k = partition.plane(g);
+    assert(k >= 0 && k < num_planes);
+    PlaneBias& plane = plan.planes[static_cast<std::size_t>(k)];
+    ++plane.gates;
+    plane.bias_ma += netlist.bias_of(g);
+    plane.area_um2 += netlist.area_of(g);
+    plan.total_bias_ma += netlist.bias_of(g);
+  }
+
+  for (const PlaneBias& plane : plan.planes) {
+    plan.supply_ma = std::max(plan.supply_ma, plane.bias_ma);
+  }
+  for (PlaneBias& plane : plan.planes) {
+    plane.dummy_ma = plan.supply_ma - plane.bias_ma;
+    plane.dummy_cells = static_cast<int>(
+        std::ceil(plane.dummy_ma / std::max(1e-9, options.dummy_cell_ma)));
+    plan.total_dummy_ma += plane.dummy_ma;
+    // Plane k sits (K - k) rails above the return: plane 0 is at the top
+    // of the stack.
+    plane.potential_mv = options.rail_mv * (num_planes - plane.plane);
+  }
+  plan.stack_voltage_mv = options.rail_mv * num_planes;
+  plan.pads_serial =
+      static_cast<int>(std::ceil(plan.supply_ma / options.pad_limit_ma));
+  plan.pads_parallel =
+      static_cast<int>(std::ceil(plan.total_bias_ma / options.pad_limit_ma));
+  return plan;
+}
+
+std::string format_bias_plan(const BiasPlan& plan) {
+  std::string out = str_format(
+      "serial bias stack: supply %.2f mA, stack voltage %.1f mV\n"
+      "   I_supply\n      |\n      v\n",
+      plan.supply_ma, plan.stack_voltage_mv);
+  for (const PlaneBias& plane : plan.planes) {
+    out += str_format(
+        "+---------------------------------------------+\n"
+        "| GP%-2d  %5d gates  B=%9.2f mA  @%6.1f mV |%s\n",
+        plane.plane, plane.gates, plane.bias_ma, plane.potential_mv,
+        plane.dummy_ma > 1e-9
+            ? str_format("  dummy %.2f mA (%d cells)", plane.dummy_ma,
+                         plane.dummy_cells)
+                  .c_str()
+            : "");
+  }
+  out += "+---------------------------------------------+\n      |\n      v\n   return (0 mV)\n";
+  out += str_format(
+      "B_cir = %.2f mA, I_comp = %.2f mA (%.2f%%), power overhead x%.3f\n"
+      "bias pads: %d with recycling vs %d parallel (saves %d)\n",
+      plan.total_bias_ma, plan.total_dummy_ma,
+      plan.total_bias_ma > 0.0 ? 100.0 * plan.total_dummy_ma / plan.total_bias_ma : 0.0,
+      plan.power_overhead(), plan.pads_serial, plan.pads_parallel, plan.pads_saved());
+  return out;
+}
+
+}  // namespace sfqpart

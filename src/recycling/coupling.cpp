@@ -1,0 +1,64 @@
+#include "recycling/coupling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace sfqpart {
+
+CouplingReport plan_coupling(const Netlist& netlist, const Partition& partition,
+                             const CouplingOptions& options) {
+  CouplingReport report;
+  report.links_by_distance.assign(static_cast<std::size_t>(partition.num_planes), 0);
+  report.pairs_per_boundary.assign(
+      partition.num_planes > 0 ? static_cast<std::size_t>(partition.num_planes - 1) : 0,
+      0);
+
+  // Physical links are directed (driver -> sink), one per net sink; a net
+  // fanning out to two planes needs two coupling paths.
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    if (net.driver.gate == kInvalidGate) continue;
+    if (!partition.assigned(net.driver.gate)) continue;
+    const int from = partition.plane(net.driver.gate);
+    for (const PinRef& sink : net.sinks) {
+      if (sink.pin == kClockPin && !options.include_clock_edges) continue;
+      if (!partition.assigned(sink.gate)) continue;
+      const int to = partition.plane(sink.gate);
+      const int distance = std::abs(to - from);
+      if (distance == 0) continue;
+      ++report.cross_connections;
+      ++report.links_by_distance[static_cast<std::size_t>(distance)];
+      report.total_pairs += distance;
+      for (int b = std::min(from, to); b < std::max(from, to); ++b) {
+        ++report.pairs_per_boundary[static_cast<std::size_t>(b)];
+      }
+      report.worst_hop_delay_ps = std::max(
+          report.worst_hop_delay_ps, options.hop_delay_ps * distance);
+    }
+  }
+  report.area_overhead_um2 = options.pair_area_um2 * report.total_pairs;
+  return report;
+}
+
+std::string format_coupling_report(const CouplingReport& report) {
+  std::string out = str_format(
+      "inductive coupling plan: %d cross-plane links, %d driver/receiver pairs\n"
+      "area overhead %.4f mm^2, worst crossing latency %.1f ps\n",
+      report.cross_connections, report.total_pairs, report.area_overhead_mm2(),
+      report.worst_hop_delay_ps);
+  for (std::size_t d = 1; d < report.links_by_distance.size(); ++d) {
+    if (report.links_by_distance[d] == 0) continue;
+    out += str_format("  links crossing %zu plane(s): %d\n", d,
+                      report.links_by_distance[d]);
+  }
+  for (std::size_t b = 0; b < report.pairs_per_boundary.size(); ++b) {
+    out += str_format("  boundary GP%zu|GP%zu: %d pairs\n", b, b + 1,
+                      report.pairs_per_boundary[b]);
+  }
+  return out;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,47 @@
+// Inductive coupling insertion planning.
+//
+// Ground planes are isolated islands; an SFQ pulse crossing from plane p
+// to plane q must hop through every plane in between, each hop needing one
+// driver/receiver inductive coupling pair laid out across the boundary
+// (paper section III). This module counts the pairs a partition implies
+// and estimates their area and latency overhead -- the physical cost the
+// d^4 term of the cost function is minimizing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+
+namespace sfqpart {
+
+struct CouplingOptions {
+  // Area of one driver/receiver pair (both halves), matching the TXDRV +
+  // TXRCV cells of the default library.
+  double pair_area_um2 = 1200.0;
+  // Latency of one inductive hop (driver + coupled receiver + retiming).
+  double hop_delay_ps = 15.0;
+  // Count clock-pin connections too (only meaningful when the netlist has
+  // an explicit clock tree).
+  bool include_clock_edges = true;
+};
+
+struct CouplingReport {
+  int cross_connections = 0;  // directed gate-to-gate links leaving a plane
+  int total_pairs = 0;        // driver/receiver pairs (sum of distances)
+  // pairs_by_distance[d]: links crossing exactly d planes (d >= 1).
+  std::vector<int> links_by_distance;
+  // pairs_per_boundary[b]: pairs laid out across the plane b / b+1 seam.
+  std::vector<int> pairs_per_boundary;
+  double area_overhead_um2 = 0.0;
+  double worst_hop_delay_ps = 0.0;  // deepest crossing * hop delay
+
+  double area_overhead_mm2() const { return area_overhead_um2 * 1e-6; }
+};
+
+CouplingReport plan_coupling(const Netlist& netlist, const Partition& partition,
+                             const CouplingOptions& options = {});
+
+std::string format_coupling_report(const CouplingReport& report);
+
+}  // namespace sfqpart

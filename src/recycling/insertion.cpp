@@ -1,0 +1,69 @@
+#include "recycling/insertion.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace sfqpart {
+
+CouplingInsertion apply_coupling_insertion(const Netlist& netlist,
+                                           const Partition& partition) {
+  const auto driver_cell = netlist.library().find_kind(CellKind::kTxDriver);
+  const auto receiver_cell = netlist.library().find_kind(CellKind::kTxReceiver);
+  assert(driver_cell && receiver_cell && "library has no coupling cells");
+
+  CouplingInsertion result{Netlist(&netlist.library(), netlist.name()),
+                           partition, 0, {}};
+  result.added_bias_ma.assign(static_cast<std::size_t>(partition.num_planes), 0.0);
+
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    result.netlist.add_gate(netlist.gate(g).name, netlist.gate(g).cell);
+  }
+
+  int next_pair = 0;
+  // Extends the connection from `tail` on plane `from` toward plane `to`,
+  // inserting one driver/receiver pair per boundary; returns the new tail.
+  auto bridge = [&](PinRef tail, int from, int to) -> PinRef {
+    const int step = to > from ? 1 : -1;
+    for (int plane = from; plane != to; plane += step) {
+      const GateId driver = result.netlist.add_gate(
+          "txd_" + std::to_string(next_pair), *driver_cell);
+      const GateId receiver = result.netlist.add_gate(
+          "txr_" + std::to_string(next_pair), *receiver_cell);
+      ++next_pair;
+      result.netlist.connect(tail.gate, tail.pin, driver, 0);
+      result.netlist.connect(driver, 0, receiver, 0);
+      tail = PinRef{receiver, 0};
+      // Driver sits on the sending plane, receiver across the boundary.
+      result.partition.plane_of.push_back(plane);
+      result.partition.plane_of.push_back(plane + step);
+      result.added_bias_ma[static_cast<std::size_t>(plane)] +=
+          netlist.library().cell(*driver_cell).bias_ma;
+      result.added_bias_ma[static_cast<std::size_t>(plane + step)] +=
+          netlist.library().cell(*receiver_cell).bias_ma;
+      ++result.pairs_inserted;
+    }
+    return tail;
+  };
+
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    if (net.driver.gate == kInvalidGate) continue;
+    const bool driver_assigned = partition.assigned(net.driver.gate);
+    const int from = driver_assigned ? partition.plane(net.driver.gate) : 0;
+    for (const PinRef& sink : net.sinks) {
+      PinRef tail = net.driver;
+      if (driver_assigned && partition.assigned(sink.gate)) {
+        const int to = partition.plane(sink.gate);
+        if (to != from) tail = bridge(tail, from, to);
+      }
+      if (sink.pin == kClockPin) {
+        result.netlist.connect_clock(tail.gate, tail.pin, sink.gate);
+      } else {
+        result.netlist.connect(tail.gate, tail.pin, sink.gate, sink.pin);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,30 @@
+// Coupling-cell insertion: materialize the partition's inductive links.
+//
+// plan_coupling() counts the driver/receiver pairs a partition needs; this
+// pass actually *inserts* them into the netlist: every connection from
+// plane p to plane q is rewired through |p - q| TXDRV/TXRCV pairs, one per
+// plane boundary crossed (only adjacent planes can couple; paper section
+// III-B3). The inserted cells draw bias current on their own planes, so
+// insertion feeds back into the bias balance — an effect the paper's flow
+// stops short of quantifying and which coupling_overhead_bench measures.
+#pragma once
+
+#include "core/partition.h"
+
+namespace sfqpart {
+
+struct CouplingInsertion {
+  Netlist netlist;      // original gates first, inserted cells appended
+  Partition partition;  // extended over the inserted cells
+  int pairs_inserted = 0;
+  // Extra bias the coupling cells add, per plane [mA].
+  std::vector<double> added_bias_ma;
+};
+
+// `partition` must cover the netlist. Clock-pin connections are rewired
+// like data connections (an explicit clock tree crossing planes needs
+// coupling just the same).
+CouplingInsertion apply_coupling_insertion(const Netlist& netlist,
+                                           const Partition& partition);
+
+}  // namespace sfqpart

@@ -1,0 +1,54 @@
+// Bias power accounting: the "why" of current recycling (paper sections
+// I-II).
+//
+// Three biasing schemes for the same circuit:
+//   RSFQ     resistive parallel biasing: static power V_rail * B_cir plus
+//            the dissipation in the bias resistors (dominant; the resistor
+//            drops supply - rail).
+//   ERSFQ    inductive parallel biasing: no static dissipation, dynamic
+//            switching energy only (I_bias * Phi0 per SFQ pulse).
+//   recycled serial (current-recycled) biasing of a K-plane partition:
+//            the supply delivers B_max at K * V_rail; dummy structures
+//            burn the imbalance.
+// Cable/thermal load scales with the *current* brought into the cryostat,
+// which is what recycling divides by ~K.
+#pragma once
+
+#include <string>
+
+#include "core/partition.h"
+
+namespace sfqpart {
+
+struct PowerOptions {
+  double rail_mv = 2.5;       // bias bus voltage
+  double supply_mv = 5.0;     // RSFQ external supply (resistor drops the rest)
+  double clock_ghz = 20.0;    // operating frequency for dynamic energy
+  // Average switching activity per gate per cycle (pulses are data-
+  // dependent; 0.5 is the usual planning number).
+  double activity = 0.5;
+};
+
+struct PowerReport {
+  double total_bias_ma = 0.0;   // B_cir
+  double supply_current_ma = 0.0;  // current entering the cryostat (recycled)
+  // Parallel RSFQ biasing.
+  double rsfq_static_uw = 0.0;
+  // Dynamic (ERSFQ-style) switching power, common to all schemes.
+  double dynamic_uw = 0.0;
+  // Serial recycled biasing: supply power incl. dummy burn.
+  double recycled_supply_uw = 0.0;
+  double dummy_burn_uw = 0.0;
+
+  // Currents brought into the cryostat: the cable-load ratio.
+  double current_reduction_factor() const {
+    return supply_current_ma > 0.0 ? total_bias_ma / supply_current_ma : 1.0;
+  }
+};
+
+PowerReport analyze_power(const Netlist& netlist, const Partition& partition,
+                          const PowerOptions& options = {});
+
+std::string format_power_report(const PowerReport& report);
+
+}  // namespace sfqpart

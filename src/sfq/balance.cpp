@@ -1,0 +1,97 @@
+#include "sfq/balance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+namespace sfqpart {
+namespace {
+
+// Gates whose fan-ins must arrive at one common stage depth: clocked cells
+// (they fire on the clock) and mergers (their pulse streams must be
+// aligned for deterministic behaviour).
+bool needs_aligned_inputs(const Cell& cell) {
+  return cell.is_clocked() || cell.kind == CellKind::kMerge;
+}
+
+}  // namespace
+
+std::vector<int> stage_depths(const Netlist& netlist) {
+  std::vector<int> depth(static_cast<std::size_t>(netlist.num_gates()), 0);
+  for (const GateId g : netlist.topological_order()) {
+    const Cell& cell = netlist.cell_of(g);
+    int max_in = 0;
+    for (int pin = 0; pin < cell.num_inputs; ++pin) {
+      const NetId net_id = netlist.input_net(g, pin);
+      if (net_id == kInvalidNet) continue;
+      max_in = std::max(max_in, depth[static_cast<std::size_t>(netlist.net(net_id).driver.gate)]);
+    }
+    depth[static_cast<std::size_t>(g)] = max_in + (cell.is_clocked() ? 1 : 0);
+  }
+  return depth;
+}
+
+Netlist insert_path_balancing(const Netlist& input, const BalanceOptions& options) {
+  const int dff_cell = input.library().find_kind(CellKind::kDff).value_or(-1);
+  assert(dff_cell >= 0 && "library has no DFF cell");
+
+  const std::vector<int> depth = stage_depths(input);
+
+  // Depth every primary output should be padded to.
+  int max_po_depth = 0;
+  if (options.balance_outputs) {
+    for (GateId g = 0; g < input.num_gates(); ++g) {
+      if (input.cell_of(g).kind == CellKind::kOutput) {
+        max_po_depth = std::max(max_po_depth, depth[static_cast<std::size_t>(g)]);
+      }
+    }
+  }
+
+  Netlist output(&input.library(), input.name());
+  for (GateId g = 0; g < input.num_gates(); ++g) {
+    output.add_gate(input.gate(g).name, input.gate(g).cell);
+  }
+
+  int next_dff = 0;
+  // Per driver output pin, the tails of its shared DFF chain: chains[i] is
+  // the pin after i balancing stages. Sinks with different lags share the
+  // chain prefix (fanout legalization later splits the multi-sink taps).
+  std::map<std::pair<GateId, int>, std::vector<PinRef>> chain_cache;
+  auto pad = [&](GateId driver, int out_pin, int lag) -> PinRef {
+    std::vector<PinRef>& chain = chain_cache[{driver, out_pin}];
+    if (chain.empty()) chain.push_back(PinRef{driver, out_pin});
+    while (static_cast<int>(chain.size()) <= lag) {
+      const GateId dff = output.add_gate("bal_" + std::to_string(next_dff++), dff_cell);
+      output.connect(chain.back().gate, chain.back().pin, dff, 0);
+      chain.push_back(PinRef{dff, 0});
+    }
+    return chain[static_cast<std::size_t>(lag)];
+  };
+
+  for (NetId n = 0; n < input.num_nets(); ++n) {
+    const Net& net = input.net(n);
+    if (net.driver.gate == kInvalidGate) continue;
+    const int src_depth = depth[static_cast<std::size_t>(net.driver.gate)];
+    for (const PinRef& sink : net.sinks) {
+      if (sink.pin == kClockPin) {
+        output.connect_clock(net.driver.gate, net.driver.pin, sink.gate);
+        continue;
+      }
+      const Cell& sink_cell = input.cell_of(sink.gate);
+      int required = src_depth;  // default: no padding
+      if (needs_aligned_inputs(sink_cell)) {
+        required = depth[static_cast<std::size_t>(sink.gate)] -
+                   (sink_cell.is_clocked() ? 1 : 0);
+      } else if (options.balance_outputs && sink_cell.kind == CellKind::kOutput) {
+        required = max_po_depth;
+      }
+      assert(required >= src_depth && "stage depth computation inconsistent");
+      const PinRef tail = pad(net.driver.gate, net.driver.pin, required - src_depth);
+      output.connect(tail.gate, tail.pin, sink.gate, sink.pin);
+    }
+  }
+  return output;
+}
+
+}  // namespace sfqpart

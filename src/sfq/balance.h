@@ -1,0 +1,33 @@
+// Full path balancing for gate-level-pipelined SFQ circuits.
+//
+// Every clocked SFQ gate consumes its inputs one clock cycle after they
+// were produced, so all fan-ins of a gate must arrive through the same
+// number of clocked stages (paper section II, item i). This pass computes
+// per-gate stage depths and inserts DFF chains on lagging edges.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+struct BalanceOptions {
+  // Also pad primary outputs so every output is produced at the same stage
+  // depth (needed when the consumer expects an aligned word, as the
+  // arithmetic benchmark circuits do).
+  bool balance_outputs = true;
+};
+
+// Stage depth of each gate's output: 0 at primary inputs, +1 through each
+// clocked gate, unchanged through unclocked cells. For multi-input cells
+// the depth is taken over the *maximum* input (lagging inputs are exactly
+// the edges balancing must pad).
+std::vector<int> stage_depths(const Netlist& netlist);
+
+// Returns a new netlist with DFF chains ("bal_<n>") inserted so that every
+// multi-input gate sees equal-depth fan-ins. Works on structural or
+// physical netlists (multi-sink nets allowed); requires a kDff cell.
+Netlist insert_path_balancing(const Netlist& input, const BalanceOptions& options = {});
+
+}  // namespace sfqpart

@@ -1,0 +1,41 @@
+#include "sfq/clocktree.h"
+
+#include <cassert>
+
+namespace sfqpart {
+
+Netlist insert_clock_tree(const Netlist& input, const ClockTreeOptions& options) {
+  Netlist output(&input.library(), input.name());
+  for (GateId g = 0; g < input.num_gates(); ++g) {
+    output.add_gate(input.gate(g).name, input.gate(g).cell);
+  }
+  for (NetId n = 0; n < input.num_nets(); ++n) {
+    const Net& net = input.net(n);
+    if (net.driver.gate == kInvalidGate) continue;
+    for (const PinRef& sink : net.sinks) {
+      if (sink.pin == kClockPin) {
+        output.connect_clock(net.driver.gate, net.driver.pin, sink.gate);
+      } else {
+        output.connect(net.driver.gate, net.driver.pin, sink.gate, sink.pin);
+      }
+    }
+  }
+
+  std::vector<GateId> unclocked_sinks;
+  for (GateId g = 0; g < output.num_gates(); ++g) {
+    if (output.cell_of(g).is_clocked() && output.clock_net(g) == kInvalidNet) {
+      unclocked_sinks.push_back(g);
+    }
+  }
+  if (unclocked_sinks.empty()) return output;
+
+  const auto source_cell = output.library().find_kind(CellKind::kInput);
+  assert(source_cell.has_value() && "library has no input interface cell");
+  const GateId clock_source = output.add_gate(options.clock_pin_name, *source_cell);
+  for (const GateId g : unclocked_sinks) {
+    output.connect_clock(clock_source, 0, g);
+  }
+  return output;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,24 @@
+// Clock distribution for SFQ netlists.
+//
+// SFQ logic is gate-level pipelined: every clocked cell needs a clock
+// pulse each cycle, distributed through an active splitter network (paper
+// section II, items i and iii). This pass adds a clock source pin and
+// connects the clock input of every clocked gate to it; the resulting
+// high-fanout clock net is meant to be legalized by legalize_fanout().
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+struct ClockTreeOptions {
+  // Name of the clock source pin gate (a kInput interface cell).
+  const char* clock_pin_name = "pin:clk";
+};
+
+// Returns a new netlist with a clock source feeding the clock pin of every
+// clocked gate that does not already have one. No-op copy when the netlist
+// has no clocked gates.
+Netlist insert_clock_tree(const Netlist& input, const ClockTreeOptions& options = {});
+
+}  // namespace sfqpart

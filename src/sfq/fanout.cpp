@@ -1,0 +1,62 @@
+#include "sfq/fanout.h"
+
+#include <cassert>
+#include <span>
+
+namespace sfqpart {
+namespace {
+
+class FanoutLegalizer {
+ public:
+  explicit FanoutLegalizer(const Netlist& input)
+      : input_(input), output_(&input.library(), input.name()) {
+    splitter_cell_ = input.library().find_kind(CellKind::kSplit).value_or(-1);
+    assert(splitter_cell_ >= 0 && "library has no splitter cell");
+  }
+
+  Netlist run() {
+    for (GateId g = 0; g < input_.num_gates(); ++g) {
+      output_.add_gate(input_.gate(g).name, input_.gate(g).cell);
+    }
+    for (NetId n = 0; n < input_.num_nets(); ++n) {
+      const Net& net = input_.net(n);
+      if (net.driver.gate == kInvalidGate || net.sinks.empty()) continue;
+      emit(net.driver.gate, net.driver.pin, std::span<const PinRef>(net.sinks));
+    }
+    return std::move(output_);
+  }
+
+ private:
+  // Connects `driver` to all `sinks`, inserting a balanced splitter tree
+  // when there is more than one sink.
+  void emit(GateId driver, int out_pin, std::span<const PinRef> sinks) {
+    if (sinks.size() == 1) {
+      const PinRef& sink = sinks.front();
+      if (sink.pin == kClockPin) {
+        output_.connect_clock(driver, out_pin, sink.gate);
+      } else {
+        output_.connect(driver, out_pin, sink.gate, sink.pin);
+      }
+      return;
+    }
+    const GateId splitter =
+        output_.add_gate("sp_" + std::to_string(next_splitter_++), splitter_cell_);
+    output_.connect(driver, out_pin, splitter, 0);
+    const std::size_t half = (sinks.size() + 1) / 2;
+    emit(splitter, 0, sinks.subspan(0, half));
+    emit(splitter, 1, sinks.subspan(half));
+  }
+
+  const Netlist& input_;
+  Netlist output_;
+  int splitter_cell_ = -1;
+  int next_splitter_ = 0;
+};
+
+}  // namespace
+
+Netlist legalize_fanout(const Netlist& input) {
+  return FanoutLegalizer(input).run();
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,19 @@
+// SFQ fanout legalization.
+//
+// An SFQ cell output drives exactly one sink; fanout of two requires an
+// active splitter cell and larger fanouts a tree of splitters (paper
+// section II, item ii). This pass rewrites every multi-sink net into a
+// balanced binary splitter tree.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+// Returns a new netlist over the same library where every net has exactly
+// one sink. Inserted splitters are named "sp_<n>". Requires the library to
+// provide a kSplit cell. Gate ids of original gates are preserved (they are
+// copied first, in order); splitters are appended after them.
+Netlist legalize_fanout(const Netlist& input);
+
+}  // namespace sfqpart

@@ -1,0 +1,52 @@
+#include "sfq/mapper.h"
+
+#include <cassert>
+
+#include "sfq/balance.h"
+#include "sfq/clocktree.h"
+#include "sfq/fanout.h"
+
+namespace sfqpart {
+namespace {
+
+// Re-instantiates every gate against the target library by cell kind,
+// copying all connections (fanout still illegal at this point).
+Netlist map_cells(const Netlist& structural, const CellLibrary& target) {
+  Netlist mapped(&target, structural.name());
+  for (GateId g = 0; g < structural.num_gates(); ++g) {
+    const CellKind kind = structural.cell_of(g).kind;
+    const auto cell = target.find_kind(kind);
+    assert(cell.has_value() && "target library lacks a cell kind used by the netlist");
+    mapped.add_gate(structural.gate(g).name, *cell);
+  }
+  for (NetId n = 0; n < structural.num_nets(); ++n) {
+    const Net& net = structural.net(n);
+    if (net.driver.gate == kInvalidGate) continue;
+    for (const PinRef& sink : net.sinks) {
+      if (sink.pin == kClockPin) {
+        mapped.connect_clock(net.driver.gate, net.driver.pin, sink.gate);
+      } else {
+        mapped.connect(net.driver.gate, net.driver.pin, sink.gate, sink.pin);
+      }
+    }
+  }
+  return mapped;
+}
+
+}  // namespace
+
+Netlist map_to_sfq(const Netlist& structural, const SfqMapperOptions& options) {
+  assert(options.target != nullptr);
+  Netlist netlist = map_cells(structural, *options.target);
+  if (options.balance_paths) {
+    BalanceOptions balance_options;
+    balance_options.balance_outputs = options.balance_outputs;
+    netlist = insert_path_balancing(netlist, balance_options);
+  }
+  if (options.insert_clock_tree) {
+    netlist = insert_clock_tree(netlist);
+  }
+  return legalize_fanout(netlist);
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,30 @@
+// SFQ technology mapper: structural boolean netlist -> physical SFQ netlist.
+//
+// Reproduces the mapping pipeline the paper's benchmark suite was built
+// with ([20], [21]): map idealized operators onto the physical cell
+// library, insert full path balancing DFFs, optionally synthesize the
+// clock distribution network, then legalize all fanout with splitter
+// trees. The result passes validate() with SFQ fanout rules.
+#pragma once
+
+#include "netlist/cell_library.h"
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+struct SfqMapperOptions {
+  const CellLibrary* target = &default_sfq_library();
+  bool balance_paths = true;
+  bool balance_outputs = true;
+  // Clock network synthesis. Disabled by default: the DEF benchmark suite
+  // of the paper treats clock distribution as part of routing, and gate /
+  // connection counts in Table I reflect the data network (see DESIGN.md).
+  bool insert_clock_tree = false;
+};
+
+// Maps a structural netlist (cells from structural_library()) to the
+// physical target library. Gate names are preserved; inserted cells are
+// named "bal_<n>" (balancing DFFs) and "sp_<n>" (splitters).
+Netlist map_to_sfq(const Netlist& structural, const SfqMapperOptions& options = {});
+
+}  // namespace sfqpart

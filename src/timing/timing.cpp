@@ -1,0 +1,302 @@
+#include "timing/timing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace sfqpart {
+namespace {
+
+struct Arrival {
+  double total = 0.0;
+  double logic = 0.0;
+  double wire = 0.0;
+  double coupling = 0.0;
+  GateId pred = kInvalidGate;  // previous gate on the worst in-segment path
+};
+
+// Propagation delay contributed by an asynchronous cell itself.
+double async_cell_delay(CellKind kind, const TimingOptions& options) {
+  switch (kind) {
+    case CellKind::kSplit:
+      return options.splitter_delay_ps;
+    case CellKind::kMerge:
+      return options.merger_delay_ps;
+    case CellKind::kJtl:
+    case CellKind::kTff:
+    case CellKind::kTxDriver:
+    case CellKind::kTxReceiver:
+      return options.jtl_delay_ps;
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+TimingReport analyze_timing(const Netlist& netlist, const TimingOptions& options,
+                            const Floorplan* floorplan, const Partition* partition) {
+  std::vector<Arrival> arrival(static_cast<std::size_t>(netlist.num_gates()));
+
+  auto edge_wire_ps = [&](GateId from, GateId to) {
+    if (floorplan == nullptr) return 0.0;
+    const auto uf = static_cast<std::size_t>(from);
+    const auto ut = static_cast<std::size_t>(to);
+    const double dx = floorplan->x_um[uf] - floorplan->x_um[ut];
+    const double dy = floorplan->y_um[uf] - floorplan->y_um[ut];
+    return (std::abs(dx) + std::abs(dy)) * 1e-3 * options.wire_ps_per_mm;
+  };
+  auto edge_coupling_ps = [&](GateId from, GateId to) {
+    if (partition == nullptr) return 0.0;
+    if (!partition->assigned(from) || !partition->assigned(to)) return 0.0;
+    return std::abs(partition->plane(from) - partition->plane(to)) *
+           options.coupling_hop_ps;
+  };
+
+  TimingReport report;
+  GateId critical_driver = kInvalidGate;
+  GateId critical_sink = kInvalidGate;
+  double critical_edge_wire = 0.0;
+  double critical_edge_coupling = 0.0;
+
+  for (const GateId g : netlist.topological_order()) {
+    const Cell& cell = netlist.cell_of(g);
+    Arrival& out = arrival[static_cast<std::size_t>(g)];
+    if (cell.is_clocked()) {
+      out = Arrival{options.clk_to_q_ps, options.clk_to_q_ps, 0.0, 0.0,
+                    kInvalidGate};
+    } else if (cell.kind == CellKind::kInput) {
+      out = Arrival{};
+    } else {
+      // Asynchronous cell: worst input arrival plus its own delay.
+      Arrival worst;
+      bool first = true;
+      for (int pin = 0; pin < cell.num_inputs; ++pin) {
+        const NetId net = netlist.input_net(g, pin);
+        if (net == kInvalidNet) continue;
+        const GateId driver = netlist.net(net).driver.gate;
+        const Arrival& in = arrival[static_cast<std::size_t>(driver)];
+        const double wire = edge_wire_ps(driver, g);
+        const double coupling = edge_coupling_ps(driver, g);
+        const double total = in.total + wire + coupling;
+        if (first || total > worst.total) {
+          first = false;
+          worst = Arrival{total, in.logic, in.wire + wire,
+                          in.coupling + coupling, driver};
+        }
+      }
+      const double own = async_cell_delay(cell.kind, options);
+      worst.total += own;
+      worst.logic += own;
+      out = worst;
+    }
+
+    // Segment end-points: every data edge into a clocked gate or a primary
+    // output closes a register-to-register segment.
+    for (int pin = 0; pin < cell.num_outputs; ++pin) {
+      const NetId net = netlist.output_net(g, pin);
+      if (net == kInvalidNet) continue;
+      for (const PinRef& sink : netlist.net(net).sinks) {
+        // Clock-pin edges are distribution skew, not data-path delay.
+        if (sink.pin == kClockPin) continue;
+        const Cell& sink_cell = netlist.cell_of(sink.gate);
+        const bool closes = sink_cell.is_clocked() ||
+                            sink_cell.kind == CellKind::kOutput;
+        if (!closes) continue;
+        const double wire = edge_wire_ps(g, sink.gate);
+        const double coupling = edge_coupling_ps(g, sink.gate);
+        const double setup = sink_cell.is_clocked() ? options.setup_ps : 0.0;
+        const double period = out.total + wire + coupling + setup;
+        if (period > report.min_period_ps) {
+          report.min_period_ps = period;
+          critical_driver = g;
+          critical_sink = sink.gate;
+          critical_edge_wire = wire;
+          critical_edge_coupling = coupling;
+        }
+      }
+    }
+  }
+
+  if (critical_driver != kInvalidGate) {
+    const Arrival& at = arrival[static_cast<std::size_t>(critical_driver)];
+    report.critical_logic_ps = at.logic;
+    report.critical_wire_ps = at.wire + critical_edge_wire;
+    report.critical_coupling_ps = at.coupling + critical_edge_coupling;
+    // Walk predecessors back to the launching gate.
+    std::vector<std::string> path{netlist.gate(critical_sink).name};
+    for (GateId g = critical_driver; g != kInvalidGate;
+         g = arrival[static_cast<std::size_t>(g)].pred) {
+      path.push_back(netlist.gate(g).name);
+    }
+    report.critical_path.assign(path.rbegin(), path.rend());
+  }
+  if (report.min_period_ps > 0.0) {
+    report.fmax_ghz = 1000.0 / report.min_period_ps;
+  }
+  return report;
+}
+
+std::string format_timing_report(const TimingReport& report) {
+  std::string out = str_format(
+      "timing: min period %.1f ps  (Fmax %.1f GHz)\n"
+      "  critical segment: logic %.1f ps, wire %.1f ps, coupling %.1f ps\n  ",
+      report.min_period_ps, report.fmax_ghz, report.critical_logic_ps,
+      report.critical_wire_ps, report.critical_coupling_ps);
+  for (std::size_t i = 0; i < report.critical_path.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += report.critical_path[i];
+  }
+  out += "\n";
+  return out;
+}
+
+namespace {
+
+// Arrival of the clock pulse at each gate's clock pin, through the clock
+// distribution network (an async splitter tree from a kInput source).
+std::vector<double> clock_arrivals(const Netlist& netlist, const TimingOptions& options,
+                                   const Floorplan* floorplan,
+                                   bool& any_clock) {
+  std::vector<double> output_arrival(static_cast<std::size_t>(netlist.num_gates()), 0.0);
+  std::vector<double> clock_at(static_cast<std::size_t>(netlist.num_gates()), -1.0);
+  any_clock = false;
+  auto wire = [&](GateId from, GateId to) {
+    if (floorplan == nullptr) return 0.0;
+    const auto uf = static_cast<std::size_t>(from);
+    const auto ut = static_cast<std::size_t>(to);
+    return (std::abs(floorplan->x_um[uf] - floorplan->x_um[ut]) +
+            std::abs(floorplan->y_um[uf] - floorplan->y_um[ut])) *
+           1e-3 * options.wire_ps_per_mm;
+  };
+  // Pass 1: arrival through the asynchronous network. (Clock edges do not
+  // constrain the topological order, so clocked gates may appear before
+  // their clock-tree splitters -- read the clock pins in a second pass.)
+  for (const GateId g : netlist.topological_order()) {
+    const Cell& cell = netlist.cell_of(g);
+    const auto ug = static_cast<std::size_t>(g);
+    if (!cell.is_clocked() && cell.kind != CellKind::kInput &&
+        cell.kind != CellKind::kOutput) {
+      double worst = 0.0;
+      for (int pin = 0; pin < cell.num_inputs; ++pin) {
+        const NetId net = netlist.input_net(g, pin);
+        if (net == kInvalidNet) continue;
+        const GateId driver = netlist.net(net).driver.gate;
+        worst = std::max(worst, output_arrival[static_cast<std::size_t>(driver)] +
+                                    wire(driver, g));
+      }
+      output_arrival[ug] = worst + async_cell_delay(cell.kind, options);
+    }
+  }
+  // Pass 2: clock pin arrivals.
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (!netlist.cell_of(g).is_clocked()) continue;
+    const NetId clock = netlist.clock_net(g);
+    if (clock == kInvalidNet) continue;
+    const GateId driver = netlist.net(clock).driver.gate;
+    clock_at[static_cast<std::size_t>(g)] =
+        output_arrival[static_cast<std::size_t>(driver)] + wire(driver, g);
+    any_clock = true;
+  }
+  return clock_at;
+}
+
+}  // namespace
+
+ClockSkewReport analyze_clock_skew(const Netlist& netlist,
+                                   const TimingOptions& options,
+                                   const Floorplan* floorplan) {
+  ClockSkewReport report;
+  std::vector<double> clock_at =
+      clock_arrivals(netlist, options, floorplan, report.has_clock_tree);
+  if (!report.has_clock_tree) return report;
+
+  report.min_arrival_ps = 1e300;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const double at = clock_at[static_cast<std::size_t>(g)];
+    if (at < 0.0) continue;
+    ++report.clocked_gates;
+    report.min_arrival_ps = std::min(report.min_arrival_ps, at);
+    report.max_arrival_ps = std::max(report.max_arrival_ps, at);
+  }
+  report.skew_ps = report.max_arrival_ps - report.min_arrival_ps;
+
+  // Data arrival measured on the absolute clock timeline: clocked gates
+  // launch at clk + clk_to_q, async cells accumulate. launch_clk tracks
+  // the producing gate's clock arrival (or -1 when fed by a PI).
+  std::vector<double> arrival(static_cast<std::size_t>(netlist.num_gates()), 0.0);
+  std::vector<double> launch_clk(static_cast<std::size_t>(netlist.num_gates()), -1.0);
+  auto wire = [&](GateId from, GateId to) {
+    if (floorplan == nullptr) return 0.0;
+    const auto uf = static_cast<std::size_t>(from);
+    const auto ut = static_cast<std::size_t>(to);
+    return (std::abs(floorplan->x_um[uf] - floorplan->x_um[ut]) +
+            std::abs(floorplan->y_um[uf] - floorplan->y_um[ut])) *
+           1e-3 * options.wire_ps_per_mm;
+  };
+  report.worst_hold_margin_ps = 1e300;
+  for (const GateId g : netlist.topological_order()) {
+    const Cell& cell = netlist.cell_of(g);
+    const auto ug = static_cast<std::size_t>(g);
+    if (cell.is_clocked()) {
+      const double clk = clock_at[ug] >= 0.0 ? clock_at[ug] : 0.0;
+      arrival[ug] = clk + options.clk_to_q_ps;
+      launch_clk[ug] = clock_at[ug];
+      // Check each data input against this gate's clock pulse.
+      for (int pin = 0; pin < cell.num_inputs; ++pin) {
+        const NetId net = netlist.input_net(g, pin);
+        if (net == kInvalidNet) continue;
+        const GateId driver = netlist.net(net).driver.gate;
+        const auto ud = static_cast<std::size_t>(driver);
+        if (launch_clk[ud] < 0.0) continue;  // PI-fed cone: no clock relation
+        const double data_at = arrival[ud] + wire(driver, g);
+        if (launch_clk[ud] <= clock_at[ug] + 1e-12) {
+          ++report.flow_edges;
+        } else {
+          ++report.counterflow_edges;
+        }
+        report.worst_hold_margin_ps =
+            std::min(report.worst_hold_margin_ps, data_at - clock_at[ug]);
+      }
+    } else if (cell.kind == CellKind::kInput) {
+      arrival[ug] = 0.0;
+      launch_clk[ug] = -1.0;
+    } else {
+      double worst = 0.0;
+      double worst_clk = -1.0;
+      for (int pin = 0; pin < cell.num_inputs; ++pin) {
+        const NetId net = netlist.input_net(g, pin);
+        if (net == kInvalidNet) continue;
+        const GateId driver = netlist.net(net).driver.gate;
+        const auto ud = static_cast<std::size_t>(driver);
+        const double at = arrival[ud] + wire(driver, g);
+        if (at >= worst) {
+          worst = at;
+          worst_clk = launch_clk[ud];
+        }
+      }
+      arrival[ug] = worst + async_cell_delay(cell.kind, options);
+      launch_clk[ug] = worst_clk;
+    }
+  }
+  if (report.worst_hold_margin_ps > 1e299) report.worst_hold_margin_ps = 0.0;
+  return report;
+}
+
+std::string format_clock_skew_report(const ClockSkewReport& report) {
+  if (!report.has_clock_tree) {
+    return "clock: no explicit clock tree (implicit global clock assumed)\n";
+  }
+  return str_format(
+      "clock: %d clocked gates, arrival %.1f..%.1f ps (skew %.1f ps)\n"
+      "  data edges clocked in flow order: %d, counterflow: %d\n"
+      "  worst hold margin: %.1f ps\n",
+      report.clocked_gates, report.min_arrival_ps, report.max_arrival_ps,
+      report.skew_ps, report.flow_edges, report.counterflow_edges,
+      report.worst_hold_margin_ps);
+}
+
+}  // namespace sfqpart

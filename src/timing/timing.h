@@ -1,0 +1,90 @@
+// Static timing analysis for gate-level-pipelined SFQ circuits.
+//
+// Under synchronous clocking, the minimum clock period is set by the
+// slowest register-to-register segment: clock-to-Q of the launching
+// clocked gate, plus the asynchronous cells (splitters, JTLs, mergers,
+// coupling drivers/receivers) and wire on the way, plus the setup margin
+// of the capturing gate. This module computes that critical segment for a
+// netlist, optionally with
+//   * placement-aware wire delays from a Floorplan (PTL ps/mm), and
+//   * inductive-coupling hop penalties from a Partition: a connection
+//     between planes p and q pays |p-q| driver/receiver crossings -- the
+//     mechanism behind the paper's remark that non-adjacent connections
+//     "decrease the operating frequency of the circuit" (section III-B3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+#include "floorplan/floorplan.h"
+
+namespace sfqpart {
+
+struct TimingOptions {
+  // Clock-to-output delay of clocked cells [ps].
+  double clk_to_q_ps = 7.0;
+  // Input-to-output delays of asynchronous cells [ps].
+  double jtl_delay_ps = 5.0;
+  double splitter_delay_ps = 7.0;
+  double merger_delay_ps = 8.0;
+  // Setup margin at clocked data inputs [ps].
+  double setup_ps = 4.0;
+  // Passive-transmission-line wire delay [ps per mm] (used when a
+  // floorplan provides distances).
+  double wire_ps_per_mm = 10.0;
+  // Latency of one inductive coupling boundary crossing [ps] (used when a
+  // partition is given and the connection changes planes).
+  double coupling_hop_ps = 15.0;
+};
+
+struct TimingReport {
+  double min_period_ps = 0.0;
+  double fmax_ghz = 0.0;
+  // The launching and capturing clocked gates (or I/O) of the critical
+  // segment and the asynchronous cells between them, in order.
+  std::vector<std::string> critical_path;
+  // Breakdown of the critical segment [ps].
+  double critical_logic_ps = 0.0;
+  double critical_wire_ps = 0.0;
+  double critical_coupling_ps = 0.0;
+};
+
+// `floorplan` and `partition` are optional (nullptr = ignore wire /
+// coupling delay).
+TimingReport analyze_timing(const Netlist& netlist, const TimingOptions& options = {},
+                            const Floorplan* floorplan = nullptr,
+                            const Partition* partition = nullptr);
+
+std::string format_timing_report(const TimingReport& report);
+
+// Clock distribution analysis, for netlists carrying an explicit clock
+// tree (SfqMapperOptions::insert_clock_tree). Clock pulses reach each
+// gate through the splitter network; the arrival spread is skew. SFQ
+// designs exploit intentional skew ("flow clocking", paper section II
+// item iii): clocking a producer before its consumer within the same
+// cycle relaxes hold constraints, so the report also scores how many data
+// edges are clocked in flow order.
+struct ClockSkewReport {
+  bool has_clock_tree = false;
+  double min_arrival_ps = 0.0;
+  double max_arrival_ps = 0.0;
+  double skew_ps = 0.0;
+  int clocked_gates = 0;
+  // Data edges between clocked gates where the producer's clock arrives
+  // no later than the consumer's (flow-order edges).
+  int flow_edges = 0;
+  int counterflow_edges = 0;
+  // Smallest (clk(consumer) + period_margin - clk(producer) - clk_to_q)
+  // style hold margin over counterflow edges; >= 0 means no hold risk at
+  // the cell delays configured.
+  double worst_hold_margin_ps = 0.0;
+};
+
+ClockSkewReport analyze_clock_skew(const Netlist& netlist,
+                                   const TimingOptions& options = {},
+                                   const Floorplan* floorplan = nullptr);
+
+std::string format_clock_skew_report(const ClockSkewReport& report);
+
+}  // namespace sfqpart

@@ -1,0 +1,139 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace sfqpart {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void append_field(std::string& out, const std::string& field) {
+  if (!needs_quoting(field)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_row(std::string& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ',';
+    append_field(out, row[i]);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  append_row(out, header_);
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+Status CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::error("cannot open for writing: " + path);
+  file << to_string();
+  if (!file) return Status::error("write failed: " + path);
+  return Status::ok();
+}
+
+StatusOr<CsvDocument> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  // True once the current record has any content (a character, a quote, or
+  // a comma); blank lines produce no record.
+  bool record_started = false;
+
+  auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_record = [&] {
+    if (!record_started) return;
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+    record_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        record_started = true;
+        break;
+      case ',':
+        record_started = true;
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate \r\n
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+        record_started = true;
+        break;
+    }
+  }
+  if (in_quotes) return Status::error("unterminated quoted field");
+  end_record();
+
+  if (records.empty()) return Status::error("empty CSV document");
+
+  CsvDocument doc;
+  doc.header = std::move(records.front());
+  doc.rows.assign(std::make_move_iterator(records.begin() + 1),
+                  std::make_move_iterator(records.end()));
+  for (const auto& row : doc.rows) {
+    if (row.size() != doc.header.size()) {
+      return Status::error(str_format("row has %zu fields, header has %zu",
+                                      row.size(), doc.header.size()));
+    }
+  }
+  return doc;
+}
+
+StatusOr<CsvDocument> read_csv_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::error("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,44 @@
+// CSV writing/reading for experiment results.
+//
+// Benches dump every table to CSV next to the human-readable output so that
+// results can be diffed and plotted; tests round-trip through this module.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sfqpart {
+
+class CsvWriter {
+ public:
+  // Starts a document with the given header row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Serializes with RFC-4180 quoting where needed.
+  std::string to_string() const;
+
+  Status write_file(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+// Parses CSV text (RFC-4180 subset: quoted fields, embedded commas/quotes,
+// both \n and \r\n line endings). First row is the header.
+StatusOr<CsvDocument> parse_csv(const std::string& text);
+
+StatusOr<CsvDocument> read_csv_file(const std::string& path);
+
+}  // namespace sfqpart

@@ -1,0 +1,163 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace sfqpart {
+
+Json Json::boolean(bool value) {
+  Json json;
+  json.kind_ = Kind::kBool;
+  json.bool_ = value;
+  return json;
+}
+
+Json Json::number(double value) {
+  Json json;
+  json.kind_ = Kind::kNumber;
+  json.number_ = value;
+  return json;
+}
+
+Json Json::number(long long value) {
+  Json json;
+  json.kind_ = Kind::kInteger;
+  json.integer_ = value;
+  return json;
+}
+
+Json Json::string(std::string value) {
+  Json json;
+  json.kind_ = Kind::kString;
+  json.string_ = std::move(value);
+  return json;
+}
+
+Json Json::array() {
+  Json json;
+  json.kind_ = Kind::kArray;
+  return json;
+}
+
+Json Json::object() {
+  Json json;
+  json.kind_ = Kind::kObject;
+  return json;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  assert(kind_ == Kind::kObject);
+  for (auto& [existing, slot] : object_) {
+    if (existing == key) {
+      slot = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::append(Json value) {
+  assert(kind_ == Kind::kArray);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const std::string pad(pretty ? static_cast<std::size_t>(indent * (depth + 1)) : 0, ' ');
+  const std::string close_pad(pretty ? static_cast<std::size_t>(indent * depth) : 0, ' ');
+  const char* newline = pretty ? "\n" : "";
+
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInteger:
+      out += std::to_string(integer_);
+      break;
+    case Kind::kNumber:
+      if (std::isfinite(number_)) {
+        out += str_format("%.10g", number_);
+      } else {
+        out += "null";  // JSON has no NaN/Inf
+      }
+      break;
+    case Kind::kString:
+      escape_into(out, string_);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += newline;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        out += pad;
+        array_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < array_.size()) out += ',';
+        out += newline;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += newline;
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        out += pad;
+        escape_into(out, object_[i].first);
+        out += pretty ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < object_.size()) out += ',';
+        out += newline;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,52 @@
+// Minimal JSON document builder (output only).
+//
+// The CLI tool emits machine-readable results (partition assignments,
+// metrics, bias plans) as JSON; this is a small, dependency-free writer —
+// no parsing, just correct serialization with string escaping.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sfqpart {
+
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+
+  static Json null() { return Json(); }
+  static Json boolean(bool value);
+  static Json number(double value);
+  static Json number(long long value);
+  static Json string(std::string value);
+  static Json array();
+  static Json object();
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Object field (asserts object kind). Returns *this for chaining.
+  Json& set(const std::string& key, Json value);
+  // Array element (asserts array kind).
+  Json& append(Json value);
+
+  // Serializes; indent <= 0 means compact single-line form.
+  std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInteger, kString, kArray, kObject };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  long long integer_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  // Insertion-ordered object keys.
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace sfqpart

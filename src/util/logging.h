@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The library never logs on hot paths; logging is for the CLI tools,
+// benches and examples. Output goes to stderr so table output on stdout
+// stays machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sfqpart {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+
+// Accumulates one message and emits it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sfqpart
+
+#define SFQ_LOG_DEBUG \
+  ::sfqpart::internal::LogMessage(::sfqpart::LogLevel::kDebug, __FILE__, __LINE__)
+#define SFQ_LOG_INFO \
+  ::sfqpart::internal::LogMessage(::sfqpart::LogLevel::kInfo, __FILE__, __LINE__)
+#define SFQ_LOG_WARN \
+  ::sfqpart::internal::LogMessage(::sfqpart::LogLevel::kWarn, __FILE__, __LINE__)
+#define SFQ_LOG_ERROR \
+  ::sfqpart::internal::LogMessage(::sfqpart::LogLevel::kError, __FILE__, __LINE__)

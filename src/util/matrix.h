@@ -1,0 +1,59 @@
+// Dense row-major matrix of doubles.
+//
+// The soft-assignment matrix W (G x K) and its gradient live in this type.
+// It is deliberately minimal: contiguous storage, bounds-checked in debug
+// builds, with row views for the per-gate operations the optimizer needs.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sfqpart {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) { return at(r, c); }
+  double operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+  std::span<double> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> flat() { return {data_.data(), data_.size()}; }
+  std::span<const double> flat() const { return {data_.data(), data_.size()}; }
+
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace sfqpart

@@ -1,0 +1,172 @@
+#include "util/options.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace sfqpart {
+
+OptionsParser::OptionsParser(std::string program_help)
+    : program_help_(std::move(program_help)) {}
+
+void OptionsParser::add_flag(const std::string& name, bool default_value,
+                             const std::string& help) {
+  Spec spec;
+  spec.kind = Kind::kFlag;
+  spec.help = help;
+  spec.flag_value = default_value;
+  specs_[name] = std::move(spec);
+}
+
+void OptionsParser::add_int(const std::string& name, long long default_value,
+                            const std::string& help) {
+  Spec spec;
+  spec.kind = Kind::kInt;
+  spec.help = help;
+  spec.int_value = default_value;
+  specs_[name] = std::move(spec);
+}
+
+void OptionsParser::add_double(const std::string& name, double default_value,
+                               const std::string& help) {
+  Spec spec;
+  spec.kind = Kind::kDouble;
+  spec.help = help;
+  spec.double_value = default_value;
+  specs_[name] = std::move(spec);
+}
+
+void OptionsParser::add_string(const std::string& name, const std::string& default_value,
+                               const std::string& help) {
+  Spec spec;
+  spec.kind = Kind::kString;
+  spec.help = help;
+  spec.string_value = default_value;
+  specs_[name] = std::move(spec);
+}
+
+Status OptionsParser::set_value(Spec& spec, const std::string& name,
+                                const std::string& value) {
+  switch (spec.kind) {
+    case Kind::kFlag: {
+      const std::string lower = to_lower(value);
+      if (lower == "true" || lower == "1") {
+        spec.flag_value = true;
+      } else if (lower == "false" || lower == "0") {
+        spec.flag_value = false;
+      } else {
+        return Status::error("bad boolean for --" + name + ": " + value);
+      }
+      return Status::ok();
+    }
+    case Kind::kInt: {
+      const auto parsed = parse_int(value);
+      if (!parsed) return Status::error("bad integer for --" + name + ": " + value);
+      spec.int_value = *parsed;
+      return Status::ok();
+    }
+    case Kind::kDouble: {
+      const auto parsed = parse_double(value);
+      if (!parsed) return Status::error("bad number for --" + name + ": " + value);
+      spec.double_value = *parsed;
+      return Status::ok();
+    }
+    case Kind::kString:
+      spec.string_value = value;
+      return Status::ok();
+  }
+  return Status::error("unreachable");
+}
+
+Status OptionsParser::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+
+    auto it = specs_.find(body);
+    // `--no-foo` negates boolean flag `foo`.
+    if (it == specs_.end() && starts_with(body, "no-")) {
+      auto neg = specs_.find(body.substr(3));
+      if (neg != specs_.end() && neg->second.kind == Kind::kFlag) {
+        if (has_value) return Status::error("--no-" + body.substr(3) + " takes no value");
+        neg->second.flag_value = false;
+        continue;
+      }
+    }
+    if (it == specs_.end()) return Status::error("unknown flag: --" + body);
+
+    Spec& spec = it->second;
+    if (spec.kind == Kind::kFlag && !has_value) {
+      spec.flag_value = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) return Status::error("missing value for --" + body);
+      value = argv[++i];
+    }
+    if (auto status = set_value(spec, body, value); !status) return status;
+  }
+  return Status::ok();
+}
+
+bool OptionsParser::get_flag(const std::string& name) const {
+  auto it = specs_.find(name);
+  assert(it != specs_.end() && it->second.kind == Kind::kFlag);
+  return it->second.flag_value;
+}
+
+long long OptionsParser::get_int(const std::string& name) const {
+  auto it = specs_.find(name);
+  assert(it != specs_.end() && it->second.kind == Kind::kInt);
+  return it->second.int_value;
+}
+
+double OptionsParser::get_double(const std::string& name) const {
+  auto it = specs_.find(name);
+  assert(it != specs_.end() && it->second.kind == Kind::kDouble);
+  return it->second.double_value;
+}
+
+const std::string& OptionsParser::get_string(const std::string& name) const {
+  auto it = specs_.find(name);
+  assert(it != specs_.end() && it->second.kind == Kind::kString);
+  return it->second.string_value;
+}
+
+std::string OptionsParser::usage() const {
+  std::string out = program_help_;
+  if (!out.empty()) out += "\n\n";
+  out += "Flags:\n";
+  for (const auto& [name, spec] : specs_) {
+    std::string line = "  --" + name;
+    switch (spec.kind) {
+      case Kind::kFlag:
+        line += str_format("  (bool, default %s)", spec.flag_value ? "true" : "false");
+        break;
+      case Kind::kInt:
+        line += str_format("  (int, default %lld)", spec.int_value);
+        break;
+      case Kind::kDouble:
+        line += str_format("  (double, default %g)", spec.double_value);
+        break;
+      case Kind::kString:
+        line += "  (string, default \"" + spec.string_value + "\")";
+        break;
+    }
+    out += line + "\n      " + spec.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,60 @@
+// Tiny command-line flag parser for the examples and bench drivers.
+//
+// Supports `--name=value`, `--name value`, boolean `--flag` /
+// `--no-flag`, and positional arguments. Unknown flags are an error so
+// typos do not silently fall through.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sfqpart {
+
+class OptionsParser {
+ public:
+  // `program_help` is printed by usage() above the flag list.
+  explicit OptionsParser(std::string program_help = "");
+
+  // Registration. `help` appears in usage(). Defaults seed the returned
+  // values until overridden on the command line.
+  void add_flag(const std::string& name, bool default_value, const std::string& help);
+  void add_int(const std::string& name, long long default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  // Parses argv (excluding argv[0]). Returns an error for unknown flags or
+  // unparseable values.
+  Status parse(int argc, const char* const* argv);
+
+  bool get_flag(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Spec {
+    Kind kind;
+    std::string help;
+    bool flag_value = false;
+    long long int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  Status set_value(Spec& spec, const std::string& name, const std::string& value);
+
+  std::string program_help_;
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sfqpart

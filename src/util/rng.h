@@ -1,0 +1,57 @@
+// Seedable, reproducible pseudo-random number generator (xoshiro256**).
+//
+// Every stochastic component of the library (random W initialization,
+// benchmark generators, baseline partitioners) takes an explicit Rng or
+// seed so that experiments are exactly reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sfqpart {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  // Standard normal via Box-Muller.
+  double normal();
+
+  // Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // A derived generator with an independent stream; useful for giving each
+  // restart / each subcomponent its own deterministic stream.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sfqpart

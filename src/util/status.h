@@ -1,0 +1,75 @@
+// Lightweight error propagation for the parsing boundary.
+//
+// The library core uses asserts for programmer errors; file parsing and
+// other operations on untrusted input return Status / StatusOr instead of
+// throwing, so that callers (CLI tools, tests) can report precise messages.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sfqpart {
+
+class Status {
+ public:
+  // Default: OK.
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(std::string message) { return Status(std::move(message)); }
+
+  bool is_ok() const { return !message_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  // Message of a failed status; empty string when OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit construction from a value or a failed Status keeps call sites
+  // terse: `return netlist;` / `return Status::error(...)`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "StatusOr constructed from OK status without a value");
+  }
+
+  bool is_ok() const { return status_.is_ok(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sfqpart

@@ -1,0 +1,30 @@
+// Small string helpers shared by the parsers and report printers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sfqpart {
+
+// Splits on any character in `delims`, dropping empty fields.
+std::vector<std::string> split(std::string_view text, std::string_view delims = " \t");
+
+// Splits on a single delimiter, keeping empty fields (CSV-style).
+std::vector<std::string> split_keep_empty(std::string_view text, char delim);
+
+std::string_view trim(std::string_view text);
+std::string to_lower(std::string_view text);
+std::string to_upper(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+// Strict numeric parsing: the whole field must be consumed.
+std::optional<long long> parse_int(std::string_view text);
+std::optional<double> parse_double(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace sfqpart

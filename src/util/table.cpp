@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace sfqpart {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  auto format_row = [&](const std::vector<std::string>& row) {
+    static const std::string kEmpty;
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : kEmpty;
+      line += ' ';
+      line += cell;
+      line += std::string(widths[c] - cell.size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = rule();
+  out += format_row(header_);
+  out += rule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) != separators_.end()) {
+      out += rule();
+    }
+    out += format_row(rows_[r]);
+  }
+  out += rule();
+  return out;
+}
+
+void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string fmt_double(double value, int digits) {
+  return str_format("%.*f", digits, value);
+}
+
+std::string fmt_percent(double fraction_0_to_1, int digits) {
+  return str_format("%.*f%%", digits, 100.0 * fraction_0_to_1);
+}
+
+}  // namespace sfqpart

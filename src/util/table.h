@@ -1,0 +1,46 @@
+// ASCII table printer used by the table1/2/3 benches and examples to emit
+// rows in the same layout as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sfqpart {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // A horizontal rule before the next added row (used to set off the
+  // AVERAGE row, as the paper does).
+  void add_separator();
+
+  // Renders with column-aligned cells:
+  //
+  //   +--------+-------+
+  //   | Circuit|  G    |
+  //   +--------+-------+
+  //   | KSA4   |  93   |
+  //   +--------+-------+
+  std::string to_string() const;
+
+  // Convenience: render to stdout.
+  void print() const;
+
+  const std::vector<std::string>& header() const { return header_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices preceded by a rule
+};
+
+// Formats a double with `digits` decimal places (fixed notation).
+std::string fmt_double(double value, int digits);
+
+// Formats a percentage as e.g. "74.6%".
+std::string fmt_percent(double fraction_0_to_1, int digits = 1);
+
+}  // namespace sfqpart

@@ -1,0 +1,46 @@
+// Gate-level structural Verilog reader (subset).
+//
+// Accepts what write_verilog() emits plus the common variations a synthesis
+// tool would produce: one module, scalar input/output/wire declarations
+// (comma lists), named-port cell instances, escaped identifiers,
+// // line and /* block */ comments. Behavioral constructs are rejected
+// with a clear error, not skipped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/status.h"
+
+namespace sfqpart {
+
+struct VerilogPortConn {
+  std::string pin;
+  std::string net;
+};
+
+struct VerilogInstance {
+  std::string cell;
+  std::string name;
+  std::vector<VerilogPortConn> connections;
+};
+
+struct VerilogModule {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<std::string> wires;
+  std::vector<VerilogInstance> instances;
+};
+
+StatusOr<VerilogModule> parse_verilog(const std::string& text);
+StatusOr<VerilogModule> read_verilog_file(const std::string& path);
+
+// Builds a Netlist against `library` using the standard pin-name
+// convention (def/lef_parser.h). Ports become kInput/kOutput interface
+// gates named "pin:<port>".
+StatusOr<Netlist> verilog_to_netlist(const VerilogModule& module,
+                                     const CellLibrary& library);
+
+}  // namespace sfqpart

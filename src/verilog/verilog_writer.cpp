@@ -1,0 +1,113 @@
+#include "verilog/verilog_writer.h"
+
+#include <cctype>
+
+#include "def/lef_parser.h"
+#include "util/strings.h"
+
+namespace sfqpart {
+namespace {
+
+bool is_simple_identifier(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return false;
+  }
+  for (const char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '$') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Escaped identifiers start with '\' and end at whitespace (IEEE 1364).
+std::string identifier(const std::string& name) {
+  return is_simple_identifier(name) ? name : "\\" + name + " ";
+}
+
+std::string port_name(const Netlist& netlist, GateId gate) {
+  const std::string& name = netlist.gate(gate).name;
+  return starts_with(name, "pin:") ? name.substr(4) : name;
+}
+
+}  // namespace
+
+std::string write_verilog(const Netlist& netlist) {
+  std::string out = "// structural SFQ netlist, library " +
+                    netlist.library().name() + "\n";
+  out += "module " + identifier(netlist.name()) + " (";
+
+  std::vector<GateId> inputs;
+  std::vector<GateId> outputs;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (!netlist.is_io(g)) continue;
+    (netlist.cell_of(g).kind == CellKind::kInput ? inputs : outputs).push_back(g);
+  }
+  bool first = true;
+  for (const GateId g : inputs) {
+    out += (first ? "" : ", ") + identifier(port_name(netlist, g));
+    first = false;
+  }
+  for (const GateId g : outputs) {
+    out += (first ? "" : ", ") + identifier(port_name(netlist, g));
+    first = false;
+  }
+  out += ");\n";
+  for (const GateId g : inputs) {
+    out += "  input " + identifier(port_name(netlist, g)) + ";\n";
+  }
+  for (const GateId g : outputs) {
+    out += "  output " + identifier(port_name(netlist, g)) + ";\n";
+  }
+
+  // One wire per net; nets driven by input pins or feeding output pins use
+  // the port name directly.
+  std::vector<std::string> net_name(static_cast<std::size_t>(netlist.num_nets()));
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    if (net.driver.gate == kInvalidGate) continue;
+    std::string name;
+    if (netlist.is_io(net.driver.gate)) {
+      name = port_name(netlist, net.driver.gate);
+    } else {
+      for (const PinRef& sink : net.sinks) {
+        if (netlist.is_io(sink.gate) &&
+            netlist.cell_of(sink.gate).kind == CellKind::kOutput) {
+          name = port_name(netlist, sink.gate);
+          break;
+        }
+      }
+    }
+    if (name.empty()) {
+      name = "n" + std::to_string(n);
+      out += "  wire " + identifier(name) + ";\n";
+    }
+    net_name[static_cast<std::size_t>(n)] = name;
+  }
+
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_io(g)) continue;
+    const Cell& cell = netlist.cell_of(g);
+    out += "  " + cell.name + " " + identifier(netlist.gate(g).name) + " (";
+    bool first_pin = true;
+    auto term = [&](const std::string& pin, NetId net) {
+      if (net == kInvalidNet) return;
+      out += (first_pin ? "" : ", ");
+      out += "." + pin + "(" + identifier(net_name[static_cast<std::size_t>(net)]) + ")";
+      first_pin = false;
+    };
+    for (int pin = 0; pin < cell.num_inputs; ++pin) {
+      term(def::input_pin_name(pin), netlist.input_net(g, pin));
+    }
+    if (cell.is_clocked()) term(def::kClockPinName, netlist.clock_net(g));
+    for (int pin = 0; pin < cell.num_outputs; ++pin) {
+      term(def::output_pin_name(pin, cell.num_outputs), netlist.output_net(g, pin));
+    }
+    out += ");\n";
+  }
+  out += "endmodule\n";
+  return out;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,18 @@
+// Gate-level structural Verilog writer.
+//
+// Open-source SFQ front-end flows (the paper's reference [21]) exchange
+// netlists as structural Verilog before placement; this writer emits a
+// mapped netlist as one module with named-port cell instances. Bus-style
+// internal names like "a[0]" become Verilog escaped identifiers
+// ("\a[0] "), which verilog_parser.h reads back verbatim.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+std::string write_verilog(const Netlist& netlist);
+
+}  // namespace sfqpart

@@ -1,0 +1,78 @@
+#include "baseline/annealing.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/random_partition.h"
+#include "gen/suite.h"
+#include "metrics/partition_metrics.h"
+
+namespace sfqpart {
+namespace {
+
+TEST(Annealing, ImprovesTheRandomStart) {
+  const Netlist netlist = build_mapped("ksa8");
+  const AnnealingResult result = anneal_partition(netlist, 5);
+  EXPECT_LT(result.final_cost, 0.5 * result.initial_cost);
+  EXPECT_GT(result.moves_accepted, 0);
+  EXPECT_GE(result.moves_tried, result.moves_accepted);
+}
+
+TEST(Annealing, ProducesCompleteValidPartition) {
+  const Netlist netlist = build_mapped("mult4");
+  const AnnealingResult result = anneal_partition(netlist, 4);
+  std::set<int> used;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_partitionable(g)) {
+      ASSERT_GE(result.partition.plane(g), 0);
+      ASSERT_LT(result.partition.plane(g), 4);
+      used.insert(result.partition.plane(g));
+    }
+  }
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  const Netlist netlist = build_mapped("ksa4");
+  AnnealingOptions options;
+  options.seed = 11;
+  const AnnealingResult a = anneal_partition(netlist, 3, options);
+  const AnnealingResult b = anneal_partition(netlist, 3, options);
+  EXPECT_EQ(a.partition.plane_of, b.partition.plane_of);
+  EXPECT_DOUBLE_EQ(a.final_cost, b.final_cost);
+}
+
+TEST(Annealing, CompetitiveQualityMetrics) {
+  const Netlist netlist = build_mapped("ksa8");
+  const AnnealingResult result = anneal_partition(netlist, 5);
+  const PartitionMetrics m = compute_metrics(netlist, result.partition);
+  const PartitionMetrics random =
+      compute_metrics(netlist, random_partition(netlist, 5, 1));
+  EXPECT_GT(m.frac_within(1), random.frac_within(1));
+  EXPECT_LT(m.icomp_frac(), 0.2);
+}
+
+TEST(Annealing, PatienceStopsEarly) {
+  const Netlist netlist = build_mapped("ksa4");
+  AnnealingOptions impatient;
+  impatient.patience = 1;
+  impatient.temperature_steps = 40;
+  const AnnealingResult result = anneal_partition(netlist, 3, impatient);
+  EXPECT_LT(result.steps, 40);
+}
+
+TEST(Annealing, FinalCostMatchesReturnedPartition) {
+  const Netlist netlist = build_mapped("mult4");
+  AnnealingOptions options;
+  const AnnealingResult result = anneal_partition(netlist, 5, options);
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 5);
+  const CostModel model(problem, options.weights);
+  std::vector<int> labels;
+  for (const GateId g : problem.gate_ids) labels.push_back(result.partition.plane(g));
+  EXPECT_NEAR(model.evaluate_discrete(labels).total(options.weights),
+              result.final_cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace sfqpart

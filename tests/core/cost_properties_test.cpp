@@ -1,0 +1,159 @@
+// Property tests: symmetries and invariances the cost formulation implies.
+// These guard the *semantics* of F1..F4 rather than single values.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/soft_assign.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+namespace {
+
+PartitionProblem random_problem(int num_gates, int num_planes, std::uint64_t seed) {
+  PartitionProblem problem;
+  problem.num_gates = num_gates;
+  problem.num_planes = num_planes;
+  Rng rng(seed);
+  for (int i = 0; i < num_gates; ++i) {
+    problem.gate_ids.push_back(i);
+    problem.bias.push_back(rng.uniform(0.3, 1.5));
+    problem.area.push_back(rng.uniform(1500.0, 7000.0));
+  }
+  for (int e = 0; e < 2 * num_gates; ++e) {
+    const int a = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(num_gates)));
+    int b = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(num_gates)));
+    if (a == b) b = (b + 1) % num_gates;
+    problem.edges.emplace_back(a, b);
+  }
+  return problem;
+}
+
+std::vector<int> random_labels(int num_gates, int num_planes, Rng& rng) {
+  std::vector<int> labels;
+  for (int i = 0; i < num_gates; ++i) {
+    labels.push_back(static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(num_planes))));
+  }
+  return labels;
+}
+
+class CostProperties : public ::testing::TestWithParam<int> {
+ protected:
+  std::uint64_t seed() const { return static_cast<std::uint64_t>(GetParam()); }
+};
+
+// Mirroring the plane stack (k -> K-1-k) flips the chip upside down:
+// every |plane distance| and every per-plane sum is preserved.
+TEST_P(CostProperties, MirrorSymmetry) {
+  const PartitionProblem problem = random_problem(40, 5, seed());
+  const CostModel model(problem, CostWeights{});
+  Rng rng(seed() + 7);
+  const std::vector<int> labels = random_labels(40, 5, rng);
+  std::vector<int> mirrored = labels;
+  for (int& label : mirrored) label = 4 - label;
+  const CostTerms a = model.evaluate_discrete(labels);
+  const CostTerms b = model.evaluate_discrete(mirrored);
+  EXPECT_NEAR(a.f1, b.f1, 1e-12);
+  EXPECT_NEAR(a.f2, b.f2, 1e-12);
+  EXPECT_NEAR(a.f3, b.f3, 1e-12);
+}
+
+// F2 is normalized by Bbar^2, so rescaling every gate's bias current (a
+// different cell library calibration) must not change it.
+TEST_P(CostProperties, BiasScaleInvariance) {
+  PartitionProblem problem = random_problem(30, 4, seed());
+  PartitionProblem scaled = problem;
+  for (double& b : scaled.bias) b *= 3.7;
+  const CostModel model(problem, CostWeights{});
+  const CostModel scaled_model(scaled, CostWeights{});
+  Rng rng(seed() + 13);
+  const std::vector<int> labels = random_labels(30, 4, rng);
+  EXPECT_NEAR(model.evaluate_discrete(labels).f2,
+              scaled_model.evaluate_discrete(labels).f2, 1e-12);
+}
+
+// Likewise F3 under area rescaling (units of um^2 vs mm^2 are arbitrary).
+TEST_P(CostProperties, AreaScaleInvariance) {
+  PartitionProblem problem = random_problem(30, 4, seed());
+  PartitionProblem scaled = problem;
+  for (double& a : scaled.area) a *= 1e-6;
+  const CostModel model(problem, CostWeights{});
+  const CostModel scaled_model(scaled, CostWeights{});
+  Rng rng(seed() + 17);
+  const std::vector<int> labels = random_labels(30, 4, rng);
+  EXPECT_NEAR(model.evaluate_discrete(labels).f3,
+              scaled_model.evaluate_discrete(labels).f3, 1e-9);
+}
+
+// Duplicating every edge doubles F1's numerator and N1 alike.
+TEST_P(CostProperties, EdgeMultiplicityNormalization) {
+  PartitionProblem problem = random_problem(25, 4, seed());
+  PartitionProblem doubled = problem;
+  doubled.edges.insert(doubled.edges.end(), problem.edges.begin(),
+                       problem.edges.end());
+  const CostModel model(problem, CostWeights{});
+  const CostModel doubled_model(doubled, CostWeights{});
+  Rng rng(seed() + 23);
+  const std::vector<int> labels = random_labels(25, 4, rng);
+  EXPECT_NEAR(model.evaluate_discrete(labels).f1,
+              doubled_model.evaluate_discrete(labels).f1, 1e-12);
+}
+
+// F1 bounds: 0 (everything on one plane) up to 1 (every edge at the
+// maximum distance); any assignment lies in between.
+TEST_P(CostProperties, F1NormalizedRange) {
+  const PartitionProblem problem = random_problem(30, 5, seed());
+  const CostModel model(problem, CostWeights{});
+  Rng rng(seed() + 29);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<int> labels = random_labels(30, 5, rng);
+    const double f1 = model.evaluate_discrete(labels).f1;
+    EXPECT_GE(f1, 0.0);
+    EXPECT_LE(f1, 1.0 + 1e-12);
+  }
+  EXPECT_NEAR(model.evaluate_discrete(std::vector<int>(30, 2)).f1, 0.0, 1e-12);
+}
+
+// The relaxed cost at a one-hot W equals the discrete cost: the relaxation
+// is exact on the original feasible set (the Lagrangian argument of
+// section IV-B).
+TEST_P(CostProperties, RelaxationExactOnFeasibleSet) {
+  const PartitionProblem problem = random_problem(20, 4, seed());
+  const CostModel model(problem, CostWeights{});
+  Rng rng(seed() + 31);
+  const std::vector<int> labels = random_labels(20, 4, rng);
+  const CostTerms relaxed = model.evaluate(one_hot(labels, 4));
+  const CostTerms discrete = model.evaluate_discrete(labels);
+  EXPECT_DOUBLE_EQ(relaxed.f1, discrete.f1);
+  EXPECT_DOUBLE_EQ(relaxed.f2, discrete.f2);
+  EXPECT_DOUBLE_EQ(relaxed.f3, discrete.f3);
+  EXPECT_DOUBLE_EQ(relaxed.f4, discrete.f4);
+}
+
+// Gradient of the total is translation-covariant in the labels: pushing
+// every row of W by the same plane permutation mirror flips the F1 label
+// gradient's sign pattern. (Weaker smoke property: gradient at the uniform
+// W is identical across rows with identical bias/area, since all planes
+// look alike.)
+TEST_P(CostProperties, UniformRowsUniformGradient) {
+  PartitionProblem problem = random_problem(10, 3, seed());
+  for (double& b : problem.bias) b = 1.0;
+  for (double& a : problem.area) a = 1.0;
+  problem.edges.clear();  // isolate F2/F3/F4
+  const CostModel model(problem, CostWeights{});
+  Matrix w(10, 3, 1.0 / 3.0);
+  Matrix grad;
+  model.evaluate_with_gradient(w, grad);
+  for (std::size_t r = 1; r < w.rows(); ++r) {
+    for (std::size_t k = 0; k < w.cols(); ++k) {
+      EXPECT_NEAR(grad(r, k), grad(0, k), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostProperties, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace sfqpart

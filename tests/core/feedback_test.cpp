@@ -1,0 +1,61 @@
+#include "core/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.h"
+#include "metrics/partition_metrics.h"
+#include "recycling/insertion.h"
+
+namespace sfqpart {
+namespace {
+
+TEST(Feedback, NeverWorseThanSingleRound) {
+  const Netlist netlist = build_mapped("ksa8");
+  FeedbackOptions options;
+  options.base.num_planes = 5;
+  const FeedbackResult result = partition_with_coupling_feedback(netlist, options);
+  EXPECT_LE(result.icomp_final, result.icomp_first + 1e-12);
+  EXPECT_GE(result.rounds, 1);
+  EXPECT_LE(result.rounds, options.max_rounds);
+}
+
+TEST(Feedback, ReportedIcompMatchesImplementedNetlist) {
+  const Netlist netlist = build_mapped("mult4");
+  FeedbackOptions options;
+  options.base.num_planes = 4;
+  const FeedbackResult result = partition_with_coupling_feedback(netlist, options);
+  const CouplingInsertion inserted =
+      apply_coupling_insertion(netlist, result.partition);
+  const PartitionMetrics metrics =
+      compute_metrics(inserted.netlist, inserted.partition);
+  EXPECT_NEAR(metrics.icomp_frac(), result.icomp_final, 1e-12);
+  EXPECT_EQ(inserted.pairs_inserted, result.pairs_final);
+}
+
+TEST(Feedback, PartitionCoversOriginalNetlist) {
+  const Netlist netlist = build_mapped("ksa4");
+  FeedbackOptions options;
+  options.base.num_planes = 3;
+  const FeedbackResult result = partition_with_coupling_feedback(netlist, options);
+  ASSERT_EQ(result.partition.plane_of.size(),
+            static_cast<std::size_t>(netlist.num_gates()));
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_partitionable(g)) {
+      EXPECT_GE(result.partition.plane(g), 0);
+      EXPECT_LT(result.partition.plane(g), 3);
+    }
+  }
+}
+
+TEST(Feedback, SingleRoundEqualsPlainFlow) {
+  const Netlist netlist = build_mapped("ksa4");
+  FeedbackOptions options;
+  options.base.num_planes = 3;
+  options.max_rounds = 1;
+  const FeedbackResult result = partition_with_coupling_feedback(netlist, options);
+  EXPECT_EQ(result.rounds, 1);
+  EXPECT_DOUBLE_EQ(result.icomp_first, result.icomp_final);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,70 @@
+#include "core/kres_search.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.h"
+#include "metrics/partition_metrics.h"
+
+namespace sfqpart {
+namespace {
+
+TEST(KresSearch, MeetsTheBiasLimit) {
+  const Netlist netlist = build_mapped("ksa8");  // B_cir ~ 178 mA
+  KresOptions options;
+  options.bias_limit_ma = 100.0;
+  const KresResult result = find_min_planes(netlist, options);
+  ASSERT_TRUE(result.found);
+  EXPECT_LE(result.bmax_ma, 100.0);
+  EXPECT_GE(result.k_res, result.k_lb);
+  const PartitionMetrics metrics = compute_metrics(netlist, result.result.partition);
+  EXPECT_NEAR(metrics.bmax_ma, result.bmax_ma, 1e-9);
+}
+
+TEST(KresSearch, LowerBoundMatchesCeiling) {
+  const Netlist netlist = build_mapped("ksa8");
+  KresOptions options;
+  options.bias_limit_ma = 100.0;
+  const KresResult result = find_min_planes(netlist, options);
+  const int expected =
+      std::max(2, static_cast<int>(std::ceil(netlist.total_bias_ma() / 100.0)));
+  EXPECT_EQ(result.k_lb, expected);
+}
+
+TEST(KresSearch, TighterLimitNeedsMorePlanes) {
+  const Netlist netlist = build_mapped("mult4");
+  KresOptions loose;
+  loose.bias_limit_ma = 120.0;
+  KresOptions tight;
+  tight.bias_limit_ma = 40.0;
+  const KresResult loose_result = find_min_planes(netlist, loose);
+  const KresResult tight_result = find_min_planes(netlist, tight);
+  ASSERT_TRUE(loose_result.found);
+  ASSERT_TRUE(tight_result.found);
+  EXPECT_GT(tight_result.k_res, loose_result.k_res);
+  EXPECT_LE(tight_result.bmax_ma, 40.0);
+}
+
+TEST(KresSearch, GivesUpAtMaxPlanes) {
+  const Netlist netlist = build_mapped("ksa8");
+  KresOptions impossible;
+  impossible.bias_limit_ma = 1.5;  // one gate already exceeds this
+  impossible.max_planes = 12;
+  const KresResult result = find_min_planes(netlist, impossible);
+  EXPECT_FALSE(result.found);
+}
+
+TEST(KresSearch, GenerousLimitStillUsesAtLeastTwoPlanes) {
+  // Current recycling needs at least a 2-stack to recycle anything.
+  const Netlist netlist = build_mapped("ksa4");
+  KresOptions options;
+  options.bias_limit_ma = 10000.0;
+  const KresResult result = find_min_planes(netlist, options);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.k_lb, 2);
+  EXPECT_EQ(result.k_res, 2);
+}
+
+}  // namespace
+}  // namespace sfqpart

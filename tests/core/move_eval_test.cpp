@@ -1,0 +1,105 @@
+#include "core/move_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sfqpart {
+namespace {
+
+PartitionProblem random_problem(int num_gates, int num_planes, std::uint64_t seed) {
+  PartitionProblem problem;
+  problem.num_gates = num_gates;
+  problem.num_planes = num_planes;
+  Rng rng(seed);
+  for (int i = 0; i < num_gates; ++i) {
+    problem.gate_ids.push_back(i);
+    problem.bias.push_back(rng.uniform(0.3, 1.5));
+    problem.area.push_back(rng.uniform(1500.0, 7000.0));
+  }
+  for (int e = 0; e < num_gates * 2; ++e) {
+    const int a = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(num_gates)));
+    int b = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(num_gates)));
+    if (a == b) b = (b + 1) % num_gates;
+    problem.edges.emplace_back(a, b);
+  }
+  return problem;
+}
+
+std::vector<int> random_labels(int num_gates, int num_planes, Rng& rng) {
+  std::vector<int> labels;
+  for (int i = 0; i < num_gates; ++i) {
+    labels.push_back(static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(num_planes))));
+  }
+  return labels;
+}
+
+// The incremental delta must equal the exact cost difference of the move.
+class MoveDeltaExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(MoveDeltaExact, MatchesFullRecompute) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const int num_gates = 30;
+  const int num_planes = 2 + GetParam() % 4;
+  const PartitionProblem problem = random_problem(num_gates, num_planes, seed);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(seed + 100);
+  MoveEvaluator eval(model, random_labels(num_gates, num_planes, rng));
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const int gate = static_cast<int>(rng.uniform_index(num_gates));
+    const int target = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(num_planes)));
+    const double before = eval.current_cost();
+    const double predicted = eval.delta(gate, target);
+    eval.apply(gate, target);
+    const double after = eval.current_cost();
+    ASSERT_NEAR(after - before, predicted, 1e-9)
+        << "gate " << gate << " -> " << target;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MoveDeltaExact, ::testing::Range(1, 6));
+
+TEST(MoveEvaluator, NoOpMoveIsFree) {
+  const PartitionProblem problem = random_problem(10, 3, 2);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(3);
+  MoveEvaluator eval(model, random_labels(10, 3, rng));
+  const int gate = 4;
+  EXPECT_DOUBLE_EQ(eval.delta(gate, eval.label(gate)), 0.0);
+  const double before = eval.current_cost();
+  eval.apply(gate, eval.label(gate));
+  EXPECT_DOUBLE_EQ(eval.current_cost(), before);
+}
+
+TEST(MoveEvaluator, ApplyUpdatesLabels) {
+  const PartitionProblem problem = random_problem(10, 4, 5);
+  const CostModel model(problem, CostWeights{});
+  MoveEvaluator eval(model, std::vector<int>(10, 0));
+  eval.apply(7, 3);
+  EXPECT_EQ(eval.label(7), 3);
+  EXPECT_EQ(eval.labels()[7], 3);
+  EXPECT_EQ(eval.label(6), 0);
+}
+
+TEST(MoveEvaluator, DeltaRespectsDistanceExponent) {
+  PartitionProblem problem;
+  problem.num_gates = 2;
+  problem.num_planes = 4;
+  problem.bias = {1.0, 1.0};
+  problem.area = {1.0, 1.0};
+  problem.gate_ids = {0, 1};
+  problem.edges = {{0, 1}};
+  CostWeights f1_only;
+  f1_only.c2 = 0.0;
+  f1_only.c3 = 0.0;
+  const CostModel model(problem, f1_only);
+  MoveEvaluator eval(model, {0, 0});
+  // Moving gate 1 to plane 3: distance 0 -> 3, cost (3/3)^4 / 1 = 1.
+  EXPECT_NEAR(eval.delta(1, 3), 1.0, 1e-12);
+  EXPECT_NEAR(eval.delta(1, 1), 1.0 / 81.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,83 @@
+#include "core/multilevel.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.h"
+#include "gen/suite.h"
+#include "metrics/partition_metrics.h"
+
+namespace sfqpart {
+namespace {
+
+TEST(Multilevel, CoarsensLargeCircuits) {
+  const Netlist netlist = build_mapped("c432");  // ~1200 gates
+  const MultilevelResult result = multilevel_partition(netlist, 5);
+  EXPECT_GE(result.levels, 2);
+  EXPECT_LE(result.coarse_gates, 320);  // well below the input size
+  EXPECT_GT(result.coarse_gates, 20);   // but still a real problem
+}
+
+TEST(Multilevel, AssignsEveryGateToAValidPlane) {
+  const Netlist netlist = build_mapped("mult4");
+  const MultilevelResult result = multilevel_partition(netlist, 4);
+  std::set<int> used;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_partitionable(g)) {
+      ASSERT_GE(result.partition.plane(g), 0);
+      ASSERT_LT(result.partition.plane(g), 4);
+      used.insert(result.partition.plane(g));
+    } else {
+      EXPECT_EQ(result.partition.plane(g), kUnassignedPlane);
+    }
+  }
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(Multilevel, SmallCircuitSkipsCoarsening) {
+  const Netlist netlist = build_mapped("ksa4");  // 62 gates < coarse_target
+  const MultilevelResult result = multilevel_partition(netlist, 3);
+  EXPECT_EQ(result.levels, 0);
+  EXPECT_EQ(result.coarse_gates, netlist.num_partitionable_gates());
+}
+
+TEST(Multilevel, QualityAtLeastMatchesFlatGd) {
+  // With per-level refinement, multilevel should beat or match the flat
+  // gradient-descent run on the discrete objective.
+  const Netlist netlist = build_mapped("c499");
+  const double flat = partition_netlist(netlist, {}).discrete_total;
+  const double ml = multilevel_partition(netlist, 5).discrete_total;
+  EXPECT_LE(ml, flat + 1e-9);
+}
+
+TEST(Multilevel, MetricsAreHealthy) {
+  const Netlist netlist = build_mapped("c1355");
+  const MultilevelResult result = multilevel_partition(netlist, 5);
+  const PartitionMetrics m = compute_metrics(netlist, result.partition);
+  EXPECT_GT(m.frac_within(1), 0.6);
+  EXPECT_LT(m.icomp_frac(), 0.2);
+  EXPECT_LT(m.afs_frac(), 0.2);
+}
+
+TEST(Multilevel, DeterministicForSeed) {
+  const Netlist netlist = build_mapped("mult4");
+  MultilevelOptions options;
+  options.seed = 9;
+  const MultilevelResult a = multilevel_partition(netlist, 4, options);
+  const MultilevelResult b = multilevel_partition(netlist, 4, options);
+  EXPECT_EQ(a.partition.plane_of, b.partition.plane_of);
+}
+
+TEST(Multilevel, HonorsCoarseTarget) {
+  const Netlist netlist = build_mapped("c432");
+  MultilevelOptions shallow;
+  shallow.coarse_target = 800;
+  MultilevelOptions deep;
+  deep.coarse_target = 100;
+  EXPECT_GT(multilevel_partition(netlist, 5, shallow).coarse_gates,
+            multilevel_partition(netlist, 5, deep).coarse_gates);
+}
+
+}  // namespace
+}  // namespace sfqpart

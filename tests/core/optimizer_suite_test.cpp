@@ -1,0 +1,59 @@
+// Optimizer behaviour across the real benchmark suite (property sweep):
+// convergence, descent, and hardening sanity on every circuit class.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/soft_assign.h"
+#include "gen/suite.h"
+
+namespace sfqpart {
+namespace {
+
+class OptimizerSuite : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OptimizerSuite, ConvergesWithDescendingTrace) {
+  const Netlist netlist = build_mapped(GetParam());
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 5);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(2026);
+  OptimizerOptions options;
+  options.record_trace = true;
+  const OptimizerResult result = run_gradient_descent(
+      model, random_soft_assignment(problem.num_gates, 5, rng), options);
+
+  EXPECT_TRUE(result.converged) << GetParam();
+  ASSERT_GE(result.cost_trace.size(), 10u);
+  EXPECT_LT(result.cost_trace.back(), result.cost_trace.front());
+  for (const double cost : result.cost_trace) {
+    EXPECT_TRUE(std::isfinite(cost));
+  }
+  // The converged W hardens to an assignment that uses several planes and
+  // has a decisive argmax for the vast majority of gates.
+  const std::vector<int> labels = harden(result.w);
+  int decisive = 0;
+  for (std::size_t i = 0; i < result.w.rows(); ++i) {
+    const auto row = result.w.row(i);
+    double best = 0.0;
+    double second = 0.0;
+    for (const double v : row) {
+      if (v > best) {
+        second = best;
+        best = v;
+      } else if (v > second) {
+        second = v;
+      }
+    }
+    if (best > second + 0.1) ++decisive;
+  }
+  EXPECT_GT(decisive, problem.num_gates * 7 / 10) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, OptimizerSuite,
+                         ::testing::Values("ksa4", "ksa16", "mult4", "id4",
+                                           "c432", "c1908"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,146 @@
+#include "core/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/soft_assign.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+namespace {
+
+PartitionProblem chain_problem(int num_gates, int num_planes) {
+  PartitionProblem problem;
+  problem.num_gates = num_gates;
+  problem.num_planes = num_planes;
+  for (int i = 0; i < num_gates; ++i) {
+    problem.gate_ids.push_back(i);
+    problem.bias.push_back(1.0);
+    problem.area.push_back(1.0);
+    if (i > 0) problem.edges.emplace_back(i - 1, i);
+  }
+  return problem;
+}
+
+TEST(Optimizer, CostDecreasesMonotonically) {
+  const PartitionProblem problem = chain_problem(40, 4);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(1);
+  OptimizerOptions options;
+  options.record_trace = true;
+  const OptimizerResult result = run_gradient_descent(
+      model, random_soft_assignment(40, 4, rng), options);
+  ASSERT_GE(result.cost_trace.size(), 2u);
+  for (std::size_t i = 1; i < result.cost_trace.size(); ++i) {
+    // Normalized-step descent with clipping: allow tiny non-monotonic
+    // wiggle, but the trend must never jump upward.
+    EXPECT_LE(result.cost_trace[i], result.cost_trace[i - 1] + 1e-3) << i;
+  }
+  EXPECT_LT(result.cost_trace.back(), result.cost_trace.front());
+}
+
+TEST(Optimizer, StopsOnMargin) {
+  const PartitionProblem problem = chain_problem(30, 3);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(2);
+  OptimizerOptions options;
+  options.margin = 1e-4;  // Algorithm 1's published margin
+  options.max_iterations = 10000;
+  const OptimizerResult result = run_gradient_descent(
+      model, random_soft_assignment(30, 3, rng), options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, options.max_iterations);
+}
+
+TEST(Optimizer, RespectsMaxIterations) {
+  const PartitionProblem problem = chain_problem(30, 3);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(3);
+  OptimizerOptions options;
+  options.margin = 0.0;  // never satisfied
+  options.max_iterations = 7;
+  const OptimizerResult result = run_gradient_descent(
+      model, random_soft_assignment(30, 3, rng), options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 7);
+}
+
+TEST(Optimizer, KeepsWInUnitBox) {
+  const PartitionProblem problem = chain_problem(25, 5);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(4);
+  const OptimizerResult result =
+      run_gradient_descent(model, random_soft_assignment(25, 5, rng), {});
+  for (const double value : result.w.flat()) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+  }
+}
+
+TEST(Optimizer, RowsStayNearOneHotSum) {
+  // F4 should keep row sums near 1 without explicit normalization.
+  const PartitionProblem problem = chain_problem(30, 4);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(5);
+  const OptimizerResult result =
+      run_gradient_descent(model, random_soft_assignment(30, 4, rng), {});
+  for (std::size_t r = 0; r < result.w.rows(); ++r) {
+    double sum = 0.0;
+    for (const double v : result.w.row(r)) sum += v;
+    EXPECT_NEAR(sum, 1.0, 0.35) << "row " << r;
+  }
+}
+
+TEST(Optimizer, DeterministicForSameStart) {
+  const PartitionProblem problem = chain_problem(20, 3);
+  const CostModel model(problem, CostWeights{});
+  Rng rng_a(6);
+  Rng rng_b(6);
+  const OptimizerResult a =
+      run_gradient_descent(model, random_soft_assignment(20, 3, rng_a), {});
+  const OptimizerResult b =
+      run_gradient_descent(model, random_soft_assignment(20, 3, rng_b), {});
+  EXPECT_EQ(a.w, b.w);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Optimizer, PaperStyleTerminatesWithFiniteCost) {
+  // Equation 10 as printed is not the exact derivative (DESIGN.md sec. 1),
+  // so the trace need not be monotone; the run must still terminate inside
+  // the box with finite cost. (partitioner_test checks its end quality.)
+  const PartitionProblem problem = chain_problem(40, 4);
+  const CostModel model(problem, CostWeights{}, GradientStyle::kPaperEq10);
+  Rng rng(7);
+  OptimizerOptions options;
+  options.record_trace = true;
+  const OptimizerResult result = run_gradient_descent(
+      model, random_soft_assignment(40, 4, rng), options);
+  for (const double cost : result.cost_trace) {
+    EXPECT_TRUE(std::isfinite(cost));
+  }
+  for (const double value : result.w.flat()) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+  }
+}
+
+TEST(Optimizer, RawStepModeRuns) {
+  // normalize_step off reproduces Algorithm 1's raw update; it still has
+  // to terminate and stay in the box.
+  const PartitionProblem problem = chain_problem(20, 3);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(8);
+  OptimizerOptions options;
+  options.normalize_step = false;
+  options.learning_rate = 1.0;
+  const OptimizerResult result = run_gradient_descent(
+      model, random_soft_assignment(20, 3, rng), options);
+  for (const double value : result.w.flat()) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sfqpart

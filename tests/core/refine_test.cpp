@@ -1,0 +1,100 @@
+#include "core/refine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/soft_assign.h"
+
+namespace sfqpart {
+namespace {
+
+PartitionProblem grid_problem(int num_gates, int num_planes, std::uint64_t seed) {
+  PartitionProblem problem;
+  problem.num_gates = num_gates;
+  problem.num_planes = num_planes;
+  Rng rng(seed);
+  for (int i = 0; i < num_gates; ++i) {
+    problem.gate_ids.push_back(i);
+    problem.bias.push_back(rng.uniform(0.5, 1.5));
+    problem.area.push_back(rng.uniform(2000.0, 7000.0));
+    if (i > 0) problem.edges.emplace_back(i - 1, i);
+    if (i > 7) problem.edges.emplace_back(i - 8, i);
+  }
+  return problem;
+}
+
+TEST(Refine, NeverIncreasesDiscreteCost) {
+  const PartitionProblem problem = grid_problem(60, 4, 1);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(2);
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    labels.push_back(static_cast<int>(rng.uniform_index(4)));
+  }
+  const double before = model.evaluate_discrete(labels).total(model.weights());
+  const RefineResult result = refine_partition(model, labels, rng);
+  EXPECT_NEAR(result.initial_cost, before, 1e-12);
+  EXPECT_LE(result.final_cost, result.initial_cost + 1e-12);
+  EXPECT_NEAR(result.final_cost,
+              model.evaluate_discrete(labels).total(model.weights()), 1e-9);
+}
+
+TEST(Refine, ImprovesARandomStartSubstantially) {
+  const PartitionProblem problem = grid_problem(80, 5, 3);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(4);
+  std::vector<int> labels;
+  for (int i = 0; i < 80; ++i) {
+    labels.push_back(static_cast<int>(rng.uniform_index(5)));
+  }
+  const RefineResult result = refine_partition(model, labels, rng);
+  EXPECT_GT(result.moves, 0);
+  EXPECT_LT(result.final_cost, 0.6 * result.initial_cost);
+}
+
+TEST(Refine, LabelsStayInRange) {
+  const PartitionProblem problem = grid_problem(40, 3, 5);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(6);
+  std::vector<int> labels(40, 0);
+  refine_partition(model, labels, rng);
+  for (const int label : labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 3);
+  }
+}
+
+TEST(Refine, FixedPointOfOptimalIsStable) {
+  // A two-gate, one-edge problem where both gates on the same plane is
+  // optimal for F1 yet bad for balance; with balance weights zeroed the
+  // optimum is same-plane and refine must not disturb it.
+  PartitionProblem problem;
+  problem.num_gates = 2;
+  problem.num_planes = 2;
+  problem.bias = {1.0, 1.0};
+  problem.area = {1.0, 1.0};
+  problem.gate_ids = {0, 1};
+  problem.edges = {{0, 1}};
+  CostWeights weights;
+  weights.c2 = 0.0;
+  weights.c3 = 0.0;
+  const CostModel model(problem, weights);
+  Rng rng(7);
+  std::vector<int> labels{0, 0};
+  const RefineResult result = refine_partition(model, labels, rng);
+  EXPECT_EQ(result.moves, 0);
+  EXPECT_EQ(labels, (std::vector<int>{0, 0}));
+}
+
+TEST(Refine, MaxPassesRespected) {
+  const PartitionProblem problem = grid_problem(100, 6, 8);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(9);
+  std::vector<int> labels(100, 0);  // terrible start: everything on plane 0
+  RefineOptions options;
+  options.max_passes = 1;
+  const RefineResult result = refine_partition(model, labels, rng, options);
+  EXPECT_EQ(result.passes, 1);
+}
+
+}  // namespace
+}  // namespace sfqpart

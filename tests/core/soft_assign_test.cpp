@@ -1,0 +1,72 @@
+#include "core/soft_assign.h"
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+TEST(RandomSoftAssignment, RowsSumToOne) {
+  Rng rng(1);
+  const Matrix w = random_soft_assignment(50, 5, rng);
+  ASSERT_EQ(w.rows(), 50u);
+  ASSERT_EQ(w.cols(), 5u);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    double sum = 0.0;
+    for (const double v : w.row(r)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(RandomSoftAssignment, SeedDeterminism) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(random_soft_assignment(10, 3, a), random_soft_assignment(10, 3, b));
+}
+
+TEST(NormalizeRows, ZeroRowBecomesUniform) {
+  Matrix w(2, 4);
+  w(0, 1) = 2.0;
+  normalize_rows(w);
+  EXPECT_DOUBLE_EQ(w(0, 1), 1.0);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(w(1, k), 0.25);
+  }
+}
+
+TEST(Clip01, ClampsBothEnds) {
+  Matrix w(1, 3);
+  w(0, 0) = -0.5;
+  w(0, 1) = 0.5;
+  w(0, 2) = 1.5;
+  clip01(w);
+  EXPECT_DOUBLE_EQ(w(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(w(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(w(0, 2), 1.0);
+}
+
+TEST(Harden, PicksArgmaxWithLowTies) {
+  Matrix w(3, 3);
+  w(0, 2) = 0.9;               // clear winner
+  w(1, 0) = 0.5;
+  w(1, 1) = 0.5;               // tie -> lowest plane
+  w(2, 1) = 0.1;
+  EXPECT_EQ(harden(w), (std::vector<int>{2, 0, 1}));
+}
+
+TEST(OneHot, RoundTripsThroughHarden) {
+  const std::vector<int> labels{0, 3, 1, 1, 2};
+  const Matrix w = one_hot(labels, 4);
+  EXPECT_EQ(harden(w), labels);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    double sum = 0.0;
+    for (const double v : w.row(r)) sum += v;
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sfqpart

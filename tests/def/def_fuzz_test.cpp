@@ -1,0 +1,119 @@
+// Robustness: the LEF/DEF parsers must return Status errors -- never
+// crash, hang, or corrupt memory -- on arbitrarily mangled input. These
+// tests mutate valid files token-wise and byte-wise with a seeded RNG.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "def/def_parser.h"
+#include "def/def_writer.h"
+#include "def/lef_parser.h"
+#include "gen/suite.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "verilog/verilog_parser.h"
+#include "verilog/verilog_writer.h"
+
+namespace sfqpart::def {
+namespace {
+
+std::string mutate(const std::string& text, Rng& rng) {
+  std::vector<std::string> tokens = split(text, " \n\t");
+  if (tokens.empty()) return text;
+  switch (rng.uniform_index(5)) {
+    case 0:  // delete a token
+      tokens.erase(tokens.begin() +
+                   static_cast<std::ptrdiff_t>(rng.uniform_index(tokens.size())));
+      break;
+    case 1:  // duplicate a token
+      tokens.insert(tokens.begin() +
+                        static_cast<std::ptrdiff_t>(rng.uniform_index(tokens.size())),
+                    tokens[rng.uniform_index(tokens.size())]);
+      break;
+    case 2:  // replace with garbage
+      tokens[rng.uniform_index(tokens.size())] = "@#$%";
+      break;
+    case 3: {  // swap two tokens
+      const std::size_t i = rng.uniform_index(tokens.size());
+      const std::size_t j = rng.uniform_index(tokens.size());
+      std::swap(tokens[i], tokens[j]);
+      break;
+    }
+    case 4:  // truncate
+      tokens.resize(rng.uniform_index(tokens.size()) + 1);
+      break;
+  }
+  std::string out;
+  for (const std::string& token : tokens) {
+    out += token;
+    out += rng.bernoulli(0.1) ? '\n' : ' ';
+  }
+  return out;
+}
+
+class DefFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DefFuzz, MutatedDefNeverCrashes) {
+  const std::string base = write_def(build_mapped("ksa4"));
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string text = base;
+    const int rounds = 1 + static_cast<int>(rng.uniform_index(4));
+    for (int round = 0; round < rounds; ++round) text = mutate(text, rng);
+    const auto design = parse_def(text);  // ok or error, both fine
+    if (design.is_ok()) {
+      // A parseable mutant must still convert or fail cleanly.
+      (void)def_to_netlist(*design, sfqpart::default_sfq_library());
+    }
+  }
+}
+
+TEST_P(DefFuzz, MutatedLefNeverCrashes) {
+  const std::string base = write_lef(sfqpart::default_sfq_library());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string text = base;
+    const int rounds = 1 + static_cast<int>(rng.uniform_index(4));
+    for (int round = 0; round < rounds; ++round) text = mutate(text, rng);
+    (void)parse_lef(text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DefFuzz, ::testing::Range(1, 5));
+
+TEST_P(DefFuzz, MutatedVerilogNeverCrashes) {
+  const std::string base = write_verilog(build_mapped("ksa4"));
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string text = base;
+    const int rounds = 1 + static_cast<int>(rng.uniform_index(4));
+    for (int round = 0; round < rounds; ++round) text = mutate(text, rng);
+    const auto module = parse_verilog(text);
+    if (module.is_ok()) {
+      (void)verilog_to_netlist(*module, sfqpart::default_sfq_library());
+    }
+  }
+}
+
+TEST(DefFuzz, RandomBytesNeverCrash) {
+  Rng rng(123);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string text;
+    const std::size_t length = rng.uniform_index(400);
+    for (std::size_t i = 0; i < length; ++i) {
+      text += static_cast<char>(rng.uniform_index(96) + 32);
+    }
+    (void)parse_def(text);
+    (void)parse_lef(text);
+  }
+}
+
+TEST(DefFuzz, EmptyAndWhitespaceInputs) {
+  EXPECT_FALSE(parse_def("").is_ok());
+  EXPECT_FALSE(parse_def("   \n\t  ").is_ok());
+  EXPECT_TRUE(parse_lef("").is_ok());  // an empty library is legal LEF
+}
+
+}  // namespace
+}  // namespace sfqpart::def

@@ -1,0 +1,78 @@
+// Write -> parse round trip: the DEF writer and parser must agree exactly
+// on connectivity for every benchmark circuit.
+#include <gtest/gtest.h>
+
+#include "def/def_parser.h"
+#include "def/def_writer.h"
+#include "gen/suite.h"
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+
+namespace sfqpart::def {
+namespace {
+
+class DefRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DefRoundTrip, PreservesStructure) {
+  const Netlist original = build_mapped(GetParam());
+
+  const std::string text = write_def(original);
+  auto design = parse_def(text);
+  ASSERT_TRUE(design.is_ok()) << design.status().message();
+  auto parsed = def_to_netlist(*design, original.library());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+
+  EXPECT_EQ(parsed->num_gates(), original.num_gates());
+  EXPECT_EQ(parsed->num_partitionable_gates(), original.num_partitionable_gates());
+  EXPECT_TRUE(validate(*parsed).ok());
+
+  const NetlistStats before = compute_stats(original);
+  const NetlistStats after = compute_stats(*parsed);
+  EXPECT_EQ(after.num_connections, before.num_connections);
+  EXPECT_DOUBLE_EQ(after.total_bias_ma, before.total_bias_ma);
+  EXPECT_DOUBLE_EQ(after.total_area_um2, before.total_area_um2);
+  EXPECT_EQ(after.logic_depth, before.logic_depth);
+  EXPECT_EQ(after.by_kind, before.by_kind);
+
+  // Connectivity is identical gate-by-gate (names survive the round trip).
+  for (GateId g = 0; g < original.num_gates(); ++g) {
+    const GateId h = parsed->find_gate(original.gate(g).name);
+    ASSERT_NE(h, kInvalidGate) << original.gate(g).name;
+    EXPECT_EQ(parsed->cell_of(h).name, original.cell_of(g).name);
+    EXPECT_EQ(parsed->fanout(h), original.fanout(g)) << original.gate(g).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, DefRoundTrip,
+                         ::testing::Values("ksa4", "ksa8", "mult4", "id4",
+                                           "c432", "c1355"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(DefRoundTrip, DieAreaCoversPlacedCells) {
+  const Netlist netlist = build_mapped("ksa4");
+  auto design = parse_def(write_def(netlist));
+  ASSERT_TRUE(design.is_ok());
+  // Die sized for 85% utilization by default.
+  EXPECT_GT(design->die_area_mm2(), netlist.total_area_um2() * 1e-6);
+  for (const DefComponent& comp : design->components) {
+    EXPECT_TRUE(comp.placed) << comp.name;
+    EXPECT_GE(comp.location.x, 0);
+    EXPECT_LE(comp.location.x, design->die_hi.x);
+    EXPECT_LE(comp.location.y, design->die_hi.y);
+  }
+}
+
+TEST(DefRoundTrip, PinPrefixStripped) {
+  const Netlist netlist = build_mapped("ksa4");
+  const std::string text = write_def(netlist);
+  // The DEF itself uses plain pin names, not the internal "pin:" prefix.
+  EXPECT_EQ(text.find("pin:"), std::string::npos);
+  auto design = parse_def(text);
+  ASSERT_TRUE(design.is_ok());
+  bool found = false;
+  for (const DefPin& pin : design->pins) found |= pin.name == "a[0]";
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace sfqpart::def

@@ -1,0 +1,73 @@
+#include "def/def_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "def/def_parser.h"
+#include "gen/suite.h"
+
+namespace sfqpart::def {
+namespace {
+
+TEST(DefWriter, UtilizationControlsDieSize) {
+  const Netlist netlist = build_mapped("ksa8");
+  DefWriterOptions dense;
+  dense.utilization = 0.95;
+  DefWriterOptions sparse;
+  sparse.utilization = 0.40;
+  auto dense_design = parse_def(write_def(netlist, dense));
+  auto sparse_design = parse_def(write_def(netlist, sparse));
+  ASSERT_TRUE(dense_design.is_ok());
+  ASSERT_TRUE(sparse_design.is_ok());
+  EXPECT_GT(sparse_design->die_area_mm2(), dense_design->die_area_mm2());
+  // Both must still cover the cells.
+  EXPECT_GT(dense_design->die_area_mm2(), netlist.total_area_um2() * 1e-6);
+}
+
+TEST(DefWriter, DbuScalesCoordinates) {
+  const Netlist netlist = build_mapped("ksa4");
+  DefWriterOptions coarse;
+  coarse.dbu_per_micron = 100;
+  DefWriterOptions fine;
+  fine.dbu_per_micron = 2000;
+  auto coarse_design = parse_def(write_def(netlist, coarse));
+  auto fine_design = parse_def(write_def(netlist, fine));
+  ASSERT_TRUE(coarse_design.is_ok());
+  ASSERT_TRUE(fine_design.is_ok());
+  EXPECT_EQ(coarse_design->dbu_per_micron, 100);
+  EXPECT_EQ(fine_design->dbu_per_micron, 2000);
+  // Physical die area is invariant under the database unit choice.
+  EXPECT_NEAR(coarse_design->die_area_mm2(), fine_design->die_area_mm2(),
+              0.05 * fine_design->die_area_mm2() + 1e-6);
+}
+
+TEST(DefWriter, RowHeightQuantizesPlacement) {
+  const Netlist netlist = build_mapped("ksa4");
+  DefWriterOptions options;
+  options.row_height_um = 60.0;
+  auto design = parse_def(write_def(netlist, options));
+  ASSERT_TRUE(design.is_ok());
+  const long long row_dbu =
+      static_cast<long long>(options.row_height_um * options.dbu_per_micron);
+  for (const DefComponent& comp : design->components) {
+    EXPECT_EQ(comp.location.y % row_dbu, 0) << comp.name;
+  }
+}
+
+TEST(DefWriter, EveryComponentAndNetSurvivesParsing) {
+  const Netlist netlist = build_mapped("mult4");
+  auto design = parse_def(write_def(netlist));
+  ASSERT_TRUE(design.is_ok());
+  EXPECT_EQ(static_cast<int>(design->components.size()),
+            netlist.num_partitionable_gates());
+  int connected_nets = 0;
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    if (netlist.net(n).driver.gate != kInvalidGate &&
+        !netlist.net(n).sinks.empty()) {
+      ++connected_nets;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(design->nets.size()), connected_nets);
+}
+
+}  // namespace
+}  // namespace sfqpart::def

@@ -1,0 +1,128 @@
+#include "def/lef_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/cell_library.h"
+
+namespace sfqpart::def {
+namespace {
+
+constexpr const char* kSampleLef = R"(
+VERSION 5.8 ;
+NAMESCASESENSITIVE ON ;
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+
+LAYER metal1
+  TYPE ROUTING ;
+END metal1
+
+MACRO AND2T
+  CLASS CORE ;
+  ORIGIN 0 0 ;
+  SIZE 110.000 BY 60.000 ;
+  PIN A
+    DIRECTION INPUT ;
+    USE SIGNAL ;
+  END A
+  PIN B
+    DIRECTION INPUT ;
+  END B
+  PIN CLK
+    DIRECTION INPUT ;
+    USE CLOCK ;
+  END CLK
+  PIN Q
+    DIRECTION OUTPUT ;
+    USE SIGNAL ;
+  END Q
+END AND2T
+
+MACRO SPLITT
+  CLASS CORE ;
+  SIZE 45 BY 60 ;
+  PIN A
+    DIRECTION INPUT ;
+  END A
+  PIN Q0
+    DIRECTION OUTPUT ;
+  END Q0
+  PIN Q1
+    DIRECTION OUTPUT ;
+  END Q1
+END SPLITT
+
+END LIBRARY
+)";
+
+TEST(LefParser, ParsesMacros) {
+  auto lib = parse_lef(kSampleLef);
+  ASSERT_TRUE(lib.is_ok());
+  EXPECT_EQ(lib->macros.size(), 2u);
+  const LefMacro* and2 = lib->find("AND2T");
+  ASSERT_NE(and2, nullptr);
+  EXPECT_EQ(and2->macro_class, "CORE");
+  EXPECT_DOUBLE_EQ(and2->width_um, 110.0);
+  EXPECT_DOUBLE_EQ(and2->height_um, 60.0);
+  EXPECT_DOUBLE_EQ(and2->area_um2(), 6600.0);
+  ASSERT_EQ(and2->pins.size(), 4u);
+}
+
+TEST(LefParser, PinDirectionsAndUse) {
+  auto lib = parse_lef(kSampleLef);
+  ASSERT_TRUE(lib.is_ok());
+  const LefMacro* and2 = lib->find("AND2T");
+  ASSERT_NE(and2, nullptr);
+  EXPECT_EQ(and2->find_pin("A")->direction, PinDirection::kInput);
+  EXPECT_EQ(and2->find_pin("Q")->direction, PinDirection::kOutput);
+  EXPECT_EQ(and2->find_pin("CLK")->use, "CLOCK");
+  EXPECT_EQ(and2->find_pin("MISSING"), nullptr);
+}
+
+TEST(LefParser, SkipsTechnologySections) {
+  auto lib = parse_lef(kSampleLef);
+  ASSERT_TRUE(lib.is_ok());
+  EXPECT_EQ(lib->find("metal1"), nullptr);
+}
+
+TEST(LefParser, RejectsMismatchedEnd) {
+  const char* bad = "MACRO FOO\n SIZE 10 BY 10 ;\nEND BAR\n";
+  EXPECT_FALSE(parse_lef(bad).is_ok());
+}
+
+TEST(LefParser, RejectsTruncatedMacro) {
+  EXPECT_FALSE(parse_lef("MACRO FOO\n SIZE 1 BY 1 ;\n").is_ok());
+}
+
+TEST(PinNames, Convention) {
+  EXPECT_EQ(input_pin_name(0), "A");
+  EXPECT_EQ(input_pin_name(1), "B");
+  EXPECT_EQ(input_pin_name(25), "Z");
+  EXPECT_EQ(input_pin_name(26), "A1");
+  EXPECT_EQ(output_pin_name(0, 1), "Q");
+  EXPECT_EQ(output_pin_name(0, 2), "Q0");
+  EXPECT_EQ(output_pin_name(1, 2), "Q1");
+}
+
+TEST(WriteLef, RoundTripsDefaultLibrary) {
+  const std::string text = write_lef(default_sfq_library());
+  auto lib = parse_lef(text);
+  ASSERT_TRUE(lib.is_ok());
+  EXPECT_EQ(static_cast<int>(lib->macros.size()),
+            default_sfq_library().num_cells());
+  for (const Cell& cell : default_sfq_library().cells()) {
+    const LefMacro* macro = lib->find(cell.name);
+    ASSERT_NE(macro, nullptr) << cell.name;
+    // Footprint area matches the library's cell area.
+    EXPECT_NEAR(macro->area_um2(), cell.area_um2, cell.area_um2 * 0.01 + 1.0)
+        << cell.name;
+    // One LEF pin per data pin, plus CLK on clocked cells.
+    const int expected_pins =
+        cell.num_inputs + cell.num_outputs + (cell.is_clocked() ? 1 : 0);
+    EXPECT_EQ(static_cast<int>(macro->pins.size()), expected_pins) << cell.name;
+  }
+}
+
+}  // namespace
+}  // namespace sfqpart::def

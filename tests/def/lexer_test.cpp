@@ -1,0 +1,85 @@
+#include "def/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace sfqpart::def {
+namespace {
+
+std::vector<std::string> all_tokens(const std::string& text) {
+  TokenStream ts = tokenize(text);
+  std::vector<std::string> out;
+  while (!ts.at_end()) out.push_back(ts.take());
+  return out;
+}
+
+TEST(Lexer, SplitsWhitespaceAndPunctuation) {
+  EXPECT_EQ(all_tokens("- g1 AND2T + PLACED ( 10 20 ) N ;"),
+            (std::vector<std::string>{"-", "g1", "AND2T", "+", "PLACED", "(", "10",
+                                      "20", ")", "N", ";"}));
+}
+
+TEST(Lexer, PunctuationGluedToWords) {
+  EXPECT_EQ(all_tokens("(a b);"),
+            (std::vector<std::string>{"(", "a", "b", ")", ";"}));
+}
+
+TEST(Lexer, NegativeNumbersStayWhole) {
+  EXPECT_EQ(all_tokens("( -100 -2.5 )"),
+            (std::vector<std::string>{"(", "-100", "-2.5", ")"}));
+}
+
+TEST(Lexer, MinusAsItemMarkerSplits) {
+  EXPECT_EQ(all_tokens("-inst"), (std::vector<std::string>{"-", "inst"}));
+}
+
+TEST(Lexer, CommentsStripped) {
+  EXPECT_EQ(all_tokens("a # comment ; ( )\nb"),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  TokenStream ts = tokenize("a\nb\n\nc");
+  EXPECT_EQ(ts.line(), 1);
+  ts.take();
+  EXPECT_EQ(ts.line(), 2);
+  ts.take();
+  EXPECT_EQ(ts.line(), 4);
+}
+
+TEST(TokenStream, AcceptAndExpect) {
+  TokenStream ts = tokenize("FOO ; BAR");
+  EXPECT_FALSE(ts.accept("BAR"));
+  EXPECT_TRUE(ts.accept("FOO"));
+  EXPECT_TRUE(ts.expect(";").is_ok());
+  const Status bad = ts.expect("BAZ");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_NE(bad.message().find("expected 'BAZ'"), std::string::npos);
+}
+
+TEST(TokenStream, NumericTakes) {
+  TokenStream ts = tokenize("42 2.5 oops");
+  auto integer = ts.take_int();
+  ASSERT_TRUE(integer.is_ok());
+  EXPECT_EQ(*integer, 42);
+  auto real = ts.take_double();
+  ASSERT_TRUE(real.is_ok());
+  EXPECT_DOUBLE_EQ(*real, 2.5);
+  EXPECT_FALSE(ts.take_int().is_ok());
+}
+
+TEST(TokenStream, SkipStatement) {
+  TokenStream ts = tokenize("VERSION 5.8 ; DESIGN top ;");
+  ts.take();  // VERSION
+  ts.skip_statement();
+  EXPECT_EQ(ts.peek(), "DESIGN");
+}
+
+TEST(TokenStream, ErrorCarriesLine) {
+  TokenStream ts = tokenize("a\nb");
+  ts.take();
+  const Status status = ts.error("boom");
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfqpart::def

@@ -1,0 +1,163 @@
+#include "floorplan/floorplan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.h"
+#include "def/def_parser.h"
+#include "def/def_writer.h"
+#include "gen/suite.h"
+
+namespace sfqpart {
+namespace {
+
+struct Fixture {
+  Netlist netlist = build_mapped("ksa8");
+  Partition partition;
+
+  Fixture() {
+    PartitionOptions options;
+    options.num_planes = 4;
+    partition = partition_netlist(netlist, options).partition;
+  }
+};
+
+TEST(Floorplan, StripesStackTopDownWithoutOverlap) {
+  Fixture f;
+  const Floorplan plan = build_floorplan(f.netlist, f.partition);
+  ASSERT_EQ(plan.stripes.size(), 4u);
+  EXPECT_DOUBLE_EQ(plan.stripes[0].y_hi_um, plan.die_height_um);
+  for (std::size_t k = 0; k < plan.stripes.size(); ++k) {
+    EXPECT_EQ(plan.stripes[k].plane, static_cast<int>(k));
+    EXPECT_GT(plan.stripes[k].y_hi_um, plan.stripes[k].y_lo_um);
+    if (k > 0) {
+      // Plane k sits strictly below plane k-1, separated by the moat.
+      EXPECT_LT(plan.stripes[k].y_hi_um, plan.stripes[k - 1].y_lo_um);
+    }
+  }
+  EXPECT_GE(plan.stripes.back().y_lo_um, -1e-9);
+}
+
+TEST(Floorplan, GatesPlacedInsideTheirStripe) {
+  Fixture f;
+  const FloorplanOptions options;
+  const Floorplan plan = build_floorplan(f.netlist, f.partition, options);
+  for (GateId g = 0; g < f.netlist.num_gates(); ++g) {
+    if (!f.partition.assigned(g)) continue;
+    const PlaneStripe& stripe = plan.stripe_of(f.partition.plane(g));
+    EXPECT_GE(plan.y_um[static_cast<std::size_t>(g)], stripe.y_lo_um - 1e-9)
+        << f.netlist.gate(g).name;
+    EXPECT_LT(plan.y_um[static_cast<std::size_t>(g)] + options.row_height_um,
+              stripe.y_hi_um + 1e-9)
+        << f.netlist.gate(g).name;
+    EXPECT_GE(plan.x_um[static_cast<std::size_t>(g)], 0.0);
+    EXPECT_LE(plan.x_um[static_cast<std::size_t>(g)], plan.die_width_um);
+  }
+}
+
+TEST(Floorplan, StripeCapacityCoversPlaneArea) {
+  Fixture f;
+  const FloorplanOptions options;
+  const Floorplan plan = build_floorplan(f.netlist, f.partition, options);
+  std::vector<double> plane_area(4, 0.0);
+  for (GateId g = 0; g < f.netlist.num_gates(); ++g) {
+    if (f.partition.assigned(g)) {
+      plane_area[static_cast<std::size_t>(f.partition.plane(g))] +=
+          f.netlist.area_of(g);
+    }
+  }
+  for (const PlaneStripe& stripe : plan.stripes) {
+    const double capacity =
+        stripe.rows * options.row_height_um * plan.die_width_um;
+    EXPECT_GE(capacity * 1.0001,
+              plane_area[static_cast<std::size_t>(stripe.plane)])
+        << "stripe " << stripe.plane;
+  }
+}
+
+TEST(Floorplan, BarycenterPassesShortenWires) {
+  Fixture f;
+  FloorplanOptions no_passes;
+  no_passes.ordering_passes = 0;
+  FloorplanOptions with_passes;
+  with_passes.ordering_passes = 4;
+  const double before =
+      total_hpwl_um(f.netlist, build_floorplan(f.netlist, f.partition, no_passes));
+  const double after =
+      total_hpwl_um(f.netlist, build_floorplan(f.netlist, f.partition, with_passes));
+  EXPECT_LT(after, before);
+}
+
+TEST(Floorplan, IoGatesOnTheLeftEdge) {
+  Fixture f;
+  const Floorplan plan = build_floorplan(f.netlist, f.partition);
+  for (GateId g = 0; g < f.netlist.num_gates(); ++g) {
+    if (f.netlist.is_io(g)) {
+      EXPECT_DOUBLE_EQ(plan.x_um[static_cast<std::size_t>(g)], 0.0);
+    }
+  }
+}
+
+TEST(Floorplan, Deterministic) {
+  Fixture f;
+  const Floorplan a = build_floorplan(f.netlist, f.partition);
+  const Floorplan b = build_floorplan(f.netlist, f.partition);
+  EXPECT_EQ(a.x_um, b.x_um);
+  EXPECT_EQ(a.y_um, b.y_um);
+}
+
+TEST(Floorplan, HpwlHandComputed) {
+  Netlist netlist(&default_sfq_library(), "wire");
+  const GateId a = netlist.add_gate_of_kind("a", CellKind::kDff);
+  const GateId b = netlist.add_gate_of_kind("b", CellKind::kDff);
+  netlist.connect(a, 0, b, 0);
+  Floorplan plan;
+  plan.x_um = {0.0, 30.0};
+  plan.y_um = {0.0, 40.0};
+  EXPECT_DOUBLE_EQ(total_hpwl_um(netlist, plan), 70.0);
+}
+
+TEST(Floorplan, FormatListsStripes) {
+  Fixture f;
+  const Floorplan plan = build_floorplan(f.netlist, f.partition);
+  const std::string text = format_floorplan(f.netlist, plan);
+  EXPECT_NE(text.find("GP0"), std::string::npos);
+  EXPECT_NE(text.find("GP3"), std::string::npos);
+  EXPECT_NE(text.find("HPWL"), std::string::npos);
+}
+
+TEST(Floorplan, PlacedDefRoundTripsCoordinates) {
+  Fixture f;
+  const Floorplan plan = build_floorplan(f.netlist, f.partition);
+  const def::DefWriterOptions options;
+  auto design = def::parse_def(
+      def::write_def_placed(f.netlist, options, plan.x_um, plan.y_um));
+  ASSERT_TRUE(design.is_ok()) << design.status().message();
+  EXPECT_EQ(static_cast<int>(design->components.size()),
+            f.netlist.num_partitionable_gates());
+  for (const def::DefComponent& comp : design->components) {
+    const GateId g = f.netlist.find_gate(comp.name);
+    ASSERT_NE(g, kInvalidGate);
+    EXPECT_NEAR(static_cast<double>(comp.location.x) / options.dbu_per_micron,
+                plan.x_um[static_cast<std::size_t>(g)], 1e-3)
+        << comp.name;
+    EXPECT_NEAR(static_cast<double>(comp.location.y) / options.dbu_per_micron,
+                plan.y_um[static_cast<std::size_t>(g)], 1e-3)
+        << comp.name;
+    // Inside the die.
+    EXPECT_LE(comp.location.x, design->die_hi.x);
+    EXPECT_LE(comp.location.y, design->die_hi.y);
+  }
+}
+
+TEST(Floorplan, MoreGapGrowsDie) {
+  Fixture f;
+  FloorplanOptions narrow;
+  narrow.stripe_gap_um = 0.0;
+  FloorplanOptions wide;
+  wide.stripe_gap_um = 100.0;
+  EXPECT_GT(build_floorplan(f.netlist, f.partition, wide).die_height_um,
+            build_floorplan(f.netlist, f.partition, narrow).die_height_um);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,142 @@
+#include "gen/alu.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/sim.h"
+#include "netlist/validate.h"
+#include "pulse/pulse_sim.h"
+#include "sfq/mapper.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+namespace {
+
+struct AluOut {
+  std::uint64_t y;
+  bool carry;
+  bool zero;
+};
+
+AluOut run_alu(const Netlist& alu, int width, std::uint64_t a, std::uint64_t b,
+               int op) {
+  SignalValues in;
+  set_word(in, "a", width, a);
+  set_word(in, "b", width, b);
+  set_word(in, "op", 2, static_cast<std::uint64_t>(op));
+  const auto out = simulate(alu, in);
+  return AluOut{get_word(out, "y", width), out.at("carry"), out.at("zero")};
+}
+
+std::uint64_t reference(int width, std::uint64_t a, std::uint64_t b, int op) {
+  const std::uint64_t mask = (1ULL << width) - 1;
+  switch (op) {
+    case 0: return (a + b) & mask;
+    case 1: return (a - b) & mask;
+    case 2: return a & b;
+    default: return a ^ b;
+  }
+}
+
+TEST(Alu, ExhaustiveWidth3AllOps) {
+  const Netlist alu = build_alu(3);
+  for (int op = 0; op < 4; ++op) {
+    for (std::uint64_t a = 0; a < 8; ++a) {
+      for (std::uint64_t b = 0; b < 8; ++b) {
+        const AluOut out = run_alu(alu, 3, a, b, op);
+        ASSERT_EQ(out.y, reference(3, a, b, op))
+            << "op " << op << ": " << a << "," << b;
+        ASSERT_EQ(out.zero, out.y == 0);
+      }
+    }
+  }
+}
+
+class AluOps : public ::testing::TestWithParam<int> {};
+
+TEST_P(AluOps, RandomVectorsWidth8) {
+  const int op = GetParam();
+  const Netlist alu = build_alu(8);
+  Rng rng(static_cast<std::uint64_t>(op) + 50);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t a = rng.uniform_index(256);
+    const std::uint64_t b = rng.uniform_index(256);
+    const AluOut out = run_alu(alu, 8, a, b, op);
+    ASSERT_EQ(out.y, reference(8, a, b, op)) << a << " op" << op << " " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, AluOps, ::testing::Range(0, 4),
+                         [](const auto& info) {
+                           return "op" + std::to_string(info.param);
+                         });
+
+TEST(Alu, CarryFlagSemantics) {
+  const Netlist alu = build_alu(8);
+  EXPECT_TRUE(run_alu(alu, 8, 200, 100, 0).carry);   // 300 overflows
+  EXPECT_FALSE(run_alu(alu, 8, 10, 20, 0).carry);
+  // SUB: carry out means no borrow (a >= b).
+  EXPECT_TRUE(run_alu(alu, 8, 30, 20, 1).carry);
+  EXPECT_FALSE(run_alu(alu, 8, 20, 30, 1).carry);
+  // Logic ops report no carry.
+  EXPECT_FALSE(run_alu(alu, 8, 255, 255, 2).carry);
+}
+
+TEST(Alu, MapsToLegalSfqAndKeepsFunction) {
+  const Netlist structural = build_alu(4);
+  const Netlist mapped = map_to_sfq(structural);
+  const auto report = validate(mapped);
+  ASSERT_TRUE(report.ok()) << (report.issues.empty() ? "" : report.issues[0]);
+  Rng rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    SignalValues in;
+    set_word(in, "a", 4, rng.uniform_index(16));
+    set_word(in, "b", 4, rng.uniform_index(16));
+    set_word(in, "op", 2, rng.uniform_index(4));
+    EXPECT_EQ(simulate(structural, in), simulate(mapped, in));
+  }
+}
+
+TEST(Alu, WavePipelinesAtFullRate) {
+  // The whole point of the SFQ mapping: the ALU accepts one op per cycle.
+  const Netlist mapped = map_to_sfq(build_alu(4));
+  PulseSimulator sim(mapped);
+  Rng rng(17);
+  const int words = 16;
+  PulseTrains inputs;
+  std::vector<std::uint64_t> as, bs, ops;
+  const int cycles = words + sim.latency();
+  auto make_train = [&](const std::string& name, int bits,
+                        std::vector<std::uint64_t>& values, std::uint64_t range) {
+    for (int bit = 0; bit < bits; ++bit) {
+      inputs[name + "[" + std::to_string(bit) + "]"] =
+          std::vector<bool>(static_cast<std::size_t>(cycles), false);
+    }
+    for (int i = 0; i < words; ++i) {
+      const std::uint64_t value = rng.uniform_index(range);
+      values.push_back(value);
+      for (int bit = 0; bit < bits; ++bit) {
+        inputs[name + "[" + std::to_string(bit) + "]"][static_cast<std::size_t>(i)] =
+            ((value >> bit) & 1) != 0;
+      }
+    }
+  };
+  make_train("a", 4, as, 16);
+  make_train("b", 4, bs, 16);
+  make_train("op", 2, ops, 4);
+  const PulseTrains out = sim.run(inputs, cycles);
+  for (int i = 0; i < words; ++i) {
+    std::uint64_t y = 0;
+    for (int bit = 0; bit < 4; ++bit) {
+      if (out.at("y[" + std::to_string(bit) + "]")[static_cast<std::size_t>(i + sim.latency())]) {
+        y |= 1ULL << bit;
+      }
+    }
+    EXPECT_EQ(y, reference(4, as[static_cast<std::size_t>(i)],
+                           bs[static_cast<std::size_t>(i)],
+                           static_cast<int>(ops[static_cast<std::size_t>(i)])))
+        << "word " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sfqpart

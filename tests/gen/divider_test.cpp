@@ -1,0 +1,78 @@
+#include "gen/divider.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/sim.h"
+#include "netlist/validate.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+namespace {
+
+struct QuotRem {
+  std::uint64_t q;
+  std::uint64_t r;
+};
+
+QuotRem run_div(const Netlist& divider, int width, std::uint64_t n, std::uint64_t d) {
+  SignalValues in;
+  set_word(in, "n", width, n);
+  set_word(in, "d", width, d);
+  const auto out = simulate(divider, in);
+  return QuotRem{get_word(out, "q", width), get_word(out, "r", width)};
+}
+
+TEST(Divider, ExhaustiveWidth4) {
+  const Netlist divider = build_divider(4);
+  for (std::uint64_t n = 0; n < 16; ++n) {
+    for (std::uint64_t d = 1; d < 16; ++d) {  // d == 0 unspecified
+      const QuotRem result = run_div(divider, 4, n, d);
+      ASSERT_EQ(result.q, n / d) << n << "/" << d;
+      ASSERT_EQ(result.r, n % d) << n << "%" << d;
+    }
+  }
+}
+
+class DividerWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(DividerWidths, RandomVectorsDivide) {
+  const int width = GetParam();
+  const Netlist divider = build_divider(width);
+  const std::uint64_t mask = (1ULL << width) - 1;
+  Rng rng(static_cast<std::uint64_t>(width) * 17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t n = rng.next_u64() & mask;
+    std::uint64_t d = rng.next_u64() & mask;
+    if (d == 0) d = 1;
+    const QuotRem result = run_div(divider, width, n, d);
+    ASSERT_EQ(result.q, n / d) << n << "/" << d;
+    ASSERT_EQ(result.r, n % d) << n << "%" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DividerWidths, ::testing::Values(2, 3, 6, 8),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(Divider, EdgeVectors) {
+  const Netlist divider = build_divider(8);
+  EXPECT_EQ(run_div(divider, 8, 0, 7).q, 0u);
+  EXPECT_EQ(run_div(divider, 8, 255, 1).q, 255u);
+  EXPECT_EQ(run_div(divider, 8, 255, 255).q, 1u);
+  EXPECT_EQ(run_div(divider, 8, 254, 255).q, 0u);
+  EXPECT_EQ(run_div(divider, 8, 254, 255).r, 254u);
+  EXPECT_EQ(run_div(divider, 8, 100, 7).q, 14u);
+  EXPECT_EQ(run_div(divider, 8, 100, 7).r, 2u);
+}
+
+TEST(Divider, StructureIsCleanDag) {
+  const Netlist divider = build_divider(6);
+  ValidateOptions options;
+  options.enforce_sfq_fanout = false;
+  const auto report = validate(divider, options);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+}  // namespace
+}  // namespace sfqpart

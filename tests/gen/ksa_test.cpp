@@ -1,0 +1,89 @@
+#include "gen/ksa.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/sim.h"
+#include "netlist/validate.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+namespace {
+
+std::uint64_t run_add(const Netlist& adder, int width, std::uint64_t a,
+                      std::uint64_t b) {
+  SignalValues in;
+  set_word(in, "a", width, a);
+  set_word(in, "b", width, b);
+  const auto out = simulate(adder, in);
+  const std::uint64_t sum = get_word(out, "s", width);
+  const std::uint64_t cout = out.at("cout") ? 1 : 0;
+  return sum | (cout << width);
+}
+
+TEST(Ksa, ExhaustiveWidth4) {
+  const Netlist adder = build_ksa(4);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      ASSERT_EQ(run_add(adder, 4, a, b), a + b) << a << "+" << b;
+    }
+  }
+}
+
+class KsaWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(KsaWidths, RandomVectorsAdd) {
+  const int width = GetParam();
+  const Netlist adder = build_ksa(width);
+  const std::uint64_t mask =
+      width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  Rng rng(static_cast<std::uint64_t>(width));
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.next_u64() & mask;
+    const std::uint64_t b = rng.next_u64() & mask;
+    // width+1-bit result; for width 32 the sum fits in u64 exactly.
+    ASSERT_EQ(run_add(adder, width, a, b), a + b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KsaWidths, ::testing::Values(1, 2, 3, 8, 16, 32),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(Ksa, EdgeVectors) {
+  const Netlist adder = build_ksa(8);
+  EXPECT_EQ(run_add(adder, 8, 0, 0), 0u);
+  EXPECT_EQ(run_add(adder, 8, 255, 255), 510u);
+  EXPECT_EQ(run_add(adder, 8, 255, 1), 256u);  // full carry ripple
+  EXPECT_EQ(run_add(adder, 8, 0x55, 0xAA), 0xFFu);
+}
+
+TEST(Ksa, StructureIsCleanDag) {
+  const Netlist adder = build_ksa(16);
+  ValidateOptions options;
+  options.enforce_sfq_fanout = false;  // structural: unlimited fanout
+  const auto report = validate(adder, options);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST(Ksa, GateCountGrowsNearLinearly) {
+  // Kogge-Stone is O(W log W) in prefix cells.
+  const int g8 = build_ksa(8).num_partitionable_gates();
+  const int g16 = build_ksa(16).num_partitionable_gates();
+  const int g32 = build_ksa(32).num_partitionable_gates();
+  EXPECT_GT(g16, 2 * g8 - 10);
+  EXPECT_LT(g32, 4 * g16);
+}
+
+TEST(Ksa, DeterministicAcrossCalls) {
+  const Netlist a = build_ksa(8);
+  const Netlist b = build_ksa(8);
+  EXPECT_EQ(a.num_gates(), b.num_gates());
+  EXPECT_EQ(a.num_nets(), b.num_nets());
+  for (GateId g = 0; g < a.num_gates(); ++g) {
+    EXPECT_EQ(a.gate(g).name, b.gate(g).name);
+  }
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,75 @@
+#include "gen/random_logic.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+
+namespace sfqpart {
+namespace {
+
+RandomLogicParams params(int gates, std::uint64_t seed) {
+  RandomLogicParams p;
+  p.name = "rl";
+  p.num_inputs = 16;
+  p.num_outputs = 8;
+  p.num_gates = gates;
+  p.seed = seed;
+  return p;
+}
+
+TEST(RandomLogic, DeterministicForSeed) {
+  const Netlist a = build_random_logic(params(200, 5));
+  const Netlist b = build_random_logic(params(200, 5));
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (GateId g = 0; g < a.num_gates(); ++g) {
+    EXPECT_EQ(a.gate(g).name, b.gate(g).name);
+  }
+  EXPECT_EQ(a.unique_edges().size(), b.unique_edges().size());
+}
+
+TEST(RandomLogic, DifferentSeedsDiffer) {
+  const Netlist a = build_random_logic(params(200, 5));
+  const Netlist b = build_random_logic(params(200, 6));
+  EXPECT_NE(a.unique_edges(), b.unique_edges());
+}
+
+TEST(RandomLogic, RespectsIoCounts) {
+  const Netlist netlist = build_random_logic(params(300, 7));
+  const NetlistStats stats = compute_stats(netlist);
+  EXPECT_EQ(stats.by_kind.at(CellKind::kInput), 16);
+  EXPECT_LE(stats.by_kind.at(CellKind::kOutput), 8);
+  EXPECT_GE(stats.by_kind.at(CellKind::kOutput), 1);
+}
+
+TEST(RandomLogic, GateCountNearTarget) {
+  const Netlist netlist = build_random_logic(params(400, 11));
+  // Consolidation OR trees fold every dangling cone into the outputs,
+  // adding up to ~40% on top of the requested operator count.
+  EXPECT_GE(netlist.num_partitionable_gates(), 400);
+  EXPECT_LE(netlist.num_partitionable_gates(), 600);
+}
+
+TEST(RandomLogic, StructureIsCleanDag) {
+  const Netlist netlist = build_random_logic(params(250, 13));
+  ValidateOptions options;
+  options.enforce_sfq_fanout = false;
+  const auto report = validate(netlist, options);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+class RandomLogicSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLogicSeeds, DepthStaysLogarithmic) {
+  const Netlist netlist =
+      build_random_logic(params(500, static_cast<std::uint64_t>(GetParam())));
+  const NetlistStats stats = compute_stats(netlist);
+  // e*ln(500) ~ 17; allow generous slack but reject linear-depth chains.
+  EXPECT_LT(stats.logic_depth, 60);
+  EXPECT_GT(stats.logic_depth, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLogicSeeds, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,85 @@
+// Suite registry checks: every Table I circuit builds, maps to legal SFQ,
+// and lands in the size/bias/area band of the published row (our regenerated
+// benchmarks substitute for the closed SPORT-lab suite; DESIGN.md sec. 4).
+#include "gen/suite.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+
+namespace sfqpart {
+namespace {
+
+TEST(Suite, HasAllThirteenCircuits) {
+  EXPECT_EQ(benchmark_suite().size(), 13u);
+  for (const char* name :
+       {"ksa4", "ksa8", "ksa16", "ksa32", "mult4", "mult8", "id4", "id8",
+        "c432", "c499", "c1355", "c1908", "c3540"}) {
+    EXPECT_NE(find_benchmark(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_benchmark("nope"), nullptr);
+}
+
+TEST(Suite, PaperRowsPopulated) {
+  for (const SuiteEntry& entry : benchmark_suite()) {
+    EXPECT_GT(entry.paper.gates, 0) << entry.name;
+    EXPECT_GT(entry.paper.connections, entry.paper.gates / 2) << entry.name;
+    EXPECT_GT(entry.paper.bias_ma, 0.0) << entry.name;
+    EXPECT_GT(entry.paper.d2, entry.paper.d1) << entry.name;
+    EXPECT_LE(entry.paper.d2, 1.0) << entry.name;
+  }
+}
+
+class SuiteCircuit : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuiteCircuit, MapsToLegalSfq) {
+  const Netlist mapped = build_mapped(GetParam());
+  const auto report = validate(mapped);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST_P(SuiteCircuit, SizeInBandOfPaperRow) {
+  const SuiteEntry* entry = find_benchmark(GetParam());
+  ASSERT_NE(entry, nullptr);
+  const Netlist mapped = build_mapped(*entry);
+  const NetlistStats stats = compute_stats(mapped);
+  // Regenerated circuits: same order of magnitude, within ~2x of the
+  // published gate count (most are far closer; see EXPERIMENTS.md).
+  EXPECT_GT(stats.num_gates, entry->paper.gates / 2) << stats.num_gates;
+  EXPECT_LT(stats.num_gates, entry->paper.gates * 2) << stats.num_gates;
+  EXPECT_GT(stats.num_connections, stats.num_gates);  // |E| > G in Table I
+  // Per-gate averages calibrated to the paper's implied values.
+  EXPECT_NEAR(stats.avg_bias_ma(), 0.87, 0.12);
+  EXPECT_NEAR(stats.avg_area_um2(), 4900.0, 700.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SuiteCircuit,
+                         ::testing::Values("ksa4", "ksa8", "ksa16", "ksa32",
+                                           "mult4", "mult8", "id4", "id8", "c432",
+                                           "c499", "c1355", "c1908", "c3540"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(Suite, ExtraCircuitsResolveButStayOutOfTheTable) {
+  EXPECT_EQ(extra_circuits().size(), 3u);
+  for (const SuiteEntry& entry : extra_circuits()) {
+    EXPECT_NE(find_benchmark(entry.name), nullptr) << entry.name;
+    EXPECT_EQ(entry.paper.gates, 0) << entry.name;  // not a Table I row
+    // Absent from the paper suite itself.
+    for (const SuiteEntry& paper_entry : benchmark_suite()) {
+      EXPECT_NE(paper_entry.name, entry.name);
+    }
+  }
+  const Netlist alu = build_mapped("alu8");
+  EXPECT_TRUE(validate(alu).ok());
+  EXPECT_GT(alu.num_partitionable_gates(), 100);
+}
+
+TEST(Suite, BuildMappedByNameMatchesByEntry) {
+  const Netlist by_name = build_mapped("ksa4");
+  const Netlist by_entry = build_mapped(*find_benchmark("ksa4"));
+  EXPECT_EQ(by_name.num_gates(), by_entry.num_gates());
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,95 @@
+// Full-flow integration: generate -> map -> (DEF round trip) -> partition
+// -> metrics -> recycling plan, checking cross-module consistency.
+#include <gtest/gtest.h>
+
+#include "core/kres_search.h"
+#include "core/partitioner.h"
+#include "def/def_parser.h"
+#include "def/def_writer.h"
+#include "gen/suite.h"
+#include "metrics/partition_metrics.h"
+#include "netlist/validate.h"
+#include "recycling/bias_plan.h"
+#include "recycling/coupling.h"
+
+namespace sfqpart {
+namespace {
+
+class EndToEnd : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EndToEnd, PartitionQualityAndConsistency) {
+  const Netlist netlist = build_mapped(GetParam());
+  ASSERT_TRUE(validate(netlist).ok());
+
+  PartitionOptions options;
+  options.num_planes = 5;
+  const PartitionResult result = partition_netlist(netlist, options);
+  const PartitionMetrics metrics = compute_metrics(netlist, result.partition);
+
+  // Quality floor: clearly structured output, not a random scatter (random
+  // round-robin yields ~52% at K=5; the paper's averages are 65-75%).
+  EXPECT_GT(metrics.frac_within(1), 0.55) << GetParam();
+  EXPECT_GT(metrics.frac_within(2), 0.80) << GetParam();
+  EXPECT_LT(metrics.icomp_frac(), 0.20) << GetParam();
+  EXPECT_LT(metrics.afs_frac(), 0.20) << GetParam();
+
+  // The discrete cost the partitioner reports is the cost of the returned
+  // partition (cross-check through an independent CostModel).
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 5);
+  const CostModel model(problem, options.weights);
+  std::vector<int> labels;
+  for (const GateId g : problem.gate_ids) {
+    labels.push_back(result.partition.plane(g));
+  }
+  EXPECT_NEAR(model.evaluate_discrete(labels).total(options.weights),
+              result.discrete_total, 1e-9);
+
+  // Recycling plan agrees with the metrics.
+  const BiasPlan plan = make_bias_plan(netlist, result.partition);
+  EXPECT_NEAR(plan.supply_ma, metrics.bmax_ma, 1e-9);
+  EXPECT_NEAR(plan.total_dummy_ma, metrics.icomp_ma, 1e-9);
+
+  // Coupling pair total equals the distance-weighted link sum; every
+  // intra-plane connection is free.
+  const CouplingReport coupling = plan_coupling(netlist, result.partition);
+  EXPECT_GT(coupling.total_pairs, 0);
+  EXPECT_GE(coupling.total_pairs, coupling.cross_connections);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, EndToEnd,
+                         ::testing::Values("ksa8", "mult4", "id4", "c499"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(EndToEnd, DefRoundTripPreservesPartitionMetrics) {
+  // Partitioning the written-and-reparsed DEF must give identical metrics
+  // for the same seed: the parsed netlist is structurally identical.
+  const Netlist original = build_mapped("ksa4");
+  auto design = def::parse_def(def::write_def(original));
+  ASSERT_TRUE(design.is_ok());
+  auto reparsed = def::def_to_netlist(*design, original.library());
+  ASSERT_TRUE(reparsed.is_ok());
+
+  PartitionOptions options;
+  options.seed = 77;
+  const PartitionMetrics a =
+      compute_metrics(original, partition_netlist(original, options).partition);
+  const PartitionMetrics b =
+      compute_metrics(*reparsed, partition_netlist(*reparsed, options).partition);
+  EXPECT_EQ(a.distance_histogram, b.distance_histogram);
+  EXPECT_NEAR(a.bmax_ma, b.bmax_ma, 1e-9);
+}
+
+TEST(EndToEnd, KresFlowProducesUsableStack) {
+  const Netlist netlist = build_mapped("mult4");  // B_cir ~ 220 mA
+  KresOptions options;
+  options.bias_limit_ma = 100.0;
+  const KresResult kres = find_min_planes(netlist, options);
+  ASSERT_TRUE(kres.found);
+  const BiasPlan plan = make_bias_plan(netlist, kres.result.partition);
+  EXPECT_LE(plan.supply_ma, 100.0);
+  EXPECT_EQ(plan.pads_serial, 1);
+  EXPECT_GE(plan.pads_saved(), 1);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,114 @@
+// Cross-module consistency: quantities reported by independent modules
+// (metrics, bias plan, power, coupling, timing, floorplan) must agree on
+// the same partition -- these invariants catch unit mix-ups and silent
+// drift between subsystems.
+#include <gtest/gtest.h>
+
+#include "core/partitioner.h"
+#include "floorplan/floorplan.h"
+#include "gen/suite.h"
+#include "metrics/partition_metrics.h"
+#include "recycling/bias_plan.h"
+#include "recycling/coupling.h"
+#include "recycling/insertion.h"
+#include "recycling/power.h"
+#include "timing/timing.h"
+#include "verilog/verilog_parser.h"
+#include "verilog/verilog_writer.h"
+
+namespace sfqpart {
+namespace {
+
+class FlowConsistency : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    netlist_ = build_mapped(GetParam());
+    PartitionOptions options;
+    options.num_planes = 4;
+    partition_ = partition_netlist(netlist_, options).partition;
+  }
+
+  Netlist netlist_{&default_sfq_library()};
+  Partition partition_;
+};
+
+TEST_P(FlowConsistency, MetricsBiasPlanAndPowerAgree) {
+  const PartitionMetrics metrics = compute_metrics(netlist_, partition_);
+  const BiasPlan plan = make_bias_plan(netlist_, partition_);
+  const PowerReport power = analyze_power(netlist_, partition_);
+
+  EXPECT_NEAR(plan.supply_ma, metrics.bmax_ma, 1e-9);
+  EXPECT_NEAR(plan.total_bias_ma, metrics.total_bias_ma, 1e-9);
+  EXPECT_NEAR(plan.total_dummy_ma, metrics.icomp_ma, 1e-9);
+  EXPECT_NEAR(power.supply_current_ma, metrics.bmax_ma, 1e-9);
+  EXPECT_NEAR(power.total_bias_ma, metrics.total_bias_ma, 1e-9);
+  // Power overhead of the plan equals 1 + I_comp fraction.
+  EXPECT_NEAR(plan.power_overhead(), 1.0 + metrics.icomp_frac(), 1e-9);
+  // Dummy burn in uW equals dummy current times the rail, per plane count.
+  EXPECT_NEAR(power.dummy_burn_uw,
+              (4 * metrics.bmax_ma - metrics.total_bias_ma) * 2.5, 1e-6);
+}
+
+TEST_P(FlowConsistency, CouplingPlanMatchesDistanceHistogram) {
+  const PartitionMetrics metrics = compute_metrics(netlist_, partition_);
+  const CouplingReport coupling = plan_coupling(netlist_, partition_);
+  // Boundary pair totals equal the distance-weighted link sum.
+  int via_boundaries = 0;
+  for (const int pairs : coupling.pairs_per_boundary) via_boundaries += pairs;
+  EXPECT_EQ(via_boundaries, coupling.total_pairs);
+  // Every unique cross edge appears as at least one directed link (nets
+  // have one sink post-mapping, so the counts match exactly here).
+  int cross_unique = 0;
+  for (int d = 1; d < metrics.num_planes; ++d) {
+    cross_unique += metrics.distance_histogram[static_cast<std::size_t>(d)];
+  }
+  EXPECT_EQ(coupling.cross_connections, cross_unique);
+}
+
+TEST_P(FlowConsistency, InsertionRealizesTheCouplingPlan) {
+  const CouplingReport plan = plan_coupling(netlist_, partition_);
+  const CouplingInsertion inserted = apply_coupling_insertion(netlist_, partition_);
+  EXPECT_EQ(inserted.pairs_inserted, plan.total_pairs);
+  EXPECT_EQ(inserted.netlist.num_gates(),
+            netlist_.num_gates() + 2 * plan.total_pairs);
+  double added = 0.0;
+  for (const double b : inserted.added_bias_ma) added += b;
+  const PartitionMetrics before = compute_metrics(netlist_, partition_);
+  const PartitionMetrics after =
+      compute_metrics(inserted.netlist, inserted.partition);
+  EXPECT_NEAR(after.total_bias_ma, before.total_bias_ma + added, 1e-9);
+}
+
+TEST_P(FlowConsistency, WireAndCouplingDelaysOnlySlowTheClock) {
+  const Floorplan floorplan = build_floorplan(netlist_, partition_);
+  const double flat = analyze_timing(netlist_).min_period_ps;
+  const double wired = analyze_timing(netlist_, {}, &floorplan).min_period_ps;
+  const double full =
+      analyze_timing(netlist_, {}, &floorplan, &partition_).min_period_ps;
+  EXPECT_GE(wired, flat - 1e-9);
+  EXPECT_GE(full, wired - 1e-9);
+}
+
+TEST_P(FlowConsistency, VerilogRoundTripPreservesPartitionMetrics) {
+  auto module = parse_verilog(write_verilog(netlist_));
+  ASSERT_TRUE(module.is_ok());
+  auto reparsed = verilog_to_netlist(*module, netlist_.library());
+  ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().message();
+  PartitionOptions options;
+  options.num_planes = 4;
+  options.seed = 99;
+  const PartitionMetrics a = compute_metrics(
+      netlist_, partition_netlist(netlist_, options).partition);
+  const PartitionMetrics b = compute_metrics(
+      *reparsed, partition_netlist(*reparsed, options).partition);
+  // Same seed on a structurally identical netlist: identical outcome.
+  EXPECT_EQ(a.distance_histogram, b.distance_histogram);
+  EXPECT_NEAR(a.bmax_ma, b.bmax_ma, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, FlowConsistency,
+                         ::testing::Values("ksa8", "mult4", "id4"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,108 @@
+#include "metrics/partition_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/report.h"
+
+namespace sfqpart {
+namespace {
+
+// Four DFFs in a chain plus one splitter; hand-checkable numbers.
+struct Fixture {
+  Netlist netlist{&default_sfq_library(), "hand"};
+  Partition partition;
+
+  Fixture() {
+    const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+    GateId prev = in;
+    for (int i = 0; i < 4; ++i) {
+      const GateId d = netlist.add_gate_of_kind("d" + std::to_string(i), CellKind::kDff);
+      netlist.connect(prev, 0, d, 0);
+      prev = d;
+    }
+    netlist.connect(prev, 0, netlist.add_gate_of_kind("pin:y", CellKind::kOutput), 0);
+    partition.num_planes = 3;
+    // d0,d1 -> plane 0; d2 -> plane 1; d3 -> plane 2. IO unassigned.
+    partition.plane_of = {kUnassignedPlane, 0, 0, 1, 2, kUnassignedPlane};
+  }
+};
+
+TEST(Metrics, DistanceHistogram) {
+  Fixture f;
+  const PartitionMetrics m = compute_metrics(f.netlist, f.partition);
+  EXPECT_EQ(m.num_gates, 4);
+  EXPECT_EQ(m.num_connections, 3);  // d0-d1, d1-d2, d2-d3
+  EXPECT_EQ(m.distance_histogram, (std::vector<int>{1, 2, 0}));
+  EXPECT_NEAR(m.frac_within(0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.frac_within(1), 1.0, 1e-12);
+  EXPECT_NEAR(m.frac_within(2), 1.0, 1e-12);
+  // Queries beyond the last bucket saturate.
+  EXPECT_NEAR(m.frac_within(99), 1.0, 1e-12);
+}
+
+TEST(Metrics, BiasAndAreaAggregates) {
+  Fixture f;
+  const PartitionMetrics m = compute_metrics(f.netlist, f.partition);
+  const CellLibrary& lib = default_sfq_library();
+  const double dff_bias = lib.cell(*lib.find_kind(CellKind::kDff)).bias_ma;
+  const double dff_area = lib.cell(*lib.find_kind(CellKind::kDff)).area_um2;
+  EXPECT_DOUBLE_EQ(m.plane_bias_ma[0], 2 * dff_bias);
+  EXPECT_DOUBLE_EQ(m.plane_bias_ma[1], dff_bias);
+  EXPECT_DOUBLE_EQ(m.bmax_ma, 2 * dff_bias);
+  EXPECT_DOUBLE_EQ(m.total_bias_ma, 4 * dff_bias);
+  // I_comp = sum(Bmax - Bk) = (0 + 1 + 1) * dff_bias.
+  EXPECT_DOUBLE_EQ(m.icomp_ma, 2 * dff_bias);
+  EXPECT_NEAR(m.icomp_frac(), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(m.amax_um2, 2 * dff_area);
+  EXPECT_NEAR(m.afs_frac(), 0.5, 1e-12);
+  EXPECT_EQ(m.plane_gates, (std::vector<int>{2, 1, 1}));
+}
+
+TEST(Metrics, IdentityKBmaxMinusBcir) {
+  Fixture f;
+  const PartitionMetrics m = compute_metrics(f.netlist, f.partition);
+  EXPECT_NEAR(m.icomp_ma, m.num_planes * m.bmax_ma - m.total_bias_ma, 1e-9);
+  EXPECT_NEAR(m.afs_um2, m.num_planes * m.amax_um2 - m.total_area_um2, 1e-9);
+}
+
+TEST(Metrics, HalfKColumn) {
+  PartitionMetrics m;
+  m.num_planes = 5;
+  EXPECT_EQ(m.half_k(), 2);
+  m.num_planes = 8;
+  EXPECT_EQ(m.half_k(), 4);
+}
+
+TEST(Metrics, NoConnectionsMeansFullLocality) {
+  Netlist netlist(&default_sfq_library(), "iso");
+  netlist.add_gate_of_kind("d", CellKind::kDff);
+  Partition partition;
+  partition.num_planes = 2;
+  partition.plane_of = {0};
+  const PartitionMetrics m = compute_metrics(netlist, partition);
+  EXPECT_EQ(m.num_connections, 0);
+  EXPECT_DOUBLE_EQ(m.frac_within(1), 1.0);
+}
+
+TEST(Report, MentionsEveryPlaneAndMetric) {
+  Fixture f;
+  const PartitionMetrics m = compute_metrics(f.netlist, f.partition);
+  const std::string text = format_partition_report(f.netlist, f.partition, m);
+  EXPECT_NE(text.find("K=3"), std::string::npos);
+  EXPECT_NE(text.find("B_max"), std::string::npos);
+  EXPECT_NE(text.find("A_FS"), std::string::npos);
+  EXPECT_NE(text.find("d = 1"), std::string::npos);
+}
+
+TEST(Averager, MeanOfStream) {
+  Averager avg;
+  EXPECT_DOUBLE_EQ(avg.mean(), 0.0);
+  avg.add(1.0);
+  avg.add(2.0);
+  avg.add(6.0);
+  EXPECT_DOUBLE_EQ(avg.mean(), 3.0);
+  EXPECT_EQ(avg.count(), 3);
+}
+
+}  // namespace
+}  // namespace sfqpart

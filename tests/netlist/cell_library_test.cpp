@@ -1,0 +1,82 @@
+#include "netlist/cell_library.h"
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+TEST(CellKind, NamesAndClocking) {
+  EXPECT_STREQ(cell_kind_name(CellKind::kAnd2), "AND2");
+  EXPECT_STREQ(cell_kind_name(CellKind::kSplit), "SPLIT");
+  // Clocked logic gates vs asynchronous interconnect cells (paper sec. II).
+  EXPECT_TRUE(cell_kind_is_clocked(CellKind::kDff));
+  EXPECT_TRUE(cell_kind_is_clocked(CellKind::kAnd2));
+  EXPECT_TRUE(cell_kind_is_clocked(CellKind::kXor2));
+  EXPECT_FALSE(cell_kind_is_clocked(CellKind::kSplit));
+  EXPECT_FALSE(cell_kind_is_clocked(CellKind::kJtl));
+  EXPECT_FALSE(cell_kind_is_clocked(CellKind::kInput));
+}
+
+TEST(CellLibrary, AddAndFind) {
+  CellLibrary lib("test");
+  Cell cell;
+  cell.name = "FOO";
+  cell.kind = CellKind::kJtl;
+  const int index = lib.add_cell(cell);
+  EXPECT_EQ(lib.num_cells(), 1);
+  EXPECT_EQ(lib.find("FOO"), index);
+  EXPECT_FALSE(lib.find("BAR").has_value());
+  EXPECT_EQ(lib.find_kind(CellKind::kJtl), index);
+  EXPECT_FALSE(lib.find_kind(CellKind::kAnd2).has_value());
+}
+
+TEST(DefaultSfqLibrary, HasAllKindsTheFlowNeeds) {
+  const CellLibrary& lib = default_sfq_library();
+  for (const CellKind kind :
+       {CellKind::kDff, CellKind::kAnd2, CellKind::kOr2, CellKind::kXor2,
+        CellKind::kNot, CellKind::kSplit, CellKind::kMerge, CellKind::kJtl,
+        CellKind::kInput, CellKind::kOutput}) {
+    EXPECT_TRUE(lib.find_kind(kind).has_value()) << cell_kind_name(kind);
+  }
+}
+
+TEST(DefaultSfqLibrary, PhysicalDataIsPlausible) {
+  const CellLibrary& lib = default_sfq_library();
+  for (const Cell& cell : lib.cells()) {
+    EXPECT_TRUE(cell.physical);
+    EXPECT_GT(cell.bias_ma, 0.0) << cell.name;
+    EXPECT_LT(cell.bias_ma, 5.0) << cell.name;
+    EXPECT_GT(cell.area_um2, 100.0) << cell.name;
+    EXPECT_GT(cell.jj_count, 0) << cell.name;
+  }
+  // The splitter drives two outputs; logic gates have the right arity.
+  const Cell& split = lib.cell(*lib.find_kind(CellKind::kSplit));
+  EXPECT_EQ(split.num_inputs, 1);
+  EXPECT_EQ(split.num_outputs, 2);
+  const Cell& and2 = lib.cell(*lib.find_kind(CellKind::kAnd2));
+  EXPECT_EQ(and2.num_inputs, 2);
+  EXPECT_EQ(and2.num_outputs, 1);
+}
+
+TEST(StructuralLibrary, IsNotPhysical) {
+  const CellLibrary& lib = structural_library();
+  for (const Cell& cell : lib.cells()) {
+    EXPECT_FALSE(cell.physical) << cell.name;
+    EXPECT_DOUBLE_EQ(cell.bias_ma, 0.0) << cell.name;
+  }
+}
+
+TEST(CellLibrary, ScaleCalibratesBiasAndArea) {
+  CellLibrary lib("scaled");
+  Cell cell;
+  cell.name = "X";
+  cell.bias_ma = 1.0;
+  cell.area_um2 = 100.0;
+  lib.add_cell(cell);
+  lib.scale(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(lib.cell(0).bias_ma, 0.5);
+  EXPECT_DOUBLE_EQ(lib.cell(0).area_um2, 200.0);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,95 @@
+#include "netlist/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/dot.h"
+
+namespace sfqpart {
+namespace {
+
+Netlist make_chain() {
+  // pin:a -> AND(with pin:b) -> DFF -> pin:y
+  Netlist netlist(&default_sfq_library(), "chain");
+  const GateId a = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId b = netlist.add_gate_of_kind("pin:b", CellKind::kInput);
+  const GateId g = netlist.add_gate_of_kind("g", CellKind::kAnd2);
+  const GateId d = netlist.add_gate_of_kind("d", CellKind::kDff);
+  const GateId y = netlist.add_gate_of_kind("pin:y", CellKind::kOutput);
+  netlist.connect(a, 0, g, 0);
+  netlist.connect(b, 0, g, 1);
+  netlist.connect(g, 0, d, 0);
+  netlist.connect(d, 0, y, 0);
+  return netlist;
+}
+
+TEST(Stats, CountsAndTotals) {
+  const Netlist netlist = make_chain();
+  const NetlistStats stats = compute_stats(netlist);
+  EXPECT_EQ(stats.num_gates, 2);
+  EXPECT_EQ(stats.num_io, 3);
+  EXPECT_EQ(stats.num_connections, 1);  // only g--d is gate-to-gate
+  EXPECT_EQ(stats.by_kind.at(CellKind::kAnd2), 1);
+  EXPECT_EQ(stats.by_kind.at(CellKind::kInput), 2);
+  const CellLibrary& lib = default_sfq_library();
+  const double expected = lib.cell(*lib.find_kind(CellKind::kAnd2)).bias_ma +
+                          lib.cell(*lib.find_kind(CellKind::kDff)).bias_ma;
+  EXPECT_DOUBLE_EQ(stats.total_bias_ma, expected);
+  EXPECT_GT(stats.total_jj, 0);
+}
+
+TEST(Stats, LogicDepthCountsGatesOnLongestPath) {
+  const Netlist netlist = make_chain();
+  const NetlistStats stats = compute_stats(netlist);
+  // a -> g -> d -> y: 4 gates on the path.
+  EXPECT_EQ(stats.logic_depth, 4);
+}
+
+TEST(Stats, AveragesGuardEmpty) {
+  Netlist netlist(&default_sfq_library(), "empty");
+  const NetlistStats stats = compute_stats(netlist);
+  EXPECT_DOUBLE_EQ(stats.avg_bias_ma(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.avg_area_um2(), 0.0);
+}
+
+TEST(Stats, FormatMentionsKeyNumbers) {
+  const Netlist netlist = make_chain();
+  const std::string text = format_stats(netlist, compute_stats(netlist));
+  EXPECT_NE(text.find("'chain'"), std::string::npos);
+  EXPECT_NE(text.find("2 gates"), std::string::npos);
+  EXPECT_NE(text.find("B_cir"), std::string::npos);
+}
+
+TEST(Dot, ExportsNodesAndEdges) {
+  const Netlist netlist = make_chain();
+  const std::string dot = to_dot(netlist);
+  EXPECT_NE(dot.find("digraph \"chain\""), std::string::npos);
+  EXPECT_NE(dot.find("AND2T"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Dot, ColorsByPlane) {
+  const Netlist netlist = make_chain();
+  DotOptions options;
+  options.plane_of.assign(static_cast<std::size_t>(netlist.num_gates()), 0);
+  options.plane_of[2] = 1;
+  const std::string dot = to_dot(netlist, options);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(Dot, ClockEdgesHiddenByDefault) {
+  Netlist netlist(&default_sfq_library(), "clocked");
+  const GateId clk = netlist.add_gate_of_kind("pin:clk", CellKind::kInput);
+  const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId d = netlist.add_gate_of_kind("d", CellKind::kDff);
+  const GateId y = netlist.add_gate_of_kind("pin:y", CellKind::kOutput);
+  netlist.connect(in, 0, d, 0);
+  netlist.connect_clock(clk, 0, d);
+  netlist.connect(d, 0, y, 0);
+  EXPECT_EQ(to_dot(netlist).find("dashed"), std::string::npos);
+  DotOptions options;
+  options.show_clock_edges = true;
+  EXPECT_NE(to_dot(netlist, options).find("dashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfqpart

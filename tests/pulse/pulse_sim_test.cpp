@@ -1,0 +1,180 @@
+#include "pulse/pulse_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/ksa.h"
+#include "gen/multiplier.h"
+#include "sfq/mapper.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+namespace {
+
+// a -> <cell> -> y (optionally with a second input b).
+struct TinyCircuit {
+  Netlist netlist{&default_sfq_library(), "tiny"};
+
+  explicit TinyCircuit(CellKind kind, bool two_inputs = false) {
+    const GateId a = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+    const GateId g = netlist.add_gate_of_kind("g", kind);
+    netlist.connect(a, 0, g, 0);
+    if (two_inputs) {
+      const GateId b = netlist.add_gate_of_kind("pin:b", CellKind::kInput);
+      netlist.connect(b, 0, g, 1);
+    }
+    netlist.connect(g, 0, netlist.add_gate_of_kind("pin:y", CellKind::kOutput), 0);
+  }
+};
+
+std::vector<bool> bits(std::initializer_list<int> values) {
+  std::vector<bool> out;
+  for (const int v : values) out.push_back(v != 0);
+  return out;
+}
+
+TEST(PulseSim, DffDelaysByOneCycle) {
+  TinyCircuit c(CellKind::kDff);
+  PulseSimulator sim(c.netlist);
+  EXPECT_EQ(sim.latency(), 1);
+  const PulseTrains out = sim.run({{"a", bits({1, 0, 1, 1, 0})}}, 6);
+  EXPECT_EQ(out.at("y"), bits({0, 1, 0, 1, 1, 0}));
+}
+
+TEST(PulseSim, AndNeedsBothPulsesInTheSameCycle) {
+  TinyCircuit c(CellKind::kAnd2, true);
+  PulseSimulator sim(c.netlist);
+  const PulseTrains out = sim.run(
+      {{"a", bits({1, 1, 0, 0})}, {"b", bits({1, 0, 1, 0})}}, 5);
+  EXPECT_EQ(out.at("y"), bits({0, 1, 0, 0, 0}));
+}
+
+TEST(PulseSim, XorNeedsExactlyOnePulse) {
+  TinyCircuit c(CellKind::kXor2, true);
+  PulseSimulator sim(c.netlist);
+  const PulseTrains out = sim.run(
+      {{"a", bits({1, 1, 0, 0})}, {"b", bits({1, 0, 1, 0})}}, 5);
+  EXPECT_EQ(out.at("y"), bits({0, 0, 1, 1, 0}));
+}
+
+TEST(PulseSim, ClockedInverterPulsesOnAbsence) {
+  TinyCircuit c(CellKind::kNot);
+  PulseSimulator sim(c.netlist);
+  const PulseTrains out = sim.run({{"a", bits({1, 0, 1})}}, 4);
+  // Emits in cycle t+1 when no pulse arrived in cycle t; cycle 0 emits
+  // nothing (nothing latched yet).
+  EXPECT_EQ(out.at("y"), bits({0, 0, 1, 0}));
+}
+
+TEST(PulseSim, MergerForwardsEitherInput) {
+  TinyCircuit c(CellKind::kMerge, true);
+  PulseSimulator sim(c.netlist);
+  EXPECT_EQ(sim.latency(), 0);  // merger is unclocked
+  const PulseTrains out = sim.run(
+      {{"a", bits({1, 0, 0})}, {"b", bits({0, 1, 0})}}, 3);
+  EXPECT_EQ(out.at("y"), bits({1, 1, 0}));
+}
+
+TEST(PulseSim, TffDividesPulseRateByTwo) {
+  TinyCircuit c(CellKind::kTff);
+  PulseSimulator sim(c.netlist);
+  const PulseTrains out = sim.run({{"a", bits({1, 1, 1, 1, 1})}}, 5);
+  EXPECT_EQ(out.at("y"), bits({0, 1, 0, 1, 0}));
+}
+
+TEST(PulseSim, SplitterFansOutWithinCycle) {
+  Netlist netlist(&default_sfq_library(), "split");
+  const GateId a = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId s = netlist.add_gate_of_kind("s", CellKind::kSplit);
+  netlist.connect(a, 0, s, 0);
+  netlist.connect(s, 0, netlist.add_gate_of_kind("pin:y0", CellKind::kOutput), 0);
+  netlist.connect(s, 1, netlist.add_gate_of_kind("pin:y1", CellKind::kOutput), 0);
+  PulseSimulator sim(netlist);
+  const PulseTrains out = sim.run({{"a", bits({1, 0, 1})}}, 3);
+  EXPECT_EQ(out.at("y0"), bits({1, 0, 1}));
+  EXPECT_EQ(out.at("y1"), bits({1, 0, 1}));
+}
+
+TEST(PulseSim, LatencyEqualsPipelineDepth) {
+  const Netlist mapped = map_to_sfq(build_ksa(8));
+  PulseSimulator sim(mapped);
+  EXPECT_GT(sim.latency(), 3);  // g/p + prefix levels + sum stage
+  EXPECT_LT(sim.latency(), 20);
+}
+
+TEST(PulseSim, WavePipelinedAdditionEveryCycle) {
+  // The headline property of full path balancing: a new word pair can be
+  // streamed every clock cycle and the pipeline produces one sum per cycle
+  // after `latency()` cycles.
+  const Netlist mapped = map_to_sfq(build_ksa(8));
+  PulseSimulator sim(mapped);
+  Rng rng(42);
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.uniform_index(256));
+    b.push_back(rng.uniform_index(256));
+  }
+  const std::vector<std::uint64_t> sums =
+      sim.stream_words("a", a, "b", b, 8, "s", 8);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(i)],
+              (a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)]) & 0xff)
+        << "word " << i;
+  }
+}
+
+TEST(PulseSim, WavePipelinedMultiplication) {
+  const Netlist mapped = map_to_sfq(build_multiplier(4));
+  PulseSimulator sim(mapped);
+  Rng rng(7);
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(rng.uniform_index(16));
+    b.push_back(rng.uniform_index(16));
+  }
+  const std::vector<std::uint64_t> products =
+      sim.stream_words("a", a, "b", b, 4, "p", 8);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(products[static_cast<std::size_t>(i)],
+              a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)])
+        << "word " << i;
+  }
+}
+
+TEST(PulseSim, UnbalancedPipelineCorruptsStreamedWords) {
+  // Disable path balancing: fan-ins arrive in different cycles, so
+  // streaming at full rate must corrupt results -- this is exactly the
+  // failure mode balancing exists to prevent.
+  SfqMapperOptions options;
+  options.balance_paths = false;
+  const Netlist unbalanced = map_to_sfq(build_ksa(8), options);
+  PulseSimulator sim(unbalanced);
+  Rng rng(3);
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(rng.uniform_index(256));
+    b.push_back(rng.uniform_index(256));
+  }
+  const std::vector<std::uint64_t> sums =
+      sim.stream_words("a", a, "b", b, 8, "s", 8);
+  int mismatches = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (sums[static_cast<std::size_t>(i)] !=
+        ((a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)]) & 0xff)) {
+      ++mismatches;
+    }
+  }
+  EXPECT_GT(mismatches, 0);
+}
+
+TEST(PulseSim, MissingInputsTreatedAsSilent) {
+  TinyCircuit c(CellKind::kDff);
+  PulseSimulator sim(c.netlist);
+  const PulseTrains out = sim.run({}, 3);
+  EXPECT_EQ(out.at("y"), bits({0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace sfqpart

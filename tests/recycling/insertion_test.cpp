@@ -1,0 +1,138 @@
+#include "recycling/insertion.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.h"
+#include "gen/sim.h"
+#include "gen/suite.h"
+#include "metrics/partition_metrics.h"
+#include "netlist/validate.h"
+#include "recycling/coupling.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+namespace {
+
+// Chain of 3 DFFs over 3 planes (one boundary crossing per stage).
+struct Fixture {
+  Netlist netlist{&default_sfq_library(), "chain"};
+  Partition partition;
+
+  Fixture() {
+    const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+    GateId prev = in;
+    for (int i = 0; i < 3; ++i) {
+      const GateId d = netlist.add_gate_of_kind("d" + std::to_string(i), CellKind::kDff);
+      netlist.connect(prev, 0, d, 0);
+      prev = d;
+    }
+    netlist.connect(prev, 0, netlist.add_gate_of_kind("pin:y", CellKind::kOutput), 0);
+    partition.num_planes = 3;
+    partition.plane_of = {kUnassignedPlane, 0, 1, 2, kUnassignedPlane};
+  }
+};
+
+TEST(CouplingInsertion, OnePairPerAdjacentCrossing) {
+  Fixture f;
+  const CouplingInsertion result = apply_coupling_insertion(f.netlist, f.partition);
+  EXPECT_EQ(result.pairs_inserted, 2);
+  // 5 original gates + 2 * (driver + receiver).
+  EXPECT_EQ(result.netlist.num_gates(), 9);
+  EXPECT_TRUE(validate(result.netlist).ok());
+}
+
+TEST(CouplingInsertion, PairCountMatchesPlan) {
+  const Netlist netlist = build_mapped("ksa8");
+  PartitionOptions options;
+  options.num_planes = 4;
+  const Partition partition = partition_netlist(netlist, options).partition;
+  const CouplingReport plan = plan_coupling(netlist, partition);
+  const CouplingInsertion result = apply_coupling_insertion(netlist, partition);
+  EXPECT_EQ(result.pairs_inserted, plan.total_pairs);
+}
+
+TEST(CouplingInsertion, ResultHasOnlyAdjacentCrossings) {
+  const Netlist netlist = build_mapped("mult4");
+  PartitionOptions options;
+  options.num_planes = 5;
+  const Partition partition = partition_netlist(netlist, options).partition;
+  const CouplingInsertion result = apply_coupling_insertion(netlist, partition);
+  // After insertion every remaining cross-plane link spans exactly one
+  // boundary (the coupled driver->receiver hop itself).
+  const CouplingReport after = plan_coupling(result.netlist, result.partition);
+  for (std::size_t d = 2; d < after.links_by_distance.size(); ++d) {
+    EXPECT_EQ(after.links_by_distance[d], 0) << "distance " << d;
+  }
+  EXPECT_EQ(after.total_pairs, after.cross_connections);
+}
+
+TEST(CouplingInsertion, DriverOnSendingPlaneReceiverAcross) {
+  Fixture f;
+  const CouplingInsertion result = apply_coupling_insertion(f.netlist, f.partition);
+  const GateId txd0 = result.netlist.find_gate("txd_0");
+  const GateId txr0 = result.netlist.find_gate("txr_0");
+  ASSERT_NE(txd0, kInvalidGate);
+  ASSERT_NE(txr0, kInvalidGate);
+  EXPECT_EQ(result.partition.plane(txd0), 0);
+  EXPECT_EQ(result.partition.plane(txr0), 1);
+  EXPECT_EQ(result.netlist.cell_of(txd0).kind, CellKind::kTxDriver);
+  EXPECT_EQ(result.netlist.cell_of(txr0).kind, CellKind::kTxReceiver);
+}
+
+TEST(CouplingInsertion, DownwardCrossingsBridgeToo) {
+  Fixture f;
+  // Reverse the plane order: connections now go 2 -> 1 -> 0.
+  f.partition.plane_of = {kUnassignedPlane, 2, 1, 0, kUnassignedPlane};
+  const CouplingInsertion result = apply_coupling_insertion(f.netlist, f.partition);
+  EXPECT_EQ(result.pairs_inserted, 2);
+  const GateId txd0 = result.netlist.find_gate("txd_0");
+  EXPECT_EQ(result.partition.plane(txd0), 2);
+  EXPECT_EQ(result.partition.plane(result.netlist.find_gate("txr_0")), 1);
+}
+
+TEST(CouplingInsertion, AddedBiasAccounting) {
+  Fixture f;
+  const CouplingInsertion result = apply_coupling_insertion(f.netlist, f.partition);
+  const CellLibrary& lib = default_sfq_library();
+  const double drv = lib.cell(*lib.find_kind(CellKind::kTxDriver)).bias_ma;
+  const double rcv = lib.cell(*lib.find_kind(CellKind::kTxReceiver)).bias_ma;
+  // Boundary 0|1 and 1|2: plane 0 gets one driver, plane 1 a receiver and
+  // a driver, plane 2 a receiver.
+  EXPECT_DOUBLE_EQ(result.added_bias_ma[0], drv);
+  EXPECT_DOUBLE_EQ(result.added_bias_ma[1], drv + rcv);
+  EXPECT_DOUBLE_EQ(result.added_bias_ma[2], rcv);
+
+  // The extended partition's metrics include the coupling cells' bias.
+  const PartitionMetrics before = compute_metrics(f.netlist, f.partition);
+  const PartitionMetrics after = compute_metrics(result.netlist, result.partition);
+  EXPECT_NEAR(after.total_bias_ma,
+              before.total_bias_ma + 2 * (drv + rcv), 1e-9);
+}
+
+TEST(CouplingInsertion, FunctionPreserved) {
+  // Coupling cells are transparent repeaters: word-level behaviour of the
+  // implemented netlist is unchanged.
+  const Netlist netlist = build_mapped("ksa4");
+  PartitionOptions options;
+  options.num_planes = 3;
+  const Partition partition = partition_netlist(netlist, options).partition;
+  const CouplingInsertion result = apply_coupling_insertion(netlist, partition);
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    SignalValues in;
+    set_word(in, "a", 4, rng.uniform_index(16));
+    set_word(in, "b", 4, rng.uniform_index(16));
+    EXPECT_EQ(simulate(netlist, in), simulate(result.netlist, in));
+  }
+}
+
+TEST(CouplingInsertion, NoCrossingsNoChange) {
+  Fixture f;
+  f.partition.plane_of = {kUnassignedPlane, 1, 1, 1, kUnassignedPlane};
+  const CouplingInsertion result = apply_coupling_insertion(f.netlist, f.partition);
+  EXPECT_EQ(result.pairs_inserted, 0);
+  EXPECT_EQ(result.netlist.num_gates(), f.netlist.num_gates());
+}
+
+}  // namespace
+}  // namespace sfqpart

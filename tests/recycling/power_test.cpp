@@ -1,0 +1,94 @@
+#include "recycling/power.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.h"
+#include "gen/suite.h"
+
+namespace sfqpart {
+namespace {
+
+struct Fixture {
+  Netlist netlist{&default_sfq_library(), "p"};
+  Partition partition;
+  double dff_bias;
+
+  Fixture() {
+    const CellLibrary& lib = default_sfq_library();
+    dff_bias = lib.cell(*lib.find_kind(CellKind::kDff)).bias_ma;
+    const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+    GateId prev = in;
+    for (int i = 0; i < 4; ++i) {
+      const GateId d = netlist.add_gate_of_kind("d" + std::to_string(i), CellKind::kDff);
+      netlist.connect(prev, 0, d, 0);
+      prev = d;
+    }
+    netlist.connect(prev, 0, netlist.add_gate_of_kind("pin:y", CellKind::kOutput), 0);
+    partition.num_planes = 2;
+    partition.plane_of = {kUnassignedPlane, 0, 0, 1, 1, kUnassignedPlane};
+  }
+};
+
+TEST(Power, RsfqStaticHandComputed) {
+  Fixture f;
+  PowerOptions options;
+  options.supply_mv = 5.0;
+  const PowerReport report = analyze_power(f.netlist, f.partition, options);
+  EXPECT_DOUBLE_EQ(report.total_bias_ma, 4 * f.dff_bias);
+  // mA * mV = uW.
+  EXPECT_DOUBLE_EQ(report.rsfq_static_uw, 4 * f.dff_bias * 5.0);
+}
+
+TEST(Power, BalancedStackBurnsNothing) {
+  Fixture f;
+  const PowerReport report = analyze_power(f.netlist, f.partition);
+  EXPECT_DOUBLE_EQ(report.supply_current_ma, 2 * f.dff_bias);
+  // 2 planes * 2.5 mV * B_max == B_cir * 2.5 mV exactly (balanced).
+  EXPECT_NEAR(report.dummy_burn_uw, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.current_reduction_factor(), 2.0);
+}
+
+TEST(Power, ImbalanceBurnsInDummies) {
+  Fixture f;
+  f.partition.plane_of = {kUnassignedPlane, 0, 0, 0, 1, kUnassignedPlane};
+  const PowerReport report = analyze_power(f.netlist, f.partition);
+  EXPECT_DOUBLE_EQ(report.supply_current_ma, 3 * f.dff_bias);
+  // Supply 2 * 2.5 * 3b; ideal 2.5 * 4b -> burn 2.5 * 2b.
+  EXPECT_NEAR(report.dummy_burn_uw, 2.5 * 2 * f.dff_bias, 1e-9);
+}
+
+TEST(Power, DynamicScalesWithFrequencyAndActivity) {
+  Fixture f;
+  PowerOptions slow;
+  slow.clock_ghz = 10.0;
+  PowerOptions fast = slow;
+  fast.clock_ghz = 40.0;
+  const double p_slow = analyze_power(f.netlist, f.partition, slow).dynamic_uw;
+  const double p_fast = analyze_power(f.netlist, f.partition, fast).dynamic_uw;
+  EXPECT_NEAR(p_fast, 4.0 * p_slow, 1e-15);
+  EXPECT_GT(p_slow, 0.0);
+}
+
+TEST(Power, RecyclingCutsSupplyCurrentByAboutK) {
+  const Netlist netlist = build_mapped("ksa8");
+  PartitionOptions popt;
+  popt.num_planes = 5;
+  const Partition partition = partition_netlist(netlist, popt).partition;
+  const PowerReport report = analyze_power(netlist, partition);
+  EXPECT_GT(report.current_reduction_factor(), 4.0);
+  EXPECT_LE(report.current_reduction_factor(), 5.0 + 1e-9);
+  // Static RSFQ dwarfs dynamic switching: the energy argument of sec. I.
+  EXPECT_GT(report.rsfq_static_uw, 100.0 * report.dynamic_uw);
+}
+
+TEST(Power, FormatMentionsAllSchemes) {
+  Fixture f;
+  const std::string text = format_power_report(analyze_power(f.netlist, f.partition));
+  EXPECT_NE(text.find("RSFQ"), std::string::npos);
+  EXPECT_NE(text.find("ERSFQ"), std::string::npos);
+  EXPECT_NE(text.find("recycled"), std::string::npos);
+  EXPECT_NE(text.find("reduction"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfqpart

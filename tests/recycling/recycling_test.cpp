@@ -1,0 +1,153 @@
+#include "recycling/bias_plan.h"
+#include "recycling/coupling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.h"
+#include "gen/suite.h"
+
+namespace sfqpart {
+namespace {
+
+// Chain of 6 DFFs split 2/2/2 over 3 planes.
+struct Fixture {
+  Netlist netlist{&default_sfq_library(), "stack"};
+  Partition partition;
+  double dff_bias;
+
+  Fixture() {
+    const CellLibrary& lib = default_sfq_library();
+    dff_bias = lib.cell(*lib.find_kind(CellKind::kDff)).bias_ma;
+    const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+    GateId prev = in;
+    for (int i = 0; i < 6; ++i) {
+      const GateId d = netlist.add_gate_of_kind("d" + std::to_string(i), CellKind::kDff);
+      netlist.connect(prev, 0, d, 0);
+      prev = d;
+    }
+    netlist.connect(prev, 0, netlist.add_gate_of_kind("pin:y", CellKind::kOutput), 0);
+    partition.num_planes = 3;
+    partition.plane_of = {kUnassignedPlane, 0, 0, 1, 1, 2, 2, kUnassignedPlane};
+  }
+};
+
+TEST(BiasPlan, BalancedStackHasNoDummies) {
+  Fixture f;
+  const BiasPlan plan = make_bias_plan(f.netlist, f.partition);
+  ASSERT_EQ(plan.planes.size(), 3u);
+  EXPECT_DOUBLE_EQ(plan.supply_ma, 2 * f.dff_bias);
+  EXPECT_DOUBLE_EQ(plan.total_dummy_ma, 0.0);
+  EXPECT_DOUBLE_EQ(plan.power_overhead(), 1.0);
+  for (const PlaneBias& plane : plan.planes) {
+    EXPECT_EQ(plane.gates, 2);
+    EXPECT_DOUBLE_EQ(plane.dummy_ma, 0.0);
+  }
+}
+
+TEST(BiasPlan, ImbalanceBecomesDummyCurrent) {
+  Fixture f;
+  f.partition.plane_of = {kUnassignedPlane, 0, 0, 0, 1, 1, 2, kUnassignedPlane};
+  const BiasPlan plan = make_bias_plan(f.netlist, f.partition);
+  EXPECT_DOUBLE_EQ(plan.supply_ma, 3 * f.dff_bias);
+  EXPECT_DOUBLE_EQ(plan.planes[0].dummy_ma, 0.0);
+  EXPECT_DOUBLE_EQ(plan.planes[1].dummy_ma, f.dff_bias);
+  EXPECT_DOUBLE_EQ(plan.planes[2].dummy_ma, 2 * f.dff_bias);
+  // Dummy sizing: ceil(0.95/0.3) = 4, ceil(1.90/0.3) = 7 JTL stacks.
+  EXPECT_EQ(plan.planes[0].dummy_cells, 0);
+  EXPECT_EQ(plan.planes[1].dummy_cells, 4);
+  EXPECT_EQ(plan.planes[2].dummy_cells, 7);
+  EXPECT_DOUBLE_EQ(plan.total_dummy_ma, 3 * f.dff_bias);
+  // I_comp identity again, through the plan this time.
+  EXPECT_NEAR(plan.total_dummy_ma, 3 * plan.supply_ma - plan.total_bias_ma, 1e-9);
+}
+
+TEST(BiasPlan, PlanePotentialsDescendByRail) {
+  Fixture f;
+  BiasPlanOptions options;
+  options.rail_mv = 2.5;
+  const BiasPlan plan = make_bias_plan(f.netlist, f.partition, options);
+  EXPECT_DOUBLE_EQ(plan.stack_voltage_mv, 7.5);
+  EXPECT_DOUBLE_EQ(plan.planes[0].potential_mv, 7.5);
+  EXPECT_DOUBLE_EQ(plan.planes[1].potential_mv, 5.0);
+  EXPECT_DOUBLE_EQ(plan.planes[2].potential_mv, 2.5);
+}
+
+TEST(BiasPlan, PadSavingMatchesPaperArithmetic) {
+  // Paper section V: a 2.5 A chip with 100 mA pads needs 31 lines under
+  // parallel biasing ([23]); with recycling the supply is B_max.
+  const Netlist netlist = build_mapped("ksa8");  // B_cir ~ 178 mA
+  PartitionOptions popt;
+  popt.num_planes = 3;
+  const PartitionResult result = partition_netlist(netlist, popt);
+  const BiasPlan plan = make_bias_plan(netlist, result.partition);
+  EXPECT_EQ(plan.pads_parallel, 2);  // ceil(178/100)
+  EXPECT_EQ(plan.pads_serial, 1);
+  EXPECT_EQ(plan.pads_saved(), 1);
+}
+
+TEST(BiasPlan, FormatShowsStack) {
+  Fixture f;
+  const std::string text = format_bias_plan(make_bias_plan(f.netlist, f.partition));
+  EXPECT_NE(text.find("GP0"), std::string::npos);
+  EXPECT_NE(text.find("GP2"), std::string::npos);
+  EXPECT_NE(text.find("I_supply"), std::string::npos);
+  EXPECT_NE(text.find("bias pads"), std::string::npos);
+}
+
+TEST(Coupling, ChainNeedsOnePairPerBoundaryCrossing) {
+  Fixture f;
+  const CouplingReport report = plan_coupling(f.netlist, f.partition);
+  // Crossings: d1->d2 (plane 0->1), d3->d4 (1->2); both distance 1.
+  EXPECT_EQ(report.cross_connections, 2);
+  EXPECT_EQ(report.total_pairs, 2);
+  EXPECT_EQ(report.links_by_distance[1], 2);
+  EXPECT_EQ(report.pairs_per_boundary, (std::vector<int>{1, 1}));
+}
+
+TEST(Coupling, LongHopsCostDistancePairs) {
+  Fixture f;
+  // d0,d1 on plane 0; d2..d4 plane 2; d5 plane 1: creates a distance-2 hop
+  // and a backward hop.
+  f.partition.plane_of = {kUnassignedPlane, 0, 0, 2, 2, 2, 1, kUnassignedPlane};
+  const CouplingReport report = plan_coupling(f.netlist, f.partition);
+  // d1->d2: |0-2| = 2; d4->d5: |2-1| = 1.
+  EXPECT_EQ(report.cross_connections, 2);
+  EXPECT_EQ(report.total_pairs, 3);
+  EXPECT_EQ(report.links_by_distance[2], 1);
+  EXPECT_EQ(report.links_by_distance[1], 1);
+  EXPECT_EQ(report.pairs_per_boundary, (std::vector<int>{1, 2}));
+  CouplingOptions options;
+  EXPECT_DOUBLE_EQ(report.worst_hop_delay_ps, 2 * options.hop_delay_ps);
+  EXPECT_DOUBLE_EQ(report.area_overhead_um2, 3 * options.pair_area_um2);
+}
+
+TEST(Coupling, FanoutCountsPerPhysicalLink) {
+  // One splitter driving two sinks on another plane: two links, two pairs.
+  Netlist netlist(&default_sfq_library(), "fan");
+  const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId s = netlist.add_gate_of_kind("s", CellKind::kSplit);
+  const GateId d0 = netlist.add_gate_of_kind("d0", CellKind::kDff);
+  const GateId d1 = netlist.add_gate_of_kind("d1", CellKind::kDff);
+  netlist.connect(in, 0, s, 0);
+  netlist.connect(s, 0, d0, 0);
+  netlist.connect(s, 1, d1, 0);
+  netlist.connect(d0, 0, netlist.add_gate_of_kind("pin:y0", CellKind::kOutput), 0);
+  netlist.connect(d1, 0, netlist.add_gate_of_kind("pin:y1", CellKind::kOutput), 0);
+  Partition partition;
+  partition.num_planes = 2;
+  partition.plane_of = {kUnassignedPlane, 0, 1, 1,
+                        kUnassignedPlane, kUnassignedPlane};
+  const CouplingReport report = plan_coupling(netlist, partition);
+  EXPECT_EQ(report.cross_connections, 2);
+  EXPECT_EQ(report.total_pairs, 2);
+}
+
+TEST(Coupling, FormatListsBoundaries) {
+  Fixture f;
+  const std::string text = format_coupling_report(plan_coupling(f.netlist, f.partition));
+  EXPECT_NE(text.find("GP0|GP1"), std::string::npos);
+  EXPECT_NE(text.find("driver/receiver pairs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,158 @@
+#include "sfq/balance.h"
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+int count_kind(const Netlist& netlist, CellKind kind) {
+  int count = 0;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.cell_of(g).kind == kind) ++count;
+  }
+  return count;
+}
+
+// Verifies the core invariant: every aligned-input gate sees fan-ins of
+// equal stage depth.
+void expect_balanced(const Netlist& netlist) {
+  const std::vector<int> depth = stage_depths(netlist);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Cell& cell = netlist.cell_of(g);
+    if (!(cell.is_clocked() || cell.kind == CellKind::kMerge)) continue;
+    if (cell.num_inputs < 2) continue;
+    int first = -1;
+    for (int pin = 0; pin < cell.num_inputs; ++pin) {
+      const NetId net = netlist.input_net(g, pin);
+      ASSERT_NE(net, kInvalidNet);
+      const int d = depth[static_cast<std::size_t>(netlist.net(net).driver.gate)];
+      if (first < 0) {
+        first = d;
+      } else {
+        EXPECT_EQ(d, first) << "gate " << netlist.gate(g).name;
+      }
+    }
+  }
+}
+
+TEST(StageDepths, CountClockedStagesOnly) {
+  Netlist netlist(&default_sfq_library(), "depths");
+  const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId d0 = netlist.add_gate_of_kind("d0", CellKind::kDff);
+  const GateId j = netlist.add_gate_of_kind("j", CellKind::kJtl);
+  const GateId d1 = netlist.add_gate_of_kind("d1", CellKind::kDff);
+  netlist.connect(in, 0, d0, 0);
+  netlist.connect(d0, 0, j, 0);
+  netlist.connect(j, 0, d1, 0);
+  const auto depth = stage_depths(netlist);
+  EXPECT_EQ(depth[static_cast<std::size_t>(in)], 0);
+  EXPECT_EQ(depth[static_cast<std::size_t>(d0)], 1);
+  EXPECT_EQ(depth[static_cast<std::size_t>(j)], 1);  // unclocked: pass-through
+  EXPECT_EQ(depth[static_cast<std::size_t>(d1)], 2);
+}
+
+TEST(Balance, InsertsDffsOnLaggingInput) {
+  // AND of a 2-stage path and a 0-stage path needs 2 balancing DFFs.
+  Netlist netlist(&structural_library(), "lag");
+  const GateId a = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId b = netlist.add_gate_of_kind("pin:b", CellKind::kInput);
+  const GateId d0 = netlist.add_gate_of_kind("d0", CellKind::kDff);
+  const GateId d1 = netlist.add_gate_of_kind("d1", CellKind::kDff);
+  const GateId g = netlist.add_gate_of_kind("g", CellKind::kAnd2);
+  const GateId y = netlist.add_gate_of_kind("pin:y", CellKind::kOutput);
+  netlist.connect(a, 0, d0, 0);
+  netlist.connect(d0, 0, d1, 0);
+  netlist.connect(d1, 0, g, 0);
+  netlist.connect(b, 0, g, 1);
+  netlist.connect(g, 0, y, 0);
+
+  const Netlist balanced = insert_path_balancing(netlist);
+  EXPECT_EQ(count_kind(balanced, CellKind::kDff), 4);  // d0, d1 + 2 inserted
+  expect_balanced(balanced);
+}
+
+TEST(Balance, AlreadyBalancedUntouched) {
+  Netlist netlist(&structural_library(), "ok");
+  const GateId a = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId b = netlist.add_gate_of_kind("pin:b", CellKind::kInput);
+  const GateId g = netlist.add_gate_of_kind("g", CellKind::kXor2);
+  const GateId y = netlist.add_gate_of_kind("pin:y", CellKind::kOutput);
+  netlist.connect(a, 0, g, 0);
+  netlist.connect(b, 0, g, 1);
+  netlist.connect(g, 0, y, 0);
+  const Netlist balanced = insert_path_balancing(netlist);
+  EXPECT_EQ(balanced.num_gates(), netlist.num_gates());
+}
+
+TEST(Balance, OutputBalancingPadsShallowOutputs) {
+  // Two outputs at depths 1 and 3: with balance_outputs the shallow one
+  // gets 2 DFFs; without it, none.
+  auto build = [] {
+    Netlist netlist(&structural_library(), "po");
+    const GateId a = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+    const GateId d0 = netlist.add_gate_of_kind("d0", CellKind::kDff);
+    const GateId d1 = netlist.add_gate_of_kind("d1", CellKind::kDff);
+    const GateId d2 = netlist.add_gate_of_kind("d2", CellKind::kDff);
+    const GateId da = netlist.add_gate_of_kind("da", CellKind::kDff);
+    netlist.connect(a, 0, d0, 0);
+    netlist.connect(d0, 0, d1, 0);
+    netlist.connect(d1, 0, d2, 0);
+    netlist.connect(a, 0, da, 0);
+    netlist.connect(d2, 0, netlist.add_gate_of_kind("pin:y0", CellKind::kOutput), 0);
+    netlist.connect(da, 0, netlist.add_gate_of_kind("pin:y1", CellKind::kOutput), 0);
+    return netlist;
+  };
+  BalanceOptions with;
+  with.balance_outputs = true;
+  EXPECT_EQ(count_kind(insert_path_balancing(build(), with), CellKind::kDff), 6);
+  BalanceOptions without;
+  without.balance_outputs = false;
+  EXPECT_EQ(count_kind(insert_path_balancing(build(), without), CellKind::kDff), 4);
+}
+
+TEST(Balance, SharedChainPrefixAcrossSinks) {
+  // One driver feeding two gates at lags 1 and 2 shares the first DFF.
+  Netlist netlist(&structural_library(), "share");
+  const GateId a = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId b = netlist.add_gate_of_kind("pin:b", CellKind::kInput);
+  const GateId p1 = netlist.add_gate_of_kind("p1", CellKind::kDff);
+  const GateId p2 = netlist.add_gate_of_kind("p2", CellKind::kDff);
+  const GateId q1 = netlist.add_gate_of_kind("q1", CellKind::kDff);
+  // b at depth 0 feeds g1 (needs depth 1 partner) and g2 (needs depth 2).
+  const GateId g1 = netlist.add_gate_of_kind("g1", CellKind::kAnd2);
+  const GateId g2 = netlist.add_gate_of_kind("g2", CellKind::kAnd2);
+  netlist.connect(a, 0, p1, 0);
+  netlist.connect(p1, 0, q1, 0);  // depth 2 into g2
+  netlist.connect(a, 0, p2, 0);   // depth 1 into g1
+  netlist.connect(p2, 0, g1, 0);
+  netlist.connect(b, 0, g1, 1);   // lag 1
+  netlist.connect(q1, 0, g2, 0);
+  netlist.connect(b, 0, g2, 1);   // lag 2, shares the first DFF
+  netlist.connect(g1, 0, netlist.add_gate_of_kind("pin:y0", CellKind::kOutput), 0);
+  netlist.connect(g2, 0, netlist.add_gate_of_kind("pin:y1", CellKind::kOutput), 0);
+
+  BalanceOptions options;
+  options.balance_outputs = false;
+  const Netlist balanced = insert_path_balancing(netlist, options);
+  // Without sharing: 3 inserted DFFs; with the shared prefix: 2.
+  EXPECT_EQ(count_kind(balanced, CellKind::kDff), 3 + 2);
+  expect_balanced(balanced);
+}
+
+TEST(Balance, MergerInputsAligned) {
+  Netlist netlist(&default_sfq_library(), "merge");
+  const GateId a = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId b = netlist.add_gate_of_kind("pin:b", CellKind::kInput);
+  const GateId d = netlist.add_gate_of_kind("d", CellKind::kDff);
+  const GateId m = netlist.add_gate_of_kind("m", CellKind::kMerge);
+  netlist.connect(a, 0, d, 0);
+  netlist.connect(d, 0, m, 0);
+  netlist.connect(b, 0, m, 1);  // lag 1 vs the DFF path
+  netlist.connect(m, 0, netlist.add_gate_of_kind("pin:y", CellKind::kOutput), 0);
+  const Netlist balanced = insert_path_balancing(netlist);
+  EXPECT_EQ(count_kind(balanced, CellKind::kDff), 2);
+  expect_balanced(balanced);
+}
+
+}  // namespace
+}  // namespace sfqpart

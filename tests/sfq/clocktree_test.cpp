@@ -1,0 +1,81 @@
+#include "sfq/clocktree.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/validate.h"
+#include "sfq/fanout.h"
+
+namespace sfqpart {
+namespace {
+
+Netlist pipeline(int stages) {
+  Netlist netlist(&default_sfq_library(), "pipe");
+  GateId prev = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  for (int i = 0; i < stages; ++i) {
+    const GateId d = netlist.add_gate_of_kind("d" + std::to_string(i), CellKind::kDff);
+    netlist.connect(prev, 0, d, 0);
+    prev = d;
+  }
+  netlist.connect(prev, 0, netlist.add_gate_of_kind("pin:y", CellKind::kOutput), 0);
+  return netlist;
+}
+
+TEST(ClockTree, EveryClockedGateGetsAClock) {
+  const Netlist clocked = insert_clock_tree(pipeline(5));
+  int clocked_gates = 0;
+  for (GateId g = 0; g < clocked.num_gates(); ++g) {
+    if (!clocked.cell_of(g).is_clocked()) continue;
+    ++clocked_gates;
+    EXPECT_NE(clocked.clock_net(g), kInvalidNet) << clocked.gate(g).name;
+  }
+  EXPECT_EQ(clocked_gates, 5);
+  EXPECT_NE(clocked.find_gate("pin:clk"), kInvalidGate);
+}
+
+TEST(ClockTree, NoClockedGatesNoSource) {
+  Netlist netlist(&default_sfq_library(), "async");
+  const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId j = netlist.add_gate_of_kind("j", CellKind::kJtl);
+  netlist.connect(in, 0, j, 0);
+  netlist.connect(j, 0, netlist.add_gate_of_kind("pin:y", CellKind::kOutput), 0);
+  const Netlist result = insert_clock_tree(netlist);
+  EXPECT_EQ(result.find_gate("pin:clk"), kInvalidGate);
+  EXPECT_EQ(result.num_gates(), netlist.num_gates());
+}
+
+TEST(ClockTree, ExistingClocksPreserved) {
+  Netlist netlist(&default_sfq_library(), "partial");
+  const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId my_clk = netlist.add_gate_of_kind("pin:myclk", CellKind::kInput);
+  const GateId d0 = netlist.add_gate_of_kind("d0", CellKind::kDff);
+  const GateId d1 = netlist.add_gate_of_kind("d1", CellKind::kDff);
+  netlist.connect(in, 0, d0, 0);
+  netlist.connect(d0, 0, d1, 0);
+  netlist.connect(d1, 0, netlist.add_gate_of_kind("pin:y", CellKind::kOutput), 0);
+  netlist.connect_clock(my_clk, 0, d0);
+
+  const Netlist result = insert_clock_tree(netlist);
+  const GateId rd0 = result.find_gate("d0");
+  const GateId rd1 = result.find_gate("d1");
+  // d0 keeps its clock; only d1 hangs off the new source.
+  EXPECT_EQ(result.net(result.clock_net(rd0)).driver.gate, result.find_gate("pin:myclk"));
+  EXPECT_EQ(result.net(result.clock_net(rd1)).driver.gate, result.find_gate("pin:clk"));
+}
+
+TEST(ClockTree, LegalizesIntoSplitterTree) {
+  // clock source fanning to 8 DFFs -> 7 splitters after legalization, and
+  // the result passes full validation including the clock requirement.
+  const Netlist legal = legalize_fanout(insert_clock_tree(pipeline(8)));
+  int splitters = 0;
+  for (GateId g = 0; g < legal.num_gates(); ++g) {
+    if (legal.cell_of(g).kind == CellKind::kSplit) ++splitters;
+  }
+  EXPECT_EQ(splitters, 7);
+  ValidateOptions strict;
+  strict.require_clocks = true;
+  const auto report = validate(legal, strict);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,112 @@
+#include "sfq/fanout.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netlist/validate.h"
+
+namespace sfqpart {
+namespace {
+
+// One driver DFF fanning out to `n` sink DFFs (physical library, so the
+// input netlist deliberately violates the SFQ fanout rule).
+Netlist fan(int n) {
+  Netlist netlist(&default_sfq_library(), "fan");
+  const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId d = netlist.add_gate_of_kind("drv", CellKind::kDff);
+  netlist.connect(in, 0, d, 0);
+  for (int i = 0; i < n; ++i) {
+    const GateId sink = netlist.add_gate_of_kind("s" + std::to_string(i), CellKind::kDff);
+    netlist.connect(d, 0, sink, 0);
+    const GateId out =
+        netlist.add_gate_of_kind("pin:y" + std::to_string(i), CellKind::kOutput);
+    netlist.connect(sink, 0, out, 0);
+  }
+  return netlist;
+}
+
+int count_splitters(const Netlist& netlist) {
+  int count = 0;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.cell_of(g).kind == CellKind::kSplit) ++count;
+  }
+  return count;
+}
+
+TEST(Fanout, SingleSinkUntouched) {
+  const Netlist legal = legalize_fanout(fan(1));
+  EXPECT_EQ(count_splitters(legal), 0);
+  EXPECT_TRUE(validate(legal).ok());
+}
+
+TEST(Fanout, FanoutTwoNeedsOneSplitter) {
+  const Netlist legal = legalize_fanout(fan(2));
+  EXPECT_EQ(count_splitters(legal), 1);
+  EXPECT_TRUE(validate(legal).ok());
+}
+
+class FanoutTree : public ::testing::TestWithParam<int> {};
+
+TEST_P(FanoutTree, NMinusOneSplittersAndLegal) {
+  const int n = GetParam();
+  const Netlist legal = legalize_fanout(fan(n));
+  // A binary splitter tree over n leaves has exactly n-1 internal nodes.
+  EXPECT_EQ(count_splitters(legal), n - 1);
+  const auto report = validate(legal);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty() ? "" : report.issues[0]);
+  // Original gates keep their ids (copied first).
+  EXPECT_EQ(legal.gate(1).name, "drv");
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FanoutTree, ::testing::Values(3, 4, 5, 8, 17, 64));
+
+TEST(Fanout, TreeDepthIsLogarithmic) {
+  const Netlist legal = legalize_fanout(fan(64));
+  // Longest in->sink path: drv + ceil(log2(64)) splitters + sink + pins.
+  // Depth in gates (see stats): in, drv, 6 splitters, sink, out = 10.
+  int max_depth = 0;
+  std::vector<int> depth(static_cast<std::size_t>(legal.num_gates()), 1);
+  for (const GateId g : legal.topological_order()) {
+    const Cell& cell = legal.cell_of(g);
+    for (int pin = 0; pin < cell.num_outputs; ++pin) {
+      const NetId net = legal.output_net(g, pin);
+      if (net == kInvalidNet) continue;
+      for (const PinRef& sink : legal.net(net).sinks) {
+        depth[static_cast<std::size_t>(sink.gate)] =
+            std::max(depth[static_cast<std::size_t>(sink.gate)],
+                     depth[static_cast<std::size_t>(g)] + 1);
+      }
+    }
+  }
+  for (const int d : depth) max_depth = std::max(max_depth, d);
+  EXPECT_EQ(max_depth, 10);
+}
+
+TEST(Fanout, ClockSinksRouteThroughConnectClock) {
+  Netlist netlist(&default_sfq_library(), "clkfan");
+  const GateId src = netlist.add_gate_of_kind("pin:clk", CellKind::kInput);
+  std::vector<GateId> dffs;
+  const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  GateId prev = in;
+  for (int i = 0; i < 3; ++i) {
+    const GateId d = netlist.add_gate_of_kind("d" + std::to_string(i), CellKind::kDff);
+    netlist.connect(prev, 0, d, 0);
+    netlist.connect_clock(src, 0, d);
+    dffs.push_back(d);
+    prev = d;
+  }
+  netlist.connect(prev, 0, netlist.add_gate_of_kind("pin:y", CellKind::kOutput), 0);
+
+  const Netlist legal = legalize_fanout(netlist);
+  EXPECT_EQ(count_splitters(legal), 2);
+  for (const GateId d : dffs) {
+    const GateId h = legal.find_gate(netlist.gate(d).name);
+    EXPECT_NE(legal.clock_net(h), kInvalidNet);
+  }
+  EXPECT_TRUE(validate(legal).ok());
+}
+
+}  // namespace
+}  // namespace sfqpart

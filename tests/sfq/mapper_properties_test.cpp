@@ -1,0 +1,85 @@
+// Structural accounting properties of the SFQ mapping pipeline, checked
+// across the suite: splitter counts follow exactly from pre-legalization
+// fanout, and mapped circuits obey the SFQ interconnect discipline.
+#include <gtest/gtest.h>
+
+#include "gen/suite.h"
+#include "netlist/stats.h"
+#include "sfq/balance.h"
+#include "sfq/mapper.h"
+
+namespace sfqpart {
+namespace {
+
+class MapperProperties : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MapperProperties, SplitterCountEqualsExcessFanout) {
+  const SuiteEntry* entry = find_benchmark(GetParam());
+  ASSERT_NE(entry, nullptr);
+  const Netlist structural = entry->build_structural();
+
+  // Balanced-but-unlegalized netlist: each output pin driving s sinks
+  // needs exactly s-1 splitters.
+  const Netlist balanced = insert_path_balancing(structural);
+  int expected_splitters = 0;
+  for (NetId n = 0; n < balanced.num_nets(); ++n) {
+    const int sinks = static_cast<int>(balanced.net(n).sinks.size());
+    if (sinks > 1) expected_splitters += sinks - 1;
+  }
+
+  const Netlist mapped = build_mapped(*entry);
+  const NetlistStats stats = compute_stats(mapped);
+  EXPECT_EQ(stats.by_kind.at(CellKind::kSplit), expected_splitters) << GetParam();
+}
+
+TEST_P(MapperProperties, EveryNetHasExactlyOneSink) {
+  const Netlist mapped = build_mapped(GetParam());
+  for (NetId n = 0; n < mapped.num_nets(); ++n) {
+    EXPECT_EQ(mapped.net(n).sinks.size(), 1u)
+        << GetParam() << " net " << mapped.net(n).name;
+  }
+}
+
+TEST_P(MapperProperties, StageDepthsAlignedAtEveryMultiInputGate) {
+  const Netlist mapped = build_mapped(GetParam());
+  const std::vector<int> depth = stage_depths(mapped);
+  for (GateId g = 0; g < mapped.num_gates(); ++g) {
+    const Cell& cell = mapped.cell_of(g);
+    if (cell.num_inputs < 2) continue;
+    if (!(cell.is_clocked() || cell.kind == CellKind::kMerge)) continue;
+    int first = -1;
+    for (int pin = 0; pin < cell.num_inputs; ++pin) {
+      const NetId net = mapped.input_net(g, pin);
+      ASSERT_NE(net, kInvalidNet);
+      const int d = depth[static_cast<std::size_t>(mapped.net(net).driver.gate)];
+      if (first < 0) {
+        first = d;
+      } else {
+        ASSERT_EQ(d, first) << GetParam() << " gate " << mapped.gate(g).name;
+      }
+    }
+  }
+}
+
+TEST_P(MapperProperties, AllPrimaryOutputsAtEqualDepth) {
+  const Netlist mapped = build_mapped(GetParam());
+  const std::vector<int> depth = stage_depths(mapped);
+  int po_depth = -1;
+  for (GateId g = 0; g < mapped.num_gates(); ++g) {
+    if (mapped.cell_of(g).kind != CellKind::kOutput) continue;
+    if (po_depth < 0) {
+      po_depth = depth[static_cast<std::size_t>(g)];
+    } else {
+      EXPECT_EQ(depth[static_cast<std::size_t>(g)], po_depth)
+          << GetParam() << " " << mapped.gate(g).name;
+    }
+  }
+  EXPECT_GE(po_depth, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, MapperProperties,
+                         ::testing::Values("ksa4", "ksa8", "mult4", "id4", "c499"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "gen/ksa.h"
+#include "sfq/mapper.h"
+#include "timing/timing.h"
+
+namespace sfqpart {
+namespace {
+
+TEST(ClockSkew, NoTreeReported) {
+  const Netlist mapped = map_to_sfq(build_ksa(4));  // default: no clock tree
+  const ClockSkewReport report = analyze_clock_skew(mapped);
+  EXPECT_FALSE(report.has_clock_tree);
+  const std::string text = format_clock_skew_report(report);
+  EXPECT_NE(text.find("no explicit clock tree"), std::string::npos);
+}
+
+TEST(ClockSkew, HandComputedArrivals) {
+  // clk -> SPLIT -> {d0.CLK, SPLIT -> {d1.CLK, d2.CLK}}: arrivals differ by
+  // one splitter delay between the first and second level.
+  Netlist netlist(&default_sfq_library(), "skew");
+  const GateId clk = netlist.add_gate_of_kind("pin:clk", CellKind::kInput);
+  const GateId s0 = netlist.add_gate_of_kind("s0", CellKind::kSplit);
+  const GateId s1 = netlist.add_gate_of_kind("s1", CellKind::kSplit);
+  const GateId in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+  const GateId d0 = netlist.add_gate_of_kind("d0", CellKind::kDff);
+  const GateId d1 = netlist.add_gate_of_kind("d1", CellKind::kDff);
+  const GateId d2 = netlist.add_gate_of_kind("d2", CellKind::kDff);
+  netlist.connect(clk, 0, s0, 0);
+  netlist.connect_clock(s0, 0, d0);
+  netlist.connect(s0, 1, s1, 0);
+  netlist.connect_clock(s1, 0, d1);
+  netlist.connect_clock(s1, 1, d2);
+  netlist.connect(in, 0, d0, 0);
+  netlist.connect(d0, 0, d1, 0);
+  netlist.connect(d1, 0, d2, 0);
+  netlist.connect(d2, 0, netlist.add_gate_of_kind("pin:y", CellKind::kOutput), 0);
+
+  TimingOptions options;  // splitter 7 ps
+  const ClockSkewReport report = analyze_clock_skew(netlist, options);
+  ASSERT_TRUE(report.has_clock_tree);
+  EXPECT_EQ(report.clocked_gates, 3);
+  EXPECT_DOUBLE_EQ(report.min_arrival_ps, 7.0);   // d0: one splitter
+  EXPECT_DOUBLE_EQ(report.max_arrival_ps, 14.0);  // d1/d2: two splitters
+  EXPECT_DOUBLE_EQ(report.skew_ps, 7.0);
+  // d0 -> d1 and d1 -> d2 are both clocked in flow order (7 <= 14, 14 <= 14).
+  EXPECT_EQ(report.flow_edges, 2);
+  EXPECT_EQ(report.counterflow_edges, 0);
+  // d0 launches at 7 + clk_to_q(7) = 14; d1's clock is at 14 -> margin 0.
+  EXPECT_DOUBLE_EQ(report.worst_hold_margin_ps, 0.0);
+}
+
+TEST(ClockSkew, MappedTreeIsBalancedByConstruction) {
+  SfqMapperOptions options;
+  options.insert_clock_tree = true;
+  const Netlist mapped = map_to_sfq(build_ksa(8), options);
+  const ClockSkewReport report = analyze_clock_skew(mapped);
+  ASSERT_TRUE(report.has_clock_tree);
+  EXPECT_GT(report.clocked_gates, 50);
+  // legalize_fanout builds a balanced binary tree: leaf depths differ by
+  // at most one splitter level.
+  TimingOptions timing;
+  EXPECT_LE(report.skew_ps, timing.splitter_delay_ps + 1e-9);
+  EXPECT_GE(report.flow_edges + report.counterflow_edges, 1);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,124 @@
+#include "timing/timing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.h"
+#include "gen/suite.h"
+#include "recycling/insertion.h"
+
+namespace sfqpart {
+namespace {
+
+// in -> DFF d0 -> SPLIT -> {DFF d1, JTL -> DFF d2}
+struct Fixture {
+  Netlist netlist{&default_sfq_library(), "t"};
+  GateId in, d0, s, d1, j, d2;
+
+  Fixture() {
+    in = netlist.add_gate_of_kind("pin:a", CellKind::kInput);
+    d0 = netlist.add_gate_of_kind("d0", CellKind::kDff);
+    s = netlist.add_gate_of_kind("s", CellKind::kSplit);
+    d1 = netlist.add_gate_of_kind("d1", CellKind::kDff);
+    j = netlist.add_gate_of_kind("j", CellKind::kJtl);
+    d2 = netlist.add_gate_of_kind("d2", CellKind::kDff);
+    netlist.connect(in, 0, d0, 0);
+    netlist.connect(d0, 0, s, 0);
+    netlist.connect(s, 0, d1, 0);
+    netlist.connect(s, 1, j, 0);
+    netlist.connect(j, 0, d2, 0);
+    netlist.connect(d1, 0, netlist.add_gate_of_kind("pin:y0", CellKind::kOutput), 0);
+    netlist.connect(d2, 0, netlist.add_gate_of_kind("pin:y1", CellKind::kOutput), 0);
+  }
+};
+
+TEST(Timing, HandComputedCriticalSegment) {
+  Fixture f;
+  TimingOptions options;  // clk_to_q 7, splitter 7, jtl 5, setup 4
+  const TimingReport report = analyze_timing(f.netlist, options);
+  // Worst segment: d0 (7) -> split (7) -> jtl (5) -> d2 setup (4) = 23 ps.
+  EXPECT_DOUBLE_EQ(report.min_period_ps, 23.0);
+  EXPECT_NEAR(report.fmax_ghz, 1000.0 / 23.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.critical_logic_ps, 19.0);
+  EXPECT_DOUBLE_EQ(report.critical_wire_ps, 0.0);
+  ASSERT_EQ(report.critical_path.size(), 4u);
+  EXPECT_EQ(report.critical_path.front(), "d0");
+  EXPECT_EQ(report.critical_path.back(), "d2");
+}
+
+TEST(Timing, CouplingHopsStretchThePeriod) {
+  Fixture f;
+  Partition partition;
+  partition.num_planes = 4;
+  // d0 on plane 0; the splitter cone on plane 3 -> distance-3 crossing.
+  partition.plane_of = {kUnassignedPlane, 0, 3, 3, 3, 3,
+                        kUnassignedPlane, kUnassignedPlane};
+  TimingOptions options;
+  const TimingReport base = analyze_timing(f.netlist, options);
+  const TimingReport far = analyze_timing(f.netlist, options, nullptr, &partition);
+  EXPECT_DOUBLE_EQ(far.min_period_ps, base.min_period_ps + 3 * options.coupling_hop_ps);
+  EXPECT_DOUBLE_EQ(far.critical_coupling_ps, 3 * options.coupling_hop_ps);
+
+  // Adjacent planes cost one hop.
+  partition.plane_of = {kUnassignedPlane, 0, 1, 1, 1, 1,
+                        kUnassignedPlane, kUnassignedPlane};
+  const TimingReport near = analyze_timing(f.netlist, options, nullptr, &partition);
+  EXPECT_DOUBLE_EQ(near.min_period_ps, base.min_period_ps + options.coupling_hop_ps);
+}
+
+TEST(Timing, WireDelayFromFloorplan) {
+  Fixture f;
+  Floorplan plan;
+  plan.x_um.assign(static_cast<std::size_t>(f.netlist.num_gates()), 0.0);
+  plan.y_um.assign(static_cast<std::size_t>(f.netlist.num_gates()), 0.0);
+  // Put d2 1 mm away from the JTL feeding it.
+  plan.x_um[static_cast<std::size_t>(f.d2)] = 1000.0;
+  TimingOptions options;
+  const TimingReport base = analyze_timing(f.netlist, options);
+  const TimingReport wired = analyze_timing(f.netlist, options, &plan);
+  EXPECT_DOUBLE_EQ(wired.min_period_ps, base.min_period_ps + options.wire_ps_per_mm);
+  EXPECT_DOUBLE_EQ(wired.critical_wire_ps, options.wire_ps_per_mm);
+}
+
+TEST(Timing, MoreSplitLevelsSlowTheClock) {
+  // ksa32 has deeper splitter trees than ksa4 -> longer async segments.
+  const TimingReport small = analyze_timing(build_mapped("ksa4"));
+  const TimingReport large = analyze_timing(build_mapped("ksa32"));
+  EXPECT_GE(large.min_period_ps, small.min_period_ps);
+  EXPECT_GT(small.fmax_ghz, 10.0);   // tens of GHz, the SFQ regime
+  EXPECT_LT(small.fmax_ghz, 100.0);
+}
+
+TEST(Timing, PartitionSlowsRealCircuit) {
+  const Netlist netlist = build_mapped("ksa8");
+  PartitionOptions popt;
+  popt.num_planes = 5;
+  const Partition partition = partition_netlist(netlist, popt).partition;
+  const TimingReport flat = analyze_timing(netlist);
+  const TimingReport cut = analyze_timing(netlist, {}, nullptr, &partition);
+  EXPECT_GE(cut.min_period_ps, flat.min_period_ps);
+}
+
+TEST(Timing, InsertedCouplingCellsMatchHopModel) {
+  // Analyzing the *implemented* netlist (TX cells inserted, each link now
+  // adjacent) should cost at least as much as the hop-model estimate of
+  // the original: insertion adds the TX cells' own propagation delay too.
+  const Netlist netlist = build_mapped("ksa4");
+  PartitionOptions popt;
+  popt.num_planes = 3;
+  const Partition partition = partition_netlist(netlist, popt).partition;
+  const CouplingInsertion inserted = apply_coupling_insertion(netlist, partition);
+  const TimingReport modeled = analyze_timing(netlist, {}, nullptr, &partition);
+  const TimingReport implemented =
+      analyze_timing(inserted.netlist, {}, nullptr, &inserted.partition);
+  EXPECT_GE(implemented.min_period_ps + 1e-9, modeled.min_period_ps);
+}
+
+TEST(Timing, FormatMentionsPathAndFmax) {
+  Fixture f;
+  const std::string text = format_timing_report(analyze_timing(f.netlist));
+  EXPECT_NE(text.find("Fmax"), std::string::npos);
+  EXPECT_NE(text.find("d0 -> s -> j -> d2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,93 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+TEST(CsvWriter, PlainFields) {
+  CsvWriter writer({"a", "b"});
+  writer.add_row({"1", "2"});
+  EXPECT_EQ(writer.to_string(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  CsvWriter writer({"name"});
+  writer.add_row({"has,comma"});
+  writer.add_row({"has\"quote"});
+  writer.add_row({"has\nnewline"});
+  EXPECT_EQ(writer.to_string(),
+            "name\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvParse, Simple) {
+  auto doc = parse_csv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParse, QuotedFieldsAndCrlf) {
+  auto doc = parse_csv("h1,h2\r\n\"a,b\",\"say \"\"hi\"\"\"\r\n");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->rows[0][0], "a,b");
+  EXPECT_EQ(doc->rows[0][1], "say \"hi\"");
+}
+
+TEST(CsvParse, EmptyFieldsPreserved) {
+  auto doc = parse_csv("a,b,c\n,,\n");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvParse, MissingFinalNewline) {
+  auto doc = parse_csv("a,b\n1,2");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, BlankLinesSkipped) {
+  auto doc = parse_csv("a\n\n1\n\n");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->rows.size(), 1u);
+}
+
+TEST(CsvParse, RejectsRaggedRows) {
+  EXPECT_FALSE(parse_csv("a,b\n1\n").is_ok());
+}
+
+TEST(CsvParse, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(parse_csv("a\n\"oops\n").is_ok());
+}
+
+TEST(CsvParse, RejectsEmptyDocument) {
+  EXPECT_FALSE(parse_csv("").is_ok());
+}
+
+TEST(CsvRoundTrip, WriteThenParse) {
+  CsvWriter writer({"circuit", "metric"});
+  writer.add_row({"ksa4", "74.6%"});
+  writer.add_row({"weird,name", "x\"y"});
+  auto doc = parse_csv(writer.to_string());
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->rows[1][0], "weird,name");
+  EXPECT_EQ(doc->rows[1][1], "x\"y");
+}
+
+TEST(CsvFile, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/sfqpart_csv_test.csv";
+  CsvWriter writer({"k", "v"});
+  writer.add_row({"1", "one"});
+  ASSERT_TRUE(writer.write_file(path).is_ok());
+  auto doc = read_csv_file(path);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->rows[0][1], "one");
+}
+
+TEST(CsvFile, MissingFileIsError) {
+  EXPECT_FALSE(read_csv_file("/nonexistent/path.csv").is_ok());
+}
+
+}  // namespace
+}  // namespace sfqpart

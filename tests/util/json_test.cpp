@@ -1,0 +1,71 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json::null().dump(0), "null");
+  EXPECT_EQ(Json::boolean(true).dump(0), "true");
+  EXPECT_EQ(Json::boolean(false).dump(0), "false");
+  EXPECT_EQ(Json::number(static_cast<long long>(42)).dump(0), "42");
+  EXPECT_EQ(Json::number(2.5).dump(0), "2.5");
+  EXPECT_EQ(Json::string("hi").dump(0), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json::string("a\"b\\c\nd\te").dump(0), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(Json::string(std::string(1, '\x01')).dump(0), "\"\\u0001\"");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json::number(std::numeric_limits<double>::infinity()).dump(0), "null");
+  EXPECT_EQ(Json::number(std::nan("")).dump(0), "null");
+}
+
+TEST(Json, CompactArrayAndObject) {
+  Json arr = Json::array();
+  arr.append(Json::number(static_cast<long long>(1)))
+      .append(Json::string("x"));
+  EXPECT_EQ(arr.dump(0), "[1,\"x\"]");
+
+  Json obj = Json::object();
+  obj.set("a", Json::number(static_cast<long long>(1)))
+      .set("b", Json::boolean(false));
+  EXPECT_EQ(obj.dump(0), "{\"a\":1,\"b\":false}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  Json obj = Json::object();
+  obj.set("k", Json::number(static_cast<long long>(1)));
+  obj.set("k", Json::number(static_cast<long long>(2)));
+  EXPECT_EQ(obj.dump(0), "{\"k\":2}");
+}
+
+TEST(Json, PrettyNesting) {
+  Json obj = Json::object();
+  Json inner = Json::array();
+  inner.append(Json::number(static_cast<long long>(7)));
+  obj.set("xs", std::move(inner));
+  EXPECT_EQ(obj.dump(2), "{\n  \"xs\": [\n    7\n  ]\n}");
+}
+
+TEST(Json, KeysKeepInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("z", Json::null());
+  obj.set("a", Json::null());
+  const std::string out = obj.dump(0);
+  EXPECT_LT(out.find("\"z\""), out.find("\"a\""));
+}
+
+}  // namespace
+}  // namespace sfqpart

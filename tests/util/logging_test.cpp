@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+TEST(Logging, LevelRoundTrips) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(original);
+}
+
+TEST(Logging, SuppressedMessagesDoNotFormat) {
+  // A message below the threshold must not evaluate lazily streamed
+  // arguments' side effects into output (and must not crash).
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  SFQ_LOG_DEBUG << "invisible " << 42;
+  SFQ_LOG_INFO << "also invisible";
+  set_log_level(original);
+}
+
+TEST(Logging, EmittingAllLevelsIsSafe) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  SFQ_LOG_DEBUG << "debug " << 1;
+  SFQ_LOG_INFO << "info " << 2.5;
+  SFQ_LOG_WARN << "warn " << "text";
+  SFQ_LOG_ERROR << "error";
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace sfqpart

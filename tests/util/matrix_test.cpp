@@ -1,0 +1,80 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace sfqpart {
+namespace {
+
+TEST(Matrix, ShapeAndFill) {
+  Matrix m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_DOUBLE_EQ(m(2, 3), 1.5);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, RowViewMutates) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 0.0);
+}
+
+TEST(Matrix, FlatIsRowMajor) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  const auto flat = m.flat();
+  EXPECT_DOUBLE_EQ(flat[1], 2);
+  EXPECT_DOUBLE_EQ(flat[2], 3);
+}
+
+TEST(Matrix, EqualityAndEmpty) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2.0;
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(Matrix().empty());
+}
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_TRUE(static_cast<bool>(status));
+  EXPECT_EQ(status.message(), "");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status status = Status::error("bad thing");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.message(), "bad thing");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> result = Status::error("nope");
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().message(), "nope");
+}
+
+TEST(StatusOr, MoveOut) {
+  StatusOr<std::string> result = std::string("payload");
+  const std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+}  // namespace
+}  // namespace sfqpart

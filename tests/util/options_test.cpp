@@ -1,0 +1,90 @@
+#include "util/options.h"
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+OptionsParser make_parser() {
+  OptionsParser parser("test");
+  parser.add_flag("verbose", false, "verbosity");
+  parser.add_int("planes", 5, "plane count");
+  parser.add_double("margin", 1e-4, "stop margin");
+  parser.add_string("circuit", "ksa4", "circuit name");
+  return parser;
+}
+
+TEST(Options, DefaultsApply) {
+  OptionsParser parser = make_parser();
+  ASSERT_TRUE(parser.parse(0, nullptr).is_ok());
+  EXPECT_FALSE(parser.get_flag("verbose"));
+  EXPECT_EQ(parser.get_int("planes"), 5);
+  EXPECT_DOUBLE_EQ(parser.get_double("margin"), 1e-4);
+  EXPECT_EQ(parser.get_string("circuit"), "ksa4");
+}
+
+TEST(Options, EqualsSyntax) {
+  OptionsParser parser = make_parser();
+  const char* argv[] = {"--planes=7", "--circuit=c432", "--margin=0.01"};
+  ASSERT_TRUE(parser.parse(3, argv).is_ok());
+  EXPECT_EQ(parser.get_int("planes"), 7);
+  EXPECT_EQ(parser.get_string("circuit"), "c432");
+  EXPECT_DOUBLE_EQ(parser.get_double("margin"), 0.01);
+}
+
+TEST(Options, SpaceSyntax) {
+  OptionsParser parser = make_parser();
+  const char* argv[] = {"--planes", "9"};
+  ASSERT_TRUE(parser.parse(2, argv).is_ok());
+  EXPECT_EQ(parser.get_int("planes"), 9);
+}
+
+TEST(Options, BareAndNegatedFlags) {
+  OptionsParser parser = make_parser();
+  const char* argv[] = {"--verbose"};
+  ASSERT_TRUE(parser.parse(1, argv).is_ok());
+  EXPECT_TRUE(parser.get_flag("verbose"));
+
+  OptionsParser parser2 = make_parser();
+  const char* argv2[] = {"--verbose", "--no-verbose"};
+  ASSERT_TRUE(parser2.parse(2, argv2).is_ok());
+  EXPECT_FALSE(parser2.get_flag("verbose"));
+}
+
+TEST(Options, PositionalCollected) {
+  OptionsParser parser = make_parser();
+  const char* argv[] = {"file1.def", "--planes=3", "file2.def"};
+  ASSERT_TRUE(parser.parse(3, argv).is_ok());
+  EXPECT_EQ(parser.positional(), (std::vector<std::string>{"file1.def", "file2.def"}));
+}
+
+TEST(Options, UnknownFlagRejected) {
+  OptionsParser parser = make_parser();
+  const char* argv[] = {"--typo=1"};
+  EXPECT_FALSE(parser.parse(1, argv).is_ok());
+}
+
+TEST(Options, BadValuesRejected) {
+  OptionsParser parser = make_parser();
+  const char* argv[] = {"--planes=abc"};
+  EXPECT_FALSE(parser.parse(1, argv).is_ok());
+
+  OptionsParser parser2 = make_parser();
+  const char* argv2[] = {"--margin=fast"};
+  EXPECT_FALSE(parser2.parse(1, argv2).is_ok());
+
+  OptionsParser parser3 = make_parser();
+  const char* argv3[] = {"--planes"};
+  EXPECT_FALSE(parser3.parse(1, argv3).is_ok());
+}
+
+TEST(Options, UsageListsAllFlags) {
+  OptionsParser parser = make_parser();
+  const std::string usage = parser.usage();
+  for (const char* name : {"--verbose", "--planes", "--margin", "--circuit"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sfqpart

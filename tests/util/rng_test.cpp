@@ -1,0 +1,128 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.uniform();
+    ASSERT_GE(value, 0.0);
+    ASSERT_LT(value, 1.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.uniform(-2.5, 3.5);
+    ASSERT_GE(value, -2.5);
+    ASSERT_LT(value, 3.5);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t value = rng.uniform_index(7);
+    ASSERT_LT(value, 7u);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexOfOneIsZero) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int value = rng.uniform_int(-3, 3);
+    ASSERT_GE(value, -3);
+    ASSERT_LE(value, 3);
+    saw_lo |= value == -3;
+    saw_hi |= value == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double value = rng.normal();
+    sum += value;
+    sum_sq += value * value;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace sfqpart

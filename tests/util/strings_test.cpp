@@ -1,0 +1,67 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+TEST(Split, DropsEmptyFields) {
+  EXPECT_EQ(split("a  b\tc"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("  leading and trailing  "),
+            (std::vector<std::string>{"leading", "and", "trailing"}));
+  EXPECT_TRUE(split("").empty());
+  EXPECT_TRUE(split("   ").empty());
+}
+
+TEST(Split, CustomDelimiters) {
+  EXPECT_EQ(split("a,b;c", ",;"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitKeepEmpty, PreservesEmptyFields) {
+  EXPECT_EQ(split_keep_empty("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_keep_empty(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split_keep_empty("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\na b\r "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(CaseConversion, Works) {
+  EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+  EXPECT_EQ(to_upper("MiXeD123"), "MIXED123");
+}
+
+TEST(Affixes, StartsAndEndsWith) {
+  EXPECT_TRUE(starts_with("COMPONENTS", "COMP"));
+  EXPECT_FALSE(starts_with("COMP", "COMPONENTS"));
+  EXPECT_TRUE(ends_with("netlist.def", ".def"));
+  EXPECT_FALSE(ends_with("def", "netlist.def"));
+}
+
+TEST(ParseInt, StrictWholeField) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int("  8 "), 8);
+  EXPECT_FALSE(parse_int("4x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("3.5").has_value());
+}
+
+TEST(ParseDouble, StrictWholeField) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3").value(), -1000.0);
+  EXPECT_FALSE(parse_double("2.5mV").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(str_format("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(str_format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace sfqpart

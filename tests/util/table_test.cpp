@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"Circuit", "G"});
+  table.add_row({"ksa4", "93"});
+  table.add_row({"c3540", "3792"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| Circuit | G    |"), std::string::npos);
+  EXPECT_NE(out.find("| ksa4    | 93   |"), std::string::npos);
+  EXPECT_NE(out.find("| c3540   | 3792 |"), std::string::npos);
+  // Rules: top, under header, bottom.
+  int rules = 0;
+  std::size_t line_start = 0;
+  while (line_start < out.size()) {
+    if (out[line_start] == '+') ++rules;
+    line_start = out.find('\n', line_start) + 1;
+  }
+  EXPECT_EQ(rules, 3);
+}
+
+TEST(TablePrinter, SeparatorBeforeAverageRow) {
+  TablePrinter table({"x"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"AVG"});
+  const std::string out = table.to_string();
+  // 4 rules: top, header, before AVG, bottom.
+  int rules = 0;
+  std::size_t line_start = 0;
+  while (line_start < out.size()) {
+    if (out[line_start] == '+') ++rules;
+    line_start = out.find('\n', line_start) + 1;
+  }
+  EXPECT_EQ(rules, 4);  // each rule line has two '+' for one column
+}
+
+TEST(TablePrinter, ShortRowsPadded) {
+  TablePrinter table({"a", "b"});
+  table.add_row({"only"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+TEST(FmtDouble, FixedDigits) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 4), "2.0000");
+}
+
+TEST(FmtPercent, FractionToPercent) {
+  EXPECT_EQ(fmt_percent(0.746), "74.6%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_percent(0.0924, 2), "9.24%");
+}
+
+}  // namespace
+}  // namespace sfqpart

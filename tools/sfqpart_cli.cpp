@@ -1,0 +1,485 @@
+// sfqpart — command line driver for the ground-plane partitioning flow.
+//
+//   sfqpart list
+//   sfqpart stats     --circuit ksa8 | --def design.def [--json]
+//   sfqpart partition --circuit ksa8 --planes 5 [--refine] [--method gd|multilevel|annealing|layered|fm|random]
+//                     [--json] [--csv out.csv] [--dot out.dot]
+//   sfqpart kres      --circuit id8 --limit 100 [--json]
+//   sfqpart plan      --circuit ksa8 --planes 4 [--json]
+//   sfqpart emit      --circuit mult4 --dir out/
+//
+// Circuits come from the built-in benchmark suite or from a DEF file
+// (--def); all stochastic steps honor --seed.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "baseline/annealing.h"
+#include "baseline/fm_kway.h"
+#include "baseline/layered_partition.h"
+#include "baseline/random_partition.h"
+#include "core/kres_search.h"
+#include "core/multilevel.h"
+#include "core/partition_io.h"
+#include "core/partitioner.h"
+#include "def/def_parser.h"
+#include "def/def_writer.h"
+#include "def/lef_parser.h"
+#include "floorplan/floorplan.h"
+#include "gen/suite.h"
+#include "timing/timing.h"
+#include "metrics/partition_metrics.h"
+#include "metrics/report.h"
+#include "netlist/dot.h"
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+#include "recycling/bias_plan.h"
+#include "recycling/coupling.h"
+#include "recycling/power.h"
+#include "util/csv.h"
+#include "util/json.h"
+#include "util/options.h"
+#include "verilog/verilog_parser.h"
+#include "verilog/verilog_writer.h"
+
+namespace sfqpart {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: sfqpart <list|stats|partition|evaluate|kres|plan|timing|floorplan|emit>"
+    " [flags]\n"
+    "run `sfqpart <command> --help` for the command's flags\n";
+
+OptionsParser make_parser(const std::string& command) {
+  OptionsParser parser("sfqpart " + command);
+  parser.add_string("circuit", "ksa8", "benchmark circuit name (see `sfqpart list`)");
+  parser.add_string("def", "", "read the netlist from this DEF file instead");
+  parser.add_string("verilog", "", "read the netlist from this structural Verilog file");
+  parser.add_int("planes", 5, "number of ground planes K");
+  parser.add_int("seed", 1, "random seed");
+  parser.add_flag("json", false, "emit machine-readable JSON on stdout");
+  parser.add_flag("help", false, "show this help");
+  parser.add_string("method", "gd",
+                    "partitioner: gd|multilevel|annealing|layered|fm|random");
+  parser.add_flag("refine", false, "greedy refinement after gradient descent");
+  parser.add_string("csv", "", "write gate->plane assignments to this CSV file");
+  parser.add_string("dot", "", "write a plane-colored DOT graph to this file");
+  parser.add_double("limit", 100.0, "bias pad limit in mA (kres)");
+  parser.add_string("dir", ".", "output directory (emit)");
+  parser.add_string("assignment", "", "gate->plane CSV to evaluate (evaluate)");
+  return parser;
+}
+
+StatusOr<Netlist> load_netlist(const OptionsParser& options) {
+  const std::string def_path = options.get_string("def");
+  if (!def_path.empty()) {
+    auto design = def::read_def_file(def_path);
+    if (!design) return design.status();
+    return def::def_to_netlist(*design, default_sfq_library());
+  }
+  const std::string verilog_path = options.get_string("verilog");
+  if (!verilog_path.empty()) {
+    auto module = read_verilog_file(verilog_path);
+    if (!module) return module.status();
+    return verilog_to_netlist(*module, default_sfq_library());
+  }
+  const SuiteEntry* entry = find_benchmark(options.get_string("circuit"));
+  if (entry == nullptr) {
+    return Status::error("unknown circuit '" + options.get_string("circuit") +
+                         "'; run `sfqpart list`");
+  }
+  return build_mapped(*entry);
+}
+
+Json metrics_json(const PartitionMetrics& m) {
+  Json distances = Json::array();
+  for (int d = 0; d < m.num_planes; ++d) {
+    distances.append(Json::number(
+        static_cast<long long>(m.distance_histogram[static_cast<std::size_t>(d)])));
+  }
+  Json planes = Json::array();
+  for (int k = 0; k < m.num_planes; ++k) {
+    const auto uk = static_cast<std::size_t>(k);
+    planes.append(Json::object()
+                      .set("gates", Json::number(static_cast<long long>(m.plane_gates[uk])))
+                      .set("bias_ma", Json::number(m.plane_bias_ma[uk]))
+                      .set("area_um2", Json::number(m.plane_area_um2[uk])));
+  }
+  return Json::object()
+      .set("planes", Json::number(static_cast<long long>(m.num_planes)))
+      .set("gates", Json::number(static_cast<long long>(m.num_gates)))
+      .set("connections", Json::number(static_cast<long long>(m.num_connections)))
+      .set("d1", Json::number(m.frac_within(1)))
+      .set("d2", Json::number(m.frac_within(2)))
+      .set("bcir_ma", Json::number(m.total_bias_ma))
+      .set("bmax_ma", Json::number(m.bmax_ma))
+      .set("icomp_frac", Json::number(m.icomp_frac()))
+      .set("acir_mm2", Json::number(m.total_area_mm2()))
+      .set("amax_mm2", Json::number(m.amax_mm2()))
+      .set("afs_frac", Json::number(m.afs_frac()))
+      .set("distance_histogram", std::move(distances))
+      .set("per_plane", std::move(planes));
+}
+
+int cmd_list() {
+  for (const SuiteEntry& entry : benchmark_suite()) {
+    std::printf("%-7s %s (paper: %d gates, %d connections)\n", entry.name.c_str(),
+                entry.description.c_str(), entry.paper.gates,
+                entry.paper.connections);
+  }
+  for (const SuiteEntry& entry : extra_circuits()) {
+    std::printf("%-7s %s (extra, not in the paper's table)\n", entry.name.c_str(),
+                entry.description.c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(const OptionsParser& options) {
+  auto netlist = load_netlist(options);
+  if (!netlist) {
+    std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
+    return 1;
+  }
+  const NetlistStats stats = compute_stats(*netlist);
+  if (options.get_flag("json")) {
+    Json mix = Json::object();
+    for (const auto& [kind, count] : stats.by_kind) {
+      mix.set(cell_kind_name(kind), Json::number(static_cast<long long>(count)));
+    }
+    std::printf("%s\n",
+                Json::object()
+                    .set("name", Json::string(netlist->name()))
+                    .set("gates", Json::number(static_cast<long long>(stats.num_gates)))
+                    .set("io", Json::number(static_cast<long long>(stats.num_io)))
+                    .set("connections",
+                         Json::number(static_cast<long long>(stats.num_connections)))
+                    .set("bias_ma", Json::number(stats.total_bias_ma))
+                    .set("area_mm2", Json::number(stats.total_area_mm2()))
+                    .set("jj", Json::number(static_cast<long long>(stats.total_jj)))
+                    .set("depth", Json::number(static_cast<long long>(stats.logic_depth)))
+                    .set("cell_mix", std::move(mix))
+                    .dump()
+                    .c_str());
+  } else {
+    std::fputs(format_stats(*netlist, stats).c_str(), stdout);
+  }
+  return 0;
+}
+
+std::optional<Partition> run_method(const Netlist& netlist, const OptionsParser& options) {
+  const int planes = static_cast<int>(options.get_int("planes"));
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed"));
+  const std::string method = options.get_string("method");
+  if (method == "gd") {
+    PartitionOptions popt;
+    popt.num_planes = planes;
+    popt.seed = seed;
+    popt.refine = options.get_flag("refine");
+    return partition_netlist(netlist, popt).partition;
+  }
+  if (method == "multilevel") {
+    MultilevelOptions mopt;
+    mopt.seed = seed;
+    return multilevel_partition(netlist, planes, mopt).partition;
+  }
+  if (method == "annealing") {
+    AnnealingOptions aopt;
+    aopt.seed = seed;
+    return anneal_partition(netlist, planes, aopt).partition;
+  }
+  if (method == "layered") return layered_partition(netlist, planes);
+  if (method == "fm") {
+    FmOptions fopt;
+    fopt.seed = seed;
+    return fm_kway_partition(netlist, planes, fopt).partition;
+  }
+  if (method == "random") return random_partition(netlist, planes, seed);
+  return std::nullopt;
+}
+
+int cmd_partition(const OptionsParser& options) {
+  auto netlist = load_netlist(options);
+  if (!netlist) {
+    std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
+    return 1;
+  }
+  const auto partition = run_method(*netlist, options);
+  if (!partition) {
+    std::fprintf(stderr, "unknown method '%s'\n", options.get_string("method").c_str());
+    return 1;
+  }
+  const PartitionMetrics metrics = compute_metrics(*netlist, *partition);
+
+  if (!options.get_string("csv").empty()) {
+    CsvWriter csv({"gate", "cell", "plane"});
+    for (GateId g = 0; g < netlist->num_gates(); ++g) {
+      if (!netlist->is_partitionable(g)) continue;
+      csv.add_row({netlist->gate(g).name, netlist->cell_of(g).name,
+                   std::to_string(partition->plane(g))});
+    }
+    if (auto st = csv.write_file(options.get_string("csv")); !st) {
+      std::fprintf(stderr, "%s\n", st.message().c_str());
+      return 1;
+    }
+  }
+  if (!options.get_string("dot").empty()) {
+    DotOptions dot_options;
+    dot_options.plane_of = partition->plane_of;
+    std::ofstream file(options.get_string("dot"));
+    file << to_dot(*netlist, dot_options);
+  }
+
+  if (options.get_flag("json")) {
+    Json assignment = Json::object();
+    for (GateId g = 0; g < netlist->num_gates(); ++g) {
+      if (netlist->is_partitionable(g)) {
+        assignment.set(netlist->gate(g).name,
+                       Json::number(static_cast<long long>(partition->plane(g))));
+      }
+    }
+    std::printf("%s\n", Json::object()
+                            .set("circuit", Json::string(netlist->name()))
+                            .set("method", Json::string(options.get_string("method")))
+                            .set("metrics", metrics_json(metrics))
+                            .set("assignment", std::move(assignment))
+                            .dump()
+                            .c_str());
+  } else {
+    std::fputs(format_partition_report(*netlist, *partition, metrics).c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+int cmd_evaluate(const OptionsParser& options) {
+  auto netlist = load_netlist(options);
+  if (!netlist) {
+    std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
+    return 1;
+  }
+  const std::string path = options.get_string("assignment");
+  if (path.empty()) {
+    std::fprintf(stderr, "evaluate needs --assignment <csv>\n");
+    return 1;
+  }
+  auto partition = load_partition_csv(path, *netlist);
+  if (!partition) {
+    std::fprintf(stderr, "%s\n", partition.status().message().c_str());
+    return 1;
+  }
+  const PartitionMetrics metrics = compute_metrics(*netlist, *partition);
+  if (options.get_flag("json")) {
+    std::printf("%s\n", Json::object()
+                            .set("circuit", Json::string(netlist->name()))
+                            .set("assignment", Json::string(path))
+                            .set("metrics", metrics_json(metrics))
+                            .dump()
+                            .c_str());
+  } else {
+    std::fputs(format_partition_report(*netlist, *partition, metrics).c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+int cmd_kres(const OptionsParser& options) {
+  auto netlist = load_netlist(options);
+  if (!netlist) {
+    std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
+    return 1;
+  }
+  KresOptions kopt;
+  kopt.bias_limit_ma = options.get_double("limit");
+  kopt.base.seed = static_cast<std::uint64_t>(options.get_int("seed"));
+  const KresResult result = find_min_planes(*netlist, kopt);
+  if (!result.found) {
+    std::fprintf(stderr, "no feasible K up to %d\n", kopt.max_planes);
+    return 1;
+  }
+  if (options.get_flag("json")) {
+    std::printf("%s\n",
+                Json::object()
+                    .set("circuit", Json::string(netlist->name()))
+                    .set("limit_ma", Json::number(kopt.bias_limit_ma))
+                    .set("k_lb", Json::number(static_cast<long long>(result.k_lb)))
+                    .set("k_res", Json::number(static_cast<long long>(result.k_res)))
+                    .set("bmax_ma", Json::number(result.bmax_ma))
+                    .dump()
+                    .c_str());
+  } else {
+    std::printf("%s: K_LB = %d, K_res = %d, B_max = %.2f mA (limit %.1f mA)\n",
+                netlist->name().c_str(), result.k_lb, result.k_res, result.bmax_ma,
+                kopt.bias_limit_ma);
+  }
+  return 0;
+}
+
+int cmd_plan(const OptionsParser& options) {
+  auto netlist = load_netlist(options);
+  if (!netlist) {
+    std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
+    return 1;
+  }
+  const auto partition = run_method(*netlist, options);
+  if (!partition) {
+    std::fprintf(stderr, "unknown method '%s'\n", options.get_string("method").c_str());
+    return 1;
+  }
+  const BiasPlan plan = make_bias_plan(*netlist, *partition);
+  const CouplingReport coupling = plan_coupling(*netlist, *partition);
+  if (options.get_flag("json")) {
+    Json planes = Json::array();
+    for (const PlaneBias& plane : plan.planes) {
+      planes.append(Json::object()
+                        .set("plane", Json::number(static_cast<long long>(plane.plane)))
+                        .set("gates", Json::number(static_cast<long long>(plane.gates)))
+                        .set("bias_ma", Json::number(plane.bias_ma))
+                        .set("dummy_ma", Json::number(plane.dummy_ma))
+                        .set("potential_mv", Json::number(plane.potential_mv)));
+    }
+    std::printf("%s\n",
+                Json::object()
+                    .set("circuit", Json::string(netlist->name()))
+                    .set("supply_ma", Json::number(plan.supply_ma))
+                    .set("stack_mv", Json::number(plan.stack_voltage_mv))
+                    .set("icomp_ma", Json::number(plan.total_dummy_ma))
+                    .set("pads_saved", Json::number(static_cast<long long>(plan.pads_saved())))
+                    .set("coupling_pairs",
+                         Json::number(static_cast<long long>(coupling.total_pairs)))
+                    .set("planes", std::move(planes))
+                    .dump()
+                    .c_str());
+  } else {
+    std::fputs(format_bias_plan(plan).c_str(), stdout);
+    std::fputs(format_coupling_report(coupling).c_str(), stdout);
+    std::fputs(format_power_report(analyze_power(*netlist, *partition)).c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+int cmd_floorplan(const OptionsParser& options) {
+  auto netlist = load_netlist(options);
+  if (!netlist) {
+    std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
+    return 1;
+  }
+  const auto partition = run_method(*netlist, options);
+  if (!partition) {
+    std::fprintf(stderr, "unknown method '%s'\n", options.get_string("method").c_str());
+    return 1;
+  }
+  const Floorplan plan = build_floorplan(*netlist, *partition);
+  std::fputs(format_floorplan(*netlist, plan).c_str(), stdout);
+
+  const std::string dir = options.get_string("dir");
+  const std::string path = dir + "/" + netlist->name() + "_placed.def";
+  std::ofstream file(path);
+  file << def::write_def_placed(*netlist, {}, plan.x_um, plan.y_um);
+  if (!file) {
+    std::fprintf(stderr, "write failed: %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int cmd_timing(const OptionsParser& options) {
+  auto netlist = load_netlist(options);
+  if (!netlist) {
+    std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
+    return 1;
+  }
+  // Timing with and without the partition's coupling-hop penalties, plus
+  // the floorplan's wire delays.
+  const auto partition = run_method(*netlist, options);
+  if (!partition) {
+    std::fprintf(stderr, "unknown method '%s'\n", options.get_string("method").c_str());
+    return 1;
+  }
+  const Floorplan floorplan = build_floorplan(*netlist, *partition);
+  const TimingReport flat = analyze_timing(*netlist);
+  const TimingReport placed = analyze_timing(*netlist, {}, &floorplan, &*partition);
+  if (options.get_flag("json")) {
+    std::printf("%s\n",
+                Json::object()
+                    .set("circuit", Json::string(netlist->name()))
+                    .set("fmax_flat_ghz", Json::number(flat.fmax_ghz))
+                    .set("fmax_partitioned_ghz", Json::number(placed.fmax_ghz))
+                    .set("min_period_ps", Json::number(placed.min_period_ps))
+                    .set("critical_coupling_ps",
+                         Json::number(placed.critical_coupling_ps))
+                    .set("critical_wire_ps", Json::number(placed.critical_wire_ps))
+                    .dump()
+                    .c_str());
+  } else {
+    std::printf("unpartitioned:\n");
+    std::fputs(format_timing_report(flat).c_str(), stdout);
+    std::printf("\npartitioned into K=%lld (wire + coupling aware):\n",
+                options.get_int("planes"));
+    std::fputs(format_timing_report(placed).c_str(), stdout);
+    std::fputs(format_clock_skew_report(analyze_clock_skew(*netlist)).c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+int cmd_emit(const OptionsParser& options) {
+  auto netlist = load_netlist(options);
+  if (!netlist) {
+    std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
+    return 1;
+  }
+  const std::string dir = options.get_string("dir");
+  const std::string lef_path = dir + "/" + netlist->name() + ".lef";
+  const std::string def_path = dir + "/" + netlist->name() + ".def";
+  const std::string verilog_path = dir + "/" + netlist->name() + ".v";
+  std::ofstream lef(lef_path);
+  lef << def::write_lef(netlist->library());
+  std::ofstream def_file(def_path);
+  def_file << def::write_def(*netlist);
+  std::ofstream verilog_file(verilog_path);
+  verilog_file << write_verilog(*netlist);
+  if (!lef || !def_file || !verilog_file) {
+    std::fprintf(stderr, "write failed under %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("wrote %s, %s and %s\n", lef_path.c_str(), def_path.c_str(),
+              verilog_path.c_str());
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "list") return cmd_list();
+
+  OptionsParser options = make_parser(command);
+  if (auto st = options.parse(argc - 2, argv + 2); !st) {
+    std::fprintf(stderr, "%s\n%s", st.message().c_str(), options.usage().c_str());
+    return 1;
+  }
+  if (options.get_flag("help")) {
+    std::fputs(options.usage().c_str(), stdout);
+    return 0;
+  }
+  if (command == "stats") return cmd_stats(options);
+  if (command == "partition") return cmd_partition(options);
+  if (command == "evaluate") return cmd_evaluate(options);
+  if (command == "kres") return cmd_kres(options);
+  if (command == "plan") return cmd_plan(options);
+  if (command == "timing") return cmd_timing(options);
+  if (command == "floorplan") return cmd_floorplan(options);
+  if (command == "emit") return cmd_emit(options);
+  std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
+  return 1;
+}
+
+}  // namespace
+}  // namespace sfqpart
+
+int main(int argc, char** argv) { return sfqpart::run(argc, argv); }
