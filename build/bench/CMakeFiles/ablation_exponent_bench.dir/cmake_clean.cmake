@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exponent_bench.dir/ablation_exponent_bench.cpp.o"
+  "CMakeFiles/ablation_exponent_bench.dir/ablation_exponent_bench.cpp.o.d"
+  "ablation_exponent_bench"
+  "ablation_exponent_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exponent_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weights_bench.dir/ablation_weights_bench.cpp.o"
+  "CMakeFiles/ablation_weights_bench.dir/ablation_weights_bench.cpp.o.d"
+  "ablation_weights_bench"
+  "ablation_weights_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weights_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

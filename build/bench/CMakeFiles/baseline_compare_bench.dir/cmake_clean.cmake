@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_compare_bench.dir/baseline_compare_bench.cpp.o"
+  "CMakeFiles/baseline_compare_bench.dir/baseline_compare_bench.cpp.o.d"
+  "baseline_compare_bench"
+  "baseline_compare_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_compare_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_overhead_bench.dir/coupling_overhead_bench.cpp.o"
+  "CMakeFiles/coupling_overhead_bench.dir/coupling_overhead_bench.cpp.o.d"
+  "coupling_overhead_bench"
+  "coupling_overhead_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_overhead_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

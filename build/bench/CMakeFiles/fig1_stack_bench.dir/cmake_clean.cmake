@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_stack_bench.dir/fig1_stack_bench.cpp.o"
+  "CMakeFiles/fig1_stack_bench.dir/fig1_stack_bench.cpp.o.d"
+  "fig1_stack_bench"
+  "fig1_stack_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_stack_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

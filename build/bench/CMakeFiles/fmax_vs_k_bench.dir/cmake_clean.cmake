@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmax_vs_k_bench.dir/fmax_vs_k_bench.cpp.o"
+  "CMakeFiles/fmax_vs_k_bench.dir/fmax_vs_k_bench.cpp.o.d"
+  "fmax_vs_k_bench"
+  "fmax_vs_k_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmax_vs_k_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fmax_vs_k_bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_bench.dir/scaling_bench.cpp.o"
+  "CMakeFiles/scaling_bench.dir/scaling_bench.cpp.o.d"
+  "scaling_bench"
+  "scaling_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

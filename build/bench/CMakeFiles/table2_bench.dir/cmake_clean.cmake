@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_bench.dir/table2_bench.cpp.o"
+  "CMakeFiles/table2_bench.dir/table2_bench.cpp.o.d"
+  "table2_bench"
+  "table2_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bench.dir/table3_bench.cpp.o"
+  "CMakeFiles/table3_bench.dir/table3_bench.cpp.o.d"
+  "table3_bench"
+  "table3_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/def_flow.dir/def_flow.cpp.o"
+  "CMakeFiles/def_flow.dir/def_flow.cpp.o.d"
+  "def_flow"
+  "def_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/def_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

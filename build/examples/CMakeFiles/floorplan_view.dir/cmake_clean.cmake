@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_view.dir/floorplan_view.cpp.o"
+  "CMakeFiles/floorplan_view.dir/floorplan_view.cpp.o.d"
+  "floorplan_view"
+  "floorplan_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

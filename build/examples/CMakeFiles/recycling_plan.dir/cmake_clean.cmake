@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recycling_plan.dir/recycling_plan.cpp.o"
+  "CMakeFiles/recycling_plan.dir/recycling_plan.cpp.o.d"
+  "recycling_plan"
+  "recycling_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recycling_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

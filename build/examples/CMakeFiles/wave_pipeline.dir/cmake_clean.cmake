@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_pipeline.dir/wave_pipeline.cpp.o"
+  "CMakeFiles/wave_pipeline.dir/wave_pipeline.cpp.o.d"
+  "wave_pipeline"
+  "wave_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

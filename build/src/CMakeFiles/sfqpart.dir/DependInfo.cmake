@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/annealing.cpp" "src/CMakeFiles/sfqpart.dir/baseline/annealing.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/baseline/annealing.cpp.o.d"
+  "/root/repo/src/baseline/fm_kway.cpp" "src/CMakeFiles/sfqpart.dir/baseline/fm_kway.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/baseline/fm_kway.cpp.o.d"
+  "/root/repo/src/baseline/layered_partition.cpp" "src/CMakeFiles/sfqpart.dir/baseline/layered_partition.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/baseline/layered_partition.cpp.o.d"
+  "/root/repo/src/baseline/random_partition.cpp" "src/CMakeFiles/sfqpart.dir/baseline/random_partition.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/baseline/random_partition.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/sfqpart.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/feedback.cpp" "src/CMakeFiles/sfqpart.dir/core/feedback.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/feedback.cpp.o.d"
+  "/root/repo/src/core/kres_search.cpp" "src/CMakeFiles/sfqpart.dir/core/kres_search.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/kres_search.cpp.o.d"
+  "/root/repo/src/core/move_eval.cpp" "src/CMakeFiles/sfqpart.dir/core/move_eval.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/move_eval.cpp.o.d"
+  "/root/repo/src/core/multilevel.cpp" "src/CMakeFiles/sfqpart.dir/core/multilevel.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/multilevel.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/CMakeFiles/sfqpart.dir/core/optimizer.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/optimizer.cpp.o.d"
+  "/root/repo/src/core/partition_io.cpp" "src/CMakeFiles/sfqpart.dir/core/partition_io.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/partition_io.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/CMakeFiles/sfqpart.dir/core/partitioner.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/partitioner.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/CMakeFiles/sfqpart.dir/core/refine.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/refine.cpp.o.d"
+  "/root/repo/src/core/soft_assign.cpp" "src/CMakeFiles/sfqpart.dir/core/soft_assign.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/soft_assign.cpp.o.d"
+  "/root/repo/src/def/def_parser.cpp" "src/CMakeFiles/sfqpart.dir/def/def_parser.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/def/def_parser.cpp.o.d"
+  "/root/repo/src/def/def_writer.cpp" "src/CMakeFiles/sfqpart.dir/def/def_writer.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/def/def_writer.cpp.o.d"
+  "/root/repo/src/def/lef_parser.cpp" "src/CMakeFiles/sfqpart.dir/def/lef_parser.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/def/lef_parser.cpp.o.d"
+  "/root/repo/src/def/lexer.cpp" "src/CMakeFiles/sfqpart.dir/def/lexer.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/def/lexer.cpp.o.d"
+  "/root/repo/src/floorplan/floorplan.cpp" "src/CMakeFiles/sfqpart.dir/floorplan/floorplan.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/floorplan/floorplan.cpp.o.d"
+  "/root/repo/src/gen/alu.cpp" "src/CMakeFiles/sfqpart.dir/gen/alu.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/gen/alu.cpp.o.d"
+  "/root/repo/src/gen/divider.cpp" "src/CMakeFiles/sfqpart.dir/gen/divider.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/gen/divider.cpp.o.d"
+  "/root/repo/src/gen/fold.cpp" "src/CMakeFiles/sfqpart.dir/gen/fold.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/gen/fold.cpp.o.d"
+  "/root/repo/src/gen/ksa.cpp" "src/CMakeFiles/sfqpart.dir/gen/ksa.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/gen/ksa.cpp.o.d"
+  "/root/repo/src/gen/logic_builder.cpp" "src/CMakeFiles/sfqpart.dir/gen/logic_builder.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/gen/logic_builder.cpp.o.d"
+  "/root/repo/src/gen/multiplier.cpp" "src/CMakeFiles/sfqpart.dir/gen/multiplier.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/gen/multiplier.cpp.o.d"
+  "/root/repo/src/gen/random_logic.cpp" "src/CMakeFiles/sfqpart.dir/gen/random_logic.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/gen/random_logic.cpp.o.d"
+  "/root/repo/src/gen/sim.cpp" "src/CMakeFiles/sfqpart.dir/gen/sim.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/gen/sim.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "src/CMakeFiles/sfqpart.dir/gen/suite.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/gen/suite.cpp.o.d"
+  "/root/repo/src/metrics/partition_metrics.cpp" "src/CMakeFiles/sfqpart.dir/metrics/partition_metrics.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/metrics/partition_metrics.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/sfqpart.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/netlist/cell_library.cpp" "src/CMakeFiles/sfqpart.dir/netlist/cell_library.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/netlist/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/dot.cpp" "src/CMakeFiles/sfqpart.dir/netlist/dot.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/netlist/dot.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/sfqpart.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/CMakeFiles/sfqpart.dir/netlist/stats.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/netlist/stats.cpp.o.d"
+  "/root/repo/src/netlist/validate.cpp" "src/CMakeFiles/sfqpart.dir/netlist/validate.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/netlist/validate.cpp.o.d"
+  "/root/repo/src/pulse/pulse_sim.cpp" "src/CMakeFiles/sfqpart.dir/pulse/pulse_sim.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/pulse/pulse_sim.cpp.o.d"
+  "/root/repo/src/recycling/bias_plan.cpp" "src/CMakeFiles/sfqpart.dir/recycling/bias_plan.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/recycling/bias_plan.cpp.o.d"
+  "/root/repo/src/recycling/coupling.cpp" "src/CMakeFiles/sfqpart.dir/recycling/coupling.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/recycling/coupling.cpp.o.d"
+  "/root/repo/src/recycling/insertion.cpp" "src/CMakeFiles/sfqpart.dir/recycling/insertion.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/recycling/insertion.cpp.o.d"
+  "/root/repo/src/recycling/power.cpp" "src/CMakeFiles/sfqpart.dir/recycling/power.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/recycling/power.cpp.o.d"
+  "/root/repo/src/sfq/balance.cpp" "src/CMakeFiles/sfqpart.dir/sfq/balance.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/sfq/balance.cpp.o.d"
+  "/root/repo/src/sfq/clocktree.cpp" "src/CMakeFiles/sfqpart.dir/sfq/clocktree.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/sfq/clocktree.cpp.o.d"
+  "/root/repo/src/sfq/fanout.cpp" "src/CMakeFiles/sfqpart.dir/sfq/fanout.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/sfq/fanout.cpp.o.d"
+  "/root/repo/src/sfq/mapper.cpp" "src/CMakeFiles/sfqpart.dir/sfq/mapper.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/sfq/mapper.cpp.o.d"
+  "/root/repo/src/timing/timing.cpp" "src/CMakeFiles/sfqpart.dir/timing/timing.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/timing/timing.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/sfqpart.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/sfqpart.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/sfqpart.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/sfqpart.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/sfqpart.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/sfqpart.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/sfqpart.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/util/table.cpp.o.d"
+  "/root/repo/src/verilog/verilog_parser.cpp" "src/CMakeFiles/sfqpart.dir/verilog/verilog_parser.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/verilog/verilog_parser.cpp.o.d"
+  "/root/repo/src/verilog/verilog_writer.cpp" "src/CMakeFiles/sfqpart.dir/verilog/verilog_writer.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/verilog/verilog_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

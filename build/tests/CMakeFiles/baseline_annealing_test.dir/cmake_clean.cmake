@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_annealing_test.dir/baseline/annealing_test.cpp.o"
+  "CMakeFiles/baseline_annealing_test.dir/baseline/annealing_test.cpp.o.d"
+  "baseline_annealing_test"
+  "baseline_annealing_test.pdb"
+  "baseline_annealing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_annealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

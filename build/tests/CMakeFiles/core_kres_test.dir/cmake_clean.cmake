@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_kres_test.dir/core/kres_test.cpp.o"
+  "CMakeFiles/core_kres_test.dir/core/kres_test.cpp.o.d"
+  "core_kres_test"
+  "core_kres_test.pdb"
+  "core_kres_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_kres_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

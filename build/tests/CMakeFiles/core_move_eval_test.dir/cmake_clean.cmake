@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_move_eval_test.dir/core/move_eval_test.cpp.o"
+  "CMakeFiles/core_move_eval_test.dir/core/move_eval_test.cpp.o.d"
+  "core_move_eval_test"
+  "core_move_eval_test.pdb"
+  "core_move_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_move_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multilevel_test.dir/core/multilevel_test.cpp.o"
+  "CMakeFiles/core_multilevel_test.dir/core/multilevel_test.cpp.o.d"
+  "core_multilevel_test"
+  "core_multilevel_test.pdb"
+  "core_multilevel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multilevel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_optimizer_suite_test.dir/core/optimizer_suite_test.cpp.o"
+  "CMakeFiles/core_optimizer_suite_test.dir/core/optimizer_suite_test.cpp.o.d"
+  "core_optimizer_suite_test"
+  "core_optimizer_suite_test.pdb"
+  "core_optimizer_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_optimizer_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_partitioner_test.dir/core/partitioner_test.cpp.o"
+  "CMakeFiles/core_partitioner_test.dir/core/partitioner_test.cpp.o.d"
+  "core_partitioner_test"
+  "core_partitioner_test.pdb"
+  "core_partitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

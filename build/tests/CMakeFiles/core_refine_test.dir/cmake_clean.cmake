@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_refine_test.dir/core/refine_test.cpp.o"
+  "CMakeFiles/core_refine_test.dir/core/refine_test.cpp.o.d"
+  "core_refine_test"
+  "core_refine_test.pdb"
+  "core_refine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_refine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

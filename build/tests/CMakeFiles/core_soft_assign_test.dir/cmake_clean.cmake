@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_soft_assign_test.dir/core/soft_assign_test.cpp.o"
+  "CMakeFiles/core_soft_assign_test.dir/core/soft_assign_test.cpp.o.d"
+  "core_soft_assign_test"
+  "core_soft_assign_test.pdb"
+  "core_soft_assign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_soft_assign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/def_def_writer_test.dir/def/def_writer_test.cpp.o"
+  "CMakeFiles/def_def_writer_test.dir/def/def_writer_test.cpp.o.d"
+  "def_def_writer_test"
+  "def_def_writer_test.pdb"
+  "def_def_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/def_def_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

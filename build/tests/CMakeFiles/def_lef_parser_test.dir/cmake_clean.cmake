@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/def_lef_parser_test.dir/def/lef_parser_test.cpp.o"
+  "CMakeFiles/def_lef_parser_test.dir/def/lef_parser_test.cpp.o.d"
+  "def_lef_parser_test"
+  "def_lef_parser_test.pdb"
+  "def_lef_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/def_lef_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/def_lexer_test.dir/def/lexer_test.cpp.o"
+  "CMakeFiles/def_lexer_test.dir/def/lexer_test.cpp.o.d"
+  "def_lexer_test"
+  "def_lexer_test.pdb"
+  "def_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/def_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

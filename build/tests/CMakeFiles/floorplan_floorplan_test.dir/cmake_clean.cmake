@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_floorplan_test.dir/floorplan/floorplan_test.cpp.o"
+  "CMakeFiles/floorplan_floorplan_test.dir/floorplan/floorplan_test.cpp.o.d"
+  "floorplan_floorplan_test"
+  "floorplan_floorplan_test.pdb"
+  "floorplan_floorplan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_floorplan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_alu_test.dir/gen/alu_test.cpp.o"
+  "CMakeFiles/gen_alu_test.dir/gen/alu_test.cpp.o.d"
+  "gen_alu_test"
+  "gen_alu_test.pdb"
+  "gen_alu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_alu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_divider_test.dir/gen/divider_test.cpp.o"
+  "CMakeFiles/gen_divider_test.dir/gen/divider_test.cpp.o.d"
+  "gen_divider_test"
+  "gen_divider_test.pdb"
+  "gen_divider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_divider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_ksa_test.dir/gen/ksa_test.cpp.o"
+  "CMakeFiles/gen_ksa_test.dir/gen/ksa_test.cpp.o.d"
+  "gen_ksa_test"
+  "gen_ksa_test.pdb"
+  "gen_ksa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_ksa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_multiplier_test.dir/gen/multiplier_test.cpp.o"
+  "CMakeFiles/gen_multiplier_test.dir/gen/multiplier_test.cpp.o.d"
+  "gen_multiplier_test"
+  "gen_multiplier_test.pdb"
+  "gen_multiplier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_multiplier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_random_logic_test.dir/gen/random_logic_test.cpp.o"
+  "CMakeFiles/gen_random_logic_test.dir/gen/random_logic_test.cpp.o.d"
+  "gen_random_logic_test"
+  "gen_random_logic_test.pdb"
+  "gen_random_logic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_random_logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_suite_test.dir/gen/suite_test.cpp.o"
+  "CMakeFiles/gen_suite_test.dir/gen/suite_test.cpp.o.d"
+  "gen_suite_test"
+  "gen_suite_test.pdb"
+  "gen_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

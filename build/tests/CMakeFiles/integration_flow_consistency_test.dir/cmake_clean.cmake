@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_flow_consistency_test.dir/integration/flow_consistency_test.cpp.o"
+  "CMakeFiles/integration_flow_consistency_test.dir/integration/flow_consistency_test.cpp.o.d"
+  "integration_flow_consistency_test"
+  "integration_flow_consistency_test.pdb"
+  "integration_flow_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_flow_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

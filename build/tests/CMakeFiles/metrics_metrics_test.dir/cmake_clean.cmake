@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_metrics_test.dir/metrics/metrics_test.cpp.o"
+  "CMakeFiles/metrics_metrics_test.dir/metrics/metrics_test.cpp.o.d"
+  "metrics_metrics_test"
+  "metrics_metrics_test.pdb"
+  "metrics_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

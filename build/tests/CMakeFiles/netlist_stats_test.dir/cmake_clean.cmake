@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_stats_test.dir/netlist/stats_test.cpp.o"
+  "CMakeFiles/netlist_stats_test.dir/netlist/stats_test.cpp.o.d"
+  "netlist_stats_test"
+  "netlist_stats_test.pdb"
+  "netlist_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

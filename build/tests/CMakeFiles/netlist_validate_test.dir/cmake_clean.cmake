@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_validate_test.dir/netlist/validate_test.cpp.o"
+  "CMakeFiles/netlist_validate_test.dir/netlist/validate_test.cpp.o.d"
+  "netlist_validate_test"
+  "netlist_validate_test.pdb"
+  "netlist_validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

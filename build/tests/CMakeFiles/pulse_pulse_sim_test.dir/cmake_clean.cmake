@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_pulse_sim_test.dir/pulse/pulse_sim_test.cpp.o"
+  "CMakeFiles/pulse_pulse_sim_test.dir/pulse/pulse_sim_test.cpp.o.d"
+  "pulse_pulse_sim_test"
+  "pulse_pulse_sim_test.pdb"
+  "pulse_pulse_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_pulse_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recycling_insertion_test.dir/recycling/insertion_test.cpp.o"
+  "CMakeFiles/recycling_insertion_test.dir/recycling/insertion_test.cpp.o.d"
+  "recycling_insertion_test"
+  "recycling_insertion_test.pdb"
+  "recycling_insertion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recycling_insertion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recycling_power_test.dir/recycling/power_test.cpp.o"
+  "CMakeFiles/recycling_power_test.dir/recycling/power_test.cpp.o.d"
+  "recycling_power_test"
+  "recycling_power_test.pdb"
+  "recycling_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recycling_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recycling_recycling_test.dir/recycling/recycling_test.cpp.o"
+  "CMakeFiles/recycling_recycling_test.dir/recycling/recycling_test.cpp.o.d"
+  "recycling_recycling_test"
+  "recycling_recycling_test.pdb"
+  "recycling_recycling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recycling_recycling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfq_balance_test.dir/sfq/balance_test.cpp.o"
+  "CMakeFiles/sfq_balance_test.dir/sfq/balance_test.cpp.o.d"
+  "sfq_balance_test"
+  "sfq_balance_test.pdb"
+  "sfq_balance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfq_balance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

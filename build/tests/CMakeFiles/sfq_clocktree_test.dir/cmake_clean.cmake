@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfq_clocktree_test.dir/sfq/clocktree_test.cpp.o"
+  "CMakeFiles/sfq_clocktree_test.dir/sfq/clocktree_test.cpp.o.d"
+  "sfq_clocktree_test"
+  "sfq_clocktree_test.pdb"
+  "sfq_clocktree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfq_clocktree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

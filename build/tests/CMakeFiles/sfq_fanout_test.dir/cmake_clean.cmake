@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfq_fanout_test.dir/sfq/fanout_test.cpp.o"
+  "CMakeFiles/sfq_fanout_test.dir/sfq/fanout_test.cpp.o.d"
+  "sfq_fanout_test"
+  "sfq_fanout_test.pdb"
+  "sfq_fanout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfq_fanout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

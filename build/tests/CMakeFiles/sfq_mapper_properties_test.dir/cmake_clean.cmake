@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfq_mapper_properties_test.dir/sfq/mapper_properties_test.cpp.o"
+  "CMakeFiles/sfq_mapper_properties_test.dir/sfq/mapper_properties_test.cpp.o.d"
+  "sfq_mapper_properties_test"
+  "sfq_mapper_properties_test.pdb"
+  "sfq_mapper_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfq_mapper_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_clock_skew_test.dir/timing/clock_skew_test.cpp.o"
+  "CMakeFiles/timing_clock_skew_test.dir/timing/clock_skew_test.cpp.o.d"
+  "timing_clock_skew_test"
+  "timing_clock_skew_test.pdb"
+  "timing_clock_skew_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_clock_skew_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

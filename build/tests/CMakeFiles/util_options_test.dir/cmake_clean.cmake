@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_options_test.dir/util/options_test.cpp.o"
+  "CMakeFiles/util_options_test.dir/util/options_test.cpp.o.d"
+  "util_options_test"
+  "util_options_test.pdb"
+  "util_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

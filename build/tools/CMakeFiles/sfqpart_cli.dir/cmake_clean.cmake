@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfqpart_cli.dir/sfqpart_cli.cpp.o"
+  "CMakeFiles/sfqpart_cli.dir/sfqpart_cli.cpp.o.d"
+  "sfqpart"
+  "sfqpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfqpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
