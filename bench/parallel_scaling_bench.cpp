@@ -1,0 +1,123 @@
+// Parallel-engine scaling: wall-clock of the restarts=8 Solver
+// configuration across thread counts, with a bit-identity check against
+// the serial run at every point. Prints the table, writes
+// results/BENCH_parallel_scaling.json (the perf-trajectory artifact this
+// repo tracks from PR 1 onward), then runs the google-benchmark timers.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/solver.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace sfqpart::bench {
+namespace {
+
+constexpr const char* kCircuit = "ksa32";
+constexpr int kRestarts = 8;
+constexpr std::uint64_t kSeed = 1;
+
+PartitionResult run_solver(const Netlist& netlist, int threads,
+                           double* wall_ms) {
+  SolverConfig config;
+  config.restarts = kRestarts;
+  config.seed = kSeed;
+  config.threads = threads;
+  const Solver solver(std::move(config));
+  const auto start = std::chrono::steady_clock::now();
+  auto result = solver.run(netlist);
+  const auto stop = std::chrono::steady_clock::now();
+  *wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  if (!result) {
+    std::fprintf(stderr, "solver: %s\n", result.status().message().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void print_scaling() {
+  const Netlist netlist = build_mapped(kCircuit);
+  double warmup_ms = 0.0;
+  run_solver(netlist, 1, &warmup_ms);  // touch caches before timing
+
+  double serial_ms = 0.0;
+  const PartitionResult serial = run_solver(netlist, 1, &serial_ms);
+
+  TablePrinter table({"threads", "wall ms", "speedup", "identical to serial"});
+  Json runs = Json::array();
+  for (const int threads : {1, 2, 4, 8}) {
+    double wall_ms = serial_ms;
+    PartitionResult result = serial;
+    if (threads > 1) result = run_solver(netlist, threads, &wall_ms);
+    const bool identical =
+        result.partition.plane_of == serial.partition.plane_of &&
+        result.discrete_total == serial.discrete_total &&
+        result.winning_restart == serial.winning_restart;
+    const double speedup = wall_ms > 0.0 ? serial_ms / wall_ms : 0.0;
+    table.add_row({std::to_string(threads), str_format("%.1f", wall_ms),
+                   str_format("%.2fx", speedup), identical ? "yes" : "NO"});
+    runs.append(Json::object()
+                    .set("threads", Json::number(static_cast<long long>(threads)))
+                    .set("wall_ms", Json::number(wall_ms))
+                    .set("speedup", Json::number(speedup))
+                    .set("discrete_total", Json::number(result.discrete_total))
+                    .set("winning_restart",
+                         Json::number(static_cast<long long>(result.winning_restart)))
+                    .set("identical_to_serial", Json::boolean(identical)));
+  }
+  std::printf("== Parallel restart engine: %s, restarts=%d, seed=%llu ==\n",
+              kCircuit, kRestarts,
+              static_cast<unsigned long long>(kSeed));
+  table.print();
+
+  const Json doc =
+      Json::object()
+          .set("bench", Json::string("parallel_scaling"))
+          .set("circuit", Json::string(kCircuit))
+          .set("restarts", Json::number(static_cast<long long>(kRestarts)))
+          .set("seed", Json::number(static_cast<long long>(kSeed)))
+          .set("hardware_threads",
+               Json::number(static_cast<long long>(ThreadPool::hardware_concurrency())))
+          .set("runs", std::move(runs));
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/BENCH_parallel_scaling.json";
+  std::ofstream file(path);
+  file << doc.dump() << "\n";
+  if (file) {
+    std::printf("[json] wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[json] write failed: %s\n", path.c_str());
+  }
+}
+
+void BM_SolverThreads(::benchmark::State& state) {
+  const Netlist netlist = build_mapped(kCircuit);
+  SolverConfig config;
+  config.restarts = kRestarts;
+  config.seed = kSeed;
+  config.threads = static_cast<int>(state.range(0));
+  const Solver solver(std::move(config));
+  for (auto _ : state) {
+    const auto result = solver.run(netlist);
+    ::benchmark::DoNotOptimize(result.is_ok() ? result->discrete_total : 0.0);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SolverThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(::benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::print_scaling();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

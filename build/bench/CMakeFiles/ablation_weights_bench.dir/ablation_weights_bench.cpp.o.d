@@ -232,9 +232,9 @@ bench/CMakeFiles/ablation_weights_bench.dir/ablation_weights_bench.cpp.o: \
  /root/repo/src/netlist/cell_library.h /usr/include/c++/12/optional \
  /root/repo/src/netlist/cell.h /root/repo/src/util/matrix.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/core/optimizer.h /root/repo/src/core/refine.h \
+ /root/repo/src/core/optimizer.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /root/repo/src/core/refine.h \
  /root/repo/src/util/rng.h /root/repo/src/gen/suite.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/sfq/mapper.h /root/repo/src/metrics/partition_metrics.h \
  /root/repo/src/metrics/report.h /root/repo/src/util/csv.h \
  /root/repo/src/util/status.h /root/repo/src/util/strings.h \

@@ -236,9 +236,9 @@ bench/CMakeFiles/baseline_compare_bench.dir/baseline_compare_bench.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
  /usr/include/c++/12/bits/std_mutex.h /root/repo/src/core/partitioner.h \
- /root/repo/src/core/optimizer.h /root/repo/src/core/refine.h \
+ /root/repo/src/core/optimizer.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /root/repo/src/core/refine.h \
  /root/repo/src/util/rng.h /root/repo/src/gen/suite.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/sfq/mapper.h /root/repo/src/metrics/partition_metrics.h \
  /root/repo/src/metrics/report.h /root/repo/src/util/csv.h \
  /root/repo/src/util/status.h /root/repo/src/util/strings.h \

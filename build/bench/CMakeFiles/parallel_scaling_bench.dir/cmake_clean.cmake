@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_scaling_bench.dir/parallel_scaling_bench.cpp.o"
+  "CMakeFiles/parallel_scaling_bench.dir/parallel_scaling_bench.cpp.o.d"
+  "parallel_scaling_bench"
+  "parallel_scaling_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_scaling_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -144,17 +144,17 @@ examples/CMakeFiles/baseline_compare.dir/baseline_compare.cpp.o: \
  /root/repo/src/util/matrix.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/core/optimizer.h /root/repo/src/core/refine.h \
- /root/repo/src/util/rng.h /root/repo/src/gen/suite.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/optimizer.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sfq/mapper.h \
- /root/repo/src/metrics/partition_metrics.h /root/repo/src/util/options.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/core/refine.h \
+ /root/repo/src/util/rng.h /root/repo/src/gen/suite.h \
+ /root/repo/src/sfq/mapper.h /root/repo/src/metrics/partition_metrics.h \
+ /root/repo/src/util/options.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/table.h

@@ -176,19 +176,18 @@ examples/CMakeFiles/def_flow.dir/def_flow.cpp.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/core/optimizer.h \
- /root/repo/src/core/refine.h /root/repo/src/util/rng.h \
- /root/repo/src/def/def_parser.h /root/repo/src/def/lef_parser.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/def/def_writer.h /root/repo/src/gen/suite.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sfq/mapper.h \
- /root/repo/src/metrics/partition_metrics.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/core/refine.h \
+ /root/repo/src/util/rng.h /root/repo/src/def/def_parser.h \
+ /root/repo/src/def/lef_parser.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/def/def_writer.h /root/repo/src/gen/suite.h \
+ /root/repo/src/sfq/mapper.h /root/repo/src/metrics/partition_metrics.h \
  /root/repo/src/metrics/report.h /root/repo/src/util/csv.h \
  /root/repo/src/util/options.h

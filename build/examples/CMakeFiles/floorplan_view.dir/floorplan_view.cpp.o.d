@@ -142,14 +142,14 @@ examples/CMakeFiles/floorplan_view.dir/floorplan_view.cpp.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/core/optimizer.h \
- /root/repo/src/core/refine.h /root/repo/src/util/rng.h \
- /root/repo/src/floorplan/floorplan.h /root/repo/src/gen/suite.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sfq/mapper.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/core/refine.h \
+ /root/repo/src/util/rng.h /root/repo/src/floorplan/floorplan.h \
+ /root/repo/src/gen/suite.h /root/repo/src/sfq/mapper.h \
  /root/repo/src/metrics/partition_metrics.h \
  /root/repo/src/recycling/coupling.h /root/repo/src/util/options.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \

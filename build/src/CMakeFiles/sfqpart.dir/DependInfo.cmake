@@ -22,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/partitioner.cpp" "src/CMakeFiles/sfqpart.dir/core/partitioner.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/partitioner.cpp.o.d"
   "/root/repo/src/core/refine.cpp" "src/CMakeFiles/sfqpart.dir/core/refine.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/refine.cpp.o.d"
   "/root/repo/src/core/soft_assign.cpp" "src/CMakeFiles/sfqpart.dir/core/soft_assign.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/soft_assign.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/CMakeFiles/sfqpart.dir/core/solver.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/core/solver.cpp.o.d"
   "/root/repo/src/def/def_parser.cpp" "src/CMakeFiles/sfqpart.dir/def/def_parser.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/def/def_parser.cpp.o.d"
   "/root/repo/src/def/def_writer.cpp" "src/CMakeFiles/sfqpart.dir/def/def_writer.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/def/def_writer.cpp.o.d"
   "/root/repo/src/def/lef_parser.cpp" "src/CMakeFiles/sfqpart.dir/def/lef_parser.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/def/lef_parser.cpp.o.d"
@@ -60,6 +61,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/rng.cpp" "src/CMakeFiles/sfqpart.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/util/rng.cpp.o.d"
   "/root/repo/src/util/strings.cpp" "src/CMakeFiles/sfqpart.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/util/strings.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/CMakeFiles/sfqpart.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/sfqpart.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/util/thread_pool.cpp.o.d"
   "/root/repo/src/verilog/verilog_parser.cpp" "src/CMakeFiles/sfqpart.dir/verilog/verilog_parser.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/verilog/verilog_parser.cpp.o.d"
   "/root/repo/src/verilog/verilog_writer.cpp" "src/CMakeFiles/sfqpart.dir/verilog/verilog_writer.cpp.o" "gcc" "src/CMakeFiles/sfqpart.dir/verilog/verilog_writer.cpp.o.d"
   )

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "def/def_writer.h"
 #include "floorplan/floorplan.h"
 #include "gen/suite.h"
@@ -49,9 +49,15 @@ int main(int argc, char** argv) {
   std::printf("validation: %s\n\n", check.ok() ? "clean" : check.issues[0].c_str());
 
   std::printf("=== 2. partition into %d ground planes ===\n", planes);
-  PartitionOptions popt;
-  popt.num_planes = planes;
-  const PartitionResult result = partition_netlist(netlist, popt);
+  SolverConfig config;
+  config.num_planes = planes;
+  config.threads = 0;  // all hardware threads; the result is still seed-exact
+  const auto solved = Solver(std::move(config)).run(netlist);
+  if (!solved) {
+    std::fprintf(stderr, "%s\n", solved.status().message().c_str());
+    return 1;
+  }
+  const PartitionResult& result = *solved;
   const PartitionMetrics metrics = compute_metrics(netlist, result.partition);
   std::fputs(format_partition_report(netlist, result.partition, metrics).c_str(),
              stdout);

@@ -1,10 +1,11 @@
 // Quickstart: generate an SFQ benchmark circuit, partition it into K
-// serially-biased ground planes, and inspect the result.
+// serially-biased ground planes with the Solver facade, and inspect the
+// result.
 //
-//   ./quickstart [--circuit ksa8] [--planes 5] [--seed 1]
+//   ./quickstart [--circuit ksa8] [--planes 5] [--seed 1] [--threads 0]
 #include <cstdio>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
 #include "metrics/report.h"
@@ -18,6 +19,8 @@ int main(int argc, char** argv) {
   options.add_string("circuit", "ksa8", "benchmark name (ksa4..ksa32, mult4/8, id4/8, c432...)");
   options.add_int("planes", 5, "number of ground planes K");
   options.add_int("seed", 1, "random seed");
+  options.add_int("threads", 0,
+                  "worker threads for the restarts (0 = hardware concurrency)");
   if (auto status = options.parse(argc - 1, argv + 1); !status) {
     std::fprintf(stderr, "%s\n%s", status.message().c_str(), options.usage().c_str());
     return 1;
@@ -38,14 +41,24 @@ int main(int argc, char** argv) {
   const NetlistStats stats = compute_stats(netlist);
   std::fputs(format_stats(netlist, stats).c_str(), stdout);
 
-  // 2. Partition it (gradient descent over the relaxed cost, Algorithm 1).
-  PartitionOptions popt;
-  popt.num_planes = static_cast<int>(options.get_int("planes"));
-  popt.seed = static_cast<std::uint64_t>(options.get_int("seed"));
-  const PartitionResult result = partition_netlist(netlist, popt);
-  std::printf("\noptimizer: %d iterations, %s, discrete cost %.6f "
+  // 2. Partition it (gradient descent over the relaxed cost, Algorithm 1;
+  // restarts run in parallel but the result is seed-deterministic at any
+  // thread count).
+  SolverConfig config;
+  config.num_planes = static_cast<int>(options.get_int("planes"));
+  config.seed = static_cast<std::uint64_t>(options.get_int("seed"));
+  config.threads = static_cast<int>(options.get_int("threads"));
+  const Solver solver(std::move(config));
+  const auto solved = solver.run(netlist);
+  if (!solved) {
+    std::fprintf(stderr, "%s\n", solved.status().message().c_str());
+    return 1;
+  }
+  const PartitionResult& result = *solved;
+  std::printf("\noptimizer (%d threads): %d iterations, %s, discrete cost %.6f "
               "(F1=%.4f F2=%.4f F3=%.4f)\n\n",
-              result.iterations, result.converged ? "converged" : "hit max-iters",
+              solver.effective_threads(), result.iterations,
+              result.converged ? "converged" : "hit max-iters",
               result.discrete_total, result.discrete_terms.f1,
               result.discrete_terms.f2, result.discrete_terms.f3);
 

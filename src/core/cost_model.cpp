@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/soft_assign.h"
+#include "util/thread_pool.h"
 
 namespace sfqpart {
 namespace {
@@ -13,6 +14,13 @@ double ipow(double base, int exponent) {
   for (int i = 0; i < exponent; ++i) result *= base;
   return result;
 }
+
+// Chunk size of the parallel reductions. The boundaries depend only on the
+// problem size, so per-chunk partials combined in chunk order give the
+// same floating-point result at every thread count (see thread_pool.h).
+// Sized so the paper-suite unit circuits stay single-chunk and only the
+// thousands-of-gates benches actually split.
+constexpr std::size_t kReductionGrain = 1024;
 
 }  // namespace
 
@@ -86,19 +94,36 @@ CostModel::Aggregates CostModel::aggregate(const Matrix& w) const {
   agg.plane_bias.assign(k, 0.0);
   agg.plane_area.assign(k, 0.0);
   agg.row_mean.assign(g, 0.0);
-  for (std::size_t i = 0; i < g; ++i) {
-    const auto row = w.row(i);
-    double label = 0.0;
-    double sum = 0.0;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double value = row[kk];
-      label += static_cast<double>(kk + 1) * value;  // plane values 1..K
-      sum += value;
-      agg.plane_bias[kk] += problem_->bias[i] * value;
-      agg.plane_area[kk] += problem_->area[i] * value;
+
+  // Per-chunk B/A partials, combined in chunk order below; labels and
+  // row_mean are element-wise and need no combine step.
+  const std::size_t chunks = chunk_count(g, kReductionGrain);
+  std::vector<double> bias_partial(chunks * k, 0.0);
+  std::vector<double> area_partial(chunks * k, 0.0);
+  parallel_chunks(pool_, g, kReductionGrain,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    double* bias_out = bias_partial.data() + chunk * k;
+    double* area_out = area_partial.data() + chunk * k;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto row = w.row(i);
+      double label = 0.0;
+      double sum = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double value = row[kk];
+        label += static_cast<double>(kk + 1) * value;  // plane values 1..K
+        sum += value;
+        bias_out[kk] += problem_->bias[i] * value;
+        area_out[kk] += problem_->area[i] * value;
+      }
+      agg.labels[i] = label;
+      agg.row_mean[i] = sum / static_cast<double>(k);
     }
-    agg.labels[i] = label;
-    agg.row_mean[i] = sum / static_cast<double>(k);
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      agg.plane_bias[kk] += bias_partial[c * k + kk];
+      agg.plane_area[kk] += area_partial[c * k + kk];
+    }
   }
   for (const double b : agg.plane_bias) agg.mean_bias += b;
   for (const double a : agg.plane_area) agg.mean_area += a;
@@ -113,11 +138,21 @@ CostTerms CostModel::terms_from(const Matrix& w, const Aggregates& agg) const {
   const double kd = static_cast<double>(k);
   CostTerms terms;
 
-  for (const auto& [a, b] : problem_->edges) {
-    const double delta = std::abs(agg.labels[static_cast<std::size_t>(a)] -
-                                  agg.labels[static_cast<std::size_t>(b)]);
-    terms.f1 += ipow(delta, weights_.distance_exponent);
-  }
+  const std::size_t edge_chunks =
+      chunk_count(problem_->edges.size(), kReductionGrain);
+  std::vector<double> f1_partial(edge_chunks, 0.0);
+  parallel_chunks(pool_, problem_->edges.size(), kReductionGrain,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    double sum = 0.0;
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& [a, b] = problem_->edges[e];
+      const double delta = std::abs(agg.labels[static_cast<std::size_t>(a)] -
+                                    agg.labels[static_cast<std::size_t>(b)]);
+      sum += ipow(delta, weights_.distance_exponent);
+    }
+    f1_partial[chunk] = sum;
+  });
+  for (const double sum : f1_partial) terms.f1 += sum;
   terms.f1 /= n1_;
 
   for (std::size_t kk = 0; kk < k; ++kk) {
@@ -129,16 +164,24 @@ CostTerms CostModel::terms_from(const Matrix& w, const Aggregates& agg) const {
   terms.f2 /= kd * n2_;
   terms.f3 /= kd * n3_;
 
-  for (std::size_t i = 0; i < g; ++i) {
-    const double mean = agg.row_mean[i];
-    const double sum_term = kd * mean - 1.0;
-    double variance = 0.0;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double dev = w(i, kk) - mean;
-      variance += dev * dev;
+  const std::size_t gate_chunks = chunk_count(g, kReductionGrain);
+  std::vector<double> f4_partial(gate_chunks, 0.0);
+  parallel_chunks(pool_, g, kReductionGrain,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double mean = agg.row_mean[i];
+      const double sum_term = kd * mean - 1.0;
+      double variance = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double dev = w(i, kk) - mean;
+        variance += dev * dev;
+      }
+      sum += sum_term * sum_term - variance / kd;
     }
-    terms.f4 += sum_term * sum_term - variance / kd;
-  }
+    f4_partial[chunk] = sum;
+  });
+  for (const double sum : f4_partial) terms.f4 += sum;
   terms.f4 /= n4_;
   return terms;
 }
@@ -183,25 +226,30 @@ CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad) const
 
   const double bias_coef = 2.0 / (kd * n2_);
   const double area_coef = 2.0 / (kd * n3_);
-  for (std::size_t i = 0; i < g; ++i) {
-    const auto grow = grad.row(i);
-    const double mean = agg.row_mean[i];
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      double value = weights_.c1 * dlabel[i] * static_cast<double>(kk + 1);
-      value += weights_.c2 * bias_coef * problem_->bias[i] *
-               (agg.plane_bias[kk] - agg.mean_bias);
-      value += weights_.c3 * area_coef * problem_->area[i] *
-               (agg.plane_area[kk] - agg.mean_area);
-      if (style_ == GradientStyle::kAnalytic) {
-        value += weights_.c4 * (2.0 / n4_) *
-                 ((kd * mean - 1.0) - (w(i, kk) - mean) / kd);
-      } else {
-        value += weights_.c4 * (2.0 / n4_) *
-                 ((kd + 1.0 / kd) * (mean - w(i, kk)) + kd - 1.0);
+  // Each gate's gradient row is independent; no reduction, so running the
+  // chunks on the pool cannot change any value.
+  parallel_chunks(pool_, g, kReductionGrain,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto grow = grad.row(i);
+      const double mean = agg.row_mean[i];
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        double value = weights_.c1 * dlabel[i] * static_cast<double>(kk + 1);
+        value += weights_.c2 * bias_coef * problem_->bias[i] *
+                 (agg.plane_bias[kk] - agg.mean_bias);
+        value += weights_.c3 * area_coef * problem_->area[i] *
+                 (agg.plane_area[kk] - agg.mean_area);
+        if (style_ == GradientStyle::kAnalytic) {
+          value += weights_.c4 * (2.0 / n4_) *
+                   ((kd * mean - 1.0) - (w(i, kk) - mean) / kd);
+        } else {
+          value += weights_.c4 * (2.0 / n4_) *
+                   ((kd + 1.0 / kd) * (mean - w(i, kk)) + kd - 1.0);
+        }
+        grow[kk] += value;
       }
-      grow[kk] += value;
     }
-  }
+  });
   return terms;
 }
 

@@ -19,6 +19,8 @@
 
 namespace sfqpart {
 
+class ThreadPool;
+
 struct CostWeights {
   double c1 = 1.0;   // interconnections
   double c2 = 0.35;  // bias-current balance
@@ -56,6 +58,15 @@ class CostModel {
   const CostWeights& weights() const { return weights_; }
   GradientStyle gradient_style() const { return style_; }
 
+  // Optional worker pool for the hot reductions (the F1 edge sum, the
+  // per-plane B/A accumulations, the F4 sum and the gradient fill). The
+  // summation *order* is fixed by the chunking of util/thread_pool.h and
+  // never by the pool, so attaching a pool changes wall-clock only: every
+  // result is bit-identical with 0, 1 or N threads. Null (the default)
+  // runs the same chunk order inline.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
   // Normalization constants (for incremental delta evaluation in refine).
   double n1() const { return n1_; }
   double n2() const { return n2_; }
@@ -89,6 +100,7 @@ class CostModel {
   const PartitionProblem* problem_;
   CostWeights weights_;
   GradientStyle style_;
+  ThreadPool* pool_ = nullptr;
   // Normalization constants (equations 4-6, 9). Computed once.
   double n1_ = 1.0;
   double n2_ = 1.0;

@@ -9,6 +9,7 @@
 // that makes one tuning work across circuit sizes.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/cost_model.h"
@@ -30,6 +31,10 @@ struct OptimizerOptions {
   bool normalize_step = true;
   // Record the cost after every iteration (for convergence tests/plots).
   bool record_trace = false;
+  // Called once per iteration with the just-evaluated weighted cost.
+  // Purely observational: it must not mutate the optimizer's state. The
+  // Solver facade uses it for live progress reporting.
+  std::function<void(int iteration, double cost)> on_iteration;
 };
 
 struct OptimizerResult {

@@ -1,68 +1,47 @@
 #include "core/partitioner.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
 
-#include "core/soft_assign.h"
-#include "util/rng.h"
+#include "core/solver.h"
 
 namespace sfqpart {
+namespace {
+
+// The legacy entry points keep their assert contract: misuse that the
+// Solver reports as a Status is fatal here (and would have been undefined
+// behaviour before the facade existed).
+template <typename T>
+T unwrap(StatusOr<T> result) {
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "sfqpart: %s\n", result.status().message().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
 
 LabelResult solve_labels(const PartitionProblem& problem,
                          const PartitionOptions& options) {
   assert(options.num_planes == problem.num_planes);
   assert(options.restarts >= 1);
-  const CostModel model(problem, options.weights, options.gradient_style);
-
-  Rng rng(options.seed);
-  LabelResult best;
-  bool have_best = false;
-
-  for (int restart = 0; restart < options.restarts; ++restart) {
-    Rng restart_rng = rng.split();
-    Matrix w0 = random_soft_assignment(problem.num_gates, problem.num_planes,
-                                       restart_rng);
-    OptimizerResult opt = run_gradient_descent(model, std::move(w0),
-                                               options.optimizer);
-    std::vector<int> labels = harden(opt.w);
-    if (options.refine) {
-      refine_partition(model, labels, restart_rng, options.refine_options);
-    }
-    const CostTerms discrete = model.evaluate_discrete(labels);
-    const double total = discrete.total(options.weights);
-    if (!have_best || total < best.discrete_total) {
-      have_best = true;
-      best.labels = std::move(labels);
-      best.soft_terms = opt.final_terms;
-      best.discrete_terms = discrete;
-      best.discrete_total = total;
-      best.iterations = opt.iterations;
-      best.winning_restart = restart;
-      best.converged = opt.converged;
-    }
-  }
-  return best;
+  return unwrap(Solver(SolverConfig::from(options)).solve(problem));
 }
 
 PartitionResult partition_problem(const PartitionProblem& problem,
                                   int netlist_num_gates,
                                   const PartitionOptions& options) {
-  LabelResult solved = solve_labels(problem, options);
-  PartitionResult result;
-  result.partition = problem.to_partition(solved.labels, netlist_num_gates);
-  result.soft_terms = solved.soft_terms;
-  result.discrete_terms = solved.discrete_terms;
-  result.discrete_total = solved.discrete_total;
-  result.iterations = solved.iterations;
-  result.winning_restart = solved.winning_restart;
-  result.converged = solved.converged;
-  return result;
+  assert(options.num_planes == problem.num_planes);
+  return unwrap(
+      Solver(SolverConfig::from(options)).run(problem, netlist_num_gates));
 }
 
 PartitionResult partition_netlist(const Netlist& netlist,
                                   const PartitionOptions& options) {
-  const PartitionProblem problem =
-      PartitionProblem::from_netlist(netlist, options.num_planes);
-  return partition_problem(problem, netlist.num_gates(), options);
+  return unwrap(Solver(SolverConfig::from(options)).run(netlist));
 }
 
 }  // namespace sfqpart

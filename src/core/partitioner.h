@@ -4,6 +4,14 @@
 // (Algorithm 1) -> argmax hardening (-> optional greedy refinement) ->
 // Partition. Multiple random restarts keep the best hardened result; one
 // restart with refinement off reproduces the published algorithm verbatim.
+//
+// DEPRECATED ENTRY POINTS: the free functions below predate the unified
+// `sfqpart::Solver` facade (core/solver.h), which aggregates all the
+// option structs into one SolverConfig, validates input with StatusOr
+// instead of asserts, runs restarts in parallel (`threads`), and reports
+// live progress. New code should use Solver; these wrappers remain so
+// existing callers and tests compile unchanged, and are bit-identical to
+// a single-threaded Solver run with the same options.
 #pragma once
 
 #include <cstdint>
@@ -39,11 +47,14 @@ struct PartitionResult {
   bool converged = false;
 };
 
+// Deprecated: prefer Solver::run(netlist) (core/solver.h). Thin wrapper
+// over a single-threaded Solver.
 PartitionResult partition_netlist(const Netlist& netlist,
                                   const PartitionOptions& options = {});
 
 // Same flow on a prebuilt problem (used by benches that sweep K without
-// re-extracting the netlist).
+// re-extracting the netlist). Deprecated: prefer
+// Solver::run(problem, netlist_num_gates).
 PartitionResult partition_problem(const PartitionProblem& problem,
                                   int netlist_num_gates,
                                   const PartitionOptions& options);
@@ -60,6 +71,7 @@ struct LabelResult {
   int winning_restart = 0;
   bool converged = false;
 };
+// Deprecated: prefer Solver::solve(problem) (core/solver.h).
 LabelResult solve_labels(const PartitionProblem& problem,
                          const PartitionOptions& options);
 

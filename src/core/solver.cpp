@@ -1,0 +1,190 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/soft_assign.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace sfqpart {
+namespace {
+
+// API-boundary validation: everything the old free functions guarded with
+// asserts (which vanish in release builds) becomes a reportable Status.
+Status validate(const SolverConfig& config, const PartitionProblem& problem) {
+  if (problem.num_planes < 2) {
+    return Status::error(str_format(
+        "Solver: num_planes must be >= 2 (got %d)", problem.num_planes));
+  }
+  if (problem.num_gates < 1) {
+    return Status::error("Solver: the problem has no partitionable gates");
+  }
+  if (config.restarts < 1) {
+    return Status::error(
+        str_format("Solver: restarts must be >= 1 (got %d)", config.restarts));
+  }
+  if (config.threads < 0) {
+    return Status::error(
+        str_format("Solver: threads must be >= 0 (got %d)", config.threads));
+  }
+  if (config.weights.distance_exponent < 1) {
+    return Status::error(str_format(
+        "Solver: distance_exponent must be >= 1 (got %d)",
+        config.weights.distance_exponent));
+  }
+  if (config.optimizer.max_iterations < 1) {
+    return Status::error(
+        str_format("Solver: optimizer.max_iterations must be >= 1 (got %d)",
+                   config.optimizer.max_iterations));
+  }
+  if (!(config.optimizer.learning_rate > 0.0)) {
+    return Status::error(
+        str_format("Solver: optimizer.learning_rate must be > 0 (got %g)",
+                   config.optimizer.learning_rate));
+  }
+  if (!(config.optimizer.margin >= 0.0)) {
+    return Status::error(str_format(
+        "Solver: optimizer.margin must be >= 0 (got %g)",
+        config.optimizer.margin));
+  }
+  return Status::ok();
+}
+
+// One restart's complete outcome; kept per restart so the deterministic
+// selection below is independent of completion order.
+struct RestartOutcome {
+  std::vector<int> labels;
+  CostTerms soft_terms;
+  CostTerms discrete_terms;
+  double discrete_total = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+}  // namespace
+
+SolverConfig SolverConfig::from(const PartitionOptions& options, int threads) {
+  SolverConfig config;
+  config.num_planes = options.num_planes;
+  config.restarts = options.restarts;
+  config.seed = options.seed;
+  config.threads = threads;
+  config.refine = options.refine;
+  config.weights = options.weights;
+  config.gradient_style = options.gradient_style;
+  config.optimizer = options.optimizer;
+  config.refine_options = options.refine_options;
+  return config;
+}
+
+Solver::Solver(SolverConfig config) : config_(std::move(config)) {
+  if (config_.threads >= 0 && effective_threads() > 1) {
+    pool_ = std::make_unique<ThreadPool>(effective_threads());
+  }
+}
+
+Solver::~Solver() = default;
+Solver::Solver(Solver&&) noexcept = default;
+Solver& Solver::operator=(Solver&&) noexcept = default;
+
+int Solver::effective_threads() const {
+  if (config_.threads == 0) return ThreadPool::hardware_concurrency();
+  return std::max(1, config_.threads);
+}
+
+StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
+  if (Status status = validate(config_, problem); !status) return status;
+
+  CostModel model(problem, config_.weights, config_.gradient_style);
+  model.set_thread_pool(pool_.get());
+
+  // Pre-split one stream per restart: restart r always consumes the r-th
+  // split() of the root Rng, exactly as the old serial loop did, so its
+  // stream depends only on (seed, r) — never on scheduling.
+  Rng root(config_.seed);
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(config_.restarts));
+  for (int r = 0; r < config_.restarts; ++r) streams.push_back(root.split());
+
+  const auto restarts = static_cast<std::size_t>(config_.restarts);
+  std::vector<RestartOutcome> outcomes(restarts);
+  std::mutex progress_mutex;
+
+  // Grain 1: chunk index == restart index. Restarts fan out across the
+  // pool; the cost-model reductions inside each restart then run inline
+  // on that worker (nested parallel_chunks never re-enters the queue).
+  parallel_chunks(pool_.get(), restarts, 1,
+                  [&](std::size_t r, std::size_t, std::size_t) {
+    Rng rng = streams[r];
+    Matrix w0 = random_soft_assignment(problem.num_gates, problem.num_planes,
+                                       rng);
+    OptimizerOptions optimizer = config_.optimizer;
+    if (config_.progress) {
+      optimizer.on_iteration = [this, &progress_mutex, r](int iteration,
+                                                          double cost) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        config_.progress({static_cast<int>(r), iteration, cost});
+      };
+    }
+    OptimizerResult opt = run_gradient_descent(model, std::move(w0), optimizer);
+    RestartOutcome& out = outcomes[r];
+    out.labels = harden(opt.w);
+    if (config_.refine) {
+      refine_partition(model, out.labels, rng, config_.refine_options);
+    }
+    out.soft_terms = opt.final_terms;
+    out.discrete_terms = model.evaluate_discrete(out.labels);
+    out.discrete_total = out.discrete_terms.total(config_.weights);
+    out.iterations = opt.iterations;
+    out.converged = opt.converged;
+  });
+
+  // Deterministic selection: strict < keeps the lowest restart index on
+  // discrete-cost ties, matching the serial engine regardless of which
+  // restart finished first.
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < restarts; ++r) {
+    if (outcomes[r].discrete_total < outcomes[best].discrete_total) best = r;
+  }
+
+  LabelResult result;
+  result.labels = std::move(outcomes[best].labels);
+  result.soft_terms = outcomes[best].soft_terms;
+  result.discrete_terms = outcomes[best].discrete_terms;
+  result.discrete_total = outcomes[best].discrete_total;
+  result.iterations = outcomes[best].iterations;
+  result.winning_restart = static_cast<int>(best);
+  result.converged = outcomes[best].converged;
+  return result;
+}
+
+StatusOr<PartitionResult> Solver::run(const PartitionProblem& problem,
+                                      int netlist_num_gates) const {
+  StatusOr<LabelResult> solved = solve(problem);
+  if (!solved) return solved.status();
+  PartitionResult result;
+  result.partition = problem.to_partition(solved->labels, netlist_num_gates);
+  result.soft_terms = solved->soft_terms;
+  result.discrete_terms = solved->discrete_terms;
+  result.discrete_total = solved->discrete_total;
+  result.iterations = solved->iterations;
+  result.winning_restart = solved->winning_restart;
+  result.converged = solved->converged;
+  return result;
+}
+
+StatusOr<PartitionResult> Solver::run(const Netlist& netlist) const {
+  if (config_.num_planes < 2) {
+    return Status::error(str_format(
+        "Solver: num_planes must be >= 2 (got %d)", config_.num_planes));
+  }
+  const PartitionProblem problem =
+      PartitionProblem::from_netlist(netlist, config_.num_planes);
+  return run(problem, netlist.num_gates());
+}
+
+}  // namespace sfqpart

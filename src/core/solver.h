@@ -1,0 +1,102 @@
+// Solver — the library's single partitioning entry point.
+//
+// One SolverConfig aggregates every knob that used to be scattered across
+// PartitionOptions / OptimizerOptions / RefineOptions / CostWeights (those
+// structs remain, as implementation detail), one StatusOr-returning run()
+// replaces asserts at the API boundary, and the independent random
+// restarts of the search execute on a thread pool.
+//
+// Determinism contract (DESIGN.md section 7): for a fixed seed the output
+// — labels, cost terms, winning restart — is bit-identical at every
+// `threads` value. Restart r always consumes the r-th split() of the root
+// Rng, restart results are selected by (cost, lowest restart index), and
+// every floating-point reduction uses a fixed chunk order.
+//
+//   Solver solver({.num_planes = 5, .seed = 1, .threads = 0});
+//   auto result = solver.run(netlist);
+//   if (!result) { /* result.status().message() */ }
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/partitioner.h"
+#include "util/status.h"
+
+namespace sfqpart {
+
+class ThreadPool;
+
+// Snapshot handed to the progress callback. `cost` is the weighted relaxed
+// total after `iteration` of `restart`; with several threads, callbacks
+// from concurrent restarts interleave (but never overlap — the Solver
+// serializes them).
+struct SolverProgress {
+  int restart = 0;
+  int iteration = 0;
+  double cost = 0.0;
+};
+
+struct SolverConfig {
+  int num_planes = 5;  // K (Table I uses 5)
+  // Independent random restarts; the best discrete-cost result wins, ties
+  // broken toward the lowest restart index.
+  int restarts = 3;
+  std::uint64_t seed = 1;
+  // Worker threads for restarts and cost-model reductions. 1 = serial
+  // (no pool is created); 0 = hardware concurrency.
+  int threads = 1;
+  // Post-hardening greedy improvement (not part of the published
+  // algorithm; see DESIGN.md section 6 and ablation A2).
+  bool refine = false;
+
+  CostWeights weights;
+  GradientStyle gradient_style = GradientStyle::kAnalytic;
+  OptimizerOptions optimizer;
+  RefineOptions refine_options;
+
+  // Optional live-convergence hook; invoked once per optimizer iteration
+  // of every restart. Must be thread-compatible (the Solver holds a lock
+  // around each call, so the callback itself needs no synchronization).
+  std::function<void(const SolverProgress&)> progress;
+
+  // Bridge for legacy call sites still holding a PartitionOptions.
+  static SolverConfig from(const PartitionOptions& options, int threads = 1);
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverConfig config = {});
+  ~Solver();
+  Solver(Solver&&) noexcept;
+  Solver& operator=(Solver&&) noexcept;
+
+  const SolverConfig& config() const { return config_; }
+  // Threads actually used (resolves threads == 0 to the hardware count).
+  int effective_threads() const;
+
+  // Partition a netlist end to end. Errors (K < 2, no partitionable
+  // gates, non-positive learning rate, ...) come back as Status instead
+  // of tripping asserts.
+  StatusOr<PartitionResult> run(const Netlist& netlist) const;
+
+  // Same flow on a prebuilt problem (benches that sweep K without
+  // re-extracting the netlist). `netlist_num_gates` sizes the expanded
+  // Partition. The problem's num_planes takes precedence over
+  // config().num_planes.
+  StatusOr<PartitionResult> run(const PartitionProblem& problem,
+                                int netlist_num_gates) const;
+
+  // Core solve returning compact labels for callers that manage their own
+  // problems (e.g. the multilevel driver).
+  StatusOr<LabelResult> solve(const PartitionProblem& problem) const;
+
+ private:
+  SolverConfig config_;
+  // Created once when effective_threads() > 1; restarts and reductions
+  // of every run() share it.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace sfqpart

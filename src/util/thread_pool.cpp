@@ -1,0 +1,111 @@
+#include "util/thread_pool.h"
+
+#include <cassert>
+#include <exception>
+#include <utility>
+
+namespace sfqpart {
+namespace {
+
+thread_local bool t_on_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  assert(task);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+int ThreadPool::hardware_concurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  if (grain < 1) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+void parallel_chunks(
+    ThreadPool* pool, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t chunk, std::size_t begin,
+                             std::size_t end)>& body) {
+  if (grain < 1) grain = 1;
+  const std::size_t chunks = chunk_count(n, grain);
+  if (chunks == 0) return;
+
+  const bool inline_only = pool == nullptr || pool->thread_count() <= 1 ||
+                           chunks <= 1 || ThreadPool::on_worker_thread();
+  if (inline_only) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      body(c, c * grain, std::min(n, (c + 1) * grain));
+    }
+    return;
+  }
+
+  // Fan the chunks out and wait; keep the first exception for the caller.
+  struct Join {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  } join;
+  join.remaining = chunks;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    pool->submit([&join, &body, c, grain, n] {
+      try {
+        body(c, c * grain, std::min(n, (c + 1) * grain));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(join.mutex);
+        if (!join.error) join.error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(join.mutex);
+      if (--join.remaining == 0) join.done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(join.mutex);
+  join.done.wait(lock, [&join] { return join.remaining == 0; });
+  if (join.error) std::rethrow_exception(join.error);
+}
+
+}  // namespace sfqpart

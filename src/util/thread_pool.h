@@ -1,0 +1,75 @@
+// Small fixed-size worker pool + deterministic parallel-chunk helper.
+//
+// The pool backs the partitioner's parallel restart engine and the cost
+// model's chunked reductions (see DESIGN.md section 7). Design rules:
+//
+//  * `parallel_chunks` splits [0, n) into chunks whose boundaries depend
+//    only on `n` and `grain` — never on the pool or thread count — so any
+//    reduction that combines per-chunk partials in ascending chunk order
+//    is bit-identical at 1, 2 or 64 threads.
+//  * Nested calls never deadlock: a call issued from a pool worker (or
+//    with a null/single-thread pool) runs its chunks inline on the
+//    calling thread.
+//  * The first exception thrown by a chunk body is rethrown on the
+//    calling thread once all chunks have finished.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sfqpart {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1). A one-worker pool is
+  // valid but `parallel_chunks` bypasses it and runs inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one task (FIFO). Tasks must not throw; wrap bodies that can
+  // (parallel_chunks does this for its chunk bodies).
+  void submit(std::function<void()> task);
+
+  // True when called from one of *any* pool's worker threads; used to run
+  // nested parallel_chunks inline instead of deadlocking on the queue.
+  static bool on_worker_thread();
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static int hardware_concurrency();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+// Number of chunks [0, n) splits into at the given grain (>= 1 entries
+// per chunk); 0 when n == 0. Exposed so reductions can size their
+// partial-sum buffers.
+std::size_t chunk_count(std::size_t n, std::size_t grain);
+
+// Invokes body(chunk, begin, end) for every chunk of [0, n). Chunks run
+// on `pool` when it has >= 2 workers, there is more than one chunk, and
+// the caller is not itself a pool worker; otherwise they run inline, in
+// ascending chunk order. Blocks until every chunk finished; rethrows the
+// first chunk exception.
+void parallel_chunks(
+    ThreadPool* pool, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t chunk, std::size_t begin,
+                             std::size_t end)>& body);
+
+}  // namespace sfqpart

@@ -1,0 +1,135 @@
+// The parallel engine's determinism contract (DESIGN.md section 7): for a
+// fixed seed, the Solver's output is bit-identical at every thread count,
+// and identical to the legacy serial free functions.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/soft_assign.h"
+#include "core/solver.h"
+#include "gen/suite.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sfqpart {
+namespace {
+
+void expect_terms_eq(const CostTerms& a, const CostTerms& b) {
+  // Bit-identical, not approximately equal: the chunked reductions fix
+  // the summation order independently of the thread count.
+  EXPECT_EQ(a.f1, b.f1);
+  EXPECT_EQ(a.f2, b.f2);
+  EXPECT_EQ(a.f3, b.f3);
+  EXPECT_EQ(a.f4, b.f4);
+}
+
+void expect_results_eq(const LabelResult& a, const LabelResult& b) {
+  EXPECT_EQ(a.labels, b.labels);
+  expect_terms_eq(a.soft_terms, b.soft_terms);
+  expect_terms_eq(a.discrete_terms, b.discrete_terms);
+  EXPECT_EQ(a.discrete_total, b.discrete_total);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.winning_restart, b.winning_restart);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+LabelResult solve_with_threads(const PartitionProblem& problem,
+                               std::uint64_t seed, int threads,
+                               int restarts = 4, bool refine = false) {
+  SolverConfig config;
+  config.num_planes = problem.num_planes;
+  config.restarts = restarts;
+  config.seed = seed;
+  config.threads = threads;
+  config.refine = refine;
+  const auto solved = Solver(std::move(config)).solve(problem);
+  EXPECT_TRUE(solved.is_ok()) << solved.status().message();
+  return *solved;
+}
+
+TEST(ParallelDeterminism, SerialTwoAndEightThreadsAgreeAcrossSeeds) {
+  for (const char* circuit : {"ksa8", "mult4"}) {
+    const Netlist netlist = build_mapped(circuit);
+    const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 5);
+    for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+      const LabelResult serial = solve_with_threads(problem, seed, 1);
+      expect_results_eq(serial, solve_with_threads(problem, seed, 2));
+      expect_results_eq(serial, solve_with_threads(problem, seed, 8));
+    }
+  }
+}
+
+TEST(ParallelDeterminism, RefinementPathAgreesAcrossThreadCounts) {
+  const Netlist netlist = build_mapped("ksa8");
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 4);
+  const LabelResult serial =
+      solve_with_threads(problem, 5, /*threads=*/1, /*restarts=*/3, true);
+  expect_results_eq(
+      serial, solve_with_threads(problem, 5, /*threads=*/8, /*restarts=*/3, true));
+}
+
+TEST(ParallelDeterminism, FacadeMatchesLegacyFreeFunctions) {
+  const Netlist netlist = build_mapped("ksa8");
+  PartitionOptions options;
+  options.seed = 11;
+  options.restarts = 3;
+  const PartitionResult legacy = partition_netlist(netlist, options);
+
+  const auto facade = Solver(SolverConfig::from(options, /*threads=*/8)).run(netlist);
+  ASSERT_TRUE(facade.is_ok()) << facade.status().message();
+  EXPECT_EQ(facade->partition.plane_of, legacy.partition.plane_of);
+  EXPECT_EQ(facade->discrete_total, legacy.discrete_total);
+  EXPECT_EQ(facade->winning_restart, legacy.winning_restart);
+  expect_terms_eq(facade->discrete_terms, legacy.discrete_terms);
+}
+
+// Regression for winning_restart under concurrency: every restart of a
+// one-gate, two-plane problem has the exact same discrete cost (no edges,
+// and both labels yield the same two |B_k - Bbar| values, so even the
+// floating-point sums are identical), so the tie MUST resolve to restart 0
+// no matter which restart finishes first.
+TEST(ParallelDeterminism, DiscreteCostTiesBreakToLowestRestartIndex) {
+  PartitionProblem problem;
+  problem.num_planes = 2;
+  problem.num_gates = 1;
+  problem.bias = {0.1};
+  problem.area = {16.0};
+  problem.gate_ids = {0};
+
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 99ULL}) {
+    const LabelResult serial = solve_with_threads(problem, seed, 1, 8);
+    EXPECT_EQ(serial.winning_restart, 0);
+    for (const int threads : {2, 8}) {
+      // Repeat the parallel runs: with a racy selection the winner would
+      // follow completion order and flap between equal-cost restarts.
+      for (int repeat = 0; repeat < 5; ++repeat) {
+        expect_results_eq(serial, solve_with_threads(problem, seed, threads, 8));
+      }
+    }
+  }
+}
+
+// The chunked reductions themselves: attaching a pool to a CostModel must
+// not change any term or gradient entry, even on problems big enough to
+// span several reduction chunks (ksa32 has ~1.5k gates / ~1.9k edges).
+TEST(ParallelDeterminism, CostModelReductionsAreSchedulingInvariant) {
+  const Netlist netlist = build_mapped("ksa32");
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 5);
+  CostModel serial_model(problem, CostWeights{});
+  CostModel pooled_model(problem, CostWeights{});
+  ThreadPool pool(8);
+  pooled_model.set_thread_pool(&pool);
+
+  Rng rng(3);
+  const Matrix w = random_soft_assignment(problem.num_gates, 5, rng);
+  expect_terms_eq(serial_model.evaluate(w), pooled_model.evaluate(w));
+
+  Matrix serial_grad;
+  Matrix pooled_grad;
+  expect_terms_eq(serial_model.evaluate_with_gradient(w, serial_grad),
+                  pooled_model.evaluate_with_gradient(w, pooled_grad));
+  EXPECT_EQ(serial_grad, pooled_grad);
+}
+
+}  // namespace
+}  // namespace sfqpart

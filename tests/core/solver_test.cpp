@@ -1,0 +1,128 @@
+#include "core/solver.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.h"
+#include "util/thread_pool.h"
+
+namespace sfqpart {
+namespace {
+
+TEST(Solver, RunPartitionsEveryPartitionableGate) {
+  const Netlist netlist = build_mapped("ksa4");
+  const auto result = Solver().run(netlist);
+  ASSERT_TRUE(result.is_ok()) << result.status().message();
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_partitionable(g)) {
+      EXPECT_NE(result->partition.plane(g), kUnassignedPlane);
+      EXPECT_LT(result->partition.plane(g), 5);
+    } else {
+      EXPECT_EQ(result->partition.plane(g), kUnassignedPlane);
+    }
+  }
+}
+
+TEST(Solver, RejectsInvalidConfigWithStatusInsteadOfAsserting) {
+  const Netlist netlist = build_mapped("ksa4");
+
+  SolverConfig too_few_planes;
+  too_few_planes.num_planes = 1;
+  EXPECT_FALSE(Solver(too_few_planes).run(netlist).is_ok());
+
+  SolverConfig no_restarts;
+  no_restarts.restarts = 0;
+  EXPECT_FALSE(Solver(no_restarts).run(netlist).is_ok());
+
+  SolverConfig negative_threads;
+  negative_threads.threads = -2;
+  EXPECT_FALSE(Solver(negative_threads).run(netlist).is_ok());
+
+  SolverConfig bad_rate;
+  bad_rate.optimizer.learning_rate = 0.0;
+  const auto status = Solver(bad_rate).run(netlist);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.status().message().find("learning_rate"), std::string::npos);
+
+  SolverConfig bad_exponent;
+  bad_exponent.weights.distance_exponent = 0;
+  EXPECT_FALSE(Solver(bad_exponent).run(netlist).is_ok());
+}
+
+TEST(Solver, RejectsProblemWithoutPartitionableGates) {
+  PartitionProblem empty;
+  empty.num_planes = 4;
+  const auto solved = Solver().solve(empty);
+  ASSERT_FALSE(solved.is_ok());
+  EXPECT_NE(solved.status().message().find("partitionable"), std::string::npos);
+}
+
+TEST(Solver, EffectiveThreadsResolvesZeroToHardware) {
+  SolverConfig hardware;
+  hardware.threads = 0;
+  EXPECT_EQ(Solver(hardware).effective_threads(),
+            ThreadPool::hardware_concurrency());
+  SolverConfig four;
+  four.threads = 4;
+  EXPECT_EQ(Solver(four).effective_threads(), 4);
+  EXPECT_EQ(Solver().effective_threads(), 1);
+}
+
+TEST(Solver, ConfigBridgesFromPartitionOptions) {
+  PartitionOptions options;
+  options.num_planes = 7;
+  options.restarts = 9;
+  options.seed = 1234;
+  options.refine = true;
+  options.weights.c2 = 0.5;
+  options.optimizer.max_iterations = 123;
+  const SolverConfig config = SolverConfig::from(options, 3);
+  EXPECT_EQ(config.num_planes, 7);
+  EXPECT_EQ(config.restarts, 9);
+  EXPECT_EQ(config.seed, 1234u);
+  EXPECT_EQ(config.threads, 3);
+  EXPECT_TRUE(config.refine);
+  EXPECT_EQ(config.weights.c2, 0.5);
+  EXPECT_EQ(config.optimizer.max_iterations, 123);
+}
+
+TEST(Solver, ProgressCallbackSeesEveryRestart) {
+  const Netlist netlist = build_mapped("ksa4");
+  std::vector<SolverProgress> events;  // guarded by the Solver's own lock
+  SolverConfig config;
+  config.restarts = 3;
+  config.threads = 4;
+  config.progress = [&events](const SolverProgress& p) { events.push_back(p); };
+  const auto result = Solver(std::move(config)).run(netlist);
+  ASSERT_TRUE(result.is_ok()) << result.status().message();
+
+  ASSERT_FALSE(events.empty());
+  std::vector<bool> seen(3, false);
+  int last_cost_ok = 0;
+  for (const SolverProgress& p : events) {
+    ASSERT_GE(p.restart, 0);
+    ASSERT_LT(p.restart, 3);
+    seen[static_cast<std::size_t>(p.restart)] = true;
+    EXPECT_GE(p.iteration, 0);
+    if (p.cost >= 0.0) ++last_cost_ok;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+  EXPECT_GT(last_cost_ok, 0);
+}
+
+TEST(Solver, RunOnPrebuiltProblemMatchesNetlistRun) {
+  const Netlist netlist = build_mapped("ksa4");
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 5);
+  const auto via_netlist = Solver().run(netlist);
+  const auto via_problem = Solver().run(problem, netlist.num_gates());
+  ASSERT_TRUE(via_netlist.is_ok());
+  ASSERT_TRUE(via_problem.is_ok());
+  EXPECT_EQ(via_netlist->partition.plane_of, via_problem->partition.plane_of);
+  EXPECT_EQ(via_netlist->discrete_total, via_problem->discrete_total);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,151 @@
+#include "util/thread_pool.h"
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+TEST(ChunkCount, MatchesCeilDivision) {
+  EXPECT_EQ(chunk_count(0, 4), 0u);
+  EXPECT_EQ(chunk_count(1, 4), 1u);
+  EXPECT_EQ(chunk_count(4, 4), 1u);
+  EXPECT_EQ(chunk_count(5, 4), 2u);
+  EXPECT_EQ(chunk_count(8, 4), 2u);
+  EXPECT_EQ(chunk_count(9, 4), 3u);
+  // Degenerate grain clamps to 1.
+  EXPECT_EQ(chunk_count(3, 0), 3u);
+}
+
+TEST(ParallelChunks, CoversEveryIndexExactlyOnceWithoutPool) {
+  std::vector<int> hits(103, 0);
+  parallel_chunks(nullptr, hits.size(), 10,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelChunks, CoversEveryIndexExactlyOnceOnPool) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_chunks(&pool, hits.size(), 7,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelChunks, ChunkBoundariesDependOnlyOnSizeAndGrain) {
+  // The determinism contract: the (chunk, begin, end) triples are the same
+  // whether the chunks run inline or on any pool.
+  const auto collect = [](ThreadPool* pool) {
+    std::vector<std::array<std::size_t, 3>> spans(chunk_count(23, 5));
+    parallel_chunks(pool, 23, 5,
+                    [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                      spans[chunk] = {chunk, begin, end};
+                    });
+    return spans;
+  };
+  ThreadPool two(2);
+  ThreadPool eight(8);
+  const auto inline_spans = collect(nullptr);
+  EXPECT_EQ(inline_spans, collect(&two));
+  EXPECT_EQ(inline_spans, collect(&eight));
+  EXPECT_EQ(inline_spans.back()[2], 23u);
+}
+
+TEST(ParallelChunks, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_chunks(&pool, 100, 1,
+                      [&](std::size_t chunk, std::size_t, std::size_t) {
+                        if (chunk == 13) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+  // All chunks drained; the pool is intact and reusable afterwards.
+  std::atomic<int> ran{0};
+  parallel_chunks(&pool, 10, 1,
+                  [&](std::size_t, std::size_t, std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ParallelChunks, PoolIsReusableAcrossManyRounds) {
+  ThreadPool pool(3);
+  long long total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<long long> partial(chunk_count(256, 16), 0);
+    parallel_chunks(&pool, 256, 16,
+                    [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        partial[chunk] += static_cast<long long>(i);
+                      }
+                    });
+    total += std::accumulate(partial.begin(), partial.end(), 0LL);
+  }
+  EXPECT_EQ(total, 50LL * (255LL * 256LL / 2));
+}
+
+TEST(ParallelChunks, NestedCallsRunInlineInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_chunks(&pool, 8, 1, [&](std::size_t outer, std::size_t, std::size_t) {
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    // Re-entering parallel_chunks from a worker must not queue (the two
+    // workers are both busy with outer chunks: queueing would deadlock).
+    parallel_chunks(&pool, 8, 1,
+                    [&](std::size_t inner, std::size_t, std::size_t) {
+                      ++hits[outer * 8 + inner];
+                    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerRunsSubmittedTasksInFifoOrder) {
+  std::vector<int> order;
+  std::mutex mutex;
+  std::condition_variable done;
+  int remaining = 20;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&, i] {
+        std::lock_guard<std::mutex> lock(mutex);
+        order.push_back(i);
+        if (--remaining == 0) done.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return remaining == 0; });
+  }
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+  }  // ~ThreadPool joins after the queue is empty
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ReportsWorkerContext) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  EXPECT_GE(ThreadPool::hardware_concurrency(), 1);
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.thread_count(), 2);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -3,7 +3,7 @@
 //   sfqpart list
 //   sfqpart stats     --circuit ksa8 | --def design.def [--json]
 //   sfqpart partition --circuit ksa8 --planes 5 [--refine] [--method gd|multilevel|annealing|layered|fm|random]
-//                     [--json] [--csv out.csv] [--dot out.dot]
+//                     [--threads N] [--progress] [--json] [--csv out.csv] [--dot out.dot]
 //   sfqpart kres      --circuit id8 --limit 100 [--json]
 //   sfqpart plan      --circuit ksa8 --planes 4 [--json]
 //   sfqpart emit      --circuit mult4 --dir out/
@@ -22,7 +22,7 @@
 #include "core/kres_search.h"
 #include "core/multilevel.h"
 #include "core/partition_io.h"
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "def/def_parser.h"
 #include "def/def_writer.h"
 #include "def/lef_parser.h"
@@ -63,6 +63,10 @@ OptionsParser make_parser(const std::string& command) {
   parser.add_string("method", "gd",
                     "partitioner: gd|multilevel|annealing|layered|fm|random");
   parser.add_flag("refine", false, "greedy refinement after gradient descent");
+  parser.add_int("threads", 0,
+                 "worker threads for gd restarts (0 = hardware concurrency)");
+  parser.add_flag("progress", false,
+                  "report live gd convergence (restart/iteration/cost) on stderr");
   parser.add_string("csv", "", "write gate->plane assignments to this CSV file");
   parser.add_string("dot", "", "write a plane-colored DOT graph to this file");
   parser.add_double("limit", 100.0, "bias pad limit in mA (kres)");
@@ -167,16 +171,27 @@ int cmd_stats(const OptionsParser& options) {
   return 0;
 }
 
-std::optional<Partition> run_method(const Netlist& netlist, const OptionsParser& options) {
+StatusOr<Partition> run_method(const Netlist& netlist, const OptionsParser& options) {
   const int planes = static_cast<int>(options.get_int("planes"));
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed"));
   const std::string method = options.get_string("method");
   if (method == "gd") {
-    PartitionOptions popt;
-    popt.num_planes = planes;
-    popt.seed = seed;
-    popt.refine = options.get_flag("refine");
-    return partition_netlist(netlist, popt).partition;
+    SolverConfig config;
+    config.num_planes = planes;
+    config.seed = seed;
+    config.refine = options.get_flag("refine");
+    config.threads = static_cast<int>(options.get_int("threads"));
+    if (options.get_flag("progress")) {
+      config.progress = [](const SolverProgress& p) {
+        if (p.iteration % 50 == 0) {
+          std::fprintf(stderr, "[gd] restart %d iteration %d cost %.6f\n",
+                       p.restart, p.iteration, p.cost);
+        }
+      };
+    }
+    auto result = Solver(std::move(config)).run(netlist);
+    if (!result) return result.status();
+    return std::move(result->partition);
   }
   if (method == "multilevel") {
     MultilevelOptions mopt;
@@ -195,7 +210,7 @@ std::optional<Partition> run_method(const Netlist& netlist, const OptionsParser&
     return fm_kway_partition(netlist, planes, fopt).partition;
   }
   if (method == "random") return random_partition(netlist, planes, seed);
-  return std::nullopt;
+  return Status::error("unknown method '" + method + "'");
 }
 
 int cmd_partition(const OptionsParser& options) {
@@ -206,7 +221,7 @@ int cmd_partition(const OptionsParser& options) {
   }
   const auto partition = run_method(*netlist, options);
   if (!partition) {
-    std::fprintf(stderr, "unknown method '%s'\n", options.get_string("method").c_str());
+    std::fprintf(stderr, "%s\n", partition.status().message().c_str());
     return 1;
   }
   const PartitionMetrics metrics = compute_metrics(*netlist, *partition);
@@ -323,7 +338,7 @@ int cmd_plan(const OptionsParser& options) {
   }
   const auto partition = run_method(*netlist, options);
   if (!partition) {
-    std::fprintf(stderr, "unknown method '%s'\n", options.get_string("method").c_str());
+    std::fprintf(stderr, "%s\n", partition.status().message().c_str());
     return 1;
   }
   const BiasPlan plan = make_bias_plan(*netlist, *partition);
@@ -367,7 +382,7 @@ int cmd_floorplan(const OptionsParser& options) {
   }
   const auto partition = run_method(*netlist, options);
   if (!partition) {
-    std::fprintf(stderr, "unknown method '%s'\n", options.get_string("method").c_str());
+    std::fprintf(stderr, "%s\n", partition.status().message().c_str());
     return 1;
   }
   const Floorplan plan = build_floorplan(*netlist, *partition);
@@ -395,7 +410,7 @@ int cmd_timing(const OptionsParser& options) {
   // the floorplan's wire delays.
   const auto partition = run_method(*netlist, options);
   if (!partition) {
-    std::fprintf(stderr, "unknown method '%s'\n", options.get_string("method").c_str());
+    std::fprintf(stderr, "%s\n", partition.status().message().c_str());
     return 1;
   }
   const Floorplan floorplan = build_floorplan(*netlist, *partition);
