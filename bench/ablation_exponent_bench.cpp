@@ -16,7 +16,8 @@ PartitionMetrics run_with_exponent(const Netlist& netlist, int exponent) {
   PartitionOptions options;
   options.num_planes = kPlanes;
   options.weights.distance_exponent = exponent;
-  return compute_metrics(netlist, partition_netlist(netlist, options).partition);
+  return compute_metrics(
+      netlist, Solver(SolverConfig::from(options)).run(netlist)->partition);
 }
 
 void print_ablation() {
@@ -50,7 +51,8 @@ void BM_ExponentCost(::benchmark::State& state) {
   options.num_planes = kPlanes;
   options.weights.distance_exponent = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    ::benchmark::DoNotOptimize(partition_netlist(netlist, options).discrete_total);
+    ::benchmark::DoNotOptimize(
+        Solver(SolverConfig::from(options)).run(netlist)->discrete_total);
   }
 }
 BENCHMARK(BM_ExponentCost)->Arg(2)->Arg(4)->Unit(::benchmark::kMillisecond);

@@ -55,7 +55,8 @@ void print_ablation() {
   for (const char* name : {"ksa4", "ksa8"}) {
     const Netlist netlist = build_mapped(name);
     for (const Variant& variant : variants()) {
-      const PartitionResult result = partition_netlist(netlist, variant.options);
+      const PartitionResult result =
+          Solver(SolverConfig::from(variant.options)).run(netlist).value();
       const PartitionMetrics m = compute_metrics(netlist, result.partition);
       table.add_row({variant.label, name, fmt_percent(m.frac_within(1)),
                      fmt_percent(m.frac_within(2)), fmt_percent(m.icomp_frac(), 2),
@@ -80,7 +81,8 @@ void BM_RefineOverhead(::benchmark::State& state) {
   options.num_planes = kPlanes;
   options.refine = state.range(0) != 0;
   for (auto _ : state) {
-    ::benchmark::DoNotOptimize(partition_netlist(netlist, options).discrete_total);
+    ::benchmark::DoNotOptimize(
+        Solver(SolverConfig::from(options)).run(netlist)->discrete_total);
   }
 }
 BENCHMARK(BM_RefineOverhead)->Arg(0)->Arg(1)->Unit(::benchmark::kMillisecond);

@@ -5,33 +5,51 @@
 // CSV copy under results/, and then runs its google-benchmark timers.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include <benchmark/benchmark.h>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
 #include "metrics/report.h"
+#include "obs/observer.h"
+#include "obs/run_report.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 namespace sfqpart::bench {
 
-// One gradient-descent partitioning run with the repo's default options.
+// One gradient-descent partitioning run with the repo's default options
+// (serial Solver, bit-identical to the pre-facade free functions). Attach
+// an obs::RunReport as `observer` to collect convergence curves and stage
+// wall times without changing the result.
 inline PartitionResult run_gd(const Netlist& netlist, int num_planes,
-                              std::uint64_t seed = 1) {
-  PartitionOptions options;
-  options.num_planes = num_planes;
-  options.seed = seed;
-  return partition_netlist(netlist, options);
+                              std::uint64_t seed = 1,
+                              obs::SolverObserver* observer = nullptr) {
+  SolverConfig config;
+  config.num_planes = num_planes;
+  config.seed = seed;
+  config.observer = observer;
+  auto result = Solver(std::move(config)).run(netlist);
+  if (!result) {
+    std::fprintf(stderr, "bench: %s\n", result.status().message().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
 }
 
 inline PartitionMetrics run_gd_metrics(const Netlist& netlist, int num_planes,
-                                       std::uint64_t seed = 1) {
-  return compute_metrics(netlist, run_gd(netlist, num_planes, seed).partition);
+                                       std::uint64_t seed = 1,
+                                       obs::SolverObserver* observer = nullptr) {
+  return compute_metrics(
+      netlist, run_gd(netlist, num_planes, seed, observer).partition);
 }
 
 // Writes the CSV next to the binary's working directory under results/.
@@ -43,6 +61,20 @@ inline void write_results_csv(const std::string& name, const CsvWriter& csv) {
     std::printf("[csv] wrote %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "[csv] %s\n", status.message().c_str());
+  }
+}
+
+// Writes a JSON document under results/ (the BENCH_* artifacts).
+inline void write_results_json(const std::string& name, const Json& doc) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/" + name + ".json";
+  std::ofstream file(path);
+  file << doc.dump() << "\n";
+  if (file) {
+    std::printf("[json] wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[json] write failed: %s\n", path.c_str());
   }
 }
 

@@ -22,11 +22,13 @@ constexpr int kRestarts = 8;
 constexpr std::uint64_t kSeed = 1;
 
 PartitionResult run_solver(const Netlist& netlist, int threads,
-                           double* wall_ms) {
+                           double* wall_ms,
+                           obs::SolverObserver* observer = nullptr) {
   SolverConfig config;
   config.restarts = kRestarts;
   config.seed = kSeed;
   config.threads = threads;
+  config.observer = observer;
   const Solver solver(std::move(config));
   const auto start = std::chrono::steady_clock::now();
   auto result = solver.run(netlist);
@@ -75,6 +77,22 @@ void print_scaling() {
               static_cast<unsigned long long>(kSeed));
   table.print();
 
+  // One extra observed run: the RunReport must not perturb the result
+  // (bit-identity against the unobserved serial run) and its per-stage
+  // breakdown lands in the artifact. The timed runs above stay
+  // observer-free so the headline numbers measure the disabled path.
+  obs::RunReport report;
+  double observed_ms = 0.0;
+  const PartitionResult observed = run_solver(netlist, 1, &observed_ms, &report);
+  const bool observed_identical =
+      observed.partition.plane_of == serial.partition.plane_of &&
+      observed.discrete_total == serial.discrete_total &&
+      observed.winning_restart == serial.winning_restart;
+  std::printf("observed run identical to serial: %s "
+              "(stage ms: run %.1f, optimize %.1f, harden %.1f)\n",
+              observed_identical ? "yes" : "NO", report.stage_ms("run"),
+              report.stage_ms("optimize"), report.stage_ms("harden"));
+
   const Json doc =
       Json::object()
           .set("bench", Json::string("parallel_scaling"))
@@ -83,17 +101,13 @@ void print_scaling() {
           .set("seed", Json::number(static_cast<long long>(kSeed)))
           .set("hardware_threads",
                Json::number(static_cast<long long>(ThreadPool::hardware_concurrency())))
-          .set("runs", std::move(runs));
-  std::error_code ec;
-  std::filesystem::create_directories("results", ec);
-  const std::string path = "results/BENCH_parallel_scaling.json";
-  std::ofstream file(path);
-  file << doc.dump() << "\n";
-  if (file) {
-    std::printf("[json] wrote %s\n", path.c_str());
-  } else {
-    std::fprintf(stderr, "[json] write failed: %s\n", path.c_str());
-  }
+          .set("runs", std::move(runs))
+          .set("observed_run",
+               Json::object()
+                   .set("identical_to_serial", Json::boolean(observed_identical))
+                   .set("wall_ms", Json::number(observed_ms))
+                   .set("report", report.to_json()));
+  write_results_json("BENCH_parallel_scaling", doc);
 }
 
 void BM_SolverThreads(::benchmark::State& state) {

@@ -41,7 +41,8 @@ void BM_PartitionScaling(::benchmark::State& state, const char* name) {
   PartitionOptions options;
   options.restarts = 1;
   for (auto _ : state) {
-    ::benchmark::DoNotOptimize(partition_netlist(netlist, options).discrete_total);
+    ::benchmark::DoNotOptimize(
+        Solver(SolverConfig::from(options)).run(netlist)->discrete_total);
   }
   state.counters["gates"] = netlist.num_partitionable_gates();
   state.counters["edges"] = static_cast<double>(netlist.unique_edges().size());
@@ -59,7 +60,8 @@ void BM_KScaling(::benchmark::State& state) {
   options.num_planes = static_cast<int>(state.range(0));
   options.restarts = 1;
   for (auto _ : state) {
-    ::benchmark::DoNotOptimize(partition_netlist(netlist, options).discrete_total);
+    ::benchmark::DoNotOptimize(
+        Solver(SolverConfig::from(options)).run(netlist)->discrete_total);
   }
 }
 BENCHMARK(BM_KScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(::benchmark::kMillisecond);

@@ -16,12 +16,13 @@ constexpr int kPlanes = 5;
 void print_table1() {
   TablePrinter ours({"Circuit", "#Gates", "#Conn", "d<=1", "d<=2", "B_cir (mA)",
                      "B_max (mA)", "I_comp (%)", "A_cir (mm2)", "A_max (mm2)",
-                     "A_FS (%)"});
+                     "A_FS (%)", "wall (ms)", "iters"});
   TablePrinter compare({"Circuit", "d<=1 ours", "d<=1 paper", "d<=2 ours",
                         "d<=2 paper", "I_comp ours", "I_comp paper", "A_FS ours",
                         "A_FS paper", "gates ours/paper"});
   CsvWriter csv({"circuit", "gates", "connections", "d1", "d2", "bcir_ma",
-                 "bmax_ma", "icomp_pct", "acir_mm2", "amax_mm2", "afs_pct"});
+                 "bmax_ma", "icomp_pct", "acir_mm2", "amax_mm2", "afs_pct",
+                 "wall_ms", "iterations"});
 
   Averager d1;
   Averager d2;
@@ -34,13 +35,19 @@ void print_table1() {
 
   for (const SuiteEntry& entry : benchmark_suite()) {
     const Netlist netlist = build_mapped(entry);
-    const PartitionMetrics m = run_gd_metrics(netlist, kPlanes);
+    // The RunReport supplies the timing columns; attaching it does not
+    // change the partition (observer non-perturbation, DESIGN.md 8.3).
+    obs::RunReport report;
+    const PartitionMetrics m = run_gd_metrics(netlist, kPlanes, 1, &report);
+    const double wall_ms = report.stage_ms("run");
+    const int iterations = report.result().iterations;
     ours.add_row({entry.name, std::to_string(m.num_gates),
                   std::to_string(m.num_connections), fmt_percent(m.frac_within(1)),
                   fmt_percent(m.frac_within(2)), fmt_double(m.total_bias_ma, 2),
                   fmt_double(m.bmax_ma, 2), fmt_percent(m.icomp_frac(), 2),
                   fmt_double(m.total_area_mm2(), 4), fmt_double(m.amax_mm2(), 4),
-                  fmt_percent(m.afs_frac(), 2)});
+                  fmt_percent(m.afs_frac(), 2), fmt_double(wall_ms, 1),
+                  std::to_string(iterations)});
     compare.add_row({entry.name, fmt_percent(m.frac_within(1)),
                      fmt_percent(entry.paper.d1), fmt_percent(m.frac_within(2)),
                      fmt_percent(entry.paper.d2), fmt_percent(m.icomp_frac(), 2),
@@ -53,7 +60,8 @@ void print_table1() {
                  fmt_double(m.total_bias_ma, 3), fmt_double(m.bmax_ma, 3),
                  fmt_double(100 * m.icomp_frac(), 2),
                  fmt_double(m.total_area_mm2(), 4), fmt_double(m.amax_mm2(), 4),
-                 fmt_double(100 * m.afs_frac(), 2)});
+                 fmt_double(100 * m.afs_frac(), 2), fmt_double(wall_ms, 2),
+                 std::to_string(iterations)});
 
     d1.add(m.frac_within(1));
     d2.add(m.frac_within(2));
@@ -68,7 +76,7 @@ void print_table1() {
   ours.add_separator();
   ours.add_row({"AVERAGE", "", "", fmt_percent(d1.mean()), fmt_percent(d2.mean()),
                 "", "", fmt_percent(icomp.mean(), 2), "", "",
-                fmt_percent(afs.mean(), 2)});
+                fmt_percent(afs.mean(), 2), "", ""});
   compare.add_separator();
   compare.add_row({"AVERAGE", fmt_percent(d1.mean()), fmt_percent(paper_d1.mean()),
                    fmt_percent(d2.mean()), fmt_percent(paper_d2.mean()),

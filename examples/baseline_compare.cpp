@@ -7,7 +7,7 @@
 #include "baseline/fm_kway.h"
 #include "baseline/layered_partition.h"
 #include "baseline/random_partition.h"
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
 #include "util/options.h"
@@ -44,11 +44,11 @@ int main(int argc, char** argv) {
   PartitionOptions popt;
   popt.num_planes = planes;
   popt.seed = seed;
-  report("gradient-descent (paper)", partition_netlist(netlist, popt).partition);
+  report("gradient-descent (paper)", Solver(SolverConfig::from(popt)).run(netlist).value().partition);
 
   PartitionOptions refined = popt;
   refined.refine = true;
-  report("gradient-descent + refine", partition_netlist(netlist, refined).partition);
+  report("gradient-descent + refine", Solver(SolverConfig::from(refined)).run(netlist).value().partition);
 
   report("layered (topological)", layered_partition(netlist, planes));
   FmOptions fm_options;

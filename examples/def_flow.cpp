@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "def/def_parser.h"
 #include "def/def_writer.h"
 #include "def/lef_parser.h"
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
 
   PartitionOptions popt;
   popt.num_planes = static_cast<int>(options.get_int("planes"));
-  const PartitionResult result = partition_netlist(*netlist, popt);
+  const PartitionResult result = Solver(SolverConfig::from(popt)).run(*netlist).value();
   const PartitionMetrics metrics = compute_metrics(*netlist, result.partition);
   std::fputs(format_partition_report(*netlist, result.partition, metrics).c_str(),
              stdout);

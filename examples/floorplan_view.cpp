@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "floorplan/floorplan.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   PartitionOptions popt;
   popt.num_planes = static_cast<int>(options.get_int("planes"));
-  const PartitionResult result = partition_netlist(netlist, popt);
+  const PartitionResult result = Solver(SolverConfig::from(popt)).run(netlist).value();
 
   FloorplanOptions fopt;
   fopt.ordering_passes = static_cast<int>(options.get_int("passes"));

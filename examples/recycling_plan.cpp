@@ -6,7 +6,7 @@
 //   ./recycling_plan [--circuit ksa8] [--planes 4] [--pad-limit 100]
 #include <cstdio>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
 #include "metrics/report.h"
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   PartitionOptions popt;
   popt.num_planes = static_cast<int>(options.get_int("planes"));
   popt.seed = static_cast<std::uint64_t>(options.get_int("seed"));
-  const PartitionResult result = partition_netlist(netlist, popt);
+  const PartitionResult result = Solver(SolverConfig::from(popt)).run(netlist).value();
   const PartitionMetrics metrics = compute_metrics(netlist, result.partition);
   std::fputs(format_partition_report(netlist, result.partition, metrics).c_str(),
              stdout);

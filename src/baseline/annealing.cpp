@@ -6,6 +6,7 @@
 
 #include "baseline/random_partition.h"
 #include "core/move_eval.h"
+#include "obs/trace_sink.h"
 #include "util/rng.h"
 
 namespace sfqpart {
@@ -16,6 +17,21 @@ AnnealingResult anneal_partition(const Netlist& netlist, int num_planes,
   const PartitionProblem problem = PartitionProblem::from_netlist(netlist, num_planes);
   const CostModel model(problem, options.weights);
   Rng rng(options.seed);
+
+  obs::TraceSink sink(options.observer);
+  if (sink.enabled()) {
+    obs::RunInfo info;
+    info.engine = "annealing";
+    info.num_planes = num_planes;
+    info.seed = options.seed;
+    info.weights = options.weights;
+    info.max_iterations = options.temperature_steps;
+    info.problem_gates = problem.num_gates;
+    info.problem_edges = static_cast<long long>(problem.edges.size());
+    sink.run_start(info);
+    sink.restart_start({0});
+  }
+  obs::ScopedTimer anneal_timer(&sink, "anneal", 0);
 
   // Random balanced start (as the gradient method's random init).
   const Partition start = random_partition(netlist, num_planes, options.seed);
@@ -69,6 +85,9 @@ AnnealingResult anneal_partition(const Netlist& netlist, int num_planes,
         ++result.moves_accepted;
       }
     }
+    if (sink.enabled()) {
+      sink.iteration({0, step, CostTerms{}, running_cost});
+    }
     if (running_cost < best_cost - 1e-12) {
       best_cost = running_cost;
       best_labels = eval.labels();
@@ -84,6 +103,15 @@ AnnealingResult anneal_partition(const Netlist& netlist, int num_planes,
   // moves.
   result.final_cost =
       model.evaluate_discrete(best_labels).total(options.weights);
+  if (sink.enabled()) {
+    const CostTerms terms = model.evaluate_discrete(best_labels);
+    const bool early_stop = result.steps < options.temperature_steps;
+    sink.counter("moves_tried", result.moves_tried);
+    sink.counter("moves_accepted", result.moves_accepted);
+    sink.restart_end({0, CostTerms{}, terms, result.final_cost, result.steps,
+                      early_stop});
+    sink.run_end({0, result.final_cost, result.steps, early_stop});
+  }
   return result;
 }
 

@@ -15,6 +15,10 @@
 
 namespace sfqpart {
 
+namespace obs {
+class SolverObserver;
+}  // namespace obs
+
 struct AnnealingOptions {
   CostWeights weights;
   std::uint64_t seed = 1;
@@ -25,6 +29,11 @@ struct AnnealingOptions {
   int temperature_steps = 40;
   // Stop early after this many consecutive steps without improvement.
   int patience = 8;
+  // Structured observability hook (not owned; may be null). Emits one
+  // IterationEvent per temperature step (restart 0, cost = running
+  // discrete total), counters moves_tried / moves_accepted, an "anneal"
+  // stage timer, and the run lifecycle under engine = "annealing".
+  obs::SolverObserver* observer = nullptr;
 };
 
 struct AnnealingResult {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baseline/random_partition.h"
+#include "obs/trace_sink.h"
 #include "util/rng.h"
 
 namespace sfqpart {
@@ -44,6 +45,23 @@ FmResult fm_kway_partition(const Netlist& netlist, int num_planes,
   FmResult result;
   result.partition = random_partition(netlist, num_planes, options.seed);
   result.initial_cut = cut_count(netlist, result.partition);
+
+  obs::TraceSink sink(options.observer);
+  if (sink.enabled()) {
+    obs::RunInfo info;
+    info.engine = "fm_kway";
+    info.num_planes = num_planes;
+    info.seed = options.seed;
+    info.max_iterations = options.max_passes;
+    info.problem_gates = num_gates;
+    info.problem_edges = static_cast<long long>(netlist.unique_edges().size());
+    sink.run_start(info);
+    sink.restart_start({0});
+  }
+  obs::ScopedTimer fm_timer(&sink, "fm", 0);
+  long long moves_tried = 0;
+  long long moves_kept = 0;
+  int current_cut = result.initial_cut;
 
   std::vector<int> label(static_cast<std::size_t>(num_gates));
   std::vector<double> plane_bias(static_cast<std::size_t>(num_planes), 0.0);
@@ -142,6 +160,14 @@ FmResult fm_kway_partition(const Netlist& netlist, int num_planes,
       plane_bias[static_cast<std::size_t>(move.from)] += bias[ug];
       label[ug] = move.from;
     }
+    moves_tried += static_cast<long long>(moves.size());
+    if (best_gain > 0) {
+      moves_kept += static_cast<long long>(best_prefix);
+      current_cut -= best_gain;
+    }
+    if (sink.enabled()) {
+      sink.iteration({0, pass, CostTerms{}, static_cast<double>(current_cut)});
+    }
     if (best_gain <= 0) break;  // converged
   }
 
@@ -150,6 +176,16 @@ FmResult fm_kway_partition(const Netlist& netlist, int num_planes,
         label[static_cast<std::size_t>(i)];
   }
   result.final_cut = cut_count(netlist, result.partition);
+  if (sink.enabled()) {
+    const bool converged = result.passes < options.max_passes;
+    sink.counter("moves_tried", moves_tried);
+    sink.counter("moves_accepted", moves_kept);
+    sink.restart_end({0, CostTerms{}, CostTerms{},
+                      static_cast<double>(result.final_cut), result.passes,
+                      converged});
+    sink.run_end({0, static_cast<double>(result.final_cut), result.passes,
+                  converged});
+  }
   return result;
 }
 

@@ -16,11 +16,20 @@
 
 namespace sfqpart {
 
+namespace obs {
+class SolverObserver;
+}  // namespace obs
+
 struct FmOptions {
   int max_passes = 10;
   // Allowed per-plane bias deviation from the ideal B_cir/K.
   double balance_tolerance = 0.10;
   std::uint64_t seed = 1;
+  // Structured observability hook (not owned; may be null). Emits one
+  // IterationEvent per FM pass (restart 0, cost = cut count after the
+  // pass's best prefix), counters moves_tried / moves_accepted, an "fm"
+  // stage timer, and the run lifecycle under engine = "fm_kway".
+  obs::SolverObserver* observer = nullptr;
 };
 
 struct FmResult {

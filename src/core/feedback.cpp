@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "core/solver.h"
 #include "metrics/partition_metrics.h"
 #include "recycling/insertion.h"
 
@@ -49,7 +50,8 @@ FeedbackResult partition_with_coupling_feedback(const Netlist& netlist,
     result.rounds = round + 1;
     PartitionOptions round_options = options.base;
     round_options.seed = options.base.seed + static_cast<std::uint64_t>(round);
-    const LabelResult solved = solve_labels(problem, round_options);
+    const LabelResult solved =
+        Solver(SolverConfig::from(round_options)).solve(problem).value();
     const Partition partition =
         problem.to_partition(solved.labels, netlist.num_gates());
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/solver.h"
+
 namespace sfqpart {
 namespace {
 
@@ -30,7 +32,9 @@ KresResult find_min_planes(const Netlist& netlist, const KresOptions& options) {
     PartitionOptions attempt = options.base;
     attempt.num_planes = k;
     const PartitionProblem problem = PartitionProblem::from_netlist(netlist, k);
-    PartitionResult partition = partition_problem(problem, netlist.num_gates(), attempt);
+    PartitionResult partition = Solver(SolverConfig::from(attempt))
+                                    .run(problem, netlist.num_gates())
+                                    .value();
     const double bmax = max_plane_bias(problem, partition.partition);
     if (bmax <= options.bias_limit_ma) {
       result.found = true;

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "core/refine.h"
+#include "core/solver.h"
+#include "obs/trace_sink.h"
 #include "util/rng.h"
 
 namespace sfqpart {
@@ -95,47 +97,100 @@ MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
                                       const MultilevelOptions& options) {
   assert(num_planes >= 2);
   Rng rng(options.seed);
+  obs::TraceSink sink(options.observer);
 
   std::vector<Level> levels;
   PartitionProblem finest = PartitionProblem::from_netlist(netlist, num_planes);
   const PartitionProblem* current = &finest;
   const int floor_size = std::max(options.coarse_target, 4 * num_planes);
-  while (current->num_gates > floor_size &&
-         static_cast<int>(levels.size()) < options.max_levels) {
-    Level level = coarsen(*current, rng);
-    // Matching can stall on star-shaped graphs; stop when progress fades.
-    if (level.problem.num_gates > current->num_gates * 95 / 100) break;
-    levels.push_back(std::move(level));
-    current = &levels.back().problem;
+
+  // The outer multilevel drive announces itself first; the nested coarse
+  // Solver's run_start then loses the RunReport first-wins race, so the
+  // report's engine/problem shape describe this level, not the coarse one.
+  if (sink.enabled()) {
+    obs::RunInfo info;
+    info.engine = "multilevel";
+    info.num_planes = num_planes;
+    info.restarts = options.coarse.restarts;
+    info.seed = options.seed;
+    info.refine = true;  // projection refinement always runs
+    info.weights = options.coarse.weights;
+    info.gradient_style = options.coarse.gradient_style;
+    info.learning_rate = options.coarse.optimizer.learning_rate;
+    info.max_iterations = options.coarse.optimizer.max_iterations;
+    info.margin = options.coarse.optimizer.margin;
+    info.normalize_step = options.coarse.optimizer.normalize_step;
+    info.problem_gates = finest.num_gates;
+    info.problem_edges = static_cast<long long>(finest.edges.size());
+    sink.run_start(info);
+  }
+
+  {
+    obs::ScopedTimer timer(&sink, "coarsen");
+    if (sink.enabled()) {
+      sink.level({0, finest.num_gates,
+                  static_cast<long long>(finest.edges.size())});
+    }
+    while (current->num_gates > floor_size &&
+           static_cast<int>(levels.size()) < options.max_levels) {
+      Level level = coarsen(*current, rng);
+      // Matching can stall on star-shaped graphs; stop when progress fades.
+      if (level.problem.num_gates > current->num_gates * 95 / 100) break;
+      levels.push_back(std::move(level));
+      current = &levels.back().problem;
+      if (sink.enabled()) {
+        sink.level({static_cast<int>(levels.size()), current->num_gates,
+                    static_cast<long long>(current->edges.size())});
+      }
+    }
   }
 
   MultilevelResult result;
   result.levels = static_cast<int>(levels.size());
   result.coarse_gates = current->num_gates;
 
-  // Solve the coarsest problem with the paper's optimizer.
+  // Solve the coarsest problem with the paper's optimizer. The coarse
+  // Solver inherits the observer, so its event stream (run lifecycle,
+  // iterations, ...) lands in the same report/trace; RunReport keeps the
+  // outermost run_start and the final run_end when engines nest.
   PartitionOptions coarse_options = options.coarse;
   coarse_options.num_planes = num_planes;
-  std::vector<int> labels = solve_labels(*current, coarse_options).labels;
+  std::vector<int> labels;
+  {
+    obs::ScopedTimer timer(&sink, "coarse_solve");
+    SolverConfig coarse_config = SolverConfig::from(coarse_options);
+    coarse_config.observer = options.observer;
+    // The asserts in StatusOr::value mirror the old solve_labels contract:
+    // the inputs were validated above, so failure here is a programmer bug.
+    labels = Solver(coarse_config).solve(*current).value().labels;
+  }
 
   // Uncoarsen: project each coarse label onto its merged fine vertices,
   // then polish with greedy refinement at the finer level.
-  for (std::size_t i = levels.size(); i-- > 0;) {
-    const PartitionProblem& fine = i == 0 ? finest : levels[i - 1].problem;
-    std::vector<int> fine_labels(static_cast<std::size_t>(fine.num_gates));
-    for (int v = 0; v < fine.num_gates; ++v) {
-      fine_labels[static_cast<std::size_t>(v)] =
-          labels[static_cast<std::size_t>(levels[i].parent_of_fine[static_cast<std::size_t>(v)])];
+  {
+    obs::ScopedTimer timer(&sink, "uncoarsen");
+    for (std::size_t i = levels.size(); i-- > 0;) {
+      const PartitionProblem& fine = i == 0 ? finest : levels[i - 1].problem;
+      std::vector<int> fine_labels(static_cast<std::size_t>(fine.num_gates));
+      for (int v = 0; v < fine.num_gates; ++v) {
+        fine_labels[static_cast<std::size_t>(v)] =
+            labels[static_cast<std::size_t>(levels[i].parent_of_fine[static_cast<std::size_t>(v)])];
+      }
+      const CostModel model(fine, coarse_options.weights);
+      refine_partition(model, fine_labels, rng, options.refine, &sink, -1);
+      labels = std::move(fine_labels);
     }
-    const CostModel model(fine, coarse_options.weights);
-    refine_partition(model, fine_labels, rng, options.refine);
-    labels = std::move(fine_labels);
   }
 
   result.partition = finest.to_partition(labels, netlist.num_gates());
   const CostModel model(finest, coarse_options.weights);
   result.discrete_total =
       model.evaluate_discrete(labels).total(coarse_options.weights);
+  if (sink.enabled()) {
+    // Last run_end wins in RunReport: the final projected cost replaces
+    // the coarse Solver's summary. winning_restart -1 = "not applicable".
+    sink.run_end({-1, result.discrete_total, 0, true});
+  }
   return result;
 }
 

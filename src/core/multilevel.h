@@ -15,6 +15,10 @@
 
 namespace sfqpart {
 
+namespace obs {
+class SolverObserver;
+}  // namespace obs
+
 struct MultilevelOptions {
   // Coarsen until at most this many vertices (never below 4*K).
   int coarse_target = 160;
@@ -26,6 +30,12 @@ struct MultilevelOptions {
   // Refinement applied after each projection.
   RefineOptions refine;
   std::uint64_t seed = 1;
+  // Structured observability hook (not owned; may be null). Receives
+  // LevelEvents for each coarsening level, stage timers ("coarsen",
+  // "coarse_solve", "uncoarsen"), projection RefinePassEvents (tagged
+  // restart = -1), and — forwarded to the coarse Solver — the full event
+  // stream of the coarse-level solve.
+  obs::SolverObserver* observer = nullptr;
 };
 
 struct MultilevelResult {

@@ -20,7 +20,9 @@ OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
     result.final_terms = model.evaluate_with_gradient(result.w, grad);
     const double cost_new = result.final_terms.total(model.weights());
     if (options.record_trace) result.cost_trace.push_back(cost_new);
-    if (options.on_iteration) options.on_iteration(iter, cost_new);
+    if (options.on_iteration) {
+      options.on_iteration(iter, result.final_terms, cost_new);
+    }
 
     // Stop on relative cost change (Algorithm 1 line 14). cost_old is
     // +inf on the first iteration, so the loop always takes a step first.

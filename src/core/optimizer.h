@@ -31,10 +31,12 @@ struct OptimizerOptions {
   bool normalize_step = true;
   // Record the cost after every iteration (for convergence tests/plots).
   bool record_trace = false;
-  // Called once per iteration with the just-evaluated weighted cost.
-  // Purely observational: it must not mutate the optimizer's state. The
-  // Solver facade uses it for live progress reporting.
-  std::function<void(int iteration, double cost)> on_iteration;
+  // Called once per iteration with the just-evaluated cost terms and the
+  // weighted total. Purely observational: it must not mutate the
+  // optimizer's state. The Solver facade uses it to feed its
+  // SolverObserver (obs/observer.h) iteration events.
+  std::function<void(int iteration, const CostTerms& terms, double cost)>
+      on_iteration;
 };
 
 struct OptimizerResult {

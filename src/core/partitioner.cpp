@@ -24,6 +24,11 @@ T unwrap(StatusOr<T> result) {
 
 }  // namespace
 
+// Defining deprecated functions triggers the warning the attribute exists
+// to raise; silence it for the definitions only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 LabelResult solve_labels(const PartitionProblem& problem,
                          const PartitionOptions& options) {
   assert(options.num_planes == problem.num_planes);
@@ -43,5 +48,7 @@ PartitionResult partition_netlist(const Netlist& netlist,
                                   const PartitionOptions& options) {
   return unwrap(Solver(SolverConfig::from(options)).run(netlist));
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace sfqpart

@@ -8,10 +8,13 @@
 // DEPRECATED ENTRY POINTS: the free functions below predate the unified
 // `sfqpart::Solver` facade (core/solver.h), which aggregates all the
 // option structs into one SolverConfig, validates input with StatusOr
-// instead of asserts, runs restarts in parallel (`threads`), and reports
-// live progress. New code should use Solver; these wrappers remain so
-// existing callers and tests compile unchanged, and are bit-identical to
-// a single-threaded Solver run with the same options.
+// instead of asserts, runs restarts in parallel (`threads`), and feeds the
+// observability layer (obs/observer.h). They are now marked
+// [[deprecated]] and scheduled for removal in the release after next
+// (DESIGN.md section 8.4); the wrappers remain bit-identical to a
+// single-threaded Solver run with the same options. The only in-tree
+// callers left are the legacy-contract tests, which suppress the warning
+// on purpose.
 #pragma once
 
 #include <cstdint>
@@ -47,14 +50,15 @@ struct PartitionResult {
   bool converged = false;
 };
 
-// Deprecated: prefer Solver::run(netlist) (core/solver.h). Thin wrapper
-// over a single-threaded Solver.
+// Thin wrapper over a single-threaded Solver.
+[[deprecated("use sfqpart::Solver(SolverConfig::from(options)).run(netlist)")]]
 PartitionResult partition_netlist(const Netlist& netlist,
                                   const PartitionOptions& options = {});
 
 // Same flow on a prebuilt problem (used by benches that sweep K without
-// re-extracting the netlist). Deprecated: prefer
-// Solver::run(problem, netlist_num_gates).
+// re-extracting the netlist).
+[[deprecated(
+    "use sfqpart::Solver(SolverConfig::from(options)).run(problem, n)")]]
 PartitionResult partition_problem(const PartitionProblem& problem,
                                   int netlist_num_gates,
                                   const PartitionOptions& options);
@@ -71,7 +75,7 @@ struct LabelResult {
   int winning_restart = 0;
   bool converged = false;
 };
-// Deprecated: prefer Solver::solve(problem) (core/solver.h).
+[[deprecated("use sfqpart::Solver(SolverConfig::from(options)).solve(problem)")]]
 LabelResult solve_labels(const PartitionProblem& problem,
                          const PartitionOptions& options);
 

@@ -4,11 +4,13 @@
 #include <numeric>
 
 #include "core/move_eval.h"
+#include "obs/trace_sink.h"
 
 namespace sfqpart {
 
 RefineResult refine_partition(const CostModel& model, std::vector<int>& labels,
-                              Rng& rng, const RefineOptions& options) {
+                              Rng& rng, const RefineOptions& options,
+                              obs::TraceSink* sink, int restart) {
   const int num_gates = model.problem().num_gates;
   const int num_planes = model.problem().num_planes;
   assert(static_cast<int>(labels.size()) == num_gates);
@@ -40,6 +42,9 @@ RefineResult refine_partition(const CostModel& model, std::vector<int>& labels,
     }
     result.moves += moves_this_pass;
     result.passes = pass + 1;
+    if (sink != nullptr && sink->enabled()) {
+      sink->refine_pass({restart, pass, moves_this_pass, eval.current_cost()});
+    }
     if (moves_this_pass < options.min_moves_per_pass) break;
   }
   labels = eval.labels();

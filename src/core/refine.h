@@ -14,6 +14,10 @@
 
 namespace sfqpart {
 
+namespace obs {
+class TraceSink;
+}  // namespace obs
+
 struct RefineOptions {
   int max_passes = 8;
   // Stop a pass early once fewer than this many moves were applied.
@@ -27,8 +31,12 @@ struct RefineResult {
   double final_cost = 0.0;
 };
 
-// Improves `labels` in place (compact indices, 0-based planes).
+// Improves `labels` in place (compact indices, 0-based planes). When a
+// TraceSink is supplied, one RefinePassEvent per pass is emitted, tagged
+// with `restart` (restart < 0 marks refits outside the restart loop, e.g.
+// the multilevel projection polish).
 RefineResult refine_partition(const CostModel& model, std::vector<int>& labels,
-                              Rng& rng, const RefineOptions& options = {});
+                              Rng& rng, const RefineOptions& options = {},
+                              obs::TraceSink* sink = nullptr, int restart = -1);
 
 }  // namespace sfqpart

@@ -1,11 +1,11 @@
 #include "core/solver.h"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/soft_assign.h"
+#include "obs/trace_sink.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -65,6 +65,22 @@ struct RestartOutcome {
   bool converged = false;
 };
 
+// The SolverConfig::progress back-compat shim: adapts the legacy callback
+// onto the observer event stream, so both hooks see the exact same
+// iteration sequence (tests/obs/observer_test.cpp proves it).
+class ProgressShim final : public obs::SolverObserver {
+ public:
+  explicit ProgressShim(const std::function<void(const SolverProgress&)>& fn)
+      : fn_(fn) {}
+
+  void on_iteration(const obs::IterationEvent& e) override {
+    fn_({e.restart, e.iteration, e.cost});
+  }
+
+ private:
+  const std::function<void(const SolverProgress&)>& fn_;
+};
+
 }  // namespace
 
 SolverConfig SolverConfig::from(const PartitionOptions& options, int threads) {
@@ -102,6 +118,44 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
   CostModel model(problem, config_.weights, config_.gradient_style);
   model.set_thread_pool(pool_.get());
 
+  // Observer wiring. The legacy progress callback rides the same event
+  // stream through a shim observer; when both hooks are set, a multicast
+  // fans events out to the two of them. All of this is per-call local
+  // state, so a const Solver stays shareable across threads.
+  ProgressShim shim(config_.progress);
+  obs::MulticastObserver multicast;
+  obs::SolverObserver* observer = config_.observer;
+  if (config_.progress) {
+    if (observer != nullptr) {
+      multicast.add(observer);
+      multicast.add(&shim);
+      observer = &multicast;
+    } else {
+      observer = &shim;
+    }
+  }
+  obs::TraceSink sink(observer);
+
+  if (sink.enabled()) {
+    obs::RunInfo info;
+    info.engine = "solver";
+    info.num_planes = problem.num_planes;
+    info.restarts = config_.restarts;
+    info.threads = effective_threads();
+    info.seed = config_.seed;
+    info.refine = config_.refine;
+    info.weights = config_.weights;
+    info.gradient_style = config_.gradient_style;
+    info.learning_rate = config_.optimizer.learning_rate;
+    info.max_iterations = config_.optimizer.max_iterations;
+    info.margin = config_.optimizer.margin;
+    info.normalize_step = config_.optimizer.normalize_step;
+    info.problem_gates = problem.num_gates;
+    info.problem_edges = static_cast<long long>(problem.edges.size());
+    sink.run_start(info);
+  }
+  obs::ScopedTimer run_timer(&sink, "run");
+
   // Pre-split one stream per restart: restart r always consumes the r-th
   // split() of the root Rng, exactly as the old serial loop did, so its
   // stream depends only on (seed, r) — never on scheduling.
@@ -112,35 +166,59 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
 
   const auto restarts = static_cast<std::size_t>(config_.restarts);
   std::vector<RestartOutcome> outcomes(restarts);
-  std::mutex progress_mutex;
 
   // Grain 1: chunk index == restart index. Restarts fan out across the
   // pool; the cost-model reductions inside each restart then run inline
   // on that worker (nested parallel_chunks never re-enters the queue).
+  // Observation never perturbs the result: every emission is outside the
+  // seeded RNG streams and the fixed-order reductions, so labels and
+  // costs are bit-identical with or without an observer attached.
   parallel_chunks(pool_.get(), restarts, 1,
                   [&](std::size_t r, std::size_t, std::size_t) {
+    const int restart = static_cast<int>(r);
+    sink.restart_start({restart});
     Rng rng = streams[r];
     Matrix w0 = random_soft_assignment(problem.num_gates, problem.num_planes,
                                        rng);
     OptimizerOptions optimizer = config_.optimizer;
-    if (config_.progress) {
-      optimizer.on_iteration = [this, &progress_mutex, r](int iteration,
-                                                          double cost) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        config_.progress({static_cast<int>(r), iteration, cost});
+    if (sink.enabled()) {
+      optimizer.on_iteration = [&sink, restart](int iteration,
+                                                const CostTerms& terms,
+                                                double cost) {
+        sink.iteration({restart, iteration, terms, cost});
       };
     }
-    OptimizerResult opt = run_gradient_descent(model, std::move(w0), optimizer);
     RestartOutcome& out = outcomes[r];
-    out.labels = harden(opt.w);
+    OptimizerResult opt;
+    {
+      obs::ScopedTimer timer(&sink, "optimize", restart);
+      opt = run_gradient_descent(model, std::move(w0), optimizer);
+    }
+    {
+      obs::ScopedTimer timer(&sink, "harden", restart);
+      out.labels = harden(opt.w);
+    }
+    if (sink.enabled()) {
+      // The hardened-but-unrefined cost is observer-only extra work; the
+      // evaluation mutates nothing, preserving bit-identity.
+      sink.harden({restart,
+                   model.evaluate_discrete(out.labels).total(config_.weights)});
+    }
     if (config_.refine) {
-      refine_partition(model, out.labels, rng, config_.refine_options);
+      obs::ScopedTimer timer(&sink, "refine", restart);
+      refine_partition(model, out.labels, rng, config_.refine_options, &sink,
+                       restart);
     }
     out.soft_terms = opt.final_terms;
     out.discrete_terms = model.evaluate_discrete(out.labels);
     out.discrete_total = out.discrete_terms.total(config_.weights);
     out.iterations = opt.iterations;
     out.converged = opt.converged;
+    if (sink.enabled()) {
+      sink.counter("optimizer_iterations", opt.iterations);
+      sink.restart_end({restart, out.soft_terms, out.discrete_terms,
+                        out.discrete_total, out.iterations, out.converged});
+    }
   });
 
   // Deterministic selection: strict < keeps the lowest restart index on
@@ -159,6 +237,10 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
   result.iterations = outcomes[best].iterations;
   result.winning_restart = static_cast<int>(best);
   result.converged = outcomes[best].converged;
+  if (sink.enabled()) {
+    sink.run_end({result.winning_restart, result.discrete_total,
+                  result.iterations, result.converged});
+  }
   return result;
 }
 

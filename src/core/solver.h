@@ -28,10 +28,19 @@ namespace sfqpart {
 
 class ThreadPool;
 
-// Snapshot handed to the progress callback. `cost` is the weighted relaxed
-// total after `iteration` of `restart`; with several threads, callbacks
-// from concurrent restarts interleave (but never overlap — the Solver
-// serializes them).
+namespace obs {
+class SolverObserver;
+}  // namespace obs
+
+// Snapshot handed to the legacy progress callback. `cost` is the weighted
+// relaxed total after `iteration` of `restart`; with several threads,
+// callbacks from concurrent restarts interleave (but never overlap — the
+// Solver serializes them).
+//
+// Deprecated in favor of the SolverObserver event stream
+// (obs/observer.h), which adds the full CostTerms, restart lifecycles,
+// stage timers and counters. The callback remains for one release as a
+// shim over the observer path (see SolverConfig::progress).
 struct SolverProgress {
   int restart = 0;
   int iteration = 0;
@@ -56,9 +65,21 @@ struct SolverConfig {
   OptimizerOptions optimizer;
   RefineOptions refine_options;
 
-  // Optional live-convergence hook; invoked once per optimizer iteration
-  // of every restart. Must be thread-compatible (the Solver holds a lock
-  // around each call, so the callback itself needs no synchronization).
+  // Structured observability hook (not owned; may be null). Receives the
+  // full event stream of every run: run/restart lifecycles, per-iteration
+  // CostTerms, hardening, refine passes, named stage timers and counters
+  // — serialized by the Solver's TraceSink, so implementations need no
+  // locking of their own. Attach an obs::RunReport to capture a
+  // machine-readable report, an obs::StreamTracer for live logs, or an
+  // obs::MulticastObserver for both. With no observer attached the
+  // instrumented paths cost one branch (DESIGN.md section 8).
+  obs::SolverObserver* observer = nullptr;
+
+  // Back-compat shim for the pre-observer progress callback: when set, it
+  // is adapted onto the observer event stream (an internal observer
+  // forwards every iteration event), so both hooks see identical
+  // sequences. Kept for one release; new code should implement
+  // obs::SolverObserver.
   std::function<void(const SolverProgress&)> progress;
 
   // Bridge for legacy call sites still holding a PartitionOptions.

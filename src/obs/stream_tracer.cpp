@@ -1,0 +1,69 @@
+#include "obs/stream_tracer.h"
+
+namespace sfqpart::obs {
+
+void StreamTracer::on_run_start(const RunInfo& e) {
+  std::fprintf(out_,
+               "[trace] run start engine=%s planes=%d restarts=%d threads=%d "
+               "seed=%llu gates=%d edges=%lld\n",
+               e.engine.c_str(), e.num_planes, e.restarts, e.threads,
+               static_cast<unsigned long long>(e.seed), e.problem_gates,
+               e.problem_edges);
+}
+
+void StreamTracer::on_restart_start(const RestartStartEvent& e) {
+  std::fprintf(out_, "[trace] restart %d start\n", e.restart);
+}
+
+void StreamTracer::on_iteration(const IterationEvent& e) {
+  if (e.iteration % stride_ != 0) return;
+  std::fprintf(out_,
+               "[trace] restart %d iter %d cost %.6f f1=%.4g f2=%.4g f3=%.4g "
+               "f4=%.4g\n",
+               e.restart, e.iteration, e.cost, e.terms.f1, e.terms.f2,
+               e.terms.f3, e.terms.f4);
+}
+
+void StreamTracer::on_harden(const HardenEvent& e) {
+  std::fprintf(out_, "[trace] restart %d harden discrete=%.6f\n", e.restart,
+               e.discrete_total);
+}
+
+void StreamTracer::on_refine_pass(const RefinePassEvent& e) {
+  std::fprintf(out_, "[trace] restart %d refine pass %d moves=%d cost=%.6f\n",
+               e.restart, e.pass, e.moves, e.cost);
+}
+
+void StreamTracer::on_restart_end(const RestartEndEvent& e) {
+  std::fprintf(out_,
+               "[trace] restart %d end iters=%d converged=%s discrete=%.6f\n",
+               e.restart, e.iterations, e.converged ? "yes" : "no",
+               e.discrete_total);
+}
+
+void StreamTracer::on_level(const LevelEvent& e) {
+  std::fprintf(out_, "[trace] level %d vertices=%d edges=%lld\n", e.level,
+               e.num_vertices, e.num_edges);
+}
+
+void StreamTracer::on_timer(const TimerEvent& e) {
+  if (e.restart >= 0) {
+    std::fprintf(out_, "[trace] timer %s restart=%d %.3f ms\n", e.name,
+                 e.restart, e.elapsed_ms);
+  } else {
+    std::fprintf(out_, "[trace] timer %s %.3f ms\n", e.name, e.elapsed_ms);
+  }
+}
+
+void StreamTracer::on_counter(const CounterEvent& e) {
+  std::fprintf(out_, "[trace] counter %s += %lld\n", e.name, e.delta);
+}
+
+void StreamTracer::on_run_end(const RunEndEvent& e) {
+  std::fprintf(out_,
+               "[trace] run end winner=%d discrete=%.6f iters=%d converged=%s\n",
+               e.winning_restart, e.discrete_total, e.iterations,
+               e.converged ? "yes" : "no");
+}
+
+}  // namespace sfqpart::obs

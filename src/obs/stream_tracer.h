@@ -1,0 +1,40 @@
+// StreamTracer — a SolverObserver that prints one line per event.
+//
+// Backs the CLI's --trace flag: a live, human-readable narration of a run
+// on stderr (restart lifecycles, convergence samples, stage timers,
+// counters). Iteration events are throttled with `iteration_stride` so a
+// 500-iteration descent does not emit 500 lines; every other event prints
+// unconditionally. Lines are prefixed "[trace]" to separate them from the
+// run's regular output.
+#pragma once
+
+#include <cstdio>
+
+#include "obs/observer.h"
+
+namespace sfqpart::obs {
+
+class StreamTracer final : public SolverObserver {
+ public:
+  // Does not own `out`. A stride of N prints iterations 0, N, 2N, ...
+  // (plus nothing else); stride <= 1 prints every iteration.
+  explicit StreamTracer(std::FILE* out, int iteration_stride = 25)
+      : out_(out), stride_(iteration_stride < 1 ? 1 : iteration_stride) {}
+
+  void on_run_start(const RunInfo& e) override;
+  void on_restart_start(const RestartStartEvent& e) override;
+  void on_iteration(const IterationEvent& e) override;
+  void on_harden(const HardenEvent& e) override;
+  void on_refine_pass(const RefinePassEvent& e) override;
+  void on_restart_end(const RestartEndEvent& e) override;
+  void on_level(const LevelEvent& e) override;
+  void on_timer(const TimerEvent& e) override;
+  void on_counter(const CounterEvent& e) override;
+  void on_run_end(const RunEndEvent& e) override;
+
+ private:
+  std::FILE* out_;
+  int stride_;
+};
+
+}  // namespace sfqpart::obs

@@ -1,0 +1,89 @@
+// TraceSink — the instrumentation point the engines write events to.
+//
+// Overhead contract (DESIGN.md section 8): a sink with no observer is
+// *disabled*, and every emit method then returns after one branch on a
+// plain pointer — no lock, no clock read, no allocation — so the
+// instrumented hot paths cost ~nothing for callers that attach nothing.
+// The observer pointer is fixed at construction (no atomics needed: the
+// enabled/disabled decision never changes over the sink's lifetime).
+//
+// When an observer IS attached, every emit takes the sink's mutex, so the
+// observer sees a serialized event stream even while restarts run
+// concurrently on the thread pool.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+
+#include "obs/observer.h"
+
+namespace sfqpart::obs {
+
+class TraceSink {
+ public:
+  TraceSink() = default;
+  explicit TraceSink(SolverObserver* observer) : observer_(observer) {}
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  bool enabled() const { return observer_ != nullptr; }
+  SolverObserver* observer() const { return observer_; }
+
+  void run_start(const RunInfo& e) { emit([&](SolverObserver& o) { o.on_run_start(e); }); }
+  void restart_start(const RestartStartEvent& e) { emit([&](SolverObserver& o) { o.on_restart_start(e); }); }
+  void iteration(const IterationEvent& e) { emit([&](SolverObserver& o) { o.on_iteration(e); }); }
+  void harden(const HardenEvent& e) { emit([&](SolverObserver& o) { o.on_harden(e); }); }
+  void refine_pass(const RefinePassEvent& e) { emit([&](SolverObserver& o) { o.on_refine_pass(e); }); }
+  void restart_end(const RestartEndEvent& e) { emit([&](SolverObserver& o) { o.on_restart_end(e); }); }
+  void level(const LevelEvent& e) { emit([&](SolverObserver& o) { o.on_level(e); }); }
+  void timer(const TimerEvent& e) { emit([&](SolverObserver& o) { o.on_timer(e); }); }
+  void counter(const char* name, long long delta) {
+    emit([&](SolverObserver& o) { o.on_counter({name, delta}); });
+  }
+  void run_end(const RunEndEvent& e) { emit([&](SolverObserver& o) { o.on_run_end(e); }); }
+
+ private:
+  template <typename Fn>
+  void emit(const Fn& fn) {
+    if (observer_ == nullptr) return;  // the whole disabled-path cost
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fn(*observer_);
+  }
+
+  SolverObserver* observer_ = nullptr;
+  std::mutex mutex_;
+};
+
+// Wall-clock timer for one named stage; emits a TimerEvent when the scope
+// closes. On a disabled sink (or null pointer) the constructor stores a
+// null sink and neither clock is ever read.
+//
+//   { ScopedTimer t(&sink, "optimize", restart);  ...hot work... }
+class ScopedTimer {
+ public:
+  ScopedTimer(TraceSink* sink, const char* name, int restart = -1)
+      : sink_(sink != nullptr && sink->enabled() ? sink : nullptr),
+        name_(name),
+        restart_(restart) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (sink_ == nullptr) return;
+    const auto stop = std::chrono::steady_clock::now();
+    sink_->timer({name_, restart_,
+                  std::chrono::duration<double, std::milli>(stop - start_).count()});
+  }
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  int restart_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sfqpart::obs

@@ -1,7 +1,9 @@
 #include "util/json.h"
 
 #include <cassert>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/strings.h"
 
@@ -65,6 +67,51 @@ Json& Json::append(Json value) {
   return *this;
 }
 
+bool Json::as_bool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double Json::as_number(double fallback) const {
+  if (kind_ == Kind::kNumber) return number_;
+  if (kind_ == Kind::kInteger) return static_cast<double>(integer_);
+  return fallback;
+}
+
+long long Json::as_int(long long fallback) const {
+  if (kind_ == Kind::kInteger) return integer_;
+  if (kind_ == Kind::kNumber) return static_cast<long long>(number_);
+  return fallback;
+}
+
+const std::string& Json::as_string() const {
+  static const std::string kEmpty;
+  return kind_ == Kind::kString ? string_ : kEmpty;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  assert(kind_ == Kind::kArray && index < array_.size());
+  return array_[index];
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [existing, value] : object_) {
+    if (existing == key) return &value;
+  }
+  return nullptr;
+}
+
+const std::string& Json::key_at(std::size_t index) const {
+  assert(kind_ == Kind::kObject && index < object_.size());
+  return object_[index].first;
+}
+
 namespace {
 
 void escape_into(std::string& out, const std::string& text) {
@@ -87,7 +134,213 @@ void escape_into(std::string& out, const std::string& text) {
   out += '"';
 }
 
+// Recursive-descent parser. Strict: no comments, no trailing commas, one
+// document per string. Depth-limited so crafted input cannot blow the
+// stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<Json> run() {
+    Json value;
+    if (Status status = parse_value(value, 0); !status) return status;
+    skip_whitespace();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status fail(const std::string& what) const {
+    return Status::error(
+        str_format("json: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status expect_literal(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return fail(str_format("expected '%s'", literal));
+      }
+      ++pos_;
+    }
+    return Status::ok();
+  }
+
+  Status parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':  out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/':  out += '/'; break;
+        case 'b':  out += '\b'; break;
+        case 'f':  out += '\f'; break;
+        case 'n':  out += '\n'; break;
+        case 'r':  out += '\r'; break;
+        case 't':  out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid \\u escape digit");
+          }
+          // BMP code points only (no surrogate pairing): encode as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape sequence");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return fail("expected number");
+    char* end = nullptr;
+    if (integral) {
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size()) {
+        out = Json::number(value);
+        return Status::ok();
+      }
+      // Fall through on overflow: keep the value as a double.
+    }
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("malformed number");
+    out = Json::number(value);
+    return Status::ok();
+  }
+
+  Status parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (Status status = expect_literal("null"); !status) return status;
+      out = Json::null();
+      return Status::ok();
+    }
+    if (c == 't') {
+      if (Status status = expect_literal("true"); !status) return status;
+      out = Json::boolean(true);
+      return Status::ok();
+    }
+    if (c == 'f') {
+      if (Status status = expect_literal("false"); !status) return status;
+      out = Json::boolean(false);
+      return Status::ok();
+    }
+    if (c == '"') {
+      std::string text;
+      if (Status status = parse_string(text); !status) return status;
+      out = Json::string(std::move(text));
+      return Status::ok();
+    }
+    if (c == '[') {
+      ++pos_;
+      out = Json::array();
+      skip_whitespace();
+      if (consume(']')) return Status::ok();
+      while (true) {
+        Json element;
+        if (Status status = parse_value(element, depth + 1); !status) return status;
+        out.append(std::move(element));
+        skip_whitespace();
+        if (consume(']')) return Status::ok();
+        if (!consume(',')) return fail("expected ',' or ']' in array");
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      out = Json::object();
+      skip_whitespace();
+      if (consume('}')) return Status::ok();
+      while (true) {
+        skip_whitespace();
+        std::string key;
+        if (Status status = parse_string(key); !status) return status;
+        skip_whitespace();
+        if (!consume(':')) return fail("expected ':' after object key");
+        Json value;
+        if (Status status = parse_value(value, depth + 1); !status) return status;
+        out.set(key, std::move(value));
+        skip_whitespace();
+        if (consume('}')) return Status::ok();
+        if (!consume(',')) return fail("expected ',' or '}' in object");
+      }
+    }
+    return parse_number(out);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
+
+StatusOr<Json> Json::parse(const std::string& text) {
+  return Parser(text).run();
+}
 
 void Json::dump_to(std::string& out, int indent, int depth) const {
   const bool pretty = indent > 0;

@@ -1,13 +1,17 @@
-// Minimal JSON document builder (output only).
+// Minimal JSON document builder and parser.
 //
-// The CLI tool emits machine-readable results (partition assignments,
-// metrics, bias plans) as JSON; this is a small, dependency-free writer —
-// no parsing, just correct serialization with string escaping.
+// The CLI tool and the observability layer emit machine-readable results
+// (partition assignments, metrics, run reports) as JSON; this is a small,
+// dependency-free writer with correct string escaping, plus a strict
+// recursive-descent parser so reports can be round-tripped in tests and
+// consumed by downstream tooling without an external library.
 #pragma once
 
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/status.h"
 
 namespace sfqpart {
 
@@ -23,8 +27,34 @@ class Json {
   static Json array();
   static Json object();
 
+  // Strict parse of one JSON document (trailing non-whitespace is an
+  // error). Integers without fraction/exponent parse as integer kind.
+  static StatusOr<Json> parse(const std::string& text);
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  // True for both integer- and double-backed numbers.
+  bool is_number() const {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInteger;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
   bool is_object() const { return kind_ == Kind::kObject; }
   bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Value accessors; the fallback is returned on kind mismatch.
+  bool as_bool(bool fallback = false) const;
+  double as_number(double fallback = 0.0) const;
+  long long as_int(long long fallback = 0) const;
+  const std::string& as_string() const;  // empty string on mismatch
+
+  // Element count of an array or object; 0 for scalars.
+  std::size_t size() const;
+  // Array element (asserts array kind and bounds).
+  const Json& at(std::size_t index) const;
+  // Object lookup; nullptr when the key is absent (or not an object).
+  const Json* find(const std::string& key) const;
+  // Key of the i-th object entry (insertion order; asserts object kind).
+  const std::string& key_at(std::size_t index) const;
 
   // Object field (asserts object kind). Returns *this for chaining.
   Json& set(const std::string& key, Json value);

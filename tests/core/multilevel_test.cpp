@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
 
@@ -46,7 +46,7 @@ TEST(Multilevel, QualityAtLeastMatchesFlatGd) {
   // With per-level refinement, multilevel should beat or match the flat
   // gradient-descent run on the discrete objective.
   const Netlist netlist = build_mapped("c499");
-  const double flat = partition_netlist(netlist, {}).discrete_total;
+  const double flat = Solver().run(netlist).value().discrete_total;
   const double ml = multilevel_partition(netlist, 5).discrete_total;
   EXPECT_LE(ml, flat + 1e-9);
 }

@@ -73,7 +73,11 @@ TEST(ParallelDeterminism, FacadeMatchesLegacyFreeFunctions) {
   PartitionOptions options;
   options.seed = 11;
   options.restarts = 3;
+  // Legacy-contract check: calls the deprecated wrapper on purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const PartitionResult legacy = partition_netlist(netlist, options);
+#pragma GCC diagnostic pop
 
   const auto facade = Solver(SolverConfig::from(options, /*threads=*/8)).run(netlist);
   ASSERT_TRUE(facade.is_ok()) << facade.status().message();

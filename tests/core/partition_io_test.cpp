@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
 
@@ -13,7 +13,7 @@ TEST(PartitionIo, SaveLoadRoundTrip) {
   const Netlist netlist = build_mapped("ksa4");
   PartitionOptions options;
   options.num_planes = 4;
-  const Partition original = partition_netlist(netlist, options).partition;
+  const Partition original = Solver(SolverConfig::from(options)).run(netlist).value().partition;
 
   const std::string path = ::testing::TempDir() + "/sfqpart_partition.csv";
   ASSERT_TRUE(save_partition_csv(path, netlist, original).is_ok());

@@ -1,5 +1,11 @@
 #include "core/partitioner.h"
 
+// This file is the legacy-contract test: it exercises the deprecated free
+// functions on purpose to pin their behaviour until removal (DESIGN.md
+// section 8.4), so the deprecation warnings are suppressed here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include <set>
 
 #include <gtest/gtest.h>
@@ -143,3 +149,5 @@ TEST(Partitioner, PaperGradientStyleProducesComparableQuality) {
 
 }  // namespace
 }  // namespace sfqpart
+
+#pragma GCC diagnostic pop

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "def/def_parser.h"
 #include "def/def_writer.h"
 #include "gen/suite.h"
@@ -17,7 +17,7 @@ struct Fixture {
   Fixture() {
     PartitionOptions options;
     options.num_planes = 4;
-    partition = partition_netlist(netlist, options).partition;
+    partition = Solver(SolverConfig::from(options)).run(netlist).value().partition;
   }
 };
 

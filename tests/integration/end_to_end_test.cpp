@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/kres_search.h"
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "def/def_parser.h"
 #include "def/def_writer.h"
 #include "gen/suite.h"
@@ -23,7 +23,7 @@ TEST_P(EndToEnd, PartitionQualityAndConsistency) {
 
   PartitionOptions options;
   options.num_planes = 5;
-  const PartitionResult result = partition_netlist(netlist, options);
+  const PartitionResult result = Solver(SolverConfig::from(options)).run(netlist).value();
   const PartitionMetrics metrics = compute_metrics(netlist, result.partition);
 
   // Quality floor: clearly structured output, not a random scatter (random
@@ -72,9 +72,9 @@ TEST(EndToEnd, DefRoundTripPreservesPartitionMetrics) {
   PartitionOptions options;
   options.seed = 77;
   const PartitionMetrics a =
-      compute_metrics(original, partition_netlist(original, options).partition);
+      compute_metrics(original, Solver(SolverConfig::from(options)).run(original).value().partition);
   const PartitionMetrics b =
-      compute_metrics(*reparsed, partition_netlist(*reparsed, options).partition);
+      compute_metrics(*reparsed, Solver(SolverConfig::from(options)).run(*reparsed).value().partition);
   EXPECT_EQ(a.distance_histogram, b.distance_histogram);
   EXPECT_NEAR(a.bmax_ma, b.bmax_ma, 1e-9);
 }

@@ -4,7 +4,7 @@
 // drift between subsystems.
 #include <gtest/gtest.h>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "floorplan/floorplan.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
@@ -25,7 +25,7 @@ class FlowConsistency : public ::testing::TestWithParam<const char*> {
     netlist_ = build_mapped(GetParam());
     PartitionOptions options;
     options.num_planes = 4;
-    partition_ = partition_netlist(netlist_, options).partition;
+    partition_ = Solver(SolverConfig::from(options)).run(netlist_).value().partition;
   }
 
   Netlist netlist_{&default_sfq_library()};
@@ -98,9 +98,9 @@ TEST_P(FlowConsistency, VerilogRoundTripPreservesPartitionMetrics) {
   options.num_planes = 4;
   options.seed = 99;
   const PartitionMetrics a = compute_metrics(
-      netlist_, partition_netlist(netlist_, options).partition);
+      netlist_, Solver(SolverConfig::from(options)).run(netlist_).value().partition);
   const PartitionMetrics b = compute_metrics(
-      *reparsed, partition_netlist(*reparsed, options).partition);
+      *reparsed, Solver(SolverConfig::from(options)).run(*reparsed).value().partition);
   // Same seed on a structurally identical netlist: identical outcome.
   EXPECT_EQ(a.distance_histogram, b.distance_histogram);
   EXPECT_NEAR(a.bmax_ma, b.bmax_ma, 1e-9);

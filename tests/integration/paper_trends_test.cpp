@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/kres_search.h"
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
 
@@ -17,7 +17,7 @@ namespace {
 PartitionMetrics metrics_at_k(const Netlist& netlist, int k) {
   PartitionOptions options;
   options.num_planes = k;
-  return compute_metrics(netlist, partition_netlist(netlist, options).partition);
+  return compute_metrics(netlist, Solver(SolverConfig::from(options)).run(netlist).value().partition);
 }
 
 // Table II's headline trends on KSA4: locality falls and B_max falls as K

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "gen/sim.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
@@ -45,7 +45,7 @@ TEST(CouplingInsertion, PairCountMatchesPlan) {
   const Netlist netlist = build_mapped("ksa8");
   PartitionOptions options;
   options.num_planes = 4;
-  const Partition partition = partition_netlist(netlist, options).partition;
+  const Partition partition = Solver(SolverConfig::from(options)).run(netlist).value().partition;
   const CouplingReport plan = plan_coupling(netlist, partition);
   const CouplingInsertion result = apply_coupling_insertion(netlist, partition);
   EXPECT_EQ(result.pairs_inserted, plan.total_pairs);
@@ -55,7 +55,7 @@ TEST(CouplingInsertion, ResultHasOnlyAdjacentCrossings) {
   const Netlist netlist = build_mapped("mult4");
   PartitionOptions options;
   options.num_planes = 5;
-  const Partition partition = partition_netlist(netlist, options).partition;
+  const Partition partition = Solver(SolverConfig::from(options)).run(netlist).value().partition;
   const CouplingInsertion result = apply_coupling_insertion(netlist, partition);
   // After insertion every remaining cross-plane link spans exactly one
   // boundary (the coupled driver->receiver hop itself).
@@ -115,7 +115,7 @@ TEST(CouplingInsertion, FunctionPreserved) {
   const Netlist netlist = build_mapped("ksa4");
   PartitionOptions options;
   options.num_planes = 3;
-  const Partition partition = partition_netlist(netlist, options).partition;
+  const Partition partition = Solver(SolverConfig::from(options)).run(netlist).value().partition;
   const CouplingInsertion result = apply_coupling_insertion(netlist, partition);
   Rng rng(5);
   for (int trial = 0; trial < 10; ++trial) {

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "gen/suite.h"
 
 namespace sfqpart {
@@ -73,7 +73,7 @@ TEST(Power, RecyclingCutsSupplyCurrentByAboutK) {
   const Netlist netlist = build_mapped("ksa8");
   PartitionOptions popt;
   popt.num_planes = 5;
-  const Partition partition = partition_netlist(netlist, popt).partition;
+  const Partition partition = Solver(SolverConfig::from(popt)).run(netlist).value().partition;
   const PowerReport report = analyze_power(netlist, partition);
   EXPECT_GT(report.current_reduction_factor(), 4.0);
   EXPECT_LE(report.current_reduction_factor(), 5.0 + 1e-9);

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "gen/suite.h"
 
 namespace sfqpart {
@@ -78,7 +78,7 @@ TEST(BiasPlan, PadSavingMatchesPaperArithmetic) {
   const Netlist netlist = build_mapped("ksa8");  // B_cir ~ 178 mA
   PartitionOptions popt;
   popt.num_planes = 3;
-  const PartitionResult result = partition_netlist(netlist, popt);
+  const PartitionResult result = Solver(SolverConfig::from(popt)).run(netlist).value();
   const BiasPlan plan = make_bias_plan(netlist, result.partition);
   EXPECT_EQ(plan.pads_parallel, 2);  // ceil(178/100)
   EXPECT_EQ(plan.pads_serial, 1);

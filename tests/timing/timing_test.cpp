@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 #include "gen/suite.h"
 #include "recycling/insertion.h"
 
@@ -92,7 +92,7 @@ TEST(Timing, PartitionSlowsRealCircuit) {
   const Netlist netlist = build_mapped("ksa8");
   PartitionOptions popt;
   popt.num_planes = 5;
-  const Partition partition = partition_netlist(netlist, popt).partition;
+  const Partition partition = Solver(SolverConfig::from(popt)).run(netlist).value().partition;
   const TimingReport flat = analyze_timing(netlist);
   const TimingReport cut = analyze_timing(netlist, {}, nullptr, &partition);
   EXPECT_GE(cut.min_period_ps, flat.min_period_ps);
@@ -105,7 +105,7 @@ TEST(Timing, InsertedCouplingCellsMatchHopModel) {
   const Netlist netlist = build_mapped("ksa4");
   PartitionOptions popt;
   popt.num_planes = 3;
-  const Partition partition = partition_netlist(netlist, popt).partition;
+  const Partition partition = Solver(SolverConfig::from(popt)).run(netlist).value().partition;
   const CouplingInsertion inserted = apply_coupling_insertion(netlist, partition);
   const TimingReport modeled = analyze_timing(netlist, {}, nullptr, &partition);
   const TimingReport implemented =

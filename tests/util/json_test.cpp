@@ -67,5 +67,76 @@ TEST(Json, KeysKeepInsertionOrder) {
   EXPECT_LT(out.find("\"z\""), out.find("\"a\""));
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool(true));
+  EXPECT_EQ(Json::parse("42")->as_int(), 42);
+  EXPECT_EQ(Json::parse("-7")->as_int(), -7);
+  EXPECT_EQ(Json::parse("2.5")->as_number(), 2.5);
+  EXPECT_EQ(Json::parse("1e-3")->as_number(), 1e-3);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, IntegersKeepIntegerKind) {
+  EXPECT_EQ(Json::parse("42")->dump(0), "42");
+  EXPECT_EQ(Json::parse("2.5")->dump(0), "2.5");
+}
+
+TEST(JsonParse, ContainersAndAccessors) {
+  const auto parsed = Json::parse(R"({"a": [1, 2.5, "x"], "b": {"c": true}})");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  const Json& doc = *parsed;
+  ASSERT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("a")->size(), 3u);
+  EXPECT_EQ(doc.find("a")->at(0).as_int(), 1);
+  EXPECT_EQ(doc.find("a")->at(2).as_string(), "x");
+  EXPECT_TRUE(doc.find("b")->find("c")->as_bool());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.size(), 2u);
+  EXPECT_EQ(doc.key_at(0), "a");
+  EXPECT_EQ(doc.key_at(1), "b");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")")->as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("Aé")")->as_string(), "A\xc3\xa9");
+  EXPECT_EQ(Json::parse(R"("\u0001")")->as_string(), std::string(1, '\x01'));
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").is_ok());
+  EXPECT_FALSE(Json::parse("{").is_ok());
+  EXPECT_FALSE(Json::parse("[1,]").is_ok());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").is_ok());
+  EXPECT_FALSE(Json::parse("\"unterminated").is_ok());
+  EXPECT_FALSE(Json::parse("nul").is_ok());
+  EXPECT_FALSE(Json::parse("1 2").is_ok());  // trailing content
+  EXPECT_FALSE(Json::parse("{\"a\": 1} x").is_ok());
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_FALSE(Json::parse(deep).is_ok());
+}
+
+TEST(JsonParse, DumpParseDumpIsIdentity) {
+  Json obj = Json::object();
+  Json arr = Json::array();
+  arr.append(Json::number(static_cast<long long>(1)))
+      .append(Json::number(0.125))
+      .append(Json::string("x\ny"))
+      .append(Json::null());
+  obj.set("values", std::move(arr));
+  obj.set("flag", Json::boolean(true));
+  for (const int indent : {0, 2}) {
+    const std::string once = obj.dump(indent);
+    const auto parsed = Json::parse(once);
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+    EXPECT_EQ(parsed->dump(indent), once);
+  }
+}
+
 }  // namespace
 }  // namespace sfqpart

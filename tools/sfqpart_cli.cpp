@@ -4,6 +4,7 @@
 //   sfqpart stats     --circuit ksa8 | --def design.def [--json]
 //   sfqpart partition --circuit ksa8 --planes 5 [--refine] [--method gd|multilevel|annealing|layered|fm|random]
 //                     [--threads N] [--progress] [--json] [--csv out.csv] [--dot out.dot]
+//                     [--report-json report.json] [--trace]
 //   sfqpart kres      --circuit id8 --limit 100 [--json]
 //   sfqpart plan      --circuit ksa8 --planes 4 [--json]
 //   sfqpart emit      --circuit mult4 --dir out/
@@ -34,6 +35,9 @@
 #include "netlist/dot.h"
 #include "netlist/stats.h"
 #include "netlist/validate.h"
+#include "obs/observer.h"
+#include "obs/run_report.h"
+#include "obs/stream_tracer.h"
 #include "recycling/bias_plan.h"
 #include "recycling/coupling.h"
 #include "recycling/power.h"
@@ -67,6 +71,11 @@ OptionsParser make_parser(const std::string& command) {
                  "worker threads for gd restarts (0 = hardware concurrency)");
   parser.add_flag("progress", false,
                   "report live gd convergence (restart/iteration/cost) on stderr");
+  parser.add_string("report-json", "",
+                    "write a machine-readable run report (config, convergence "
+                    "curves, stage times, metrics) to this file");
+  parser.add_flag("trace", false,
+                  "stream solver events (restarts, iterations, timers) on stderr");
   parser.add_string("csv", "", "write gate->plane assignments to this CSV file");
   parser.add_string("dot", "", "write a plane-colored DOT graph to this file");
   parser.add_double("limit", 100.0, "bias pad limit in mA (kres)");
@@ -171,7 +180,8 @@ int cmd_stats(const OptionsParser& options) {
   return 0;
 }
 
-StatusOr<Partition> run_method(const Netlist& netlist, const OptionsParser& options) {
+StatusOr<Partition> run_method(const Netlist& netlist, const OptionsParser& options,
+                               obs::SolverObserver* observer = nullptr) {
   const int planes = static_cast<int>(options.get_int("planes"));
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed"));
   const std::string method = options.get_string("method");
@@ -181,6 +191,7 @@ StatusOr<Partition> run_method(const Netlist& netlist, const OptionsParser& opti
     config.seed = seed;
     config.refine = options.get_flag("refine");
     config.threads = static_cast<int>(options.get_int("threads"));
+    config.observer = observer;
     if (options.get_flag("progress")) {
       config.progress = [](const SolverProgress& p) {
         if (p.iteration % 50 == 0) {
@@ -196,17 +207,20 @@ StatusOr<Partition> run_method(const Netlist& netlist, const OptionsParser& opti
   if (method == "multilevel") {
     MultilevelOptions mopt;
     mopt.seed = seed;
+    mopt.observer = observer;
     return multilevel_partition(netlist, planes, mopt).partition;
   }
   if (method == "annealing") {
     AnnealingOptions aopt;
     aopt.seed = seed;
+    aopt.observer = observer;
     return anneal_partition(netlist, planes, aopt).partition;
   }
   if (method == "layered") return layered_partition(netlist, planes);
   if (method == "fm") {
     FmOptions fopt;
     fopt.seed = seed;
+    fopt.observer = observer;
     return fm_kway_partition(netlist, planes, fopt).partition;
   }
   if (method == "random") return random_partition(netlist, planes, seed);
@@ -219,12 +233,34 @@ int cmd_partition(const OptionsParser& options) {
     std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
     return 1;
   }
-  const auto partition = run_method(*netlist, options);
+
+  // Observability: --report-json aggregates the run into a RunReport,
+  // --trace streams events live; both at once share the stream through a
+  // multicast. No flag -> null observer -> the solver pays one branch.
+  const std::string report_path = options.get_string("report-json");
+  obs::RunReport report;
+  obs::StreamTracer tracer(stderr);
+  obs::MulticastObserver multicast;
+  if (!report_path.empty()) multicast.add(&report);
+  if (options.get_flag("trace")) multicast.add(&tracer);
+  obs::SolverObserver* observer = multicast.empty() ? nullptr : &multicast;
+
+  const auto partition = run_method(*netlist, options, observer);
   if (!partition) {
     std::fprintf(stderr, "%s\n", partition.status().message().c_str());
     return 1;
   }
   const PartitionMetrics metrics = compute_metrics(*netlist, *partition);
+
+  if (!report_path.empty()) {
+    report.set_circuit(netlist->name(), metrics.num_gates,
+                       metrics.num_connections);
+    report.set_metrics(metrics);
+    if (auto st = report.write_file(report_path); !st) {
+      std::fprintf(stderr, "%s\n", st.message().c_str());
+      return 1;
+    }
+  }
 
   if (!options.get_string("csv").empty()) {
     CsvWriter csv({"gate", "cell", "plane"});
