@@ -1,0 +1,228 @@
+// Gradient hot-path throughput: eval-only and eval+gradient rates of the
+// CostModel across thread counts on the largest generated circuits, with
+// an A/B against the pre-CSR serial-scatter reference engine.
+//
+// Prints the table, writes results/BENCH_gradient.json (the perf artifact
+// future PRs are gated against: `speedup_vs_scatter` on the largest
+// circuit at 8 threads must not regress below 1.5x), then runs the
+// google-benchmark timers. The scatter reference is measured through the
+// plain (workspace-allocating) overloads because that is exactly how the
+// pre-CSR optimizer called it — fresh scratch every iteration.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/soft_assign.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sfqpart::bench {
+namespace {
+
+constexpr std::uint64_t kSeed = 1;
+constexpr int kPlanes = 5;
+// Largest circuits of the generated suite (Table I order): the id8
+// divider and the c3540-class random logic.
+const char* const kCircuits[] = {"id8", "c3540"};
+
+struct Workload {
+  std::string circuit;
+  PartitionProblem problem;
+  Matrix w;
+};
+
+Workload make_workload(const std::string& circuit) {
+  Workload load;
+  load.circuit = circuit;
+  const Netlist netlist = build_mapped(circuit);
+  load.problem = PartitionProblem::from_netlist(netlist, kPlanes);
+  Rng rng(kSeed);
+  load.w = random_soft_assignment(load.problem.num_gates, kPlanes, rng);
+  return load;
+}
+
+// Evals/second of `body` (which runs one evaluation) over one ~200ms
+// window.
+template <typename Body>
+double one_window_per_s(const Body& body) {
+  int evals = 0;
+  const auto start = std::chrono::steady_clock::now();
+  std::chrono::duration<double> elapsed{};
+  do {
+    body();
+    ++evals;
+    elapsed = std::chrono::steady_clock::now() - start;
+  } while (elapsed.count() < 0.2);
+  return evals / elapsed.count();
+}
+
+// One thread-count measurement: five trials, each timing eval, gather and
+// scatter in *adjacent* windows so a trial's gather/scatter pair sees the
+// same machine conditions. Rates are best-of (scheduler noise on a shared
+// box only ever biases a window low); the speedup is the median of the
+// per-trial paired ratios, which is robust to the CPU-steal swings that
+// make rates from windows seconds apart incomparable.
+struct RatePoint {
+  double eval = 0.0;
+  double gather = 0.0;
+  double scatter = 0.0;
+  double ratio = 0.0;  // median over trials of (gather / scatter)
+};
+
+template <typename EvalBody, typename GatherBody, typename ScatterBody>
+RatePoint measure_point(const EvalBody& eval_body,
+                        const GatherBody& gather_body,
+                        const ScatterBody& scatter_body) {
+  RatePoint point;
+  std::vector<double> ratios;
+  for (int trial = 0; trial < 9; ++trial) {
+    const double eval_rate = one_window_per_s(eval_body);
+    const double gather_rate = one_window_per_s(gather_body);
+    const double scatter_rate = one_window_per_s(scatter_body);
+    point.eval = std::max(point.eval, eval_rate);
+    point.gather = std::max(point.gather, gather_rate);
+    point.scatter = std::max(point.scatter, scatter_rate);
+    if (scatter_rate > 0.0) ratios.push_back(gather_rate / scatter_rate);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  if (!ratios.empty()) point.ratio = ratios[ratios.size() / 2];
+  return point;
+}
+
+Json bench_circuit(const Workload& load) {
+  CostModel model(load.problem, CostWeights{});
+  Matrix grad;
+  CostModel::Workspace workspace;
+
+  // Bit-identity A/B before timing anything: the gather engine must match
+  // the scatter reference exactly, with and without a pool.
+  Matrix gather_grad;
+  Matrix scatter_grad;
+  CostModel::Workspace check_ws;
+  model.set_gradient_engine(GradientEngine::kCsrGather);
+  const CostTerms gather_terms =
+      model.evaluate_with_gradient(load.w, gather_grad, check_ws);
+  model.set_gradient_engine(GradientEngine::kSerialScatter);
+  const CostTerms scatter_terms =
+      model.evaluate_with_gradient(load.w, scatter_grad, check_ws);
+  model.set_gradient_engine(GradientEngine::kCsrGather);
+  const bool identical = gather_grad == scatter_grad &&
+                         gather_terms.f1 == scatter_terms.f1 &&
+                         gather_terms.f2 == scatter_terms.f2 &&
+                         gather_terms.f3 == scatter_terms.f3 &&
+                         gather_terms.f4 == scatter_terms.f4;
+
+  TablePrinter table({"path", "threads", "evals/s", "vs scatter@same"});
+  Json runs = Json::array();
+  double speedup = 0.0;
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    model.set_thread_pool(threads > 1 ? &pool : nullptr);
+
+    const RatePoint point = measure_point(
+        [&] {
+          ::benchmark::DoNotOptimize(model.evaluate(load.w, workspace).f1);
+        },
+        [&] {
+          model.set_gradient_engine(GradientEngine::kCsrGather);
+          ::benchmark::DoNotOptimize(
+              model.evaluate_with_gradient(load.w, grad, workspace).f1);
+        },
+        // Pre-CSR reference: serial scatter + separate passes, transient
+        // workspace per call (what the optimizer loop used to do).
+        [&] {
+          model.set_gradient_engine(GradientEngine::kSerialScatter);
+          ::benchmark::DoNotOptimize(
+              model.evaluate_with_gradient(load.w, grad).f1);
+        });
+    model.set_gradient_engine(GradientEngine::kCsrGather);
+
+    if (threads == 8) speedup = point.ratio;
+    table.add_row({"eval", std::to_string(threads),
+                   str_format("%.0f", point.eval), "-"});
+    table.add_row({"eval+grad gather", std::to_string(threads),
+                   str_format("%.0f", point.gather),
+                   str_format("%.2fx", point.ratio)});
+    table.add_row({"eval+grad scatter", std::to_string(threads),
+                   str_format("%.0f", point.scatter), "1.00x"});
+    runs.append(Json::object()
+                    .set("threads", Json::number(static_cast<long long>(threads)))
+                    .set("eval_per_s", Json::number(point.eval))
+                    .set("eval_grad_per_s", Json::number(point.gather))
+                    .set("eval_grad_scatter_per_s", Json::number(point.scatter))
+                    .set("gather_vs_scatter", Json::number(point.ratio)));
+  }
+  model.set_thread_pool(nullptr);
+  std::printf("== Gradient hot path: %s (%d gates, %zu edges, K=%d) ==\n",
+              load.circuit.c_str(), load.problem.num_gates,
+              load.problem.edges.size(), kPlanes);
+  table.print();
+  std::printf("gather identical to scatter: %s; 8-thread eval+grad speedup "
+              "vs scatter: %.2fx\n",
+              identical ? "yes" : "NO", speedup);
+
+  return Json::object()
+      .set("circuit", Json::string(load.circuit))
+      .set("gates", Json::number(static_cast<long long>(load.problem.num_gates)))
+      .set("edges",
+           Json::number(static_cast<long long>(load.problem.edges.size())))
+      .set("planes", Json::number(static_cast<long long>(kPlanes)))
+      .set("identical_to_scatter", Json::boolean(identical))
+      .set("speedup_vs_scatter", Json::number(speedup))
+      .set("runs", std::move(runs));
+}
+
+void print_gradient_bench() {
+  Json circuits = Json::array();
+  for (const char* circuit : kCircuits) {
+    circuits.append(bench_circuit(make_workload(circuit)));
+  }
+  const Json doc =
+      Json::object()
+          .set("bench", Json::string("gradient"))
+          .set("seed", Json::number(static_cast<long long>(kSeed)))
+          .set("hardware_threads",
+               Json::number(
+                   static_cast<long long>(ThreadPool::hardware_concurrency())))
+          .set("circuits", std::move(circuits));
+  write_results_json("BENCH_gradient", doc);
+}
+
+void BM_EvalGradient(::benchmark::State& state) {
+  static const Workload load = make_workload("c3540");
+  const int threads = static_cast<int>(state.range(0));
+  CostModel model(load.problem, CostWeights{});
+  ThreadPool pool(threads);
+  if (threads > 1) model.set_thread_pool(&pool);
+  Matrix grad;
+  CostModel::Workspace workspace;
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(
+        model.evaluate_with_gradient(load.w, grad, workspace).f1);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_EvalGradient)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(::benchmark::kMicrosecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_EvalOnly(::benchmark::State& state) {
+  static const Workload load = make_workload("c3540");
+  CostModel model(load.problem, CostWeights{});
+  CostModel::Workspace workspace;
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(model.evaluate(load.w, workspace).f1);
+  }
+}
+BENCHMARK(BM_EvalOnly)->Unit(::benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::print_gradient_bench();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

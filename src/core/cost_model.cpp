@@ -10,9 +10,26 @@ namespace sfqpart {
 namespace {
 
 double ipow(double base, int exponent) {
+  // Negative exponents would silently evaluate to 1.0 and zero F1's
+  // contribution; the Solver facade rejects them with a Status before any
+  // CostModel exists, direct users fail here.
+  assert(exponent >= 0 && "ipow: negative exponents are not supported");
   double result = 1.0;
   for (int i = 0; i < exponent; ++i) result *= base;
   return result;
+}
+
+// ipow with the small exponents unrolled for the hot edge pass. Every
+// branch reproduces ipow's left-to-right multiply chain exactly
+// (1.0 * b == b in IEEE), so the bits never depend on which is called.
+inline double pow_chain(double base, int exponent) {
+  switch (exponent) {
+    case 0: return 1.0;
+    case 1: return base;
+    case 2: return base * base;
+    case 3: return (base * base) * base;
+    default: return ipow(base, exponent);
+  }
 }
 
 // Chunk size of the parallel reductions. The boundaries depend only on the
@@ -64,6 +81,8 @@ CostModel::CostModel(const PartitionProblem& problem, const CostWeights& weights
   const int k = problem.num_planes;
   const int g = problem.num_gates;
   assert(k >= 2);
+  assert(weights.distance_exponent >= 1 &&
+         "distance_exponent must be >= 1 (the Solver facade validates this)");
   // N1 = |E| (K-1)^p; N2 = (K-1) Bbar^2 with the ideal Bbar = B_cir / K;
   // N3 analogous; N4 = G (K-1)^2. Degenerate problems (no edges, zero
   // bias) fall back to 1 to keep the terms finite.
@@ -82,38 +101,68 @@ CostModel::CostModel(const PartitionProblem& problem, const CostWeights& weights
   if (n2_ <= 0.0) n2_ = 1.0;
   if (n3_ <= 0.0) n3_ = 1.0;
   if (n4_ <= 0.0) n4_ = 1.0;
+
+  // CSR incidence build: count degrees, prefix-sum, then fill in ascending
+  // edge order so each gate sees its incident edges in exactly the order
+  // the per-edge scatter touched its accumulator. Only the slot indices
+  // are stored: the edge pass writes each edge's two signed contributions
+  // into its slots, and the gather just sums a gate's slot range.
+  const auto gates = static_cast<std::size_t>(g);
+  inc_offsets_.assign(gates + 1, 0);
+  for (const auto& [a, b] : problem.edges) {
+    ++inc_offsets_[static_cast<std::size_t>(a) + 1];
+    ++inc_offsets_[static_cast<std::size_t>(b) + 1];
+  }
+  for (std::size_t i = 1; i <= gates; ++i) inc_offsets_[i] += inc_offsets_[i - 1];
+  slot_of_first_.resize(problem.edges.size());
+  slot_of_second_.resize(problem.edges.size());
+  std::vector<std::uint32_t> cursor(inc_offsets_.begin(), inc_offsets_.end() - 1);
+  for (std::size_t e = 0; e < problem.edges.size(); ++e) {
+    const auto& [a, b] = problem.edges[e];
+    slot_of_first_[e] = cursor[static_cast<std::size_t>(a)]++;
+    slot_of_second_[e] = cursor[static_cast<std::size_t>(b)]++;
+  }
 }
 
-CostModel::Aggregates CostModel::aggregate(const Matrix& w) const {
+void CostModel::aggregate(const Matrix& w, Workspace& ws) const {
   const auto g = static_cast<std::size_t>(problem_->num_gates);
   const auto k = static_cast<std::size_t>(problem_->num_planes);
   assert(w.rows() == g && w.cols() == k);
 
-  Aggregates agg;
-  agg.labels.assign(g, 0.0);
+  Aggregates& agg = ws.agg;
+  // labels and row_mean are unconditionally overwritten for every gate
+  // below, so resize (a no-op on a warm workspace) instead of paying an
+  // assign's zero-fill on the hot path.
+  agg.labels.resize(g);
+  agg.row_mean.resize(g);
   agg.plane_bias.assign(k, 0.0);
   agg.plane_area.assign(k, 0.0);
-  agg.row_mean.assign(g, 0.0);
+  agg.mean_bias = 0.0;
+  agg.mean_area = 0.0;
 
   // Per-chunk B/A partials, combined in chunk order below; labels and
   // row_mean are element-wise and need no combine step.
   const std::size_t chunks = chunk_count(g, kReductionGrain);
-  std::vector<double> bias_partial(chunks * k, 0.0);
-  std::vector<double> area_partial(chunks * k, 0.0);
+  ws.bias_partial.assign(chunks * k, 0.0);
+  ws.area_partial.assign(chunks * k, 0.0);
   parallel_chunks(pool_, g, kReductionGrain,
                   [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    double* bias_out = bias_partial.data() + chunk * k;
-    double* area_out = area_partial.data() + chunk * k;
+    double* bias_out = ws.bias_partial.data() + chunk * k;
+    double* area_out = ws.area_partial.data() + chunk * k;
     for (std::size_t i = begin; i < end; ++i) {
       const auto row = w.row(i);
+      // Hoisted: the compiler cannot prove bias_out/area_out do not alias
+      // the problem arrays, so without locals it reloads them every kk.
+      const double bias_i = problem_->bias[i];
+      const double area_i = problem_->area[i];
       double label = 0.0;
       double sum = 0.0;
       for (std::size_t kk = 0; kk < k; ++kk) {
         const double value = row[kk];
         label += static_cast<double>(kk + 1) * value;  // plane values 1..K
         sum += value;
-        bias_out[kk] += problem_->bias[i] * value;
-        area_out[kk] += problem_->area[i] * value;
+        bias_out[kk] += bias_i * value;
+        area_out[kk] += area_i * value;
       }
       agg.labels[i] = label;
       agg.row_mean[i] = sum / static_cast<double>(k);
@@ -121,26 +170,61 @@ CostModel::Aggregates CostModel::aggregate(const Matrix& w) const {
   });
   for (std::size_t c = 0; c < chunks; ++c) {
     for (std::size_t kk = 0; kk < k; ++kk) {
-      agg.plane_bias[kk] += bias_partial[c * k + kk];
-      agg.plane_area[kk] += area_partial[c * k + kk];
+      agg.plane_bias[kk] += ws.bias_partial[c * k + kk];
+      agg.plane_area[kk] += ws.area_partial[c * k + kk];
     }
   }
   for (const double b : agg.plane_bias) agg.mean_bias += b;
   for (const double a : agg.plane_area) agg.mean_area += a;
   agg.mean_bias /= static_cast<double>(k);
   agg.mean_area /= static_cast<double>(k);
-  return agg;
 }
 
-CostTerms CostModel::terms_from(const Matrix& w, const Aggregates& agg) const {
-  const auto g = static_cast<std::size_t>(problem_->num_gates);
-  const auto k = static_cast<std::size_t>(problem_->num_planes);
-  const double kd = static_cast<double>(k);
-  CostTerms terms;
-
+// The gather engine's edge pass: the F1 term and the per-slot signed
+// gradient contributions in one sweep, with a single power chain per
+// edge. Bit-identity bookkeeping:
+//  - `chain * ad` extends pow_chain(ad, p-1)'s multiply sequence by one
+//    factor, which IS ipow(ad, p)'s sequence, so the F1 chunk partials
+//    match f1_term() exactly (same grain, same combine order).
+//  - The first endpoint's slot takes the scatter's `+= signed_term` value
+//    and the second takes `-signed_term` (IEEE negation is exact), so
+//    summing a gate's slots in ascending edge order replays the exact
+//    additions the scatter applied to dlabel[i].
+double CostModel::f1_and_slot_grad(const Aggregates& agg, Workspace& ws) const {
+  const int p = weights_.distance_exponent;
   const std::size_t edge_chunks =
       chunk_count(problem_->edges.size(), kReductionGrain);
-  std::vector<double> f1_partial(edge_chunks, 0.0);
+  ws.f1_partial.assign(edge_chunks, 0.0);
+  ws.slot_grad.resize(2 * problem_->edges.size());
+  parallel_chunks(pool_, problem_->edges.size(), kReductionGrain,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    double sum = 0.0;
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& [a, b] = problem_->edges[e];
+      const double delta = agg.labels[static_cast<std::size_t>(a)] -
+                           agg.labels[static_cast<std::size_t>(b)];
+      const double ad = std::abs(delta);
+      const double chain = pow_chain(ad, p - 1);
+      sum += chain * ad;
+      const double magnitude = p * chain / n1_;
+      const double first =
+          style_ == GradientStyle::kAnalytic
+              ? (delta >= 0.0 ? magnitude : -magnitude)
+              : magnitude;  // eq. 10 as printed: unsigned, +first / -second
+      ws.slot_grad[slot_of_first_[e]] = first;
+      ws.slot_grad[slot_of_second_[e]] = -first;
+    }
+    ws.f1_partial[chunk] = sum;
+  });
+  double f1 = 0.0;
+  for (const double sum : ws.f1_partial) f1 += sum;
+  return f1 / n1_;
+}
+
+double CostModel::f1_term(const Aggregates& agg, Workspace& ws) const {
+  const std::size_t edge_chunks =
+      chunk_count(problem_->edges.size(), kReductionGrain);
+  ws.f1_partial.assign(edge_chunks, 0.0);
   parallel_chunks(pool_, problem_->edges.size(), kReductionGrain,
                   [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     double sum = 0.0;
@@ -150,11 +234,16 @@ CostTerms CostModel::terms_from(const Matrix& w, const Aggregates& agg) const {
                                     agg.labels[static_cast<std::size_t>(b)]);
       sum += ipow(delta, weights_.distance_exponent);
     }
-    f1_partial[chunk] = sum;
+    ws.f1_partial[chunk] = sum;
   });
-  for (const double sum : f1_partial) terms.f1 += sum;
-  terms.f1 /= n1_;
+  double f1 = 0.0;
+  for (const double sum : ws.f1_partial) f1 += sum;
+  return f1 / n1_;
+}
 
+void CostModel::f2_f3_terms(const Aggregates& agg, CostTerms& terms) const {
+  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  const double kd = static_cast<double>(k);
   for (std::size_t kk = 0; kk < k; ++kk) {
     const double db = agg.plane_bias[kk] - agg.mean_bias;
     const double da = agg.plane_area[kk] - agg.mean_area;
@@ -163,9 +252,20 @@ CostTerms CostModel::terms_from(const Matrix& w, const Aggregates& agg) const {
   }
   terms.f2 /= kd * n2_;
   terms.f3 /= kd * n3_;
+}
+
+CostTerms CostModel::terms_from(const Matrix& w, Workspace& ws) const {
+  const auto g = static_cast<std::size_t>(problem_->num_gates);
+  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  const double kd = static_cast<double>(k);
+  const Aggregates& agg = ws.agg;
+  CostTerms terms;
+
+  terms.f1 = f1_term(agg, ws);
+  f2_f3_terms(agg, terms);
 
   const std::size_t gate_chunks = chunk_count(g, kReductionGrain);
-  std::vector<double> f4_partial(gate_chunks, 0.0);
+  ws.f4_partial.assign(gate_chunks, 0.0);
   parallel_chunks(pool_, g, kReductionGrain,
                   [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     double sum = 0.0;
@@ -179,34 +279,135 @@ CostTerms CostModel::terms_from(const Matrix& w, const Aggregates& agg) const {
       }
       sum += sum_term * sum_term - variance / kd;
     }
-    f4_partial[chunk] = sum;
+    ws.f4_partial[chunk] = sum;
   });
-  for (const double sum : f4_partial) terms.f4 += sum;
+  for (const double sum : ws.f4_partial) terms.f4 += sum;
   terms.f4 /= n4_;
   return terms;
 }
 
 CostTerms CostModel::evaluate(const Matrix& w) const {
-  return terms_from(w, aggregate(w));
+  Workspace workspace;
+  return evaluate(w, workspace);
+}
+
+CostTerms CostModel::evaluate(const Matrix& w, Workspace& ws) const {
+  aggregate(w, ws);
+  return terms_from(w, ws);
 }
 
 CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad) const {
+  Workspace workspace;
+  return evaluate_with_gradient(w, grad, workspace);
+}
+
+CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad,
+                                            Workspace& ws) const {
+  const auto g = static_cast<std::size_t>(problem_->num_gates);
+  const auto k = static_cast<std::size_t>(problem_->num_planes);
+
+  aggregate(w, ws);
+  if (grad.rows() != g || grad.cols() != k) grad = Matrix(g, k);
+
+  if (engine_ == GradientEngine::kSerialScatter) {
+    const CostTerms terms = terms_from(w, ws);
+    scatter_gradient_pass(w, grad, ws);
+    return terms;
+  }
+
+  CostTerms terms;
+  terms.f1 = f1_and_slot_grad(ws.agg, ws);
+  f2_f3_terms(ws.agg, terms);
+  // The F4 term rides the fused gather/fill pass below: same grain, same
+  // per-chunk sums, same combine order as terms_from, so evaluate() and
+  // evaluate_with_gradient() report bit-identical terms.
+  fused_gradient_pass(w, grad, ws, terms);
+  return terms;
+}
+
+// One parallel pass over W doing all the per-gate work: the gather of
+// dF1/dl_i from the slot values the edge pass precomputed, the F4 term
+// partial, and the gradient row fill for every term. Everything a chunk
+// writes is either element-wise (gradient rows) or a chunk-indexed
+// partial combined in ascending chunk order, so the result is
+// bit-identical at any thread count. A gate's slots sit in ascending
+// edge order — the exact addition sequence the reference scatter applies
+// to dlabel[i] — which keeps the two engines bit-identical too. The
+// hoisted coefficient products keep the scatter fill's left-to-right
+// association, so hoisting cannot change a bit either.
+void CostModel::fused_gradient_pass(const Matrix& w, Matrix& grad,
+                                    Workspace& ws, CostTerms& terms) const {
+  const auto g = static_cast<std::size_t>(problem_->num_gates);
+  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  const double kd = static_cast<double>(k);
+  const Aggregates& agg = ws.agg;
+
+  const double bias_coef = weights_.c2 * (2.0 / (kd * n2_));
+  const double area_coef = weights_.c3 * (2.0 / (kd * n3_));
+  const double c4_coef = weights_.c4 * (2.0 / n4_);
+  // The per-plane deviations are row-invariant; computing them once per
+  // call (the identical subtraction, just cached) saves 2K flops per gate.
+  ws.bias_partial.assign(k, 0.0);
+  ws.area_partial.assign(k, 0.0);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    ws.bias_partial[kk] = agg.plane_bias[kk] - agg.mean_bias;
+    ws.area_partial[kk] = agg.plane_area[kk] - agg.mean_area;
+  }
+  const double* bias_diff = ws.bias_partial.data();
+  const double* area_diff = ws.area_partial.data();
+  const std::size_t gate_chunks = chunk_count(g, kReductionGrain);
+  ws.f4_partial.assign(gate_chunks, 0.0);
+  parallel_chunks(pool_, g, kReductionGrain,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    double f4_sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      double dlabel = 0.0;
+      for (std::uint32_t inc = inc_offsets_[i]; inc < inc_offsets_[i + 1];
+           ++inc) {
+        dlabel += ws.slot_grad[inc];
+      }
+
+      const auto grow = grad.row(i);
+      const auto wrow = w.row(i);
+      const double mean = agg.row_mean[i];
+      const double c1_dlabel = weights_.c1 * dlabel;
+      const double bias_i = bias_coef * problem_->bias[i];
+      const double area_i = area_coef * problem_->area[i];
+      const double sum_term = kd * mean - 1.0;
+      double variance = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        double value = c1_dlabel * static_cast<double>(kk + 1);
+        value += bias_i * bias_diff[kk];
+        value += area_i * area_diff[kk];
+        const double dev = wrow[kk] - mean;
+        if (style_ == GradientStyle::kAnalytic) {
+          value += c4_coef * (sum_term - dev / kd);
+        } else {
+          value += c4_coef * ((kd + 1.0 / kd) * (mean - wrow[kk]) + kd - 1.0);
+        }
+        grow[kk] = value;
+        variance += dev * dev;
+      }
+      f4_sum += sum_term * sum_term - variance / kd;
+    }
+    ws.f4_partial[chunk] = f4_sum;
+  });
+  for (const double sum : ws.f4_partial) terms.f4 += sum;
+  terms.f4 /= n4_;
+}
+
+// The pre-CSR reference path: a serial per-edge scatter into dlabel, then
+// a separate parallel fill pass. Kept only for A/B regression coverage.
+void CostModel::scatter_gradient_pass(const Matrix& w, Matrix& grad,
+                                      Workspace& ws) const {
   const auto g = static_cast<std::size_t>(problem_->num_gates);
   const auto k = static_cast<std::size_t>(problem_->num_planes);
   const double kd = static_cast<double>(k);
   const int p = weights_.distance_exponent;
-
-  const Aggregates agg = aggregate(w);
-  const CostTerms terms = terms_from(w, agg);
-
-  if (grad.rows() != g || grad.cols() != k) {
-    grad = Matrix(g, k);
-  } else {
-    grad.fill(0.0);
-  }
+  const Aggregates& agg = ws.agg;
 
   // F1: dF1/dl_i accumulated per gate, then dl_i/dw_{i,k} = (k+1).
-  std::vector<double> dlabel(g, 0.0);
+  ws.dlabel.assign(g, 0.0);
   for (const auto& [a, b] : problem_->edges) {
     const auto ua = static_cast<std::size_t>(a);
     const auto ub = static_cast<std::size_t>(b);
@@ -214,13 +415,11 @@ CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad) const
     const double magnitude = p * ipow(std::abs(delta), p - 1) / n1_;
     if (style_ == GradientStyle::kAnalytic) {
       const double signed_term = delta >= 0.0 ? magnitude : -magnitude;
-      dlabel[ua] += signed_term;
-      dlabel[ub] -= signed_term;
+      ws.dlabel[ua] += signed_term;
+      ws.dlabel[ub] -= signed_term;
     } else {
-      // Equation 10 as printed: first-endpoint sum minus second-endpoint
-      // sum of unsigned |l_i1 - l_i2|^3 terms.
-      dlabel[ua] += magnitude;
-      dlabel[ub] -= magnitude;
+      ws.dlabel[ua] += magnitude;
+      ws.dlabel[ub] -= magnitude;
     }
   }
 
@@ -234,7 +433,7 @@ CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad) const
       const auto grow = grad.row(i);
       const double mean = agg.row_mean[i];
       for (std::size_t kk = 0; kk < k; ++kk) {
-        double value = weights_.c1 * dlabel[i] * static_cast<double>(kk + 1);
+        double value = weights_.c1 * ws.dlabel[i] * static_cast<double>(kk + 1);
         value += weights_.c2 * bias_coef * problem_->bias[i] *
                  (agg.plane_bias[kk] - agg.mean_bias);
         value += weights_.c3 * area_coef * problem_->area[i] *
@@ -246,11 +445,10 @@ CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad) const
           value += weights_.c4 * (2.0 / n4_) *
                    ((kd + 1.0 / kd) * (mean - w(i, kk)) + kd - 1.0);
         }
-        grow[kk] += value;
+        grow[kk] = value;
       }
     }
   });
-  return terms;
 }
 
 CostTerms CostModel::evaluate_discrete(const std::vector<int>& labels) const {

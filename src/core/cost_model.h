@@ -10,8 +10,19 @@
 // validated against finite differences) and kPaperEq10 (the expressions
 // exactly as printed in equation 10 of the paper; see DESIGN.md section 1
 // for where they differ).
+//
+// The F1 gradient is accumulated by a per-gate *gather* over a CSR-style
+// incidence adjacency cached at construction (DESIGN.md section 9): one
+// parallel edge pass computes the F1 term and both signed per-endpoint
+// contributions of every edge (one power chain per edge, shared with the
+// term), then a single fused pass over W sums each gate's precomputed
+// slots, the F4 term, and the gradient fill. Each gate's slots sit in
+// ascending edge order — the exact per-accumulator addition sequence of
+// the historical per-edge scatter — so the gather is bit-identical to
+// the scatter at every thread count.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/partition.h"
@@ -29,13 +40,23 @@ struct CostWeights {
 
   // Exponent of the distance term (the paper uses 4, "to model the sharp
   // increment of a connection cost with the increase in distance").
-  // Exposed for the A1 ablation bench.
+  // Exposed for the A1 ablation bench. Must be >= 1; the Solver facade
+  // rejects smaller values with a Status, CostModel asserts.
   int distance_exponent = 4;
 };
 
 enum class GradientStyle {
   kAnalytic,
   kPaperEq10,
+};
+
+// Implementation of the F1 gradient accumulation. Both engines produce
+// bit-identical terms and gradients (tests/core/parallel_determinism_test
+// proves it); kSerialScatter is the pre-CSR reference, kept so the
+// gradient bench and regression tests can A/B the hot path.
+enum class GradientEngine {
+  kCsrGather,      // default: parallel per-gate gather over the cached CSR
+  kSerialScatter,  // reference: serial per-edge scatter, separate passes
 };
 
 struct CostTerms {
@@ -50,41 +71,6 @@ struct CostTerms {
 };
 
 class CostModel {
- public:
-  CostModel(const PartitionProblem& problem, const CostWeights& weights,
-            GradientStyle style = GradientStyle::kAnalytic);
-
-  const PartitionProblem& problem() const { return *problem_; }
-  const CostWeights& weights() const { return weights_; }
-  GradientStyle gradient_style() const { return style_; }
-
-  // Optional worker pool for the hot reductions (the F1 edge sum, the
-  // per-plane B/A accumulations, the F4 sum and the gradient fill). The
-  // summation *order* is fixed by the chunking of util/thread_pool.h and
-  // never by the pool, so attaching a pool changes wall-clock only: every
-  // result is bit-identical with 0, 1 or N threads. Null (the default)
-  // runs the same chunk order inline.
-  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
-  ThreadPool* thread_pool() const { return pool_; }
-
-  // Normalization constants (for incremental delta evaluation in refine).
-  double n1() const { return n1_; }
-  double n2() const { return n2_; }
-  double n3() const { return n3_; }
-  double n4() const { return n4_; }
-
-  // Cost of a soft assignment W (G x K).
-  CostTerms evaluate(const Matrix& w) const;
-
-  // Cost and the gradient of the *weighted* total; `grad` is resized and
-  // overwritten.
-  CostTerms evaluate_with_gradient(const Matrix& w, Matrix& grad) const;
-
-  // Cost of a hard assignment (labels are 0-based planes). F4 of a one-hot
-  // assignment is the constant -(K-1)/(K^2 (K-1)^2) * G/N4-normalized value;
-  // it is reported for completeness but does not rank assignments.
-  CostTerms evaluate_discrete(const std::vector<int>& labels) const;
-
  private:
   struct Aggregates {
     std::vector<double> labels;      // l_i (soft), size G
@@ -94,18 +80,101 @@ class CostModel {
     double mean_bias = 0.0;          // Bbar
     double mean_area = 0.0;          // Abar
   };
-  Aggregates aggregate(const Matrix& w) const;
-  CostTerms terms_from(const Matrix& w, const Aggregates& agg) const;
+
+ public:
+  // Reusable scratch for evaluate / evaluate_with_gradient. Hoisting it out
+  // of the per-iteration calls makes the optimizer loop allocation-free
+  // after the first iteration. A Workspace belongs to one caller at a time
+  // (the CostModel itself stays immutable and shareable across threads);
+  // each concurrent restart owns its own.
+  class Workspace {
+   public:
+    Workspace() = default;
+
+   private:
+    friend class CostModel;
+    Aggregates agg;
+    std::vector<double> bias_partial;  // per-chunk B_k partials, chunks * K
+    std::vector<double> area_partial;  // per-chunk A_k partials, chunks * K
+    std::vector<double> f1_partial;    // per-edge-chunk F1 partials
+    std::vector<double> f4_partial;    // per-gate-chunk F4 partials
+    std::vector<double> slot_grad;     // per-slot signed dF1/dl terms, 2|E|
+    std::vector<double> dlabel;        // dF/dl_i (kSerialScatter only)
+  };
+
+  CostModel(const PartitionProblem& problem, const CostWeights& weights,
+            GradientStyle style = GradientStyle::kAnalytic);
+
+  const PartitionProblem& problem() const { return *problem_; }
+  const CostWeights& weights() const { return weights_; }
+  GradientStyle gradient_style() const { return style_; }
+
+  // Optional worker pool for the hot reductions (the F1 edge sum, the
+  // per-plane B/A accumulations, and the fused gather/F4/fill pass). The
+  // summation *order* is fixed by the chunking of util/thread_pool.h and
+  // never by the pool, so attaching a pool changes wall-clock only: every
+  // result is bit-identical with 0, 1 or N threads. Null (the default)
+  // runs the same chunk order inline.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
+  // Selects the F1 gradient accumulation path; kCsrGather unless a bench
+  // or test explicitly requests the serial reference.
+  void set_gradient_engine(GradientEngine engine) { engine_ = engine; }
+  GradientEngine gradient_engine() const { return engine_; }
+
+  // Normalization constants (for incremental delta evaluation in refine).
+  double n1() const { return n1_; }
+  double n2() const { return n2_; }
+  double n3() const { return n3_; }
+  double n4() const { return n4_; }
+
+  // Cost of a soft assignment W (G x K). The Workspace overloads reuse the
+  // caller's scratch; the plain overloads allocate a transient one.
+  CostTerms evaluate(const Matrix& w) const;
+  CostTerms evaluate(const Matrix& w, Workspace& workspace) const;
+
+  // Cost and the gradient of the *weighted* total; `grad` is resized and
+  // overwritten.
+  CostTerms evaluate_with_gradient(const Matrix& w, Matrix& grad) const;
+  CostTerms evaluate_with_gradient(const Matrix& w, Matrix& grad,
+                                   Workspace& workspace) const;
+
+  // Cost of a hard assignment (labels are 0-based planes). F4 of a one-hot
+  // assignment is the constant -(K-1)/(K^2 (K-1)^2) * G/N4-normalized value;
+  // it is reported for completeness but does not rank assignments.
+  CostTerms evaluate_discrete(const std::vector<int>& labels) const;
+
+ private:
+  void aggregate(const Matrix& w, Workspace& ws) const;
+  double f1_term(const Aggregates& agg, Workspace& ws) const;
+  double f1_and_slot_grad(const Aggregates& agg, Workspace& ws) const;
+  void f2_f3_terms(const Aggregates& agg, CostTerms& terms) const;
+  CostTerms terms_from(const Matrix& w, Workspace& ws) const;
+  void fused_gradient_pass(const Matrix& w, Matrix& grad, Workspace& ws,
+                           CostTerms& terms) const;
+  void scatter_gradient_pass(const Matrix& w, Matrix& grad,
+                             Workspace& ws) const;
 
   const PartitionProblem* problem_;
   CostWeights weights_;
   GradientStyle style_;
+  GradientEngine engine_ = GradientEngine::kCsrGather;
   ThreadPool* pool_ = nullptr;
   // Normalization constants (equations 4-6, 9). Computed once.
   double n1_ = 1.0;
   double n2_ = 1.0;
   double n3_ = 1.0;
   double n4_ = 1.0;
+  // CSR gate -> incident edges, built once and shared by every restart.
+  // Gate i's slots are inc_offsets_[i] .. inc_offsets_[i+1], ordered by
+  // ascending edge index. Each edge owns exactly two slots (one per
+  // endpoint, equation 10's two sums); slot_of_first_/_second_ map an
+  // edge to them so the edge pass can write both signed contributions
+  // and the gather never recomputes a power chain.
+  std::vector<std::uint32_t> inc_offsets_;     // size G + 1
+  std::vector<std::uint32_t> slot_of_first_;   // size |E|
+  std::vector<std::uint32_t> slot_of_second_;  // size |E|
 };
 
 }  // namespace sfqpart

@@ -2,22 +2,73 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "core/soft_assign.h"
+#include "obs/trace_sink.h"
 
 namespace sfqpart {
+namespace {
+
+// Accumulates per-stage wall time across the descent and emits one
+// "gradient" and one "step" TimerEvent when the loop finishes (whichever
+// return path it takes). Disabled sinks cost a branch and never read a
+// clock, matching the TraceSink overhead contract.
+class StageTimers {
+ public:
+  StageTimers(obs::TraceSink* sink, int restart)
+      : sink_(sink != nullptr && sink->enabled() ? sink : nullptr),
+        restart_(restart) {}
+
+  StageTimers(const StageTimers&) = delete;
+  StageTimers& operator=(const StageTimers&) = delete;
+
+  ~StageTimers() {
+    if (sink_ == nullptr) return;
+    sink_->timer({"gradient", restart_, gradient_ms_});
+    sink_->timer({"step", restart_, step_ms_});
+  }
+
+  bool enabled() const { return sink_ != nullptr; }
+  void start() {
+    if (sink_ != nullptr) mark_ = std::chrono::steady_clock::now();
+  }
+  void stop(double& bucket_ms) {
+    if (sink_ == nullptr) return;
+    const auto now = std::chrono::steady_clock::now();
+    bucket_ms += std::chrono::duration<double, std::milli>(now - mark_).count();
+  }
+  double& gradient_ms() { return gradient_ms_; }
+  double& step_ms() { return step_ms_; }
+
+ private:
+  obs::TraceSink* sink_;
+  int restart_;
+  double gradient_ms_ = 0.0;
+  double step_ms_ = 0.0;
+  std::chrono::steady_clock::time_point mark_;
+};
+
+}  // namespace
 
 OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
                                      const OptimizerOptions& options) {
   OptimizerResult result;
   result.w = std::move(w0);
   Matrix grad;
+  // One workspace for the whole descent: after the first iteration the
+  // loop performs no allocations (the workspace buffers and `grad` keep
+  // their capacity across iterations).
+  CostModel::Workspace workspace;
+  StageTimers timers(options.sink, options.observer_restart);
 
   double cost_old = std::numeric_limits<double>::infinity();
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    result.final_terms = model.evaluate_with_gradient(result.w, grad);
+    timers.start();
+    result.final_terms = model.evaluate_with_gradient(result.w, grad, workspace);
+    timers.stop(timers.gradient_ms());
     const double cost_new = result.final_terms.total(model.weights());
     if (options.record_trace) result.cost_trace.push_back(cost_new);
     if (options.on_iteration) {
@@ -35,6 +86,7 @@ OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
       }
     }
 
+    timers.start();
     double scale = options.learning_rate;
     if (options.normalize_step) {
       double max_abs = 0.0;
@@ -54,11 +106,12 @@ OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
     for (std::size_t i = 0; i < w_flat.size(); ++i) {
       w_flat[i] = std::clamp(w_flat[i] - scale * g_flat[i], 0.0, 1.0);
     }
+    timers.stop(timers.step_ms());
     cost_old = cost_new;
     result.iterations = iter + 1;
   }
   // Max iterations reached: refresh terms for the final W.
-  result.final_terms = model.evaluate(result.w);
+  result.final_terms = model.evaluate(result.w, workspace);
   if (options.record_trace) {
     result.cost_trace.push_back(result.final_terms.total(model.weights()));
   }

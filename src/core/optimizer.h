@@ -17,6 +17,10 @@
 
 namespace sfqpart {
 
+namespace obs {
+class TraceSink;
+}  // namespace obs
+
 struct OptimizerOptions {
   // Relative cost-change stopping margin (Algorithm 1 line 14).
   double margin = 1e-4;
@@ -37,6 +41,14 @@ struct OptimizerOptions {
   // SolverObserver (obs/observer.h) iteration events.
   std::function<void(int iteration, const CostTerms& terms, double cost)>
       on_iteration;
+  // Optional stage-timing sink: when set (and enabled), the descent
+  // accumulates the wall time spent in the gradient evaluation and in the
+  // step/clamp update and emits two TimerEvents ("gradient", "step")
+  // tagged with `observer_restart` when it finishes. Purely observational:
+  // with a null or disabled sink no clock is ever read, and clocks never
+  // feed back into the math either way.
+  obs::TraceSink* sink = nullptr;
+  int observer_restart = -1;
 };
 
 struct OptimizerResult {

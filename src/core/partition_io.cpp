@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/csv.h"
@@ -43,7 +44,10 @@ StatusOr<Partition> parse_partition_csv(const std::string& text,
                                       row[1].c_str()));
     }
     const auto plane = parse_int(row[2]);
-    if (!plane || *plane < 0) {
+    // The upper bound also guards the narrowing cast below: a plane like
+    // 5000000000 would otherwise wrap to a negative int.
+    if (!plane || *plane < 0 ||
+        *plane > static_cast<long long>(std::numeric_limits<int>::max() - 1)) {
       return Status::error("bad plane '" + row[2] + "' for gate '" + row[0] + "'");
     }
     if (partition.plane_of[static_cast<std::size_t>(gate)] != kUnassignedPlane) {

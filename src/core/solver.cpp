@@ -1,6 +1,7 @@
 #include "core/solver.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,23 @@ Status validate(const SolverConfig& config, const PartitionProblem& problem) {
     return Status::error(str_format(
         "Solver: distance_exponent must be >= 1 (got %d)",
         config.weights.distance_exponent));
+  }
+  // Non-finite knobs would sail through the sign checks below (inf > 0 is
+  // true) and silently poison every cost; reject them here. parse_double
+  // accepts "inf"/"nan" spellings, so config files can produce these.
+  const struct { const char* name; double value; } finite_knobs[] = {
+      {"weights.c1", config.weights.c1},
+      {"weights.c2", config.weights.c2},
+      {"weights.c3", config.weights.c3},
+      {"weights.c4", config.weights.c4},
+      {"optimizer.learning_rate", config.optimizer.learning_rate},
+      {"optimizer.margin", config.optimizer.margin},
+  };
+  for (const auto& knob : finite_knobs) {
+    if (!std::isfinite(knob.value)) {
+      return Status::error(str_format("Solver: %s must be finite (got %g)",
+                                      knob.name, knob.value));
+    }
   }
   if (config.optimizer.max_iterations < 1) {
     return Status::error(
@@ -187,6 +205,9 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
                                                 double cost) {
         sink.iteration({restart, iteration, terms, cost});
       };
+      // Gradient/step stage breakdown of the "optimize" timer below.
+      optimizer.sink = &sink;
+      optimizer.observer_restart = restart;
     }
     RestartOutcome& out = outcomes[r];
     OptimizerResult opt;

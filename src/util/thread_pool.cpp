@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <atomic>
 #include <cassert>
 #include <exception>
 #include <utility>
@@ -82,29 +83,53 @@ void parallel_chunks(
     return;
   }
 
-  // Fan the chunks out and wait; keep the first exception for the caller.
+  // Fan out helpers that pull chunks from a shared counter, and pull
+  // chunks on the calling thread too instead of sleeping. Which thread
+  // executes a chunk is irrelevant to the result — boundaries and the
+  // caller's combine order are fixed above — so this only removes the
+  // idle-caller context switches (one task per *helper*, not per chunk).
+  // Every chunk runs even when bodies throw; the first exception is
+  // rethrown once all of them finished, as before.
   struct Join {
     std::mutex mutex;
     std::condition_variable done;
-    std::size_t remaining;
+    std::atomic<std::size_t> next{0};
+    std::size_t running_helpers;
     std::exception_ptr error;
   } join;
-  join.remaining = chunks;
 
-  for (std::size_t c = 0; c < chunks; ++c) {
-    pool->submit([&join, &body, c, grain, n] {
+  const auto run_chunks = [&join, &body, chunks, grain, n] {
+    for (;;) {
+      const std::size_t c = join.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
       try {
         body(c, c * grain, std::min(n, (c + 1) * grain));
       } catch (...) {
         std::lock_guard<std::mutex> lock(join.mutex);
         if (!join.error) join.error = std::current_exception();
       }
+    }
+  };
+
+  const std::size_t helpers =
+      std::min(chunks - 1, static_cast<std::size_t>(pool->thread_count()));
+  join.running_helpers = helpers;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->submit([&join, &run_chunks] {
+      run_chunks();
       std::lock_guard<std::mutex> lock(join.mutex);
-      if (--join.remaining == 0) join.done.notify_all();
+      if (--join.running_helpers == 0) join.done.notify_all();
     });
   }
+  // While pulling chunks the caller acts as a pool worker, and must look
+  // like one: a chunk body that re-enters parallel_chunks has to take the
+  // inline path (fanning out again from here could only queue behind the
+  // busy workers). inline_only above guarantees the flag was false.
+  t_on_worker = true;
+  run_chunks();
+  t_on_worker = false;
   std::unique_lock<std::mutex> lock(join.mutex);
-  join.done.wait(lock, [&join] { return join.remaining == 0; });
+  join.done.wait(lock, [&join] { return join.running_helpers == 0; });
   if (join.error) std::rethrow_exception(join.error);
 }
 

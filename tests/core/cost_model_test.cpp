@@ -196,6 +196,56 @@ TEST(CostModel, DistanceExponentAblation) {
   EXPECT_NEAR(model2.evaluate_discrete({0, 2}).f1, std::pow(2.0 / 3.0, 2), 1e-12);
 }
 
+// The workspace overloads are pure plumbing: routing scratch through a
+// caller-owned Workspace must not change a single bit relative to the
+// transient-scratch overloads, and the terms reported with a gradient
+// must be the terms reported without one.
+TEST(CostModel, WorkspaceOverloadsMatchTransientOverloads) {
+  const PartitionProblem problem = tiny_problem(24, 4, 17, 40);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(8);
+  const Matrix w = random_soft_assignment(24, 4, rng);
+
+  CostModel::Workspace ws;
+  const CostTerms plain = model.evaluate(w);
+  const CostTerms via_ws = model.evaluate(w, ws);
+  EXPECT_EQ(plain.f1, via_ws.f1);
+  EXPECT_EQ(plain.f2, via_ws.f2);
+  EXPECT_EQ(plain.f3, via_ws.f3);
+  EXPECT_EQ(plain.f4, via_ws.f4);
+
+  Matrix grad_plain;
+  Matrix grad_ws;
+  const CostTerms with_grad = model.evaluate_with_gradient(w, grad_plain);
+  const CostTerms with_grad_ws = model.evaluate_with_gradient(w, grad_ws, ws);
+  EXPECT_EQ(grad_plain, grad_ws);
+  EXPECT_EQ(with_grad.f1, with_grad_ws.f1);
+  EXPECT_EQ(with_grad.f4, with_grad_ws.f4);
+  // evaluate() and evaluate_with_gradient() must agree exactly on the
+  // terms even though the fused pass computes F4 alongside the gradient.
+  EXPECT_EQ(plain.f1, with_grad.f1);
+  EXPECT_EQ(plain.f2, with_grad.f2);
+  EXPECT_EQ(plain.f3, with_grad.f3);
+  EXPECT_EQ(plain.f4, with_grad.f4);
+}
+
+TEST(CostModel, GatherAndScatterEnginesAgreeOnGradients) {
+  const PartitionProblem problem = tiny_problem(30, 5, 23, 55);
+  CostModel model(problem, CostWeights{});
+  Rng rng(12);
+  const Matrix w = random_soft_assignment(30, 5, rng);
+
+  Matrix gather;
+  model.set_gradient_engine(GradientEngine::kCsrGather);
+  const CostTerms gather_terms = model.evaluate_with_gradient(w, gather);
+  Matrix scatter;
+  model.set_gradient_engine(GradientEngine::kSerialScatter);
+  const CostTerms scatter_terms = model.evaluate_with_gradient(w, scatter);
+  EXPECT_EQ(gather, scatter);
+  EXPECT_EQ(gather_terms.f1, scatter_terms.f1);
+  EXPECT_EQ(gather_terms.f4, scatter_terms.f4);
+}
+
 TEST(CostModel, DegenerateProblemsStayFinite) {
   PartitionProblem problem;  // no gates, no edges
   problem.num_planes = 3;

@@ -135,5 +135,78 @@ TEST(ParallelDeterminism, CostModelReductionsAreSchedulingInvariant) {
   EXPECT_EQ(serial_grad, pooled_grad);
 }
 
+// The CSR gather engine must be bit-identical to the serial-scatter
+// reference — it replays the exact per-accumulator addition sequence — in
+// both gradient styles and regardless of any attached pool.
+TEST(ParallelDeterminism, GatherEngineMatchesScatterReferenceBitExact) {
+  const Netlist netlist = build_mapped("ksa32");
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 5);
+  ThreadPool pool(8);
+  Rng rng(9);
+  const Matrix w = random_soft_assignment(problem.num_gates, 5, rng);
+
+  for (const GradientStyle style :
+       {GradientStyle::kAnalytic, GradientStyle::kPaperEq10}) {
+    CostModel model(problem, CostWeights{}, style);
+    model.set_thread_pool(&pool);
+    Matrix gather_grad;
+    Matrix scatter_grad;
+    model.set_gradient_engine(GradientEngine::kCsrGather);
+    const CostTerms gather = model.evaluate_with_gradient(w, gather_grad);
+    model.set_gradient_engine(GradientEngine::kSerialScatter);
+    const CostTerms scatter = model.evaluate_with_gradient(w, scatter_grad);
+    expect_terms_eq(gather, scatter);
+    EXPECT_EQ(gather_grad, scatter_grad);
+  }
+}
+
+// The gradient path at 1, 2 and 8 pool threads: multi-chunk problems must
+// produce the same bits at every thread count, and evaluate() must report
+// the same terms as evaluate_with_gradient() (the F4 sum rides the fused
+// pass but keeps the chunk-ordered combine).
+TEST(ParallelDeterminism, GradientBitIdenticalAcrossThreadCounts) {
+  const Netlist netlist = build_mapped("mult8");
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 5);
+  Rng rng(21);
+  const Matrix w = random_soft_assignment(problem.num_gates, 5, rng);
+
+  CostModel serial_model(problem, CostWeights{});
+  Matrix serial_grad;
+  const CostTerms serial = serial_model.evaluate_with_gradient(w, serial_grad);
+  expect_terms_eq(serial, serial_model.evaluate(w));
+
+  for (const int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    CostModel model(problem, CostWeights{});
+    model.set_thread_pool(&pool);
+    Matrix grad;
+    expect_terms_eq(serial, model.evaluate_with_gradient(w, grad));
+    EXPECT_EQ(serial_grad, grad);
+  }
+}
+
+// Workspace reuse is stateless: evaluating different matrices through one
+// warm workspace gives exactly the fresh-workspace bits, in any order.
+TEST(ParallelDeterminism, WorkspaceReuseDoesNotLeakStateAcrossIterations) {
+  const Netlist netlist = build_mapped("ksa16");
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 4);
+  const CostModel model(problem, CostWeights{});
+  Rng rng(5);
+  const Matrix w1 = random_soft_assignment(problem.num_gates, 4, rng);
+  const Matrix w2 = random_soft_assignment(problem.num_gates, 4, rng);
+
+  CostModel::Workspace reused;
+  Matrix grad_reused;
+  Matrix grad_fresh;
+  for (const Matrix* w : {&w1, &w2, &w1}) {
+    const CostTerms warm = model.evaluate_with_gradient(*w, grad_reused, reused);
+    CostModel::Workspace fresh;
+    const CostTerms cold = model.evaluate_with_gradient(*w, grad_fresh, fresh);
+    expect_terms_eq(warm, cold);
+    EXPECT_EQ(grad_reused, grad_fresh);
+    expect_terms_eq(model.evaluate(*w, reused), model.evaluate(*w));
+  }
+}
+
 }  // namespace
 }  // namespace sfqpart

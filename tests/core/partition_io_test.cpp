@@ -65,6 +65,29 @@ TEST(PartitionIo, RejectsDuplicateAndBadPlanes) {
   EXPECT_FALSE(parse_partition_csv("wrong,header,here\nd0,DFFT,0\n", netlist).is_ok());
 }
 
+TEST(PartitionIo, RejectsWrongColumnCount) {
+  Netlist netlist(&default_sfq_library(), "n");
+  netlist.add_gate_of_kind("d0", CellKind::kDff);
+  // A row with too few fields fails in the CSV layer, not with a crash on
+  // row[2]; too many fields likewise.
+  const auto missing = parse_partition_csv("gate,cell,plane\nd0,DFFT\n", netlist);
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_NE(missing.status().message().find("fields"), std::string::npos);
+  EXPECT_FALSE(
+      parse_partition_csv("gate,cell,plane\nd0,DFFT,0,extra\n", netlist).is_ok());
+}
+
+TEST(PartitionIo, RejectsOutOfRangePlane) {
+  Netlist netlist(&default_sfq_library(), "n");
+  netlist.add_gate_of_kind("d0", CellKind::kDff);
+  // 5000000000 parses as a long long but would wrap negative when narrowed
+  // to the Partition's int planes.
+  const auto result =
+      parse_partition_csv("gate,cell,plane\nd0,DFFT,5000000000\n", netlist);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("bad plane"), std::string::npos);
+}
+
 TEST(PartitionIo, NumPlanesFromMaxLabel) {
   Netlist netlist(&default_sfq_library(), "n");
   netlist.add_gate_of_kind("d0", CellKind::kDff);

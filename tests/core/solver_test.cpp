@@ -1,6 +1,7 @@
 #include "core/solver.h"
 
 #include <atomic>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,38 @@ TEST(Solver, RejectsInvalidConfigWithStatusInsteadOfAsserting) {
   SolverConfig bad_exponent;
   bad_exponent.weights.distance_exponent = 0;
   EXPECT_FALSE(Solver(bad_exponent).run(netlist).is_ok());
+}
+
+// inf passes a "> 0" check and nan passes nothing loudly; both used to
+// slip through validate() and poison every cost. parse_double accepts the
+// "inf"/"nan" spellings, so config plumbing can realistically produce
+// these values.
+TEST(Solver, RejectsNonFiniteConfigValues) {
+  const Netlist netlist = build_mapped("ksa4");
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  for (const double bad : {inf, -inf, nan}) {
+    SolverConfig rate;
+    rate.optimizer.learning_rate = bad;
+    const auto rate_status = Solver(rate).run(netlist);
+    ASSERT_FALSE(rate_status.is_ok());
+    EXPECT_NE(rate_status.status().message().find("finite"), std::string::npos);
+
+    SolverConfig margin;
+    margin.optimizer.margin = bad;
+    EXPECT_FALSE(Solver(margin).run(netlist).is_ok());
+  }
+
+  SolverConfig c1;
+  c1.weights.c1 = nan;
+  const auto c1_status = Solver(c1).run(netlist);
+  ASSERT_FALSE(c1_status.is_ok());
+  EXPECT_NE(c1_status.status().message().find("weights.c1"), std::string::npos);
+
+  SolverConfig c4;
+  c4.weights.c4 = inf;
+  EXPECT_FALSE(Solver(c4).run(netlist).is_ok());
 }
 
 TEST(Solver, RejectsProblemWithoutPartitionableGates) {

@@ -56,6 +56,12 @@ TEST(RunReport, AggregatesTheRun) {
   }
   EXPECT_GT(report.stage_ms("run"), 0.0);
   EXPECT_GT(report.stage_ms("optimize"), 0.0);
+  // The optimizer breaks its loop down into gradient and step stages; the
+  // gradient evaluation dominates, so the sub-stage must have landed real
+  // time inside the "optimize" envelope.
+  EXPECT_GT(report.stage_ms("gradient"), 0.0);
+  EXPECT_LE(report.stage_ms("gradient") + report.stage_ms("step"),
+            report.stage_ms("optimize"));
   EXPECT_EQ(report.stage_ms("no_such_stage"), 0.0);
   EXPECT_GT(report.counter("optimizer_iterations"), 0);
 }

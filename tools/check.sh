@@ -1,0 +1,19 @@
+#!/bin/sh
+# Sanitizer gate for the tier-1 suite: configure + build the "asan"
+# preset (ASan + UBSan, see CMakePresets.json) and run every ctest
+# under it. Any sanitizer report aborts the offending test, so a green
+# run means the whole suite is clean of heap errors and UB.
+#
+#   tools/check.sh [extra ctest args...]
+#
+# Run from anywhere; the script cd's to the repo root.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake --preset asan
+cmake --build --preset asan -j "$jobs"
+ctest --preset asan -j "$jobs" "$@"

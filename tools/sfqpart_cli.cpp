@@ -275,10 +275,19 @@ int cmd_partition(const OptionsParser& options) {
     }
   }
   if (!options.get_string("dot").empty()) {
+    const std::string dot_path = options.get_string("dot");
     DotOptions dot_options;
     dot_options.plane_of = partition->plane_of;
-    std::ofstream file(options.get_string("dot"));
+    std::ofstream file(dot_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open for writing: %s\n", dot_path.c_str());
+      return 1;
+    }
     file << to_dot(*netlist, dot_options);
+    if (!file) {
+      std::fprintf(stderr, "write failed: %s\n", dot_path.c_str());
+      return 1;
+    }
   }
 
   if (options.get_flag("json")) {
