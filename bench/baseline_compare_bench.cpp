@@ -3,15 +3,13 @@
 // encode the ground-plane constraints). Expected shape: FM wins or ties on
 // raw cut count (its own objective) but loses on the distance-weighted
 // metrics; layered slicing is strong on locality but rigid; random is the
-// floor.
+// floor. Both the comparison table and the timing benchmarks loop over the
+// EngineRegistry, so newly registered engines show up without new code.
 #include <cstdio>
+#include <string>
 
-#include "baseline/annealing.h"
-#include "baseline/fm_kway.h"
-#include "baseline/layered_partition.h"
-#include "baseline/random_partition.h"
 #include "bench_util.h"
-#include "core/multilevel.h"
+#include "core/engine.h"
 
 namespace sfqpart::bench {
 namespace {
@@ -19,39 +17,38 @@ namespace {
 constexpr int kPlanes = 5;
 
 void add_rows(TablePrinter& table, CsvWriter& csv, const char* circuit,
-              const char* method, const Netlist& netlist,
+              const std::string& engine, const Netlist& netlist,
               const Partition& partition) {
   const PartitionMetrics m = compute_metrics(netlist, partition);
   const int cut = cut_count(netlist, partition);
-  table.add_row({circuit, method, fmt_percent(m.frac_within(1)),
+  table.add_row({circuit, engine, fmt_percent(m.frac_within(1)),
                  fmt_percent(m.frac_within(2)), std::to_string(cut),
                  fmt_percent(m.icomp_frac(), 2), fmt_percent(m.afs_frac(), 2)});
-  csv.add_row({circuit, method, fmt_double(m.frac_within(1), 4),
+  csv.add_row({circuit, engine, fmt_double(m.frac_within(1), 4),
                fmt_double(m.frac_within(2), 4), std::to_string(cut),
                fmt_double(100 * m.icomp_frac(), 2),
                fmt_double(100 * m.afs_frac(), 2)});
 }
 
 void print_comparison() {
-  TablePrinter table({"Circuit", "Method", "d<=1", "d<=2", "cut", "I_comp (%)",
+  TablePrinter table({"Circuit", "Engine", "d<=1", "d<=2", "cut", "I_comp (%)",
                       "A_FS (%)"});
-  CsvWriter csv({"circuit", "method", "d1", "d2", "cut", "icomp_pct", "afs_pct"});
+  CsvWriter csv({"circuit", "engine", "d1", "d2", "cut", "icomp_pct", "afs_pct"});
+  EngineContext context;
+  context.num_planes = kPlanes;
   for (const char* name : {"ksa8", "mult4", "c499"}) {
     const Netlist netlist = build_mapped(name);
-    add_rows(table, csv, name, "gradient-descent", netlist,
-             run_gd(netlist, kPlanes).partition);
-    add_rows(table, csv, name, "multilevel+gd", netlist,
-             multilevel_partition(netlist, kPlanes).partition);
-    add_rows(table, csv, name, "annealing", netlist,
-             anneal_partition(netlist, kPlanes).partition);
-    add_rows(table, csv, name, "layered", netlist,
-             layered_partition(netlist, kPlanes));
-    FmOptions fm;
-    fm.max_passes = 6;
-    add_rows(table, csv, name, "fm-kway", netlist,
-             fm_kway_partition(netlist, kPlanes, fm).partition);
-    add_rows(table, csv, name, "random", netlist,
-             random_partition(netlist, kPlanes, 1));
+    for (const std::string& engine_name : EngineRegistry::names()) {
+      auto engine = EngineRegistry::create(engine_name);
+      if (!engine) continue;
+      auto run = (*engine)->run(netlist, context);
+      if (!run) {
+        std::fprintf(stderr, "%s on %s: %s\n", engine_name.c_str(), name,
+                     run.status().message().c_str());
+        continue;
+      }
+      add_rows(table, csv, name, engine_name, netlist, run->partition);
+    }
     table.add_separator();
   }
   std::printf("== Ablation A3: partitioner vs classic baselines (K = %d) ==\n",
@@ -60,25 +57,20 @@ void print_comparison() {
   write_results_csv("baseline_compare", csv);
 }
 
-void BM_Method(::benchmark::State& state, const char* method) {
+void BM_Engine(::benchmark::State& state, const char* name) {
   const Netlist netlist = build_mapped("ksa8");
-  const std::string which = method;
+  auto engine = EngineRegistry::create(name).value();
+  EngineContext context;
+  context.num_planes = kPlanes;
   for (auto _ : state) {
-    if (which == "gd") {
-      ::benchmark::DoNotOptimize(run_gd(netlist, kPlanes).discrete_total);
-    } else if (which == "layered") {
-      ::benchmark::DoNotOptimize(layered_partition(netlist, kPlanes).num_planes);
-    } else if (which == "fm") {
-      ::benchmark::DoNotOptimize(fm_kway_partition(netlist, kPlanes).final_cut);
-    } else {
-      ::benchmark::DoNotOptimize(random_partition(netlist, kPlanes).num_planes);
-    }
+    auto run = engine->run(netlist, context);
+    ::benchmark::DoNotOptimize(run->discrete_total);
   }
 }
-BENCHMARK_CAPTURE(BM_Method, gd, "gd")->Unit(::benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Method, layered, "layered")->Unit(::benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Method, fm, "fm")->Unit(::benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Method, random, "random")->Unit(::benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Engine, gradient, "gradient")->Unit(::benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Engine, layered, "layered")->Unit(::benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Engine, fm_kway, "fm_kway")->Unit(::benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Engine, random, "random")->Unit(::benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace sfqpart::bench

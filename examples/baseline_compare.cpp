@@ -1,13 +1,11 @@
 // Baseline comparison: the paper's gradient-descent partitioner vs the
-// classic alternatives it argues against (section IV-A) on one circuit.
+// classic alternatives it argues against (section IV-A) on one circuit —
+// one loop over every engine in the registry.
 //
-//   ./baseline_compare [--circuit ksa8] [--planes 5]
+//   ./baseline_compare [--circuit ksa8] [--planes 5] [--seed 1]
 #include <cstdio>
 
-#include "baseline/fm_kway.h"
-#include "baseline/layered_partition.h"
-#include "baseline/random_partition.h"
-#include "core/solver.h"
+#include "core/engine.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
 #include "util/options.h"
@@ -16,7 +14,7 @@
 int main(int argc, char** argv) {
   using namespace sfqpart;
 
-  OptionsParser options("Compare partitioners on one benchmark circuit.");
+  OptionsParser options("Compare every registered engine on one benchmark circuit.");
   options.add_string("circuit", "ksa8", "benchmark name");
   options.add_int("planes", 5, "number of ground planes K");
   options.add_int("seed", 1, "random seed");
@@ -29,35 +27,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown circuit '%s'\n", options.get_string("circuit").c_str());
     return 1;
   }
-  const int planes = static_cast<int>(options.get_int("planes"));
-  const auto seed = static_cast<std::uint64_t>(options.get_int("seed"));
   const Netlist netlist = build_mapped(*entry);
 
-  TablePrinter table({"method", "d<=1", "d<=2", "cut", "I_comp", "A_FS"});
-  auto report = [&](const char* method, const Partition& partition) {
-    const PartitionMetrics m = compute_metrics(netlist, partition);
-    table.add_row({method, fmt_percent(m.frac_within(1)), fmt_percent(m.frac_within(2)),
-                   std::to_string(cut_count(netlist, partition)),
-                   fmt_percent(m.icomp_frac()), fmt_percent(m.afs_frac())});
-  };
+  EngineContext context;
+  context.num_planes = static_cast<int>(options.get_int("planes"));
+  context.seed = static_cast<std::uint64_t>(options.get_int("seed"));
 
-  PartitionOptions popt;
-  popt.num_planes = planes;
-  popt.seed = seed;
-  report("gradient-descent (paper)", Solver(SolverConfig::from(popt)).run(netlist).value().partition);
+  TablePrinter table({"engine", "d<=1", "d<=2", "cut", "I_comp", "A_FS",
+                      "cost", "ms"});
+  for (const std::string& name : EngineRegistry::names()) {
+    auto engine = EngineRegistry::create(name);
+    if (!engine) {
+      std::fprintf(stderr, "%s\n", engine.status().message().c_str());
+      return 1;
+    }
+    auto run = (*engine)->run(netlist, context);
+    if (!run) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), run.status().message().c_str());
+      return 1;
+    }
+    const PartitionMetrics m = compute_metrics(netlist, run->partition);
+    table.add_row({name, fmt_percent(m.frac_within(1)), fmt_percent(m.frac_within(2)),
+                   std::to_string(cut_count(netlist, run->partition)),
+                   fmt_percent(m.icomp_frac()), fmt_percent(m.afs_frac()),
+                   fmt_double(run->discrete_total, 4), fmt_double(run->wall_ms, 1)});
+  }
 
-  PartitionOptions refined = popt;
-  refined.refine = true;
-  report("gradient-descent + refine", Solver(SolverConfig::from(refined)).run(netlist).value().partition);
-
-  report("layered (topological)", layered_partition(netlist, planes));
-  FmOptions fm_options;
-  fm_options.seed = seed;
-  report("FM k-way (cut objective)", fm_kway_partition(netlist, planes, fm_options).partition);
-  report("random balanced", random_partition(netlist, planes, seed));
-
-  std::printf("circuit %s, K=%d, %d gates\n", entry->name.c_str(), planes,
-              netlist.num_partitionable_gates());
+  std::printf("circuit %s, K=%d, %d gates\n", entry->name.c_str(),
+              context.num_planes, netlist.num_partitionable_gates());
   table.print();
   return 0;
 }

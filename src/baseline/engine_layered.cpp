@@ -1,0 +1,42 @@
+// "layered" engine: topological slicing into K equal-bias bands
+// (baseline/layered_partition.h). Deterministic and seedless; the adapter
+// narrates the run lifecycle since the constructive heuristic emits no
+// events of its own.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/layered_partition.h"
+#include "core/engine_adapter.h"
+
+namespace sfqpart::engine_detail {
+
+namespace {
+
+class LayeredAdapter final : public EngineAdapter {
+ public:
+  const char* name() const override { return "layered"; }
+  const char* describe_options() const override {
+    return "topological order sliced into K contiguous equal-bias bands; "
+           "deterministic, ignores seed/restarts/threads";
+  }
+
+ protected:
+  bool self_observing() const override { return false; }
+
+  StatusOr<Partition> solve(
+      const Netlist& netlist, const EngineContext& context,
+      std::vector<std::pair<std::string, double>>& counters) const override {
+    (void)counters;
+    return layered_partition(netlist, context.num_planes);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PartitionEngine> make_layered_engine() {
+  return std::make_unique<LayeredAdapter>();
+}
+
+}  // namespace sfqpart::engine_detail

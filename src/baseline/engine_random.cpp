@@ -1,0 +1,42 @@
+// "random" engine: shuffled round-robin balanced assignment
+// (baseline/random_partition.h), the lower baseline. The adapter narrates
+// the run lifecycle since the constructive heuristic emits no events of
+// its own.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/random_partition.h"
+#include "core/engine_adapter.h"
+
+namespace sfqpart::engine_detail {
+
+namespace {
+
+class RandomAdapter final : public EngineAdapter {
+ public:
+  const char* name() const override { return "random"; }
+  const char* describe_options() const override {
+    return "shuffled round-robin balanced assignment (lower baseline); "
+           "honors seed";
+  }
+
+ protected:
+  bool self_observing() const override { return false; }
+
+  StatusOr<Partition> solve(
+      const Netlist& netlist, const EngineContext& context,
+      std::vector<std::pair<std::string, double>>& counters) const override {
+    (void)counters;
+    return random_partition(netlist, context.num_planes, context.seed);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PartitionEngine> make_random_engine() {
+  return std::make_unique<RandomAdapter>();
+}
+
+}  // namespace sfqpart::engine_detail

@@ -6,18 +6,11 @@
 #include <vector>
 
 #include "baseline/random_partition.h"
+#include "metrics/partition_metrics.h"
 #include "obs/trace_sink.h"
 #include "util/rng.h"
 
 namespace sfqpart {
-
-int cut_count(const Netlist& netlist, const Partition& partition) {
-  int cut = 0;
-  for (const Connection& edge : netlist.unique_edges()) {
-    if (partition.plane(edge.from) != partition.plane(edge.to)) ++cut;
-  }
-  return cut;
-}
 
 FmResult fm_kway_partition(const Netlist& netlist, int num_planes,
                            const FmOptions& options) {

@@ -42,8 +42,4 @@ struct FmResult {
 FmResult fm_kway_partition(const Netlist& netlist, int num_planes,
                            const FmOptions& options = {});
 
-// Number of connections whose endpoints sit on different planes (the
-// classic K-way objective).
-int cut_count(const Netlist& netlist, const Partition& partition);
-
 }  // namespace sfqpart

@@ -1,0 +1,259 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "core/engine_adapter.h"
+#include "netlist/netlist.h"
+#include "obs/trace_sink.h"
+#include "util/strings.h"
+
+namespace sfqpart {
+
+Status EngineContext::validate() const {
+  if (num_planes < 2) {
+    return Status::invalid_argument(
+        str_format("num_planes must be >= 2, got %d", num_planes));
+  }
+  if (restarts < 1) {
+    return Status::invalid_argument(
+        str_format("restarts must be >= 1, got %d", restarts));
+  }
+  if (threads < 0) {
+    return Status::invalid_argument(
+        str_format("threads must be >= 0 (0 = hardware concurrency), got %d",
+                   threads));
+  }
+  if (!std::isfinite(weights.c1) || !std::isfinite(weights.c2) ||
+      !std::isfinite(weights.c3) || !std::isfinite(weights.c4)) {
+    return Status::invalid_argument("cost weights must be finite");
+  }
+  if (weights.distance_exponent < 1) {
+    return Status::invalid_argument(
+        str_format("distance_exponent must be >= 1, got %d",
+                   weights.distance_exponent));
+  }
+  return Status::ok();
+}
+
+double EngineRun::counter(const std::string& name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return 0.0;
+}
+
+namespace {
+
+// The registry's backing store. A function-local static (not namespace-scope
+// static-init self-registration, which a static-library link may drop): the
+// built-ins are registered on first use, and std::map keeps names() sorted
+// without re-sorting on every call.
+struct RegistryState {
+  std::mutex mutex;
+  std::map<std::string, EngineRegistry::Factory> factories;
+};
+
+RegistryState& registry_state() {
+  static RegistryState* state = [] {
+    auto* s = new RegistryState;
+    using namespace engine_detail;
+    s->factories.emplace("gradient", make_gradient_engine);
+    s->factories.emplace("multilevel", make_multilevel_engine);
+    s->factories.emplace("annealing", make_annealing_engine);
+    s->factories.emplace("fm_kway", make_fm_kway_engine);
+    s->factories.emplace("layered", make_layered_engine);
+    s->factories.emplace("random", make_random_engine);
+    return s;
+  }();
+  return *state;
+}
+
+}  // namespace
+
+Status EngineRegistry::register_engine(const std::string& name,
+                                       Factory factory) {
+  if (name.empty()) {
+    return Status::invalid_argument("engine name must not be empty");
+  }
+  if (factory == nullptr) {
+    return Status::invalid_argument(
+        str_format("engine '%s': factory must not be null", name.c_str()));
+  }
+  RegistryState& state = registry_state();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const auto [it, inserted] = state.factories.emplace(name, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    return Status::invalid_argument(
+        str_format("engine '%s' is already registered", name.c_str()));
+  }
+  return Status::ok();
+}
+
+std::vector<std::string> EngineRegistry::names() {
+  RegistryState& state = registry_state();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<std::string> names;
+  names.reserve(state.factories.size());
+  for (const auto& [name, factory] : state.factories) names.push_back(name);
+  return names;
+}
+
+StatusOr<std::unique_ptr<PartitionEngine>> EngineRegistry::create(
+    const std::string& name) {
+  Factory factory;
+  {
+    RegistryState& state = registry_state();
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    const auto it = state.factories.find(name);
+    if (it == state.factories.end()) {
+      std::string available;
+      for (const auto& [known, unused] : state.factories) {
+        if (!available.empty()) available += ", ";
+        available += known;
+      }
+      return Status::not_found(str_format("unknown engine '%s' (available: %s)",
+                                          name.c_str(), available.c_str()));
+    }
+    factory = it->second;
+  }
+  std::unique_ptr<PartitionEngine> engine = factory();
+  if (engine == nullptr) {
+    return Status::error(
+        str_format("engine '%s': factory returned null", name.c_str()));
+  }
+  return engine;
+}
+
+namespace engine_detail {
+
+namespace {
+
+// Rewrites the outermost RunInfo::engine to the registry name and forwards
+// everything else untouched, so a RunReport attached through the registry
+// carries the name the engine was created under (e.g. "gradient" rather
+// than the Solver's internal "solver"). Nested run_start events (the
+// multilevel driver forwards its coarse Solver's stream) keep their own
+// engine tag. Delivery is already serialized by the engine's TraceSink, so
+// the depth counter needs no lock.
+class EngineNameObserver final : public obs::SolverObserver {
+ public:
+  EngineNameObserver(obs::SolverObserver* inner, const char* engine)
+      : inner_(inner), engine_(engine) {}
+
+  void on_run_start(const obs::RunInfo& e) override {
+    if (runs_seen_++ == 0) {
+      obs::RunInfo renamed = e;
+      renamed.engine = engine_;
+      inner_->on_run_start(renamed);
+      return;
+    }
+    inner_->on_run_start(e);
+  }
+  void on_restart_start(const obs::RestartStartEvent& e) override {
+    inner_->on_restart_start(e);
+  }
+  void on_iteration(const obs::IterationEvent& e) override {
+    inner_->on_iteration(e);
+  }
+  void on_harden(const obs::HardenEvent& e) override { inner_->on_harden(e); }
+  void on_refine_pass(const obs::RefinePassEvent& e) override {
+    inner_->on_refine_pass(e);
+  }
+  void on_restart_end(const obs::RestartEndEvent& e) override {
+    inner_->on_restart_end(e);
+  }
+  void on_level(const obs::LevelEvent& e) override { inner_->on_level(e); }
+  void on_timer(const obs::TimerEvent& e) override { inner_->on_timer(e); }
+  void on_counter(const obs::CounterEvent& e) override {
+    inner_->on_counter(e);
+  }
+  void on_run_end(const obs::RunEndEvent& e) override {
+    inner_->on_run_end(e);
+  }
+
+ private:
+  obs::SolverObserver* inner_;
+  const char* engine_;
+  int runs_seen_ = 0;
+};
+
+}  // namespace
+
+StatusOr<EngineRun> EngineAdapter::run(const Netlist& netlist,
+                                       const EngineContext& context) const {
+  if (Status status = context.validate(); !status) {
+    return Status::invalid_argument(
+        str_format("engine '%s': %s", name(), status.message().c_str()));
+  }
+  const PartitionProblem problem =
+      PartitionProblem::from_netlist(netlist, context.num_planes);
+  if (problem.num_gates < 1) {
+    return Status::invalid_argument(str_format(
+        "engine '%s': the netlist has no partitionable gates", name()));
+  }
+
+  EngineNameObserver renamed(context.observer, name());
+  EngineContext inner = context;
+  inner.observer = context.observer != nullptr ? &renamed : nullptr;
+
+  // Lifecycle narration for engines whose legacy implementation emits no
+  // events of its own (layered, random): one run with one "restart", so
+  // --report-json carries an `engine` field for every registry engine.
+  obs::TraceSink sink(self_observing() ? nullptr : inner.observer);
+  if (sink.enabled()) {
+    obs::RunInfo info;
+    info.engine = name();
+    info.num_planes = context.num_planes;
+    info.restarts = 1;
+    info.threads = 1;
+    info.seed = context.seed;
+    info.weights = context.weights;
+    info.problem_gates = problem.num_gates;
+    info.problem_edges = static_cast<long long>(problem.edges.size());
+    sink.run_start(info);
+    sink.restart_start({0});
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  EngineRun result;
+  StatusOr<Partition> partition = solve(netlist, inner, result.counters);
+  if (!partition) return partition.status();
+  result.partition = *std::move(partition);
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  // Normalize the score with the *shared* discrete cost model so rows from
+  // different engines are directly comparable regardless of the objective
+  // the engine itself optimized.
+  const CostModel model(problem, context.weights);
+  std::vector<int> labels;
+  labels.reserve(static_cast<std::size_t>(problem.num_gates));
+  for (GateId gate : problem.gate_ids) {
+    labels.push_back(result.partition.plane(gate));
+  }
+  result.discrete_terms = model.evaluate_discrete(labels);
+  result.discrete_total = result.discrete_terms.total(context.weights);
+
+  if (sink.enabled()) {
+    obs::RestartEndEvent restart_end;
+    restart_end.restart = 0;
+    restart_end.discrete_terms = result.discrete_terms;
+    restart_end.discrete_total = result.discrete_total;
+    sink.restart_end(restart_end);
+    obs::RunEndEvent run_end;
+    run_end.winning_restart = 0;
+    run_end.discrete_total = result.discrete_total;
+    sink.run_end(run_end);
+  }
+  return result;
+}
+
+}  // namespace engine_detail
+
+}  // namespace sfqpart

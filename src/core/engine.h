@@ -1,0 +1,128 @@
+// Unified engine surface: every partitioning algorithm in the library
+// behind one interface and one registry.
+//
+// The paper's gradient-descent relaxation is one of six engines; the
+// others (multilevel, annealing, FM k-way, layered, random) exist to
+// quantify the paper's section IV-A claim that classic K-way cut
+// objectives cannot capture plane-distance cost. Historically each had
+// its own options struct, result struct and free-function entry point, so
+// every bench/example/CLI comparison hand-wired six call sites. A
+// PartitionEngine normalizes all of them:
+//
+//   auto engine = EngineRegistry::create("annealing");
+//   if (!engine) { /* engine.status(): NotFound for unknown names */ }
+//   EngineContext ctx;
+//   ctx.num_planes = 5;
+//   ctx.seed = 1;
+//   auto run = (*engine)->run(netlist, ctx);
+//   // run->partition, run->discrete_terms, run->counters, run->wall_ms
+//
+// Determinism contract: for a fixed EngineContext every engine reproduces
+// the exact labels its pre-registry entry point produced with the same
+// options (tests/core/engine_test.cpp pins this with golden labels), and
+// attaching an observer never changes the result.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/partition.h"
+#include "util/status.h"
+
+namespace sfqpart {
+
+namespace obs {
+class SolverObserver;
+}  // namespace obs
+
+// The knobs shared by every engine. Engine-specific tuning (cooling
+// schedules, FM pass limits, coarsening targets) keeps its historical
+// defaults; the context carries only what the uniform surface needs to
+// thread through: problem shape, determinism, parallelism and
+// observability. Fields an engine has no use for are ignored (threads by
+// everything but gradient, refine by everything but gradient, seed by
+// layered).
+struct EngineContext {
+  int num_planes = 5;  // K (Table I uses 5)
+  std::uint64_t seed = 1;
+  // Worker threads for engines with parallel phases (the gradient
+  // Solver's restarts and reductions). 1 = serial, 0 = hardware
+  // concurrency.
+  int threads = 1;
+  // Independent random restarts for restart-based engines.
+  int restarts = 3;
+  // Post-hardening greedy improvement (gradient engine only; not part of
+  // the published algorithm).
+  bool refine = false;
+  // Weights of the shared discrete objective every EngineRun is scored
+  // with; engines that optimize the same objective (gradient, multilevel,
+  // annealing) also run with them.
+  CostWeights weights;
+  // Structured observability hook (not owned; may be null). Every engine
+  // emits its run lifecycle through this observer; the registry rewrites
+  // the outermost RunInfo::engine to the registry name so a RunReport
+  // always carries the engine it was produced by.
+  obs::SolverObserver* observer = nullptr;
+
+  // Uniform API-boundary validation, shared by the CLI and the adapters:
+  // one Status instead of six engine-dependent failure modes (asserts,
+  // hangs, silent nonsense) for out-of-range planes/threads/restarts or
+  // non-finite weights.
+  Status validate() const;
+};
+
+// One engine run, normalized across engines: the hardened partition, the
+// discrete cost terms of the *shared* CostModel (so rows from different
+// engines are directly comparable), engine-specific counters as
+// name -> value pairs (iterations, moves_tried, final_cut, ...), and the
+// wall-clock of the whole run.
+struct EngineRun {
+  Partition partition;
+  CostTerms discrete_terms;
+  double discrete_total = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+  double wall_ms = 0.0;
+
+  // Convenience lookup; 0.0 when the engine did not report the counter.
+  double counter(const std::string& name) const;
+};
+
+class PartitionEngine {
+ public:
+  virtual ~PartitionEngine() = default;
+
+  // Registry name ("gradient", "multilevel", "annealing", "fm_kway",
+  // "layered", "random").
+  virtual const char* name() const = 0;
+  // One-line human-readable description of the objective and the knobs
+  // the engine honors (CLI --list-engines).
+  virtual const char* describe_options() const = 0;
+
+  virtual StatusOr<EngineRun> run(const Netlist& netlist,
+                                  const EngineContext& context) const = 0;
+};
+
+// Static registry of every known engine. The six built-ins register
+// themselves on first use; external code can add more with
+// register_engine (names must be unique).
+class EngineRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<PartitionEngine>()>;
+
+  // Registers a factory under `name`. Fails with kInvalidArgument on a
+  // duplicate or empty name.
+  static Status register_engine(const std::string& name, Factory factory);
+
+  // All registered names, sorted; stable across calls.
+  static std::vector<std::string> names();
+
+  // Instantiates an engine; kNotFound for unknown names (never a crash).
+  static StatusOr<std::unique_ptr<PartitionEngine>> create(const std::string& name);
+};
+
+}  // namespace sfqpart

@@ -1,0 +1,48 @@
+// Internal scaffolding for the built-in PartitionEngine adapters.
+//
+// EngineAdapter is the template method behind every built-in engine: it
+// validates the context once, compacts the problem, delegates the actual
+// solve to the subclass hook, then normalizes the outcome into an
+// EngineRun — discrete CostTerms from the shared CostModel (so rows from
+// different engines are directly comparable), wall-clock, and the
+// subclass's counters. Engines whose legacy implementation does not
+// narrate an observer stream (layered, random) get a minimal run
+// lifecycle emitted here, so a RunReport carries the `engine` field for
+// every registry engine.
+//
+// Not part of the public surface; include core/engine.h instead.
+#pragma once
+
+#include "core/engine.h"
+
+namespace sfqpart::engine_detail {
+
+class EngineAdapter : public PartitionEngine {
+ public:
+  StatusOr<EngineRun> run(const Netlist& netlist,
+                          const EngineContext& context) const final;
+
+ protected:
+  // The actual solve. `counters` receives the engine-specific tallies
+  // (iterations, moves_tried, final_cut, ...); the context's observer has
+  // already been wrapped to rewrite the outermost RunInfo::engine to the
+  // registry name.
+  virtual StatusOr<Partition> solve(
+      const Netlist& netlist, const EngineContext& context,
+      std::vector<std::pair<std::string, double>>& counters) const = 0;
+
+  // False for engines whose underlying implementation emits no observer
+  // events of its own; the adapter then narrates run/restart lifecycle
+  // around solve().
+  virtual bool self_observing() const { return true; }
+};
+
+// Built-in engine factories (one adapter per file).
+std::unique_ptr<PartitionEngine> make_gradient_engine();
+std::unique_ptr<PartitionEngine> make_multilevel_engine();
+std::unique_ptr<PartitionEngine> make_annealing_engine();
+std::unique_ptr<PartitionEngine> make_fm_kway_engine();
+std::unique_ptr<PartitionEngine> make_layered_engine();
+std::unique_ptr<PartitionEngine> make_random_engine();
+
+}  // namespace sfqpart::engine_detail

@@ -1,0 +1,48 @@
+// "multilevel" engine: heavy-edge coarsening, coarse gradient-descent
+// solve, projection with greedy refinement (core/multilevel.h).
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine_adapter.h"
+#include "core/multilevel.h"
+
+namespace sfqpart::engine_detail {
+
+namespace {
+
+class MultilevelAdapter final : public EngineAdapter {
+ public:
+  const char* name() const override { return "multilevel"; }
+  const char* describe_options() const override {
+    return "heavy-edge coarsening + coarse gradient-descent solve + "
+           "projected greedy refinement; honors seed, restarts and weights";
+  }
+
+ protected:
+  StatusOr<Partition> solve(
+      const Netlist& netlist, const EngineContext& context,
+      std::vector<std::pair<std::string, double>>& counters) const override {
+    MultilevelOptions options;
+    // Only the driver seed is threaded through; the coarse solve keeps its
+    // own defaults (matching the historical entry point bit for bit).
+    options.seed = context.seed;
+    options.coarse.restarts = context.restarts;
+    options.coarse.weights = context.weights;
+    options.observer = context.observer;
+    MultilevelResult result =
+        multilevel_partition(netlist, context.num_planes, options);
+    counters.emplace_back("levels", result.levels);
+    counters.emplace_back("coarse_gates", result.coarse_gates);
+    return std::move(result.partition);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PartitionEngine> make_multilevel_engine() {
+  return std::make_unique<MultilevelAdapter>();
+}
+
+}  // namespace sfqpart::engine_detail

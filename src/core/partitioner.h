@@ -1,20 +1,16 @@
-// Top-level ground-plane partitioner: the paper's contribution, end to end.
-//
+// Options and result types of the gradient-descent partitioning flow:
 // netlist + K -> PartitionProblem -> random soft init -> gradient descent
 // (Algorithm 1) -> argmax hardening (-> optional greedy refinement) ->
 // Partition. Multiple random restarts keep the best hardened result; one
 // restart with refinement off reproduces the published algorithm verbatim.
 //
-// DEPRECATED ENTRY POINTS: the free functions below predate the unified
-// `sfqpart::Solver` facade (core/solver.h), which aggregates all the
-// option structs into one SolverConfig, validates input with StatusOr
-// instead of asserts, runs restarts in parallel (`threads`), and feeds the
-// observability layer (obs/observer.h). They are now marked
-// [[deprecated]] and scheduled for removal in the release after next
-// (DESIGN.md section 8.4); the wrappers remain bit-identical to a
-// single-threaded Solver run with the same options. The only in-tree
-// callers left are the legacy-contract tests, which suppress the warning
-// on purpose.
+// The free-function entry points that used to live here
+// (partition_netlist / partition_problem / solve_labels) were deprecated
+// in favor of the `sfqpart::Solver` facade (core/solver.h) and have been
+// removed (DESIGN.md section 8.4). Use
+// `Solver(SolverConfig::from(options)).run(netlist)` — bit-identical to
+// the old single-threaded wrappers for the same options — or the
+// EngineRegistry (core/engine.h) for uniform access to every engine.
 #pragma once
 
 #include <cstdint>
@@ -50,22 +46,10 @@ struct PartitionResult {
   bool converged = false;
 };
 
-// Thin wrapper over a single-threaded Solver.
-[[deprecated("use sfqpart::Solver(SolverConfig::from(options)).run(netlist)")]]
-PartitionResult partition_netlist(const Netlist& netlist,
-                                  const PartitionOptions& options = {});
-
-// Same flow on a prebuilt problem (used by benches that sweep K without
-// re-extracting the netlist).
-[[deprecated(
-    "use sfqpart::Solver(SolverConfig::from(options)).run(problem, n)")]]
-PartitionResult partition_problem(const PartitionProblem& problem,
-                                  int netlist_num_gates,
-                                  const PartitionOptions& options);
-
-// Core solve returning compact labels (0-based planes indexed like the
+// Core-solve result as compact labels (0-based planes indexed like the
 // problem), for callers that manage their own problems (e.g. the
 // multilevel driver, whose coarse problems do not map to netlist gates).
+// Produced by Solver::solve.
 struct LabelResult {
   std::vector<int> labels;
   CostTerms soft_terms;
@@ -75,8 +59,5 @@ struct LabelResult {
   int winning_restart = 0;
   bool converged = false;
 };
-[[deprecated("use sfqpart::Solver(SolverConfig::from(options)).solve(problem)")]]
-LabelResult solve_labels(const PartitionProblem& problem,
-                         const PartitionOptions& options);
 
 }  // namespace sfqpart

@@ -83,22 +83,6 @@ struct RestartOutcome {
   bool converged = false;
 };
 
-// The SolverConfig::progress back-compat shim: adapts the legacy callback
-// onto the observer event stream, so both hooks see the exact same
-// iteration sequence (tests/obs/observer_test.cpp proves it).
-class ProgressShim final : public obs::SolverObserver {
- public:
-  explicit ProgressShim(const std::function<void(const SolverProgress&)>& fn)
-      : fn_(fn) {}
-
-  void on_iteration(const obs::IterationEvent& e) override {
-    fn_({e.restart, e.iteration, e.cost});
-  }
-
- private:
-  const std::function<void(const SolverProgress&)>& fn_;
-};
-
 }  // namespace
 
 SolverConfig SolverConfig::from(const PartitionOptions& options, int threads) {
@@ -136,23 +120,7 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
   CostModel model(problem, config_.weights, config_.gradient_style);
   model.set_thread_pool(pool_.get());
 
-  // Observer wiring. The legacy progress callback rides the same event
-  // stream through a shim observer; when both hooks are set, a multicast
-  // fans events out to the two of them. All of this is per-call local
-  // state, so a const Solver stays shareable across threads.
-  ProgressShim shim(config_.progress);
-  obs::MulticastObserver multicast;
-  obs::SolverObserver* observer = config_.observer;
-  if (config_.progress) {
-    if (observer != nullptr) {
-      multicast.add(observer);
-      multicast.add(&shim);
-      observer = &multicast;
-    } else {
-      observer = &shim;
-    }
-  }
-  obs::TraceSink sink(observer);
+  obs::TraceSink sink(config_.observer);
 
   if (sink.enabled()) {
     obs::RunInfo info;

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "core/partitioner.h"
@@ -31,21 +30,6 @@ class ThreadPool;
 namespace obs {
 class SolverObserver;
 }  // namespace obs
-
-// Snapshot handed to the legacy progress callback. `cost` is the weighted
-// relaxed total after `iteration` of `restart`; with several threads,
-// callbacks from concurrent restarts interleave (but never overlap — the
-// Solver serializes them).
-//
-// Deprecated in favor of the SolverObserver event stream
-// (obs/observer.h), which adds the full CostTerms, restart lifecycles,
-// stage timers and counters. The callback remains for one release as a
-// shim over the observer path (see SolverConfig::progress).
-struct SolverProgress {
-  int restart = 0;
-  int iteration = 0;
-  double cost = 0.0;
-};
 
 struct SolverConfig {
   int num_planes = 5;  // K (Table I uses 5)
@@ -74,13 +58,6 @@ struct SolverConfig {
   // obs::MulticastObserver for both. With no observer attached the
   // instrumented paths cost one branch (DESIGN.md section 8).
   obs::SolverObserver* observer = nullptr;
-
-  // Back-compat shim for the pre-observer progress callback: when set, it
-  // is adapted onto the observer event stream (an internal observer
-  // forwards every iteration event), so both hooks see identical
-  // sequences. Kept for one release; new code should implement
-  // obs::SolverObserver.
-  std::function<void(const SolverProgress&)> progress;
 
   // Bridge for legacy call sites still holding a PartitionOptions.
   static SolverConfig from(const PartitionOptions& options, int threads = 1);

@@ -58,4 +58,12 @@ PartitionMetrics compute_metrics(const Netlist& netlist, const Partition& partit
   return metrics;
 }
 
+int cut_count(const Netlist& netlist, const Partition& partition) {
+  int cut = 0;
+  for (const Connection& edge : netlist.unique_edges()) {
+    if (partition.plane(edge.from) != partition.plane(edge.to)) ++cut;
+  }
+  return cut;
+}
+
 }  // namespace sfqpart

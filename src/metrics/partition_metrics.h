@@ -51,4 +51,9 @@ struct PartitionMetrics {
 
 PartitionMetrics compute_metrics(const Netlist& netlist, const Partition& partition);
 
+// Number of connections whose endpoints sit on different planes — the
+// classic K-way objective (the paper's section IV-A argues it cannot
+// capture plane-distance cost; the FM baseline optimizes it).
+int cut_count(const Netlist& netlist, const Partition& partition);
+
 }  // namespace sfqpart

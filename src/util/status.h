@@ -12,16 +12,39 @@
 
 namespace sfqpart {
 
+// Coarse failure classification, modelled on absl::StatusCode but reduced
+// to what the library actually distinguishes: bad caller input
+// (kInvalidArgument), a lookup miss (kNotFound, e.g. an unregistered
+// engine name), and everything else (kUnknown).
+enum class StatusCode {
+  kOk,
+  kUnknown,
+  kInvalidArgument,
+  kNotFound,
+};
+
 class Status {
  public:
   // Default: OK.
   Status() = default;
 
   static Status ok() { return Status(); }
-  static Status error(std::string message) { return Status(std::move(message)); }
+  static Status error(std::string message) {
+    return Status(StatusCode::kUnknown, std::move(message));
+  }
+  static Status invalid_argument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status not_found(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
 
   bool is_ok() const { return !message_.has_value(); }
   explicit operator bool() const { return is_ok(); }
+
+  StatusCode code() const { return code_; }
+  bool is_invalid_argument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool is_not_found() const { return code_ == StatusCode::kNotFound; }
 
   // Message of a failed status; empty string when OK.
   const std::string& message() const {
@@ -30,7 +53,9 @@ class Status {
   }
 
  private:
-  explicit Status(std::string message) : message_(std::move(message)) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  StatusCode code_ = StatusCode::kOk;
   std::optional<std::string> message_;
 };
 

@@ -1,0 +1,215 @@
+#include "core/engine.h"
+
+// EngineRegistry contract and golden-label parity.
+//
+// The golden arrays below were captured from the PRE-refactor entry points
+// (Solver::run, multilevel_partition, anneal_partition, fm_kway_partition,
+// layered_partition, random_partition) on ksa4 at K = 3, seed = 1, all
+// other options at their defaults, immediately before the engines were
+// ported to the registry. Each registry engine must reproduce its
+// pre-refactor labels bit for bit — if one of these tests fails, an
+// adapter silently changed an engine's option threading or seeding.
+#include <algorithm>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.h"
+#include "netlist/netlist.h"
+#include "obs/run_report.h"
+#include "util/json.h"
+
+namespace sfqpart {
+namespace {
+
+const std::vector<std::string> kBuiltins = {
+    "annealing", "fm_kway", "gradient", "layered", "multilevel", "random"};
+
+TEST(EngineRegistry, NamesAreSortedStableAndComplete) {
+  const std::vector<std::string> names = EngineRegistry::names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const std::string& expected : kBuiltins) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing engine " << expected;
+  }
+  // Stable across calls.
+  EXPECT_EQ(names, EngineRegistry::names());
+}
+
+TEST(EngineRegistry, UnknownNameIsNotFoundStatusNotACrash) {
+  const auto engine = EngineRegistry::create("does-not-exist");
+  ASSERT_FALSE(engine.is_ok());
+  EXPECT_TRUE(engine.status().is_not_found());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotFound);
+  // The message lists what IS available.
+  EXPECT_NE(engine.status().message().find("gradient"), std::string::npos);
+}
+
+TEST(EngineRegistry, RegisterRejectsDuplicatesAndEmptyNames) {
+  EXPECT_TRUE(EngineRegistry::register_engine("", nullptr)
+                  .is_invalid_argument());
+  // Registering over a built-in must fail without clobbering it.
+  const auto duplicate = EngineRegistry::register_engine(
+      "gradient", [] { return std::unique_ptr<PartitionEngine>(); });
+  EXPECT_TRUE(duplicate.is_invalid_argument());
+  EXPECT_TRUE(EngineRegistry::create("gradient").is_ok());
+}
+
+TEST(EngineRegistry, EveryEngineReportsItsRegistryName) {
+  for (const std::string& name : EngineRegistry::names()) {
+    const auto engine = EngineRegistry::create(name);
+    ASSERT_TRUE(engine.is_ok()) << engine.status().message();
+    EXPECT_EQ((*engine)->name(), name);
+    EXPECT_STRNE((*engine)->describe_options(), "");
+  }
+}
+
+TEST(EngineContext, ValidateRejectsOutOfRangeKnobsUniformly) {
+  EngineContext planes;
+  planes.num_planes = 1;
+  EXPECT_TRUE(planes.validate().is_invalid_argument());
+
+  EngineContext restarts;
+  restarts.restarts = -1;
+  EXPECT_TRUE(restarts.validate().is_invalid_argument());
+
+  EngineContext threads;
+  threads.threads = -2;
+  EXPECT_TRUE(threads.validate().is_invalid_argument());
+
+  EngineContext exponent;
+  exponent.weights.distance_exponent = 0;
+  EXPECT_TRUE(exponent.validate().is_invalid_argument());
+
+  EXPECT_TRUE(EngineContext{}.validate().is_ok());
+}
+
+// Every engine rejects a bad context with the same uniform Status — no
+// engine-dependent asserts or hangs.
+TEST(EngineRegistry, EveryEngineRejectsInvalidContextWithStatus) {
+  const Netlist netlist = build_mapped("ksa4");
+  for (const std::string& name : EngineRegistry::names()) {
+    const auto engine = EngineRegistry::create(name);
+    ASSERT_TRUE(engine.is_ok());
+    EngineContext bad;
+    bad.num_planes = 1;
+    const auto run = (*engine)->run(netlist, bad);
+    ASSERT_FALSE(run.is_ok()) << name;
+    EXPECT_TRUE(run.status().is_invalid_argument()) << name;
+  }
+}
+
+TEST(EngineRegistry, EveryEngineSurvivesZeroGateNetlist) {
+  Netlist netlist;
+  for (const std::string& name : EngineRegistry::names()) {
+    const auto engine = EngineRegistry::create(name);
+    ASSERT_TRUE(engine.is_ok());
+    const auto run = (*engine)->run(netlist, EngineContext{});
+    ASSERT_FALSE(run.is_ok()) << name;
+    EXPECT_TRUE(run.status().is_invalid_argument()) << name;
+    EXPECT_NE(run.status().message().find("partitionable"), std::string::npos)
+        << name;
+  }
+}
+
+TEST(EngineRegistry, EveryEngineSurvivesOneGateNetlist) {
+  Netlist netlist;
+  netlist.add_gate_of_kind("g", CellKind::kJtl);
+  EngineContext context;
+  context.num_planes = 2;
+  for (const std::string& name : EngineRegistry::names()) {
+    const auto engine = EngineRegistry::create(name);
+    ASSERT_TRUE(engine.is_ok());
+    const auto run = (*engine)->run(netlist, context);
+    ASSERT_TRUE(run.is_ok()) << name << ": " << run.status().message();
+    const int plane = run->partition.plane(0);
+    EXPECT_GE(plane, 0) << name;
+    EXPECT_LT(plane, 2) << name;
+  }
+}
+
+// --- Golden-label parity with the pre-refactor entry points -------------
+// ksa4, K = 3, seed = 1, defaults otherwise; see the header comment.
+
+constexpr int kGradient[] = {-1, -1, -1, -1, -1, -1, -1, -1, 2, 2, 1, 2, 2, 1, 0, 0, 2, 2, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0, -1, 1, -1, 1, -1, 0, -1, -1, 2, 2, 2, 2, 2, 1, 0, 0, 2, 1, 1, 0, 1, 1, 0, 2, 2, 1, 0, 2, 1, 2, 2, 1, 1, 1, 0, 1, 1, 2, 2, 2, 1, 0, 0, 1, 1, 0, 0};
+constexpr int kMultilevel[] = {-1, -1, -1, -1, -1, -1, -1, -1, 2, 2, 1, 2, 2, 1, 0, 0, 2, 2, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0, -1, 1, -1, 1, -1, 0, -1, -1, 2, 2, 2, 2, 2, 1, 0, 0, 2, 1, 1, 0, 1, 1, 0, 2, 2, 1, 0, 2, 1, 2, 2, 1, 1, 1, 0, 1, 1, 2, 2, 2, 1, 0, 0, 1, 1, 0, 0};
+constexpr int kAnnealing[] = {-1, -1, -1, -1, -1, -1, -1, -1, 2, 2, 2, 2, 0, 0, 0, 0, 2, 1, 1, 1, 1, 0, 1, 0, 1, 1, 1, 1, -1, 2, -1, 0, -1, 1, -1, -1, 2, 1, 2, 2, 2, 2, 0, 0, 1, 0, 0, 0, 1, 1, 1, 2, 2, 2, 0, 2, 2, 2, 2, 0, 0, 0, 0, 2, 1, 2, 2, 1, 0, 1, 0, 0, 0, 0, 1};
+constexpr int kFmKway[] = {-1, -1, -1, -1, -1, -1, -1, -1, 1, 1, 2, 2, 0, 0, 1, 1, 0, 0, 2, 2, 2, 0, 0, 0, 2, 2, 0, 0, -1, 2, -1, 0, -1, 1, -1, -1, 2, 2, 1, 1, 1, 1, 0, 0, 2, 1, 1, 1, 1, 0, 0, 2, 2, 2, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2, 1, 1, 2, 0, 2, 0, 0, 1, 0, 0};
+constexpr int kLayered[] = {-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, -1, 1, -1, 2, -1, 2, -1, -1, 1, 1, 1, 2, 2, 2, 1, 2, 1, 1, 2, 2, 1, 2, 2, 2, 2, 2, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2};
+constexpr int kRandom[] = {-1, -1, -1, -1, -1, -1, -1, -1, 0, 1, 0, 1, 0, 2, 2, 1, 0, 0, 2, 2, 1, 0, 1, 0, 2, 0, 1, 2, -1, 2, -1, 0, -1, 1, -1, -1, 2, 0, 1, 0, 2, 2, 0, 1, 1, 2, 2, 0, 1, 1, 1, 2, 2, 1, 2, 1, 0, 0, 0, 1, 2, 1, 2, 2, 1, 1, 0, 1, 1, 0, 2, 0, 0, 0, 2};
+
+struct GoldenCase {
+  const char* engine;
+  const int* labels;
+  std::size_t size;
+};
+
+class EngineGolden : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(EngineGolden, ReproducesPreRefactorLabelsBitForBit) {
+  const GoldenCase& golden = GetParam();
+  const Netlist netlist = build_mapped("ksa4");
+  ASSERT_EQ(static_cast<std::size_t>(netlist.num_gates()), golden.size);
+
+  const auto engine = EngineRegistry::create(golden.engine);
+  ASSERT_TRUE(engine.is_ok()) << engine.status().message();
+  EngineContext context;
+  context.num_planes = 3;
+  context.seed = 1;
+  const auto run = (*engine)->run(netlist, context);
+  ASSERT_TRUE(run.is_ok()) << run.status().message();
+
+  const std::vector<int> expected(golden.labels, golden.labels + golden.size);
+  EXPECT_EQ(run->partition.plane_of, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Builtins, EngineGolden,
+    ::testing::Values(GoldenCase{"gradient", kGradient, std::size(kGradient)},
+                      GoldenCase{"multilevel", kMultilevel, std::size(kMultilevel)},
+                      GoldenCase{"annealing", kAnnealing, std::size(kAnnealing)},
+                      GoldenCase{"fm_kway", kFmKway, std::size(kFmKway)},
+                      GoldenCase{"layered", kLayered, std::size(kLayered)},
+                      GoldenCase{"random", kRandom, std::size(kRandom)}),
+    [](const auto& info) { return std::string(info.param.engine); });
+
+// Every engine's registry run produces a RunReport whose JSON carries the
+// registry engine name (the "engine" field of sfqpart.run_report.v1).
+TEST(EngineRegistry, RunReportCarriesEngineNameForEveryEngine) {
+  const Netlist netlist = build_mapped("ksa4");
+  for (const std::string& name : EngineRegistry::names()) {
+    const auto engine = EngineRegistry::create(name);
+    ASSERT_TRUE(engine.is_ok());
+    obs::RunReport report;
+    EngineContext context;
+    context.num_planes = 3;
+    context.observer = &report;
+    ASSERT_TRUE((*engine)->run(netlist, context).is_ok()) << name;
+    const std::string json = report.to_json().dump();
+    EXPECT_NE(json.find("\"engine\": \"" + name + "\""), std::string::npos)
+        << name << " report: " << json.substr(0, 200);
+  }
+}
+
+// The normalized EngineRun: discrete terms scored by the shared CostModel,
+// a weighted total consistent with them, and counters reachable by name.
+TEST(EngineRun, NormalizedFieldsAreConsistent) {
+  const Netlist netlist = build_mapped("ksa4");
+  EngineContext context;
+  context.num_planes = 3;
+  for (const std::string& name : EngineRegistry::names()) {
+    const auto engine = EngineRegistry::create(name);
+    ASSERT_TRUE(engine.is_ok());
+    const auto run = (*engine)->run(netlist, context);
+    ASSERT_TRUE(run.is_ok()) << name;
+    EXPECT_EQ(run->discrete_total, run->discrete_terms.total(context.weights))
+        << name;
+    EXPECT_GE(run->wall_ms, 0.0) << name;
+    EXPECT_EQ(run->counter("no-such-counter"), 0.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sfqpart

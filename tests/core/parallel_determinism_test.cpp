@@ -1,10 +1,11 @@
 // The parallel engine's determinism contract (DESIGN.md section 7): for a
 // fixed seed, the Solver's output is bit-identical at every thread count,
-// and identical to the legacy serial free functions.
+// and identical through the EngineRegistry's gradient wrapper.
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/engine.h"
 #include "core/soft_assign.h"
 #include "core/solver.h"
 #include "gen/suite.h"
@@ -68,23 +69,30 @@ TEST(ParallelDeterminism, RefinementPathAgreesAcrossThreadCounts) {
       serial, solve_with_threads(problem, 5, /*threads=*/8, /*restarts=*/3, true));
 }
 
-TEST(ParallelDeterminism, FacadeMatchesLegacyFreeFunctions) {
+// The registry's gradient engine is the Solver facade, wrapped: same
+// labels, same costs, same winning restart — at any thread count.
+TEST(ParallelDeterminism, RegistryGradientMatchesFacade) {
   const Netlist netlist = build_mapped("ksa8");
   PartitionOptions options;
   options.seed = 11;
   options.restarts = 3;
-  // Legacy-contract check: calls the deprecated wrapper on purpose.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const PartitionResult legacy = partition_netlist(netlist, options);
-#pragma GCC diagnostic pop
-
   const auto facade = Solver(SolverConfig::from(options, /*threads=*/8)).run(netlist);
   ASSERT_TRUE(facade.is_ok()) << facade.status().message();
-  EXPECT_EQ(facade->partition.plane_of, legacy.partition.plane_of);
-  EXPECT_EQ(facade->discrete_total, legacy.discrete_total);
-  EXPECT_EQ(facade->winning_restart, legacy.winning_restart);
-  expect_terms_eq(facade->discrete_terms, legacy.discrete_terms);
+
+  auto engine = EngineRegistry::create("gradient");
+  ASSERT_TRUE(engine.is_ok()) << engine.status().message();
+  EngineContext context;
+  context.num_planes = options.num_planes;
+  context.seed = options.seed;
+  context.restarts = options.restarts;
+  context.threads = 1;
+  const auto run = (*engine)->run(netlist, context);
+  ASSERT_TRUE(run.is_ok()) << run.status().message();
+
+  EXPECT_EQ(run->partition.plane_of, facade->partition.plane_of);
+  EXPECT_EQ(run->discrete_total, facade->discrete_total);
+  EXPECT_EQ(run->counter("winning_restart"), facade->winning_restart);
+  expect_terms_eq(run->discrete_terms, facade->discrete_terms);
 }
 
 // Regression for winning_restart under concurrency: every restart of a

@@ -1,21 +1,30 @@
 #include "core/partitioner.h"
 
-// This file is the legacy-contract test: it exercises the deprecated free
-// functions on purpose to pin their behaviour until removal (DESIGN.md
-// section 8.4), so the deprecation warnings are suppressed here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
+// Contract tests of the gradient-descent partitioning flow. These used to
+// exercise the deprecated free functions (partition_netlist and friends);
+// since their removal (DESIGN.md section 8.4) the same contracts are
+// pinned through the Solver facade, which the wrappers were documented to
+// be bit-identical to.
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "baseline/random_partition.h"
+#include "core/solver.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
 
 namespace sfqpart {
 namespace {
+
+// The historical partition_netlist(netlist, options) call, expressed on
+// the facade: a single-threaded Solver with the same options.
+PartitionResult run_solver(const Netlist& netlist,
+                           const PartitionOptions& options = {}) {
+  auto result = Solver(SolverConfig::from(options)).run(netlist);
+  EXPECT_TRUE(result.is_ok()) << result.status().message();
+  return std::move(result).value();
+}
 
 TEST(PartitionProblem, FromNetlistCompactsIoAway) {
   const Netlist netlist = build_mapped("ksa4");
@@ -35,7 +44,7 @@ TEST(PartitionProblem, FromNetlistCompactsIoAway) {
 
 TEST(Partitioner, AssignsEveryPartitionableGate) {
   const Netlist netlist = build_mapped("ksa4");
-  const PartitionResult result = partition_netlist(netlist, {});
+  const PartitionResult result = run_solver(netlist);
   for (GateId g = 0; g < netlist.num_gates(); ++g) {
     if (netlist.is_partitionable(g)) {
       EXPECT_NE(result.partition.plane(g), kUnassignedPlane);
@@ -48,7 +57,7 @@ TEST(Partitioner, AssignsEveryPartitionableGate) {
 
 TEST(Partitioner, UsesAllPlanes) {
   const Netlist netlist = build_mapped("ksa8");
-  const PartitionResult result = partition_netlist(netlist, {});
+  const PartitionResult result = run_solver(netlist);
   std::set<int> used;
   for (GateId g = 0; g < netlist.num_gates(); ++g) {
     if (result.partition.assigned(g)) used.insert(result.partition.plane(g));
@@ -60,15 +69,15 @@ TEST(Partitioner, DeterministicForSeed) {
   const Netlist netlist = build_mapped("ksa4");
   PartitionOptions options;
   options.seed = 42;
-  const PartitionResult a = partition_netlist(netlist, options);
-  const PartitionResult b = partition_netlist(netlist, options);
+  const PartitionResult a = run_solver(netlist, options);
+  const PartitionResult b = run_solver(netlist, options);
   EXPECT_EQ(a.partition.plane_of, b.partition.plane_of);
   EXPECT_EQ(a.discrete_total, b.discrete_total);
 }
 
 TEST(Partitioner, BeatsRandomBaselineOnLocalityAndBalance) {
   const Netlist netlist = build_mapped("ksa8");
-  const PartitionResult result = partition_netlist(netlist, {});
+  const PartitionResult result = run_solver(netlist);
   const PartitionMetrics ours = compute_metrics(netlist, result.partition);
   const PartitionMetrics rand = compute_metrics(netlist, random_partition(netlist, 5, 1));
   // Random round-robin: ~52% of connections within distance 1 at K=5; the
@@ -87,7 +96,7 @@ TEST_P(PartitionerSweep, InvariantsHoldForEveryK) {
   PartitionOptions options;
   options.num_planes = k;
   options.restarts = 2;
-  const PartitionResult result = partition_netlist(netlist, options);
+  const PartitionResult result = run_solver(netlist, options);
   const PartitionMetrics metrics = compute_metrics(netlist, result.partition);
 
   EXPECT_EQ(metrics.num_planes, k);
@@ -119,8 +128,8 @@ TEST(Partitioner, MoreRestartsNeverWorse) {
   PartitionOptions five;
   five.restarts = 5;
   five.seed = 9;
-  const double cost1 = partition_netlist(netlist, one).discrete_total;
-  const double cost5 = partition_netlist(netlist, five).discrete_total;
+  const double cost1 = run_solver(netlist, one).discrete_total;
+  const double cost5 = run_solver(netlist, five).discrete_total;
   // Restart 0 is identical for both (same split sequence), so the 5-way
   // minimum cannot be worse.
   EXPECT_LE(cost5, cost1 + 1e-12);
@@ -132,8 +141,8 @@ TEST(Partitioner, RefineOptionNeverHurtsDiscreteCost) {
   plain.seed = 3;
   PartitionOptions refined = plain;
   refined.refine = true;
-  const double cost_plain = partition_netlist(netlist, plain).discrete_total;
-  const double cost_refined = partition_netlist(netlist, refined).discrete_total;
+  const double cost_plain = run_solver(netlist, plain).discrete_total;
+  const double cost_refined = run_solver(netlist, refined).discrete_total;
   EXPECT_LE(cost_refined, cost_plain + 1e-12);
 }
 
@@ -141,7 +150,7 @@ TEST(Partitioner, PaperGradientStyleProducesComparableQuality) {
   const Netlist netlist = build_mapped("ksa8");
   PartitionOptions paper;
   paper.gradient_style = GradientStyle::kPaperEq10;
-  const PartitionResult result = partition_netlist(netlist, paper);
+  const PartitionResult result = run_solver(netlist, paper);
   const PartitionMetrics metrics = compute_metrics(netlist, result.partition);
   EXPECT_GT(metrics.frac_within(1), 0.45);
   EXPECT_LT(metrics.icomp_frac(), 0.35);
@@ -149,5 +158,3 @@ TEST(Partitioner, PaperGradientStyleProducesComparableQuality) {
 
 }  // namespace
 }  // namespace sfqpart
-
-#pragma GCC diagnostic pop

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "gen/suite.h"
+#include "obs/observer.h"
 #include "util/thread_pool.h"
 
 namespace sfqpart {
@@ -122,28 +123,39 @@ TEST(Solver, ConfigBridgesFromPartitionOptions) {
   EXPECT_EQ(config.optimizer.max_iterations, 123);
 }
 
-TEST(Solver, ProgressCallbackSeesEveryRestart) {
+// Replaces the retired SolverConfig::progress callback test: the observer
+// event stream is now the only live-progress surface, and it must see
+// every restart even with concurrent workers.
+TEST(Solver, ObserverSeesEveryRestart) {
+  struct IterationRecorder final : obs::SolverObserver {
+    // Serialized by the Solver's TraceSink lock.
+    std::vector<obs::IterationEvent> events;
+    void on_iteration(const obs::IterationEvent& e) override {
+      events.push_back(e);
+    }
+  };
+
   const Netlist netlist = build_mapped("ksa4");
-  std::vector<SolverProgress> events;  // guarded by the Solver's own lock
+  IterationRecorder recorder;
   SolverConfig config;
   config.restarts = 3;
   config.threads = 4;
-  config.progress = [&events](const SolverProgress& p) { events.push_back(p); };
+  config.observer = &recorder;
   const auto result = Solver(std::move(config)).run(netlist);
   ASSERT_TRUE(result.is_ok()) << result.status().message();
 
-  ASSERT_FALSE(events.empty());
+  ASSERT_FALSE(recorder.events.empty());
   std::vector<bool> seen(3, false);
-  int last_cost_ok = 0;
-  for (const SolverProgress& p : events) {
-    ASSERT_GE(p.restart, 0);
-    ASSERT_LT(p.restart, 3);
-    seen[static_cast<std::size_t>(p.restart)] = true;
-    EXPECT_GE(p.iteration, 0);
-    if (p.cost >= 0.0) ++last_cost_ok;
+  int cost_ok = 0;
+  for (const obs::IterationEvent& e : recorder.events) {
+    ASSERT_GE(e.restart, 0);
+    ASSERT_LT(e.restart, 3);
+    seen[static_cast<std::size_t>(e.restart)] = true;
+    EXPECT_GE(e.iteration, 0);
+    if (e.cost >= 0.0) ++cost_ok;
   }
   EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
-  EXPECT_GT(last_cost_ok, 0);
+  EXPECT_GT(cost_ok, 0);
 }
 
 TEST(Solver, RunOnPrebuiltProblemMatchesNetlistRun) {

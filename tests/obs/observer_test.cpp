@@ -1,6 +1,6 @@
 // Observer event-stream contract: serialized delivery, deterministic
-// per-restart subsequences at every thread count, equivalence of the
-// legacy progress shim, and non-perturbation of the solver result.
+// per-restart subsequences at every thread count, engine-name rewriting on
+// the registry path, and non-perturbation of the solver result.
 #include "obs/observer.h"
 
 #include <string>
@@ -10,6 +10,7 @@
 
 #include "baseline/annealing.h"
 #include "baseline/fm_kway.h"
+#include "core/engine.h"
 #include "core/multilevel.h"
 #include "core/solver.h"
 #include "gen/suite.h"
@@ -179,30 +180,33 @@ TEST(Observer, AttachingAnObserverDoesNotChangeTheResult) {
   EXPECT_EQ(unobserved->winning_restart, with_observer->winning_restart);
 }
 
-// The SolverConfig::progress shim rides the observer stream, so both
-// hooks must see the exact same iteration sequence.
-TEST(Observer, ProgressShimSeesIdenticalIterationSequence) {
+// The registry rewrites the outermost RunInfo::engine to the registry
+// name ("gradient") while forwarding the rest of the stream untouched;
+// the direct Solver keeps its own "solver" tag.
+TEST(Observer, RegistryRewritesRunInfoEngineName) {
   const Netlist netlist = build_mapped("ksa4");
 
+  Recorder direct;
   SolverConfig config;
   config.restarts = 2;
-  Recorder recorder;
-  std::vector<SolverProgress> progress;  // serialized by the TraceSink lock
-  config.observer = &recorder;
-  config.progress = [&progress](const SolverProgress& p) {
-    progress.push_back(p);
-  };
+  config.observer = &direct;
   ASSERT_TRUE(Solver(std::move(config)).run(netlist).is_ok());
+  ASSERT_FALSE(direct.infos.empty());
+  EXPECT_EQ(direct.infos[0].engine, "solver");
 
-  std::vector<Recorded> iterations;
-  for (const Recorded& e : recorder.events) {
-    if (e.type == "iteration") iterations.push_back(e);
-  }
-  ASSERT_EQ(iterations.size(), progress.size());
-  for (std::size_t i = 0; i < progress.size(); ++i) {
-    EXPECT_EQ(progress[i].restart, iterations[i].restart);
-    EXPECT_EQ(progress[i].iteration, iterations[i].iteration);
-    EXPECT_EQ(progress[i].cost, iterations[i].cost);
+  Recorder via_registry;
+  auto engine = EngineRegistry::create("gradient");
+  ASSERT_TRUE(engine.is_ok()) << engine.status().message();
+  EngineContext context;
+  context.restarts = 2;
+  context.observer = &via_registry;
+  ASSERT_TRUE((*engine)->run(netlist, context).is_ok());
+  ASSERT_FALSE(via_registry.infos.empty());
+  EXPECT_EQ(via_registry.infos[0].engine, "gradient");
+
+  // Only the name differs: the iteration subsequences are identical.
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(direct.restart_sequence(r), via_registry.restart_sequence(r));
   }
 }
 

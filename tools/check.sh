@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Sanitizer gate for the tier-1 suite: configure + build the "asan"
 # preset (ASan + UBSan, see CMakePresets.json) and run every ctest
 # under it. Any sanitizer report aborts the offending test, so a green
@@ -6,8 +6,10 @@
 #
 #   tools/check.sh [extra ctest args...]
 #
-# Run from anywhere; the script cd's to the repo root.
-set -eu
+# Run from anywhere; the script cd's to the repo root. The ctest output
+# is tee'd to build-asan/check.log; pipefail keeps the exit status of
+# ctest itself, not tee's, so a red suite fails the script (and CI).
+set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
@@ -16,4 +18,4 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake --preset asan
 cmake --build --preset asan -j "$jobs"
-ctest --preset asan -j "$jobs" "$@"
+ctest --preset asan -j "$jobs" "$@" 2>&1 | tee build-asan/check.log

@@ -1,29 +1,29 @@
 // sfqpart — command line driver for the ground-plane partitioning flow.
 //
+//   sfqpart --list-engines
 //   sfqpart list
 //   sfqpart stats     --circuit ksa8 | --def design.def [--json]
-//   sfqpart partition --circuit ksa8 --planes 5 [--refine] [--method gd|multilevel|annealing|layered|fm|random]
-//                     [--threads N] [--progress] [--json] [--csv out.csv] [--dot out.dot]
+//   sfqpart partition --circuit ksa8 --planes 5 [--refine] [--engine <name>]
+//                     [--seed N] [--restarts N] [--threads N] [--progress]
+//                     [--json] [--csv out.csv] [--dot out.dot]
 //                     [--report-json report.json] [--trace]
 //   sfqpart kres      --circuit id8 --limit 100 [--json]
 //   sfqpart plan      --circuit ksa8 --planes 4 [--json]
 //   sfqpart emit      --circuit mult4 --dir out/
 //
-// Circuits come from the built-in benchmark suite or from a DEF file
-// (--def); all stochastic steps honor --seed.
+// Every partitioning command selects its algorithm with --engine; the
+// available engines come from the EngineRegistry (core/engine.h) and are
+// listed by `sfqpart --list-engines`. Circuits come from the built-in
+// benchmark suite or from a DEF file (--def); all stochastic steps honor
+// --seed.
 #include <cstdio>
 #include <fstream>
 #include <optional>
 #include <string>
 
-#include "baseline/annealing.h"
-#include "baseline/fm_kway.h"
-#include "baseline/layered_partition.h"
-#include "baseline/random_partition.h"
+#include "core/engine.h"
 #include "core/kres_search.h"
-#include "core/multilevel.h"
 #include "core/partition_io.h"
-#include "core/solver.h"
 #include "def/def_parser.h"
 #include "def/def_writer.h"
 #include "def/lef_parser.h"
@@ -53,6 +53,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: sfqpart <list|stats|partition|evaluate|kres|plan|timing|floorplan|emit>"
     " [flags]\n"
+    "       sfqpart --list-engines\n"
     "run `sfqpart <command> --help` for the command's flags\n";
 
 OptionsParser make_parser(const std::string& command) {
@@ -64,13 +65,14 @@ OptionsParser make_parser(const std::string& command) {
   parser.add_int("seed", 1, "random seed");
   parser.add_flag("json", false, "emit machine-readable JSON on stdout");
   parser.add_flag("help", false, "show this help");
-  parser.add_string("method", "gd",
-                    "partitioner: gd|multilevel|annealing|layered|fm|random");
+  parser.add_string("engine", "gradient",
+                    "partitioning engine (see `sfqpart --list-engines`)");
   parser.add_flag("refine", false, "greedy refinement after gradient descent");
+  parser.add_int("restarts", 3, "independent random restarts");
   parser.add_int("threads", 0,
-                 "worker threads for gd restarts (0 = hardware concurrency)");
+                 "worker threads for gradient restarts (0 = hardware concurrency)");
   parser.add_flag("progress", false,
-                  "report live gd convergence (restart/iteration/cost) on stderr");
+                  "report live convergence (restart/iteration/cost) on stderr");
   parser.add_string("report-json", "",
                     "write a machine-readable run report (config, convergence "
                     "curves, stage times, metrics) to this file");
@@ -180,51 +182,51 @@ int cmd_stats(const OptionsParser& options) {
   return 0;
 }
 
-StatusOr<Partition> run_method(const Netlist& netlist, const OptionsParser& options,
-                               obs::SolverObserver* observer = nullptr) {
-  const int planes = static_cast<int>(options.get_int("planes"));
-  const auto seed = static_cast<std::uint64_t>(options.get_int("seed"));
-  const std::string method = options.get_string("method");
-  if (method == "gd") {
-    SolverConfig config;
-    config.num_planes = planes;
-    config.seed = seed;
-    config.refine = options.get_flag("refine");
-    config.threads = static_cast<int>(options.get_int("threads"));
-    config.observer = observer;
-    if (options.get_flag("progress")) {
-      config.progress = [](const SolverProgress& p) {
-        if (p.iteration % 50 == 0) {
-          std::fprintf(stderr, "[gd] restart %d iteration %d cost %.6f\n",
-                       p.restart, p.iteration, p.cost);
-        }
-      };
+// Prints live convergence on stderr (--progress); an observer over the
+// same event stream every engine narrates.
+class ProgressPrinter final : public obs::SolverObserver {
+ public:
+  void on_iteration(const obs::IterationEvent& e) override {
+    if (e.iteration % 50 == 0) {
+      std::fprintf(stderr, "[progress] restart %d iteration %d cost %.6f\n",
+                   e.restart, e.iteration, e.cost);
     }
-    auto result = Solver(std::move(config)).run(netlist);
-    if (!result) return result.status();
-    return std::move(result->partition);
   }
-  if (method == "multilevel") {
-    MultilevelOptions mopt;
-    mopt.seed = seed;
-    mopt.observer = observer;
-    return multilevel_partition(netlist, planes, mopt).partition;
+};
+
+// Runs the engine selected by --engine with the uniform EngineContext; all
+// flag validation (planes/restarts/threads) happens once inside the
+// engine's run() and comes back as a Status.
+StatusOr<EngineRun> run_engine(const Netlist& netlist, const OptionsParser& options,
+                               obs::SolverObserver* observer = nullptr) {
+  auto engine = EngineRegistry::create(options.get_string("engine"));
+  if (!engine) return engine.status();
+
+  EngineContext context;
+  context.num_planes = static_cast<int>(options.get_int("planes"));
+  context.seed = static_cast<std::uint64_t>(options.get_int("seed"));
+  context.restarts = static_cast<int>(options.get_int("restarts"));
+  context.threads = static_cast<int>(options.get_int("threads"));
+  context.refine = options.get_flag("refine");
+  context.observer = observer;
+
+  ProgressPrinter printer;
+  obs::MulticastObserver multicast;
+  if (options.get_flag("progress")) {
+    if (observer != nullptr) multicast.add(observer);
+    multicast.add(&printer);
+    context.observer = &multicast;
   }
-  if (method == "annealing") {
-    AnnealingOptions aopt;
-    aopt.seed = seed;
-    aopt.observer = observer;
-    return anneal_partition(netlist, planes, aopt).partition;
+  return (*engine)->run(netlist, context);
+}
+
+int cmd_list_engines() {
+  for (const std::string& name : EngineRegistry::names()) {
+    auto engine = EngineRegistry::create(name);
+    if (!engine) continue;
+    std::printf("%-11s %s\n", name.c_str(), (*engine)->describe_options());
   }
-  if (method == "layered") return layered_partition(netlist, planes);
-  if (method == "fm") {
-    FmOptions fopt;
-    fopt.seed = seed;
-    fopt.observer = observer;
-    return fm_kway_partition(netlist, planes, fopt).partition;
-  }
-  if (method == "random") return random_partition(netlist, planes, seed);
-  return Status::error("unknown method '" + method + "'");
+  return 0;
 }
 
 int cmd_partition(const OptionsParser& options) {
@@ -245,12 +247,13 @@ int cmd_partition(const OptionsParser& options) {
   if (options.get_flag("trace")) multicast.add(&tracer);
   obs::SolverObserver* observer = multicast.empty() ? nullptr : &multicast;
 
-  const auto partition = run_method(*netlist, options, observer);
-  if (!partition) {
-    std::fprintf(stderr, "%s\n", partition.status().message().c_str());
+  const auto run = run_engine(*netlist, options, observer);
+  if (!run) {
+    std::fprintf(stderr, "%s\n", run.status().message().c_str());
     return 1;
   }
-  const PartitionMetrics metrics = compute_metrics(*netlist, *partition);
+  const Partition& partition = run->partition;
+  const PartitionMetrics metrics = compute_metrics(*netlist, partition);
 
   if (!report_path.empty()) {
     report.set_circuit(netlist->name(), metrics.num_gates,
@@ -267,7 +270,7 @@ int cmd_partition(const OptionsParser& options) {
     for (GateId g = 0; g < netlist->num_gates(); ++g) {
       if (!netlist->is_partitionable(g)) continue;
       csv.add_row({netlist->gate(g).name, netlist->cell_of(g).name,
-                   std::to_string(partition->plane(g))});
+                   std::to_string(partition.plane(g))});
     }
     if (auto st = csv.write_file(options.get_string("csv")); !st) {
       std::fprintf(stderr, "%s\n", st.message().c_str());
@@ -277,7 +280,7 @@ int cmd_partition(const OptionsParser& options) {
   if (!options.get_string("dot").empty()) {
     const std::string dot_path = options.get_string("dot");
     DotOptions dot_options;
-    dot_options.plane_of = partition->plane_of;
+    dot_options.plane_of = partition.plane_of;
     std::ofstream file(dot_path);
     if (!file) {
       std::fprintf(stderr, "cannot open for writing: %s\n", dot_path.c_str());
@@ -295,18 +298,28 @@ int cmd_partition(const OptionsParser& options) {
     for (GateId g = 0; g < netlist->num_gates(); ++g) {
       if (netlist->is_partitionable(g)) {
         assignment.set(netlist->gate(g).name,
-                       Json::number(static_cast<long long>(partition->plane(g))));
+                       Json::number(static_cast<long long>(partition.plane(g))));
       }
+    }
+    Json counters = Json::object();
+    for (const auto& [name, value] : run->counters) {
+      counters.set(name, Json::number(value));
     }
     std::printf("%s\n", Json::object()
                             .set("circuit", Json::string(netlist->name()))
-                            .set("method", Json::string(options.get_string("method")))
+                            .set("engine", Json::string(options.get_string("engine")))
+                            // No wall_ms here: --json stdout is the
+                            // deterministic document (byte-identical at
+                            // any thread count); timings live in
+                            // --report-json.
+                            .set("discrete_total", Json::number(run->discrete_total))
+                            .set("counters", std::move(counters))
                             .set("metrics", metrics_json(metrics))
                             .set("assignment", std::move(assignment))
                             .dump()
                             .c_str());
   } else {
-    std::fputs(format_partition_report(*netlist, *partition, metrics).c_str(),
+    std::fputs(format_partition_report(*netlist, partition, metrics).c_str(),
                stdout);
   }
   return 0;
@@ -381,13 +394,14 @@ int cmd_plan(const OptionsParser& options) {
     std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
     return 1;
   }
-  const auto partition = run_method(*netlist, options);
-  if (!partition) {
-    std::fprintf(stderr, "%s\n", partition.status().message().c_str());
+  const auto run = run_engine(*netlist, options);
+  if (!run) {
+    std::fprintf(stderr, "%s\n", run.status().message().c_str());
     return 1;
   }
-  const BiasPlan plan = make_bias_plan(*netlist, *partition);
-  const CouplingReport coupling = plan_coupling(*netlist, *partition);
+  const Partition& partition = run->partition;
+  const BiasPlan plan = make_bias_plan(*netlist, partition);
+  const CouplingReport coupling = plan_coupling(*netlist, partition);
   if (options.get_flag("json")) {
     Json planes = Json::array();
     for (const PlaneBias& plane : plan.planes) {
@@ -413,7 +427,7 @@ int cmd_plan(const OptionsParser& options) {
   } else {
     std::fputs(format_bias_plan(plan).c_str(), stdout);
     std::fputs(format_coupling_report(coupling).c_str(), stdout);
-    std::fputs(format_power_report(analyze_power(*netlist, *partition)).c_str(),
+    std::fputs(format_power_report(analyze_power(*netlist, partition)).c_str(),
                stdout);
   }
   return 0;
@@ -425,12 +439,12 @@ int cmd_floorplan(const OptionsParser& options) {
     std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
     return 1;
   }
-  const auto partition = run_method(*netlist, options);
-  if (!partition) {
-    std::fprintf(stderr, "%s\n", partition.status().message().c_str());
+  const auto run = run_engine(*netlist, options);
+  if (!run) {
+    std::fprintf(stderr, "%s\n", run.status().message().c_str());
     return 1;
   }
-  const Floorplan plan = build_floorplan(*netlist, *partition);
+  const Floorplan plan = build_floorplan(*netlist, run->partition);
   std::fputs(format_floorplan(*netlist, plan).c_str(), stdout);
 
   const std::string dir = options.get_string("dir");
@@ -453,14 +467,15 @@ int cmd_timing(const OptionsParser& options) {
   }
   // Timing with and without the partition's coupling-hop penalties, plus
   // the floorplan's wire delays.
-  const auto partition = run_method(*netlist, options);
-  if (!partition) {
-    std::fprintf(stderr, "%s\n", partition.status().message().c_str());
+  const auto run = run_engine(*netlist, options);
+  if (!run) {
+    std::fprintf(stderr, "%s\n", run.status().message().c_str());
     return 1;
   }
-  const Floorplan floorplan = build_floorplan(*netlist, *partition);
+  const Floorplan floorplan = build_floorplan(*netlist, run->partition);
   const TimingReport flat = analyze_timing(*netlist);
-  const TimingReport placed = analyze_timing(*netlist, {}, &floorplan, &*partition);
+  const TimingReport placed =
+      analyze_timing(*netlist, {}, &floorplan, &run->partition);
   if (options.get_flag("json")) {
     std::printf("%s\n",
                 Json::object()
@@ -517,6 +532,9 @@ int run(int argc, char** argv) {
   }
   const std::string command = argv[1];
   if (command == "list") return cmd_list();
+  if (command == "--list-engines" || command == "list-engines") {
+    return cmd_list_engines();
+  }
 
   OptionsParser options = make_parser(command);
   if (auto st = options.parse(argc - 2, argv + 2); !st) {
