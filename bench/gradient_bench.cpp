@@ -8,9 +8,16 @@
 // google-benchmark timers. The scatter reference is measured through the
 // plain (workspace-allocating) overloads because that is exactly how the
 // pre-CSR optimizer called it — fresh scratch every iteration.
+//
+// `--smoke` runs a short CI gate instead: c3540 only, brief windows, no
+// JSON and no google-benchmark pass. It exits 1 when eval_grad_per_s at
+// the max thread count falls below 0.9x the serial figure — the exact
+// multi-thread inversion the fork-join executor erased (the 0.1 slack
+// absorbs shared-runner noise, not the 0.78x regression the gate hunts).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_util.h"
@@ -43,10 +50,10 @@ Workload make_workload(const std::string& circuit) {
   return load;
 }
 
-// Evals/second of `body` (which runs one evaluation) over one ~200ms
-// window.
+// Evals/second of `body` (which runs one evaluation) over one window of
+// `window_s` seconds.
 template <typename Body>
-double one_window_per_s(const Body& body) {
+double one_window_per_s(const Body& body, double window_s = 0.2) {
   int evals = 0;
   const auto start = std::chrono::steady_clock::now();
   std::chrono::duration<double> elapsed{};
@@ -54,7 +61,7 @@ double one_window_per_s(const Body& body) {
     body();
     ++evals;
     elapsed = std::chrono::steady_clock::now() - start;
-  } while (elapsed.count() < 0.2);
+  } while (elapsed.count() < window_s);
   return evals / elapsed.count();
 }
 
@@ -147,8 +154,18 @@ Json bench_circuit(const Workload& load) {
                    str_format("%.2fx", point.ratio)});
     table.add_row({"eval+grad scatter", std::to_string(threads),
                    str_format("%.0f", point.scatter), "1.00x"});
+    // Per-run thread provenance: `threads` is the requested row label,
+    // pool_threads the workers the pool actually spawned for it, and
+    // hardware_threads the machine's concurrency — so an 8-thread row on
+    // a 1-core runner is readable as oversubscription, not a typo.
     runs.append(Json::object()
                     .set("threads", Json::number(static_cast<long long>(threads)))
+                    .set("pool_threads",
+                         Json::number(static_cast<long long>(
+                             threads > 1 ? pool.thread_count() : 1)))
+                    .set("hardware_threads",
+                         Json::number(static_cast<long long>(
+                             ThreadPool::hardware_concurrency())))
                     .set("eval_per_s", Json::number(point.eval))
                     .set("eval_grad_per_s", Json::number(point.gather))
                     .set("eval_grad_scatter_per_s", Json::number(point.scatter))
@@ -174,6 +191,30 @@ Json bench_circuit(const Workload& load) {
       .set("runs", std::move(runs));
 }
 
+// Frozen "before" figures: the last numbers the mutex/condvar FIFO pool
+// (one heap-allocated std::function per chunk, full queue round-trip per
+// reduction) produced on this repo's 1-core reference runner, kept in the
+// artifact so the executor rebuild's before/after is one file.
+Json fifo_baseline() {
+  const auto run = [](long long threads, double eval, double gather,
+                      double scatter) {
+    return Json::object()
+        .set("threads", Json::number(threads))
+        .set("eval_per_s", Json::number(eval))
+        .set("eval_grad_per_s", Json::number(gather))
+        .set("eval_grad_scatter_per_s", Json::number(scatter));
+  };
+  return Json::object()
+      .set("executor", Json::string("fifo_pool"))
+      .set("hardware_threads", Json::number(1LL))
+      .set("id8", Json::array()
+                      .append(run(1, 23373.34306, 12551.28181, 7706.069019))
+                      .append(run(8, 14834.76168, 9826.65982, 6517.530149)))
+      .set("c3540", Json::array()
+                        .append(run(1, 21688.89614, 10991.26176, 7024.465719))
+                        .append(run(8, 14509.05415, 9241.808572, 6709.815849)));
+}
+
 void print_gradient_bench() {
   Json circuits = Json::array();
   for (const char* circuit : kCircuits) {
@@ -186,8 +227,48 @@ void print_gradient_bench() {
           .set("hardware_threads",
                Json::number(
                    static_cast<long long>(ThreadPool::hardware_concurrency())))
+          .set("baseline_fifo", fifo_baseline())
           .set("circuits", std::move(circuits));
   write_results_json("BENCH_gradient", doc);
+}
+
+// CI smoke gate: short gather-rate measurement at 1 thread and at the max
+// bench thread count. Returns 0 when the multi-thread figure holds at or
+// above 0.9x serial, 1 on the inversion.
+int run_smoke() {
+  const Workload load = make_workload("c3540");
+  CostModel model(load.problem, CostWeights{});
+  Matrix grad;
+  CostModel::Workspace workspace;
+  const auto gather_rate = [&] {
+    double best = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+      best = std::max(best, one_window_per_s(
+                                [&] {
+                                  ::benchmark::DoNotOptimize(
+                                      model.evaluate_with_gradient(
+                                               load.w, grad, workspace)
+                                          .f1);
+                                },
+                                0.05));
+    }
+    return best;
+  };
+
+  const double serial = gather_rate();
+  double threaded = 0.0;
+  {
+    ThreadPool pool(8);
+    model.set_thread_pool(&pool);
+    threaded = gather_rate();
+    model.set_thread_pool(nullptr);
+  }
+  const bool ok = threaded >= 0.9 * serial;
+  std::printf("smoke c3540 eval_grad_per_s: 1 thread %.0f, 8 threads %.0f "
+              "(%.2fx) -> %s\n",
+              serial, threaded, serial > 0.0 ? threaded / serial : 0.0,
+              ok ? "OK" : "FAIL (multi-thread inversion)");
+  return ok ? 0 : 1;
 }
 
 void BM_EvalGradient(::benchmark::State& state) {
@@ -221,6 +302,11 @@ BENCHMARK(BM_EvalOnly)->Unit(::benchmark::kMicrosecond);
 }  // namespace sfqpart::bench
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return sfqpart::bench::run_smoke();
+    }
+  }
   sfqpart::bench::print_gradient_bench();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -63,8 +63,18 @@ void print_scaling() {
     const double speedup = wall_ms > 0.0 ? serial_ms / wall_ms : 0.0;
     table.add_row({std::to_string(threads), str_format("%.1f", wall_ms),
                    str_format("%.2fx", speedup), identical ? "yes" : "NO"});
+    // threads is the request; pool_threads the workers the Solver spawns
+    // for it; hardware_threads what the machine can actually run — kept
+    // per row so oversubscribed points read as such.
     runs.append(Json::object()
                     .set("threads", Json::number(static_cast<long long>(threads)))
+                    .set("pool_threads",
+                         Json::number(static_cast<long long>(
+                             threads == 0 ? ThreadPool::hardware_concurrency()
+                                          : threads)))
+                    .set("hardware_threads",
+                         Json::number(static_cast<long long>(
+                             ThreadPool::hardware_concurrency())))
                     .set("wall_ms", Json::number(wall_ms))
                     .set("speedup", Json::number(speedup))
                     .set("discrete_total", Json::number(result.discrete_total))

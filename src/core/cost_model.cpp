@@ -39,6 +39,253 @@ inline double pow_chain(double base, int exponent) {
 // thousands-of-gates benches actually split.
 constexpr std::size_t kReductionGrain = 1024;
 
+// Per-item cost hints for the executor's adaptive serial threshold
+// (thread_pool.h): rough nanoseconds of kernel work per gate/edge, so
+// passes too small to amortize a region open run inline instead.
+double gate_pass_cost(std::size_t k) { return 3.0 * static_cast<double>(k); }
+constexpr double kEdgePassCost = 10.0;
+
+// The parallel kernels, hoisted out of the member functions as plain
+// structs of raw pointers: one instance per pass, built on the stack and
+// handed to parallel_chunks by address — never copied, never allocated.
+
+// aggregate(): per-gate soft labels and row means (element-wise) plus the
+// per-plane bias/area sums as per-chunk partial rows.
+struct AggregateKernel {
+  const Matrix* w;
+  const double* bias;
+  const double* area;
+  double* labels;
+  double* row_mean;
+  ChunkSlab* partials;  // per-chunk rows: [bias[0..K); area[0..K)]
+  std::size_t k;
+
+  void operator()(std::size_t chunk, std::size_t begin,
+                  std::size_t end) const {
+    double* bias_out = partials->chunk(chunk);
+    double* area_out = bias_out + k;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto row = w->row(i);
+      // Hoisted: the compiler cannot prove bias_out/area_out do not alias
+      // the problem arrays, so without locals it reloads them every kk.
+      const double bias_i = bias[i];
+      const double area_i = area[i];
+      double label = 0.0;
+      double sum = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double value = row[kk];
+        label += static_cast<double>(kk + 1) * value;  // plane values 1..K
+        sum += value;
+        bias_out[kk] += bias_i * value;
+        area_out[kk] += area_i * value;
+      }
+      labels[i] = label;
+      row_mean[i] = sum / static_cast<double>(k);
+    }
+  }
+};
+
+// f1_term(): the F1 edge sum as per-chunk partials.
+struct F1TermKernel {
+  const std::pair<int, int>* edges;
+  const double* labels;
+  ChunkSlab* partials;  // one F1 partial per chunk
+  int exponent;
+
+  void operator()(std::size_t chunk, std::size_t begin,
+                  std::size_t end) const {
+    double sum = 0.0;
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& [a, b] = edges[e];
+      const double delta = std::abs(labels[static_cast<std::size_t>(a)] -
+                                    labels[static_cast<std::size_t>(b)]);
+      sum += ipow(delta, exponent);
+    }
+    partials->chunk(chunk)[0] = sum;
+  }
+};
+
+// f1_and_slot_grad(): the F1 term and both signed per-endpoint gradient
+// contributions of every edge, one power chain per edge. Bit-identity
+// bookkeeping:
+//  - `chain * ad` extends pow_chain(ad, p-1)'s multiply sequence by one
+//    factor, which IS ipow(ad, p)'s sequence, so the F1 chunk partials
+//    match F1TermKernel exactly (same grain, same combine order).
+//  - The first endpoint's slot takes the scatter's `+= signed_term` value
+//    and the second takes `-signed_term` (IEEE negation is exact), so
+//    summing a gate's slots in ascending edge order replays the exact
+//    additions the scatter applied to dlabel[i].
+struct EdgeGradientKernel {
+  const std::pair<int, int>* edges;
+  const double* labels;
+  const std::uint32_t* slot_of_first;
+  const std::uint32_t* slot_of_second;
+  double* slot_grad;
+  ChunkSlab* partials;  // one F1 partial per chunk
+  int exponent;
+  double n1;
+  bool analytic;
+
+  void operator()(std::size_t chunk, std::size_t begin,
+                  std::size_t end) const {
+    double sum = 0.0;
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& [a, b] = edges[e];
+      const double delta = labels[static_cast<std::size_t>(a)] -
+                           labels[static_cast<std::size_t>(b)];
+      const double ad = std::abs(delta);
+      const double chain = pow_chain(ad, exponent - 1);
+      sum += chain * ad;
+      const double magnitude = exponent * chain / n1;
+      const double first =
+          analytic ? (delta >= 0.0 ? magnitude : -magnitude)
+                   : magnitude;  // eq. 10 as printed: unsigned, +first/-second
+      slot_grad[slot_of_first[e]] = first;
+      slot_grad[slot_of_second[e]] = -first;
+    }
+    partials->chunk(chunk)[0] = sum;
+  }
+};
+
+// terms_from(): the F4 constraint sum as per-chunk partials.
+struct F4TermKernel {
+  const Matrix* w;
+  const double* row_mean;
+  ChunkSlab* partials;  // one F4 partial per chunk
+  std::size_t k;
+
+  void operator()(std::size_t chunk, std::size_t begin,
+                  std::size_t end) const {
+    const double kd = static_cast<double>(k);
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double mean = row_mean[i];
+      const double sum_term = kd * mean - 1.0;
+      double variance = 0.0;
+      const auto row = w->row(i);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double dev = row[kk] - mean;
+        variance += dev * dev;
+      }
+      sum += sum_term * sum_term - variance / kd;
+    }
+    partials->chunk(chunk)[0] = sum;
+  }
+};
+
+// fused_gradient_pass(): one pass over W doing all the per-gate work — the
+// gather of dF1/dl_i from the slot values the edge pass precomputed, the
+// F4 term partial, and the gradient row fill for every term. Everything a
+// chunk writes is either element-wise (gradient rows) or a chunk-indexed
+// partial combined in ascending chunk order, so the result is
+// bit-identical at any thread count. A gate's slots sit in ascending edge
+// order — the exact addition sequence the reference scatter applies to
+// dlabel[i] — which keeps the two engines bit-identical too. The hoisted
+// coefficient products keep the scatter fill's left-to-right association,
+// so hoisting cannot change a bit either.
+struct FusedGradientKernel {
+  const Matrix* w;
+  Matrix* grad;
+  const double* row_mean;
+  const double* bias;
+  const double* area;
+  const double* bias_diff;
+  const double* area_diff;
+  const double* slot_grad;
+  const std::uint32_t* inc_offsets;
+  ChunkSlab* partials;  // one F4 partial per chunk
+  std::size_t k;
+  double c1;
+  double bias_coef;
+  double area_coef;
+  double c4_coef;
+  bool analytic;
+
+  void operator()(std::size_t chunk, std::size_t begin,
+                  std::size_t end) const {
+    const double kd = static_cast<double>(k);
+    double f4_sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      double dlabel = 0.0;
+      for (std::uint32_t inc = inc_offsets[i]; inc < inc_offsets[i + 1];
+           ++inc) {
+        dlabel += slot_grad[inc];
+      }
+
+      const auto grow = grad->row(i);
+      const auto wrow = w->row(i);
+      const double mean = row_mean[i];
+      const double c1_dlabel = c1 * dlabel;
+      const double bias_i = bias_coef * bias[i];
+      const double area_i = area_coef * area[i];
+      const double sum_term = kd * mean - 1.0;
+      double variance = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        double value = c1_dlabel * static_cast<double>(kk + 1);
+        value += bias_i * bias_diff[kk];
+        value += area_i * area_diff[kk];
+        const double dev = wrow[kk] - mean;
+        if (analytic) {
+          value += c4_coef * (sum_term - dev / kd);
+        } else {
+          value += c4_coef * ((kd + 1.0 / kd) * (mean - wrow[kk]) + kd - 1.0);
+        }
+        grow[kk] = value;
+        variance += dev * dev;
+      }
+      f4_sum += sum_term * sum_term - variance / kd;
+    }
+    partials->chunk(chunk)[0] = f4_sum;
+  }
+};
+
+// scatter_gradient_pass(): the reference engine's element-wise fill. Each
+// gate's gradient row is independent; no reduction, so running the chunks
+// on the pool cannot change any value.
+struct ScatterFillKernel {
+  const Matrix* w;
+  Matrix* grad;
+  const double* dlabel;
+  const double* row_mean;
+  const double* plane_bias;
+  const double* plane_area;
+  double mean_bias;
+  double mean_area;
+  const double* bias;
+  const double* area;
+  std::size_t k;
+  CostWeights weights;
+  double n2;
+  double n3;
+  double n4;
+  bool analytic;
+
+  void operator()(std::size_t, std::size_t begin, std::size_t end) const {
+    const double kd = static_cast<double>(k);
+    const double bias_coef = 2.0 / (kd * n2);
+    const double area_coef = 2.0 / (kd * n3);
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto grow = grad->row(i);
+      const double mean = row_mean[i];
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        double value = weights.c1 * dlabel[i] * static_cast<double>(kk + 1);
+        value += weights.c2 * bias_coef * bias[i] *
+                 (plane_bias[kk] - mean_bias);
+        value += weights.c3 * area_coef * area[i] *
+                 (plane_area[kk] - mean_area);
+        if (analytic) {
+          value += weights.c4 * (2.0 / n4) *
+                   ((kd * mean - 1.0) - ((*w)(i, kk) - mean) / kd);
+        } else {
+          value += weights.c4 * (2.0 / n4) *
+                   ((kd + 1.0 / kd) * (mean - (*w)(i, kk)) + kd - 1.0);
+        }
+        grow[kk] = value;
+      }
+    }
+  }
+};
+
 }  // namespace
 
 PartitionProblem PartitionProblem::from_netlist(const Netlist& netlist, int num_planes) {
@@ -140,38 +387,24 @@ void CostModel::aggregate(const Matrix& w, Workspace& ws) const {
   agg.mean_bias = 0.0;
   agg.mean_area = 0.0;
 
-  // Per-chunk B/A partials, combined in chunk order below; labels and
+  // Per-chunk B/A partial rows, combined in chunk order below; labels and
   // row_mean are element-wise and need no combine step.
   const std::size_t chunks = chunk_count(g, kReductionGrain);
-  ws.bias_partial.assign(chunks * k, 0.0);
-  ws.area_partial.assign(chunks * k, 0.0);
-  parallel_chunks(pool_, g, kReductionGrain,
-                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    double* bias_out = ws.bias_partial.data() + chunk * k;
-    double* area_out = ws.area_partial.data() + chunk * k;
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto row = w.row(i);
-      // Hoisted: the compiler cannot prove bias_out/area_out do not alias
-      // the problem arrays, so without locals it reloads them every kk.
-      const double bias_i = problem_->bias[i];
-      const double area_i = problem_->area[i];
-      double label = 0.0;
-      double sum = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double value = row[kk];
-        label += static_cast<double>(kk + 1) * value;  // plane values 1..K
-        sum += value;
-        bias_out[kk] += bias_i * value;
-        area_out[kk] += area_i * value;
-      }
-      agg.labels[i] = label;
-      agg.row_mean[i] = sum / static_cast<double>(k);
-    }
-  });
+  ws.bias_area_partial.reset(chunks, 2 * k);
+  AggregateKernel kernel{&w,
+                         problem_->bias.data(),
+                         problem_->area.data(),
+                         agg.labels.data(),
+                         agg.row_mean.data(),
+                         &ws.bias_area_partial,
+                         k};
+  parallel_chunks(pool_, g, kReductionGrain, kernel, gate_pass_cost(k));
   for (std::size_t c = 0; c < chunks; ++c) {
+    const double* bias_row = ws.bias_area_partial.chunk(c);
+    const double* area_row = bias_row + k;
     for (std::size_t kk = 0; kk < k; ++kk) {
-      agg.plane_bias[kk] += ws.bias_partial[c * k + kk];
-      agg.plane_area[kk] += ws.area_partial[c * k + kk];
+      agg.plane_bias[kk] += bias_row[kk];
+      agg.plane_area[kk] += area_row[kk];
     }
   }
   for (const double b : agg.plane_bias) agg.mean_bias += b;
@@ -180,64 +413,39 @@ void CostModel::aggregate(const Matrix& w, Workspace& ws) const {
   agg.mean_area /= static_cast<double>(k);
 }
 
-// The gather engine's edge pass: the F1 term and the per-slot signed
-// gradient contributions in one sweep, with a single power chain per
-// edge. Bit-identity bookkeeping:
-//  - `chain * ad` extends pow_chain(ad, p-1)'s multiply sequence by one
-//    factor, which IS ipow(ad, p)'s sequence, so the F1 chunk partials
-//    match f1_term() exactly (same grain, same combine order).
-//  - The first endpoint's slot takes the scatter's `+= signed_term` value
-//    and the second takes `-signed_term` (IEEE negation is exact), so
-//    summing a gate's slots in ascending edge order replays the exact
-//    additions the scatter applied to dlabel[i].
 double CostModel::f1_and_slot_grad(const Aggregates& agg, Workspace& ws) const {
-  const int p = weights_.distance_exponent;
-  const std::size_t edge_chunks =
-      chunk_count(problem_->edges.size(), kReductionGrain);
-  ws.f1_partial.assign(edge_chunks, 0.0);
-  ws.slot_grad.resize(2 * problem_->edges.size());
-  parallel_chunks(pool_, problem_->edges.size(), kReductionGrain,
-                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    double sum = 0.0;
-    for (std::size_t e = begin; e < end; ++e) {
-      const auto& [a, b] = problem_->edges[e];
-      const double delta = agg.labels[static_cast<std::size_t>(a)] -
-                           agg.labels[static_cast<std::size_t>(b)];
-      const double ad = std::abs(delta);
-      const double chain = pow_chain(ad, p - 1);
-      sum += chain * ad;
-      const double magnitude = p * chain / n1_;
-      const double first =
-          style_ == GradientStyle::kAnalytic
-              ? (delta >= 0.0 ? magnitude : -magnitude)
-              : magnitude;  // eq. 10 as printed: unsigned, +first / -second
-      ws.slot_grad[slot_of_first_[e]] = first;
-      ws.slot_grad[slot_of_second_[e]] = -first;
-    }
-    ws.f1_partial[chunk] = sum;
-  });
+  const std::size_t edges = problem_->edges.size();
+  const std::size_t edge_chunks = chunk_count(edges, kReductionGrain);
+  ws.f1_partial.reset(edge_chunks, 1);
+  ws.slot_grad.resize(2 * edges);
+  EdgeGradientKernel kernel{problem_->edges.data(),
+                            agg.labels.data(),
+                            slot_of_first_.data(),
+                            slot_of_second_.data(),
+                            ws.slot_grad.data(),
+                            &ws.f1_partial,
+                            weights_.distance_exponent,
+                            n1_,
+                            style_ == GradientStyle::kAnalytic};
+  parallel_chunks(pool_, edges, kReductionGrain, kernel, kEdgePassCost);
   double f1 = 0.0;
-  for (const double sum : ws.f1_partial) f1 += sum;
+  for (std::size_t c = 0; c < edge_chunks; ++c) {
+    f1 += ws.f1_partial.chunk(c)[0];
+  }
   return f1 / n1_;
 }
 
 double CostModel::f1_term(const Aggregates& agg, Workspace& ws) const {
-  const std::size_t edge_chunks =
-      chunk_count(problem_->edges.size(), kReductionGrain);
-  ws.f1_partial.assign(edge_chunks, 0.0);
-  parallel_chunks(pool_, problem_->edges.size(), kReductionGrain,
-                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    double sum = 0.0;
-    for (std::size_t e = begin; e < end; ++e) {
-      const auto& [a, b] = problem_->edges[e];
-      const double delta = std::abs(agg.labels[static_cast<std::size_t>(a)] -
-                                    agg.labels[static_cast<std::size_t>(b)]);
-      sum += ipow(delta, weights_.distance_exponent);
-    }
-    ws.f1_partial[chunk] = sum;
-  });
+  const std::size_t edges = problem_->edges.size();
+  const std::size_t edge_chunks = chunk_count(edges, kReductionGrain);
+  ws.f1_partial.reset(edge_chunks, 1);
+  F1TermKernel kernel{problem_->edges.data(), agg.labels.data(),
+                      &ws.f1_partial, weights_.distance_exponent};
+  parallel_chunks(pool_, edges, kReductionGrain, kernel, kEdgePassCost);
   double f1 = 0.0;
-  for (const double sum : ws.f1_partial) f1 += sum;
+  for (std::size_t c = 0; c < edge_chunks; ++c) {
+    f1 += ws.f1_partial.chunk(c)[0];
+  }
   return f1 / n1_;
 }
 
@@ -257,7 +465,6 @@ void CostModel::f2_f3_terms(const Aggregates& agg, CostTerms& terms) const {
 CostTerms CostModel::terms_from(const Matrix& w, Workspace& ws) const {
   const auto g = static_cast<std::size_t>(problem_->num_gates);
   const auto k = static_cast<std::size_t>(problem_->num_planes);
-  const double kd = static_cast<double>(k);
   const Aggregates& agg = ws.agg;
   CostTerms terms;
 
@@ -265,23 +472,12 @@ CostTerms CostModel::terms_from(const Matrix& w, Workspace& ws) const {
   f2_f3_terms(agg, terms);
 
   const std::size_t gate_chunks = chunk_count(g, kReductionGrain);
-  ws.f4_partial.assign(gate_chunks, 0.0);
-  parallel_chunks(pool_, g, kReductionGrain,
-                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    double sum = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      const double mean = agg.row_mean[i];
-      const double sum_term = kd * mean - 1.0;
-      double variance = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double dev = w(i, kk) - mean;
-        variance += dev * dev;
-      }
-      sum += sum_term * sum_term - variance / kd;
-    }
-    ws.f4_partial[chunk] = sum;
-  });
-  for (const double sum : ws.f4_partial) terms.f4 += sum;
+  ws.f4_partial.reset(gate_chunks, 1);
+  F4TermKernel kernel{&w, agg.row_mean.data(), &ws.f4_partial, k};
+  parallel_chunks(pool_, g, kReductionGrain, kernel, gate_pass_cost(k));
+  for (std::size_t c = 0; c < gate_chunks; ++c) {
+    terms.f4 += ws.f4_partial.chunk(c)[0];
+  }
   terms.f4 /= n4_;
   return terms;
 }
@@ -325,16 +521,6 @@ CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad,
   return terms;
 }
 
-// One parallel pass over W doing all the per-gate work: the gather of
-// dF1/dl_i from the slot values the edge pass precomputed, the F4 term
-// partial, and the gradient row fill for every term. Everything a chunk
-// writes is either element-wise (gradient rows) or a chunk-indexed
-// partial combined in ascending chunk order, so the result is
-// bit-identical at any thread count. A gate's slots sit in ascending
-// edge order — the exact addition sequence the reference scatter applies
-// to dlabel[i] — which keeps the two engines bit-identical too. The
-// hoisted coefficient products keep the scatter fill's left-to-right
-// association, so hoisting cannot change a bit either.
 void CostModel::fused_gradient_pass(const Matrix& w, Matrix& grad,
                                     Workspace& ws, CostTerms& terms) const {
   const auto g = static_cast<std::size_t>(problem_->num_gates);
@@ -342,57 +528,35 @@ void CostModel::fused_gradient_pass(const Matrix& w, Matrix& grad,
   const double kd = static_cast<double>(k);
   const Aggregates& agg = ws.agg;
 
-  const double bias_coef = weights_.c2 * (2.0 / (kd * n2_));
-  const double area_coef = weights_.c3 * (2.0 / (kd * n3_));
-  const double c4_coef = weights_.c4 * (2.0 / n4_);
   // The per-plane deviations are row-invariant; computing them once per
   // call (the identical subtraction, just cached) saves 2K flops per gate.
-  ws.bias_partial.assign(k, 0.0);
-  ws.area_partial.assign(k, 0.0);
+  ws.plane_diff.assign(2 * k, 0.0);
   for (std::size_t kk = 0; kk < k; ++kk) {
-    ws.bias_partial[kk] = agg.plane_bias[kk] - agg.mean_bias;
-    ws.area_partial[kk] = agg.plane_area[kk] - agg.mean_area;
+    ws.plane_diff[kk] = agg.plane_bias[kk] - agg.mean_bias;
+    ws.plane_diff[k + kk] = agg.plane_area[kk] - agg.mean_area;
   }
-  const double* bias_diff = ws.bias_partial.data();
-  const double* area_diff = ws.area_partial.data();
   const std::size_t gate_chunks = chunk_count(g, kReductionGrain);
-  ws.f4_partial.assign(gate_chunks, 0.0);
-  parallel_chunks(pool_, g, kReductionGrain,
-                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    double f4_sum = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      double dlabel = 0.0;
-      for (std::uint32_t inc = inc_offsets_[i]; inc < inc_offsets_[i + 1];
-           ++inc) {
-        dlabel += ws.slot_grad[inc];
-      }
-
-      const auto grow = grad.row(i);
-      const auto wrow = w.row(i);
-      const double mean = agg.row_mean[i];
-      const double c1_dlabel = weights_.c1 * dlabel;
-      const double bias_i = bias_coef * problem_->bias[i];
-      const double area_i = area_coef * problem_->area[i];
-      const double sum_term = kd * mean - 1.0;
-      double variance = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        double value = c1_dlabel * static_cast<double>(kk + 1);
-        value += bias_i * bias_diff[kk];
-        value += area_i * area_diff[kk];
-        const double dev = wrow[kk] - mean;
-        if (style_ == GradientStyle::kAnalytic) {
-          value += c4_coef * (sum_term - dev / kd);
-        } else {
-          value += c4_coef * ((kd + 1.0 / kd) * (mean - wrow[kk]) + kd - 1.0);
-        }
-        grow[kk] = value;
-        variance += dev * dev;
-      }
-      f4_sum += sum_term * sum_term - variance / kd;
-    }
-    ws.f4_partial[chunk] = f4_sum;
-  });
-  for (const double sum : ws.f4_partial) terms.f4 += sum;
+  ws.f4_partial.reset(gate_chunks, 1);
+  FusedGradientKernel kernel{&w,
+                             &grad,
+                             agg.row_mean.data(),
+                             problem_->bias.data(),
+                             problem_->area.data(),
+                             ws.plane_diff.data(),
+                             ws.plane_diff.data() + k,
+                             ws.slot_grad.data(),
+                             inc_offsets_.data(),
+                             &ws.f4_partial,
+                             k,
+                             weights_.c1,
+                             weights_.c2 * (2.0 / (kd * n2_)),
+                             weights_.c3 * (2.0 / (kd * n3_)),
+                             weights_.c4 * (2.0 / n4_),
+                             style_ == GradientStyle::kAnalytic};
+  parallel_chunks(pool_, g, kReductionGrain, kernel, gate_pass_cost(k));
+  for (std::size_t c = 0; c < gate_chunks; ++c) {
+    terms.f4 += ws.f4_partial.chunk(c)[0];
+  }
   terms.f4 /= n4_;
 }
 
@@ -402,7 +566,6 @@ void CostModel::scatter_gradient_pass(const Matrix& w, Matrix& grad,
                                       Workspace& ws) const {
   const auto g = static_cast<std::size_t>(problem_->num_gates);
   const auto k = static_cast<std::size_t>(problem_->num_planes);
-  const double kd = static_cast<double>(k);
   const int p = weights_.distance_exponent;
   const Aggregates& agg = ws.agg;
 
@@ -423,32 +586,23 @@ void CostModel::scatter_gradient_pass(const Matrix& w, Matrix& grad,
     }
   }
 
-  const double bias_coef = 2.0 / (kd * n2_);
-  const double area_coef = 2.0 / (kd * n3_);
-  // Each gate's gradient row is independent; no reduction, so running the
-  // chunks on the pool cannot change any value.
-  parallel_chunks(pool_, g, kReductionGrain,
-                  [&](std::size_t, std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto grow = grad.row(i);
-      const double mean = agg.row_mean[i];
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        double value = weights_.c1 * ws.dlabel[i] * static_cast<double>(kk + 1);
-        value += weights_.c2 * bias_coef * problem_->bias[i] *
-                 (agg.plane_bias[kk] - agg.mean_bias);
-        value += weights_.c3 * area_coef * problem_->area[i] *
-                 (agg.plane_area[kk] - agg.mean_area);
-        if (style_ == GradientStyle::kAnalytic) {
-          value += weights_.c4 * (2.0 / n4_) *
-                   ((kd * mean - 1.0) - (w(i, kk) - mean) / kd);
-        } else {
-          value += weights_.c4 * (2.0 / n4_) *
-                   ((kd + 1.0 / kd) * (mean - w(i, kk)) + kd - 1.0);
-        }
-        grow[kk] = value;
-      }
-    }
-  });
+  ScatterFillKernel kernel{&w,
+                           &grad,
+                           ws.dlabel.data(),
+                           agg.row_mean.data(),
+                           agg.plane_bias.data(),
+                           agg.plane_area.data(),
+                           agg.mean_bias,
+                           agg.mean_area,
+                           problem_->bias.data(),
+                           problem_->area.data(),
+                           k,
+                           weights_,
+                           n2_,
+                           n3_,
+                           n4_,
+                           style_ == GradientStyle::kAnalytic};
+  parallel_chunks(pool_, g, kReductionGrain, kernel, gate_pass_cost(k));
 }
 
 CostTerms CostModel::evaluate_discrete(const std::vector<int>& labels) const {

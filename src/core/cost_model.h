@@ -27,10 +27,9 @@
 
 #include "core/partition.h"
 #include "util/matrix.h"
+#include "util/thread_pool.h"
 
 namespace sfqpart {
-
-class ThreadPool;
 
 struct CostWeights {
   double c1 = 1.0;   // interconnections
@@ -94,12 +93,16 @@ class CostModel {
    private:
     friend class CostModel;
     Aggregates agg;
-    std::vector<double> bias_partial;  // per-chunk B_k partials, chunks * K
-    std::vector<double> area_partial;  // per-chunk A_k partials, chunks * K
-    std::vector<double> f1_partial;    // per-edge-chunk F1 partials
-    std::vector<double> f4_partial;    // per-gate-chunk F4 partials
-    std::vector<double> slot_grad;     // per-slot signed dF1/dl terms, 2|E|
-    std::vector<double> dlabel;        // dF/dl_i (kSerialScatter only)
+    // Per-chunk partials live in cacheline-padded slabs (util/thread_pool.h
+    // ChunkSlab) so concurrent chunks never false-share a line; the combine
+    // loops still read them in ascending chunk order, so the padding is
+    // invisible to the math.
+    ChunkSlab bias_area_partial;  // per-chunk [B_k..; A_k..] rows, 2K wide
+    ChunkSlab f1_partial;         // per-edge-chunk F1 partials, 1 wide
+    ChunkSlab f4_partial;         // per-gate-chunk F4 partials, 1 wide
+    std::vector<double> plane_diff;  // 2K scratch: [B_k - Bbar..; A_k - Abar..]
+    std::vector<double> slot_grad;   // per-slot signed dF1/dl terms, 2|E|
+    std::vector<double> dlabel;      // dF/dl_i (kSerialScatter only)
   };
 
   CostModel(const PartitionProblem& problem, const CostWeights& weights,

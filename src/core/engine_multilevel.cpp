@@ -17,7 +17,8 @@ class MultilevelAdapter final : public EngineAdapter {
   const char* name() const override { return "multilevel"; }
   const char* describe_options() const override {
     return "heavy-edge coarsening + coarse gradient-descent solve + "
-           "projected greedy refinement; honors seed, restarts and weights";
+           "projected greedy refinement; honors seed, restarts, threads "
+           "and weights";
   }
 
  protected:
@@ -30,6 +31,7 @@ class MultilevelAdapter final : public EngineAdapter {
     options.seed = context.seed;
     options.coarse.restarts = context.restarts;
     options.coarse.weights = context.weights;
+    options.threads = context.threads;
     options.observer = context.observer;
     MultilevelResult result =
         multilevel_partition(netlist, context.num_planes, options);

@@ -22,10 +22,23 @@ MoveEvaluator::MoveEvaluator(const CostModel& model, std::vector<int> labels)
   const PartitionProblem& problem = model.problem();
   assert(static_cast<int>(labels_.size()) == problem.num_gates);
 
-  neighbors_.resize(labels_.size());
+  // CSR build: degree count, prefix sum, then a cursor fill in ascending
+  // edge order — each gate's neighbor list comes out in exactly the order
+  // the old per-gate push_back produced it.
+  neighbor_offsets_.assign(labels_.size() + 1, 0);
   for (const auto& [a, b] : problem.edges) {
-    neighbors_[static_cast<std::size_t>(a)].push_back(b);
-    neighbors_[static_cast<std::size_t>(b)].push_back(a);
+    ++neighbor_offsets_[static_cast<std::size_t>(a) + 1];
+    ++neighbor_offsets_[static_cast<std::size_t>(b) + 1];
+  }
+  for (std::size_t i = 1; i < neighbor_offsets_.size(); ++i) {
+    neighbor_offsets_[i] += neighbor_offsets_[i - 1];
+  }
+  neighbor_adj_.resize(2 * problem.edges.size());
+  std::vector<std::uint32_t> cursor(neighbor_offsets_.begin(),
+                                    neighbor_offsets_.end() - 1);
+  for (const auto& [a, b] : problem.edges) {
+    neighbor_adj_[cursor[static_cast<std::size_t>(a)]++] = b;
+    neighbor_adj_[cursor[static_cast<std::size_t>(b)]++] = a;
   }
   plane_bias_.assign(static_cast<std::size_t>(num_planes_), 0.0);
   plane_area_.assign(static_cast<std::size_t>(num_planes_), 0.0);
@@ -52,8 +65,9 @@ double MoveEvaluator::delta(int gate, int target) const {
   const int p = model_->weights().distance_exponent;
 
   double result = 0.0;
-  for (const int j : neighbors_[ug]) {
-    const int lj = labels_[static_cast<std::size_t>(j)];
+  for (std::uint32_t s = neighbor_offsets_[ug]; s < neighbor_offsets_[ug + 1];
+       ++s) {
+    const int lj = labels_[static_cast<std::size_t>(neighbor_adj_[s])];
     result += f1_coef_ *
               (ipow(std::abs(target - lj), p) - ipow(std::abs(source - lj), p));
   }

@@ -5,6 +5,7 @@
 // O(1).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/cost_model.h"
@@ -35,7 +36,14 @@ class MoveEvaluator {
   const CostModel* model_;
   std::vector<int> labels_;
   int num_planes_;
-  std::vector<std::vector<int>> neighbors_;
+  // CSR adjacency: gate i's neighbors are neighbor_adj_[neighbor_offsets_[i]
+  // .. neighbor_offsets_[i+1]), in ascending edge order — the same order
+  // the historical vector-of-vectors push_back produced, so delta()'s F1
+  // accumulation is bit-identical. One flat allocation instead of G inner
+  // vectors kills the per-gate pointer chase in the annealing/refine/FM
+  // inner loops.
+  std::vector<std::uint32_t> neighbor_offsets_;  // size G + 1
+  std::vector<std::int32_t> neighbor_adj_;       // size 2|E|
   std::vector<double> plane_bias_;
   std::vector<double> plane_area_;
   double mean_bias_ = 0.0;

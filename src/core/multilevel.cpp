@@ -158,7 +158,8 @@ MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
   std::vector<int> labels;
   {
     obs::ScopedTimer timer(&sink, "coarse_solve");
-    SolverConfig coarse_config = SolverConfig::from(coarse_options);
+    SolverConfig coarse_config =
+        SolverConfig::from(coarse_options, options.threads);
     coarse_config.observer = options.observer;
     // The asserts in StatusOr::value mirror the old solve_labels contract:
     // the inputs were validated above, so failure here is a programmer bug.

@@ -30,6 +30,10 @@ struct MultilevelOptions {
   // Refinement applied after each projection.
   RefineOptions refine;
   std::uint64_t seed = 1;
+  // Worker threads for the coarse-level solve's restart fan-out (0 = all
+  // hardware threads, 1 = serial). Projection refinement is inherently
+  // sequential and ignores this.
+  int threads = 1;
   // Structured observability hook (not owned; may be null). Receives
   // LevelEvents for each coarsening level, stage timers ("coarsen",
   // "coarse_solve", "uncoarsen"), projection RefinePassEvents (tagged

@@ -8,9 +8,44 @@
 
 #include "core/soft_assign.h"
 #include "obs/trace_sink.h"
+#include "util/thread_pool.h"
 
 namespace sfqpart {
 namespace {
+
+// Chunking of the element-wise W/grad passes (G*K doubles). Boundaries
+// depend only on the flat size, so the per-chunk |grad| maxima combined
+// in ascending chunk order (and max is value-identical in any order)
+// keep the descent bit-identical at every thread count.
+constexpr std::size_t kStepGrain = 4096;
+
+// Per-chunk max |grad| reduction for the normalized step.
+struct MaxAbsKernel {
+  const double* values;
+  ChunkSlab* partials;  // one max per chunk
+
+  void operator()(std::size_t chunk, std::size_t begin,
+                  std::size_t end) const {
+    double max_abs = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      max_abs = std::max(max_abs, std::abs(values[i]));
+    }
+    partials->chunk(chunk)[0] = max_abs;
+  }
+};
+
+// Element-wise descent step with the box projection of Algorithm 1.
+struct StepClampKernel {
+  double* w;
+  const double* g;
+  double scale;
+
+  void operator()(std::size_t, std::size_t begin, std::size_t end) const {
+    for (std::size_t i = begin; i < end; ++i) {
+      w[i] = std::clamp(w[i] - scale * g[i], 0.0, 1.0);
+    }
+  }
+};
 
 // Accumulates per-stage wall time across the descent and emits one
 // "gradient" and one "step" TimerEvent when the loop finishes (whichever
@@ -63,6 +98,10 @@ OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
   // their capacity across iterations).
   CostModel::Workspace workspace;
   StageTimers timers(options.sink, options.observer_restart);
+  // Per-chunk partials for the max|grad| reduction, hoisted with the
+  // workspace so the loop stays allocation-free after the first pass.
+  ChunkSlab max_partial;
+  ThreadPool* pool = model.thread_pool();
 
   double cost_old = std::numeric_limits<double>::infinity();
   for (int iter = 0; iter < options.max_iterations; ++iter) {
@@ -87,11 +126,18 @@ OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
     }
 
     timers.start();
+    auto w_flat = result.w.flat();
+    const auto g_flat = grad.flat();
+    const std::size_t flat_size = w_flat.size();
     double scale = options.learning_rate;
     if (options.normalize_step) {
+      const std::size_t chunks = chunk_count(flat_size, kStepGrain);
+      max_partial.reset(chunks, 1);
+      MaxAbsKernel max_kernel{g_flat.data(), &max_partial};
+      parallel_chunks(pool, flat_size, kStepGrain, max_kernel, 2.0);
       double max_abs = 0.0;
-      for (const double value : grad.flat()) {
-        max_abs = std::max(max_abs, std::abs(value));
+      for (std::size_t c = 0; c < chunks; ++c) {
+        max_abs = std::max(max_abs, max_partial.chunk(c)[0]);
       }
       if (max_abs <= 0.0) {  // exactly at a stationary point
         result.converged = true;
@@ -101,11 +147,8 @@ OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
       scale /= max_abs;
     }
 
-    auto w_flat = result.w.flat();
-    const auto g_flat = grad.flat();
-    for (std::size_t i = 0; i < w_flat.size(); ++i) {
-      w_flat[i] = std::clamp(w_flat[i] - scale * g_flat[i], 0.0, 1.0);
-    }
+    StepClampKernel step_kernel{w_flat.data(), g_flat.data(), scale};
+    parallel_chunks(pool, flat_size, kStepGrain, step_kernel, 4.0);
     timers.stop(timers.step_ms());
     cost_old = cost_new;
     result.iterations = iter + 1;

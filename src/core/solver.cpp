@@ -153,12 +153,16 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
   const auto restarts = static_cast<std::size_t>(config_.restarts);
   std::vector<RestartOutcome> outcomes(restarts);
 
-  // Grain 1: chunk index == restart index. Restarts fan out across the
-  // pool; the cost-model reductions inside each restart then run inline
-  // on that worker (nested parallel_chunks never re-enters the queue).
+  // Grain 1: chunk index == restart index. Restarts fan out as one
+  // parallel region; the cost-model reductions inside each restart then
+  // run inline on that worker (nested parallel_chunks detects the worker
+  // flag and never re-enters the executor). The cost hint marks each
+  // restart as a full optimizer run — far beyond the serial cutoff — so
+  // even a two-restart solve on a tiny circuit still fans out.
   // Observation never perturbs the result: every emission is outside the
   // seeded RNG streams and the fixed-order reductions, so labels and
   // costs are bit-identical with or without an observer attached.
+  constexpr double kRestartCostNs = 1e9;  // whole gradient-descent runs
   parallel_chunks(pool_.get(), restarts, 1,
                   [&](std::size_t r, std::size_t, std::size_t) {
     const int restart = static_cast<int>(r);
@@ -208,7 +212,7 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
       sink.restart_end({restart, out.soft_terms, out.discrete_terms,
                         out.discrete_total, out.iterations, out.converged});
     }
-  });
+  }, kRestartCostNs);
 
   // Deterministic selection: strict < keeps the lowest restart index on
   // discrete-cost ties, matching the serial engine regardless of which

@@ -1,19 +1,29 @@
 #include "util/thread_pool.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cassert>
-#include <exception>
-#include <utility>
 
 namespace sfqpart {
 namespace {
 
 thread_local bool t_on_worker = false;
 
+constexpr std::uint64_t kChunkMask = 0xffffffffull;
+constexpr std::uint64_t kGenMask = ~kChunkMask;
+
+// RAII so the caller's participation flag survives a throwing chunk body.
+struct ScopedWorkerFlag {
+  ScopedWorkerFlag() { t_on_worker = true; }
+  ~ScopedWorkerFlag() { t_on_worker = false; }
+};
+
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   if (threads < 1) threads = 1;
+  const std::size_t spare_cores =
+      static_cast<std::size_t>(std::max(0, hardware_concurrency() - 1));
+  max_helpers_ = std::min(static_cast<std::size_t>(threads), spare_cores);
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -21,22 +31,12 @@ ThreadPool::ThreadPool(int threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  wake_.notify_all();
+  // No region can be open here (try_run_region blocks until its region
+  // joined), so the epoch bump only ever wakes parked workers.
+  stopping_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
   for (std::thread& worker : workers_) worker.join();
-}
-
-void ThreadPool::submit(std::function<void()> task) {
-  assert(task);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    assert(!stopping_);
-    queue_.push_back(std::move(task));
-  }
-  wake_.notify_one();
 }
 
 bool ThreadPool::on_worker_thread() { return t_on_worker; }
@@ -48,17 +48,110 @@ int ThreadPool::hardware_concurrency() {
 
 void ThreadPool::worker_loop() {
   t_on_worker = true;
+  std::uint32_t seen = 0;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
+    epoch_.wait(seen, std::memory_order_acquire);
+    const std::uint32_t current = epoch_.load(std::memory_order_acquire);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (current == seen) continue;  // spurious wake
+    seen = current;
+    claim_chunks(current);
   }
+}
+
+void ThreadPool::claim_chunks(std::uint32_t generation) {
+  const std::uint64_t gen_bits = static_cast<std::uint64_t>(generation) << 32;
+  std::uint64_t ticket = ticket_.load(std::memory_order_acquire);
+  for (;;) {
+    // A mismatched generation means this is not the region we were woken
+    // for (it completed, or a newer one opened): park again and let the
+    // epoch wait observe the new generation. The CAS below can therefore
+    // never claim — or lose — a ticket across regions.
+    if ((ticket & kGenMask) != gen_bits) return;
+    const std::size_t chunk = static_cast<std::size_t>(ticket & kChunkMask);
+    if (chunk >= chunks_) return;
+    if (!ticket_.compare_exchange_weak(ticket, ticket + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      continue;
+    }
+    const std::size_t begin = chunk * grain_;
+    const std::size_t end = std::min(n_, begin + grain_);
+    try {
+      fn_(ctx_, chunk, begin, end);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!error_) error_ = std::current_exception();
+      has_error_.store(true, std::memory_order_release);
+    }
+    // The region cannot complete (and so cannot be reopened) while this
+    // claimed chunk is uncounted, which is what makes the relaxed field
+    // reads above safe. Only the final chunk pays a notify.
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks_) {
+      done_.notify_all();
+    }
+    ticket = ticket_.load(std::memory_order_acquire);
+  }
+}
+
+bool ThreadPool::try_run_region(std::size_t n, std::size_t grain,
+                                std::size_t chunks, ChunkFn fn, void* ctx) {
+  assert(chunks >= 1 && chunks <= kChunkMask);
+  bool expected = false;
+  if (!region_open_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+    return false;  // another caller's region is live; run inline instead
+  }
+  fn_ = fn;
+  ctx_ = ctx;
+  n_ = n;
+  grain_ = grain;
+  chunks_ = chunks;
+  done_.store(0, std::memory_order_relaxed);
+  if (has_error_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    error_ = nullptr;
+    has_error_.store(false, std::memory_order_relaxed);
+  }
+  // Publish: the ticket store releases the field writes above, the epoch
+  // store wakes the helpers. region_open_ serializes openers, so the
+  // non-atomic generation arithmetic is race-free.
+  const std::uint32_t generation = epoch_.load(std::memory_order_relaxed) + 1;
+  ticket_.store(static_cast<std::uint64_t>(generation) << 32,
+                std::memory_order_release);
+  epoch_.store(generation, std::memory_order_release);
+  const std::size_t helpers = std::min(chunks - 1, max_helpers_);
+  if (helpers >= workers_.size()) {
+    epoch_.notify_all();
+  } else {
+    for (std::size_t h = 0; h < helpers; ++h) epoch_.notify_one();
+  }
+
+  // Participate: the caller pulls chunks from the same ticket counter the
+  // workers do instead of sleeping, and must look like a worker so a
+  // chunk body that re-enters parallel_chunks takes the inline path.
+  {
+    ScopedWorkerFlag flag;
+    claim_chunks(generation);
+  }
+
+  // Join: wait for straggler chunks still running on workers. The common
+  // case (caller ran the last chunk) never blocks; otherwise the final
+  // done_ increment notifies.
+  std::size_t finished = done_.load(std::memory_order_acquire);
+  while (finished != chunks) {
+    done_.wait(finished, std::memory_order_relaxed);
+    finished = done_.load(std::memory_order_acquire);
+  }
+
+  std::exception_ptr error;
+  if (has_error_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    error = error_;
+  }
+  region_open_.store(false, std::memory_order_release);
+  if (error) std::rethrow_exception(error);
+  return true;
 }
 
 std::size_t chunk_count(std::size_t n, std::size_t grain) {
@@ -66,71 +159,20 @@ std::size_t chunk_count(std::size_t n, std::size_t grain) {
   return (n + grain - 1) / grain;
 }
 
-void parallel_chunks(
-    ThreadPool* pool, std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t chunk, std::size_t begin,
-                             std::size_t end)>& body) {
-  if (grain < 1) grain = 1;
-  const std::size_t chunks = chunk_count(n, grain);
-  if (chunks == 0) return;
-
-  const bool inline_only = pool == nullptr || pool->thread_count() <= 1 ||
-                           chunks <= 1 || ThreadPool::on_worker_thread();
-  if (inline_only) {
-    for (std::size_t c = 0; c < chunks; ++c) {
-      body(c, c * grain, std::min(n, (c + 1) * grain));
-    }
-    return;
+void ChunkSlab::reset(std::size_t chunks, std::size_t row_doubles) {
+  if (row_doubles < 1) row_doubles = 1;
+  stride_ = (row_doubles + kLineDoubles - 1) / kLineDoubles * kLineDoubles;
+  // Slack so the base pointer can be rounded up to a line boundary even
+  // when the vector's allocation is only 16-byte aligned.
+  const std::size_t total = chunks * stride_ + kLineDoubles;
+  if (storage_.size() < total) {
+    storage_.resize(total);
   }
-
-  // Fan out helpers that pull chunks from a shared counter, and pull
-  // chunks on the calling thread too instead of sleeping. Which thread
-  // executes a chunk is irrelevant to the result — boundaries and the
-  // caller's combine order are fixed above — so this only removes the
-  // idle-caller context switches (one task per *helper*, not per chunk).
-  // Every chunk runs even when bodies throw; the first exception is
-  // rethrown once all of them finished, as before.
-  struct Join {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::atomic<std::size_t> next{0};
-    std::size_t running_helpers;
-    std::exception_ptr error;
-  } join;
-
-  const auto run_chunks = [&join, &body, chunks, grain, n] {
-    for (;;) {
-      const std::size_t c = join.next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= chunks) return;
-      try {
-        body(c, c * grain, std::min(n, (c + 1) * grain));
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(join.mutex);
-        if (!join.error) join.error = std::current_exception();
-      }
-    }
-  };
-
-  const std::size_t helpers =
-      std::min(chunks - 1, static_cast<std::size_t>(pool->thread_count()));
-  join.running_helpers = helpers;
-  for (std::size_t h = 0; h < helpers; ++h) {
-    pool->submit([&join, &run_chunks] {
-      run_chunks();
-      std::lock_guard<std::mutex> lock(join.mutex);
-      if (--join.running_helpers == 0) join.done.notify_all();
-    });
-  }
-  // While pulling chunks the caller acts as a pool worker, and must look
-  // like one: a chunk body that re-enters parallel_chunks has to take the
-  // inline path (fanning out again from here could only queue behind the
-  // busy workers). inline_only above guarantees the flag was false.
-  t_on_worker = true;
-  run_chunks();
-  t_on_worker = false;
-  std::unique_lock<std::mutex> lock(join.mutex);
-  join.done.wait(lock, [&join] { return join.running_helpers == 0; });
-  if (join.error) std::rethrow_exception(join.error);
+  std::fill(storage_.begin(), storage_.begin() + static_cast<std::ptrdiff_t>(total), 0.0);
+  auto address = reinterpret_cast<std::uintptr_t>(storage_.data());
+  const std::uintptr_t line = kLineDoubles * sizeof(double);
+  const std::uintptr_t aligned = (address + line - 1) / line * line;
+  base_ = storage_.data() + (aligned - address) / sizeof(double);
 }
 
 }  // namespace sfqpart

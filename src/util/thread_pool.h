@@ -1,33 +1,63 @@
-// Small fixed-size worker pool + deterministic parallel-chunk helper.
+// Persistent fork-join executor + deterministic parallel-chunk helper.
 //
-// The pool backs the partitioner's parallel restart engine and the cost
-// model's chunked reductions (see DESIGN.md section 7). Design rules:
+// The executor backs the partitioner's parallel restart engine and the
+// cost model's chunked reductions (DESIGN.md sections 7 and 10). Design
+// rules:
 //
 //  * `parallel_chunks` splits [0, n) into chunks whose boundaries depend
 //    only on `n` and `grain` — never on the pool or thread count — so any
 //    reduction that combines per-chunk partials in ascending chunk order
 //    is bit-identical at 1, 2 or 64 threads.
+//  * Dispatch is allocation-free: a call opens one *parallel region* in a
+//    pool-owned slot (a function pointer + context pointer, no
+//    std::function), wakes parked workers with one futex-style notify, and
+//    chunks are claimed from a single shared atomic ticket counter. The
+//    calling thread participates instead of sleeping.
+//  * Small calls never pay dispatch tax: when `n * est_ns_per_item` is
+//    below a calibrated cutoff the chunks run inline on the caller.
 //  * Nested calls never deadlock: a call issued from a pool worker (or
 //    with a null/single-thread pool) runs its chunks inline on the
 //    calling thread.
 //  * The first exception thrown by a chunk body is rethrown on the
-//    calling thread once all chunks have finished.
+//    calling thread once all chunks have finished (every chunk still
+//    runs).
 #pragma once
 
-#include <condition_variable>
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
-#include <deque>
-#include <functional>
+#include <cstdint>
+#include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace sfqpart {
 
+// Number of chunks [0, n) splits into at the given grain (>= 1 entries
+// per chunk); 0 when n == 0. Exposed so reductions can size their
+// partial-sum buffers.
+std::size_t chunk_count(std::size_t n, std::size_t grain);
+
+// Adaptive serial threshold (DESIGN.md section 10): a parallel_chunks
+// call runs inline when its estimated total work n * est_ns_per_item is
+// below this cutoff. Calibrated against the region open/join cost (an
+// epoch bump, up to thread_count futex wakes, and one straggler-chunk
+// tail): dispatching regions smaller than ~2-3x that overhead is a net
+// loss at every thread count the benches measure.
+inline constexpr double kParallelCutoffNs = 20000.0;
+
+// Default per-item estimate when a call site passes none: a handful of
+// flops plus a couple of loads.
+inline constexpr double kDefaultItemCostNs = 8.0;
+
 class ThreadPool {
  public:
-  // Spawns `threads` workers (clamped to >= 1). A one-worker pool is
-  // valid but `parallel_chunks` bypasses it and runs inline.
+  // Spawns `threads` workers (clamped to >= 1), parked until a region
+  // opens. A one-worker pool is valid but `parallel_chunks` bypasses it
+  // and runs inline.
   explicit ThreadPool(int threads);
   ~ThreadPool();
 
@@ -36,43 +66,137 @@ class ThreadPool {
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
-  // Enqueues one task (FIFO). Tasks must not throw; wrap bodies that can
-  // (parallel_chunks does this for its chunk bodies).
-  void submit(std::function<void()> task);
-
-  // True when called from one of *any* pool's worker threads; used to run
-  // nested parallel_chunks inline instead of deadlocking on the queue.
+  // True when called from a thread currently executing chunks — a parked
+  // pool worker that joined a region, or a caller participating in its
+  // own region. Used to run nested parallel_chunks inline instead of
+  // re-entering the executor.
   static bool on_worker_thread();
 
   // std::thread::hardware_concurrency with a floor of 1.
   static int hardware_concurrency();
 
+  // Chunk body as the executor sees it: a plain function pointer over an
+  // opaque context, so opening a region never allocates.
+  using ChunkFn = void (*)(void* ctx, std::size_t chunk, std::size_t begin,
+                           std::size_t end);
+
+  // Opens a parallel region over the `chunks` chunks of [0, n) at `grain`
+  // and blocks until every chunk ran (caller participates; parked workers
+  // join). Returns false without running anything when another region is
+  // already open on this pool — the caller then runs inline, which is
+  // result-identical by the determinism contract. Rethrows the first
+  // chunk exception. Prefer parallel_chunks below; this is its backend.
+  bool try_run_region(std::size_t n, std::size_t grain, std::size_t chunks,
+                      ChunkFn fn, void* ctx);
+
  private:
   void worker_loop();
+  // Claims and runs chunks of the region with the given generation until
+  // the ticket counter is exhausted or the region changes under us.
+  void claim_chunks(std::uint32_t generation);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
+
+  // The single region slot. Pool-owned (not caller-stack) so a worker
+  // waking after the region completed dereferences valid memory, sees a
+  // stale generation in ticket_, and parks again. Plain fields are
+  // written only by the opener while region_open_ is held, and published
+  // to workers by the release store of ticket_/epoch_.
+  ChunkFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t grain_ = 1;
+  std::size_t chunks_ = 0;
+
+  // (generation << 32) | next-chunk. Claimed with a CAS on the whole
+  // word: a stale worker's claim can neither steal nor lose a ticket of a
+  // region it did not observe opening, because the generation half of its
+  // expected value no longer matches.
+  std::atomic<std::uint64_t> ticket_{0};
+  // Chunks finished in the open region; the worker completing the last
+  // one notifies the (possibly waiting) opener.
+  std::atomic<std::size_t> done_{0};
+  // Region generation. Workers park on epoch_.wait(last-seen) — a futex
+  // on Linux — and one store+notify per region wakes them.
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<bool> region_open_{false};
+  std::atomic<bool> stopping_{false};
+  // Error capture is the cold path; the mutex is only ever touched by a
+  // throwing chunk and the opener's post-join check.
+  std::atomic<bool> has_error_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+  // Helpers woken per region are capped at hardware_concurrency() - 1:
+  // waking more runnable workers than spare cores only adds scheduler
+  // churn (the measured 8-threads-slower-than-1 inversion this executor
+  // replaced). Which threads run a chunk never affects the result.
+  std::size_t max_helpers_ = 0;
 };
 
-// Number of chunks [0, n) splits into at the given grain (>= 1 entries
-// per chunk); 0 when n == 0. Exposed so reductions can size their
-// partial-sum buffers.
-std::size_t chunk_count(std::size_t n, std::size_t grain);
+// Cacheline-padded per-chunk partial storage for deterministic
+// reductions. Chunk c's row lives at chunk(c); rows are padded (and the
+// base aligned) to 64-byte lines, so concurrent chunks never write the
+// same cache line — the false sharing the flat `chunks * K` vectors paid
+// before. reset() zero-fills and only reallocates on growth, keeping a
+// warm workspace allocation-free; the combine loop reads rows in
+// ascending chunk order exactly as with unpadded storage, so padding can
+// never change a bit.
+class ChunkSlab {
+ public:
+  // Prepares `chunks` zeroed rows of `row_doubles` doubles each.
+  void reset(std::size_t chunks, std::size_t row_doubles);
+
+  double* chunk(std::size_t c) { return base_ + c * stride_; }
+  const double* chunk(std::size_t c) const { return base_ + c * stride_; }
+
+ private:
+  static constexpr std::size_t kLineDoubles = 8;  // 64-byte cache line
+
+  std::vector<double> storage_;
+  double* base_ = nullptr;
+  std::size_t stride_ = 0;
+};
+
+namespace pool_detail {
+
+template <typename Body>
+void invoke_chunk(void* ctx, std::size_t chunk, std::size_t begin,
+                  std::size_t end) {
+  (*static_cast<Body*>(ctx))(chunk, begin, end);
+}
+
+}  // namespace pool_detail
 
 // Invokes body(chunk, begin, end) for every chunk of [0, n). Chunks run
-// on `pool` when it has >= 2 workers, there is more than one chunk, and
-// the caller is not itself a pool worker; otherwise they run inline, in
-// ascending chunk order. The calling thread participates in the fan-out
-// (it pulls chunks from the same counter the workers do) instead of
-// sleeping, so a pooled call never runs slower than the inline one by
-// more than the task-wake overhead. Blocks until every chunk finished;
-// rethrows the first chunk exception.
-void parallel_chunks(
-    ThreadPool* pool, std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t chunk, std::size_t begin,
-                             std::size_t end)>& body);
+// as a fork-join region on `pool` when it has >= 2 workers, there is more
+// than one chunk, the caller is not already executing chunks, and the
+// estimated work n * est_ns_per_item clears kParallelCutoffNs; otherwise
+// they run inline, in ascending chunk order. The body is passed by
+// pointer into the region slot — no allocation, no copy — so the call is
+// dispatch-free beyond one atomic open and one wake. Blocks until every
+// chunk finished; rethrows the first chunk exception.
+template <typename Body>
+void parallel_chunks(ThreadPool* pool, std::size_t n, std::size_t grain,
+                     Body&& body, double est_ns_per_item = kDefaultItemCostNs) {
+  if (grain < 1) grain = 1;
+  const std::size_t chunks = chunk_count(n, grain);
+  if (chunks == 0) return;
+
+  using BodyT = std::remove_reference_t<Body>;
+  const bool inline_only =
+      pool == nullptr || pool->thread_count() <= 1 || chunks <= 1 ||
+      ThreadPool::on_worker_thread() ||
+      static_cast<double>(n) * est_ns_per_item < kParallelCutoffNs;
+  if (!inline_only) {
+    void* ctx = const_cast<void*>(static_cast<const void*>(std::addressof(body)));
+    if (pool->try_run_region(n, grain, chunks,
+                             &pool_detail::invoke_chunk<BodyT>, ctx)) {
+      return;
+    }
+  }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    body(c, c * grain, std::min(n, (c + 1) * grain));
+  }
+}
 
 }  // namespace sfqpart

@@ -61,6 +61,57 @@ TEST_P(MoveDeltaExact, MatchesFullRecompute) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MoveDeltaExact, ::testing::Range(1, 6));
 
+// The CSR-flattened adjacency must replay the reference vector-of-vectors
+// neighbor order exactly: delta() sums the F1 contributions of a gate's
+// neighbors in a fixed order, so any reordering would perturb the bits.
+// An F1-only model isolates the adjacency-dependent part (the F2/F3 terms
+// are zero-weighted and leave the accumulated sum untouched), so the
+// comparison is exact equality, not a tolerance.
+TEST(MoveEvaluator, CsrDeltaMatchesReferenceAdjacencyBitExact) {
+  const int num_gates = 40;
+  const int num_planes = 5;
+  const PartitionProblem problem = random_problem(num_gates, num_planes, 17);
+  CostWeights f1_only;
+  f1_only.c2 = 0.0;
+  f1_only.c3 = 0.0;
+  const CostModel model(problem, f1_only);
+  Rng rng(18);
+  const std::vector<int> labels = random_labels(num_gates, num_planes, rng);
+  MoveEvaluator eval(model, labels);
+
+  // Reference adjacency built the way the evaluator used to store it:
+  // per-gate push_back over the edge list in ascending edge order.
+  std::vector<std::vector<int>> reference(
+      static_cast<std::size_t>(num_gates));
+  for (const auto& [a, b] : problem.edges) {
+    reference[static_cast<std::size_t>(a)].push_back(b);
+    reference[static_cast<std::size_t>(b)].push_back(a);
+  }
+  const double f1_coef = model.weights().c1 / model.n1();
+  const int p = model.weights().distance_exponent;
+  const auto ipow = [](double base, int exponent) {
+    double result = 1.0;
+    for (int i = 0; i < exponent; ++i) result *= base;
+    return result;
+  };
+
+  for (int gate = 0; gate < num_gates; ++gate) {
+    for (int target = 0; target < num_planes; ++target) {
+      const int source = labels[static_cast<std::size_t>(gate)];
+      if (source == target) continue;
+      double f1_reference = 0.0;
+      for (const int j : reference[static_cast<std::size_t>(gate)]) {
+        const int lj = labels[static_cast<std::size_t>(j)];
+        f1_reference +=
+            f1_coef * (ipow(std::abs(target - lj), p) -
+                       ipow(std::abs(source - lj), p));
+      }
+      EXPECT_EQ(eval.delta(gate, target), f1_reference)
+          << "gate " << gate << " -> " << target;
+    }
+  }
+}
+
 TEST(MoveEvaluator, NoOpMoveIsFree) {
   const PartitionProblem problem = random_problem(10, 3, 2);
   const CostModel model(problem, CostWeights{});

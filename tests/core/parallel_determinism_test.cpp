@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
+#include "core/optimizer.h"
 #include "core/soft_assign.h"
 #include "core/solver.h"
 #include "gen/suite.h"
@@ -190,6 +191,35 @@ TEST(ParallelDeterminism, GradientBitIdenticalAcrossThreadCounts) {
     Matrix grad;
     expect_terms_eq(serial, model.evaluate_with_gradient(w, grad));
     EXPECT_EQ(serial_grad, grad);
+  }
+}
+
+// The whole descent loop — gradient reductions, the parallel max|grad|
+// normalization, and the parallel step/clamp — through the fork-join
+// executor: a pooled descent must reproduce the serial descent bit for
+// bit, iteration count included.
+TEST(ParallelDeterminism, GradientDescentBitIdenticalWithAndWithoutPool) {
+  const Netlist netlist = build_mapped("mult8");
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 5);
+  Rng rng(13);
+  const Matrix w0 = random_soft_assignment(problem.num_gates, 5, rng);
+
+  OptimizerOptions options;
+  options.max_iterations = 40;
+
+  CostModel serial_model(problem, CostWeights{});
+  const OptimizerResult serial =
+      run_gradient_descent(serial_model, w0, options);
+
+  for (const int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    CostModel model(problem, CostWeights{});
+    model.set_thread_pool(&pool);
+    const OptimizerResult pooled = run_gradient_descent(model, w0, options);
+    EXPECT_EQ(pooled.w, serial.w);
+    expect_terms_eq(pooled.final_terms, serial.final_terms);
+    EXPECT_EQ(pooled.iterations, serial.iterations);
+    EXPECT_EQ(pooled.converged, serial.converged);
   }
 }
 

@@ -2,16 +2,20 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 namespace sfqpart {
 namespace {
+
+// Forces the fork-join path: with this per-item estimate even a one-item
+// call clears the adaptive serial cutoff, so the test exercises the
+// region open/claim/join machinery instead of the inline fallback.
+constexpr double kForceDispatch = 1e9;
 
 TEST(ChunkCount, MatchesCeilDivision) {
   EXPECT_EQ(chunk_count(0, 4), 0u);
@@ -36,11 +40,50 @@ TEST(ParallelChunks, CoversEveryIndexExactlyOnceWithoutPool) {
 TEST(ParallelChunks, CoversEveryIndexExactlyOnceOnPool) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);
-  parallel_chunks(&pool, hits.size(), 7,
-                  [&](std::size_t, std::size_t begin, std::size_t end) {
-                    for (std::size_t i = begin; i < end; ++i) ++hits[i];
-                  });
+  parallel_chunks(
+      &pool, hits.size(), 7,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      },
+      kForceDispatch);
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelChunks, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  parallel_chunks(
+      &pool, 0, 4,
+      [&](std::size_t, std::size_t, std::size_t) { ++ran; }, kForceDispatch);
+  parallel_chunks(nullptr, 0, 4,
+                  [&](std::size_t, std::size_t, std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelChunks, GrainLargerThanRangeIsOneFullChunk) {
+  ThreadPool pool(2);
+  std::vector<std::array<std::size_t, 3>> spans;
+  parallel_chunks(
+      &pool, 5, 100,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        spans.push_back({chunk, begin, end});
+      },
+      kForceDispatch);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (std::array<std::size_t, 3>{0, 0, 5}));
+}
+
+TEST(ParallelChunks, SmallCallsRunInlineUnderTheSerialCutoff) {
+  ThreadPool pool(4);
+  // 100 items at the default few-ns estimate is far below the cutoff:
+  // every chunk must run on the calling thread.
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_caller{0};
+  parallel_chunks(&pool, 100, 10,
+                  [&](std::size_t, std::size_t, std::size_t) {
+                    if (std::this_thread::get_id() != caller) ++off_caller;
+                  });
+  EXPECT_EQ(off_caller.load(), 0);
 }
 
 TEST(ParallelChunks, ChunkBoundariesDependOnlyOnSizeAndGrain) {
@@ -48,10 +91,12 @@ TEST(ParallelChunks, ChunkBoundariesDependOnlyOnSizeAndGrain) {
   // whether the chunks run inline or on any pool.
   const auto collect = [](ThreadPool* pool) {
     std::vector<std::array<std::size_t, 3>> spans(chunk_count(23, 5));
-    parallel_chunks(pool, 23, 5,
-                    [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-                      spans[chunk] = {chunk, begin, end};
-                    });
+    parallel_chunks(
+        pool, 23, 5,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          spans[chunk] = {chunk, begin, end};
+        },
+        kForceDispatch);
     return spans;
   };
   ThreadPool two(2);
@@ -62,82 +107,87 @@ TEST(ParallelChunks, ChunkBoundariesDependOnlyOnSizeAndGrain) {
   EXPECT_EQ(inline_spans.back()[2], 23u);
 }
 
-TEST(ParallelChunks, PropagatesTheFirstException) {
+TEST(ParallelChunks, PropagatesTheFirstExceptionMidRegion) {
   ThreadPool pool(4);
-  EXPECT_THROW(
-      parallel_chunks(&pool, 100, 1,
-                      [&](std::size_t chunk, std::size_t, std::size_t) {
-                        if (chunk == 13) throw std::runtime_error("boom");
-                      }),
-      std::runtime_error);
-  // All chunks drained; the pool is intact and reusable afterwards.
+  std::atomic<int> executed{0};
+  EXPECT_THROW(parallel_chunks(
+                   &pool, 100, 1,
+                   [&](std::size_t chunk, std::size_t, std::size_t) {
+                     ++executed;
+                     if (chunk == 13) throw std::runtime_error("boom");
+                   },
+                   kForceDispatch),
+               std::runtime_error);
+  // Every chunk still ran (the region drains before rethrowing), and the
+  // pool is intact and reusable afterwards.
+  EXPECT_EQ(executed.load(), 100);
   std::atomic<int> ran{0};
-  parallel_chunks(&pool, 10, 1,
-                  [&](std::size_t, std::size_t, std::size_t) { ++ran; });
+  parallel_chunks(
+      &pool, 10, 1, [&](std::size_t, std::size_t, std::size_t) { ++ran; },
+      kForceDispatch);
   EXPECT_EQ(ran.load(), 10);
 }
 
-TEST(ParallelChunks, PoolIsReusableAcrossManyRounds) {
+TEST(ParallelChunks, ManyRegionStressLeavesNoLeaksOrDeadlocks) {
   ThreadPool pool(3);
   long long total = 0;
-  for (int round = 0; round < 50; ++round) {
+  for (int round = 0; round < 500; ++round) {
     std::vector<long long> partial(chunk_count(256, 16), 0);
-    parallel_chunks(&pool, 256, 16,
-                    [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-                      for (std::size_t i = begin; i < end; ++i) {
-                        partial[chunk] += static_cast<long long>(i);
-                      }
-                    });
+    parallel_chunks(
+        &pool, 256, 16,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            partial[chunk] += static_cast<long long>(i);
+          }
+        },
+        kForceDispatch);
     total += std::accumulate(partial.begin(), partial.end(), 0LL);
   }
-  EXPECT_EQ(total, 50LL * (255LL * 256LL / 2));
+  EXPECT_EQ(total, 500LL * (255LL * 256LL / 2));
+  EXPECT_EQ(pool.thread_count(), 3);
 }
 
 TEST(ParallelChunks, NestedCallsRunInlineInsteadOfDeadlocking) {
   ThreadPool pool(2);
   std::vector<std::atomic<int>> hits(64);
-  parallel_chunks(&pool, 8, 1, [&](std::size_t outer, std::size_t, std::size_t) {
-    EXPECT_TRUE(ThreadPool::on_worker_thread());
-    // Re-entering parallel_chunks from a worker must not queue (the two
-    // workers are both busy with outer chunks: queueing would deadlock).
-    parallel_chunks(&pool, 8, 1,
-                    [&](std::size_t inner, std::size_t, std::size_t) {
-                      ++hits[outer * 8 + inner];
-                    });
-  });
+  parallel_chunks(
+      &pool, 8, 1,
+      [&](std::size_t outer, std::size_t, std::size_t) {
+        EXPECT_TRUE(ThreadPool::on_worker_thread());
+        // Re-entering parallel_chunks from inside a region must take the
+        // inline path (the region slot is busy: re-opening would deadlock).
+        parallel_chunks(
+            &pool, 8, 1,
+            [&](std::size_t inner, std::size_t, std::size_t) {
+              ++hits[outer * 8 + inner];
+            },
+            kForceDispatch);
+      },
+      kForceDispatch);
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ThreadPool, SingleWorkerRunsSubmittedTasksInFifoOrder) {
-  std::vector<int> order;
-  std::mutex mutex;
-  std::condition_variable done;
-  int remaining = 20;
-  {
-    ThreadPool pool(1);
-    for (int i = 0; i < 20; ++i) {
-      pool.submit([&, i] {
-        std::lock_guard<std::mutex> lock(mutex);
-        order.push_back(i);
-        if (--remaining == 0) done.notify_all();
-      });
+TEST(ParallelChunks, ConcurrentOpenersFallBackInlineAndAllWorkRuns) {
+  // Two plain threads race to open regions on one pool; the loser of the
+  // region_open_ CAS runs inline. Either way every index is covered.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits_a(512);
+  std::vector<std::atomic<int>> hits_b(512);
+  const auto drive = [&pool](std::vector<std::atomic<int>>& hits) {
+    for (int round = 0; round < 50; ++round) {
+      parallel_chunks(
+          &pool, hits.size(), 32,
+          [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) ++hits[i];
+          },
+          kForceDispatch);
     }
-    std::unique_lock<std::mutex> lock(mutex);
-    done.wait(lock, [&] { return remaining == 0; });
-  }
-  ASSERT_EQ(order.size(), 20u);
-  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
-}
-
-TEST(ThreadPool, DestructorDrainsPendingTasks) {
-  std::atomic<int> ran{0};
-  {
-    ThreadPool pool(2);
-    for (int i = 0; i < 100; ++i) {
-      pool.submit([&ran] { ++ran; });
-    }
-  }  // ~ThreadPool joins after the queue is empty
-  EXPECT_EQ(ran.load(), 100);
+  };
+  std::thread racer([&] { drive(hits_b); });
+  drive(hits_a);
+  racer.join();
+  for (const auto& h : hits_a) EXPECT_EQ(h.load(), 50);
+  for (const auto& h : hits_b) EXPECT_EQ(h.load(), 50);
 }
 
 TEST(ThreadPool, ReportsWorkerContext) {
@@ -145,6 +195,22 @@ TEST(ThreadPool, ReportsWorkerContext) {
   EXPECT_GE(ThreadPool::hardware_concurrency(), 1);
   ThreadPool pool(2);
   EXPECT_EQ(pool.thread_count(), 2);
+}
+
+TEST(ChunkSlab, RowsAreZeroedPaddedAndAligned) {
+  ChunkSlab slab;
+  slab.reset(5, 3);
+  for (std::size_t c = 0; c < 5; ++c) {
+    const double* row = slab.chunk(c);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(row) % 64, 0u);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(row[i], 0.0);
+  }
+  // Rows never share a 64-byte line.
+  EXPECT_GE(slab.chunk(1) - slab.chunk(0), 8);
+  // Dirty it, reset smaller: still zeroed (reset reuses grown storage).
+  slab.chunk(0)[0] = 42.0;
+  slab.reset(2, 3);
+  EXPECT_EQ(slab.chunk(0)[0], 0.0);
 }
 
 }  // namespace
