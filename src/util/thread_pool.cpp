@@ -69,12 +69,23 @@ void ThreadPool::claim_chunks(std::uint32_t generation) {
     // never claim — or lose — a ticket across regions.
     if ((ticket & kGenMask) != gen_bits) return;
     const std::size_t chunk = static_cast<std::size_t>(ticket & kChunkMask);
-    if (chunk >= chunks_) return;
+    // chunks_ is only guaranteed current when `ticket` came from a live
+    // region's release store; a straggler racing the next opener may read
+    // either region's value here. That is safe because a closed region's
+    // ticket is invalidated to kChunkMask (see try_run_region), which is
+    // >= any chunks_ value, so a stale ticket always bails out here and
+    // never reaches the CAS.
+    if (chunk >= chunks_.load(std::memory_order_relaxed)) return;
     if (!ticket_.compare_exchange_weak(ticket, ticket + 1,
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
       continue;
     }
+    // The CAS succeeded against a live, non-invalidated ticket, so the
+    // acquire load that produced `ticket` observed this region's opener
+    // stores: the plain fields and chunks_ are stable until the region
+    // completes, which cannot happen while this chunk is uncounted.
+    const std::size_t chunks = chunks_.load(std::memory_order_relaxed);
     const std::size_t begin = chunk * grain_;
     const std::size_t end = std::min(n_, begin + grain_);
     try {
@@ -84,10 +95,8 @@ void ThreadPool::claim_chunks(std::uint32_t generation) {
       if (!error_) error_ = std::current_exception();
       has_error_.store(true, std::memory_order_release);
     }
-    // The region cannot complete (and so cannot be reopened) while this
-    // claimed chunk is uncounted, which is what makes the relaxed field
-    // reads above safe. Only the final chunk pays a notify.
-    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks_) {
+    // Only the final chunk pays a notify.
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
       done_.notify_all();
     }
     ticket = ticket_.load(std::memory_order_acquire);
@@ -106,7 +115,7 @@ bool ThreadPool::try_run_region(std::size_t n, std::size_t grain,
   ctx_ = ctx;
   n_ = n;
   grain_ = grain;
-  chunks_ = chunks;
+  chunks_.store(chunks, std::memory_order_relaxed);
   done_.store(0, std::memory_order_relaxed);
   if (has_error_.load(std::memory_order_acquire)) {
     const std::lock_guard<std::mutex> lock(error_mutex_);
@@ -116,6 +125,17 @@ bool ThreadPool::try_run_region(std::size_t n, std::size_t grain,
   // Publish: the ticket store releases the field writes above, the epoch
   // store wakes the helpers. region_open_ serializes openers, so the
   // non-atomic generation arithmetic is race-free.
+  //
+  // The generation is a 32-bit epoch and wraps after 2^32 regions. A
+  // wrapped collision is harmless: a straggler whose generation happens
+  // to match a much-later region can only pass the ticket checks while
+  // that region is genuinely open and published (closed regions carry an
+  // invalidated ticket, see the join below), and a successful CAS then
+  // synchronizes with the opener's release store — the straggler merely
+  // participates in the colliding region as a legitimate extra worker.
+  // A parked worker whose `seen` collides sleeps through one wake, which
+  // costs parallelism for that region, never correctness: the caller
+  // participates and the join counts chunks, not workers.
   const std::uint32_t generation = epoch_.load(std::memory_order_relaxed) + 1;
   ticket_.store(static_cast<std::uint64_t>(generation) << 32,
                 std::memory_order_release);
@@ -143,6 +163,19 @@ bool ThreadPool::try_run_region(std::size_t n, std::size_t grain,
     done_.wait(finished, std::memory_order_relaxed);
     finished = done_.load(std::memory_order_acquire);
   }
+
+  // Invalidate the ticket before releasing the region slot. Until the
+  // next opener's ticket store, ticket_ would otherwise still carry this
+  // generation, so a straggler that parked late could pass the generation
+  // check while the next opener is rewriting chunks_/fn_/n_ — and if it
+  // read the new, larger chunks_ its CAS on the exhausted ticket would
+  // succeed, running a phantom chunk over torn fields and corrupting the
+  // new region's done_ count. With the chunk bits forced to kChunkMask
+  // (>= chunks_ for every region, asserted on entry), a stale ticket can
+  // never look claimable no matter which chunks_ value the straggler
+  // reads, and any CAS against a pre-invalidation value fails.
+  ticket_.store((static_cast<std::uint64_t>(generation) << 32) | kChunkMask,
+                std::memory_order_release);
 
   std::exception_ptr error;
   if (has_error_.load(std::memory_order_acquire)) {

@@ -98,26 +98,38 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // The single region slot. Pool-owned (not caller-stack) so a worker
-  // waking after the region completed dereferences valid memory, sees a
-  // stale generation in ticket_, and parks again. Plain fields are
-  // written only by the opener while region_open_ is held, and published
-  // to workers by the release store of ticket_/epoch_.
+  // waking after the region completed dereferences valid memory, sees an
+  // invalidated ticket, and parks again. Plain fields are written only
+  // by the opener while region_open_ is held, and published to workers
+  // by the release store of ticket_/epoch_; they are only read after a
+  // successful ticket CAS, which (per the invalidation protocol below)
+  // implies the reader observed this region's opener stores. chunks_ is
+  // atomic because it alone is read *before* the CAS — the claim-bound
+  // check — where a straggler may race the next opener's rewrite.
   ChunkFn fn_ = nullptr;
   void* ctx_ = nullptr;
   std::size_t n_ = 0;
   std::size_t grain_ = 1;
-  std::size_t chunks_ = 0;
+  std::atomic<std::size_t> chunks_{0};
 
   // (generation << 32) | next-chunk. Claimed with a CAS on the whole
   // word: a stale worker's claim can neither steal nor lose a ticket of a
   // region it did not observe opening, because the generation half of its
-  // expected value no longer matches.
+  // expected value no longer matches. On region completion the opener
+  // stores (generation << 32) | kChunkMask before releasing
+  // region_open_, so between regions the chunk bits always read as
+  // exhausted — a straggler holding the old generation can never claim
+  // into the next region however the race with the next opener resolves.
   std::atomic<std::uint64_t> ticket_{0};
   // Chunks finished in the open region; the worker completing the last
   // one notifies the (possibly waiting) opener.
   std::atomic<std::size_t> done_{0};
   // Region generation. Workers park on epoch_.wait(last-seen) — a futex
-  // on Linux — and one store+notify per region wakes them.
+  // on Linux — and one store+notify per region wakes them. 32-bit, so it
+  // wraps after 2^32 regions; the ticket invalidation above makes a
+  // wrapped generation collision benign (see the comment in
+  // try_run_region), which is why the epoch is not widened to 64 bits —
+  // a 32-bit word keeps the futex fast path.
   std::atomic<std::uint32_t> epoch_{0};
   std::atomic<bool> region_open_{false};
   std::atomic<bool> stopping_{false};

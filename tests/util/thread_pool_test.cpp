@@ -147,6 +147,31 @@ TEST(ParallelChunks, ManyRegionStressLeavesNoLeaksOrDeadlocks) {
   EXPECT_EQ(pool.thread_count(), 3);
 }
 
+TEST(ParallelChunks, BackToBackRegionsWithGrowingChunkCountsStayIsolated) {
+  // Regression stress for the stale-ticket race: after a small region's
+  // ticket is exhausted, a straggler worker still holding its generation
+  // races the next opener, which publishes a *larger* chunk count. Before
+  // the close-time ticket invalidation in try_run_region, the straggler
+  // could read the new chunks_, CAS the exhausted ticket, and run a
+  // phantom chunk over torn region fields — corrupting the next region's
+  // done_ count (early join or deadlock) and double-running indices.
+  // Alternating 2-chunk and 256-chunk regions back to back maximizes
+  // that window; run it under the tsan preset to make the race (were it
+  // reintroduced) a deterministic failure instead of a rare hang.
+  ThreadPool pool(7);
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t n = (round % 2 == 0) ? 4 : 512;
+    std::vector<std::atomic<int>> hits(n);
+    parallel_chunks(
+        &pool, n, 2,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) ++hits[i];
+        },
+        kForceDispatch);
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
 TEST(ParallelChunks, NestedCallsRunInlineInsteadOfDeadlocking) {
   ThreadPool pool(2);
   std::vector<std::atomic<int>> hits(64);

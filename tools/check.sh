@@ -1,21 +1,31 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the tier-1 suite: configure + build the "asan"
-# preset (ASan + UBSan, see CMakePresets.json) and run every ctest
-# under it. Any sanitizer report aborts the offending test, so a green
-# run means the whole suite is clean of heap errors and UB.
+# Sanitizer gate for the tier-1 suite: configure + build a sanitizer
+# preset (see CMakePresets.json) and run every ctest under it. Any
+# sanitizer report aborts the offending test, so a green run means the
+# whole suite is clean under that sanitizer.
 #
-#   tools/check.sh [extra ctest args...]
+#   tools/check.sh [asan|tsan] [extra ctest args...]
+#
+# The preset defaults to asan (ASan + UBSan: heap errors and UB). tsan
+# runs ThreadSanitizer instead — the only sanitizer that can see
+# cross-thread races in the fork-join executor, which ASan/UBSan cannot.
 #
 # Run from anywhere; the script cd's to the repo root. The ctest output
-# is tee'd to build-asan/check.log; pipefail keeps the exit status of
-# ctest itself, not tee's, so a red suite fails the script (and CI).
+# is tee'd to build-<preset>/check.log; pipefail keeps the exit status
+# of ctest itself, not tee's, so a red suite fails the script (and CI).
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
+preset="asan"
+if [[ $# -ge 1 && ( "$1" == "asan" || "$1" == "tsan" ) ]]; then
+  preset="$1"
+  shift
+fi
+
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-cmake --preset asan
-cmake --build --preset asan -j "$jobs"
-ctest --preset asan -j "$jobs" "$@" 2>&1 | tee build-asan/check.log
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$jobs"
+ctest --preset "$preset" -j "$jobs" "$@" 2>&1 | tee "build-$preset/check.log"
