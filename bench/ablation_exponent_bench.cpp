@@ -13,11 +13,11 @@ namespace {
 constexpr int kPlanes = 5;
 
 PartitionMetrics run_with_exponent(const Netlist& netlist, int exponent) {
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = kPlanes;
   options.weights.distance_exponent = exponent;
   return compute_metrics(
-      netlist, Solver(SolverConfig::from(options)).run(netlist)->partition);
+      netlist, Solver(options).run(netlist)->partition);
 }
 
 void print_ablation() {
@@ -47,12 +47,12 @@ void print_ablation() {
 
 void BM_ExponentCost(::benchmark::State& state) {
   const Netlist netlist = build_mapped("ksa8");
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = kPlanes;
   options.weights.distance_exponent = static_cast<int>(state.range(0));
   for (auto _ : state) {
     ::benchmark::DoNotOptimize(
-        Solver(SolverConfig::from(options)).run(netlist)->discrete_total);
+        Solver(options).run(netlist)->discrete_total);
   }
 }
 BENCHMARK(BM_ExponentCost)->Arg(2)->Arg(4)->Unit(::benchmark::kMillisecond);

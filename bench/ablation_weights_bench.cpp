@@ -16,7 +16,7 @@ constexpr int kPlanes = 5;
 
 struct Variant {
   std::string label;
-  PartitionOptions options;
+  SolverConfig options;
 };
 
 std::vector<Variant> variants() {
@@ -28,22 +28,22 @@ std::vector<Variant> variants() {
     tweak(variant.options);
     out.push_back(std::move(variant));
   };
-  add("defaults", [](PartitionOptions&) {});
-  add("c1 x4 (locality)", [](PartitionOptions& o) { o.weights.c1 *= 4.0; });
-  add("c1 /4", [](PartitionOptions& o) { o.weights.c1 /= 4.0; });
-  add("c2,c3 x4 (balance)", [](PartitionOptions& o) {
+  add("defaults", [](SolverConfig&) {});
+  add("c1 x4 (locality)", [](SolverConfig& o) { o.weights.c1 *= 4.0; });
+  add("c1 /4", [](SolverConfig& o) { o.weights.c1 /= 4.0; });
+  add("c2,c3 x4 (balance)", [](SolverConfig& o) {
     o.weights.c2 *= 4.0;
     o.weights.c3 *= 4.0;
   });
-  add("c2,c3 /4", [](PartitionOptions& o) {
+  add("c2,c3 /4", [](SolverConfig& o) {
     o.weights.c2 /= 4.0;
     o.weights.c3 /= 4.0;
   });
-  add("c4 x4 (one-hot)", [](PartitionOptions& o) { o.weights.c4 *= 4.0; });
-  add("paper eq.10 grads", [](PartitionOptions& o) {
+  add("c4 x4 (one-hot)", [](SolverConfig& o) { o.weights.c4 *= 4.0; });
+  add("paper eq.10 grads", [](SolverConfig& o) {
     o.gradient_style = GradientStyle::kPaperEq10;
   });
-  add("+ greedy refine", [](PartitionOptions& o) { o.refine = true; });
+  add("+ greedy refine", [](SolverConfig& o) { o.refine = true; });
   return out;
 }
 
@@ -55,8 +55,8 @@ void print_ablation() {
   for (const char* name : {"ksa4", "ksa8"}) {
     const Netlist netlist = build_mapped(name);
     for (const Variant& variant : variants()) {
-      const PartitionResult result =
-          Solver(SolverConfig::from(variant.options)).run(netlist).value();
+      const SolverResult result =
+          Solver(variant.options).run(netlist).value();
       const PartitionMetrics m = compute_metrics(netlist, result.partition);
       table.add_row({variant.label, name, fmt_percent(m.frac_within(1)),
                      fmt_percent(m.frac_within(2)), fmt_percent(m.icomp_frac(), 2),
@@ -77,12 +77,12 @@ void print_ablation() {
 
 void BM_RefineOverhead(::benchmark::State& state) {
   const Netlist netlist = build_mapped("ksa8");
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = kPlanes;
   options.refine = state.range(0) != 0;
   for (auto _ : state) {
     ::benchmark::DoNotOptimize(
-        Solver(SolverConfig::from(options)).run(netlist)->discrete_total);
+        Solver(options).run(netlist)->discrete_total);
   }
 }
 BENCHMARK(BM_RefineOverhead)->Arg(0)->Arg(1)->Unit(::benchmark::kMillisecond);

@@ -30,7 +30,7 @@ namespace sfqpart::bench {
 // (serial Solver, bit-identical to the pre-facade free functions). Attach
 // an obs::RunReport as `observer` to collect convergence curves and stage
 // wall times without changing the result.
-inline PartitionResult run_gd(const Netlist& netlist, int num_planes,
+inline SolverResult run_gd(const Netlist& netlist, int num_planes,
                               std::uint64_t seed = 1,
                               obs::SolverObserver* observer = nullptr) {
   SolverConfig config;

@@ -27,7 +27,7 @@ void print_overhead() {
                  "icomp_feedback_pct"});
   for (const char* name : {"ksa4", "ksa8", "mult4", "c499"}) {
     const Netlist netlist = build_mapped(name);
-    const PartitionResult result = run_gd(netlist, kPlanes);
+    const SolverResult result = run_gd(netlist, kPlanes);
     const PartitionMetrics before = compute_metrics(netlist, result.partition);
     const CouplingInsertion inserted =
         apply_coupling_insertion(netlist, result.partition);
@@ -62,7 +62,7 @@ void print_overhead() {
 
 void BM_Insertion(::benchmark::State& state) {
   const Netlist netlist = build_mapped("ksa8");
-  const PartitionResult result = run_gd(netlist, kPlanes);
+  const SolverResult result = run_gd(netlist, kPlanes);
   for (auto _ : state) {
     ::benchmark::DoNotOptimize(
         apply_coupling_insertion(netlist, result.partition).pairs_inserted);

@@ -18,7 +18,7 @@ constexpr int kPlanes = 4;
 
 void print_fig1() {
   const Netlist netlist = build_mapped(kCircuit);
-  const PartitionResult result = run_gd(netlist, kPlanes);
+  const SolverResult result = run_gd(netlist, kPlanes);
   const BiasPlan plan = make_bias_plan(netlist, result.partition);
   const CouplingReport coupling = plan_coupling(netlist, result.partition);
 
@@ -44,7 +44,7 @@ void print_fig1() {
 
 void BM_BiasPlan(::benchmark::State& state) {
   const Netlist netlist = build_mapped(kCircuit);
-  const PartitionResult result = run_gd(netlist, kPlanes);
+  const SolverResult result = run_gd(netlist, kPlanes);
   for (auto _ : state) {
     ::benchmark::DoNotOptimize(
         make_bias_plan(netlist, result.partition).total_dummy_ma);
@@ -54,7 +54,7 @@ BENCHMARK(BM_BiasPlan)->Unit(::benchmark::kMicrosecond);
 
 void BM_CouplingPlan(::benchmark::State& state) {
   const Netlist netlist = build_mapped(kCircuit);
-  const PartitionResult result = run_gd(netlist, kPlanes);
+  const SolverResult result = run_gd(netlist, kPlanes);
   for (auto _ : state) {
     ::benchmark::DoNotOptimize(plan_coupling(netlist, result.partition).total_pairs);
   }

@@ -23,7 +23,7 @@ void print_fmax() {
     const Netlist netlist = build_mapped(name);
     const TimingReport flat = analyze_timing(netlist);
     for (const int k : {2, 4, 6, 8, 10}) {
-      const PartitionResult result = run_gd(netlist, k);
+      const SolverResult result = run_gd(netlist, k);
       const TimingReport modeled =
           analyze_timing(netlist, {}, nullptr, &result.partition);
       const CouplingInsertion inserted =

@@ -21,7 +21,7 @@ constexpr const char* kCircuit = "ksa32";
 constexpr int kRestarts = 8;
 constexpr std::uint64_t kSeed = 1;
 
-PartitionResult run_solver(const Netlist& netlist, int threads,
+SolverResult run_solver(const Netlist& netlist, int threads,
                            double* wall_ms,
                            obs::SolverObserver* observer = nullptr) {
   SolverConfig config;
@@ -48,13 +48,13 @@ void print_scaling() {
   run_solver(netlist, 1, &warmup_ms);  // touch caches before timing
 
   double serial_ms = 0.0;
-  const PartitionResult serial = run_solver(netlist, 1, &serial_ms);
+  const SolverResult serial = run_solver(netlist, 1, &serial_ms);
 
   TablePrinter table({"threads", "wall ms", "speedup", "identical to serial"});
   Json runs = Json::array();
   for (const int threads : {1, 2, 4, 8}) {
     double wall_ms = serial_ms;
-    PartitionResult result = serial;
+    SolverResult result = serial;
     if (threads > 1) result = run_solver(netlist, threads, &wall_ms);
     const bool identical =
         result.partition.plane_of == serial.partition.plane_of &&
@@ -93,7 +93,7 @@ void print_scaling() {
   // observer-free so the headline numbers measure the disabled path.
   obs::RunReport report;
   double observed_ms = 0.0;
-  const PartitionResult observed = run_solver(netlist, 1, &observed_ms, &report);
+  const SolverResult observed = run_solver(netlist, 1, &observed_ms, &report);
   const bool observed_identical =
       observed.partition.plane_of == serial.partition.plane_of &&
       observed.discrete_total == serial.discrete_total &&

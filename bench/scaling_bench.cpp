@@ -19,7 +19,7 @@ void print_scaling() {
   for (const char* name : {"ksa4", "ksa8", "ksa16", "ksa32", "id8", "c3540"}) {
     const Netlist netlist = build_mapped(name);
     for (const int k : {5, 10}) {
-      const PartitionResult result = run_gd(netlist, k);
+      const SolverResult result = run_gd(netlist, k);
       table.add_row({name, std::to_string(netlist.num_partitionable_gates()),
                      std::to_string(static_cast<int>(netlist.unique_edges().size())),
                      std::to_string(k), std::to_string(result.iterations),
@@ -38,11 +38,11 @@ void print_scaling() {
 // Wall-time scaling over circuit size at K = 5.
 void BM_PartitionScaling(::benchmark::State& state, const char* name) {
   const Netlist netlist = build_mapped(name);
-  PartitionOptions options;
+  SolverConfig options;
   options.restarts = 1;
   for (auto _ : state) {
     ::benchmark::DoNotOptimize(
-        Solver(SolverConfig::from(options)).run(netlist)->discrete_total);
+        Solver(options).run(netlist)->discrete_total);
   }
   state.counters["gates"] = netlist.num_partitionable_gates();
   state.counters["edges"] = static_cast<double>(netlist.unique_edges().size());
@@ -56,12 +56,12 @@ BENCHMARK_CAPTURE(BM_PartitionScaling, c3540, "c3540")->Unit(::benchmark::kMilli
 // Wall-time scaling over K for a fixed circuit.
 void BM_KScaling(::benchmark::State& state) {
   const Netlist netlist = build_mapped("c432");
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = static_cast<int>(state.range(0));
   options.restarts = 1;
   for (auto _ : state) {
     ::benchmark::DoNotOptimize(
-        Solver(SolverConfig::from(options)).run(netlist)->discrete_total);
+        Solver(options).run(netlist)->discrete_total);
   }
 }
 BENCHMARK(BM_KScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(::benchmark::kMillisecond);

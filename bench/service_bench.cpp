@@ -1,0 +1,190 @@
+// sfqpartd load generator: cold vs warm service throughput and latency.
+//
+// Drives an in-process Daemon the way the CI smoke drives the binary —
+// multiple client threads submitting sfqpart.job.v1 lines — in two
+// passes over the same job set:
+//
+//   cold: every job is a distinct (circuit, seed) key -> every job runs
+//         an engine;
+//   warm: the identical job set again -> every job is a cache hit, so
+//         the measured cost is the service path alone (parse, validate,
+//         canonicalize, lookup, respond).
+//
+// Prints the table, writes results/BENCH_service.json (jobs/sec and
+// p50/p99 latency per pass, plus the counters proving the warm pass ran
+// zero engines), then runs the google-benchmark timers.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/daemon.h"
+
+namespace sfqpart::bench {
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kJobsPerClient = 8;
+constexpr int kTotalJobs = kClients * kJobsPerClient;
+
+std::string bench_job(int seed, const std::string& id) {
+  return R"({"schema": "sfqpart.job.v1", "id": ")" + id +
+         R"(", "circuit": "ksa8", "options": {"restarts": 1, "seed": )" +
+         std::to_string(seed) + "}}";
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  int hits = 0;
+};
+
+double percentile(std::vector<double> sorted, double fraction) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto index = static_cast<std::size_t>(
+      fraction * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+// One pass: kClients threads each submit kJobsPerClient jobs and block on
+// each response (closed-loop load). Seeds are unique across clients, so
+// the same (client, job) pair maps to the same cache key in every pass.
+PassResult run_pass(service::Daemon& daemon) {
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<int> hit_counts(kClients, 0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&daemon, &latencies, &hit_counts, c] {
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        const int seed = c * kJobsPerClient + j;
+        const std::string line =
+            bench_job(seed, std::to_string(c) + "-" + std::to_string(j));
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string response = daemon.submit_and_wait(line);
+        const auto t1 = std::chrono::steady_clock::now();
+        latencies[static_cast<std::size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        if (response.find("\"cache\":\"hit\"") != std::string::npos) {
+          ++hit_counts[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const auto stop = std::chrono::steady_clock::now();
+
+  PassResult result;
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  result.jobs_per_sec =
+      result.seconds > 0.0 ? kTotalJobs / result.seconds : 0.0;
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  result.p50_ms = percentile(all, 0.50);
+  result.p99_ms = percentile(all, 0.99);
+  for (const int hits : hit_counts) result.hits += hits;
+  return result;
+}
+
+Json pass_json(const PassResult& pass) {
+  return Json::object()
+      .set("jobs", Json::number(static_cast<long long>(kTotalJobs)))
+      .set("seconds", Json::number(pass.seconds))
+      .set("jobs_per_sec", Json::number(pass.jobs_per_sec))
+      .set("p50_ms", Json::number(pass.p50_ms))
+      .set("p99_ms", Json::number(pass.p99_ms))
+      .set("cache_hits", Json::number(static_cast<long long>(pass.hits)));
+}
+
+void run_load_generator() {
+  service::DaemonOptions options;
+  options.workers = 4;
+  options.threads_per_job = 1;
+  options.queue_capacity = 256;
+  options.cache_capacity = 256;
+  service::Daemon daemon(options);
+
+  const PassResult cold = run_pass(daemon);
+  const long long cold_engine_runs = daemon.engine_runs();
+  const PassResult warm = run_pass(daemon);
+  const long long warm_engine_runs = daemon.engine_runs() - cold_engine_runs;
+
+  TablePrinter table({"pass", "jobs/s", "p50 ms", "p99 ms", "engine runs"});
+  table.add_row({"cold", str_format("%.1f", cold.jobs_per_sec),
+                 str_format("%.2f", cold.p50_ms),
+                 str_format("%.2f", cold.p99_ms),
+                 std::to_string(cold_engine_runs)});
+  table.add_row({"warm", str_format("%.1f", warm.jobs_per_sec),
+                 str_format("%.2f", warm.p50_ms),
+                 str_format("%.2f", warm.p99_ms),
+                 std::to_string(warm_engine_runs)});
+  table.print();
+  std::printf("warm speedup: %.1fx (p50), every warm job a cache hit: %s\n",
+              warm.p50_ms > 0.0 ? cold.p50_ms / warm.p50_ms : 0.0,
+              warm.hits == kTotalJobs ? "yes" : "NO");
+
+  const service::CacheStats cache = daemon.cache_stats();
+  Json doc = Json::object();
+  doc.set("bench", Json::string("service"));
+  doc.set("circuit", Json::string("ksa8"));
+  doc.set("clients", Json::number(static_cast<long long>(kClients)));
+  doc.set("jobs_per_client", Json::number(static_cast<long long>(kJobsPerClient)));
+  doc.set("workers", Json::number(static_cast<long long>(options.workers)));
+  doc.set("cold", pass_json(cold));
+  doc.set("warm", pass_json(warm));
+  doc.set("cold_engine_runs", Json::number(cold_engine_runs));
+  doc.set("warm_engine_runs", Json::number(warm_engine_runs));
+  doc.set("cache", Json::object()
+                       .set("hits", Json::number(cache.hits))
+                       .set("misses", Json::number(cache.misses))
+                       .set("evictions", Json::number(cache.evictions)));
+  write_results_json("BENCH_service", doc);
+}
+
+// Steady-state warm latency of one service round trip: parse + validate +
+// canonicalize + cache hit + response. This is the daemon's O(1) path.
+void BM_WarmSubmit(::benchmark::State& state) {
+  service::DaemonOptions options;
+  options.workers = 1;
+  service::Daemon daemon(options);
+  const std::string line = bench_job(1, "bm");
+  daemon.submit_and_wait(line);  // prime the cache
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(daemon.submit_and_wait(line));
+  }
+}
+BENCHMARK(BM_WarmSubmit)->Unit(::benchmark::kMicrosecond);
+
+// Job-line validation alone (no execution): the cost a rejected or
+// malformed request imposes on the daemon.
+void BM_ValidateInvalid(::benchmark::State& state) {
+  service::DaemonOptions options;
+  options.workers = 1;
+  service::Daemon daemon(options);
+  const std::string line =
+      R"({"schema": "sfqpart.job.v1", "circuit": "ksa4",
+          "options": {"planes": 0}})";
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(daemon.submit_and_wait(line));
+  }
+}
+BENCHMARK(BM_ValidateInvalid)->Unit(::benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) {
+  sfqpart::bench::run_load_generator();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

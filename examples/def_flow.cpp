@@ -71,9 +71,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  PartitionOptions popt;
+  SolverConfig popt;
   popt.num_planes = static_cast<int>(options.get_int("planes"));
-  const PartitionResult result = Solver(SolverConfig::from(popt)).run(*netlist).value();
+  const SolverResult result = Solver(popt).run(*netlist).value();
   const PartitionMetrics metrics = compute_metrics(*netlist, result.partition);
   std::fputs(format_partition_report(*netlist, result.partition, metrics).c_str(),
              stdout);

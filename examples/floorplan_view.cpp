@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
   }
   const Netlist netlist = build_mapped(*entry);
 
-  PartitionOptions popt;
+  SolverConfig popt;
   popt.num_planes = static_cast<int>(options.get_int("planes"));
-  const PartitionResult result = Solver(SolverConfig::from(popt)).run(netlist).value();
+  const SolverResult result = Solver(popt).run(netlist).value();
 
   FloorplanOptions fopt;
   fopt.ordering_passes = static_cast<int>(options.get_int("passes"));

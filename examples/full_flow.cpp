@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", solved.status().message().c_str());
     return 1;
   }
-  const PartitionResult& result = *solved;
+  const SolverResult& result = *solved;
   const PartitionMetrics metrics = compute_metrics(netlist, result.partition);
   std::fputs(format_partition_report(netlist, result.partition, metrics).c_str(),
              stdout);

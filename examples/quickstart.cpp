@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", solved.status().message().c_str());
     return 1;
   }
-  const PartitionResult& result = *solved;
+  const SolverResult& result = *solved;
   std::printf("\noptimizer (%d threads): %d iterations, %s, discrete cost %.6f "
               "(F1=%.4f F2=%.4f F3=%.4f)\n\n",
               solver.effective_threads(), result.iterations,

@@ -36,10 +36,10 @@ int main(int argc, char** argv) {
   }
   const Netlist netlist = build_mapped(*entry);
 
-  PartitionOptions popt;
+  SolverConfig popt;
   popt.num_planes = static_cast<int>(options.get_int("planes"));
   popt.seed = static_cast<std::uint64_t>(options.get_int("seed"));
-  const PartitionResult result = Solver(SolverConfig::from(popt)).run(netlist).value();
+  const SolverResult result = Solver(popt).run(netlist).value();
   const PartitionMetrics metrics = compute_metrics(netlist, result.partition);
   std::fputs(format_partition_report(netlist, result.partition, metrics).c_str(),
              stdout);

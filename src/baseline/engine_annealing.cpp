@@ -15,10 +15,14 @@ namespace {
 class AnnealingAdapter final : public EngineAdapter {
  public:
   const char* name() const override { return "annealing"; }
-  const char* describe_options() const override {
+  const char* description() const override {
     return "simulated annealing of the discrete weighted F1..F3 objective "
-           "with single-gate moves under geometric cooling; honors seed "
-           "and weights";
+           "with single-gate moves under geometric cooling";
+  }
+  std::vector<OptionSpec> describe_options() const override {
+    std::vector<OptionSpec> specs = {planes_spec(), seed_spec()};
+    for (OptionSpec& spec : weight_specs()) specs.push_back(std::move(spec));
+    return specs;
   }
 
  protected:

@@ -16,9 +16,12 @@ namespace {
 class FmKwayAdapter final : public EngineAdapter {
  public:
   const char* name() const override { return "fm_kway"; }
-  const char* describe_options() const override {
+  const char* description() const override {
     return "classic Fiduccia-Mattheyses K-way min-cut (cut-count objective, "
-           "bias-balance constraint); honors seed";
+           "bias-balance constraint)";
+  }
+  std::vector<OptionSpec> describe_options() const override {
+    return {planes_spec(), seed_spec()};
   }
 
  protected:

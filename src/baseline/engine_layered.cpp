@@ -17,9 +17,12 @@ namespace {
 class LayeredAdapter final : public EngineAdapter {
  public:
   const char* name() const override { return "layered"; }
-  const char* describe_options() const override {
-    return "topological order sliced into K contiguous equal-bias bands; "
-           "deterministic, ignores seed/restarts/threads";
+  const char* description() const override {
+    return "topological order sliced into K contiguous equal-bias bands "
+           "(deterministic and seedless)";
+  }
+  std::vector<OptionSpec> describe_options() const override {
+    return {planes_spec()};
   }
 
  protected:

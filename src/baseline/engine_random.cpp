@@ -17,9 +17,11 @@ namespace {
 class RandomAdapter final : public EngineAdapter {
  public:
   const char* name() const override { return "random"; }
-  const char* describe_options() const override {
-    return "shuffled round-robin balanced assignment (lower baseline); "
-           "honors seed";
+  const char* description() const override {
+    return "shuffled round-robin balanced assignment (lower baseline)";
+  }
+  std::vector<OptionSpec> describe_options() const override {
+    return {planes_spec(), seed_spec()};
   }
 
  protected:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <mutex>
 
@@ -12,6 +13,139 @@
 #include "util/strings.h"
 
 namespace sfqpart {
+
+const char* option_type_name(OptionSpec::Type type) {
+  switch (type) {
+    case OptionSpec::Type::kBool: return "bool";
+    case OptionSpec::Type::kInt: return "int";
+    case OptionSpec::Type::kDouble: return "double";
+  }
+  return "unknown";
+}
+
+Json OptionSpec::to_json() const {
+  Json json = Json::object()
+                  .set("name", Json::string(name))
+                  .set("type", Json::string(option_type_name(type)));
+  if (type == OptionSpec::Type::kBool) {
+    json.set("default", Json::boolean(default_value != 0.0));
+  } else if (type == OptionSpec::Type::kInt) {
+    json.set("default", Json::number(static_cast<long long>(default_value)));
+  } else {
+    json.set("default", Json::number(default_value));
+  }
+  if (std::isfinite(min_value)) {
+    json.set("min", type == OptionSpec::Type::kDouble
+                        ? Json::number(min_value)
+                        : Json::number(static_cast<long long>(min_value)));
+  }
+  if (std::isfinite(max_value)) {
+    json.set("max", type == OptionSpec::Type::kDouble
+                        ? Json::number(max_value)
+                        : Json::number(static_cast<long long>(max_value)));
+  }
+  return json.set("doc", Json::string(doc));
+}
+
+namespace {
+
+// Numeric value of one validated option; bools are 0/1.
+Status option_value(const OptionSpec& spec, const Json& value, double& out) {
+  if (spec.type == OptionSpec::Type::kBool) {
+    if (!value.is_bool()) {
+      return Status::invalid_argument(str_format(
+          "option '%s' must be a bool", spec.name.c_str()));
+    }
+    out = value.as_bool() ? 1.0 : 0.0;
+    return Status::ok();
+  }
+  if (!value.is_number()) {
+    return Status::invalid_argument(str_format(
+        "option '%s' must be a number", spec.name.c_str()));
+  }
+  const double number = value.as_number();
+  if (!std::isfinite(number)) {
+    return Status::invalid_argument(str_format(
+        "option '%s' must be finite", spec.name.c_str()));
+  }
+  if (spec.type == OptionSpec::Type::kInt &&
+      number != static_cast<double>(static_cast<long long>(number))) {
+    return Status::invalid_argument(str_format(
+        "option '%s' must be an integer, got %g", spec.name.c_str(), number));
+  }
+  if (number < spec.min_value || number > spec.max_value) {
+    return Status::invalid_argument(str_format(
+        "option '%s' = %g is out of range [%g, %g]", spec.name.c_str(),
+        number, spec.min_value, spec.max_value));
+  }
+  out = number;
+  return Status::ok();
+}
+
+// Writes one resolved option onto the EngineContext field it names.
+Status set_context_field(const std::string& name, double value,
+                         EngineContext& context) {
+  if (name == "planes") context.num_planes = static_cast<int>(value);
+  else if (name == "seed") context.seed = static_cast<std::uint64_t>(value);
+  else if (name == "restarts") context.restarts = static_cast<int>(value);
+  else if (name == "threads") context.threads = static_cast<int>(value);
+  else if (name == "refine") context.refine = value != 0.0;
+  else if (name == "c1") context.weights.c1 = value;
+  else if (name == "c2") context.weights.c2 = value;
+  else if (name == "c3") context.weights.c3 = value;
+  else if (name == "c4") context.weights.c4 = value;
+  else if (name == "distance_exponent")
+    context.weights.distance_exponent = static_cast<int>(value);
+  else
+    return Status::invalid_argument(str_format(
+        "option spec '%s' maps to no EngineContext field", name.c_str()));
+  return Status::ok();
+}
+
+}  // namespace
+
+Status apply_engine_options(const std::vector<OptionSpec>& specs,
+                            const Json& options, EngineContext& context,
+                            std::string* canonical) {
+  if (!options.is_object() && !options.is_null()) {
+    return Status::invalid_argument("options must be a JSON object");
+  }
+  // Reject unknown names first: a typo'd knob silently keeping its default
+  // is the failure mode a serving API cannot afford.
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    const std::string& key = options.key_at(i);
+    bool known = false;
+    for (const OptionSpec& spec : specs) known |= spec.name == key;
+    if (!known) {
+      std::string names;
+      for (const OptionSpec& spec : specs) {
+        if (!names.empty()) names += ", ";
+        names += spec.name;
+      }
+      return Status::invalid_argument(str_format(
+          "unknown option '%s' (known: %s)", key.c_str(), names.c_str()));
+    }
+  }
+  if (canonical != nullptr) canonical->clear();
+  for (const OptionSpec& spec : specs) {
+    double value = spec.default_value;
+    if (const Json* provided = options.find(spec.name); provided != nullptr) {
+      if (Status status = option_value(spec, *provided, value); !status) {
+        return status;
+      }
+    }
+    if (Status status = set_context_field(spec.name, value, context); !status) {
+      return status;
+    }
+    // "threads" is excluded from the canonical form: the determinism
+    // contract makes results bit-identical at any thread count, so two
+    // jobs differing only in their thread budget are the same result.
+    if (canonical != nullptr && spec.name != "threads") {
+      *canonical += str_format("%s=%.17g;", spec.name.c_str(), value);
+    }
+  }
+  return Status::ok();
+}
 
 Status EngineContext::validate() const {
   if (num_planes < 2) {
@@ -130,6 +264,68 @@ StatusOr<std::unique_ptr<PartitionEngine>> EngineRegistry::create(
 }
 
 namespace engine_detail {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+OptionSpec make_spec(const char* name, OptionSpec::Type type,
+                     double default_value, double min_value, double max_value,
+                     const char* doc) {
+  OptionSpec spec;
+  spec.name = name;
+  spec.type = type;
+  spec.default_value = default_value;
+  spec.min_value = min_value;
+  spec.max_value = max_value;
+  spec.doc = doc;
+  return spec;
+}
+
+}  // namespace
+
+OptionSpec planes_spec() {
+  return make_spec("planes", OptionSpec::Type::kInt, 5, 2, 1024,
+                   "number of ground planes K");
+}
+
+OptionSpec seed_spec() {
+  return make_spec("seed", OptionSpec::Type::kInt, 1, 0, 9.007199254740992e15,
+                   "random seed; results are deterministic per seed");
+}
+
+OptionSpec restarts_spec() {
+  return make_spec("restarts", OptionSpec::Type::kInt, 3, 1, 4096,
+                   "independent random restarts; best discrete cost wins");
+}
+
+OptionSpec threads_spec() {
+  return make_spec("threads", OptionSpec::Type::kInt, 1, 0, 512,
+                   "worker threads (0 = hardware concurrency); never changes "
+                   "the result");
+}
+
+OptionSpec refine_spec() {
+  return make_spec("refine", OptionSpec::Type::kBool, 0, -kInf, kInf,
+                   "post-hardening greedy refinement (not part of the "
+                   "published algorithm)");
+}
+
+std::vector<OptionSpec> weight_specs() {
+  return {
+      make_spec("c1", OptionSpec::Type::kDouble, CostWeights{}.c1, -kInf, kInf,
+                "weight of the F1 locality term"),
+      make_spec("c2", OptionSpec::Type::kDouble, CostWeights{}.c2, -kInf, kInf,
+                "weight of the F2 bias-balance term"),
+      make_spec("c3", OptionSpec::Type::kDouble, CostWeights{}.c3, -kInf, kInf,
+                "weight of the F3 area-balance term"),
+      make_spec("c4", OptionSpec::Type::kDouble, CostWeights{}.c4, -kInf, kInf,
+                "weight of the F4 one-hot pressure term"),
+      make_spec("distance_exponent", OptionSpec::Type::kInt,
+                CostWeights{}.distance_exponent, 1, 12,
+                "plane-distance exponent of the F1 term"),
+  };
+}
 
 namespace {
 

@@ -32,6 +32,7 @@
 
 #include "core/cost_model.h"
 #include "core/partition.h"
+#include "util/json.h"
 #include "util/status.h"
 
 namespace sfqpart {
@@ -39,6 +40,47 @@ namespace sfqpart {
 namespace obs {
 class SolverObserver;
 }  // namespace obs
+
+// One engine knob, machine-readable: name, value type, default, inclusive
+// numeric range and a one-line doc. Engines advertise their knobs as a
+// list of these (PartitionEngine::describe_options); the sfqpartd daemon
+// validates job options against them, and `sfqpart --list-engines --json`
+// serializes them for tooling. The names map onto EngineContext fields
+// ("planes", "seed", "restarts", "threads", "refine", "c1".."c4",
+// "distance_exponent"); apply_engine_options() below performs the mapping.
+struct OptionSpec {
+  enum class Type { kBool, kInt, kDouble };
+
+  std::string name;
+  Type type = Type::kDouble;
+  // Default as a double; bools use 0/1, integers are exact up to 2^53.
+  double default_value = 0.0;
+  // Inclusive range; +-infinity means unbounded on that side (and the
+  // bound is omitted from the JSON form).
+  double min_value;
+  double max_value;
+  std::string doc;
+
+  // {"name":..., "type":"bool|int|double", "default":..., "min":...,
+  //  "max":..., "doc":...}
+  Json to_json() const;
+};
+
+const char* option_type_name(OptionSpec::Type type);
+
+// Validates `options` (a JSON object of name -> scalar) against `specs`
+// and applies the values onto `context`: unknown names, non-scalar or
+// type-mismatched values, non-finite numbers and out-of-range values all
+// fail with kInvalidArgument naming the offending option. Omitted options
+// keep the spec default. When `canonical` is non-null it receives the
+// canonical form of the *effective* configuration — every spec in list
+// order with its resolved value, independent of option order, spelling or
+// whitespace in `options` — except "threads", which never changes results
+// (the determinism contract: bit-identical labels at any thread count) and
+// is therefore excluded so result caches can key on the canonical string.
+Status apply_engine_options(const std::vector<OptionSpec>& specs,
+                            const Json& options, struct EngineContext& context,
+                            std::string* canonical = nullptr);
 
 // The knobs shared by every engine. Engine-specific tuning (cooling
 // schedules, FM pass limits, coarsening targets) keeps its historical
@@ -99,9 +141,14 @@ class PartitionEngine {
   // Registry name ("gradient", "multilevel", "annealing", "fm_kway",
   // "layered", "random").
   virtual const char* name() const = 0;
-  // One-line human-readable description of the objective and the knobs
-  // the engine honors (CLI --list-engines).
-  virtual const char* describe_options() const = 0;
+  // One-line human-readable description of the engine's objective (CLI
+  // --list-engines).
+  virtual const char* description() const = 0;
+  // The structured list of knobs the engine honors: every EngineContext
+  // field the engine actually reads, with type, default, range and doc.
+  // Knobs absent from the list are ignored by the engine (and rejected by
+  // the daemon's job validation). Serialized by --list-engines --json.
+  virtual std::vector<OptionSpec> describe_options() const = 0;
 
   virtual StatusOr<EngineRun> run(const Netlist& netlist,
                                   const EngineContext& context) const = 0;

@@ -37,6 +37,16 @@ class EngineAdapter : public PartitionEngine {
   virtual bool self_observing() const { return true; }
 };
 
+// Shared OptionSpec builders for the EngineContext knobs, so the six
+// adapters advertise identical specs for the knobs they have in common.
+OptionSpec planes_spec();
+OptionSpec seed_spec();
+OptionSpec restarts_spec();
+OptionSpec threads_spec();
+OptionSpec refine_spec();
+// c1..c4 and distance_exponent of the shared weighted objective.
+std::vector<OptionSpec> weight_specs();
+
 // Built-in engine factories (one adapter per file).
 std::unique_ptr<PartitionEngine> make_gradient_engine();
 std::unique_ptr<PartitionEngine> make_multilevel_engine();

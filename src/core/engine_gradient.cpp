@@ -15,10 +15,16 @@ namespace {
 class GradientAdapter final : public EngineAdapter {
  public:
   const char* name() const override { return "gradient"; }
-  const char* describe_options() const override {
+  const char* description() const override {
     return "gradient-descent relaxation of the weighted F1..F4 objective "
-           "(the paper's Algorithm 1); honors seed, restarts, threads, "
-           "refine and weights";
+           "(the paper's Algorithm 1)";
+  }
+  std::vector<OptionSpec> describe_options() const override {
+    std::vector<OptionSpec> specs = {planes_spec(), seed_spec(),
+                                     restarts_spec(), threads_spec(),
+                                     refine_spec()};
+    for (OptionSpec& spec : weight_specs()) specs.push_back(std::move(spec));
+    return specs;
   }
 
  protected:
@@ -33,7 +39,7 @@ class GradientAdapter final : public EngineAdapter {
     config.refine = context.refine;
     config.weights = context.weights;
     config.observer = context.observer;
-    StatusOr<PartitionResult> result = Solver(std::move(config)).run(netlist);
+    StatusOr<SolverResult> result = Solver(std::move(config)).run(netlist);
     if (!result) return result.status();
     counters.emplace_back("iterations", result->iterations);
     counters.emplace_back("winning_restart", result->winning_restart);

@@ -15,10 +15,15 @@ namespace {
 class MultilevelAdapter final : public EngineAdapter {
  public:
   const char* name() const override { return "multilevel"; }
-  const char* describe_options() const override {
+  const char* description() const override {
     return "heavy-edge coarsening + coarse gradient-descent solve + "
-           "projected greedy refinement; honors seed, restarts, threads "
-           "and weights";
+           "projected greedy refinement";
+  }
+  std::vector<OptionSpec> describe_options() const override {
+    std::vector<OptionSpec> specs = {planes_spec(), seed_spec(),
+                                     restarts_spec(), threads_spec()};
+    for (OptionSpec& spec : weight_specs()) specs.push_back(std::move(spec));
+    return specs;
   }
 
  protected:

@@ -48,10 +48,10 @@ FeedbackResult partition_with_coupling_feedback(const Netlist& netlist,
   double best_icomp = 1e300;
   for (int round = 0; round < options.max_rounds; ++round) {
     result.rounds = round + 1;
-    PartitionOptions round_options = options.base;
+    SolverConfig round_options = options.base;
     round_options.seed = options.base.seed + static_cast<std::uint64_t>(round);
     const LabelResult solved =
-        Solver(SolverConfig::from(round_options)).solve(problem).value();
+        Solver(round_options).solve(problem).value();
     const Partition partition =
         problem.to_partition(solved.labels, netlist.num_gates());
 

@@ -10,12 +10,12 @@
 // is good.
 #pragma once
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 
 namespace sfqpart {
 
 struct FeedbackOptions {
-  PartitionOptions base;
+  SolverConfig base;
   // Maximum partition/insert/re-weight rounds (the first round is the
   // plain paper flow).
   int max_rounds = 4;

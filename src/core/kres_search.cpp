@@ -29,10 +29,10 @@ KresResult find_min_planes(const Netlist& netlist, const KresOptions& options) {
   result.k_lb = std::max(2, static_cast<int>(std::ceil(total_bias / options.bias_limit_ma)));
 
   for (int k = result.k_lb; k <= options.max_planes; ++k) {
-    PartitionOptions attempt = options.base;
+    SolverConfig attempt = options.base;
     attempt.num_planes = k;
     const PartitionProblem problem = PartitionProblem::from_netlist(netlist, k);
-    PartitionResult partition = Solver(SolverConfig::from(attempt))
+    SolverResult partition = Solver(attempt)
                                     .run(problem, netlist.num_gates())
                                     .value();
     const double bmax = max_plane_bias(problem, partition.partition);

@@ -7,7 +7,7 @@
 // produces a feasible stack.
 #pragma once
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 
 namespace sfqpart {
 
@@ -18,7 +18,7 @@ struct KresOptions {
   int max_planes = 256;
   // Base options for each partitioning attempt; num_planes is overwritten
   // by the search.
-  PartitionOptions base;
+  SolverConfig base;
 };
 
 struct KresResult {
@@ -26,7 +26,7 @@ struct KresResult {
   int k_lb = 0;   // ceil(B_cir / B_limit)
   int k_res = 0;  // smallest feasible K found
   double bmax_ma = 0.0;
-  PartitionResult result;  // the feasible partition (valid when found)
+  SolverResult result;  // the feasible partition (valid when found)
 };
 
 KresResult find_min_planes(const Netlist& netlist, const KresOptions& options = {});

@@ -153,13 +153,13 @@ MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
   // Solver inherits the observer, so its event stream (run lifecycle,
   // iterations, ...) lands in the same report/trace; RunReport keeps the
   // outermost run_start and the final run_end when engines nest.
-  PartitionOptions coarse_options = options.coarse;
+  SolverConfig coarse_options = options.coarse;
   coarse_options.num_planes = num_planes;
   std::vector<int> labels;
   {
     obs::ScopedTimer timer(&sink, "coarse_solve");
-    SolverConfig coarse_config =
-        SolverConfig::from(coarse_options, options.threads);
+    SolverConfig coarse_config = coarse_options;
+    coarse_config.threads = options.threads;
     coarse_config.observer = options.observer;
     // The asserts in StatusOr::value mirror the old solve_labels contract:
     // the inputs were validated above, so failure here is a programmer bug.

@@ -11,7 +11,7 @@
 // multiplicity, preserving F1's edge weighting.
 #pragma once
 
-#include "core/partitioner.h"
+#include "core/solver.h"
 
 namespace sfqpart {
 
@@ -26,7 +26,7 @@ struct MultilevelOptions {
   int max_levels = 20;
   // Options for the coarse-level gradient-descent solve; num_planes is
   // overwritten by the multilevel driver.
-  PartitionOptions coarse;
+  SolverConfig coarse;
   // Refinement applied after each projection.
   RefineOptions refine;
   std::uint64_t seed = 1;

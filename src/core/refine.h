@@ -1,7 +1,7 @@
 // Greedy discrete refinement of a hardened partition.
 //
 // The paper stops at the argmax of the converged soft assignment. This
-// optional pass (off by default for paper fidelity, see PartitionOptions)
+// optional pass (off by default for paper fidelity, see SolverConfig)
 // sweeps gates in random order and applies single-gate moves that reduce
 // the *discrete* weighted cost, using incremental delta evaluation. It is
 // the ablation point A2 of DESIGN.md.

@@ -85,20 +85,6 @@ struct RestartOutcome {
 
 }  // namespace
 
-SolverConfig SolverConfig::from(const PartitionOptions& options, int threads) {
-  SolverConfig config;
-  config.num_planes = options.num_planes;
-  config.restarts = options.restarts;
-  config.seed = options.seed;
-  config.threads = threads;
-  config.refine = options.refine;
-  config.weights = options.weights;
-  config.gradient_style = options.gradient_style;
-  config.optimizer = options.optimizer;
-  config.refine_options = options.refine_options;
-  return config;
-}
-
 Solver::Solver(SolverConfig config) : config_(std::move(config)) {
   if (config_.threads >= 0 && effective_threads() > 1) {
     pool_ = std::make_unique<ThreadPool>(effective_threads());
@@ -237,11 +223,11 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
   return result;
 }
 
-StatusOr<PartitionResult> Solver::run(const PartitionProblem& problem,
+StatusOr<SolverResult> Solver::run(const PartitionProblem& problem,
                                       int netlist_num_gates) const {
   StatusOr<LabelResult> solved = solve(problem);
   if (!solved) return solved.status();
-  PartitionResult result;
+  SolverResult result;
   result.partition = problem.to_partition(solved->labels, netlist_num_gates);
   result.soft_terms = solved->soft_terms;
   result.discrete_terms = solved->discrete_terms;
@@ -252,7 +238,7 @@ StatusOr<PartitionResult> Solver::run(const PartitionProblem& problem,
   return result;
 }
 
-StatusOr<PartitionResult> Solver::run(const Netlist& netlist) const {
+StatusOr<SolverResult> Solver::run(const Netlist& netlist) const {
   if (config_.num_planes < 2) {
     return Status::error(str_format(
         "Solver: num_planes must be >= 2 (got %d)", config_.num_planes));

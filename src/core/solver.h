@@ -1,10 +1,15 @@
 // Solver — the library's single partitioning entry point.
 //
-// One SolverConfig aggregates every knob that used to be scattered across
-// PartitionOptions / OptimizerOptions / RefineOptions / CostWeights (those
-// structs remain, as implementation detail), one StatusOr-returning run()
-// replaces asserts at the API boundary, and the independent random
-// restarts of the search execute on a thread pool.
+// One SolverConfig aggregates every knob of the gradient-descent flow
+// (netlist + K -> PartitionProblem -> random soft init -> gradient descent
+// (Algorithm 1) -> argmax hardening (-> optional greedy refinement) ->
+// Partition), one StatusOr-returning run() replaces asserts at the API
+// boundary, and the independent random restarts of the search execute on a
+// thread pool. The pre-facade option/result structs that used to live in
+// core/partitioner.h were removed with
+// the DESIGN.md section 8.4 deprecation; SolverConfig / SolverResult /
+// LabelResult below are their only successors, and the EngineRegistry
+// (core/engine.h) is the uniform surface over every engine.
 //
 // Determinism contract (DESIGN.md section 7): for a fixed seed the output
 // — labels, cost terms, winning restart — is bit-identical at every
@@ -19,8 +24,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
-#include "core/partitioner.h"
+#include "core/cost_model.h"
+#include "core/optimizer.h"
+#include "core/partition.h"
+#include "core/refine.h"
 #include "util/status.h"
 
 namespace sfqpart {
@@ -58,9 +67,32 @@ struct SolverConfig {
   // obs::MulticastObserver for both. With no observer attached the
   // instrumented paths cost one branch (DESIGN.md section 8).
   obs::SolverObserver* observer = nullptr;
+};
 
-  // Bridge for legacy call sites still holding a PartitionOptions.
-  static SolverConfig from(const PartitionOptions& options, int threads = 1);
+// One Solver::run outcome: the hardened netlist-level partition plus the
+// soft/discrete costs and convergence facts of the winning restart.
+struct SolverResult {
+  Partition partition;
+  CostTerms soft_terms;        // relaxed cost at the winning restart's W
+  CostTerms discrete_terms;    // cost of the hardened assignment
+  double discrete_total = 0.0; // weighted discrete cost used for selection
+  int iterations = 0;          // optimizer iterations of the winning restart
+  int winning_restart = 0;
+  bool converged = false;
+};
+
+// Core-solve result as compact labels (0-based planes indexed like the
+// problem), for callers that manage their own problems (e.g. the
+// multilevel driver, whose coarse problems do not map to netlist gates).
+// Produced by Solver::solve.
+struct LabelResult {
+  std::vector<int> labels;
+  CostTerms soft_terms;
+  CostTerms discrete_terms;
+  double discrete_total = 0.0;
+  int iterations = 0;
+  int winning_restart = 0;
+  bool converged = false;
 };
 
 class Solver {
@@ -77,13 +109,13 @@ class Solver {
   // Partition a netlist end to end. Errors (K < 2, no partitionable
   // gates, non-positive learning rate, ...) come back as Status instead
   // of tripping asserts.
-  StatusOr<PartitionResult> run(const Netlist& netlist) const;
+  StatusOr<SolverResult> run(const Netlist& netlist) const;
 
   // Same flow on a prebuilt problem (benches that sweep K without
   // re-extracting the netlist). `netlist_num_gates` sizes the expanded
   // Partition. The problem's num_planes takes precedence over
   // config().num_planes.
-  StatusOr<PartitionResult> run(const PartitionProblem& problem,
+  StatusOr<SolverResult> run(const PartitionProblem& problem,
                                 int netlist_num_gates) const;
 
   // Core solve returning compact labels for callers that manage their own

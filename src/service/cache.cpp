@@ -1,0 +1,82 @@
+#include "service/cache.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/hash.h"
+
+namespace sfqpart::service {
+
+std::string CacheKey::full() const {
+  return hash_hex(netlist_hash) + "|" + config;
+}
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards,
+                         obs::TraceSink* sink)
+    : shards_(std::max<std::size_t>(1, shards)),
+      per_shard_capacity_(
+          std::max<std::size_t>(1, (capacity + shards_.size() - 1) /
+                                       shards_.size())),
+      sink_(sink) {}
+
+ResultCache::Shard& ResultCache::shard_for(const std::string& full_key) {
+  return shards_[Fnv1a64::of(full_key) % shards_.size()];
+}
+
+std::optional<std::string> ResultCache::lookup(const CacheKey& key) {
+  const std::string full = key.full();
+  Shard& shard = shard_for(full);
+  std::optional<std::string> report;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(full);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+    } else {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      report = it->second->report;
+    }
+  }
+  // Counters emit outside the shard lock; the sink serializes internally.
+  if (sink_ != nullptr) sink_->counter(report ? "cache_hit" : "cache_miss", 1);
+  return report;
+}
+
+void ResultCache::insert(const CacheKey& key, std::string report) {
+  const std::string full = key.full();
+  Shard& shard = shard_for(full);
+  bool evicted = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.index.find(full); it != shard.index.end()) {
+      it->second->report = std::move(report);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+      evicted = true;
+    }
+    shard.lru.push_front(Entry{full, std::move(report)});
+    shard.index.emplace(shard.lru.front().key, shard.lru.begin());
+  }
+  if (evicted && sink_ != nullptr) sink_->counter("cache_evict", 1);
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats out;
+  out.capacity = per_shard_capacity_ * shards_.size();
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+}  // namespace sfqpart::service

@@ -1,0 +1,98 @@
+// Content-addressed result cache for the sfqpartd daemon.
+//
+// Key = (netlist content hash, canonical engine configuration). The
+// canonical configuration string comes from apply_engine_options(): every
+// spec of the engine in list order with its resolved value, so two jobs
+// that spell the same configuration differently (option order, "0.25" vs
+// "2.5e-1", omitted defaults) key identically — and "threads" is excluded
+// because the engines' determinism contract makes it result-neutral.
+// That contract (fixed seed => bit-identical labels at any thread count,
+// pinned by tests/core/parallel_determinism_test.cpp) is what makes
+// result caching safe at all: a cached run_report.v1 is byte-identical to
+// what re-running the job would produce, modulo wall-clock.
+//
+// Values are frozen report strings: the daemon dumps each run_report.v1
+// once and serves hits from the stored bytes, so a warm repeat costs one
+// lookup, not an engine run.
+//
+// Sharded LRU: the key hash picks a shard, each shard holds its own
+// mutex + LRU list, so concurrent workers don't serialize on one lock.
+// Entries store the full key string and compare it on lookup — a 64-bit
+// hash collision degrades to an honest miss, never a wrong report.
+// Hit/miss/eviction counts flow through the observability layer as
+// CounterEvents ("cache_hit", "cache_miss", "cache_evict") when a sink is
+// attached, and are always available via stats().
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace_sink.h"
+
+namespace sfqpart::service {
+
+struct CacheKey {
+  std::uint64_t netlist_hash = 0;
+  // Engine name + canonical option string (apply_engine_options output).
+  std::string config;
+
+  // The exact string stored and compared inside the cache.
+  std::string full() const;
+};
+
+struct CacheStats {
+  long long hits = 0;
+  long long misses = 0;
+  long long evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+class ResultCache {
+ public:
+  // `capacity` is the total entry budget, split evenly across `shards`
+  // (each shard gets at least one slot). `sink` (optional, not owned)
+  // receives the counter events.
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8,
+                       obs::TraceSink* sink = nullptr);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // The cached report string, or nullopt. A hit refreshes LRU recency.
+  std::optional<std::string> lookup(const CacheKey& key);
+
+  // Inserts (or refreshes) the report under `key`, evicting the shard's
+  // least-recently-used entry when the shard is full.
+  void insert(const CacheKey& key, std::string report);
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string report;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    long long hits = 0;
+    long long misses = 0;
+    long long evictions = 0;
+  };
+
+  Shard& shard_for(const std::string& full_key);
+
+  std::vector<Shard> shards_;
+  std::size_t per_shard_capacity_;
+  obs::TraceSink* sink_;
+};
+
+}  // namespace sfqpart::service

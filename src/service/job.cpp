@@ -1,0 +1,101 @@
+#include "service/job.h"
+
+#include "util/strings.h"
+
+namespace sfqpart::service {
+
+namespace {
+
+// Requires `key` to be absent or a string; empties on absence.
+Status read_string_field(const Json& doc, const char* key, std::string& out) {
+  const Json* field = doc.find(key);
+  if (field == nullptr) {
+    out.clear();
+    return Status::ok();
+  }
+  if (!field->is_string()) {
+    return Status::invalid_argument(
+        str_format("job field '%s' must be a string", key));
+  }
+  out = field->as_string();
+  return Status::ok();
+}
+
+}  // namespace
+
+bool is_admin_command(const Json& doc) {
+  return doc.is_object() && doc.find("cmd") != nullptr;
+}
+
+StatusOr<JobRequest> parse_job(const Json& doc) {
+  if (!doc.is_object()) {
+    return Status::invalid_argument("job must be a JSON object");
+  }
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return Status::invalid_argument(
+        str_format("job is missing the schema tag (expected \"%s\")",
+                   kJobSchema));
+  }
+  if (schema->as_string() != kJobSchema) {
+    return Status::invalid_argument(
+        str_format("unsupported job schema '%s' (this daemon speaks \"%s\")",
+                   schema->as_string().c_str(), kJobSchema));
+  }
+
+  JobRequest job;
+  if (Status s = read_string_field(doc, "id", job.id); !s) return s;
+  if (Status s = read_string_field(doc, "circuit", job.circuit); !s) return s;
+  if (Status s = read_string_field(doc, "netlist_file", job.netlist_file); !s) {
+    return s;
+  }
+  if (Status s = read_string_field(doc, "netlist_verilog", job.netlist_verilog);
+      !s) {
+    return s;
+  }
+
+  const int sources = (job.circuit.empty() ? 0 : 1) +
+                      (job.netlist_file.empty() ? 0 : 1) +
+                      (job.netlist_verilog.empty() ? 0 : 1);
+  if (sources != 1) {
+    return Status::invalid_argument(
+        "job must name exactly one netlist source: 'circuit', "
+        "'netlist_file' or 'netlist_verilog'");
+  }
+  if (!job.circuit.empty()) {
+    job.source = JobRequest::Source::kCircuit;
+  } else if (!job.netlist_file.empty()) {
+    job.source = JobRequest::Source::kFile;
+  } else {
+    job.source = JobRequest::Source::kInlineVerilog;
+  }
+
+  std::string engine;
+  if (Status s = read_string_field(doc, "engine", engine); !s) return s;
+  if (!engine.empty()) job.engine = engine;
+
+  if (const Json* priority = doc.find("priority"); priority != nullptr) {
+    if (!priority->is_number()) {
+      return Status::invalid_argument("job field 'priority' must be an integer");
+    }
+    const long long value = priority->as_int();
+    if (static_cast<double>(value) != priority->as_number() || value < 0 ||
+        value >= kNumPriorities) {
+      return Status::invalid_argument(
+          str_format("job priority must be an integer in [0, %d] (0 = most "
+                     "urgent)",
+                     kNumPriorities - 1));
+    }
+    job.priority = static_cast<int>(value);
+  }
+
+  if (const Json* options = doc.find("options"); options != nullptr) {
+    if (!options->is_object()) {
+      return Status::invalid_argument("job field 'options' must be an object");
+    }
+    job.options = *options;
+  }
+  return job;
+}
+
+}  // namespace sfqpart::service

@@ -1,0 +1,57 @@
+// sfqpart.job.v1 — the versioned job line the sfqpartd daemon consumes.
+//
+// One JSON object per line:
+//
+//   {"schema": "sfqpart.job.v1", "id": "j1", "circuit": "ksa8",
+//    "engine": "gradient", "priority": 1,
+//    "options": {"planes": 5, "seed": 7}}
+//
+// The netlist comes from exactly one of three sources: "circuit" (a
+// builtin benchmark name, see `sfqpart list`), "netlist_file" (a .def or
+// structural-Verilog path, hashed by file *content* so cache keys survive
+// renames and notice edits) or "netlist_verilog" (inline structural
+// Verilog source). "options" is validated by the daemon against the
+// engine's structured OptionSpec list (apply_engine_options), so option
+// errors name the offending knob before any compute is spent.
+//
+// Lines whose object carries a "cmd" key instead of "schema" are admin
+// commands ("stats", "engines", "shutdown"), not jobs.
+#pragma once
+
+#include <string>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace sfqpart::service {
+
+inline constexpr char kJobSchema[] = "sfqpart.job.v1";
+inline constexpr char kResponseSchema[] = "sfqpart.job_response.v1";
+
+// Priorities 0..3; 0 is most urgent. FIFO within a priority.
+inline constexpr int kNumPriorities = 4;
+inline constexpr int kDefaultPriority = 1;
+
+struct JobRequest {
+  enum class Source { kCircuit, kFile, kInlineVerilog };
+
+  std::string id;
+  Source source = Source::kCircuit;
+  std::string circuit;          // builtin suite name
+  std::string netlist_file;     // .def / .v path
+  std::string netlist_verilog;  // inline structural Verilog source
+  std::string engine = "gradient";
+  int priority = kDefaultPriority;
+  Json options = Json::object();  // engine knobs; validated by the daemon
+};
+
+// Structural validation of one parsed job line: schema tag, exactly one
+// netlist source, priority range, options an object, id/engine strings.
+// Engine-name existence and option values are the daemon's job (they need
+// the registry). kInvalidArgument on any violation.
+StatusOr<JobRequest> parse_job(const Json& doc);
+
+// True when the line is an admin command ({"cmd": ...}) rather than a job.
+bool is_admin_command(const Json& doc);
+
+}  // namespace sfqpart::service

@@ -1,0 +1,58 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sfqpart::service {
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool JobQueue::push(int priority, Work work) {
+  const int lane = std::clamp(priority, 0, kNumPriorities - 1);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ || total_ >= capacity_) return false;
+    lanes_[lane].push_back(std::move(work));
+    ++total_;
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<JobQueue::Work> JobQueue::pop_locked() {
+  for (auto& lane : lanes_) {
+    if (lane.empty()) continue;
+    Work work = std::move(lane.front());
+    lane.pop_front();
+    --total_;
+    return work;
+  }
+  return std::nullopt;
+}
+
+std::optional<JobQueue::Work> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return total_ > 0 || shutdown_; });
+  return pop_locked();
+}
+
+std::optional<JobQueue::Work> JobQueue::try_pop() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pop_locked();
+}
+
+void JobQueue::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace sfqpart::service

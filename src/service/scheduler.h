@@ -1,0 +1,65 @@
+// Bounded fair job queue for the sfqpartd daemon.
+//
+// Fairness policy: strict priority between classes (0 most urgent),
+// strict FIFO within a class — a cheap, predictable discipline whose
+// behavior clients can reason about. Backpressure is explicit: push()
+// returns false when the queue is at capacity, and the daemon turns that
+// into a `rejected: queue_full` response instead of buffering without
+// bound. The capacity covers all priorities together, so a flood of
+// low-priority work can fill the queue — but high-priority jobs that do
+// get in always dispatch first.
+//
+// shutdown() wakes every blocked pop(); queued work is still drained
+// (pop keeps returning jobs until the queue is empty, then nullopt), so
+// accepted jobs get responses even across shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "service/job.h"
+
+namespace sfqpart::service {
+
+class JobQueue {
+ public:
+  using Work = std::function<void()>;
+
+  explicit JobQueue(std::size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  // Enqueues at `priority` (clamped to [0, kNumPriorities)). Returns false
+  // when the queue is full — the caller owns the rejection response.
+  bool push(int priority, Work work);
+
+  // Blocks for the next unit of work: the front of the lowest-numbered
+  // non-empty priority class. Returns nullopt only after shutdown() once
+  // the queue has drained.
+  std::optional<Work> pop();
+
+  // Non-blocking variant; nullopt when nothing is queued right now.
+  std::optional<Work> try_pop();
+
+  void shutdown();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<Work> pop_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Work> lanes_[kNumPriorities];
+  std::size_t total_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace sfqpart::service

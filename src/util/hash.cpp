@@ -1,0 +1,33 @@
+#include "util/hash.h"
+
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace sfqpart {
+
+Fnv1a64& Fnv1a64::update(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ ^= static_cast<std::uint64_t>(bytes[i]);
+    state_ *= 0x100000001b3ull;  // FNV prime
+  }
+  return *this;
+}
+
+std::string hash_hex(std::uint64_t value) {
+  return str_format("%016llx", static_cast<unsigned long long>(value));
+}
+
+StatusOr<std::uint64_t> hash_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::not_found("cannot open file '" + path + "'");
+  Fnv1a64 hasher;
+  char buffer[1 << 14];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    hasher.update(buffer, static_cast<std::size_t>(in.gcount()));
+  }
+  return hasher.digest();
+}
+
+}  // namespace sfqpart

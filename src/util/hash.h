@@ -1,0 +1,46 @@
+// Content hashing for the service layer's result cache.
+//
+// The sfqpartd daemon keys cached run reports on (netlist content hash,
+// canonical engine configuration); FNV-1a is a tiny, dependency-free,
+// well-distributed 64-bit hash that is plenty for a cache key — the cache
+// additionally stores the full canonical key string and compares it on
+// lookup, so a hash collision degrades to a miss-like comparison, never a
+// wrong result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace sfqpart {
+
+// Streaming FNV-1a over bytes; feed any number of update() calls, read
+// digest() at any point. Stable across platforms and runs (no per-process
+// seeding), which is what a persistent-looking cache key needs.
+class Fnv1a64 {
+ public:
+  Fnv1a64& update(const void* data, std::size_t size);
+  Fnv1a64& update(const std::string& text) {
+    return update(text.data(), text.size());
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+  static std::uint64_t of(const std::string& text) {
+    return Fnv1a64().update(text).digest();
+  }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+// 16 lowercase hex digits, zero-padded.
+std::string hash_hex(std::uint64_t value);
+
+// FNV-1a of a file's raw bytes (binary read). kNotFound when the file
+// cannot be opened.
+StatusOr<std::uint64_t> hash_file(const std::string& path);
+
+}  // namespace sfqpart

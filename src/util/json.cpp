@@ -150,7 +150,7 @@ class Parser {
   }
 
  private:
-  static constexpr int kMaxDepth = 64;
+  static constexpr int kMaxDepth = Json::kMaxParseDepth;
 
   Status fail(const std::string& what) const {
     return Status::error(
@@ -266,6 +266,9 @@ class Parser {
     }
     const double value = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) return fail("malformed number");
+    // strtod saturates overflow to +/-HUGE_VAL; JSON has no infinity, and
+    // silently accepting one would poison downstream arithmetic.
+    if (!std::isfinite(value)) return fail("number out of range");
     out = Json::number(value);
     return Status::ok();
   }

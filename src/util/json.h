@@ -5,6 +5,18 @@
 // dependency-free writer with correct string escaping, plus a strict
 // recursive-descent parser so reports can be round-tripped in tests and
 // consumed by downstream tooling without an external library.
+//
+// The parser also guards the sfqpartd daemon's job intake, so it is
+// hardened against untrusted input (tests/util/json_test.cpp fuzzes the
+// malformed cases):
+//  * containers nested deeper than kMaxParseDepth are rejected (crafted
+//    input cannot blow the recursion stack);
+//  * numbers that overflow a double (e.g. "1e999") are rejected rather
+//    than silently becoming infinity (integers too large for long long
+//    degrade to the nearest double, as usual);
+//  * duplicate object keys follow last-one-wins (same as Json::set): the
+//    earlier value is replaced, insertion order keeps the first
+//    occurrence's position. Parsing never keeps both.
 #pragma once
 
 #include <string>
@@ -29,7 +41,13 @@ class Json {
 
   // Strict parse of one JSON document (trailing non-whitespace is an
   // error). Integers without fraction/exponent parse as integer kind.
+  // Untrusted-input guards: see the header comment (depth limit, number
+  // overflow rejection, last-wins duplicate keys).
   static StatusOr<Json> parse(const std::string& text);
+
+  // Maximum container nesting the parser accepts; deeper input fails with
+  // kInvalidArgument instead of recursing further.
+  static constexpr int kMaxParseDepth = 64;
 
   bool is_null() const { return kind_ == Kind::kNull; }
   bool is_bool() const { return kind_ == Kind::kBool; }

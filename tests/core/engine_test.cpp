@@ -62,8 +62,92 @@ TEST(EngineRegistry, EveryEngineReportsItsRegistryName) {
     const auto engine = EngineRegistry::create(name);
     ASSERT_TRUE(engine.is_ok()) << engine.status().message();
     EXPECT_EQ((*engine)->name(), name);
-    EXPECT_STRNE((*engine)->describe_options(), "");
+    EXPECT_STRNE((*engine)->description(), "");
   }
+}
+
+TEST(EngineRegistry, EveryEngineAdvertisesStructuredOptionSpecs) {
+  for (const std::string& name : EngineRegistry::names()) {
+    const auto engine = EngineRegistry::create(name);
+    ASSERT_TRUE(engine.is_ok()) << engine.status().message();
+    const std::vector<OptionSpec> specs = (*engine)->describe_options();
+    ASSERT_FALSE(specs.empty()) << name;
+    bool has_planes = false;
+    for (const OptionSpec& spec : specs) {
+      EXPECT_FALSE(spec.name.empty());
+      EXPECT_FALSE(spec.doc.empty()) << name << ": " << spec.name;
+      has_planes |= spec.name == "planes";
+      // The JSON form must round-trip through the strict parser.
+      const auto parsed = Json::parse(spec.to_json().dump(0));
+      ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+      EXPECT_EQ(parsed->find("name")->as_string(), spec.name);
+      EXPECT_NE(parsed->find("type"), nullptr);
+      EXPECT_NE(parsed->find("default"), nullptr);
+    }
+    EXPECT_TRUE(has_planes) << name << " must advertise 'planes'";
+  }
+}
+
+TEST(EngineOptions, ApplyValidatesAndCanonicalizes) {
+  const auto engine = EngineRegistry::create("gradient");
+  ASSERT_TRUE(engine.is_ok());
+  const std::vector<OptionSpec> specs = (*engine)->describe_options();
+
+  // Valid options land on the context fields.
+  EngineContext context;
+  std::string canonical;
+  auto options = Json::parse(
+      R"({"planes": 3, "seed": 7, "refine": true, "c2": 0.25})");
+  ASSERT_TRUE(options.is_ok());
+  ASSERT_TRUE(apply_engine_options(specs, *options, context, &canonical));
+  EXPECT_EQ(context.num_planes, 3);
+  EXPECT_EQ(context.seed, 7u);
+  EXPECT_TRUE(context.refine);
+  EXPECT_EQ(context.weights.c2, 0.25);
+
+  // The canonical form ignores option order and spelling details.
+  EngineContext reordered_context;
+  std::string reordered;
+  auto reordered_options = Json::parse(
+      R"({ "c2": 2.5e-1, "refine": true, "seed": 7.0, "planes": 3 })");
+  ASSERT_TRUE(reordered_options.is_ok());
+  ASSERT_TRUE(apply_engine_options(specs, *reordered_options,
+                                   reordered_context, &reordered));
+  EXPECT_EQ(canonical, reordered);
+
+  // ... but not value differences.
+  EngineContext other_context;
+  std::string other;
+  auto other_options = Json::parse(R"({"planes": 4})");
+  ASSERT_TRUE(other_options.is_ok());
+  ASSERT_TRUE(apply_engine_options(specs, *other_options, other_context, &other));
+  EXPECT_NE(canonical, other);
+
+  // threads never participates in the canonical form (the determinism
+  // contract makes it result-neutral).
+  EngineContext threaded_context;
+  std::string threaded;
+  auto threaded_options = Json::parse(R"({"planes": 4, "threads": 8})");
+  ASSERT_TRUE(threaded_options.is_ok());
+  ASSERT_TRUE(apply_engine_options(specs, *threaded_options, threaded_context,
+                                   &threaded));
+  EXPECT_EQ(other, threaded);
+  EXPECT_EQ(threaded_context.threads, 8);
+
+  // Unknown names, type mismatches and out-of-range values all fail.
+  EngineContext scratch;
+  EXPECT_TRUE(apply_engine_options(specs, *Json::parse(R"({"plane": 3})"),
+                                   scratch)
+                  .is_invalid_argument());
+  EXPECT_TRUE(apply_engine_options(specs, *Json::parse(R"({"planes": true})"),
+                                   scratch)
+                  .is_invalid_argument());
+  EXPECT_TRUE(apply_engine_options(specs, *Json::parse(R"({"planes": 1})"),
+                                   scratch)
+                  .is_invalid_argument());
+  EXPECT_TRUE(apply_engine_options(specs, *Json::parse(R"({"restarts": 1.5})"),
+                                   scratch)
+                  .is_invalid_argument());
 }
 
 TEST(EngineContext, ValidateRejectsOutOfRangeKnobsUniformly) {

@@ -74,10 +74,12 @@ TEST(ParallelDeterminism, RefinementPathAgreesAcrossThreadCounts) {
 // labels, same costs, same winning restart — at any thread count.
 TEST(ParallelDeterminism, RegistryGradientMatchesFacade) {
   const Netlist netlist = build_mapped("ksa8");
-  PartitionOptions options;
+  SolverConfig options;
   options.seed = 11;
   options.restarts = 3;
-  const auto facade = Solver(SolverConfig::from(options, /*threads=*/8)).run(netlist);
+  SolverConfig threaded = options;
+  threaded.threads = 8;
+  const auto facade = Solver(threaded).run(netlist);
   ASSERT_TRUE(facade.is_ok()) << facade.status().message();
 
   auto engine = EngineRegistry::create("gradient");

@@ -11,9 +11,9 @@ namespace {
 
 TEST(PartitionIo, SaveLoadRoundTrip) {
   const Netlist netlist = build_mapped("ksa4");
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = 4;
-  const Partition original = Solver(SolverConfig::from(options)).run(netlist).value().partition;
+  const Partition original = Solver(options).run(netlist).value().partition;
 
   const std::string path = ::testing::TempDir() + "/sfqpart_partition.csv";
   ASSERT_TRUE(save_partition_csv(path, netlist, original).is_ok());

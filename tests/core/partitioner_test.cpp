@@ -1,4 +1,3 @@
-#include "core/partitioner.h"
 
 // Contract tests of the gradient-descent partitioning flow. These used to
 // exercise the deprecated free functions (partition_netlist and friends);
@@ -19,9 +18,9 @@ namespace {
 
 // The historical partition_netlist(netlist, options) call, expressed on
 // the facade: a single-threaded Solver with the same options.
-PartitionResult run_solver(const Netlist& netlist,
-                           const PartitionOptions& options = {}) {
-  auto result = Solver(SolverConfig::from(options)).run(netlist);
+SolverResult run_solver(const Netlist& netlist,
+                        const SolverConfig& options = {}) {
+  auto result = Solver(options).run(netlist);
   EXPECT_TRUE(result.is_ok()) << result.status().message();
   return std::move(result).value();
 }
@@ -44,7 +43,7 @@ TEST(PartitionProblem, FromNetlistCompactsIoAway) {
 
 TEST(Partitioner, AssignsEveryPartitionableGate) {
   const Netlist netlist = build_mapped("ksa4");
-  const PartitionResult result = run_solver(netlist);
+  const SolverResult result = run_solver(netlist);
   for (GateId g = 0; g < netlist.num_gates(); ++g) {
     if (netlist.is_partitionable(g)) {
       EXPECT_NE(result.partition.plane(g), kUnassignedPlane);
@@ -57,7 +56,7 @@ TEST(Partitioner, AssignsEveryPartitionableGate) {
 
 TEST(Partitioner, UsesAllPlanes) {
   const Netlist netlist = build_mapped("ksa8");
-  const PartitionResult result = run_solver(netlist);
+  const SolverResult result = run_solver(netlist);
   std::set<int> used;
   for (GateId g = 0; g < netlist.num_gates(); ++g) {
     if (result.partition.assigned(g)) used.insert(result.partition.plane(g));
@@ -67,17 +66,17 @@ TEST(Partitioner, UsesAllPlanes) {
 
 TEST(Partitioner, DeterministicForSeed) {
   const Netlist netlist = build_mapped("ksa4");
-  PartitionOptions options;
+  SolverConfig options;
   options.seed = 42;
-  const PartitionResult a = run_solver(netlist, options);
-  const PartitionResult b = run_solver(netlist, options);
+  const SolverResult a = run_solver(netlist, options);
+  const SolverResult b = run_solver(netlist, options);
   EXPECT_EQ(a.partition.plane_of, b.partition.plane_of);
   EXPECT_EQ(a.discrete_total, b.discrete_total);
 }
 
 TEST(Partitioner, BeatsRandomBaselineOnLocalityAndBalance) {
   const Netlist netlist = build_mapped("ksa8");
-  const PartitionResult result = run_solver(netlist);
+  const SolverResult result = run_solver(netlist);
   const PartitionMetrics ours = compute_metrics(netlist, result.partition);
   const PartitionMetrics rand = compute_metrics(netlist, random_partition(netlist, 5, 1));
   // Random round-robin: ~52% of connections within distance 1 at K=5; the
@@ -93,10 +92,10 @@ class PartitionerSweep : public ::testing::TestWithParam<int> {};
 TEST_P(PartitionerSweep, InvariantsHoldForEveryK) {
   const int k = GetParam();
   const Netlist netlist = build_mapped("mult4");
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = k;
   options.restarts = 2;
-  const PartitionResult result = run_solver(netlist, options);
+  const SolverResult result = run_solver(netlist, options);
   const PartitionMetrics metrics = compute_metrics(netlist, result.partition);
 
   EXPECT_EQ(metrics.num_planes, k);
@@ -122,10 +121,10 @@ INSTANTIATE_TEST_SUITE_P(K, PartitionerSweep, ::testing::Values(2, 3, 5, 7, 10),
 
 TEST(Partitioner, MoreRestartsNeverWorse) {
   const Netlist netlist = build_mapped("ksa4");
-  PartitionOptions one;
+  SolverConfig one;
   one.restarts = 1;
   one.seed = 9;
-  PartitionOptions five;
+  SolverConfig five;
   five.restarts = 5;
   five.seed = 9;
   const double cost1 = run_solver(netlist, one).discrete_total;
@@ -137,9 +136,9 @@ TEST(Partitioner, MoreRestartsNeverWorse) {
 
 TEST(Partitioner, RefineOptionNeverHurtsDiscreteCost) {
   const Netlist netlist = build_mapped("ksa8");
-  PartitionOptions plain;
+  SolverConfig plain;
   plain.seed = 3;
-  PartitionOptions refined = plain;
+  SolverConfig refined = plain;
   refined.refine = true;
   const double cost_plain = run_solver(netlist, plain).discrete_total;
   const double cost_refined = run_solver(netlist, refined).discrete_total;
@@ -148,9 +147,9 @@ TEST(Partitioner, RefineOptionNeverHurtsDiscreteCost) {
 
 TEST(Partitioner, PaperGradientStyleProducesComparableQuality) {
   const Netlist netlist = build_mapped("ksa8");
-  PartitionOptions paper;
+  SolverConfig paper;
   paper.gradient_style = GradientStyle::kPaperEq10;
-  const PartitionResult result = run_solver(netlist, paper);
+  const SolverResult result = run_solver(netlist, paper);
   const PartitionMetrics metrics = compute_metrics(netlist, result.partition);
   EXPECT_GT(metrics.frac_within(1), 0.45);
   EXPECT_LT(metrics.icomp_frac(), 0.35);

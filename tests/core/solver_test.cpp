@@ -105,15 +105,17 @@ TEST(Solver, EffectiveThreadsResolvesZeroToHardware) {
   EXPECT_EQ(Solver().effective_threads(), 1);
 }
 
-TEST(Solver, ConfigBridgesFromPartitionOptions) {
-  PartitionOptions options;
+TEST(Solver, ConfigRoundTripsThroughConstructor) {
+  SolverConfig options;
   options.num_planes = 7;
   options.restarts = 9;
   options.seed = 1234;
+  options.threads = 3;
   options.refine = true;
   options.weights.c2 = 0.5;
   options.optimizer.max_iterations = 123;
-  const SolverConfig config = SolverConfig::from(options, 3);
+  const Solver solver(options);
+  const SolverConfig& config = solver.config();
   EXPECT_EQ(config.num_planes, 7);
   EXPECT_EQ(config.restarts, 9);
   EXPECT_EQ(config.seed, 1234u);

@@ -15,9 +15,9 @@ struct Fixture {
   Partition partition;
 
   Fixture() {
-    PartitionOptions options;
+    SolverConfig options;
     options.num_planes = 4;
-    partition = Solver(SolverConfig::from(options)).run(netlist).value().partition;
+    partition = Solver(options).run(netlist).value().partition;
   }
 };
 

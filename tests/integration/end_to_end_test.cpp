@@ -21,9 +21,9 @@ TEST_P(EndToEnd, PartitionQualityAndConsistency) {
   const Netlist netlist = build_mapped(GetParam());
   ASSERT_TRUE(validate(netlist).ok());
 
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = 5;
-  const PartitionResult result = Solver(SolverConfig::from(options)).run(netlist).value();
+  const SolverResult result = Solver(options).run(netlist).value();
   const PartitionMetrics metrics = compute_metrics(netlist, result.partition);
 
   // Quality floor: clearly structured output, not a random scatter (random
@@ -69,12 +69,12 @@ TEST(EndToEnd, DefRoundTripPreservesPartitionMetrics) {
   auto reparsed = def::def_to_netlist(*design, original.library());
   ASSERT_TRUE(reparsed.is_ok());
 
-  PartitionOptions options;
+  SolverConfig options;
   options.seed = 77;
   const PartitionMetrics a =
-      compute_metrics(original, Solver(SolverConfig::from(options)).run(original).value().partition);
+      compute_metrics(original, Solver(options).run(original).value().partition);
   const PartitionMetrics b =
-      compute_metrics(*reparsed, Solver(SolverConfig::from(options)).run(*reparsed).value().partition);
+      compute_metrics(*reparsed, Solver(options).run(*reparsed).value().partition);
   EXPECT_EQ(a.distance_histogram, b.distance_histogram);
   EXPECT_NEAR(a.bmax_ma, b.bmax_ma, 1e-9);
 }

@@ -23,9 +23,9 @@ class FlowConsistency : public ::testing::TestWithParam<const char*> {
  protected:
   void SetUp() override {
     netlist_ = build_mapped(GetParam());
-    PartitionOptions options;
+    SolverConfig options;
     options.num_planes = 4;
-    partition_ = Solver(SolverConfig::from(options)).run(netlist_).value().partition;
+    partition_ = Solver(options).run(netlist_).value().partition;
   }
 
   Netlist netlist_{&default_sfq_library()};
@@ -94,13 +94,13 @@ TEST_P(FlowConsistency, VerilogRoundTripPreservesPartitionMetrics) {
   ASSERT_TRUE(module.is_ok());
   auto reparsed = verilog_to_netlist(*module, netlist_.library());
   ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().message();
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = 4;
   options.seed = 99;
   const PartitionMetrics a = compute_metrics(
-      netlist_, Solver(SolverConfig::from(options)).run(netlist_).value().partition);
+      netlist_, Solver(options).run(netlist_).value().partition);
   const PartitionMetrics b = compute_metrics(
-      *reparsed, Solver(SolverConfig::from(options)).run(*reparsed).value().partition);
+      *reparsed, Solver(options).run(*reparsed).value().partition);
   // Same seed on a structurally identical netlist: identical outcome.
   EXPECT_EQ(a.distance_histogram, b.distance_histogram);
   EXPECT_NEAR(a.bmax_ma, b.bmax_ma, 1e-9);

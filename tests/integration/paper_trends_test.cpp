@@ -15,9 +15,9 @@ namespace sfqpart {
 namespace {
 
 PartitionMetrics metrics_at_k(const Netlist& netlist, int k) {
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = k;
-  return compute_metrics(netlist, Solver(SolverConfig::from(options)).run(netlist).value().partition);
+  return compute_metrics(netlist, Solver(options).run(netlist).value().partition);
 }
 
 // Table II's headline trends on KSA4: locality falls and B_max falls as K

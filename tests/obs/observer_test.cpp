@@ -84,7 +84,7 @@ class Recorder final : public obs::SolverObserver {
 };
 
 Recorder record_run(const Netlist& netlist, int threads, int restarts,
-                    PartitionResult* result = nullptr) {
+                    SolverResult* result = nullptr) {
   Recorder recorder;
   SolverConfig config;
   config.restarts = restarts;
@@ -144,10 +144,10 @@ TEST(Observer, RestartSubsequenceIsWellFormed) {
 TEST(Observer, PerRestartSequencesIdenticalAcrossThreadCounts) {
   const Netlist netlist = build_mapped("ksa4");
   constexpr int kRestarts = 3;
-  PartitionResult serial_result;
+  SolverResult serial_result;
   const Recorder serial = record_run(netlist, 1, kRestarts, &serial_result);
   for (const int threads : {2, 8}) {
-    PartitionResult threaded_result;
+    SolverResult threaded_result;
     const Recorder threaded =
         record_run(netlist, threads, kRestarts, &threaded_result);
     for (int r = 0; r < kRestarts; ++r) {

@@ -43,9 +43,9 @@ TEST(CouplingInsertion, OnePairPerAdjacentCrossing) {
 
 TEST(CouplingInsertion, PairCountMatchesPlan) {
   const Netlist netlist = build_mapped("ksa8");
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = 4;
-  const Partition partition = Solver(SolverConfig::from(options)).run(netlist).value().partition;
+  const Partition partition = Solver(options).run(netlist).value().partition;
   const CouplingReport plan = plan_coupling(netlist, partition);
   const CouplingInsertion result = apply_coupling_insertion(netlist, partition);
   EXPECT_EQ(result.pairs_inserted, plan.total_pairs);
@@ -53,9 +53,9 @@ TEST(CouplingInsertion, PairCountMatchesPlan) {
 
 TEST(CouplingInsertion, ResultHasOnlyAdjacentCrossings) {
   const Netlist netlist = build_mapped("mult4");
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = 5;
-  const Partition partition = Solver(SolverConfig::from(options)).run(netlist).value().partition;
+  const Partition partition = Solver(options).run(netlist).value().partition;
   const CouplingInsertion result = apply_coupling_insertion(netlist, partition);
   // After insertion every remaining cross-plane link spans exactly one
   // boundary (the coupled driver->receiver hop itself).
@@ -113,9 +113,9 @@ TEST(CouplingInsertion, FunctionPreserved) {
   // Coupling cells are transparent repeaters: word-level behaviour of the
   // implemented netlist is unchanged.
   const Netlist netlist = build_mapped("ksa4");
-  PartitionOptions options;
+  SolverConfig options;
   options.num_planes = 3;
-  const Partition partition = Solver(SolverConfig::from(options)).run(netlist).value().partition;
+  const Partition partition = Solver(options).run(netlist).value().partition;
   const CouplingInsertion result = apply_coupling_insertion(netlist, partition);
   Rng rng(5);
   for (int trial = 0; trial < 10; ++trial) {

@@ -71,9 +71,9 @@ TEST(Power, DynamicScalesWithFrequencyAndActivity) {
 
 TEST(Power, RecyclingCutsSupplyCurrentByAboutK) {
   const Netlist netlist = build_mapped("ksa8");
-  PartitionOptions popt;
+  SolverConfig popt;
   popt.num_planes = 5;
-  const Partition partition = Solver(SolverConfig::from(popt)).run(netlist).value().partition;
+  const Partition partition = Solver(popt).run(netlist).value().partition;
   const PowerReport report = analyze_power(netlist, partition);
   EXPECT_GT(report.current_reduction_factor(), 4.0);
   EXPECT_LE(report.current_reduction_factor(), 5.0 + 1e-9);

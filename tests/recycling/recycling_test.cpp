@@ -76,9 +76,9 @@ TEST(BiasPlan, PadSavingMatchesPaperArithmetic) {
   // Paper section V: a 2.5 A chip with 100 mA pads needs 31 lines under
   // parallel biasing ([23]); with recycling the supply is B_max.
   const Netlist netlist = build_mapped("ksa8");  // B_cir ~ 178 mA
-  PartitionOptions popt;
+  SolverConfig popt;
   popt.num_planes = 3;
-  const PartitionResult result = Solver(SolverConfig::from(popt)).run(netlist).value();
+  const SolverResult result = Solver(popt).run(netlist).value();
   const BiasPlan plan = make_bias_plan(netlist, result.partition);
   EXPECT_EQ(plan.pads_parallel, 2);  // ceil(178/100)
   EXPECT_EQ(plan.pads_serial, 1);

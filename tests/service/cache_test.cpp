@@ -1,0 +1,124 @@
+#include "service/cache.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sfqpart::service {
+namespace {
+
+// Captures CounterEvents so the tests can assert what the cache emits
+// through the observability layer.
+class CounterRecorder : public obs::SolverObserver {
+ public:
+  void on_counter(const obs::CounterEvent& e) override {
+    counts_.emplace_back(e.name, e.delta);
+  }
+
+  long long total(const std::string& name) const {
+    long long sum = 0;
+    for (const auto& [counter, delta] : counts_) {
+      if (counter == name) sum += delta;
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<std::pair<std::string, long long>> counts_;
+};
+
+CacheKey key_of(std::uint64_t hash, const std::string& config) {
+  CacheKey key;
+  key.netlist_hash = hash;
+  key.config = config;
+  return key;
+}
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(8, 2);
+  const CacheKey key = key_of(0xabc, "gradient;planes=5;");
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.insert(key, "report-1");
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "report-1");
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCache, KeyDistinguishesNetlistAndConfig) {
+  ResultCache cache(8, 1);
+  cache.insert(key_of(1, "a"), "r1");
+  EXPECT_FALSE(cache.lookup(key_of(2, "a")).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(1, "b")).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(1, "a")).has_value());
+}
+
+TEST(ResultCache, LruEvictionAtCapacity) {
+  // One shard so the LRU order is global and deterministic.
+  ResultCache cache(2, 1);
+  cache.insert(key_of(1, "x"), "r1");
+  cache.insert(key_of(2, "x"), "r2");
+  cache.insert(key_of(3, "x"), "r3");  // evicts key 1 (least recent)
+  EXPECT_FALSE(cache.lookup(key_of(1, "x")).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(2, "x")).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(3, "x")).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCache, HitRefreshesRecency) {
+  ResultCache cache(2, 1);
+  cache.insert(key_of(1, "x"), "r1");
+  cache.insert(key_of(2, "x"), "r2");
+  ASSERT_TRUE(cache.lookup(key_of(1, "x")).has_value());  // 1 now most recent
+  cache.insert(key_of(3, "x"), "r3");                     // evicts 2, not 1
+  EXPECT_TRUE(cache.lookup(key_of(1, "x")).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(2, "x")).has_value());
+}
+
+TEST(ResultCache, ReinsertRefreshesInsteadOfEvicting) {
+  ResultCache cache(2, 1);
+  cache.insert(key_of(1, "x"), "old");
+  cache.insert(key_of(2, "x"), "r2");
+  cache.insert(key_of(1, "x"), "new");  // refresh, no eviction
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_EQ(*cache.lookup(key_of(1, "x")), "new");
+  EXPECT_TRUE(cache.lookup(key_of(2, "x")).has_value());
+}
+
+TEST(ResultCache, CountersFlowThroughTheObserverLayer) {
+  CounterRecorder recorder;
+  obs::TraceSink sink(&recorder);
+  ResultCache cache(1, 1, &sink);
+  const CacheKey a = key_of(1, "x");
+  const CacheKey b = key_of(2, "x");
+  cache.lookup(a);        // miss
+  cache.insert(a, "ra");
+  cache.lookup(a);        // hit
+  cache.insert(b, "rb");  // evicts a
+  cache.lookup(b);        // hit
+  EXPECT_EQ(recorder.total("cache_miss"), 1);
+  EXPECT_EQ(recorder.total("cache_hit"), 2);
+  EXPECT_EQ(recorder.total("cache_evict"), 1);
+}
+
+TEST(ResultCache, ShardingPreservesLookupSemantics) {
+  ResultCache cache(64, 8);
+  for (int i = 0; i < 32; ++i) {
+    cache.insert(key_of(static_cast<std::uint64_t>(i), "cfg"),
+                 "r" + std::to_string(i));
+  }
+  for (int i = 0; i < 32; ++i) {
+    const auto hit = cache.lookup(key_of(static_cast<std::uint64_t>(i), "cfg"));
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(*hit, "r" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace sfqpart::service

@@ -1,0 +1,101 @@
+#include "service/job.h"
+
+#include <gtest/gtest.h>
+
+namespace sfqpart::service {
+namespace {
+
+Json parsed(const std::string& text) {
+  auto doc = Json::parse(text);
+  EXPECT_TRUE(doc.is_ok()) << doc.status().message();
+  return *doc;
+}
+
+TEST(JobParse, MinimalCircuitJobGetsDefaults) {
+  const auto job = parse_job(
+      parsed(R"({"schema": "sfqpart.job.v1", "id": "j1", "circuit": "ksa4"})"));
+  ASSERT_TRUE(job.is_ok()) << job.status().message();
+  EXPECT_EQ(job->id, "j1");
+  EXPECT_EQ(job->source, JobRequest::Source::kCircuit);
+  EXPECT_EQ(job->circuit, "ksa4");
+  EXPECT_EQ(job->engine, "gradient");
+  EXPECT_EQ(job->priority, kDefaultPriority);
+  EXPECT_EQ(job->options.size(), 0u);
+}
+
+TEST(JobParse, AllFieldsLand) {
+  const auto job = parse_job(parsed(
+      R"({"schema": "sfqpart.job.v1", "id": "x", "netlist_verilog":
+          "module m(); endmodule", "engine": "multilevel", "priority": 0,
+          "options": {"planes": 3, "seed": 9}})"));
+  ASSERT_TRUE(job.is_ok()) << job.status().message();
+  EXPECT_EQ(job->source, JobRequest::Source::kInlineVerilog);
+  EXPECT_EQ(job->netlist_verilog, "module m(); endmodule");
+  EXPECT_EQ(job->engine, "multilevel");
+  EXPECT_EQ(job->priority, 0);
+  ASSERT_NE(job->options.find("planes"), nullptr);
+  EXPECT_EQ(job->options.find("planes")->as_int(), 3);
+}
+
+TEST(JobParse, SchemaTagIsRequiredAndChecked) {
+  EXPECT_FALSE(parse_job(parsed(R"({"circuit": "ksa4"})")).is_ok());
+  const auto wrong = parse_job(
+      parsed(R"({"schema": "sfqpart.job.v2", "circuit": "ksa4"})"));
+  ASSERT_FALSE(wrong.is_ok());
+  EXPECT_NE(wrong.status().message().find("sfqpart.job.v1"),
+            std::string::npos);
+  EXPECT_TRUE(wrong.status().is_invalid_argument());
+}
+
+TEST(JobParse, ExactlyOneNetlistSource) {
+  // None.
+  EXPECT_FALSE(parse_job(parsed(R"({"schema": "sfqpart.job.v1"})")).is_ok());
+  // Two.
+  EXPECT_FALSE(parse_job(parsed(
+                             R"({"schema": "sfqpart.job.v1", "circuit": "ksa4",
+                                 "netlist_file": "a.def"})"))
+                   .is_ok());
+}
+
+TEST(JobParse, PriorityMustBeAnIntegerInRange) {
+  const char* bad[] = {
+      R"({"schema": "sfqpart.job.v1", "circuit": "ksa4", "priority": -1})",
+      R"({"schema": "sfqpart.job.v1", "circuit": "ksa4", "priority": 4})",
+      R"({"schema": "sfqpart.job.v1", "circuit": "ksa4", "priority": 1.5})",
+      R"({"schema": "sfqpart.job.v1", "circuit": "ksa4", "priority": "hi"})",
+  };
+  for (const char* text : bad) {
+    const auto job = parse_job(parsed(text));
+    ASSERT_FALSE(job.is_ok()) << text;
+    EXPECT_TRUE(job.status().is_invalid_argument());
+  }
+  for (int p = 0; p < kNumPriorities; ++p) {
+    const auto job = parse_job(parsed(
+        R"({"schema": "sfqpart.job.v1", "circuit": "ksa4", "priority": )" +
+        std::to_string(p) + "}"));
+    ASSERT_TRUE(job.is_ok()) << p;
+    EXPECT_EQ(job->priority, p);
+  }
+}
+
+TEST(JobParse, FieldTypesAreChecked) {
+  EXPECT_FALSE(parse_job(parsed(
+                             R"({"schema": "sfqpart.job.v1", "circuit": 42})"))
+                   .is_ok());
+  EXPECT_FALSE(parse_job(parsed(
+                             R"({"schema": "sfqpart.job.v1", "circuit": "ksa4",
+                                 "options": [1, 2]})"))
+                   .is_ok());
+  EXPECT_FALSE(parse_job(Json::string("not an object")).is_ok());
+}
+
+TEST(JobParse, AdminCommandsAreNotJobs) {
+  EXPECT_TRUE(is_admin_command(parsed(R"({"cmd": "stats"})")));
+  EXPECT_TRUE(is_admin_command(parsed(R"({"cmd": "shutdown"})")));
+  EXPECT_FALSE(is_admin_command(
+      parsed(R"({"schema": "sfqpart.job.v1", "circuit": "ksa4"})")));
+  EXPECT_FALSE(is_admin_command(Json::string("cmd")));
+}
+
+}  // namespace
+}  // namespace sfqpart::service

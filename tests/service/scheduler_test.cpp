@@ -1,0 +1,99 @@
+#include "service/scheduler.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sfqpart::service {
+namespace {
+
+// Drains the queue without blocking and returns the tags the popped work
+// units record, in pop order.
+std::vector<int> drain_tags(JobQueue& queue, std::vector<int>& tags) {
+  while (auto work = queue.try_pop()) (*work)();
+  return tags;
+}
+
+TEST(JobQueue, FifoWithinOnePriority) {
+  JobQueue queue(16);
+  std::vector<int> tags;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.push(1, [&tags, i] { tags.push_back(i); }));
+  }
+  drain_tags(queue, tags);
+  EXPECT_EQ(tags, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(JobQueue, HigherPriorityDispatchesFirst) {
+  JobQueue queue(16);
+  std::vector<int> tags;
+  // Push in scrambled priority order; tag = priority * 10 + arrival.
+  ASSERT_TRUE(queue.push(2, [&tags] { tags.push_back(20); }));
+  ASSERT_TRUE(queue.push(0, [&tags] { tags.push_back(0); }));
+  ASSERT_TRUE(queue.push(3, [&tags] { tags.push_back(30); }));
+  ASSERT_TRUE(queue.push(1, [&tags] { tags.push_back(10); }));
+  ASSERT_TRUE(queue.push(0, [&tags] { tags.push_back(1); }));
+  drain_tags(queue, tags);
+  // Priority classes in order, FIFO inside the two priority-0 entries.
+  EXPECT_EQ(tags, (std::vector<int>{0, 1, 10, 20, 30}));
+}
+
+TEST(JobQueue, BackpressureWhenFull) {
+  JobQueue queue(2);
+  EXPECT_TRUE(queue.push(1, [] {}));
+  EXPECT_TRUE(queue.push(0, [] {}));
+  // Capacity covers all priorities together.
+  EXPECT_FALSE(queue.push(0, [] {}));
+  EXPECT_EQ(queue.size(), 2u);
+  // Popping frees a slot.
+  ASSERT_TRUE(queue.try_pop().has_value());
+  EXPECT_TRUE(queue.push(2, [] {}));
+}
+
+TEST(JobQueue, TryPopOnEmptyReturnsNothing) {
+  JobQueue queue(4);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(JobQueue, ShutdownDrainsThenStops) {
+  JobQueue queue(4);
+  std::vector<int> tags;
+  ASSERT_TRUE(queue.push(1, [&tags] { tags.push_back(1); }));
+  queue.shutdown();
+  // Already-accepted work is still handed out after shutdown...
+  auto work = queue.pop();
+  ASSERT_TRUE(work.has_value());
+  (*work)();
+  EXPECT_EQ(tags, std::vector<int>{1});
+  // ...then pop reports exhaustion instead of blocking, and pushes are
+  // refused.
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_FALSE(queue.push(0, [] {}));
+}
+
+TEST(JobQueue, BlockedPopWakesOnPush) {
+  JobQueue queue(4);
+  std::vector<int> tags;
+  std::thread consumer([&] {
+    auto work = queue.pop();  // blocks until the push below
+    ASSERT_TRUE(work.has_value());
+    (*work)();
+  });
+  ASSERT_TRUE(queue.push(1, [&tags] { tags.push_back(7); }));
+  consumer.join();
+  EXPECT_EQ(tags, std::vector<int>{7});
+}
+
+TEST(JobQueue, OutOfRangePriorityIsClamped) {
+  JobQueue queue(4);
+  std::vector<int> tags;
+  ASSERT_TRUE(queue.push(99, [&tags] { tags.push_back(99); }));
+  ASSERT_TRUE(queue.push(-5, [&tags] { tags.push_back(-5); }));
+  drain_tags(queue, tags);
+  // -5 clamps to priority 0 and dispatches before 99 (clamped to 3).
+  EXPECT_EQ(tags, (std::vector<int>{-5, 99}));
+}
+
+}  // namespace
+}  // namespace sfqpart::service

@@ -1,0 +1,108 @@
+// Multi-client stress for the sfqpartd daemon: several client threads
+// hammer one daemon with a mix of distinct and duplicate jobs across
+// priorities. Run under TSan (CI `tsan` job) this exercises the queue,
+// the sharded cache, the single-flight registry and the response path
+// for data races; in any build it pins the invariants that matter under
+// concurrency — every request answered exactly once, engine runs bounded
+// by the number of distinct keys, and counters that add up.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/daemon.h"
+
+namespace sfqpart::service {
+namespace {
+
+std::string stress_job(int seed, int priority, const std::string& id) {
+  return R"({"schema": "sfqpart.job.v1", "id": ")" + id +
+         R"(", "circuit": "ksa4", "priority": )" + std::to_string(priority) +
+         R"(, "options": {"restarts": 1, "seed": )" + std::to_string(seed) +
+         "}}";
+}
+
+TEST(ServiceStress, ConcurrentClientsGetConsistentAnswers) {
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 8;
+  constexpr int kDistinctSeeds = 3;
+
+  DaemonOptions options;
+  options.workers = 4;
+  options.threads_per_job = 1;
+  options.queue_capacity = 256;  // ample: no rejections in this test
+  options.cache_capacity = 64;
+  Daemon daemon(options);
+
+  std::atomic<int> ok_count{0};
+  std::atomic<int> hit_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        const int seed = (c + j) % kDistinctSeeds;
+        const std::string id =
+            "c" + std::to_string(c) + "-" + std::to_string(j);
+        const std::string line = stress_job(seed, j % kNumPriorities, id);
+        const auto response = Json::parse(daemon.submit_and_wait(line));
+        ASSERT_TRUE(response.is_ok());
+        ASSERT_NE(response->find("status"), nullptr);
+        if (response->find("status")->as_string() == "ok") {
+          ok_count.fetch_add(1);
+          if (response->find("cache")->as_string() == "hit") {
+            hit_count.fetch_add(1);
+          }
+        }
+        ASSERT_EQ(response->find("id")->as_string(), id);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  constexpr int kTotal = kClients * kJobsPerClient;
+  EXPECT_EQ(ok_count.load(), kTotal);
+  // Only the distinct (netlist, config) keys ever run an engine; every
+  // other request is a cache hit or coalesced onto an in-flight run.
+  EXPECT_EQ(daemon.engine_runs(), kDistinctSeeds);
+  EXPECT_EQ(hit_count.load(), kTotal - kDistinctSeeds);
+
+  const CacheStats cache = daemon.cache_stats();
+  EXPECT_EQ(cache.entries, static_cast<std::size_t>(kDistinctSeeds));
+  const Json stats = *Json::parse(daemon.submit_and_wait(R"({"cmd":"stats"})"));
+  EXPECT_EQ(stats.find("jobs")->find("accepted")->as_int(), kTotal);
+  EXPECT_EQ(stats.find("jobs")->find("completed")->as_int(), kTotal);
+  EXPECT_EQ(stats.find("jobs")->find("rejected")->as_int(), 0);
+}
+
+TEST(ServiceStress, SubmittersRaceTheCacheWithoutDuplicateRuns) {
+  // All clients submit the SAME job concurrently; single-flight must
+  // collapse every interleaving to exactly one engine run.
+  DaemonOptions options;
+  options.workers = 2;
+  Daemon daemon(options);
+
+  constexpr int kClients = 8;
+  std::atomic<int> miss_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const auto response = Json::parse(daemon.submit_and_wait(
+          stress_job(42, 1, "same" + std::to_string(c))));
+      ASSERT_TRUE(response.is_ok());
+      ASSERT_EQ(response->find("status")->as_string(), "ok");
+      if (response->find("cache")->as_string() == "miss") {
+        miss_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(daemon.engine_runs(), 1);
+  EXPECT_EQ(miss_count.load(), 1);
+}
+
+}  // namespace
+}  // namespace sfqpart::service

@@ -90,9 +90,9 @@ TEST(Timing, MoreSplitLevelsSlowTheClock) {
 
 TEST(Timing, PartitionSlowsRealCircuit) {
   const Netlist netlist = build_mapped("ksa8");
-  PartitionOptions popt;
+  SolverConfig popt;
   popt.num_planes = 5;
-  const Partition partition = Solver(SolverConfig::from(popt)).run(netlist).value().partition;
+  const Partition partition = Solver(popt).run(netlist).value().partition;
   const TimingReport flat = analyze_timing(netlist);
   const TimingReport cut = analyze_timing(netlist, {}, nullptr, &partition);
   EXPECT_GE(cut.min_period_ps, flat.min_period_ps);
@@ -103,9 +103,9 @@ TEST(Timing, InsertedCouplingCellsMatchHopModel) {
   // adjacent) should cost at least as much as the hop-model estimate of
   // the original: insertion adds the TX cells' own propagation delay too.
   const Netlist netlist = build_mapped("ksa4");
-  PartitionOptions popt;
+  SolverConfig popt;
   popt.num_planes = 3;
-  const Partition partition = Solver(SolverConfig::from(popt)).run(netlist).value().partition;
+  const Partition partition = Solver(popt).run(netlist).value().partition;
   const CouplingInsertion inserted = apply_coupling_insertion(netlist, partition);
   const TimingReport modeled = analyze_timing(netlist, {}, nullptr, &partition);
   const TimingReport implemented =

@@ -121,6 +121,64 @@ TEST(JsonParse, RejectsRunawayNesting) {
   EXPECT_FALSE(Json::parse(deep).is_ok());
 }
 
+TEST(JsonParse, DepthLimitIsExactAtTheBoundary) {
+  const auto nested = [](int levels) {
+    std::string text;
+    for (int i = 0; i < levels; ++i) text += '[';
+    text += '1';
+    for (int i = 0; i < levels; ++i) text += ']';
+    return text;
+  };
+  EXPECT_TRUE(Json::parse(nested(Json::kMaxParseDepth)).is_ok());
+  const auto too_deep = Json::parse(nested(Json::kMaxParseDepth + 1));
+  ASSERT_FALSE(too_deep.is_ok());
+  EXPECT_NE(too_deep.status().message().find("nesting too deep"),
+            std::string::npos);
+
+  // Mixed object/array nesting counts against the same limit.
+  std::string mixed;
+  for (int i = 0; i < Json::kMaxParseDepth + 1; ++i) mixed += "{\"k\":[";
+  EXPECT_FALSE(Json::parse(mixed).is_ok());
+}
+
+TEST(JsonParse, EveryStrictPrefixOfADocumentFails) {
+  // An object document is only balanced at the final brace, so every
+  // truncation point must be rejected (simulates a cut-off daemon line).
+  const std::string doc = R"({"a": [1, 2.5, "x\n"], "b": {"c": true}})";
+  ASSERT_TRUE(Json::parse(doc).is_ok());
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_FALSE(Json::parse(doc.substr(0, len)).is_ok())
+        << "prefix of length " << len << " unexpectedly parsed";
+  }
+}
+
+TEST(JsonParse, DuplicateKeysLastOneWins) {
+  const auto parsed = Json::parse(R"({"k": 1, "z": 0, "k": 2})");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->size(), 2u);  // the duplicate replaced, not appended
+  ASSERT_NE(parsed->find("k"), nullptr);
+  EXPECT_EQ(parsed->find("k")->as_int(), 2);
+  // Replacement keeps the first occurrence's insertion position.
+  EXPECT_EQ(parsed->key_at(0), "k");
+  EXPECT_EQ(parsed->key_at(1), "z");
+}
+
+TEST(JsonParse, RejectsNumbersThatOverflowDouble) {
+  for (const char* text : {"1e999", "-1e999", "1e309", "-2e308"}) {
+    const auto parsed = Json::parse(text);
+    ASSERT_FALSE(parsed.is_ok()) << text;
+    EXPECT_NE(parsed.status().message().find("number out of range"),
+              std::string::npos)
+        << parsed.status().message();
+  }
+  // Underflow is representable (as zero) and stays accepted.
+  EXPECT_EQ(Json::parse("1e-999")->as_number(), 0.0);
+  // Integers past long long degrade to a finite double, not an error.
+  const auto big = Json::parse("123456789012345678901234567890");
+  ASSERT_TRUE(big.is_ok());
+  EXPECT_TRUE(std::isfinite(big->as_number()));
+}
+
 TEST(JsonParse, DumpParseDumpIsIdentity) {
   Json obj = Json::object();
   Json arr = Json::array();

@@ -39,6 +39,7 @@
 #include "obs/run_report.h"
 #include "obs/stream_tracer.h"
 #include "recycling/bias_plan.h"
+#include "service/daemon.h"
 #include "recycling/coupling.h"
 #include "recycling/power.h"
 #include "util/csv.h"
@@ -53,7 +54,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: sfqpart <list|stats|partition|evaluate|kres|plan|timing|floorplan|emit>"
     " [flags]\n"
-    "       sfqpart --list-engines\n"
+    "       sfqpart --list-engines [--json]\n"
     "run `sfqpart <command> --help` for the command's flags\n";
 
 OptionsParser make_parser(const std::string& command) {
@@ -220,11 +221,25 @@ StatusOr<EngineRun> run_engine(const Netlist& netlist, const OptionsParser& opti
   return (*engine)->run(netlist, context);
 }
 
-int cmd_list_engines() {
+// Text mode: one line per engine. JSON mode: the full structured surface —
+// name, description and the OptionSpec list — so tooling (and the sfqpartd
+// daemon's clients) can discover engines and validate options without
+// parsing prose.
+int cmd_list_engines(bool as_json) {
+  if (as_json) {
+    // Same document the daemon serves for {"cmd": "engines"}.
+    std::printf("%s\n", service::engines_json().dump().c_str());
+    return 0;
+  }
   for (const std::string& name : EngineRegistry::names()) {
     auto engine = EngineRegistry::create(name);
     if (!engine) continue;
-    std::printf("%-11s %s\n", name.c_str(), (*engine)->describe_options());
+    std::printf("%-11s %s\n", name.c_str(), (*engine)->description());
+    for (const OptionSpec& spec : (*engine)->describe_options()) {
+      std::printf("            --%s (%s, default %s)\n", spec.name.c_str(),
+                  option_type_name(spec.type),
+                  spec.to_json().find("default")->dump(0).c_str());
+    }
   }
   return 0;
 }
@@ -533,7 +548,8 @@ int run(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "list") return cmd_list();
   if (command == "--list-engines" || command == "list-engines") {
-    return cmd_list_engines();
+    const bool as_json = argc > 2 && std::string(argv[2]) == "--json";
+    return cmd_list_engines(as_json);
   }
 
   OptionsParser options = make_parser(command);
