@@ -1,0 +1,176 @@
+// Capacity bench for the vcycle engine: partitions scaled synthetic
+// netlists (gen/scaled.h) at 10^5..10^6+ gates and records throughput
+// (gates/sec), per-level wall time, and peak RSS into
+// results/BENCH_capacity.json.
+//
+// Unlike the paper-table benches this is a plain main(): a million-gate
+// run is far too slow to repeat under the google-benchmark harness, and
+// the artifact of interest is the structured JSON, not a timer loop.
+//
+// Flags:
+//   --sizes 100000,1000000   comma-separated gate targets
+//   --planes 5 --threads 0 --seed 1
+//   --smoke                  single 10^5 run + validity/budget asserts
+//                            (advisory CI: .github/workflows/ci.yml)
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/vcycle.h"
+#include "gen/scaled.h"
+#include "util/options.h"
+
+namespace sfqpart::bench {
+namespace {
+
+double peak_rss_mb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+// Fails the bench (exit 1) unless the partition is valid: every
+// partitionable gate on a plane in [0, K), every interface gate left on
+// the shared ground plane.
+void assert_valid(const Netlist& netlist, const Partition& partition,
+                  int num_planes) {
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const int plane = partition.plane(g);
+    const bool partitionable = netlist.is_partitionable(g);
+    const bool ok = partitionable ? plane >= 0 && plane < num_planes
+                                  : plane == kUnassignedPlane;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "capacity_bench: gate %d (%s) has plane %d "
+                   "(partitionable=%d, K=%d)\n",
+                   g, netlist.gate(g).name.c_str(), plane, partitionable,
+                   num_planes);
+      std::exit(1);
+    }
+  }
+}
+
+int run(int argc, char** argv) {
+  OptionsParser parser(
+      "capacity_bench: vcycle engine capacity runs on scaled synthetic\n"
+      "netlists; writes results/BENCH_capacity.json.");
+  parser.add_string("sizes", "100000,1000000",
+                    "comma-separated target gate counts");
+  parser.add_int("planes", 5, "ground planes K");
+  parser.add_int("threads", 0, "worker threads (0 = all hardware threads)");
+  parser.add_int("seed", 1, "generator and solver seed");
+  parser.add_double("rent", 0.65, "Rent exponent of the generated netlists");
+  parser.add_flag("smoke", false,
+                  "single 10^5-gate run with validity + wall-budget asserts");
+  parser.add_int("smoke-budget-sec", 120, "wall budget for --smoke");
+  parser.add_flag("help", false, "print usage");
+  if (auto st = parser.parse(argc - 1, argv + 1); !st) {
+    std::fprintf(stderr, "capacity_bench: %s\n%s", st.message().c_str(),
+                 parser.usage().c_str());
+    return 2;
+  }
+  if (parser.get_flag("help")) {
+    std::fputs(parser.usage().c_str(), stdout);
+    return 0;
+  }
+
+  const bool smoke = parser.get_flag("smoke");
+  const int num_planes = static_cast<int>(parser.get_int("planes"));
+  std::vector<long long> sizes;
+  if (smoke) {
+    sizes.push_back(100000);
+  } else {
+    for (const std::string& field :
+         split(parser.get_string("sizes"), ",")) {
+      sizes.push_back(std::atoll(field.c_str()));
+    }
+  }
+
+  Json runs = Json::array();
+  for (const long long size : sizes) {
+    using Clock = std::chrono::steady_clock;
+
+    ScaledParams params;
+    params.name = "scaled" + std::to_string(size);
+    params.num_gates = static_cast<int>(size);
+    params.rent_exponent = parser.get_double("rent");
+    params.seed = parser.get_int("seed") < 1
+                      ? 1
+                      : static_cast<std::uint64_t>(parser.get_int("seed"));
+    const auto gen_start = Clock::now();
+    const Netlist netlist = build_scaled(params);
+    const double gen_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - gen_start)
+            .count();
+
+    obs::RunReport report;
+    VcycleOptions options;
+    options.seed = params.seed;
+    options.threads = static_cast<int>(parser.get_int("threads"));
+    options.observer = &report;
+    const auto solve_start = Clock::now();
+    const VcycleResult result = vcycle_partition(netlist, num_planes, options);
+    const double solve_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - solve_start)
+            .count();
+
+    int partitionable = 0;
+    for (GateId g = 0; g < netlist.num_gates(); ++g) {
+      if (netlist.is_partitionable(g)) ++partitionable;
+    }
+    const double gates_per_sec =
+        solve_ms > 0.0 ? partitionable / (solve_ms / 1000.0) : 0.0;
+    const double rss_mb = peak_rss_mb();
+    std::printf(
+        "%-14s G=%-9d levels=%-3d gen=%8.1f ms  solve=%9.1f ms  "
+        "%10.0f gates/s  cost=%.6f  peak_rss=%.0f MB\n",
+        params.name.c_str(), partitionable, result.levels, gen_ms, solve_ms,
+        gates_per_sec, result.discrete_total, rss_mb);
+
+    assert_valid(netlist, result.partition, num_planes);
+    if (smoke && solve_ms / 1000.0 > static_cast<double>(parser.get_int("smoke-budget-sec"))) {
+      std::fprintf(stderr, "capacity_bench: smoke run took %.1f s (budget %lld s)\n",
+                   solve_ms / 1000.0, parser.get_int("smoke-budget-sec"));
+      return 1;
+    }
+
+    // The report's levels array carries per-level vertex/edge counts,
+    // coarsening ratios and the coarsen/refine stage wall times.
+    Json doc = report.to_json();
+    runs.append(Json::object()
+                    .set("target_gates", Json::number(size))
+                    .set("gates", Json::number(static_cast<long long>(partitionable)))
+                    .set("edges", Json::number(
+                                      static_cast<long long>(netlist.unique_edges().size())))
+                    .set("planes", Json::number(static_cast<long long>(num_planes)))
+                    .set("levels", Json::number(static_cast<long long>(result.levels)))
+                    .set("coarse_gates",
+                         Json::number(static_cast<long long>(result.coarse_gates)))
+                    .set("refine_moves", Json::number(result.refine_moves))
+                    .set("discrete_total", Json::number(result.discrete_total))
+                    .set("gen_ms", Json::number(gen_ms))
+                    .set("solve_ms", Json::number(solve_ms))
+                    .set("gates_per_sec", Json::number(gates_per_sec))
+                    .set("peak_rss_mb", Json::number(rss_mb))
+                    .set("report", std::move(doc)));
+  }
+
+  write_results_json("BENCH_capacity",
+                     Json::object()
+                         .set("bench", Json::string("capacity"))
+                         .set("engine", Json::string("vcycle"))
+                         .set("threads", Json::number(parser.get_int("threads")))
+                         .set("runs", std::move(runs)));
+  return 0;
+}
+
+}  // namespace
+}  // namespace sfqpart::bench
+
+int main(int argc, char** argv) { return sfqpart::bench::run(argc, argv); }

@@ -1,0 +1,181 @@
+#include "core/coarsen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "core/problem_view.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+namespace {
+
+// Per-vertex (neighbor, multiplicity) lists in the historical append
+// order the legacy coarsener produced by globally sorting canonicalized
+// edges: for vertex v, neighbors u < v in ascending u first, then
+// neighbors u > v in ascending u. Matching tie-breaks on list order, so
+// this order is part of the golden-label contract.
+struct WeightedAdjacency {
+  std::vector<std::uint32_t> offsets;        // size n + 1
+  std::vector<std::pair<int, int>> entries;  // (neighbor, weight)
+};
+
+WeightedAdjacency weighted_adjacency(const ProblemView& fine) {
+  const int n = fine.num_gates();
+  const std::uint32_t* offsets = fine.offsets();
+  const std::int32_t* adj = fine.neighbors();
+
+  WeightedAdjacency out;
+  out.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  out.entries.reserve(2 * fine.num_edges());
+
+  // Stamp-accumulate each vertex's parallel-edge multiplicities from the
+  // shared CSR view, then sort its few entries into the historical order.
+  // O(E log d) total instead of the legacy global edge sort's O(E log E).
+  std::vector<int> slot_of(static_cast<std::size_t>(n), -1);
+  std::vector<std::pair<int, int>> scratch;
+  for (int v = 0; v < n; ++v) {
+    scratch.clear();
+    for (std::uint32_t s = offsets[v]; s < offsets[v + 1]; ++s) {
+      const int u = adj[s];
+      int& slot = slot_of[static_cast<std::size_t>(u)];
+      if (slot < 0) {
+        slot = static_cast<int>(scratch.size());
+        scratch.emplace_back(u, 1);
+      } else {
+        ++scratch[static_cast<std::size_t>(slot)].second;
+      }
+    }
+    for (const auto& [u, weight] : scratch) {
+      slot_of[static_cast<std::size_t>(u)] = -1;
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [v](const std::pair<int, int>& a, const std::pair<int, int>& b) {
+                const bool a_low = a.first < v;
+                const bool b_low = b.first < v;
+                if (a_low != b_low) return a_low;
+                return a.first < b.first;
+              });
+    out.entries.insert(out.entries.end(), scratch.begin(), scratch.end());
+    out.offsets[static_cast<std::size_t>(v) + 1] =
+        static_cast<std::uint32_t>(out.entries.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> CoarseLevel::project(
+    const std::vector<int>& coarse_labels) const {
+  std::vector<int> fine_labels(parent_of_fine.size());
+  for (std::size_t v = 0; v < fine_labels.size(); ++v) {
+    fine_labels[v] =
+        coarse_labels[static_cast<std::size_t>(parent_of_fine[v])];
+  }
+  return fine_labels;
+}
+
+CoarseLevel coarsen_once(const ProblemView& fine, MatchOrder order, Rng* rng) {
+  const int n = fine.num_gates();
+  const PartitionProblem& problem = fine.problem();
+  const WeightedAdjacency adjacency = weighted_adjacency(fine);
+
+  std::vector<int> visit(static_cast<std::size_t>(n));
+  std::iota(visit.begin(), visit.end(), 0);
+  if (order == MatchOrder::kLegacyShuffle) {
+    assert(rng != nullptr && "kLegacyShuffle consumes one Rng shuffle");
+    rng->shuffle(visit);
+  } else {
+    // Pinned order: heaviest vertices first, index tie-break. A pure
+    // function of the graph — no Rng draw, no dependence on how many
+    // draws earlier stages consumed.
+    std::sort(visit.begin(), visit.end(), [&fine](int a, int b) {
+      const std::uint32_t da = fine.degree(a);
+      const std::uint32_t db = fine.degree(b);
+      if (da != db) return da > db;
+      return a < b;
+    });
+  }
+
+  // Heavy-edge matching in visit order; the first maximal-weight
+  // unmatched neighbor in adjacency order wins ties.
+  std::vector<int> match(static_cast<std::size_t>(n), -1);
+  for (const int v : visit) {
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    int best = -1;
+    int best_weight = 0;
+    for (std::uint32_t s = adjacency.offsets[static_cast<std::size_t>(v)];
+         s < adjacency.offsets[static_cast<std::size_t>(v) + 1]; ++s) {
+      const auto& [u, weight] = adjacency.entries[s];
+      if (u == v || match[static_cast<std::size_t>(u)] >= 0) continue;
+      if (weight > best_weight) {
+        best_weight = weight;
+        best = u;
+      }
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // stays single
+    }
+  }
+
+  // Contract matched pairs; coarse ids are assigned in visit order.
+  CoarseLevel level;
+  level.parent_of_fine.assign(static_cast<std::size_t>(n), -1);
+  PartitionProblem& coarse = level.problem;
+  coarse.num_planes = problem.num_planes;
+  for (const int v : visit) {
+    const auto uv = static_cast<std::size_t>(v);
+    if (level.parent_of_fine[uv] >= 0) continue;
+    const int partner = match[uv];
+    const int coarse_id = coarse.num_gates++;
+    level.parent_of_fine[uv] = coarse_id;
+    if (partner != v) {
+      level.parent_of_fine[static_cast<std::size_t>(partner)] = coarse_id;
+    }
+    coarse.bias.push_back(
+        problem.bias[uv] +
+        (partner != v ? problem.bias[static_cast<std::size_t>(partner)] : 0.0));
+    coarse.area.push_back(
+        problem.area[uv] +
+        (partner != v ? problem.area[static_cast<std::size_t>(partner)] : 0.0));
+    // gate_ids at coarse levels index the *fine* problem's vertices (the
+    // representative); only the finest level's ids refer to the netlist.
+    coarse.gate_ids.push_back(v);
+  }
+  for (const auto& [a, b] : problem.edges) {
+    const int ca = level.parent_of_fine[static_cast<std::size_t>(a)];
+    const int cb = level.parent_of_fine[static_cast<std::size_t>(b)];
+    if (ca != cb) coarse.edges.emplace_back(ca, cb);  // keep multiplicity
+  }
+  return level;
+}
+
+LevelStack build_level_stack(
+    const PartitionProblem& finest, const CoarsenOptions& options, Rng* rng,
+    const std::function<void(int, const PartitionProblem&)>& on_level) {
+  LevelStack stack;
+  const PartitionProblem* current = &finest;
+  const int floor_size = std::max(options.coarse_target, 4 * finest.num_planes);
+  const int keep_percent = 100 - options.min_shrink_percent;
+  while (current->num_gates > floor_size &&
+         stack.num_levels() < options.max_levels) {
+    const ProblemView view(*current);
+    CoarseLevel level = coarsen_once(view, options.order, rng);
+    // Matching can stall on star-shaped graphs; stop when progress fades.
+    // (A discarded level has already consumed its kLegacyShuffle draws —
+    // deliberately, to preserve the legacy Rng sequence for the stages
+    // that share the Rng downstream.)
+    if (level.problem.num_gates > current->num_gates * keep_percent / 100) {
+      break;
+    }
+    stack.levels.push_back(std::move(level));
+    current = &stack.levels.back().problem;
+    if (on_level) on_level(stack.num_levels(), *current);
+  }
+  return stack;
+}
+
+}  // namespace sfqpart

@@ -324,7 +324,21 @@ Partition PartitionProblem::to_partition(const std::vector<int>& labels,
 
 CostModel::CostModel(const PartitionProblem& problem, const CostWeights& weights,
                      GradientStyle style)
-    : problem_(&problem), weights_(weights), style_(style) {
+    : owned_view_(std::make_unique<ProblemView>(problem)),
+      view_(owned_view_.get()),
+      weights_(weights),
+      style_(style) {
+  init(weights);
+}
+
+CostModel::CostModel(const ProblemView& view, const CostWeights& weights,
+                     GradientStyle style)
+    : view_(&view), weights_(weights), style_(style) {
+  init(weights);
+}
+
+void CostModel::init(const CostWeights& weights) {
+  const PartitionProblem& problem = view_->problem();
   const int k = problem.num_planes;
   const int g = problem.num_gates;
   assert(k >= 2);
@@ -348,32 +362,15 @@ CostModel::CostModel(const PartitionProblem& problem, const CostWeights& weights
   if (n2_ <= 0.0) n2_ = 1.0;
   if (n3_ <= 0.0) n3_ = 1.0;
   if (n4_ <= 0.0) n4_ = 1.0;
-
-  // CSR incidence build: count degrees, prefix-sum, then fill in ascending
-  // edge order so each gate sees its incident edges in exactly the order
-  // the per-edge scatter touched its accumulator. Only the slot indices
-  // are stored: the edge pass writes each edge's two signed contributions
-  // into its slots, and the gather just sums a gate's slot range.
-  const auto gates = static_cast<std::size_t>(g);
-  inc_offsets_.assign(gates + 1, 0);
-  for (const auto& [a, b] : problem.edges) {
-    ++inc_offsets_[static_cast<std::size_t>(a) + 1];
-    ++inc_offsets_[static_cast<std::size_t>(b) + 1];
-  }
-  for (std::size_t i = 1; i <= gates; ++i) inc_offsets_[i] += inc_offsets_[i - 1];
-  slot_of_first_.resize(problem.edges.size());
-  slot_of_second_.resize(problem.edges.size());
-  std::vector<std::uint32_t> cursor(inc_offsets_.begin(), inc_offsets_.end() - 1);
-  for (std::size_t e = 0; e < problem.edges.size(); ++e) {
-    const auto& [a, b] = problem.edges[e];
-    slot_of_first_[e] = cursor[static_cast<std::size_t>(a)]++;
-    slot_of_second_[e] = cursor[static_cast<std::size_t>(b)]++;
-  }
+  // The CSR incidence adjacency lives in the shared ProblemView
+  // (core/problem_view.h): the edge pass writes each edge's two signed
+  // contributions into its view slots, and the gather just sums a gate's
+  // slot range in ascending edge order.
 }
 
 void CostModel::aggregate(const Matrix& w, Workspace& ws) const {
-  const auto g = static_cast<std::size_t>(problem_->num_gates);
-  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  const auto g = static_cast<std::size_t>(problem().num_gates);
+  const auto k = static_cast<std::size_t>(problem().num_planes);
   assert(w.rows() == g && w.cols() == k);
 
   Aggregates& agg = ws.agg;
@@ -392,8 +389,8 @@ void CostModel::aggregate(const Matrix& w, Workspace& ws) const {
   const std::size_t chunks = chunk_count(g, kReductionGrain);
   ws.bias_area_partial.reset(chunks, 2 * k);
   AggregateKernel kernel{&w,
-                         problem_->bias.data(),
-                         problem_->area.data(),
+                         problem().bias.data(),
+                         problem().area.data(),
                          agg.labels.data(),
                          agg.row_mean.data(),
                          &ws.bias_area_partial,
@@ -414,14 +411,14 @@ void CostModel::aggregate(const Matrix& w, Workspace& ws) const {
 }
 
 double CostModel::f1_and_slot_grad(const Aggregates& agg, Workspace& ws) const {
-  const std::size_t edges = problem_->edges.size();
+  const std::size_t edges = problem().edges.size();
   const std::size_t edge_chunks = chunk_count(edges, kReductionGrain);
   ws.f1_partial.reset(edge_chunks, 1);
   ws.slot_grad.resize(2 * edges);
-  EdgeGradientKernel kernel{problem_->edges.data(),
+  EdgeGradientKernel kernel{problem().edges.data(),
                             agg.labels.data(),
-                            slot_of_first_.data(),
-                            slot_of_second_.data(),
+                            view_->slot_of_first(),
+                            view_->slot_of_second(),
                             ws.slot_grad.data(),
                             &ws.f1_partial,
                             weights_.distance_exponent,
@@ -436,10 +433,10 @@ double CostModel::f1_and_slot_grad(const Aggregates& agg, Workspace& ws) const {
 }
 
 double CostModel::f1_term(const Aggregates& agg, Workspace& ws) const {
-  const std::size_t edges = problem_->edges.size();
+  const std::size_t edges = problem().edges.size();
   const std::size_t edge_chunks = chunk_count(edges, kReductionGrain);
   ws.f1_partial.reset(edge_chunks, 1);
-  F1TermKernel kernel{problem_->edges.data(), agg.labels.data(),
+  F1TermKernel kernel{problem().edges.data(), agg.labels.data(),
                       &ws.f1_partial, weights_.distance_exponent};
   parallel_chunks(pool_, edges, kReductionGrain, kernel, kEdgePassCost);
   double f1 = 0.0;
@@ -450,7 +447,7 @@ double CostModel::f1_term(const Aggregates& agg, Workspace& ws) const {
 }
 
 void CostModel::f2_f3_terms(const Aggregates& agg, CostTerms& terms) const {
-  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  const auto k = static_cast<std::size_t>(problem().num_planes);
   const double kd = static_cast<double>(k);
   for (std::size_t kk = 0; kk < k; ++kk) {
     const double db = agg.plane_bias[kk] - agg.mean_bias;
@@ -463,8 +460,8 @@ void CostModel::f2_f3_terms(const Aggregates& agg, CostTerms& terms) const {
 }
 
 CostTerms CostModel::terms_from(const Matrix& w, Workspace& ws) const {
-  const auto g = static_cast<std::size_t>(problem_->num_gates);
-  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  const auto g = static_cast<std::size_t>(problem().num_gates);
+  const auto k = static_cast<std::size_t>(problem().num_planes);
   const Aggregates& agg = ws.agg;
   CostTerms terms;
 
@@ -499,8 +496,8 @@ CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad) const
 
 CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad,
                                             Workspace& ws) const {
-  const auto g = static_cast<std::size_t>(problem_->num_gates);
-  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  const auto g = static_cast<std::size_t>(problem().num_gates);
+  const auto k = static_cast<std::size_t>(problem().num_planes);
 
   aggregate(w, ws);
   if (grad.rows() != g || grad.cols() != k) grad = Matrix(g, k);
@@ -523,8 +520,8 @@ CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad,
 
 void CostModel::fused_gradient_pass(const Matrix& w, Matrix& grad,
                                     Workspace& ws, CostTerms& terms) const {
-  const auto g = static_cast<std::size_t>(problem_->num_gates);
-  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  const auto g = static_cast<std::size_t>(problem().num_gates);
+  const auto k = static_cast<std::size_t>(problem().num_planes);
   const double kd = static_cast<double>(k);
   const Aggregates& agg = ws.agg;
 
@@ -540,12 +537,12 @@ void CostModel::fused_gradient_pass(const Matrix& w, Matrix& grad,
   FusedGradientKernel kernel{&w,
                              &grad,
                              agg.row_mean.data(),
-                             problem_->bias.data(),
-                             problem_->area.data(),
+                             problem().bias.data(),
+                             problem().area.data(),
                              ws.plane_diff.data(),
                              ws.plane_diff.data() + k,
                              ws.slot_grad.data(),
-                             inc_offsets_.data(),
+                             view_->offsets(),
                              &ws.f4_partial,
                              k,
                              weights_.c1,
@@ -564,14 +561,14 @@ void CostModel::fused_gradient_pass(const Matrix& w, Matrix& grad,
 // a separate parallel fill pass. Kept only for A/B regression coverage.
 void CostModel::scatter_gradient_pass(const Matrix& w, Matrix& grad,
                                       Workspace& ws) const {
-  const auto g = static_cast<std::size_t>(problem_->num_gates);
-  const auto k = static_cast<std::size_t>(problem_->num_planes);
+  const auto g = static_cast<std::size_t>(problem().num_gates);
+  const auto k = static_cast<std::size_t>(problem().num_planes);
   const int p = weights_.distance_exponent;
   const Aggregates& agg = ws.agg;
 
   // F1: dF1/dl_i accumulated per gate, then dl_i/dw_{i,k} = (k+1).
   ws.dlabel.assign(g, 0.0);
-  for (const auto& [a, b] : problem_->edges) {
+  for (const auto& [a, b] : problem().edges) {
     const auto ua = static_cast<std::size_t>(a);
     const auto ub = static_cast<std::size_t>(b);
     const double delta = agg.labels[ua] - agg.labels[ub];
@@ -594,8 +591,8 @@ void CostModel::scatter_gradient_pass(const Matrix& w, Matrix& grad,
                            agg.plane_area.data(),
                            agg.mean_bias,
                            agg.mean_area,
-                           problem_->bias.data(),
-                           problem_->area.data(),
+                           problem().bias.data(),
+                           problem().area.data(),
                            k,
                            weights_,
                            n2_,
@@ -606,7 +603,7 @@ void CostModel::scatter_gradient_pass(const Matrix& w, Matrix& grad,
 }
 
 CostTerms CostModel::evaluate_discrete(const std::vector<int>& labels) const {
-  return evaluate(one_hot(labels, problem_->num_planes));
+  return evaluate(one_hot(labels, problem().num_planes));
 }
 
 }  // namespace sfqpart

@@ -23,9 +23,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/partition.h"
+#include "core/problem_view.h"
 #include "util/matrix.h"
 #include "util/thread_pool.h"
 
@@ -107,8 +109,15 @@ class CostModel {
 
   CostModel(const PartitionProblem& problem, const CostWeights& weights,
             GradientStyle style = GradientStyle::kAnalytic);
+  // Shares a prebuilt ProblemView instead of deriving a private one — the
+  // V-cycle builds one view per level and hands it to the cost model, the
+  // move evaluator and the coarsener alike. The view (and its problem)
+  // must outlive the model.
+  CostModel(const ProblemView& view, const CostWeights& weights,
+            GradientStyle style = GradientStyle::kAnalytic);
 
-  const PartitionProblem& problem() const { return *problem_; }
+  const PartitionProblem& problem() const { return view_->problem(); }
+  const ProblemView& view() const { return *view_; }
   const CostWeights& weights() const { return weights_; }
   GradientStyle gradient_style() const { return style_; }
 
@@ -159,7 +168,15 @@ class CostModel {
   void scatter_gradient_pass(const Matrix& w, Matrix& grad,
                              Workspace& ws) const;
 
-  const PartitionProblem* problem_;
+  void init(const CostWeights& weights);
+
+  // The CSR adjacency (core/problem_view.h): gate i's incident edges in
+  // ascending edge order, plus the per-edge slot pair the edge pass
+  // writes so the gather never recomputes a power chain. Owned when the
+  // model was built from a bare problem, borrowed when the caller shares
+  // a prebuilt view.
+  std::unique_ptr<ProblemView> owned_view_;
+  const ProblemView* view_;
   CostWeights weights_;
   GradientStyle style_;
   GradientEngine engine_ = GradientEngine::kCsrGather;
@@ -169,15 +186,6 @@ class CostModel {
   double n2_ = 1.0;
   double n3_ = 1.0;
   double n4_ = 1.0;
-  // CSR gate -> incident edges, built once and shared by every restart.
-  // Gate i's slots are inc_offsets_[i] .. inc_offsets_[i+1], ordered by
-  // ascending edge index. Each edge owns exactly two slots (one per
-  // endpoint, equation 10's two sums); slot_of_first_/_second_ map an
-  // edge to them so the edge pass can write both signed contributions
-  // and the gather never recomputes a power chain.
-  std::vector<std::uint32_t> inc_offsets_;     // size G + 1
-  std::vector<std::uint32_t> slot_of_first_;   // size |E|
-  std::vector<std::uint32_t> slot_of_second_;  // size |E|
 };
 
 }  // namespace sfqpart

@@ -197,6 +197,7 @@ RegistryState& registry_state() {
     using namespace engine_detail;
     s->factories.emplace("gradient", make_gradient_engine);
     s->factories.emplace("multilevel", make_multilevel_engine);
+    s->factories.emplace("vcycle", make_vcycle_engine);
     s->factories.emplace("annealing", make_annealing_engine);
     s->factories.emplace("fm_kway", make_fm_kway_engine);
     s->factories.emplace("layered", make_layered_engine);

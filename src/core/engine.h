@@ -1,7 +1,7 @@
 // Unified engine surface: every partitioning algorithm in the library
 // behind one interface and one registry.
 //
-// The paper's gradient-descent relaxation is one of six engines; the
+// The paper's gradient-descent relaxation is one of seven engines; the
 // others (multilevel, annealing, FM k-way, layered, random) exist to
 // quantify the paper's section IV-A claim that classic K-way cut
 // objectives cannot capture plane-distance cost. Historically each had
@@ -154,7 +154,7 @@ class PartitionEngine {
                                   const EngineContext& context) const = 0;
 };
 
-// Static registry of every known engine. The six built-ins register
+// Static registry of every known engine. The seven built-ins register
 // themselves on first use; external code can add more with
 // register_engine (names must be unique).
 class EngineRegistry {

@@ -37,7 +37,7 @@ class EngineAdapter : public PartitionEngine {
   virtual bool self_observing() const { return true; }
 };
 
-// Shared OptionSpec builders for the EngineContext knobs, so the six
+// Shared OptionSpec builders for the EngineContext knobs, so the seven
 // adapters advertise identical specs for the knobs they have in common.
 OptionSpec planes_spec();
 OptionSpec seed_spec();
@@ -50,6 +50,7 @@ std::vector<OptionSpec> weight_specs();
 // Built-in engine factories (one adapter per file).
 std::unique_ptr<PartitionEngine> make_gradient_engine();
 std::unique_ptr<PartitionEngine> make_multilevel_engine();
+std::unique_ptr<PartitionEngine> make_vcycle_engine();
 std::unique_ptr<PartitionEngine> make_annealing_engine();
 std::unique_ptr<PartitionEngine> make_fm_kway_engine();
 std::unique_ptr<PartitionEngine> make_layered_engine();

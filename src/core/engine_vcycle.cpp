@@ -1,0 +1,57 @@
+// "vcycle" engine: heavy-edge coarsening in the pinned visit order,
+// coarse-only gradient descent, banded parallel refinement on uncoarsen
+// (core/vcycle.h) — the registry's million-gate path.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine_adapter.h"
+#include "core/vcycle.h"
+
+namespace sfqpart::engine_detail {
+
+namespace {
+
+class VcycleAdapter final : public EngineAdapter {
+ public:
+  const char* name() const override { return "vcycle"; }
+  const char* description() const override {
+    return "sparse coarsen->optimize->uncoarsen V-cycle: coarse-only "
+           "gradient descent + banded parallel refinement (million-gate "
+           "scale)";
+  }
+  std::vector<OptionSpec> describe_options() const override {
+    std::vector<OptionSpec> specs = {planes_spec(), seed_spec(),
+                                     restarts_spec(), threads_spec()};
+    for (OptionSpec& spec : weight_specs()) specs.push_back(std::move(spec));
+    return specs;
+  }
+
+ protected:
+  StatusOr<Partition> solve(
+      const Netlist& netlist, const EngineContext& context,
+      std::vector<std::pair<std::string, double>>& counters) const override {
+    VcycleOptions options;
+    options.seed = context.seed;
+    options.coarse.restarts = context.restarts;
+    options.coarse.weights = context.weights;
+    options.threads = context.threads;
+    options.observer = context.observer;
+    VcycleResult result =
+        vcycle_partition(netlist, context.num_planes, options);
+    counters.emplace_back("levels", result.levels);
+    counters.emplace_back("coarse_gates", result.coarse_gates);
+    counters.emplace_back("refine_moves",
+                          static_cast<double>(result.refine_moves));
+    return std::move(result.partition);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PartitionEngine> make_vcycle_engine() {
+  return std::make_unique<VcycleAdapter>();
+}
+
+}  // namespace sfqpart::engine_detail

@@ -18,28 +18,16 @@ double ipow(double base, int exponent) {
 MoveEvaluator::MoveEvaluator(const CostModel& model, std::vector<int> labels)
     : model_(&model),
       labels_(std::move(labels)),
-      num_planes_(model.problem().num_planes) {
+      num_planes_(model.problem().num_planes),
+      // The neighbor CSR comes straight from the model's shared
+      // ProblemView: the view's cursor fill in ascending edge order
+      // produces each gate's neighbor list in exactly the order the old
+      // per-gate push_back did, so delta() stays bit-identical.
+      neighbor_offsets_(model.view().offsets()),
+      neighbor_adj_(model.view().neighbors()) {
   const PartitionProblem& problem = model.problem();
   assert(static_cast<int>(labels_.size()) == problem.num_gates);
 
-  // CSR build: degree count, prefix sum, then a cursor fill in ascending
-  // edge order — each gate's neighbor list comes out in exactly the order
-  // the old per-gate push_back produced it.
-  neighbor_offsets_.assign(labels_.size() + 1, 0);
-  for (const auto& [a, b] : problem.edges) {
-    ++neighbor_offsets_[static_cast<std::size_t>(a) + 1];
-    ++neighbor_offsets_[static_cast<std::size_t>(b) + 1];
-  }
-  for (std::size_t i = 1; i < neighbor_offsets_.size(); ++i) {
-    neighbor_offsets_[i] += neighbor_offsets_[i - 1];
-  }
-  neighbor_adj_.resize(2 * problem.edges.size());
-  std::vector<std::uint32_t> cursor(neighbor_offsets_.begin(),
-                                    neighbor_offsets_.end() - 1);
-  for (const auto& [a, b] : problem.edges) {
-    neighbor_adj_[cursor[static_cast<std::size_t>(a)]++] = b;
-    neighbor_adj_[cursor[static_cast<std::size_t>(b)]++] = a;
-  }
   plane_bias_.assign(static_cast<std::size_t>(num_planes_), 0.0);
   plane_area_.assign(static_cast<std::size_t>(num_planes_), 0.0);
   for (std::size_t i = 0; i < labels_.size(); ++i) {

@@ -36,14 +36,15 @@ class MoveEvaluator {
   const CostModel* model_;
   std::vector<int> labels_;
   int num_planes_;
-  // CSR adjacency: gate i's neighbors are neighbor_adj_[neighbor_offsets_[i]
-  // .. neighbor_offsets_[i+1]), in ascending edge order — the same order
-  // the historical vector-of-vectors push_back produced, so delta()'s F1
-  // accumulation is bit-identical. One flat allocation instead of G inner
-  // vectors kills the per-gate pointer chase in the annealing/refine/FM
-  // inner loops.
-  std::vector<std::uint32_t> neighbor_offsets_;  // size G + 1
-  std::vector<std::int32_t> neighbor_adj_;       // size 2|E|
+  // CSR adjacency, borrowed from the model's shared ProblemView: gate i's
+  // neighbors are neighbor_adj_[neighbor_offsets_[i] ..
+  // neighbor_offsets_[i+1]), in ascending edge order — the same order the
+  // historical vector-of-vectors push_back produced, so delta()'s F1
+  // accumulation is bit-identical. Sharing the view instead of rebuilding
+  // it means constructing an evaluator per V-cycle level costs no second
+  // O(E) pass and no second copy of the adjacency.
+  const std::uint32_t* neighbor_offsets_;  // size G + 1
+  const std::int32_t* neighbor_adj_;       // size 2|E|
   std::vector<double> plane_bias_;
   std::vector<double> plane_area_;
   double mean_bias_ = 0.0;

@@ -1,97 +1,14 @@
 #include "core/multilevel.h"
 
-#include <algorithm>
 #include <cassert>
-#include <numeric>
 
+#include "core/coarsen.h"
 #include "core/refine.h"
 #include "core/solver.h"
 #include "obs/trace_sink.h"
 #include "util/rng.h"
 
 namespace sfqpart {
-namespace {
-
-// One coarsening level: heavy-edge matching on the (multi-)graph.
-struct Level {
-  PartitionProblem problem;        // the coarser problem
-  std::vector<int> parent_of_fine; // fine vertex -> coarse vertex
-};
-
-Level coarsen(const PartitionProblem& fine, Rng& rng) {
-  const int n = fine.num_gates;
-
-  // Accumulate edge multiplicities into adjacency (neighbor, weight).
-  std::vector<std::vector<std::pair<int, int>>> adjacency(static_cast<std::size_t>(n));
-  {
-    // Count parallel edges via sorting.
-    std::vector<std::pair<int, int>> edges = fine.edges;
-    for (auto& [a, b] : edges) {
-      if (a > b) std::swap(a, b);
-    }
-    std::sort(edges.begin(), edges.end());
-    for (std::size_t i = 0; i < edges.size();) {
-      std::size_t j = i;
-      while (j < edges.size() && edges[j] == edges[i]) ++j;
-      const int weight = static_cast<int>(j - i);
-      adjacency[static_cast<std::size_t>(edges[i].first)].emplace_back(edges[i].second, weight);
-      adjacency[static_cast<std::size_t>(edges[i].second)].emplace_back(edges[i].first, weight);
-      i = j;
-    }
-  }
-
-  // Heavy-edge matching in random visit order.
-  std::vector<int> match(static_cast<std::size_t>(n), -1);
-  std::vector<int> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  rng.shuffle(order);
-  for (const int v : order) {
-    if (match[static_cast<std::size_t>(v)] >= 0) continue;
-    int best = -1;
-    int best_weight = 0;
-    for (const auto& [u, weight] : adjacency[static_cast<std::size_t>(v)]) {
-      if (u == v || match[static_cast<std::size_t>(u)] >= 0) continue;
-      if (weight > best_weight) {
-        best_weight = weight;
-        best = u;
-      }
-    }
-    if (best >= 0) {
-      match[static_cast<std::size_t>(v)] = best;
-      match[static_cast<std::size_t>(best)] = v;
-    } else {
-      match[static_cast<std::size_t>(v)] = v;  // stays single
-    }
-  }
-
-  Level level;
-  level.parent_of_fine.assign(static_cast<std::size_t>(n), -1);
-  PartitionProblem& coarse = level.problem;
-  coarse.num_planes = fine.num_planes;
-  for (const int v : order) {
-    const auto uv = static_cast<std::size_t>(v);
-    if (level.parent_of_fine[uv] >= 0) continue;
-    const int partner = match[uv];
-    const int coarse_id = coarse.num_gates++;
-    level.parent_of_fine[uv] = coarse_id;
-    if (partner != v) level.parent_of_fine[static_cast<std::size_t>(partner)] = coarse_id;
-    coarse.bias.push_back(fine.bias[uv] +
-                          (partner != v ? fine.bias[static_cast<std::size_t>(partner)] : 0.0));
-    coarse.area.push_back(fine.area[uv] +
-                          (partner != v ? fine.area[static_cast<std::size_t>(partner)] : 0.0));
-    // gate_ids at coarse levels index the *fine* problem's vertices (the
-    // representative); only the finest level's ids refer to the netlist.
-    coarse.gate_ids.push_back(v);
-  }
-  for (const auto& [a, b] : fine.edges) {
-    const int ca = level.parent_of_fine[static_cast<std::size_t>(a)];
-    const int cb = level.parent_of_fine[static_cast<std::size_t>(b)];
-    if (ca != cb) coarse.edges.emplace_back(ca, cb);  // keep multiplicity
-  }
-  return level;
-}
-
-}  // namespace
 
 MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
                                       const MultilevelOptions& options) {
@@ -99,10 +16,7 @@ MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
   Rng rng(options.seed);
   obs::TraceSink sink(options.observer);
 
-  std::vector<Level> levels;
   PartitionProblem finest = PartitionProblem::from_netlist(netlist, num_planes);
-  const PartitionProblem* current = &finest;
-  const int floor_size = std::max(options.coarse_target, 4 * num_planes);
 
   // The outer multilevel drive announces itself first; the nested coarse
   // Solver's run_start then loses the RunReport first-wins race, so the
@@ -125,29 +39,35 @@ MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
     sink.run_start(info);
   }
 
+  // Coarsen on the shared level builder, in the legacy Rng-shuffled visit
+  // order: the continuing `rng` feeds the projection refits below, so the
+  // draw sequence (including draws of a stall-discarded level) is part of
+  // the engine's pinned golden-label behavior.
+  LevelStack stack;
   {
     obs::ScopedTimer timer(&sink, "coarsen");
     if (sink.enabled()) {
       sink.level({0, finest.num_gates,
                   static_cast<long long>(finest.edges.size())});
     }
-    while (current->num_gates > floor_size &&
-           static_cast<int>(levels.size()) < options.max_levels) {
-      Level level = coarsen(*current, rng);
-      // Matching can stall on star-shaped graphs; stop when progress fades.
-      if (level.problem.num_gates > current->num_gates * 95 / 100) break;
-      levels.push_back(std::move(level));
-      current = &levels.back().problem;
-      if (sink.enabled()) {
-        sink.level({static_cast<int>(levels.size()), current->num_gates,
-                    static_cast<long long>(current->edges.size())});
-      }
-    }
+    CoarsenOptions coarsen_options;
+    coarsen_options.coarse_target = options.coarse_target;
+    coarsen_options.max_levels = options.max_levels;
+    coarsen_options.order = MatchOrder::kLegacyShuffle;
+    stack = build_level_stack(
+        finest, coarsen_options, &rng,
+        [&sink](int level, const PartitionProblem& coarse) {
+          if (sink.enabled()) {
+            sink.level({level, coarse.num_gates,
+                        static_cast<long long>(coarse.edges.size())});
+          }
+        });
   }
+  const PartitionProblem& coarsest = stack.coarsest(finest);
 
   MultilevelResult result;
-  result.levels = static_cast<int>(levels.size());
-  result.coarse_gates = current->num_gates;
+  result.levels = stack.num_levels();
+  result.coarse_gates = coarsest.num_gates;
 
   // Solve the coarsest problem with the paper's optimizer. The coarse
   // Solver inherits the observer, so its event stream (run lifecycle,
@@ -163,20 +83,17 @@ MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
     coarse_config.observer = options.observer;
     // The asserts in StatusOr::value mirror the old solve_labels contract:
     // the inputs were validated above, so failure here is a programmer bug.
-    labels = Solver(coarse_config).solve(*current).value().labels;
+    labels = Solver(coarse_config).solve(coarsest).value().labels;
   }
 
   // Uncoarsen: project each coarse label onto its merged fine vertices,
   // then polish with greedy refinement at the finer level.
   {
     obs::ScopedTimer timer(&sink, "uncoarsen");
-    for (std::size_t i = levels.size(); i-- > 0;) {
-      const PartitionProblem& fine = i == 0 ? finest : levels[i - 1].problem;
-      std::vector<int> fine_labels(static_cast<std::size_t>(fine.num_gates));
-      for (int v = 0; v < fine.num_gates; ++v) {
-        fine_labels[static_cast<std::size_t>(v)] =
-            labels[static_cast<std::size_t>(levels[i].parent_of_fine[static_cast<std::size_t>(v)])];
-      }
+    for (std::size_t i = stack.levels.size(); i-- > 0;) {
+      const PartitionProblem& fine =
+          i == 0 ? finest : stack.levels[i - 1].problem;
+      std::vector<int> fine_labels = stack.levels[i].project(labels);
       const CostModel model(fine, coarse_options.weights);
       refine_partition(model, fine_labels, rng, options.refine, &sink, -1);
       labels = std::move(fine_labels);

@@ -1,0 +1,246 @@
+#include "core/vcycle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <vector>
+
+#include "core/coarsen.h"
+#include "core/move_eval.h"
+#include "core/problem_view.h"
+#include "obs/trace_sink.h"
+#include "util/thread_pool.h"
+
+namespace sfqpart {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Matches refine.cpp's strict-improvement threshold: a move must beat
+// this to be proposed or committed, so zero-delta oscillation is
+// impossible and the per-level cost is strictly non-increasing.
+constexpr double kImprovementThreshold = -1e-12;
+
+// Proposal grain: coarse levels collapse to one chunk (inline), only the
+// 10^5+-gate levels actually fan out.
+constexpr std::size_t kProposalGrain = 2048;
+// Rough ns per gate of a proposal: a handful of delta() evaluations,
+// each walking the gate's CSR neighbor range.
+constexpr double kProposalItemCost = 60.0;
+
+// One parallel proposal sweep: for every gate, the best strictly
+// improving move within the gain band, evaluated against the frozen
+// pass-start labels. delta() only reads the (const) evaluator state and
+// proposal writes are element-wise, so the sweep is bit-identical at any
+// thread count.
+struct ProposalKernel {
+  const MoveEvaluator* eval;
+  const int* labels;
+  std::int32_t* proposal;
+  int band;
+  int num_planes;
+
+  void operator()(std::size_t, std::size_t begin, std::size_t end) const {
+    for (std::size_t i = begin; i < end; ++i) {
+      const int gate = static_cast<int>(i);
+      const int source = labels[i];
+      const int lo = std::max(0, source - band);
+      const int hi = std::min(num_planes - 1, source + band);
+      int best = -1;
+      double best_delta = kImprovementThreshold;
+      for (int target = lo; target <= hi; ++target) {
+        if (target == source) continue;
+        const double delta = eval->delta(gate, target);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best = target;
+        }
+      }
+      proposal[i] = best;
+    }
+  }
+};
+
+struct BandedRefineStats {
+  int passes = 0;
+  long long moves = 0;
+  double cost_after = 0.0;  // cost_before + sum of committed deltas
+};
+
+// Propose in parallel, commit serially in ascending gate order. The
+// commit re-evaluates each proposal against the labels as they evolve
+// within the pass, applying only the still-improving ones — proposals
+// invalidated by an earlier commit are simply skipped, and the applied
+// delta sequence (hence the final labels) never depends on how the
+// proposal sweep was chunked across threads.
+BandedRefineStats banded_refine(MoveEvaluator& eval, int band,
+                                const RefineOptions& options, ThreadPool* pool,
+                                double cost_before) {
+  const int n = eval.num_gates();
+  const int k = eval.num_planes();
+  BandedRefineStats stats;
+  stats.cost_after = cost_before;
+  std::vector<std::int32_t> proposal(static_cast<std::size_t>(n));
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    ProposalKernel kernel{&eval, eval.labels().data(), proposal.data(), band,
+                          k};
+    parallel_chunks(pool, static_cast<std::size_t>(n), kProposalGrain, kernel,
+                    kProposalItemCost);
+    int moves = 0;
+    for (int gate = 0; gate < n; ++gate) {
+      const int target = proposal[static_cast<std::size_t>(gate)];
+      if (target < 0) continue;
+      const double delta = eval.delta(gate, target);
+      if (delta < kImprovementThreshold) {
+        eval.apply(gate, target);
+        stats.cost_after += delta;
+        ++moves;
+      }
+    }
+    ++stats.passes;
+    stats.moves += moves;
+    if (moves < options.min_moves_per_pass) break;
+  }
+  return stats;
+}
+
+}  // namespace
+
+VcycleResult vcycle_partition(const Netlist& netlist, int num_planes,
+                              const VcycleOptions& options) {
+  assert(num_planes >= 2);
+  obs::TraceSink sink(options.observer);
+
+  PartitionProblem finest = PartitionProblem::from_netlist(netlist, num_planes);
+
+  if (sink.enabled()) {
+    obs::RunInfo info;
+    info.engine = "vcycle";
+    info.num_planes = num_planes;
+    info.restarts = options.coarse.restarts;
+    info.seed = options.seed;
+    info.refine = true;  // banded refinement always runs on uncoarsen
+    info.weights = options.coarse.weights;
+    info.gradient_style = options.coarse.gradient_style;
+    info.learning_rate = options.coarse.optimizer.learning_rate;
+    info.max_iterations = options.coarse.optimizer.max_iterations;
+    info.margin = options.coarse.optimizer.margin;
+    info.normalize_step = options.coarse.optimizer.normalize_step;
+    info.problem_gates = finest.num_gates;
+    info.problem_edges = static_cast<long long>(finest.edges.size());
+    sink.run_start(info);
+  }
+
+  // Coarsen in the pinned kDegreeSorted order: level shape is a pure
+  // function of the graph — no Rng draw, no dependence on thread count
+  // or on what earlier stages consumed.
+  LevelStack stack;
+  {
+    obs::ScopedTimer timer(&sink, "coarsen");
+    if (sink.enabled()) {
+      sink.level({0, finest.num_gates,
+                  static_cast<long long>(finest.edges.size())});
+    }
+    CoarsenOptions coarsen_options;
+    coarsen_options.coarse_target = options.coarse_target;
+    coarsen_options.max_levels = options.max_levels;
+    coarsen_options.order = MatchOrder::kDegreeSorted;
+    Clock::time_point level_start = Clock::now();
+    stack = build_level_stack(
+        finest, coarsen_options, nullptr,
+        [&sink, &level_start](int level, const PartitionProblem& coarse) {
+          const double elapsed = ms_since(level_start);
+          level_start = Clock::now();
+          if (sink.enabled()) {
+            obs::LevelEvent event;
+            event.level = level;
+            event.num_vertices = coarse.num_gates;
+            event.num_edges = static_cast<long long>(coarse.edges.size());
+            event.coarsen_ms = elapsed;
+            sink.level(event);
+          }
+        });
+  }
+  const PartitionProblem& coarsest = stack.coarsest(finest);
+
+  VcycleResult result;
+  result.levels = stack.num_levels();
+  result.coarse_gates = coarsest.num_gates;
+
+  // The paper's descent runs only here, where G*K is small. The coarse
+  // Solver inherits the observer (its event stream lands in the same
+  // report/trace) and the driver seed/threads.
+  std::vector<int> labels;
+  {
+    obs::ScopedTimer timer(&sink, "coarse_solve");
+    SolverConfig coarse_config = options.coarse;
+    coarse_config.num_planes = num_planes;
+    coarse_config.seed = options.seed;
+    coarse_config.threads = options.threads;
+    coarse_config.observer = options.observer;
+    // Inputs were validated by the engine adapter; failure here is a
+    // programmer bug, mirroring the multilevel driver.
+    labels = Solver(coarse_config).solve(coarsest).value().labels;
+  }
+
+  // Uncoarsen: project, then banded parallel refinement per level. The
+  // pool is shared by the proposal sweeps and the cost-model reductions;
+  // per the executor's determinism contract it changes wall-clock only.
+  const int threads = options.threads == 0 ? ThreadPool::hardware_concurrency()
+                                           : std::max(1, options.threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  {
+    obs::ScopedTimer timer(&sink, "uncoarsen");
+    for (std::size_t i = stack.levels.size(); i-- > 0;) {
+      const Clock::time_point level_start = Clock::now();
+      const PartitionProblem& fine =
+          i == 0 ? finest : stack.levels[i - 1].problem;
+      std::vector<int> fine_labels = stack.levels[i].project(labels);
+
+      // One shared CSR view per level: the cost model, the move
+      // evaluator and (during coarsening) the matcher all read it.
+      const ProblemView view(fine);
+      CostModel model(view, options.coarse.weights,
+                      options.coarse.gradient_style);
+      model.set_thread_pool(pool.get());
+      MoveEvaluator eval(model, std::move(fine_labels));
+      const double projected_cost = eval.current_cost();
+      const BandedRefineStats stats = banded_refine(
+          eval, options.band, options.refine, pool.get(), projected_cost);
+      result.refine_moves += stats.moves;
+      labels = eval.labels();
+
+      if (sink.enabled()) {
+        obs::LevelEvent event;
+        event.level = static_cast<int>(i);
+        event.num_vertices = fine.num_gates;
+        event.num_edges = static_cast<long long>(fine.edges.size());
+        event.refine_ms = ms_since(level_start);
+        event.projected_cost = projected_cost;
+        event.refined_cost = stats.cost_after;
+        event.refine_moves = static_cast<int>(stats.moves);
+        sink.level(event);
+      }
+    }
+  }
+
+  result.partition = finest.to_partition(labels, netlist.num_gates());
+  {
+    CostModel model(finest, options.coarse.weights);
+    model.set_thread_pool(pool.get());
+    result.discrete_total =
+        model.evaluate_discrete(labels).total(options.coarse.weights);
+  }
+  if (sink.enabled()) {
+    sink.run_end({-1, result.discrete_total, 0, true});
+  }
+  return result;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,195 @@
+#include "gen/scaled.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sfqpart {
+namespace {
+
+// A logical signal's physical drive point: gate output pin `pin` of
+// `gate`. Splitter chains hand out one tap per logical consumer.
+struct Tap {
+  GateId gate = kInvalidGate;
+  int pin = 0;
+};
+
+// A logical node consuming one or two earlier signals. Signal indices:
+// [0, num_inputs) are primary inputs, then one signal per node in order.
+struct Node {
+  std::int32_t src_a = -1;
+  std::int32_t src_b = -1;  // -1 for 1-input (JTL) nodes
+};
+
+// Samples a creation distance in [1, limit] with density ~ d^-alpha
+// (inverse-CDF of the truncated continuous power law). alpha in (1, 2)
+// for rent exponents in (0, 1); the alpha ~= 1 branch guards p -> 1.
+std::int64_t sample_distance(Rng& rng, std::int64_t limit, double alpha) {
+  if (limit <= 1) return 1;
+  const double u = rng.uniform();
+  double d;
+  if (std::abs(alpha - 1.0) < 1e-9) {
+    d = std::exp(u * std::log(static_cast<double>(limit)));
+  } else {
+    const double one_minus = 1.0 - alpha;
+    const double span = std::pow(static_cast<double>(limit), one_minus) - 1.0;
+    d = std::pow(1.0 + u * span, 1.0 / one_minus);
+  }
+  const auto distance = static_cast<std::int64_t>(d);
+  return distance < 1 ? 1 : (distance > limit ? limit : distance);
+}
+
+}  // namespace
+
+Netlist build_scaled(const ScaledParams& params) {
+  assert(params.num_gates >= 16);
+  assert(params.rent_exponent > 0.0 && params.rent_exponent <= 1.0);
+  assert(params.max_fanout >= 2);
+  assert(params.buffer_fraction >= 0.0 && params.buffer_fraction < 1.0);
+  Rng rng(params.seed);
+
+  // Sizing. Each node contributes itself plus, on average, about one
+  // splitter (mean logical fanout ~2-q) and a fraction of a fold merge;
+  // the 2.1 divisor centers the realized partitionable-gate count on the
+  // target for the default mix (calibrated by tests/gen/scaled_test).
+  const int num_nodes =
+      params.num_gates < 36 ? 16 : static_cast<int>(params.num_gates / 2.1);
+  const double io_estimate =
+      2.5 * std::pow(static_cast<double>(num_nodes), params.rent_exponent);
+  const int num_inputs =
+      io_estimate < 4.0 ? 4 : static_cast<int>(std::llround(io_estimate * 0.6));
+  const int max_outputs =
+      io_estimate < 4.0 ? 4 : static_cast<int>(std::llround(io_estimate * 0.4));
+  const double alpha = 2.0 - params.rent_exponent;
+
+  // ---- Phase 1: sample the logical DAG (indices only, no Netlist). ----
+  std::vector<Node> nodes;
+  nodes.reserve(static_cast<std::size_t>(num_nodes) + 64);
+  std::vector<std::int32_t> fanout(static_cast<std::size_t>(num_inputs), 0);
+  fanout.reserve(static_cast<std::size_t>(num_inputs + num_nodes) + 64);
+
+  // Picks a source for the signal being created at `next_index`: sample a
+  // distance back, then, if the landing signal is fanout-saturated, walk
+  // toward the most recent signals (the freshest ones are rarely
+  // saturated, so the walk is O(1) amortized) and wrap once.
+  auto pick_source = [&](std::int64_t next_index) -> std::int32_t {
+    const std::int64_t d = sample_distance(rng, next_index, alpha);
+    std::int64_t chosen = next_index - d;
+    for (std::int64_t probe = 0; probe < next_index; ++probe) {
+      const std::int64_t candidate =
+          chosen + probe < next_index ? chosen + probe : chosen + probe - next_index;
+      if (fanout[static_cast<std::size_t>(candidate)] < params.max_fanout) {
+        ++fanout[static_cast<std::size_t>(candidate)];
+        return static_cast<std::int32_t>(candidate);
+      }
+    }
+    // Every earlier signal saturated (tiny circuits only): exceed the cap.
+    ++fanout[static_cast<std::size_t>(chosen)];
+    return static_cast<std::int32_t>(chosen);
+  };
+
+  for (int n = 0; n < num_nodes; ++n) {
+    const std::int64_t next_index = num_inputs + n;
+    Node node;
+    node.src_a = pick_source(next_index);
+    if (rng.uniform() >= params.buffer_fraction) node.src_b = pick_source(next_index);
+    nodes.push_back(node);
+    fanout.push_back(0);
+  }
+
+  // Fold dangling cones pairwise (in index order, so deterministic) until
+  // at most max_outputs signals remain; each surviving one feeds a
+  // primary output. SFQ pulses may not dead-end.
+  std::vector<std::int32_t> dangling;
+  for (std::size_t s = static_cast<std::size_t>(num_inputs); s < fanout.size(); ++s) {
+    if (fanout[s] == 0) dangling.push_back(static_cast<std::int32_t>(s));
+  }
+  if (dangling.empty()) {
+    // Fully consumed DAG: tap the most recent signal for the one output.
+    dangling.push_back(static_cast<std::int32_t>(fanout.size() - 1));
+  }
+  std::size_t fold_head = 0;
+  while (dangling.size() - fold_head > static_cast<std::size_t>(max_outputs)) {
+    Node fold;
+    fold.src_a = dangling[fold_head++];
+    fold.src_b = dangling[fold_head++];
+    ++fanout[static_cast<std::size_t>(fold.src_a)];
+    ++fanout[static_cast<std::size_t>(fold.src_b)];
+    nodes.push_back(fold);
+    fanout.push_back(0);
+    dangling.push_back(static_cast<std::int32_t>(fanout.size() - 1));
+  }
+  const std::size_t num_signals = fanout.size();
+  for (std::size_t s = fold_head; s < dangling.size(); ++s) {
+    ++fanout[static_cast<std::size_t>(dangling[s])];  // consumed by an output
+  }
+
+  // ---- Phase 2: emit the physical netlist in signal order. ----
+  // Flat tap table: signal s owns taps [tap_offset[s], tap_offset[s+1]),
+  // filled when its driver is emitted, popped by consumers in order.
+  std::vector<std::size_t> tap_offset(num_signals + 1, 0);
+  for (std::size_t s = 0; s < num_signals; ++s) {
+    tap_offset[s + 1] =
+        tap_offset[s] + static_cast<std::size_t>(fanout[s] > 0 ? fanout[s] : 0);
+  }
+  std::vector<Tap> taps(tap_offset[num_signals]);
+  std::vector<std::size_t> taps_used(num_signals, 0);
+
+  Netlist netlist;
+  netlist.set_name(params.name);
+  int next_split = 0;
+  // Legalizes signal s: the driver's own pin plus a splitter chain for
+  // fanout beyond 1 (each splitter consumes the chain tail, yielding two
+  // fresh taps — one handed out, one extending the chain).
+  auto place_taps = [&](std::size_t s, GateId driver, int pin) {
+    const std::size_t want = tap_offset[s + 1] - tap_offset[s];
+    if (want == 0) return;
+    Tap tail{driver, pin};
+    for (std::size_t t = 0; t + 1 < want; ++t) {
+      const GateId split =
+          netlist.add_gate_of_kind(str_format("s%d", next_split++), CellKind::kSplit);
+      netlist.connect(tail.gate, tail.pin, split, 0);
+      taps[tap_offset[s] + t] = Tap{split, 0};
+      tail = Tap{split, 1};
+    }
+    taps[tap_offset[s + 1] - 1] = tail;
+  };
+  auto take_tap = [&](std::int32_t s) -> Tap {
+    const auto index = static_cast<std::size_t>(s);
+    assert(taps_used[index] < tap_offset[index + 1] - tap_offset[index]);
+    return taps[tap_offset[index] + taps_used[index]++];
+  };
+
+  for (int i = 0; i < num_inputs; ++i) {
+    const GateId gate =
+        netlist.add_gate_of_kind(str_format("x%d", i), CellKind::kInput);
+    place_taps(static_cast<std::size_t>(i), gate, 0);
+  }
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const Node& node = nodes[n];
+    const std::size_t s = static_cast<std::size_t>(num_inputs) + n;
+    const bool merge = node.src_b >= 0;
+    const GateId gate = netlist.add_gate_of_kind(
+        str_format("g%zu", n), merge ? CellKind::kMerge : CellKind::kJtl);
+    const Tap a = take_tap(node.src_a);
+    netlist.connect(a.gate, a.pin, gate, 0);
+    if (merge) {
+      const Tap b = take_tap(node.src_b);
+      netlist.connect(b.gate, b.pin, gate, 1);
+    }
+    place_taps(s, gate, 0);
+  }
+  for (std::size_t s = fold_head; s < dangling.size(); ++s) {
+    const GateId out = netlist.add_gate_of_kind(
+        str_format("y%zu", s - fold_head), CellKind::kOutput);
+    const Tap tap = take_tap(dangling[s]);
+    netlist.connect(tap.gate, tap.pin, out, 0);
+  }
+  return netlist;
+}
+
+}  // namespace sfqpart

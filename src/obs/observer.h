@@ -84,11 +84,21 @@ struct RestartEndEvent {
   bool converged = false;
 };
 
-// One multilevel coarsening level.
+// One multilevel coarsening level. The shape fields (level, vertices,
+// edges) are emitted while coarsening; the V-cycle engine re-emits the
+// same level index on the way back up with the refinement facts filled
+// in. Aggregating consumers (obs::RunReport) merge the two by level
+// index, so a level appears once in the report with both halves.
 struct LevelEvent {
   int level = 0;
   int num_vertices = 0;
   long long num_edges = 0;
+  // Per-level stage facts (0 when unknown or not applicable).
+  double coarsen_ms = 0.0;      // wall time to build this level
+  double refine_ms = 0.0;       // banded refinement wall time at this level
+  double projected_cost = 0.0;  // discrete cost after label projection
+  double refined_cost = 0.0;    // discrete cost after banded refinement
+  int refine_moves = 0;
 };
 
 // A named scoped timer closed (restart < 0: run-scoped stage).

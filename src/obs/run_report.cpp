@@ -62,7 +62,24 @@ void RunReport::on_restart_end(const RestartEndEvent& e) {
   c.converged = e.converged;
 }
 
-void RunReport::on_level(const LevelEvent& e) { levels_.push_back(e); }
+void RunReport::on_level(const LevelEvent& e) {
+  // A V-cycle emits each level twice: shape + coarsen_ms on the way
+  // down, refinement facts on the way up. Merge by level index so the
+  // report carries one entry per level with both halves; nonzero fields
+  // of the later event win.
+  for (LevelEvent& existing : levels_) {
+    if (existing.level != e.level) continue;
+    if (e.num_vertices != 0) existing.num_vertices = e.num_vertices;
+    if (e.num_edges != 0) existing.num_edges = e.num_edges;
+    if (e.coarsen_ms != 0.0) existing.coarsen_ms = e.coarsen_ms;
+    if (e.refine_ms != 0.0) existing.refine_ms = e.refine_ms;
+    if (e.projected_cost != 0.0) existing.projected_cost = e.projected_cost;
+    if (e.refined_cost != 0.0) existing.refined_cost = e.refined_cost;
+    if (e.refine_moves != 0) existing.refine_moves = e.refine_moves;
+    return;
+  }
+  levels_.push_back(e);
+}
 
 void RunReport::on_timer(const TimerEvent& e) {
   for (auto& [name, stage] : stages_) {
@@ -117,7 +134,10 @@ long long RunReport::counter(const std::string& name) const {
 
 Json RunReport::to_json() const {
   Json doc = Json::object();
-  doc.set("schema", Json::string("sfqpart.run_report.v1"));
+  // v2 = v1 plus the structured per-level entries (ratio, stage wall
+  // times, refinement facts); every v1 field is unchanged, so v1
+  // consumers keep working on v2 documents.
+  doc.set("schema", Json::string("sfqpart.run_report.v2"));
   doc.set("engine", Json::string(info_.engine));
 
   if (!circuit_.empty()) {
@@ -206,11 +226,29 @@ Json RunReport::to_json() const {
   if (!levels_.empty()) {
     Json levels = Json::array();
     for (const LevelEvent& level : levels_) {
-      levels.append(Json::object()
-                        .set("level", Json::number(static_cast<long long>(level.level)))
-                        .set("vertices",
-                             Json::number(static_cast<long long>(level.num_vertices)))
-                        .set("edges", Json::number(level.num_edges)));
+      // Coarsening ratio vs the next finer recorded level (1.0 for the
+      // finest or when the finer level is absent).
+      double ratio = 1.0;
+      for (const LevelEvent& finer : levels_) {
+        if (finer.level == level.level - 1 && finer.num_vertices > 0) {
+          ratio = static_cast<double>(level.num_vertices) /
+                  static_cast<double>(finer.num_vertices);
+          break;
+        }
+      }
+      levels.append(
+          Json::object()
+              .set("level", Json::number(static_cast<long long>(level.level)))
+              .set("vertices",
+                   Json::number(static_cast<long long>(level.num_vertices)))
+              .set("edges", Json::number(level.num_edges))
+              .set("ratio", Json::number(ratio))
+              .set("coarsen_ms", Json::number(level.coarsen_ms))
+              .set("refine_ms", Json::number(level.refine_ms))
+              .set("projected_cost", Json::number(level.projected_cost))
+              .set("refined_cost", Json::number(level.refined_cost))
+              .set("refine_moves",
+                   Json::number(static_cast<long long>(level.refine_moves))));
     }
     doc.set("levels", std::move(levels));
   }

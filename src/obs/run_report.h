@@ -9,7 +9,7 @@
 // the final outcome. Callers add what the engine cannot know — the
 // circuit identity and the evaluated PartitionMetrics — then serialize
 // with to_json() / write_file(). The JSON schema
-// ("sfqpart.run_report.v1") is documented in DESIGN.md section 8 and
+// ("sfqpart.run_report.v2") is documented in DESIGN.md section 8 and
 // self-checked by tests/obs/run_report_test.cpp round-tripping through
 // Json::parse.
 //
@@ -84,7 +84,7 @@ class RunReport final : public SolverObserver {
   double stage_ms(const std::string& name) const;
   long long counter(const std::string& name) const;
 
-  // Serialization ("sfqpart.run_report.v1").
+  // Serialization ("sfqpart.run_report.v2").
   Json to_json() const;
   Status write_file(const std::string& path, int indent = 2) const;
 

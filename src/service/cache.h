@@ -8,10 +8,10 @@
 // because the engines' determinism contract makes it result-neutral.
 // That contract (fixed seed => bit-identical labels at any thread count,
 // pinned by tests/core/parallel_determinism_test.cpp) is what makes
-// result caching safe at all: a cached run_report.v1 is byte-identical to
+// result caching safe at all: a cached run_report.v2 is byte-identical to
 // what re-running the job would produce, modulo wall-clock.
 //
-// Values are frozen report strings: the daemon dumps each run_report.v1
+// Values are frozen report strings: the daemon dumps each run_report.v2
 // once and serves hits from the stored bytes, so a warm repeat costs one
 // lookup, not an engine run.
 //

@@ -12,12 +12,12 @@
 //    "status": "ok" | "invalid" | "rejected" | "error",
 //    "cache": "hit" | "miss",              // only with status "ok"
 //    "error": "...",                        // only on failure
-//    "report": { sfqpart.run_report.v1 }}   // only with status "ok"
+//    "report": { sfqpart.run_report.v2 }}   // only with status "ok"
 //
 // Results are served from a content-addressed cache (service/cache.h)
 // keyed on (netlist content hash, engine + canonical options): repeating
 // a job is O(1) — one cache lookup, no engine run — and returns the
-// byte-identical run_report.v1 produced by the first execution. The
+// byte-identical run_report.v2 produced by the first execution. The
 // engines' determinism contract makes this sound; see cache.h. Duplicate
 // suppression is single-flight: a job whose key matches one currently
 // executing attaches to that execution (no queue slot, no engine run) and

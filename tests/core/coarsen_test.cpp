@@ -1,0 +1,132 @@
+#include "core/coarsen.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/problem_view.h"
+#include "gen/suite.h"
+#include "util/rng.h"
+
+namespace sfqpart {
+namespace {
+
+PartitionProblem mapped_problem(const char* circuit, int num_planes) {
+  return PartitionProblem::from_netlist(build_mapped(circuit), num_planes);
+}
+
+TEST(Coarsen, ProjectionIsTotalAndOnto) {
+  const PartitionProblem fine = mapped_problem("c432", 5);
+  const ProblemView view(fine);
+  const CoarseLevel level = coarsen_once(view, MatchOrder::kDegreeSorted);
+
+  ASSERT_EQ(level.parent_of_fine.size(), static_cast<std::size_t>(fine.num_gates));
+  std::vector<int> owners(static_cast<std::size_t>(level.problem.num_gates), 0);
+  for (const int parent : level.parent_of_fine) {
+    ASSERT_GE(parent, 0);
+    ASSERT_LT(parent, level.problem.num_gates);
+    ++owners[static_cast<std::size_t>(parent)];
+  }
+  for (const int count : owners) {
+    EXPECT_GE(count, 1);  // onto: every coarse vertex owns a fine one
+    EXPECT_LE(count, 2);  // a matching contracts at most pairs
+  }
+}
+
+TEST(Coarsen, ProjectExpandsCoarseLabels) {
+  const PartitionProblem fine = mapped_problem("ksa8", 3);
+  const ProblemView view(fine);
+  const CoarseLevel level = coarsen_once(view, MatchOrder::kDegreeSorted);
+
+  std::vector<int> coarse_labels(static_cast<std::size_t>(level.problem.num_gates));
+  for (std::size_t i = 0; i < coarse_labels.size(); ++i) {
+    coarse_labels[i] = static_cast<int>(i % 3);
+  }
+  const std::vector<int> fine_labels = level.project(coarse_labels);
+  ASSERT_EQ(fine_labels.size(), static_cast<std::size_t>(fine.num_gates));
+  for (int v = 0; v < fine.num_gates; ++v) {
+    EXPECT_EQ(fine_labels[static_cast<std::size_t>(v)],
+              coarse_labels[static_cast<std::size_t>(
+                  level.parent_of_fine[static_cast<std::size_t>(v)])]);
+  }
+}
+
+TEST(Coarsen, PreservesTotalBiasAndArea) {
+  const PartitionProblem fine = mapped_problem("c1908", 5);
+  const ProblemView view(fine);
+  const CoarseLevel level = coarsen_once(view, MatchOrder::kDegreeSorted);
+
+  double fine_bias = 0.0, coarse_bias = 0.0;
+  for (const double b : fine.bias) fine_bias += b;
+  for (const double b : level.problem.bias) coarse_bias += b;
+  EXPECT_NEAR(fine_bias, coarse_bias, 1e-9 * fine_bias);
+
+  double fine_area = 0.0, coarse_area = 0.0;
+  for (const double a : fine.area) fine_area += a;
+  for (const double a : level.problem.area) coarse_area += a;
+  EXPECT_NEAR(fine_area, coarse_area, 1e-9 * fine_area);
+}
+
+// The satellite bugfix this PR pins: the kDegreeSorted visit order is a
+// pure function of the graph, so repeated builds agree exactly — no Rng
+// draw-count dependence.
+TEST(Coarsen, DegreeSortedOrderIsReproducible) {
+  const PartitionProblem fine = mapped_problem("c1355", 5);
+  const ProblemView view(fine);
+  const CoarseLevel a = coarsen_once(view, MatchOrder::kDegreeSorted);
+  const CoarseLevel b = coarsen_once(view, MatchOrder::kDegreeSorted);
+  EXPECT_EQ(a.parent_of_fine, b.parent_of_fine);
+  EXPECT_EQ(a.problem.num_gates, b.problem.num_gates);
+  EXPECT_EQ(a.problem.edges, b.problem.edges);
+}
+
+TEST(Coarsen, LegacyShuffleMatchesRngState) {
+  // The legacy order is deterministic given the Rng seed (and only the
+  // seed): two fresh Rngs with the same seed give the same level.
+  const PartitionProblem fine = mapped_problem("c499", 5);
+  const ProblemView view(fine);
+  Rng rng_a(7), rng_b(7);
+  const CoarseLevel a = coarsen_once(view, MatchOrder::kLegacyShuffle, &rng_a);
+  const CoarseLevel b = coarsen_once(view, MatchOrder::kLegacyShuffle, &rng_b);
+  EXPECT_EQ(a.parent_of_fine, b.parent_of_fine);
+}
+
+TEST(Coarsen, LevelStackReachesTarget) {
+  const PartitionProblem fine = mapped_problem("c1355", 5);
+  CoarsenOptions options;
+  options.coarse_target = 64;
+  options.order = MatchOrder::kDegreeSorted;
+  const LevelStack stack = build_level_stack(fine, options);
+  ASSERT_GE(stack.num_levels(), 2);
+  // Monotone shrink, and the floor 4*K is respected.
+  int previous = fine.num_gates;
+  for (const CoarseLevel& level : stack.levels) {
+    EXPECT_LT(level.problem.num_gates, previous);
+    EXPECT_GE(level.problem.num_gates, 4 * 5);
+    previous = level.problem.num_gates;
+  }
+  EXPECT_EQ(&stack.coarsest(fine), &stack.levels.back().problem);
+}
+
+TEST(Coarsen, LevelStackCallbackSeesEveryLevel) {
+  const PartitionProblem fine = mapped_problem("c1908", 5);
+  CoarsenOptions options;
+  options.coarse_target = 100;
+  options.order = MatchOrder::kDegreeSorted;
+  std::vector<int> seen_levels;
+  std::vector<int> seen_sizes;
+  const LevelStack stack = build_level_stack(
+      fine, options, nullptr, [&](int level, const PartitionProblem& problem) {
+        seen_levels.push_back(level);
+        seen_sizes.push_back(problem.num_gates);
+      });
+  ASSERT_EQ(seen_levels.size(), static_cast<std::size_t>(stack.num_levels()));
+  for (int i = 0; i < stack.num_levels(); ++i) {
+    EXPECT_EQ(seen_levels[static_cast<std::size_t>(i)], i + 1);
+    EXPECT_EQ(seen_sizes[static_cast<std::size_t>(i)],
+              stack.levels[static_cast<std::size_t>(i)].problem.num_gates);
+  }
+}
+
+}  // namespace
+}  // namespace sfqpart

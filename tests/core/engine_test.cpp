@@ -25,7 +25,8 @@ namespace sfqpart {
 namespace {
 
 const std::vector<std::string> kBuiltins = {
-    "annealing", "fm_kway", "gradient", "layered", "multilevel", "random"};
+    "annealing", "fm_kway", "gradient", "layered", "multilevel", "random",
+    "vcycle"};
 
 TEST(EngineRegistry, NamesAreSortedStableAndComplete) {
   const std::vector<std::string> names = EngineRegistry::names();
@@ -260,7 +261,7 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& info) { return std::string(info.param.engine); });
 
 // Every engine's registry run produces a RunReport whose JSON carries the
-// registry engine name (the "engine" field of sfqpart.run_report.v1).
+// registry engine name (the "engine" field of sfqpart.run_report.v2).
 TEST(EngineRegistry, RunReportCarriesEngineNameForEveryEngine) {
   const Netlist netlist = build_mapped("ksa4");
   for (const std::string& name : EngineRegistry::names()) {

@@ -1,0 +1,129 @@
+#include "core/vcycle.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/scaled.h"
+#include "gen/suite.h"
+#include "obs/run_report.h"
+
+namespace sfqpart {
+namespace {
+
+// A circuit large enough for several coarsening levels but fast to solve.
+Netlist scaled_20k() {
+  ScaledParams params;
+  params.name = "scaled20k";
+  params.num_gates = 20000;
+  params.seed = 3;
+  return build_scaled(params);
+}
+
+TEST(Vcycle, AssignsEveryGateToAValidPlane) {
+  const Netlist netlist = scaled_20k();
+  const VcycleResult result = vcycle_partition(netlist, 5);
+  std::set<int> used;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_partitionable(g)) {
+      ASSERT_GE(result.partition.plane(g), 0);
+      ASSERT_LT(result.partition.plane(g), 5);
+      used.insert(result.partition.plane(g));
+    } else {
+      EXPECT_EQ(result.partition.plane(g), kUnassignedPlane);
+    }
+  }
+  EXPECT_EQ(used.size(), 5u);
+  EXPECT_GE(result.levels, 2);
+  EXPECT_LT(result.coarse_gates, netlist.num_partitionable_gates());
+}
+
+// The V-cycle invariant: banded refinement only ever commits strictly
+// improving moves, so every level's refined cost is at most its
+// projected cost.
+TEST(Vcycle, RefinementNeverWorsensALevel) {
+  const Netlist netlist = scaled_20k();
+  obs::RunReport report;
+  VcycleOptions options;
+  options.observer = &report;
+  const VcycleResult result = vcycle_partition(netlist, 5, options);
+  ASSERT_GE(result.levels, 2);
+
+  int refined_levels = 0;
+  for (const obs::LevelEvent& level : report.levels()) {
+    if (level.level >= result.levels) continue;  // coarsest: no refinement
+    EXPECT_LE(level.refined_cost, level.projected_cost + 1e-9)
+        << "level " << level.level;
+    ++refined_levels;
+  }
+  EXPECT_EQ(refined_levels, result.levels);
+}
+
+// Determinism contract (DESIGN.md section 7): labels are bit-identical
+// at any thread count. The proposal sweep parallelizes over frozen
+// pass-start labels; the commit is serial in ascending gate order.
+TEST(Vcycle, LabelsIdenticalAcrossThreadCounts) {
+  const Netlist netlist = scaled_20k();
+  std::vector<std::vector<int>> runs;
+  for (const int threads : {1, 2, 8}) {
+    VcycleOptions options;
+    options.threads = threads;
+    runs.push_back(vcycle_partition(netlist, 5, options).partition.plane_of);
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(Vcycle, DeterministicInSeed) {
+  const Netlist netlist = scaled_20k();
+  VcycleOptions options;
+  options.seed = 11;
+  const VcycleResult a = vcycle_partition(netlist, 4, options);
+  const VcycleResult b = vcycle_partition(netlist, 4, options);
+  EXPECT_EQ(a.partition.plane_of, b.partition.plane_of);
+  EXPECT_EQ(a.discrete_total, b.discrete_total);
+}
+
+// The structured report: one merged entry per level carrying both the
+// way-down shape facts and the way-up refinement facts.
+TEST(Vcycle, ReportCarriesMergedLevels) {
+  const Netlist netlist = scaled_20k();
+  obs::RunReport report;
+  VcycleOptions options;
+  options.observer = &report;
+  const VcycleResult result = vcycle_partition(netlist, 5, options);
+
+  // Levels 0..result.levels, each exactly once after merging.
+  ASSERT_EQ(report.levels().size(), static_cast<std::size_t>(result.levels + 1));
+  std::set<int> seen;
+  for (const obs::LevelEvent& level : report.levels()) {
+    EXPECT_TRUE(seen.insert(level.level).second);
+    EXPECT_GT(level.num_vertices, 0);
+    if (level.level > 0) {
+      EXPECT_GT(level.coarsen_ms, 0.0);
+    }
+  }
+  EXPECT_GT(report.stage_ms("coarsen"), 0.0);
+  EXPECT_GT(report.stage_ms("coarse_solve"), 0.0);
+  EXPECT_GT(report.stage_ms("uncoarsen"), 0.0);
+  const std::string json = report.to_json().dump();
+  EXPECT_NE(json.find("sfqpart.run_report.v2"), std::string::npos);
+  EXPECT_NE(json.find("\"levels\""), std::string::npos);
+}
+
+// On the paper-suite circuits (small; the V-cycle bottoms out quickly)
+// the engine must still produce a sane partition.
+TEST(Vcycle, HandlesSmallCircuits) {
+  const Netlist netlist = build_mapped("ksa4");  // 62 gates < coarse_target
+  const VcycleResult result = vcycle_partition(netlist, 3);
+  EXPECT_EQ(result.levels, 0);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (!netlist.is_partitionable(g)) continue;
+    ASSERT_GE(result.partition.plane(g), 0);
+    ASSERT_LT(result.partition.plane(g), 3);
+  }
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -1,0 +1,107 @@
+#include "gen/scaled.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+
+namespace sfqpart {
+namespace {
+
+TEST(Scaled, HitsTheGateTargetClosely) {
+  ScaledParams params;
+  params.num_gates = 50000;
+  const Netlist netlist = build_scaled(params);
+  const int gates = netlist.num_partitionable_gates();
+  EXPECT_GT(gates, 45000);
+  EXPECT_LT(gates, 55000);
+}
+
+TEST(Scaled, IsValidSfq) {
+  ScaledParams params;
+  params.num_gates = 20000;
+  const Netlist netlist = build_scaled(params);
+  const ValidationReport report = validate(netlist);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST(Scaled, RespectsTheFanoutCap) {
+  ScaledParams params;
+  params.num_gates = 20000;
+  params.max_fanout = 3;
+  const Netlist netlist = build_scaled(params);
+  // Physical fanout is what validate() checks (single sink per output);
+  // the logical cap bounds splitter-chain length, i.e. the number of
+  // consecutive kSplit gates reachable from any non-split driver is at
+  // most max_fanout - 1.
+  std::vector<int> chain(static_cast<std::size_t>(netlist.num_gates()), 0);
+  int longest = 0;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.cell_of(g).kind != CellKind::kSplit) continue;
+    const NetId in = netlist.input_net(g, 0);
+    ASSERT_NE(in, kInvalidNet);
+    const GateId driver = netlist.net(in).driver.gate;
+    if (netlist.cell_of(driver).kind == CellKind::kSplit) {
+      chain[static_cast<std::size_t>(g)] = chain[static_cast<std::size_t>(driver)] + 1;
+    } else {
+      chain[static_cast<std::size_t>(g)] = 1;
+    }
+    if (chain[static_cast<std::size_t>(g)] > longest) {
+      longest = chain[static_cast<std::size_t>(g)];
+    }
+  }
+  EXPECT_LE(longest, params.max_fanout - 1);
+}
+
+TEST(Scaled, DeterministicInSeed) {
+  ScaledParams params;
+  params.num_gates = 10000;
+  params.seed = 42;
+  const Netlist a = build_scaled(params);
+  const Netlist b = build_scaled(params);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  EXPECT_EQ(a.unique_edges(), b.unique_edges());
+
+  params.seed = 43;
+  const Netlist c = build_scaled(params);
+  EXPECT_NE(a.unique_edges(), c.unique_edges());
+}
+
+TEST(Scaled, RentExponentShiftsIoAndLocality) {
+  ScaledParams local;
+  local.num_gates = 20000;
+  local.rent_exponent = 0.45;
+  ScaledParams global = local;
+  global.rent_exponent = 0.85;
+  const NetlistStats stats_local = compute_stats(build_scaled(local));
+  const NetlistStats stats_global = compute_stats(build_scaled(global));
+  // Higher Rent exponent: more I/O (k * G^p) ...
+  EXPECT_GT(stats_global.num_io, stats_local.num_io);
+  // ... and longer wires mean less reuse of the immediate neighborhood,
+  // which shows up as a deeper circuit for the local variant (chains of
+  // freshly created signals feed the next gate).
+  EXPECT_GT(stats_local.logic_depth, stats_global.logic_depth);
+}
+
+TEST(Scaled, MixFollowsTheBufferFraction) {
+  ScaledParams params;
+  params.num_gates = 30000;
+  params.buffer_fraction = 0.4;
+  const NetlistStats stats = compute_stats(build_scaled(params));
+  const auto jtl = stats.by_kind.find(CellKind::kJtl);
+  const auto merge = stats.by_kind.find(CellKind::kMerge);
+  ASSERT_NE(jtl, stats.by_kind.end());
+  ASSERT_NE(merge, stats.by_kind.end());
+  // JTL share of the sampled (non-fold) logic nodes ~ 0.4; folds add
+  // merges, so allow a band.
+  const double share =
+      static_cast<double>(jtl->second) / (jtl->second + merge->second);
+  EXPECT_GT(share, 0.25);
+  EXPECT_LT(share, 0.45);
+}
+
+}  // namespace
+}  // namespace sfqpart

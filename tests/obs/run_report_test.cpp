@@ -1,5 +1,5 @@
 // RunReport schema self-check: a real run's report must round-trip
-// through the util/json parser ("sfqpart.run_report.v1", DESIGN.md
+// through the util/json parser ("sfqpart.run_report.v2", DESIGN.md
 // section 8.2) with every documented key present.
 #include "obs/run_report.h"
 
@@ -76,7 +76,7 @@ TEST(RunReport, JsonRoundTripsThroughTheParser) {
 
   const Json& doc = *parsed;
   ASSERT_NE(doc.find("schema"), nullptr);
-  EXPECT_EQ(doc.find("schema")->as_string(), "sfqpart.run_report.v1");
+  EXPECT_EQ(doc.find("schema")->as_string(), "sfqpart.run_report.v2");
   EXPECT_EQ(doc.find("engine")->as_string(), "solver");
 
   const Json* circuit = doc.find("circuit");
@@ -164,7 +164,7 @@ TEST(RunReport, WriteFileProducesParseableJson) {
 
   const auto parsed = Json::parse(buffer.str());
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
-  EXPECT_EQ(parsed->find("schema")->as_string(), "sfqpart.run_report.v1");
+  EXPECT_EQ(parsed->find("schema")->as_string(), "sfqpart.run_report.v2");
 }
 
 }  // namespace

@@ -67,12 +67,12 @@ TEST(Daemon, WarmRepeatIsACacheHitWithByteIdenticalReport) {
   EXPECT_EQ(field(second, "status"), "ok");
   EXPECT_EQ(field(second, "cache"), "hit");
 
-  // The warm response embeds the byte-identical run_report.v1 payload.
+  // The warm response embeds the byte-identical run_report.v2 payload.
   ASSERT_NE(first.find("report"), nullptr);
   ASSERT_NE(second.find("report"), nullptr);
   EXPECT_EQ(first.find("report")->dump(0), second.find("report")->dump(0));
   EXPECT_EQ(first.find("report")->find("schema")->as_string(),
-            "sfqpart.run_report.v1");
+            "sfqpart.run_report.v2");
 
   // O(1) warm path, proven by observer event counts: one engine run, one
   // miss, one hit.
@@ -273,7 +273,7 @@ TEST(Daemon, EnginesAdminServesTheCatalog) {
   EXPECT_EQ(doc->find("schema")->as_string(), "sfqpart.engines.v1");
   const Json* engines = doc->find("engines");
   ASSERT_NE(engines, nullptr);
-  EXPECT_EQ(engines->size(), 6u);
+  EXPECT_EQ(engines->size(), 7u);
   // Every entry carries structured option specs.
   for (std::size_t i = 0; i < engines->size(); ++i) {
     const Json& engine = engines->at(i);

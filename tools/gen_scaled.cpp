@@ -1,0 +1,72 @@
+// gen_scaled: emit a scaled synthetic SFQ netlist (10^5..10^7 gates) for
+// capacity runs of the vcycle engine. Prints the realized statistics and
+// optionally writes the structural Verilog.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gen/scaled.h"
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+#include "util/options.h"
+#include "verilog/verilog_writer.h"
+
+int main(int argc, char** argv) {
+  using namespace sfqpart;
+  OptionsParser parser(
+      "gen_scaled: scaled synthetic netlist generator (see gen/scaled.h).\n"
+      "Emits realized statistics on stdout; --out writes Verilog.");
+  parser.add_int("gates", 100000, "target partitionable gate count");
+  parser.add_double("rent", 0.65, "Rent exponent in (0, 1]");
+  parser.add_int("max-fanout", 4, "logical fanout cap per signal");
+  parser.add_double("buffer-fraction", 0.15, "share of 1-input JTL stages");
+  parser.add_int("seed", 1, "generator seed");
+  parser.add_string("name", "scaled", "module/netlist name");
+  parser.add_string("out", "", "write structural Verilog to this path");
+  parser.add_flag("validate", false, "run the netlist validator (slow at 10^7)");
+  parser.add_flag("help", false, "print usage");
+  if (auto st = parser.parse(argc - 1, argv + 1); !st) {
+    std::fprintf(stderr, "gen_scaled: %s\n%s", st.message().c_str(),
+                 parser.usage().c_str());
+    return 2;
+  }
+  if (parser.get_flag("help")) {
+    std::fputs(parser.usage().c_str(), stdout);
+    return 0;
+  }
+
+  ScaledParams params;
+  params.name = parser.get_string("name");
+  params.num_gates = static_cast<int>(parser.get_int("gates"));
+  params.rent_exponent = parser.get_double("rent");
+  params.max_fanout = static_cast<int>(parser.get_int("max-fanout"));
+  params.buffer_fraction = parser.get_double("buffer-fraction");
+  params.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  const Netlist netlist = build_scaled(params);
+  const NetlistStats stats = compute_stats(netlist);
+  std::fputs(format_stats(netlist, stats).c_str(), stdout);
+
+  if (parser.get_flag("validate")) {
+    const ValidationReport report = validate(netlist);
+    if (!report.ok()) {
+      for (const std::string& issue : report.issues) {
+        std::fprintf(stderr, "gen_scaled: %s\n", issue.c_str());
+      }
+      return 1;
+    }
+    std::puts("validate: ok");
+  }
+
+  const std::string out = parser.get_string("out");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) {
+      std::fprintf(stderr, "gen_scaled: cannot open %s\n", out.c_str());
+      return 1;
+    }
+    file << write_verilog(netlist);
+    std::fprintf(stderr, "gen_scaled: wrote %s\n", out.c_str());
+  }
+  return 0;
+}
