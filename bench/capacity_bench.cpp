@@ -12,8 +12,6 @@
 //   --planes 5 --threads 0 --seed 1
 //   --smoke                  single 10^5 run + validity/budget asserts
 //                            (advisory CI: .github/workflows/ci.yml)
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,17 +21,11 @@
 #include "bench_util.h"
 #include "core/vcycle.h"
 #include "gen/scaled.h"
+#include "util/mem.h"
 #include "util/options.h"
 
 namespace sfqpart::bench {
 namespace {
-
-double peak_rss_mb() {
-  struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
-  // ru_maxrss is kilobytes on Linux.
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-}
 
 // Fails the bench (exit 1) unless the partition is valid: every
 // partitionable gate on a plane in [0, K), every interface gate left on

@@ -40,6 +40,12 @@ AnnealingResult anneal_partition(const Netlist& netlist, int num_planes,
   for (const GateId g : problem.gate_ids) {
     labels.push_back(start.plane(g));
   }
+  if (options.fixed != nullptr) {
+    const std::vector<int>& fixed = *options.fixed;
+    for (std::size_t i = 0; i < fixed.size(); ++i) {
+      if (fixed[i] >= 0) labels[i] = fixed[i];
+    }
+  }
   MoveEvaluator eval(model, std::move(labels));
 
   AnnealingResult result;
@@ -75,6 +81,10 @@ AnnealingResult anneal_partition(const Netlist& netlist, int num_planes,
     for (long long move = 0; move < moves_per_step; ++move) {
       const int gate = static_cast<int>(rng.uniform_index(
           static_cast<std::uint64_t>(problem.num_gates)));
+      if (options.fixed != nullptr &&
+          (*options.fixed)[static_cast<std::size_t>(gate)] >= 0) {
+        continue;
+      }
       int target = rng.uniform_int(0, num_planes - 1);
       if (target == eval.label(gate)) continue;
       ++result.moves_tried;

@@ -34,6 +34,11 @@ struct AnnealingOptions {
   // discrete total), counters moves_tried / moves_accepted, an "anneal"
   // stage timer, and the run lifecycle under engine = "annealing".
   obs::SolverObserver* observer = nullptr;
+  // Per-gate fixed planes (compact problem indices, -1 = free; not
+  // owned). Fixed gates start on their pinned plane and are never
+  // proposed as moves. Null = unconstrained (bit-identical to the
+  // pre-constraint annealer).
+  const std::vector<int>* fixed = nullptr;
 };
 
 struct AnnealingResult {

@@ -20,7 +20,8 @@ class AnnealingAdapter final : public EngineAdapter {
            "with single-gate moves under geometric cooling";
   }
   std::vector<OptionSpec> describe_options() const override {
-    std::vector<OptionSpec> specs = {planes_spec(), seed_spec()};
+    std::vector<OptionSpec> specs = {planes_spec(), seed_spec(),
+                                     certify_spec()};
     for (OptionSpec& spec : weight_specs()) specs.push_back(std::move(spec));
     return specs;
   }
@@ -28,11 +29,13 @@ class AnnealingAdapter final : public EngineAdapter {
  protected:
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
+      const CompiledConstraints& constraints,
       std::vector<std::pair<std::string, double>>& counters) const override {
     AnnealingOptions options;
     options.weights = context.weights;
     options.seed = context.seed;
     options.observer = context.observer;
+    options.fixed = constraints.compact_or_null();
     AnnealingResult result =
         anneal_partition(netlist, context.num_planes, options);
     counters.emplace_back("steps", result.steps);

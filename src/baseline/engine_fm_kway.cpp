@@ -21,16 +21,18 @@ class FmKwayAdapter final : public EngineAdapter {
            "bias-balance constraint)";
   }
   std::vector<OptionSpec> describe_options() const override {
-    return {planes_spec(), seed_spec()};
+    return {planes_spec(), seed_spec(), certify_spec()};
   }
 
  protected:
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
+      const CompiledConstraints& constraints,
       std::vector<std::pair<std::string, double>>& counters) const override {
     FmOptions options;
     options.seed = context.seed;
     options.observer = context.observer;
+    options.fixed = constraints.compact_or_null();
     FmResult result = fm_kway_partition(netlist, context.num_planes, options);
     counters.emplace_back("passes", result.passes);
     counters.emplace_back("initial_cut", result.initial_cut);

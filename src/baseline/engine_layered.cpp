@@ -22,7 +22,7 @@ class LayeredAdapter final : public EngineAdapter {
            "(deterministic and seedless)";
   }
   std::vector<OptionSpec> describe_options() const override {
-    return {planes_spec()};
+    return {planes_spec(), certify_spec()};
   }
 
  protected:
@@ -30,9 +30,12 @@ class LayeredAdapter final : public EngineAdapter {
 
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
+      const CompiledConstraints& constraints,
       std::vector<std::pair<std::string, double>>& counters) const override {
     (void)counters;
-    return layered_partition(netlist, context.num_planes);
+    LayeredOptions options;
+    options.fixed_of_gate = constraints.gate_or_null();
+    return layered_partition(netlist, context.num_planes, options);
   }
 };
 

@@ -21,7 +21,7 @@ class RandomAdapter final : public EngineAdapter {
     return "shuffled round-robin balanced assignment (lower baseline)";
   }
   std::vector<OptionSpec> describe_options() const override {
-    return {planes_spec(), seed_spec()};
+    return {planes_spec(), seed_spec(), certify_spec()};
   }
 
  protected:
@@ -29,9 +29,11 @@ class RandomAdapter final : public EngineAdapter {
 
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
+      const CompiledConstraints& constraints,
       std::vector<std::pair<std::string, double>>& counters) const override {
     (void)counters;
-    return random_partition(netlist, context.num_planes, context.seed);
+    return random_partition(netlist, context.num_planes, context.seed,
+                            constraints.gate_or_null());
   }
 };
 

@@ -37,6 +37,18 @@ FmResult fm_kway_partition(const Netlist& netlist, int num_planes,
 
   FmResult result;
   result.partition = random_partition(netlist, num_planes, options.seed);
+  if (options.fixed != nullptr) {
+    // Constrained start: pinned gates override the random assignment, so
+    // the initial cut below already describes a feasible partition.
+    const std::vector<int>& fixed = *options.fixed;
+    for (int i = 0; i < num_gates; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (fixed[ui] >= 0) {
+        result.partition
+            .plane_of[static_cast<std::size_t>(gate_ids[ui])] = fixed[ui];
+      }
+    }
+  }
   result.initial_cut = cut_count(netlist, result.partition);
 
   obs::TraceSink sink(options.observer);
@@ -97,6 +109,13 @@ FmResult fm_kway_partition(const Netlist& netlist, int num_planes,
     result.passes = pass + 1;
     rng.shuffle(order);
     std::vector<bool> locked(static_cast<std::size_t>(num_gates), false);
+    if (options.fixed != nullptr) {
+      for (int i = 0; i < num_gates; ++i) {
+        if ((*options.fixed)[static_cast<std::size_t>(i)] >= 0) {
+          locked[static_cast<std::size_t>(i)] = true;
+        }
+      }
+    }
 
     // Move log for best-prefix rollback.
     struct Move {

@@ -30,6 +30,11 @@ struct FmOptions {
   // pass's best prefix), counters moves_tried / moves_accepted, an "fm"
   // stage timer, and the run lifecycle under engine = "fm_kway".
   obs::SolverObserver* observer = nullptr;
+  // Per-gate fixed planes (compact indices in ascending GateId order,
+  // -1 = free; not owned). Fixed gates start on their pinned plane and
+  // stay locked in every pass. Null = unconstrained (bit-identical to
+  // the pre-constraint baseline).
+  const std::vector<int>* fixed = nullptr;
 };
 
 struct FmResult {

@@ -47,6 +47,15 @@ Partition layered_partition(const Netlist& netlist, int num_planes,
     partition.plane_of[static_cast<std::size_t>(g)] = plane;
     cum += w;
   }
+  if (options.fixed_of_gate != nullptr) {
+    // Pins override the band slicing; bands around them stay untouched so
+    // the deterministic order of the free gates is preserved.
+    const std::vector<int>& fixed = *options.fixed_of_gate;
+    for (const GateId g : gates) {
+      const int p = fixed[static_cast<std::size_t>(g)];
+      if (p >= 0) partition.plane_of[static_cast<std::size_t>(g)] = p;
+    }
+  }
   return partition;
 }
 

@@ -7,6 +7,8 @@
 // compare both.
 #pragma once
 
+#include <vector>
+
 #include "core/partition.h"
 
 namespace sfqpart {
@@ -14,6 +16,10 @@ namespace sfqpart {
 struct LayeredOptions {
   // Balance bias current (true) or gate area (false) across chunks.
   bool balance_bias = true;
+  // Per-gate fixed planes indexed by netlist GateId (-1 = free; not
+  // owned). Fixed gates override their band assignment after slicing.
+  // Null = unconstrained (identical to the pre-constraint heuristic).
+  const std::vector<int>* fixed_of_gate = nullptr;
 };
 
 Partition layered_partition(const Netlist& netlist, int num_planes,

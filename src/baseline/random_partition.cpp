@@ -8,7 +8,9 @@
 
 namespace sfqpart {
 
-Partition random_partition(const Netlist& netlist, int num_planes, std::uint64_t seed) {
+Partition random_partition(const Netlist& netlist, int num_planes,
+                           std::uint64_t seed,
+                           const std::vector<int>* fixed_of_gate) {
   assert(num_planes >= 1);
   Rng rng(seed);
 
@@ -23,8 +25,13 @@ Partition random_partition(const Netlist& netlist, int num_planes, std::uint64_t
   partition.plane_of.assign(static_cast<std::size_t>(netlist.num_gates()),
                             kUnassignedPlane);
   for (std::size_t i = 0; i < gates.size(); ++i) {
+    const int fixed =
+        fixed_of_gate != nullptr
+            ? (*fixed_of_gate)[static_cast<std::size_t>(gates[i])]
+            : -1;
     partition.plane_of[static_cast<std::size_t>(gates[i])] =
-        static_cast<int>(i % static_cast<std::size_t>(num_planes));
+        fixed >= 0 ? fixed
+                   : static_cast<int>(i % static_cast<std::size_t>(num_planes));
   }
   return partition;
 }

@@ -6,12 +6,18 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/partition.h"
 
 namespace sfqpart {
 
+// fixed_of_gate (optional, not owned): per-gate fixed planes indexed by
+// netlist GateId, -1 = free. Fixed gates take their pinned plane; free
+// gates keep the shuffled round-robin assignment, so the null case is
+// bit-identical to the unconstrained baseline.
 Partition random_partition(const Netlist& netlist, int num_planes,
-                           std::uint64_t seed = 1);
+                           std::uint64_t seed = 1,
+                           const std::vector<int>* fixed_of_gate = nullptr);
 
 }  // namespace sfqpart

@@ -75,7 +75,8 @@ std::vector<int> CoarseLevel::project(
   return fine_labels;
 }
 
-CoarseLevel coarsen_once(const ProblemView& fine, MatchOrder order, Rng* rng) {
+CoarseLevel coarsen_once(const ProblemView& fine, MatchOrder order, Rng* rng,
+                         const std::vector<int>* fixed) {
   const int n = fine.num_gates();
   const PartitionProblem& problem = fine.problem();
   const WeightedAdjacency adjacency = weighted_adjacency(fine);
@@ -108,6 +109,13 @@ CoarseLevel coarsen_once(const ProblemView& fine, MatchOrder order, Rng* rng) {
          s < adjacency.offsets[static_cast<std::size_t>(v) + 1]; ++s) {
       const auto& [u, weight] = adjacency.entries[s];
       if (u == v || match[static_cast<std::size_t>(u)] >= 0) continue;
+      if (fixed != nullptr) {
+        // Never contract two vertices pinned to different planes — the
+        // merged vertex could not honor both pins.
+        const int fv = (*fixed)[static_cast<std::size_t>(v)];
+        const int fu = (*fixed)[static_cast<std::size_t>(u)];
+        if (fv >= 0 && fu >= 0 && fv != fu) continue;
+      }
       if (weight > best_weight) {
         best_weight = weight;
         best = u;
@@ -144,6 +152,13 @@ CoarseLevel coarsen_once(const ProblemView& fine, MatchOrder order, Rng* rng) {
     // gate_ids at coarse levels index the *fine* problem's vertices (the
     // representative); only the finest level's ids refer to the netlist.
     coarse.gate_ids.push_back(v);
+    if (fixed != nullptr) {
+      int plane = (*fixed)[uv];
+      if (plane < 0 && partner != v) {
+        plane = (*fixed)[static_cast<std::size_t>(partner)];
+      }
+      level.fixed.push_back(plane);
+    }
   }
   for (const auto& [a, b] : problem.edges) {
     const int ca = level.parent_of_fine[static_cast<std::size_t>(a)];
@@ -155,15 +170,17 @@ CoarseLevel coarsen_once(const ProblemView& fine, MatchOrder order, Rng* rng) {
 
 LevelStack build_level_stack(
     const PartitionProblem& finest, const CoarsenOptions& options, Rng* rng,
-    const std::function<void(int, const PartitionProblem&)>& on_level) {
+    const std::function<void(int, const PartitionProblem&)>& on_level,
+    const std::vector<int>* fixed) {
   LevelStack stack;
   const PartitionProblem* current = &finest;
+  const std::vector<int>* current_fixed = fixed;
   const int floor_size = std::max(options.coarse_target, 4 * finest.num_planes);
   const int keep_percent = 100 - options.min_shrink_percent;
   while (current->num_gates > floor_size &&
          stack.num_levels() < options.max_levels) {
     const ProblemView view(*current);
-    CoarseLevel level = coarsen_once(view, options.order, rng);
+    CoarseLevel level = coarsen_once(view, options.order, rng, current_fixed);
     // Matching can stall on star-shaped graphs; stop when progress fades.
     // (A discarded level has already consumed its kLegacyShuffle draws —
     // deliberately, to preserve the legacy Rng sequence for the stages
@@ -173,6 +190,8 @@ LevelStack build_level_stack(
     }
     stack.levels.push_back(std::move(level));
     current = &stack.levels.back().problem;
+    current_fixed =
+        stack.levels.back().fixed.empty() ? nullptr : &stack.levels.back().fixed;
     if (on_level) on_level(stack.num_levels(), *current);
   }
   return stack;

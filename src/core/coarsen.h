@@ -53,6 +53,11 @@ enum class MatchOrder {
 struct CoarseLevel {
   PartitionProblem problem;
   std::vector<int> parent_of_fine;  // fine vertex -> coarse vertex
+  // Coarse-level fixed planes (-1 = free), present only when the fine
+  // level was coarsened under constraints: a merged vertex inherits the
+  // fixed plane of its pinned child (matching never pairs two vertices
+  // pinned to different planes, so the inheritance is conflict-free).
+  std::vector<int> fixed;
 
   // Projects labels of this level's coarse problem onto its fine problem.
   std::vector<int> project(const std::vector<int>& coarse_labels) const;
@@ -79,22 +84,35 @@ struct LevelStack {
   const PartitionProblem& coarsest(const PartitionProblem& finest) const {
     return levels.empty() ? finest : levels.back().problem;
   }
+  // The coarsest level's fixed-plane array (null when unconstrained);
+  // `finest_fixed` is the caller's finest-level array, returned verbatim
+  // when no coarsening happened.
+  const std::vector<int>* coarsest_fixed(
+      const std::vector<int>* finest_fixed) const {
+    if (levels.empty()) return finest_fixed;
+    return levels.back().fixed.empty() ? nullptr : &levels.back().fixed;
+  }
 };
 
 // One heavy-edge-matching contraction of the viewed problem. `rng` is
 // consumed (one shuffle) only by kLegacyShuffle and may be null for
-// kDegreeSorted.
+// kDegreeSorted. `fixed` (per fine vertex, -1 = free; null =
+// unconstrained) forbids matching two vertices pinned to different
+// planes and fills CoarseLevel::fixed.
 CoarseLevel coarsen_once(const ProblemView& fine, MatchOrder order,
-                         Rng* rng = nullptr);
+                         Rng* rng = nullptr,
+                         const std::vector<int>* fixed = nullptr);
 
 // Builds the full hierarchy: repeat coarsen_once until the vertex count
 // reaches max(coarse_target, 4*K), max_levels is hit, or matching stalls
 // (a discarded stalled level still consumes its kLegacyShuffle Rng draws,
 // preserving the legacy draw sequence). `on_level` (optional) observes
 // each accepted level: (1-based level index, the coarse problem).
+// `fixed` pins finest-level vertices; the pins propagate level by level.
 LevelStack build_level_stack(
     const PartitionProblem& finest, const CoarsenOptions& options,
     Rng* rng = nullptr,
-    const std::function<void(int, const PartitionProblem&)>& on_level = {});
+    const std::function<void(int, const PartitionProblem&)>& on_level = {},
+    const std::vector<int>* fixed = nullptr);
 
 }  // namespace sfqpart

@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 
+#include "core/certify.h"
 #include "core/engine_adapter.h"
 #include "netlist/netlist.h"
 #include "obs/trace_sink.h"
@@ -90,6 +91,12 @@ Status set_context_field(const std::string& name, double value,
   else if (name == "restarts") context.restarts = static_cast<int>(value);
   else if (name == "threads") context.threads = static_cast<int>(value);
   else if (name == "refine") context.refine = value != 0.0;
+  else if (name == "band") context.band = static_cast<int>(value);
+  else if (name == "coarse_target") context.coarse_target = static_cast<int>(value);
+  else if (name == "max_levels") context.max_levels = static_cast<int>(value);
+  else if (name == "max_passes") context.max_passes = static_cast<int>(value);
+  else if (name == "max_gates") context.max_gates = static_cast<int>(value);
+  else if (name == "certify") context.certify = value != 0.0;
   else if (name == "c1") context.weights.c1 = value;
   else if (name == "c2") context.weights.c2 = value;
   else if (name == "c3") context.weights.c3 = value;
@@ -170,6 +177,26 @@ Status EngineContext::validate() const {
         str_format("distance_exponent must be >= 1, got %d",
                    weights.distance_exponent));
   }
+  if (band < 1) {
+    return Status::invalid_argument(
+        str_format("band must be >= 1, got %d", band));
+  }
+  if (coarse_target < 1) {
+    return Status::invalid_argument(
+        str_format("coarse_target must be >= 1, got %d", coarse_target));
+  }
+  if (max_levels < 1) {
+    return Status::invalid_argument(
+        str_format("max_levels must be >= 1, got %d", max_levels));
+  }
+  if (max_passes < 1) {
+    return Status::invalid_argument(
+        str_format("max_passes must be >= 1, got %d", max_passes));
+  }
+  if (max_gates < 1) {
+    return Status::invalid_argument(
+        str_format("max_gates must be >= 1, got %d", max_gates));
+  }
   return Status::ok();
 }
 
@@ -202,6 +229,7 @@ RegistryState& registry_state() {
     s->factories.emplace("fm_kway", make_fm_kway_engine);
     s->factories.emplace("layered", make_layered_engine);
     s->factories.emplace("random", make_random_engine);
+    s->factories.emplace("exact", make_exact_engine);
     return s;
   }();
   return *state;
@@ -312,6 +340,40 @@ OptionSpec refine_spec() {
                    "published algorithm)");
 }
 
+OptionSpec certify_spec() {
+  return make_spec("certify", OptionSpec::Type::kBool, kCertifyDefault ? 1 : 0,
+                   -kInf, kInf,
+                   "independently re-derive and check the result "
+                   "(core/certify.h); the run fails on any non-valid verdict");
+}
+
+OptionSpec band_spec() {
+  return make_spec("band", OptionSpec::Type::kInt, 1, 1, 1023,
+                   "plane radius of the banded uncoarsening refinement");
+}
+
+OptionSpec coarse_target_spec() {
+  return make_spec("coarse_target", OptionSpec::Type::kInt, 1024, 16, 1048576,
+                   "stop coarsening at this many vertices; the gradient "
+                   "descent runs on the coarsest level only");
+}
+
+OptionSpec max_levels_spec() {
+  return make_spec("max_levels", OptionSpec::Type::kInt, 64, 1, 128,
+                   "maximum coarsening levels");
+}
+
+OptionSpec max_passes_spec() {
+  return make_spec("max_passes", OptionSpec::Type::kInt, 8, 1, 4096,
+                   "maximum banded refinement passes per level");
+}
+
+OptionSpec max_gates_spec() {
+  return make_spec("max_gates", OptionSpec::Type::kInt, 20, 1, 64,
+                   "largest partitionable gate count the exhaustive search "
+                   "accepts (cost grows as K^G)");
+}
+
 std::vector<OptionSpec> weight_specs() {
   return {
       make_spec("c1", OptionSpec::Type::kDouble, CostWeights{}.c1, -kInf, kInf,
@@ -393,6 +455,12 @@ StatusOr<EngineRun> EngineAdapter::run(const Netlist& netlist,
     return Status::invalid_argument(str_format(
         "engine '%s': the netlist has no partitionable gates", name()));
   }
+  StatusOr<CompiledConstraints> compiled =
+      compile_constraints(netlist, context.constraints, context.num_planes);
+  if (!compiled) {
+    return Status::invalid_argument(
+        str_format("engine '%s': %s", name(), compiled.status().message().c_str()));
+  }
 
   EngineNameObserver renamed(context.observer, name());
   EngineContext inner = context;
@@ -418,7 +486,8 @@ StatusOr<EngineRun> EngineAdapter::run(const Netlist& netlist,
 
   const auto start = std::chrono::steady_clock::now();
   EngineRun result;
-  StatusOr<Partition> partition = solve(netlist, inner, result.counters);
+  StatusOr<Partition> partition =
+      solve(netlist, inner, *compiled, result.counters);
   if (!partition) return partition.status();
   result.partition = *std::move(partition);
   result.wall_ms = std::chrono::duration<double, std::milli>(
@@ -436,6 +505,32 @@ StatusOr<EngineRun> EngineAdapter::run(const Netlist& netlist,
   }
   result.discrete_terms = model.evaluate_discrete(labels);
   result.discrete_total = result.discrete_terms.total(context.weights);
+
+  // Independent certification (core/certify.h): re-derive the cost and
+  // the physical quantities from the raw netlist through a separate code
+  // path and reject the run on any non-valid verdict. The verdict is
+  // recorded as counters either way, so run_report.v2 carries it.
+  if (context.certify) {
+    CertifyExpectation expect;
+    expect.terms = result.discrete_terms;
+    expect.total = result.discrete_total;
+    const CertifyReport cert =
+        certify_partition(netlist, result.partition, context.num_planes,
+                          context.weights, &expect, &*compiled);
+    result.counters.emplace_back("certified", 1.0);
+    result.counters.emplace_back("certify_verdict",
+                                 static_cast<double>(cert.verdict));
+    if (inner.observer != nullptr) {
+      inner.observer->on_counter({"certified", 1});
+      inner.observer->on_counter(
+          {"certify_verdict", static_cast<long long>(cert.verdict)});
+    }
+    if (!cert.valid()) {
+      return Status::error(str_format(
+          "engine '%s': certification failed (%s): %s", name(),
+          certify_verdict_name(cert.verdict), cert.message.c_str()));
+    }
+  }
 
   if (sink.enabled()) {
     obs::RestartEndEvent restart_end;

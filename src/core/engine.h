@@ -30,12 +30,23 @@
 #include <utility>
 #include <vector>
 
+#include "core/constraints.h"
 #include "core/cost_model.h"
 #include "core/partition.h"
 #include "util/json.h"
 #include "util/status.h"
 
 namespace sfqpart {
+
+// Debug builds certify every engine run against core/certify.h by
+// default (cheap insurance while the engines multiply); release builds
+// opt in per run via EngineContext::certify / `--certify` / the daemon
+// option.
+#ifdef NDEBUG
+inline constexpr bool kCertifyDefault = false;
+#else
+inline constexpr bool kCertifyDefault = true;
+#endif
 
 namespace obs {
 class SolverObserver;
@@ -101,6 +112,23 @@ struct EngineContext {
   // Post-hardening greedy improvement (gradient engine only; not part of
   // the published algorithm).
   bool refine = false;
+  // V-cycle shape knobs (vcycle engine only): banded-refinement plane
+  // radius, coarsest-level size target, level cap, refinement pass cap.
+  int band = 1;
+  int coarse_target = 1024;
+  int max_levels = 64;
+  int max_passes = 8;
+  // Largest instance the exhaustive `exact` engine accepts (branch-and-
+  // bound cost grows as K^G; the engine rejects bigger netlists with
+  // kInvalidArgument instead of hanging).
+  int max_gates = 20;
+  // Run the independent certifier (core/certify.h) over the result and
+  // fail the run on any non-valid verdict. Debug builds default to on.
+  bool certify = kCertifyDefault;
+  // Pinned / grouped gate constraints, compiled against the netlist by
+  // the adapter and enforced by every engine; empty means unconstrained
+  // (bit-identical to the pre-constraint behavior).
+  GateConstraints constraints;
   // Weights of the shared discrete objective every EngineRun is scored
   // with; engines that optimize the same objective (gradient, multilevel,
   // annealing) also run with them.

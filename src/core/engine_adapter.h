@@ -26,9 +26,12 @@ class EngineAdapter : public PartitionEngine {
   // The actual solve. `counters` receives the engine-specific tallies
   // (iterations, moves_tried, final_cut, ...); the context's observer has
   // already been wrapped to rewrite the outermost RunInfo::engine to the
-  // registry name.
+  // registry name. `constraints` is the context's pin/group declaration
+  // compiled against this netlist (empty when unconstrained — engines
+  // must then behave bit-identically to the unconstrained code path).
   virtual StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
+      const CompiledConstraints& constraints,
       std::vector<std::pair<std::string, double>>& counters) const = 0;
 
   // False for engines whose underlying implementation emits no observer
@@ -44,6 +47,16 @@ OptionSpec seed_spec();
 OptionSpec restarts_spec();
 OptionSpec threads_spec();
 OptionSpec refine_spec();
+// Independent result certification (core/certify.h); advertised by every
+// engine so the daemon accepts the knob uniformly.
+OptionSpec certify_spec();
+// V-cycle shape knobs (vcycle engine).
+OptionSpec band_spec();
+OptionSpec coarse_target_spec();
+OptionSpec max_levels_spec();
+OptionSpec max_passes_spec();
+// Instance-size cap of the exhaustive engine.
+OptionSpec max_gates_spec();
 // c1..c4 and distance_exponent of the shared weighted objective.
 std::vector<OptionSpec> weight_specs();
 
@@ -55,5 +68,6 @@ std::unique_ptr<PartitionEngine> make_annealing_engine();
 std::unique_ptr<PartitionEngine> make_fm_kway_engine();
 std::unique_ptr<PartitionEngine> make_layered_engine();
 std::unique_ptr<PartitionEngine> make_random_engine();
+std::unique_ptr<PartitionEngine> make_exact_engine();
 
 }  // namespace sfqpart::engine_detail

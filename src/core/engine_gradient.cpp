@@ -22,7 +22,7 @@ class GradientAdapter final : public EngineAdapter {
   std::vector<OptionSpec> describe_options() const override {
     std::vector<OptionSpec> specs = {planes_spec(), seed_spec(),
                                      restarts_spec(), threads_spec(),
-                                     refine_spec()};
+                                     refine_spec(), certify_spec()};
     for (OptionSpec& spec : weight_specs()) specs.push_back(std::move(spec));
     return specs;
   }
@@ -30,6 +30,7 @@ class GradientAdapter final : public EngineAdapter {
  protected:
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
+      const CompiledConstraints& constraints,
       std::vector<std::pair<std::string, double>>& counters) const override {
     SolverConfig config;
     config.num_planes = context.num_planes;
@@ -39,6 +40,7 @@ class GradientAdapter final : public EngineAdapter {
     config.refine = context.refine;
     config.weights = context.weights;
     config.observer = context.observer;
+    config.fixed_labels = constraints.compact_or_null();
     StatusOr<SolverResult> result = Solver(std::move(config)).run(netlist);
     if (!result) return result.status();
     counters.emplace_back("iterations", result->iterations);

@@ -21,7 +21,8 @@ class MultilevelAdapter final : public EngineAdapter {
   }
   std::vector<OptionSpec> describe_options() const override {
     std::vector<OptionSpec> specs = {planes_spec(), seed_spec(),
-                                     restarts_spec(), threads_spec()};
+                                     restarts_spec(), threads_spec(),
+                                     certify_spec()};
     for (OptionSpec& spec : weight_specs()) specs.push_back(std::move(spec));
     return specs;
   }
@@ -29,6 +30,7 @@ class MultilevelAdapter final : public EngineAdapter {
  protected:
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
+      const CompiledConstraints& constraints,
       std::vector<std::pair<std::string, double>>& counters) const override {
     MultilevelOptions options;
     // Only the driver seed is threaded through; the coarse solve keeps its
@@ -38,6 +40,7 @@ class MultilevelAdapter final : public EngineAdapter {
     options.coarse.weights = context.weights;
     options.threads = context.threads;
     options.observer = context.observer;
+    options.fixed = constraints.compact_or_null();
     MultilevelResult result =
         multilevel_partition(netlist, context.num_planes, options);
     counters.emplace_back("levels", result.levels);

@@ -22,8 +22,14 @@ class VcycleAdapter final : public EngineAdapter {
            "scale)";
   }
   std::vector<OptionSpec> describe_options() const override {
-    std::vector<OptionSpec> specs = {planes_spec(), seed_spec(),
-                                     restarts_spec(), threads_spec()};
+    // The engine's own shape knobs are advertised too (band,
+    // coarse_target, max_levels, max_passes): without them `--engine
+    // vcycle` and the daemon's job validation could not reach them at
+    // all.
+    std::vector<OptionSpec> specs = {
+        planes_spec(), seed_spec(),       restarts_spec(),
+        threads_spec(), band_spec(),      coarse_target_spec(),
+        max_levels_spec(), max_passes_spec(), certify_spec()};
     for (OptionSpec& spec : weight_specs()) specs.push_back(std::move(spec));
     return specs;
   }
@@ -31,6 +37,7 @@ class VcycleAdapter final : public EngineAdapter {
  protected:
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
+      const CompiledConstraints& constraints,
       std::vector<std::pair<std::string, double>>& counters) const override {
     VcycleOptions options;
     options.seed = context.seed;
@@ -38,6 +45,11 @@ class VcycleAdapter final : public EngineAdapter {
     options.coarse.weights = context.weights;
     options.threads = context.threads;
     options.observer = context.observer;
+    options.band = context.band;
+    options.coarse_target = context.coarse_target;
+    options.max_levels = context.max_levels;
+    options.refine.max_passes = context.max_passes;
+    options.fixed = constraints.compact_or_null();
     VcycleResult result =
         vcycle_partition(netlist, context.num_planes, options);
     counters.emplace_back("levels", result.levels);

@@ -61,7 +61,8 @@ MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
             sink.level({level, coarse.num_gates,
                         static_cast<long long>(coarse.edges.size())});
           }
-        });
+        },
+        options.fixed);
   }
   const PartitionProblem& coarsest = stack.coarsest(finest);
 
@@ -81,6 +82,7 @@ MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
     SolverConfig coarse_config = coarse_options;
     coarse_config.threads = options.threads;
     coarse_config.observer = options.observer;
+    coarse_config.fixed_labels = stack.coarsest_fixed(options.fixed);
     // The asserts in StatusOr::value mirror the old solve_labels contract:
     // the inputs were validated above, so failure here is a programmer bug.
     labels = Solver(coarse_config).solve(coarsest).value().labels;
@@ -93,9 +95,15 @@ MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
     for (std::size_t i = stack.levels.size(); i-- > 0;) {
       const PartitionProblem& fine =
           i == 0 ? finest : stack.levels[i - 1].problem;
+      const std::vector<int>* fine_fixed =
+          i == 0 ? options.fixed
+                 : (stack.levels[i - 1].fixed.empty()
+                        ? nullptr
+                        : &stack.levels[i - 1].fixed);
       std::vector<int> fine_labels = stack.levels[i].project(labels);
       const CostModel model(fine, coarse_options.weights);
-      refine_partition(model, fine_labels, rng, options.refine, &sink, -1);
+      refine_partition(model, fine_labels, rng, options.refine, &sink, -1,
+                       fine_fixed);
       labels = std::move(fine_labels);
     }
   }

@@ -40,6 +40,11 @@ struct MultilevelOptions {
   // restart = -1), and — forwarded to the coarse Solver — the full event
   // stream of the coarse-level solve.
   obs::SolverObserver* observer = nullptr;
+  // Finest-level fixed planes (compact problem indices, -1 = free; not
+  // owned). Pins propagate through coarsening, constrain the coarse solve
+  // and are skipped by every projection refinement. Null = unconstrained
+  // (bit-identical to the pre-constraint driver).
+  const std::vector<int>* fixed = nullptr;
 };
 
 struct MultilevelResult {

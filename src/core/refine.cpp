@@ -10,7 +10,8 @@ namespace sfqpart {
 
 RefineResult refine_partition(const CostModel& model, std::vector<int>& labels,
                               Rng& rng, const RefineOptions& options,
-                              obs::TraceSink* sink, int restart) {
+                              obs::TraceSink* sink, int restart,
+                              const std::vector<int>* fixed) {
   const int num_gates = model.problem().num_gates;
   const int num_planes = model.problem().num_planes;
   assert(static_cast<int>(labels.size()) == num_gates);
@@ -26,6 +27,9 @@ RefineResult refine_partition(const CostModel& model, std::vector<int>& labels,
     rng.shuffle(order);
     int moves_this_pass = 0;
     for (const int gate : order) {
+      if (fixed != nullptr && (*fixed)[static_cast<std::size_t>(gate)] >= 0) {
+        continue;
+      }
       int best_target = eval.label(gate);
       double best_delta = -1e-12;  // strict improvement only
       for (int target = 0; target < num_planes; ++target) {

@@ -34,9 +34,12 @@ struct RefineResult {
 // Improves `labels` in place (compact indices, 0-based planes). When a
 // TraceSink is supplied, one RefinePassEvent per pass is emitted, tagged
 // with `restart` (restart < 0 marks refits outside the restart loop, e.g.
-// the multilevel projection polish).
+// the multilevel projection polish). `fixed` (compact-indexed, -1 = free;
+// null = unconstrained) marks gates the pass must not move — the null
+// path is byte-identical to the pre-constraint code.
 RefineResult refine_partition(const CostModel& model, std::vector<int>& labels,
                               Rng& rng, const RefineOptions& options = {},
-                              obs::TraceSink* sink = nullptr, int restart = -1);
+                              obs::TraceSink* sink = nullptr, int restart = -1,
+                              const std::vector<int>* fixed = nullptr);
 
 }  // namespace sfqpart

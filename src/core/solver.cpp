@@ -156,6 +156,17 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
     Rng rng = streams[r];
     Matrix w0 = random_soft_assignment(problem.num_gates, problem.num_planes,
                                        rng);
+    if (config_.fixed_labels != nullptr) {
+      // Pinned gates start as exact one-hot rows; the descent may still
+      // drift them, so the hardened labels are re-clamped below.
+      const std::vector<int>& fixed = *config_.fixed_labels;
+      for (std::size_t i = 0; i < fixed.size(); ++i) {
+        if (fixed[i] < 0) continue;
+        auto row = w0.row(i);
+        for (double& value : row) value = 0.0;
+        row[static_cast<std::size_t>(fixed[i])] = 1.0;
+      }
+    }
     OptimizerOptions optimizer = config_.optimizer;
     if (sink.enabled()) {
       optimizer.on_iteration = [&sink, restart](int iteration,
@@ -177,6 +188,12 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
       obs::ScopedTimer timer(&sink, "harden", restart);
       out.labels = harden(opt.w);
     }
+    if (config_.fixed_labels != nullptr) {
+      const std::vector<int>& fixed = *config_.fixed_labels;
+      for (std::size_t i = 0; i < fixed.size(); ++i) {
+        if (fixed[i] >= 0) out.labels[i] = fixed[i];
+      }
+    }
     if (sink.enabled()) {
       // The hardened-but-unrefined cost is observer-only extra work; the
       // evaluation mutates nothing, preserving bit-identity.
@@ -186,7 +203,7 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
     if (config_.refine) {
       obs::ScopedTimer timer(&sink, "refine", restart);
       refine_partition(model, out.labels, rng, config_.refine_options, &sink,
-                       restart);
+                       restart, config_.fixed_labels);
     }
     out.soft_terms = opt.final_terms;
     out.discrete_terms = model.evaluate_discrete(out.labels);

@@ -58,6 +58,13 @@ struct SolverConfig {
   OptimizerOptions optimizer;
   RefineOptions refine_options;
 
+  // Per-gate fixed planes (compact problem indices, -1 = free; not owned,
+  // must outlive the run). Fixed gates start every restart as an exact
+  // one-hot row, are re-clamped after hardening, and are skipped by the
+  // refinement pass. Null = unconstrained, byte-identical to the
+  // pre-constraint solver.
+  const std::vector<int>* fixed_labels = nullptr;
+
   // Structured observability hook (not owned; may be null). Receives the
   // full event stream of every run: run/restart lifecycles, per-iteration
   // CostTerms, hardening, refine passes, named stage timers and counters

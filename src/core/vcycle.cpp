@@ -44,10 +44,15 @@ struct ProposalKernel {
   std::int32_t* proposal;
   int band;
   int num_planes;
+  const int* fixed;  // per-gate fixed plane (-1 = free); null when none
 
   void operator()(std::size_t, std::size_t begin, std::size_t end) const {
     for (std::size_t i = begin; i < end; ++i) {
       const int gate = static_cast<int>(i);
+      if (fixed != nullptr && fixed[i] >= 0) {
+        proposal[i] = -1;
+        continue;
+      }
       const int source = labels[i];
       const int lo = std::max(0, source - band);
       const int hi = std::min(num_planes - 1, source + band);
@@ -69,7 +74,7 @@ struct ProposalKernel {
 struct BandedRefineStats {
   int passes = 0;
   long long moves = 0;
-  double cost_after = 0.0;  // cost_before + sum of committed deltas
+  double cost_after = 0.0;  // full re-evaluation of the final labels
 };
 
 // Propose in parallel, commit serially in ascending gate order. The
@@ -80,15 +85,20 @@ struct BandedRefineStats {
 // proposal sweep was chunked across threads.
 BandedRefineStats banded_refine(MoveEvaluator& eval, int band,
                                 const RefineOptions& options, ThreadPool* pool,
-                                double cost_before) {
+                                double cost_before,
+                                const std::vector<int>* fixed) {
   const int n = eval.num_gates();
   const int k = eval.num_planes();
   BandedRefineStats stats;
   stats.cost_after = cost_before;
   std::vector<std::int32_t> proposal(static_cast<std::size_t>(n));
   for (int pass = 0; pass < options.max_passes; ++pass) {
-    ProposalKernel kernel{&eval, eval.labels().data(), proposal.data(), band,
-                          k};
+    ProposalKernel kernel{&eval,
+                          eval.labels().data(),
+                          proposal.data(),
+                          band,
+                          k,
+                          fixed != nullptr ? fixed->data() : nullptr};
     parallel_chunks(pool, static_cast<std::size_t>(n), kProposalGrain, kernel,
                     kProposalItemCost);
     int moves = 0;
@@ -98,7 +108,6 @@ BandedRefineStats banded_refine(MoveEvaluator& eval, int band,
       const double delta = eval.delta(gate, target);
       if (delta < kImprovementThreshold) {
         eval.apply(gate, target);
-        stats.cost_after += delta;
         ++moves;
       }
     }
@@ -106,6 +115,11 @@ BandedRefineStats banded_refine(MoveEvaluator& eval, int band,
     stats.moves += moves;
     if (moves < options.min_moves_per_pass) break;
   }
+  // Re-score the final labels instead of accumulating committed deltas
+  // onto cost_before: summed deltas drift from the true cost in floating
+  // point over many passes, and the level report must agree with what a
+  // fresh evaluation of the labels says.
+  if (stats.moves > 0) stats.cost_after = eval.current_cost();
   return stats;
 }
 
@@ -164,7 +178,8 @@ VcycleResult vcycle_partition(const Netlist& netlist, int num_planes,
             event.coarsen_ms = elapsed;
             sink.level(event);
           }
-        });
+        },
+        options.fixed);
   }
   const PartitionProblem& coarsest = stack.coarsest(finest);
 
@@ -183,6 +198,7 @@ VcycleResult vcycle_partition(const Netlist& netlist, int num_planes,
     coarse_config.seed = options.seed;
     coarse_config.threads = options.threads;
     coarse_config.observer = options.observer;
+    coarse_config.fixed_labels = stack.coarsest_fixed(options.fixed);
     // Inputs were validated by the engine adapter; failure here is a
     // programmer bug, mirroring the multilevel driver.
     labels = Solver(coarse_config).solve(coarsest).value().labels;
@@ -201,6 +217,11 @@ VcycleResult vcycle_partition(const Netlist& netlist, int num_planes,
       const Clock::time_point level_start = Clock::now();
       const PartitionProblem& fine =
           i == 0 ? finest : stack.levels[i - 1].problem;
+      const std::vector<int>* fine_fixed =
+          i == 0 ? options.fixed
+                 : (stack.levels[i - 1].fixed.empty()
+                        ? nullptr
+                        : &stack.levels[i - 1].fixed);
       std::vector<int> fine_labels = stack.levels[i].project(labels);
 
       // One shared CSR view per level: the cost model, the move
@@ -211,8 +232,9 @@ VcycleResult vcycle_partition(const Netlist& netlist, int num_planes,
       model.set_thread_pool(pool.get());
       MoveEvaluator eval(model, std::move(fine_labels));
       const double projected_cost = eval.current_cost();
-      const BandedRefineStats stats = banded_refine(
-          eval, options.band, options.refine, pool.get(), projected_cost);
+      const BandedRefineStats stats =
+          banded_refine(eval, options.band, options.refine, pool.get(),
+                        projected_cost, fine_fixed);
       result.refine_moves += stats.moves;
       labels = eval.labels();
 

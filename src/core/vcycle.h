@@ -64,6 +64,11 @@ struct VcycleOptions {
   // LevelEvents per level: shape + coarsen_ms on the way down,
   // projected/refined cost + refine_ms + moves on the way up.
   obs::SolverObserver* observer = nullptr;
+  // Finest-level fixed planes (compact problem indices, -1 = free; not
+  // owned). Pins propagate through coarsening, constrain the coarse solve
+  // and are never moved by the banded refinement. Null = unconstrained
+  // (bit-identical to the pre-constraint driver).
+  const std::vector<int>* fixed = nullptr;
 };
 
 struct VcycleResult {

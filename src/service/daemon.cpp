@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/certify.h"
 #include "core/engine.h"
 #include "def/def_parser.h"
 #include "gen/suite.h"
@@ -316,13 +317,39 @@ void Daemon::execute_job(JobRequest request, EngineContext context,
         fail_status = "error";
         fail_message = run.status().message();
       } else {
-        const PartitionMetrics metrics =
-            compute_metrics(*netlist, run->partition);
-        report.set_circuit(netlist->name(), metrics.num_gates,
-                           metrics.num_connections);
-        report.set_metrics(metrics);
-        report_str = report.to_json().dump(0);
-        cache_.insert(key, report_str);
+        bool accept = true;
+        if (options_.certify) {
+          // Server-side certification, before serialization and cache
+          // insert: the counter freezes into the cached report, so warm
+          // hits replay a certified result without re-running the check.
+          CertifyExpectation expect;
+          expect.terms = run->discrete_terms;
+          expect.total = run->discrete_total;
+          auto compiled = compile_constraints(*netlist, context.constraints,
+                                              context.num_planes);
+          const CertifyReport cert = certify_partition(
+              *netlist, run->partition, context.num_planes, context.weights,
+              &expect, compiled ? &*compiled : nullptr);
+          jobs_certified_.fetch_add(1);
+          sink_.counter("job_certified", 1);
+          report.on_counter({"daemon_certified", 1});
+          if (!cert.valid()) {
+            accept = false;
+            fail_status = "error";
+            fail_message = "certification failed (" +
+                           std::string(certify_verdict_name(cert.verdict)) +
+                           "): " + cert.message;
+          }
+        }
+        if (accept) {
+          const PartitionMetrics metrics =
+              compute_metrics(*netlist, run->partition);
+          report.set_circuit(netlist->name(), metrics.num_gates,
+                             metrics.num_connections);
+          report.set_metrics(metrics);
+          report_str = report.to_json().dump(0);
+          cache_.insert(key, report_str);
+        }
       }
     }
   }
@@ -415,7 +442,8 @@ Json Daemon::stats_json() const {
                .set("rejected", Json::number(jobs_rejected_.load()))
                .set("invalid", Json::number(jobs_invalid_.load()))
                .set("coalesced", Json::number(jobs_coalesced_.load()))
-               .set("completed", Json::number(jobs_completed_.load())))
+               .set("completed", Json::number(jobs_completed_.load()))
+               .set("certified", Json::number(jobs_certified_.load())))
       .set("queue",
            Json::object()
                .set("size", Json::number(static_cast<long long>(queue_.size())))

@@ -63,6 +63,13 @@ struct DaemonOptions {
   // Result cache entry budget and shard count.
   std::size_t cache_capacity = 256;
   std::size_t cache_shards = 8;
+  // Server-side certification (core/certify.h): every executed job's
+  // result is independently re-derived and checked *before* the report is
+  // serialized and cached, so a cache hit replays an already-certified
+  // report (the "daemon_certified" counter is frozen into it) and a bad
+  // result is answered as an error instead of being cached. Certifying
+  // once at insert instead of on every hit keeps warm repeats O(1).
+  bool certify = true;
   // Receives daemon counters as CounterEvents: "cache_hit", "cache_miss",
   // "cache_evict", "job_accepted", "job_rejected", "job_invalid",
   // "job_coalesced", "engine_run". Not owned; may be null.
@@ -132,6 +139,7 @@ class Daemon {
   std::atomic<long long> jobs_invalid_{0};
   std::atomic<long long> jobs_completed_{0};
   std::atomic<long long> jobs_coalesced_{0};
+  std::atomic<long long> jobs_certified_{0};
 
   // Single-flight registry: cache keys currently executing, with the
   // duplicate submissions waiting on each. Guards the miss -> enqueue

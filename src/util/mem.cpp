@@ -1,0 +1,19 @@
+#include "util/mem.h"
+
+#include <sys/resource.h>
+
+namespace sfqpart {
+
+double peak_rss_mb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  // ru_maxrss is bytes on macOS.
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  // ru_maxrss is kilobytes on Linux and the BSDs' rusage(2) lineage.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+}
+
+}  // namespace sfqpart

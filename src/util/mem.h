@@ -1,0 +1,13 @@
+// Process memory introspection.
+#pragma once
+
+namespace sfqpart {
+
+// Peak resident set size of the calling process in megabytes, from
+// getrusage(RUSAGE_SELF). ru_maxrss is reported in kilobytes on Linux
+// but in *bytes* on macOS/BSD; this helper owns that platform split so
+// callers never hardcode one interpretation. Returns 0.0 if the query
+// fails.
+double peak_rss_mb();
+
+}  // namespace sfqpart

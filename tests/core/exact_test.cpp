@@ -1,0 +1,172 @@
+// The `exact` branch-and-bound reference: proves the optimum on small
+// instances (brute-force cross-check), rejects big ones with a clear
+// Status, and anchors the optimality-gap measurement of every heuristic
+// engine.
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/engine.h"
+#include "gen/suite.h"
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+namespace {
+
+// 8 JTLs in a chain plus a merge fed from two chain taps: small enough
+// for 3^9 enumeration, structured enough that the optimum is not trivial.
+Netlist tiny_netlist() {
+  Netlist netlist;
+  std::vector<GateId> gates;
+  for (int i = 0; i < 8; ++i) {
+    gates.push_back(
+        netlist.add_gate_of_kind("g" + std::to_string(i), CellKind::kJtl));
+  }
+  for (int i = 0; i + 1 < 8; ++i) {
+    netlist.connect(gates[static_cast<std::size_t>(i)], 0,
+                    gates[static_cast<std::size_t>(i + 1)], 0);
+  }
+  const GateId merge = netlist.add_gate_of_kind("m0", CellKind::kMerge);
+  netlist.connect(gates[2], 0, merge, 0);
+  netlist.connect(gates[7], 0, merge, 1);
+  return netlist;
+}
+
+// Minimum weighted total over every K^G labeling (optionally restricted
+// to labelings honoring `fixed`, compact-indexed), scored by the shared
+// CostModel — NOT by the certifier, so the cross-check is independent of
+// the engine's own oracle.
+double brute_force_optimum(const Netlist& netlist, int num_planes,
+                           const std::vector<int>* fixed = nullptr) {
+  const PartitionProblem problem =
+      PartitionProblem::from_netlist(netlist, num_planes);
+  const CostModel model(problem, CostWeights{});
+  std::vector<int> labels(static_cast<std::size_t>(problem.num_gates), 0);
+  double best = std::numeric_limits<double>::infinity();
+  while (true) {
+    bool feasible = true;
+    if (fixed != nullptr) {
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if ((*fixed)[i] >= 0 && labels[i] != (*fixed)[i]) {
+          feasible = false;
+          break;
+        }
+      }
+    }
+    if (feasible) {
+      const double total =
+          model.evaluate_discrete(labels).total(CostWeights{});
+      if (total < best) best = total;
+    }
+    // Odometer increment over the K^G space.
+    std::size_t digit = 0;
+    while (digit < labels.size() && ++labels[digit] == num_planes) {
+      labels[digit] = 0;
+      ++digit;
+    }
+    if (digit == labels.size()) break;
+  }
+  return best;
+}
+
+StatusOr<EngineRun> run_exact(const Netlist& netlist, int num_planes,
+                              EngineContext context = {}) {
+  const auto engine = EngineRegistry::create("exact");
+  EXPECT_TRUE(engine.is_ok());
+  context.num_planes = num_planes;
+  context.certify = true;
+  return (*engine)->run(netlist, context);
+}
+
+TEST(ExactEngine, MatchesBruteForceEnumeration) {
+  const Netlist netlist = tiny_netlist();
+  const auto run = run_exact(netlist, 3);
+  ASSERT_TRUE(run.is_ok()) << run.status().message();
+  EXPECT_NEAR(run->discrete_total, brute_force_optimum(netlist, 3), 1e-12);
+  EXPECT_EQ(run->counter("proved_optimal"), 1.0);
+  EXPECT_GT(run->counter("nodes_explored"), 0.0);
+}
+
+TEST(ExactEngine, MatchesBruteForceAtTwoPlanes) {
+  const Netlist netlist = tiny_netlist();
+  const auto run = run_exact(netlist, 2);
+  ASSERT_TRUE(run.is_ok()) << run.status().message();
+  EXPECT_NEAR(run->discrete_total, brute_force_optimum(netlist, 2), 1e-12);
+}
+
+TEST(ExactEngine, DeterministicAcrossRuns) {
+  const Netlist netlist = tiny_netlist();
+  const auto a = run_exact(netlist, 3);
+  const auto b = run_exact(netlist, 3);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a->partition.plane_of, b->partition.plane_of);
+  EXPECT_EQ(a->discrete_total, b->discrete_total);
+}
+
+TEST(ExactEngine, RejectsInstancesAboveMaxGates) {
+  const Netlist netlist = build_mapped("ksa4");
+  const auto run = run_exact(netlist, 3);
+  ASSERT_FALSE(run.is_ok());
+  EXPECT_TRUE(run.status().is_invalid_argument());
+  EXPECT_NE(run.status().message().find("max_gates"), std::string::npos)
+      << run.status().message();
+
+  // The cap is a knob, not a constant: lowering it rejects the tiny
+  // instance too.
+  EngineContext tight;
+  tight.max_gates = 4;
+  const auto tiny = run_exact(tiny_netlist(), 3, tight);
+  ASSERT_FALSE(tiny.is_ok());
+  EXPECT_TRUE(tiny.status().is_invalid_argument());
+}
+
+TEST(ExactEngine, HonorsPinsAndStaysOptimalAmongFeasibleLabelings) {
+  const Netlist netlist = tiny_netlist();
+  EngineContext context;
+  context.constraints.pins = {{"g0", 2}, {"g5", 0}};
+  const auto run = run_exact(netlist, 3, context);
+  ASSERT_TRUE(run.is_ok()) << run.status().message();
+  EXPECT_EQ(run->partition.plane(netlist.find_gate("g0")), 2);
+  EXPECT_EQ(run->partition.plane(netlist.find_gate("g5")), 0);
+
+  const auto compiled =
+      compile_constraints(netlist, context.constraints, 3);
+  ASSERT_TRUE(compiled.is_ok());
+  EXPECT_NEAR(run->discrete_total,
+              brute_force_optimum(netlist, 3, &compiled->fixed_compact),
+              1e-12);
+}
+
+// The reason the engine exists: a measurable optimality gap for every
+// heuristic, with gap >= 0 always and gap == 0 for at least one
+// heuristic on a small instance.
+TEST(ExactEngine, AnchorsOptimalityGapOfEveryHeuristic) {
+  const Netlist netlist = tiny_netlist();
+  const auto exact = run_exact(netlist, 3);
+  ASSERT_TRUE(exact.is_ok()) << exact.status().message();
+  const double optimum = exact->discrete_total;
+
+  double min_gap = std::numeric_limits<double>::infinity();
+  for (const std::string& name : EngineRegistry::names()) {
+    if (name == "exact") continue;
+    const auto engine = EngineRegistry::create(name);
+    ASSERT_TRUE(engine.is_ok());
+    EngineContext context;
+    context.num_planes = 3;
+    context.restarts = 1;
+    const auto run = (*engine)->run(netlist, context);
+    ASSERT_TRUE(run.is_ok()) << name << ": " << run.status().message();
+    const double gap = run->discrete_total - optimum;
+    EXPECT_GE(gap, -1e-9) << name << " beat the proved optimum";
+    if (gap < min_gap) min_gap = gap;
+  }
+  EXPECT_LE(min_gap, 1e-9)
+      << "no heuristic found the optimum on a 9-gate instance";
+}
+
+}  // namespace
+}  // namespace sfqpart

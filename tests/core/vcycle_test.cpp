@@ -3,6 +3,9 @@
 #include <set>
 #include <vector>
 
+#include "core/cost_model.h"
+#include "core/partition.h"
+
 #include <gtest/gtest.h>
 
 #include "gen/scaled.h"
@@ -110,6 +113,39 @@ TEST(Vcycle, ReportCarriesMergedLevels) {
   const std::string json = report.to_json().dump();
   EXPECT_NE(json.find("sfqpart.run_report.v2"), std::string::npos);
   EXPECT_NE(json.find("\"levels\""), std::string::npos);
+}
+
+// Regression for the refined-cost drift bug: the per-level refined cost
+// used to be cost_before plus the sum of committed move deltas, which
+// drifts from the true cost in floating point over many passes. The
+// level report must agree exactly with a fresh evaluation of the final
+// labels — that is what run_report consumers compare against.
+TEST(Vcycle, RefinedCostMatchesFreshEvaluation) {
+  const Netlist netlist = scaled_20k();
+  obs::RunReport report;
+  VcycleOptions options;
+  options.observer = &report;
+  const VcycleResult result = vcycle_partition(netlist, 5, options);
+  ASSERT_GT(result.refine_moves, 0);
+
+  const PartitionProblem problem = PartitionProblem::from_netlist(netlist, 5);
+  std::vector<int> labels(static_cast<std::size_t>(problem.num_gates));
+  for (int i = 0; i < problem.num_gates; ++i) {
+    labels[static_cast<std::size_t>(i)] =
+        result.partition.plane(problem.gate_ids[static_cast<std::size_t>(i)]);
+  }
+  const CostModel model(problem, options.coarse.weights);
+  const double fresh =
+      model.evaluate_discrete(labels).total(options.coarse.weights);
+
+  bool saw_finest = false;
+  for (const obs::LevelEvent& level : report.levels()) {
+    if (level.level != 0) continue;
+    saw_finest = true;
+    EXPECT_DOUBLE_EQ(level.refined_cost, fresh);
+  }
+  EXPECT_TRUE(saw_finest);
+  EXPECT_DOUBLE_EQ(result.discrete_total, fresh);
 }
 
 // On the paper-suite circuits (small; the V-cycle bottoms out quickly)

@@ -1,0 +1,41 @@
+#include "util/mem.h"
+
+// peak_rss_mb() regression: the reading must be in megabytes on every
+// platform. The historical bug hardcoded the Linux kilobyte
+// interpretation of ru_maxrss, which over-reports by 1024x on macOS
+// (where ru_maxrss is bytes); the plausibility band below fails for
+// either misinterpretation without depending on the absolute footprint
+// of the test binary.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sfqpart {
+namespace {
+
+TEST(Mem, PeakRssIsPlausibleMegabytes) {
+  const double peak = peak_rss_mb();
+  // A running gtest binary holds at least ~1 MB resident; a reading
+  // below that means the divisor is ~1000x too large (KB treated as
+  // bytes, which reports a few kilobytes), above 64 GB means it is
+  // ~1000x too small (bytes treated as KB).
+  EXPECT_GT(peak, 1.0);
+  EXPECT_LT(peak, 64.0 * 1024.0);
+}
+
+TEST(Mem, PeakRssIsMonotonicAndTracksAllocation) {
+  const double before = peak_rss_mb();
+  // Touch 64 MB so the peak provably covers it (ru_maxrss is a high
+  //-water mark: earlier tests in this binary may already have peaked
+  // higher, so only >= is guaranteed).
+  constexpr std::size_t kBytes = 64u * 1024u * 1024u;
+  std::vector<unsigned char> block(kBytes, 1);
+  for (std::size_t i = 0; i < kBytes; i += 4096) block[i] = 2;
+  const double after = peak_rss_mb();
+  EXPECT_GE(after, before);
+  EXPECT_GT(block[kBytes - 1], 0);  // keep the allocation alive
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -17,6 +17,7 @@
 // benchmark suite or from a DEF file (--def); all stochastic steps honor
 // --seed.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -81,6 +82,15 @@ OptionsParser make_parser(const std::string& command) {
                   "stream solver events (restarts, iterations, timers) on stderr");
   parser.add_string("csv", "", "write gate->plane assignments to this CSV file");
   parser.add_string("dot", "", "write a plane-colored DOT graph to this file");
+  parser.add_flag("certify", false,
+                  "independently re-derive and check the result "
+                  "(core/certify.h); always on in debug builds");
+  parser.add_string("pin", "",
+                    "pin gates to planes: comma-separated name=plane list, "
+                    "e.g. --pin 'u1=0,u7=2'");
+  parser.add_string("group", "",
+                    "co-locate gates on one plane: ';'-separated groups of "
+                    "comma-separated names, e.g. --group 'u1,u2;u5,u6'");
   parser.add_double("limit", 100.0, "bias pad limit in mA (kres)");
   parser.add_string("dir", ".", "output directory (emit)");
   parser.add_string("assignment", "", "gate->plane CSV to evaluate (evaluate)");
@@ -195,6 +205,55 @@ class ProgressPrinter final : public obs::SolverObserver {
   }
 };
 
+// Parses the --pin / --group flag syntax into the GateConstraints
+// declaration; name resolution and feasibility checks happen later in
+// compile_constraints(), so this only rejects malformed syntax.
+Status parse_constraint_flags(const OptionsParser& options,
+                              GateConstraints& out) {
+  const std::string pins = options.get_string("pin");
+  for (std::size_t pos = 0; pos < pins.size();) {
+    std::size_t end = pins.find(',', pos);
+    if (end == std::string::npos) end = pins.size();
+    const std::string item = pins.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::invalid_argument("--pin expects name=plane, got '" +
+                                      item + "'");
+    }
+    char* tail = nullptr;
+    const long plane = std::strtol(item.c_str() + eq + 1, &tail, 10);
+    if (tail == item.c_str() + eq + 1 || *tail != '\0') {
+      return Status::invalid_argument("--pin expects an integer plane in '" +
+                                      item + "'");
+    }
+    out.pins.emplace_back(item.substr(0, eq), static_cast<int>(plane));
+  }
+  const std::string groups = options.get_string("group");
+  for (std::size_t pos = 0; pos < groups.size();) {
+    std::size_t end = groups.find(';', pos);
+    if (end == std::string::npos) end = groups.size();
+    const std::string spec = groups.substr(pos, end - pos);
+    pos = end + 1;
+    if (spec.empty()) continue;
+    std::vector<std::string> members;
+    for (std::size_t mpos = 0; mpos < spec.size();) {
+      std::size_t mend = spec.find(',', mpos);
+      if (mend == std::string::npos) mend = spec.size();
+      if (mend > mpos) members.push_back(spec.substr(mpos, mend - mpos));
+      mpos = mend + 1;
+    }
+    if (members.size() < 2) {
+      return Status::invalid_argument(
+          "--group expects at least two comma-separated names per group, "
+          "got '" + spec + "'");
+    }
+    out.groups.push_back(std::move(members));
+  }
+  return Status::ok();
+}
+
 // Runs the engine selected by --engine with the uniform EngineContext; all
 // flag validation (planes/restarts/threads) happens once inside the
 // engine's run() and comes back as a Status.
@@ -209,6 +268,12 @@ StatusOr<EngineRun> run_engine(const Netlist& netlist, const OptionsParser& opti
   context.restarts = static_cast<int>(options.get_int("restarts"));
   context.threads = static_cast<int>(options.get_int("threads"));
   context.refine = options.get_flag("refine");
+  // --certify forces certification on; without the flag the context keeps
+  // its build-type default (on in debug builds).
+  if (options.get_flag("certify")) context.certify = true;
+  if (Status st = parse_constraint_flags(options, context.constraints); !st) {
+    return st;
+  }
   context.observer = observer;
 
   ProgressPrinter printer;

@@ -28,6 +28,9 @@ int main(int argc, char** argv) {
                  "(queue_full)");
   parser.add_int("cache-capacity", 256, "result cache entries");
   parser.add_int("cache-shards", 8, "result cache shard count");
+  parser.add_flag("no-certify", false,
+                  "skip the server-side result certification that otherwise "
+                  "runs once per executed job before the cache insert");
   parser.add_flag("help", false, "show this help");
   if (auto st = parser.parse(argc - 1, argv + 1); !st) {
     std::fprintf(stderr, "%s\n%s", st.message().c_str(),
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(parser.get_int("cache-capacity"));
   options.cache_shards =
       static_cast<std::size_t>(parser.get_int("cache-shards"));
+  options.certify = !parser.get_flag("no-certify");
   if (options.workers < 1) {
     std::fprintf(stderr, "sfqpartd: --workers must be >= 1\n");
     return 1;
