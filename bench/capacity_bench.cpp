@@ -84,6 +84,15 @@ int run(int argc, char** argv) {
     }
   }
 
+  // A/B: every size runs once per uncoarsening refinement flavor, so the
+  // artifact carries the banded-vs-buckets cost/throughput trade-off.
+  struct StyleCase {
+    VcycleRefineStyle style;
+    const char* name;
+  };
+  const StyleCase styles[] = {{VcycleRefineStyle::kBanded, "banded"},
+                              {VcycleRefineStyle::kBuckets, "buckets"}};
+
   Json runs = Json::array();
   for (const long long size : sizes) {
     using Clock = std::chrono::steady_clock;
@@ -101,56 +110,68 @@ int run(int argc, char** argv) {
         std::chrono::duration<double, std::milli>(Clock::now() - gen_start)
             .count();
 
-    obs::RunReport report;
-    VcycleOptions options;
-    options.seed = params.seed;
-    options.threads = static_cast<int>(parser.get_int("threads"));
-    options.observer = &report;
-    const auto solve_start = Clock::now();
-    const VcycleResult result = vcycle_partition(netlist, num_planes, options);
-    const double solve_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - solve_start)
-            .count();
-
     int partitionable = 0;
     for (GateId g = 0; g < netlist.num_gates(); ++g) {
       if (netlist.is_partitionable(g)) ++partitionable;
     }
-    const double gates_per_sec =
-        solve_ms > 0.0 ? partitionable / (solve_ms / 1000.0) : 0.0;
-    const double rss_mb = peak_rss_mb();
-    std::printf(
-        "%-14s G=%-9d levels=%-3d gen=%8.1f ms  solve=%9.1f ms  "
-        "%10.0f gates/s  cost=%.6f  peak_rss=%.0f MB\n",
-        params.name.c_str(), partitionable, result.levels, gen_ms, solve_ms,
-        gates_per_sec, result.discrete_total, rss_mb);
 
-    assert_valid(netlist, result.partition, num_planes);
-    if (smoke && solve_ms / 1000.0 > static_cast<double>(parser.get_int("smoke-budget-sec"))) {
-      std::fprintf(stderr, "capacity_bench: smoke run took %.1f s (budget %lld s)\n",
-                   solve_ms / 1000.0, parser.get_int("smoke-budget-sec"));
-      return 1;
+    for (const StyleCase& flavor : styles) {
+      obs::RunReport report;
+      VcycleOptions options;
+      options.seed = params.seed;
+      options.threads = static_cast<int>(parser.get_int("threads"));
+      options.observer = &report;
+      options.refine_style = flavor.style;
+      const auto solve_start = Clock::now();
+      const VcycleResult result =
+          vcycle_partition(netlist, num_planes, options);
+      const double solve_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - solve_start)
+              .count();
+
+      const double gates_per_sec =
+          solve_ms > 0.0 ? partitionable / (solve_ms / 1000.0) : 0.0;
+      const double rss_mb = peak_rss_mb();
+      std::printf(
+          "%-14s %-8s G=%-9d levels=%-3d gen=%8.1f ms  solve=%9.1f ms  "
+          "%10.0f gates/s  cost=%.6f  peak_rss=%.0f MB  names=%.1f MB\n",
+          params.name.c_str(), flavor.name, partitionable, result.levels,
+          gen_ms, solve_ms, gates_per_sec, result.discrete_total, rss_mb,
+          static_cast<double>(netlist.name_table_bytes()) / (1024.0 * 1024.0));
+
+      assert_valid(netlist, result.partition, num_planes);
+      if (smoke && solve_ms / 1000.0 >
+                       static_cast<double>(parser.get_int("smoke-budget-sec"))) {
+        std::fprintf(stderr,
+                     "capacity_bench: smoke run took %.1f s (budget %lld s)\n",
+                     solve_ms / 1000.0, parser.get_int("smoke-budget-sec"));
+        return 1;
+      }
+
+      // The report's levels array carries per-level vertex/edge counts,
+      // coarsening ratios and the coarsen/refine stage wall times.
+      Json doc = report.to_json();
+      runs.append(Json::object()
+                      .set("target_gates", Json::number(size))
+                      .set("refine_style", Json::string(flavor.name))
+                      .set("gates", Json::number(static_cast<long long>(partitionable)))
+                      .set("edges", Json::number(
+                                        static_cast<long long>(netlist.unique_edges().size())))
+                      .set("planes", Json::number(static_cast<long long>(num_planes)))
+                      .set("levels", Json::number(static_cast<long long>(result.levels)))
+                      .set("coarse_gates",
+                           Json::number(static_cast<long long>(result.coarse_gates)))
+                      .set("refine_moves", Json::number(result.refine_moves))
+                      .set("discrete_total", Json::number(result.discrete_total))
+                      .set("gen_ms", Json::number(gen_ms))
+                      .set("solve_ms", Json::number(solve_ms))
+                      .set("gates_per_sec", Json::number(gates_per_sec))
+                      .set("peak_rss_mb", Json::number(rss_mb))
+                      .set("name_table_bytes",
+                           Json::number(static_cast<long long>(
+                               netlist.name_table_bytes())))
+                      .set("report", std::move(doc)));
     }
-
-    // The report's levels array carries per-level vertex/edge counts,
-    // coarsening ratios and the coarsen/refine stage wall times.
-    Json doc = report.to_json();
-    runs.append(Json::object()
-                    .set("target_gates", Json::number(size))
-                    .set("gates", Json::number(static_cast<long long>(partitionable)))
-                    .set("edges", Json::number(
-                                      static_cast<long long>(netlist.unique_edges().size())))
-                    .set("planes", Json::number(static_cast<long long>(num_planes)))
-                    .set("levels", Json::number(static_cast<long long>(result.levels)))
-                    .set("coarse_gates",
-                         Json::number(static_cast<long long>(result.coarse_gates)))
-                    .set("refine_moves", Json::number(result.refine_moves))
-                    .set("discrete_total", Json::number(result.discrete_total))
-                    .set("gen_ms", Json::number(gen_ms))
-                    .set("solve_ms", Json::number(solve_ms))
-                    .set("gates_per_sec", Json::number(gates_per_sec))
-                    .set("peak_rss_mb", Json::number(rss_mb))
-                    .set("report", std::move(doc)));
   }
 
   write_results_json("BENCH_capacity",

@@ -42,7 +42,7 @@ void print_table3() {
     options.bias_limit_ma = kPadLimitMa;
     // One restart per K keeps the search loop close to the paper's flow.
     options.base.restarts = 2;
-    const KresResult kres = find_min_planes(netlist, options);
+    const KresResult kres = find_min_planes(netlist, options).value();
     if (!kres.found) {
       std::printf("  %s: no feasible K found!\n", paper.name);
       continue;
@@ -73,7 +73,7 @@ void BM_KresSearch(::benchmark::State& state, const char* name) {
   options.bias_limit_ma = kPadLimitMa;
   options.base.restarts = 1;
   for (auto _ : state) {
-    ::benchmark::DoNotOptimize(find_min_planes(netlist, options).k_res);
+    ::benchmark::DoNotOptimize(find_min_planes(netlist, options).value().k_res);
   }
 }
 

@@ -40,6 +40,14 @@ AnnealingResult anneal_partition(const Netlist& netlist, int num_planes,
   for (const GateId g : problem.gate_ids) {
     labels.push_back(start.plane(g));
   }
+  if (options.warm != nullptr) {
+    // Warm seed replaces the random start where assigned; the fixed
+    // override below still wins on pinned gates.
+    const std::vector<int>& warm = *options.warm;
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+      if (warm[i] >= 0) labels[i] = warm[i];
+    }
+  }
   if (options.fixed != nullptr) {
     const std::vector<int>& fixed = *options.fixed;
     for (std::size_t i = 0; i < fixed.size(); ++i) {

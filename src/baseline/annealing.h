@@ -39,6 +39,11 @@ struct AnnealingOptions {
   // proposed as moves. Null = unconstrained (bit-identical to the
   // pre-constraint annealer).
   const std::vector<int>* fixed = nullptr;
+  // Warm-start labels (compact indices, -1 = unassigned; not owned).
+  // Assigned entries replace the random start before annealing begins
+  // (fixed pins still win). Null = cold, bit-identical to the pre-warm
+  // annealer.
+  const std::vector<int>* warm = nullptr;
 };
 
 struct AnnealingResult {

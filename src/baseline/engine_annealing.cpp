@@ -29,13 +29,14 @@ class AnnealingAdapter final : public EngineAdapter {
  protected:
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
-      const CompiledConstraints& constraints,
+      const CompiledConstraints& constraints, const std::vector<int>* warm,
       std::vector<std::pair<std::string, double>>& counters) const override {
     AnnealingOptions options;
     options.weights = context.weights;
     options.seed = context.seed;
     options.observer = context.observer;
     options.fixed = constraints.compact_or_null();
+    options.warm = warm;
     AnnealingResult result =
         anneal_partition(netlist, context.num_planes, options);
     counters.emplace_back("steps", result.steps);

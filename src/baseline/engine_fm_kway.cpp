@@ -27,12 +27,13 @@ class FmKwayAdapter final : public EngineAdapter {
  protected:
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
-      const CompiledConstraints& constraints,
+      const CompiledConstraints& constraints, const std::vector<int>* warm,
       std::vector<std::pair<std::string, double>>& counters) const override {
     FmOptions options;
     options.seed = context.seed;
     options.observer = context.observer;
     options.fixed = constraints.compact_or_null();
+    options.warm = warm;
     FmResult result = fm_kway_partition(netlist, context.num_planes, options);
     counters.emplace_back("passes", result.passes);
     counters.emplace_back("initial_cut", result.initial_cut);

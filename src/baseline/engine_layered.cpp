@@ -30,12 +30,17 @@ class LayeredAdapter final : public EngineAdapter {
 
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
-      const CompiledConstraints& constraints,
+      const CompiledConstraints& constraints, const std::vector<int>* warm,
       std::vector<std::pair<std::string, double>>& counters) const override {
     (void)counters;
     LayeredOptions options;
     options.fixed_of_gate = constraints.gate_or_null();
-    return layered_partition(netlist, context.num_planes, options);
+    Partition partition = layered_partition(netlist, context.num_planes, options);
+    // A constructive heuristic has no search to seed: the warm labels
+    // simply replace its output where assigned (pins are already folded
+    // into `warm`, so the overwrite cannot violate a constraint).
+    apply_warm_overrides(netlist, warm, partition);
+    return partition;
   }
 };
 

@@ -29,11 +29,17 @@ class RandomAdapter final : public EngineAdapter {
 
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
-      const CompiledConstraints& constraints,
+      const CompiledConstraints& constraints, const std::vector<int>* warm,
       std::vector<std::pair<std::string, double>>& counters) const override {
     (void)counters;
-    return random_partition(netlist, context.num_planes, context.seed,
-                            constraints.gate_or_null());
+    Partition partition = random_partition(netlist, context.num_planes,
+                                           context.seed,
+                                           constraints.gate_or_null());
+    // A constructive heuristic has no search to seed: the warm labels
+    // simply replace its output where assigned (pins are already folded
+    // into `warm`, so the overwrite cannot violate a constraint).
+    apply_warm_overrides(netlist, warm, partition);
+    return partition;
   }
 };
 

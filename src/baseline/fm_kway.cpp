@@ -37,6 +37,18 @@ FmResult fm_kway_partition(const Netlist& netlist, int num_planes,
 
   FmResult result;
   result.partition = random_partition(netlist, num_planes, options.seed);
+  if (options.warm != nullptr) {
+    // Warm seed replaces the random start where assigned; the fixed
+    // override below still wins on pinned gates.
+    const std::vector<int>& warm = *options.warm;
+    for (int i = 0; i < num_gates; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (warm[ui] >= 0) {
+        result.partition.plane_of[static_cast<std::size_t>(gate_ids[ui])] =
+            warm[ui];
+      }
+    }
+  }
   if (options.fixed != nullptr) {
     // Constrained start: pinned gates override the random assignment, so
     // the initial cut below already describes a feasible partition.

@@ -35,6 +35,11 @@ struct FmOptions {
   // stay locked in every pass. Null = unconstrained (bit-identical to
   // the pre-constraint baseline).
   const std::vector<int>* fixed = nullptr;
+  // Warm-start labels (compact indices, -1 = unassigned; not owned).
+  // Assigned entries replace the random start before the first pass
+  // (fixed pins still win). Null = cold, bit-identical to the pre-warm
+  // baseline.
+  const std::vector<int>* warm = nullptr;
 };
 
 struct FmResult {

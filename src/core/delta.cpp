@@ -1,0 +1,113 @@
+#include "core/delta.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace sfqpart {
+namespace {
+
+// Order-independent structural signature of one gate: its cell index
+// mixed with the XOR of its partitionable neighbors' name hashes.
+// XOR makes the neighbor part independent of adjacency order; the
+// splitmix-style finalizer on the cell index keeps "cell changed" from
+// colliding with "one neighbor swapped".
+std::uint64_t mix(std::uint64_t value) {
+  value ^= value >> 33;
+  value *= 0xff51afd7ed558ccdull;
+  value ^= value >> 33;
+  value *= 0xc4ceb9fe1a85ec53ull;
+  value ^= value >> 33;
+  return value;
+}
+
+std::uint64_t name_hash(const NameRef& name) {
+  return Fnv1a64().update(name.data, name.len).digest();
+}
+
+// Per-gate signatures over the cost-relevant structure: the undirected
+// deduplicated partitionable edge set (exactly what PartitionProblem
+// extracts), plus the gate's cell.
+std::vector<std::uint64_t> signatures(const Netlist& netlist) {
+  std::vector<std::uint64_t> sig(static_cast<std::size_t>(netlist.num_gates()),
+                                 0);
+  for (const Connection& edge : netlist.unique_edges()) {
+    const auto a = static_cast<std::size_t>(edge.from);
+    const auto b = static_cast<std::size_t>(edge.to);
+    sig[a] ^= name_hash(netlist.gate(edge.to).name);
+    sig[b] ^= name_hash(netlist.gate(edge.from).name);
+  }
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const auto ug = static_cast<std::size_t>(g);
+    sig[ug] ^= mix(static_cast<std::uint64_t>(netlist.gate(g).cell) + 1);
+  }
+  return sig;
+}
+
+}  // namespace
+
+NetlistDelta compute_delta(const Netlist& before, const Netlist& after) {
+  const std::vector<std::uint64_t> before_sig = signatures(before);
+  const std::vector<std::uint64_t> after_sig = signatures(after);
+
+  NetlistDelta delta;
+  std::vector<char> matched(static_cast<std::size_t>(before.num_gates()), 0);
+  for (GateId g = 0; g < after.num_gates(); ++g) {
+    if (!after.is_partitionable(g)) continue;
+    const GateId old = before.find_gate(after.gate(g).name.view());
+    if (old == kInvalidGate || !before.is_partitionable(old)) {
+      delta.added.push_back(g);
+      continue;
+    }
+    matched[static_cast<std::size_t>(old)] = 1;
+    if (before_sig[static_cast<std::size_t>(old)] !=
+        after_sig[static_cast<std::size_t>(g)]) {
+      delta.changed.push_back(g);
+    } else {
+      ++delta.unchanged;
+    }
+  }
+  for (GateId g = 0; g < before.num_gates(); ++g) {
+    if (!before.is_partitionable(g)) continue;
+    if (!matched[static_cast<std::size_t>(g)]) {
+      delta.removed.push_back(std::string(before.gate(g).name));
+    }
+  }
+  return delta;
+}
+
+InitialPartition warm_start_from(const Partition& before_partition,
+                                 const Netlist& before, const Netlist& after) {
+  const NetlistDelta delta = compute_delta(before, after);
+  std::vector<char> dirty(static_cast<std::size_t>(after.num_gates()), 0);
+  for (const GateId g : delta.added) dirty[static_cast<std::size_t>(g)] = 1;
+  for (const GateId g : delta.changed) dirty[static_cast<std::size_t>(g)] = 1;
+
+  InitialPartition warm;
+  warm.plane_of.assign(static_cast<std::size_t>(after.num_gates()),
+                       kUnassignedPlane);
+  for (GateId g = 0; g < after.num_gates(); ++g) {
+    if (!after.is_partitionable(g)) continue;
+    if (dirty[static_cast<std::size_t>(g)]) continue;
+    const GateId old = before.find_gate(after.gate(g).name.view());
+    // Unreachable guard: a clean gate always matched in compute_delta.
+    if (old == kInvalidGate) continue;
+    warm.plane_of[static_cast<std::size_t>(g)] = before_partition.plane(old);
+  }
+  return warm;
+}
+
+StatusOr<EngineRun> repartition(const Netlist& before,
+                                const Partition& before_partition,
+                                const Netlist& after, EngineContext context) {
+  const InitialPartition warm =
+      warm_start_from(before_partition, before, after);
+  context.warm_start = &warm;
+  StatusOr<std::unique_ptr<PartitionEngine>> engine =
+      EngineRegistry::create("eco");
+  if (!engine) return engine.status();
+  return (*engine)->run(after, context);
+}
+
+}  // namespace sfqpart

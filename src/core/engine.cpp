@@ -20,6 +20,7 @@ const char* option_type_name(OptionSpec::Type type) {
     case OptionSpec::Type::kBool: return "bool";
     case OptionSpec::Type::kInt: return "int";
     case OptionSpec::Type::kDouble: return "double";
+    case OptionSpec::Type::kString: return "string";
   }
   return "unknown";
 }
@@ -28,6 +29,15 @@ Json OptionSpec::to_json() const {
   Json json = Json::object()
                   .set("name", Json::string(name))
                   .set("type", Json::string(option_type_name(type)));
+  if (type == OptionSpec::Type::kString) {
+    Json values = Json::array();
+    for (const std::string& value : enum_values) {
+      values.append(Json::string(value));
+    }
+    return json.set("default", Json::string(default_text))
+        .set("values", std::move(values))
+        .set("doc", Json::string(doc));
+  }
   if (type == OptionSpec::Type::kBool) {
     json.set("default", Json::boolean(default_value != 0.0));
   } else if (type == OptionSpec::Type::kInt) {
@@ -83,6 +93,31 @@ Status option_value(const OptionSpec& spec, const Json& value, double& out) {
   return Status::ok();
 }
 
+// Text value of one validated kString option: must be a JSON string and a
+// member of the spec's closed enum set.
+Status option_text(const OptionSpec& spec, const Json& value,
+                   std::string& out) {
+  if (!value.is_string()) {
+    return Status::invalid_argument(
+        str_format("option '%s' must be a string", spec.name.c_str()));
+  }
+  const std::string& text = value.as_string();
+  for (const std::string& allowed : spec.enum_values) {
+    if (text == allowed) {
+      out = text;
+      return Status::ok();
+    }
+  }
+  std::string allowed;
+  for (const std::string& candidate : spec.enum_values) {
+    if (!allowed.empty()) allowed += ", ";
+    allowed += candidate;
+  }
+  return Status::invalid_argument(
+      str_format("option '%s' = '%s' is not one of: %s", spec.name.c_str(),
+                 text.c_str(), allowed.c_str()));
+}
+
 // Writes one resolved option onto the EngineContext field it names.
 Status set_context_field(const std::string& name, double value,
                          EngineContext& context) {
@@ -96,6 +131,8 @@ Status set_context_field(const std::string& name, double value,
   else if (name == "max_levels") context.max_levels = static_cast<int>(value);
   else if (name == "max_passes") context.max_passes = static_cast<int>(value);
   else if (name == "max_gates") context.max_gates = static_cast<int>(value);
+  else if (name == "halo") context.halo = static_cast<int>(value);
+  else if (name == "compare_scratch") context.compare_scratch = value != 0.0;
   else if (name == "certify") context.certify = value != 0.0;
   else if (name == "c1") context.weights.c1 = value;
   else if (name == "c2") context.weights.c2 = value;
@@ -107,6 +144,18 @@ Status set_context_field(const std::string& name, double value,
     return Status::invalid_argument(str_format(
         "option spec '%s' maps to no EngineContext field", name.c_str()));
   return Status::ok();
+}
+
+// String-typed counterpart of set_context_field.
+Status set_context_string_field(const std::string& name,
+                                const std::string& value,
+                                EngineContext& context) {
+  if (name == "refine_style") {
+    context.refine_style = value;
+    return Status::ok();
+  }
+  return Status::invalid_argument(str_format(
+      "option spec '%s' maps to no EngineContext string field", name.c_str()));
 }
 
 }  // namespace
@@ -135,6 +184,22 @@ Status apply_engine_options(const std::vector<OptionSpec>& specs,
   }
   if (canonical != nullptr) canonical->clear();
   for (const OptionSpec& spec : specs) {
+    if (spec.type == OptionSpec::Type::kString) {
+      std::string text = spec.default_text;
+      if (const Json* provided = options.find(spec.name); provided != nullptr) {
+        if (Status status = option_text(spec, *provided, text); !status) {
+          return status;
+        }
+      }
+      if (Status status = set_context_string_field(spec.name, text, context);
+          !status) {
+        return status;
+      }
+      if (canonical != nullptr) {
+        *canonical += str_format("%s=%s;", spec.name.c_str(), text.c_str());
+      }
+      continue;
+    }
     double value = spec.default_value;
     if (const Json* provided = options.find(spec.name); provided != nullptr) {
       if (Status status = option_value(spec, *provided, value); !status) {
@@ -197,6 +262,15 @@ Status EngineContext::validate() const {
     return Status::invalid_argument(
         str_format("max_gates must be >= 1, got %d", max_gates));
   }
+  if (halo < 0) {
+    return Status::invalid_argument(
+        str_format("halo must be >= 0, got %d", halo));
+  }
+  if (refine_style != "banded" && refine_style != "buckets") {
+    return Status::invalid_argument(
+        str_format("refine_style must be 'banded' or 'buckets', got '%s'",
+                   refine_style.c_str()));
+  }
   return Status::ok();
 }
 
@@ -230,6 +304,7 @@ RegistryState& registry_state() {
     s->factories.emplace("layered", make_layered_engine);
     s->factories.emplace("random", make_random_engine);
     s->factories.emplace("exact", make_exact_engine);
+    s->factories.emplace("eco", make_eco_engine);
     return s;
   }();
   return *state;
@@ -313,6 +388,19 @@ OptionSpec make_spec(const char* name, OptionSpec::Type type,
 
 }  // namespace
 
+void apply_warm_overrides(const Netlist& netlist, const std::vector<int>* warm,
+                          Partition& partition) {
+  if (warm == nullptr) return;
+  std::size_t compact = 0;
+  for (GateId gate = 0; gate < netlist.num_gates(); ++gate) {
+    if (!netlist.is_partitionable(gate)) continue;
+    const int label = (*warm)[compact++];
+    if (label != kUnassignedPlane) {
+      partition.plane_of[static_cast<std::size_t>(gate)] = label;
+    }
+  }
+}
+
 OptionSpec planes_spec() {
   return make_spec("planes", OptionSpec::Type::kInt, 5, 2, 1024,
                    "number of ground planes K");
@@ -372,6 +460,24 @@ OptionSpec max_gates_spec() {
   return make_spec("max_gates", OptionSpec::Type::kInt, 20, 1, 64,
                    "largest partitionable gate count the exhaustive search "
                    "accepts (cost grows as K^G)");
+}
+
+OptionSpec refine_style_spec() {
+  OptionSpec spec;
+  spec.name = "refine_style";
+  spec.type = OptionSpec::Type::kString;
+  spec.default_text = "banded";
+  spec.enum_values = {"banded", "buckets"};
+  spec.doc =
+      "uncoarsening refinement flavor: 'banded' parallel propose/commit "
+      "sweeps or 'buckets' serial FM-style best-gain moves";
+  return spec;
+}
+
+OptionSpec halo_spec() {
+  return make_spec("halo", OptionSpec::Type::kInt, 2, 0, 64,
+                   "adjacency hops beyond the dirty region the restricted "
+                   "refinement may still move");
 }
 
 std::vector<OptionSpec> weight_specs() {
@@ -462,6 +568,40 @@ StatusOr<EngineRun> EngineAdapter::run(const Netlist& netlist,
         str_format("engine '%s': %s", name(), compiled.status().message().c_str()));
   }
 
+  // Warm start: validated once here, like the constraints, so every engine
+  // sees a clean compact labeling (-1 = unassigned). Pins win over warm
+  // labels — a pinned gate carries its pin in the compact view.
+  std::vector<int> warm_compact;
+  const std::vector<int>* warm = nullptr;
+  int warm_assigned = 0;
+  if (context.warm_start != nullptr) {
+    const InitialPartition& seed = *context.warm_start;
+    if (static_cast<int>(seed.plane_of.size()) != netlist.num_gates()) {
+      return Status::invalid_argument(str_format(
+          "engine '%s': warm start covers %d gates, netlist has %d", name(),
+          static_cast<int>(seed.plane_of.size()), netlist.num_gates()));
+    }
+    warm_compact.reserve(static_cast<std::size_t>(problem.num_gates));
+    for (int i = 0; i < problem.num_gates; ++i) {
+      const GateId gate = problem.gate_ids[static_cast<std::size_t>(i)];
+      int label = seed.plane(gate);
+      if (label != kUnassignedPlane &&
+          (label < 0 || label >= context.num_planes)) {
+        return Status::invalid_argument(str_format(
+            "engine '%s': warm start labels gate %d with plane %d, valid "
+            "range is [0, %d)",
+            name(), gate, label, context.num_planes));
+      }
+      const int pinned = compiled->fixed_compact.empty()
+                             ? kUnassignedPlane
+                             : compiled->fixed_compact[static_cast<std::size_t>(i)];
+      if (pinned != kUnassignedPlane) label = pinned;
+      if (label != kUnassignedPlane) ++warm_assigned;
+      warm_compact.push_back(label);
+    }
+    warm = &warm_compact;
+  }
+
   EngineNameObserver renamed(context.observer, name());
   EngineContext inner = context;
   inner.observer = context.observer != nullptr ? &renamed : nullptr;
@@ -486,8 +626,13 @@ StatusOr<EngineRun> EngineAdapter::run(const Netlist& netlist,
 
   const auto start = std::chrono::steady_clock::now();
   EngineRun result;
+  if (warm != nullptr) {
+    result.counters.emplace_back("warm_start", 1.0);
+    result.counters.emplace_back("warm_assigned",
+                                 static_cast<double>(warm_assigned));
+  }
   StatusOr<Partition> partition =
-      solve(netlist, inner, *compiled, result.counters);
+      solve(netlist, inner, *compiled, warm, result.counters);
   if (!partition) return partition.status();
   result.partition = *std::move(partition);
   result.wall_ms = std::chrono::duration<double, std::milli>(
@@ -505,6 +650,21 @@ StatusOr<EngineRun> EngineAdapter::run(const Netlist& netlist,
   }
   result.discrete_terms = model.evaluate_discrete(labels);
   result.discrete_total = result.discrete_terms.total(context.weights);
+
+  // Quality floor of a fully-assigned warm start: if the engine somehow
+  // scored worse than its own seed, return the seed labels instead. The
+  // fallback runs before certification so the certified labels are the
+  // returned labels.
+  if (warm != nullptr && warm_assigned == problem.num_gates) {
+    const CostTerms seed_terms = model.evaluate_discrete(warm_compact);
+    const double seed_total = seed_terms.total(context.weights);
+    if (seed_total < result.discrete_total) {
+      result.partition = problem.to_partition(warm_compact, netlist.num_gates());
+      result.discrete_terms = seed_terms;
+      result.discrete_total = seed_total;
+      result.counters.emplace_back("warm_start_kept", 1.0);
+    }
+  }
 
   // Independent certification (core/certify.h): re-derive the cost and
   // the physical quantities from the raw netlist through a separate code

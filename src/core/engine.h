@@ -60,20 +60,25 @@ class SolverObserver;
 // ("planes", "seed", "restarts", "threads", "refine", "c1".."c4",
 // "distance_exponent"); apply_engine_options() below performs the mapping.
 struct OptionSpec {
-  enum class Type { kBool, kInt, kDouble };
+  enum class Type { kBool, kInt, kDouble, kString };
 
   std::string name;
   Type type = Type::kDouble;
   // Default as a double; bools use 0/1, integers are exact up to 2^53.
+  // Ignored for kString (default_text below).
   double default_value = 0.0;
   // Inclusive range; +-infinity means unbounded on that side (and the
-  // bound is omitted from the JSON form).
+  // bound is omitted from the JSON form). Ignored for kString.
   double min_value;
   double max_value;
   std::string doc;
+  // kString only: the default, and the closed set of accepted values
+  // (validation rejects anything else; never empty for a kString spec).
+  std::string default_text;
+  std::vector<std::string> enum_values;
 
-  // {"name":..., "type":"bool|int|double", "default":..., "min":...,
-  //  "max":..., "doc":...}
+  // {"name":..., "type":"bool|int|double|string", "default":...,
+  //  "min":..., "max":..., "values":[...], "doc":...}
   Json to_json() const;
 };
 
@@ -122,6 +127,19 @@ struct EngineContext {
   // bound cost grows as K^G; the engine rejects bigger netlists with
   // kInvalidArgument instead of hanging).
   int max_gates = 20;
+  // Uncoarsening refinement flavor of the vcycle engine: "banded"
+  // (parallel propose/commit sweeps, the default) or "buckets" (serial
+  // FM-style best-gain bucket moves).
+  std::string refine_style = "banded";
+  // ECO engine only: BFS halo around the dirty region — how many
+  // adjacency hops beyond the changed gates the restricted refinement may
+  // still move.
+  int halo = 2;
+  // ECO engine only: additionally run a scratch vcycle on the same
+  // netlist and report "speedup_vs_scratch" / "cost_drift_pct" counters
+  // (the scratch run's wall-clock is *not* part of the eco run's
+  // wall_ms). Off by default — it costs a full cold solve.
+  bool compare_scratch = false;
   // Run the independent certifier (core/certify.h) over the result and
   // fail the run on any non-valid verdict. Debug builds default to on.
   bool certify = kCertifyDefault;
@@ -129,6 +147,18 @@ struct EngineContext {
   // the adapter and enforced by every engine; empty means unconstrained
   // (bit-identical to the pre-constraint behavior).
   GateConstraints constraints;
+  // Optional warm start (not owned; must outlive the run; null = cold,
+  // bit-identical to the pre-warm-start behavior). Validated once by the
+  // adapter against the netlist (size, label range); pins win over warm
+  // labels. Every registry engine honors it: gradient seeds restart 0's
+  // soft assignment, vcycle/multilevel restrict it through the coarsening
+  // stack into the coarse solve, annealing/fm_kway/layered/random start
+  // from the given labels instead of their seed heuristic, exact uses it
+  // as the branch-and-bound incumbent, and eco *requires* it (it defines
+  // the clean region). When every partitionable gate is assigned, the
+  // adapter additionally guarantees the run never scores worse than the
+  // seed (counter "warm_start_kept" marks the fallback).
+  const InitialPartition* warm_start = nullptr;
   // Weights of the shared discrete objective every EngineRun is scored
   // with; engines that optimize the same objective (gradient, multilevel,
   // annealing) also run with them.

@@ -29,9 +29,14 @@ class EngineAdapter : public PartitionEngine {
   // registry name. `constraints` is the context's pin/group declaration
   // compiled against this netlist (empty when unconstrained — engines
   // must then behave bit-identically to the unconstrained code path).
+  // `warm` is the context's warm start compacted to problem indices
+  // (-1 = unassigned), already validated and with pins folded in (a
+  // pinned gate carries its pin, not its warm label); null when the
+  // context has no warm start — engines must then behave bit-identically
+  // to the cold code path.
   virtual StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
-      const CompiledConstraints& constraints,
+      const CompiledConstraints& constraints, const std::vector<int>* warm,
       std::vector<std::pair<std::string, double>>& counters) const = 0;
 
   // False for engines whose underlying implementation emits no observer
@@ -39,6 +44,14 @@ class EngineAdapter : public PartitionEngine {
   // around solve().
   virtual bool self_observing() const { return true; }
 };
+
+// Overwrites `partition` with the assigned entries of the compact warm
+// labeling (compact index i = i-th partitionable gate in ascending GateId
+// order); no-op when `warm` is null. For the constructive engines
+// (layered, random) that have no search to seed — the warm labels simply
+// replace the heuristic's output where assigned.
+void apply_warm_overrides(const Netlist& netlist, const std::vector<int>* warm,
+                          Partition& partition);
 
 // Shared OptionSpec builders for the EngineContext knobs, so the seven
 // adapters advertise identical specs for the knobs they have in common.
@@ -57,6 +70,10 @@ OptionSpec max_levels_spec();
 OptionSpec max_passes_spec();
 // Instance-size cap of the exhaustive engine.
 OptionSpec max_gates_spec();
+// Uncoarsening refinement flavor of the vcycle engine ("banded"|"buckets").
+OptionSpec refine_style_spec();
+// Dirty-region halo radius of the eco engine.
+OptionSpec halo_spec();
 // c1..c4 and distance_exponent of the shared weighted objective.
 std::vector<OptionSpec> weight_specs();
 
@@ -69,5 +86,6 @@ std::unique_ptr<PartitionEngine> make_fm_kway_engine();
 std::unique_ptr<PartitionEngine> make_layered_engine();
 std::unique_ptr<PartitionEngine> make_random_engine();
 std::unique_ptr<PartitionEngine> make_exact_engine();
+std::unique_ptr<PartitionEngine> make_eco_engine();
 
 }  // namespace sfqpart::engine_detail

@@ -56,7 +56,7 @@ class ExactAdapter final : public EngineAdapter {
 
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
-      const CompiledConstraints& constraints,
+      const CompiledConstraints& constraints, const std::vector<int>* warm,
       std::vector<std::pair<std::string, double>>& counters) const override {
     const CertifiedInstance inst =
         build_certified_instance(netlist, context.num_planes, context.weights);
@@ -115,6 +115,16 @@ class ExactAdapter final : public EngineAdapter {
     SearchStats stats;
     std::vector<int> best_labels = labels;
     double best_total = std::numeric_limits<double>::infinity();
+    // A fully-assigned warm start becomes the branch-and-bound incumbent:
+    // the search still proves the optimum, but prunes against the seed's
+    // score from the first node (same compact order as the instance).
+    if (warm != nullptr && static_cast<int>(warm->size()) == num_gates &&
+        std::none_of(warm->begin(), warm->end(),
+                     [](int label) { return label < 0; })) {
+      best_labels = *warm;
+      best_total = inst.score(*warm, context.weights);
+      counters.emplace_back("warm_incumbent", best_total);
+    }
     // With no constraints the objective is invariant under the plane
     // reversal k -> K-1-k (F1 sees distances, F2/F3 sum over planes), so
     // the first branched gate only needs the lower half of the planes.

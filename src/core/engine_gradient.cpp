@@ -30,7 +30,7 @@ class GradientAdapter final : public EngineAdapter {
  protected:
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
-      const CompiledConstraints& constraints,
+      const CompiledConstraints& constraints, const std::vector<int>* warm,
       std::vector<std::pair<std::string, double>>& counters) const override {
     SolverConfig config;
     config.num_planes = context.num_planes;
@@ -41,6 +41,7 @@ class GradientAdapter final : public EngineAdapter {
     config.weights = context.weights;
     config.observer = context.observer;
     config.fixed_labels = constraints.compact_or_null();
+    config.warm_labels = warm;
     StatusOr<SolverResult> result = Solver(std::move(config)).run(netlist);
     if (!result) return result.status();
     counters.emplace_back("iterations", result->iterations);

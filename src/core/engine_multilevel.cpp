@@ -30,7 +30,7 @@ class MultilevelAdapter final : public EngineAdapter {
  protected:
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
-      const CompiledConstraints& constraints,
+      const CompiledConstraints& constraints, const std::vector<int>* warm,
       std::vector<std::pair<std::string, double>>& counters) const override {
     MultilevelOptions options;
     // Only the driver seed is threaded through; the coarse solve keeps its
@@ -41,6 +41,7 @@ class MultilevelAdapter final : public EngineAdapter {
     options.threads = context.threads;
     options.observer = context.observer;
     options.fixed = constraints.compact_or_null();
+    options.warm = warm;
     MultilevelResult result =
         multilevel_partition(netlist, context.num_planes, options);
     counters.emplace_back("levels", result.levels);

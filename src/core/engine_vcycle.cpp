@@ -29,7 +29,8 @@ class VcycleAdapter final : public EngineAdapter {
     std::vector<OptionSpec> specs = {
         planes_spec(), seed_spec(),       restarts_spec(),
         threads_spec(), band_spec(),      coarse_target_spec(),
-        max_levels_spec(), max_passes_spec(), certify_spec()};
+        max_levels_spec(), max_passes_spec(), refine_style_spec(),
+        certify_spec()};
     for (OptionSpec& spec : weight_specs()) specs.push_back(std::move(spec));
     return specs;
   }
@@ -37,7 +38,7 @@ class VcycleAdapter final : public EngineAdapter {
  protected:
   StatusOr<Partition> solve(
       const Netlist& netlist, const EngineContext& context,
-      const CompiledConstraints& constraints,
+      const CompiledConstraints& constraints, const std::vector<int>* warm,
       std::vector<std::pair<std::string, double>>& counters) const override {
     VcycleOptions options;
     options.seed = context.seed;
@@ -50,6 +51,10 @@ class VcycleAdapter final : public EngineAdapter {
     options.max_levels = context.max_levels;
     options.refine.max_passes = context.max_passes;
     options.fixed = constraints.compact_or_null();
+    options.warm = warm;
+    options.refine_style = context.refine_style == "buckets"
+                               ? VcycleRefineStyle::kBuckets
+                               : VcycleRefineStyle::kBanded;
     VcycleResult result =
         vcycle_partition(netlist, context.num_planes, options);
     counters.emplace_back("levels", result.levels);

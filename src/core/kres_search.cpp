@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "core/solver.h"
+#include "util/strings.h"
 
 namespace sfqpart {
 namespace {
@@ -22,8 +24,13 @@ double max_plane_bias(const PartitionProblem& problem, const Partition& partitio
 
 }  // namespace
 
-KresResult find_min_planes(const Netlist& netlist, const KresOptions& options) {
-  assert(options.bias_limit_ma > 0.0);
+StatusOr<KresResult> find_min_planes(const Netlist& netlist,
+                                     const KresOptions& options) {
+  if (!(options.bias_limit_ma > 0.0)) {
+    return Status::invalid_argument(
+        str_format("find_min_planes: bias_limit_ma must be > 0 (got %g)",
+                   options.bias_limit_ma));
+  }
   KresResult result;
   const double total_bias = netlist.total_bias_ma();
   result.k_lb = std::max(2, static_cast<int>(std::ceil(total_bias / options.bias_limit_ma)));
@@ -32,9 +39,16 @@ KresResult find_min_planes(const Netlist& netlist, const KresOptions& options) {
     SolverConfig attempt = options.base;
     attempt.num_planes = k;
     const PartitionProblem problem = PartitionProblem::from_netlist(netlist, k);
-    SolverResult partition = Solver(attempt)
-                                    .run(problem, netlist.num_gates())
-                                    .value();
+    // A failed attempt aborts the search: skipping it would misreport the
+    // failure as "infeasible at this K" and push K_res upward.
+    StatusOr<SolverResult> attempt_result =
+        Solver(attempt).run(problem, netlist.num_gates());
+    if (!attempt_result) {
+      return Status::error(str_format("find_min_planes: K=%d attempt failed: %s",
+                                      k,
+                                      attempt_result.status().message().c_str()));
+    }
+    SolverResult partition = *std::move(attempt_result);
     const double bmax = max_plane_bias(problem, partition.partition);
     if (bmax <= options.bias_limit_ma) {
       result.found = true;

@@ -5,9 +5,17 @@
 // be raised until B_max <= B_limit. The search starts from the lower bound
 // K_LB = ceil(B_cir / B_limit) and increases K until the partitioner
 // produces a feasible stack.
+//
+// Solver failures propagate: an attempt that fails (bad base config,
+// degenerate problem) aborts the search with that Status instead of
+// silently skipping the K — a skipped failure used to masquerade as
+// "infeasible at this K", which inflated K_res. Parameter sweeps beyond
+// K live in core/sweep.h, which generalizes this search to arbitrary
+// engine-option axes.
 #pragma once
 
 #include "core/solver.h"
+#include "util/status.h"
 
 namespace sfqpart {
 
@@ -29,6 +37,9 @@ struct KresResult {
   SolverResult result;  // the feasible partition (valid when found)
 };
 
-KresResult find_min_planes(const Netlist& netlist, const KresOptions& options = {});
+// kInvalidArgument on a non-positive bias limit; any failed partitioning
+// attempt aborts the search with the solver's Status.
+StatusOr<KresResult> find_min_planes(const Netlist& netlist,
+                                     const KresOptions& options = {});
 
 }  // namespace sfqpart

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/cost_model.h"
@@ -31,6 +32,16 @@ class MoveEvaluator {
 
   // Exact discrete cost of the current labels (recomputed, for checks).
   double current_cost() const;
+
+  // Borrowed CSR neighbor range of `gate` (ascending edge order; parallel
+  // edges appear with multiplicity). For refiners that must requeue a
+  // moved gate's neighborhood (bucket_refine, the eco engine).
+  std::pair<const std::int32_t*, const std::int32_t*> neighbors(
+      int gate) const {
+    const auto g = static_cast<std::size_t>(gate);
+    return {neighbor_adj_ + neighbor_offsets_[g],
+            neighbor_adj_ + neighbor_offsets_[g + 1]};
+  }
 
  private:
   const CostModel* model_;

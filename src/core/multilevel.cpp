@@ -66,6 +66,28 @@ MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
   }
   const PartitionProblem& coarsest = stack.coarsest(finest);
 
+  // Restrict the warm start down the stack: a coarse vertex inherits the
+  // first (lowest fine index) assigned label among its children. No Rng
+  // draw, so the legacy shuffle sequence above is untouched.
+  std::vector<int> warm_restricted;
+  const std::vector<int>* coarse_warm = options.warm;
+  if (options.warm != nullptr) {
+    warm_restricted = *options.warm;
+    for (const CoarseLevel& level : stack.levels) {
+      std::vector<int> next(static_cast<std::size_t>(level.problem.num_gates),
+                            kUnassignedPlane);
+      for (std::size_t f = 0; f < level.parent_of_fine.size(); ++f) {
+        const int label = warm_restricted[f];
+        const auto parent = static_cast<std::size_t>(level.parent_of_fine[f]);
+        if (label != kUnassignedPlane && next[parent] == kUnassignedPlane) {
+          next[parent] = label;
+        }
+      }
+      warm_restricted = std::move(next);
+    }
+    coarse_warm = &warm_restricted;
+  }
+
   MultilevelResult result;
   result.levels = stack.num_levels();
   result.coarse_gates = coarsest.num_gates;
@@ -83,6 +105,7 @@ MultilevelResult multilevel_partition(const Netlist& netlist, int num_planes,
     coarse_config.threads = options.threads;
     coarse_config.observer = options.observer;
     coarse_config.fixed_labels = stack.coarsest_fixed(options.fixed);
+    coarse_config.warm_labels = coarse_warm;
     // The asserts in StatusOr::value mirror the old solve_labels contract:
     // the inputs were validated above, so failure here is a programmer bug.
     labels = Solver(coarse_config).solve(coarsest).value().labels;

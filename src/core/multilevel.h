@@ -45,6 +45,11 @@ struct MultilevelOptions {
   // and are skipped by every projection refinement. Null = unconstrained
   // (bit-identical to the pre-constraint driver).
   const std::vector<int>* fixed = nullptr;
+  // Finest-level warm-start labels (compact indices, -1 = unassigned; not
+  // owned). Restricted down the level stack and handed to the coarse
+  // Solver as its warm seed. Null = cold, bit-identical to the pre-warm
+  // driver.
+  const std::vector<int>* warm = nullptr;
 };
 
 struct MultilevelResult {

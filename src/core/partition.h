@@ -23,6 +23,23 @@ struct Partition {
   bool assigned(GateId gate) const { return plane(gate) != kUnassignedPlane; }
 };
 
+// An optional warm-start labeling: a prior (possibly partial) assignment
+// an engine may seed its search from instead of its cold-start heuristic.
+// Indexed by netlist GateId like Partition::plane_of; kUnassignedPlane
+// marks gates the engine must place itself (gates added since the seed
+// partition was produced, or gates deliberately released for re-solve).
+// Validated once by the EngineAdapter alongside the compiled constraints:
+// pins always win over warm labels, and a fully-assigned warm start is
+// also a quality floor — an engine run never returns a worse-scoring
+// partition than its seed (the adapter falls back to the seed labels).
+struct InitialPartition {
+  std::vector<int> plane_of;  // indexed by GateId; kUnassignedPlane = free
+
+  int plane(GateId gate) const {
+    return plane_of.at(static_cast<std::size_t>(gate));
+  }
+};
+
 // The compact optimization problem the paper formulates: G partitionable
 // gates with bias/area weights, the undirected connection set E, and K.
 // Compact indices 0..G-1 map back to netlist gate ids via gate_ids.

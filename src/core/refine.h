@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/move_eval.h"
 #include "util/rng.h"
 
 namespace sfqpart {
@@ -41,5 +42,28 @@ RefineResult refine_partition(const CostModel& model, std::vector<int>& labels,
                               Rng& rng, const RefineOptions& options = {},
                               obs::TraceSink* sink = nullptr, int restart = -1,
                               const std::vector<int>* fixed = nullptr);
+
+struct BucketRefineStats {
+  long long moves = 0;
+  long long stale_pops = 0;   // lazy-queue entries discarded as outdated
+  double cost_after = 0.0;    // exact re-evaluation of the final labels
+};
+
+// FM-style best-gain refinement: a lazy priority queue pops the single
+// most-improving move in the whole (restricted) graph, re-validates it
+// against the evolving labels, applies it and requeues the moved gate and
+// its neighbors. Serial by construction and fully deterministic: the pop
+// order is (gain, gate, target) lexicographic, independent of insertion
+// order. `band` limits targets to +-band planes around a gate's current
+// plane (band <= 0 lifts the limit); `fixed` (compact, -1 = free) marks
+// immovable gates; `active` (optional) restricts the movable set to the
+// listed compact indices — the eco engine's dirty region. Applied moves
+// are capped at options.max_passes * movable-gate-count so a pathological
+// gain surface cannot spin forever; each applied move strictly improves
+// the cost, so the labels never regress.
+BucketRefineStats bucket_refine(MoveEvaluator& eval, int band,
+                                const RefineOptions& options,
+                                const std::vector<int>* fixed = nullptr,
+                                const std::vector<int>* active = nullptr);
 
 }  // namespace sfqpart

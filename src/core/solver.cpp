@@ -156,6 +156,18 @@ StatusOr<LabelResult> Solver::solve(const PartitionProblem& problem) const {
     Rng rng = streams[r];
     Matrix w0 = random_soft_assignment(problem.num_gates, problem.num_planes,
                                        rng);
+    if (config_.warm_labels != nullptr && restart == 0) {
+      // Warm seed on restart 0 only (after the random draw, so the RNG
+      // stream — and with it every other restart — is untouched): assigned
+      // labels become exact one-hot rows the descent then improves from.
+      const std::vector<int>& warm = *config_.warm_labels;
+      for (std::size_t i = 0; i < warm.size(); ++i) {
+        if (warm[i] < 0) continue;
+        auto row = w0.row(i);
+        for (double& value : row) value = 0.0;
+        row[static_cast<std::size_t>(warm[i])] = 1.0;
+      }
+    }
     if (config_.fixed_labels != nullptr) {
       // Pinned gates start as exact one-hot rows; the descent may still
       // drift them, so the hardened labels are re-clamped below.

@@ -65,6 +65,14 @@ struct SolverConfig {
   // pre-constraint solver.
   const std::vector<int>* fixed_labels = nullptr;
 
+  // Optional warm-start labels (compact problem indices, -1 = unassigned;
+  // not owned, must outlive the run). Restart 0 overrides its random soft
+  // assignment with exact one-hot rows for every assigned label (fixed
+  // rows still win); restarts 1..R-1 stay fully random so the search keeps
+  // its diversity. Null = cold, byte-identical to the pre-warm-start
+  // solver.
+  const std::vector<int>* warm_labels = nullptr;
+
   // Structured observability hook (not owned; may be null). Receives the
   // full event stream of every run: run/restart lifecycles, per-iteration
   // CostTerms, hardening, refine passes, named stage timers and counters

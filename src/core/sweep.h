@@ -1,0 +1,93 @@
+// Warm-started parameter sweep over engine option configurations.
+//
+// Generalizes the single-axis K search of core/kres_search.h to an
+// arbitrary cross-product of engine-option axes: every combination of the
+// axis values is one *point*, each point is solved with the chosen
+// registry engine, and the result set is reduced to the Pareto front of
+// (discrete_total, bmax_ma) — the two objectives the paper trades off
+// when picking a stack depth (Section V).
+//
+// Two execution modes:
+//  * cold (default): every point runs with a fresh cold context, so each
+//    per-point result is byte-identical to a standalone run of the same
+//    engine with the same options. This is the reproducible mode the
+//    sweep schema (sfqpart.sweep.v1) is defined over.
+//  * warm_neighbors: points run in lexicographic order and each point is
+//    warm-started from the best-scoring already-completed point that
+//    differs in exactly one axis (Hamming-distance-1 neighbor in index
+//    space). The EngineAdapter's quality floor guarantees a warm point
+//    never scores worse than its seed labels, so the sweep monotonically
+//    reuses work — but the per-point labels may legitimately differ from
+//    a cold run's, which is why the mode is opt-in.
+//
+// Failure semantics (the fix the old kres_search needed): an engine
+// failure at any point aborts the whole sweep with that Status, naming
+// the point's canonical option string. A sweep that silently skipped a
+// failing point would report a Pareto front over an unknown subset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "netlist/netlist.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace sfqpart {
+
+// One sweep axis: an engine option name and the values to try. Values are
+// JSON scalars validated per point by apply_engine_options against the
+// engine's OptionSpec list (so a bad value fails with the same message a
+// daemon job would get).
+struct SweepAxis {
+  std::string name;
+  std::vector<Json> values;
+};
+
+struct SweepOptions {
+  // Registry engine every point runs ("vcycle", "gradient", ...).
+  std::string engine = "vcycle";
+  // Options applied to every point before the axis values (a point's axis
+  // value wins over a base entry of the same name).
+  Json base_options = Json::object();
+  std::vector<SweepAxis> axes;
+  // Warm-start each point from its best completed Hamming-1 neighbor
+  // (see the header comment). Default off: cold per-point byte-identity.
+  bool warm_neighbors = false;
+};
+
+// One evaluated point of the cross-product.
+struct SweepPoint {
+  std::vector<int> index;  // per-axis value index (size = axes.size())
+  Json options;            // the full option object the point ran with
+  std::string canonical;   // canonical option string (cache-key form)
+  EngineRun run;
+  double bmax_ma = 0.0;    // max per-plane bias of the point's partition
+  bool pareto = false;     // on the (discrete_total, bmax_ma) front
+  bool warm_started = false;
+};
+
+struct SweepResult {
+  std::string engine;
+  std::vector<SweepAxis> axes;
+  // All points in lexicographic axis order (last axis fastest).
+  std::vector<SweepPoint> points;
+  // Indices into `points` of the non-dominated set, in point order.
+  std::vector<int> pareto;
+
+  // The sfqpart.sweep.v1 document: schema/engine/axes, one entry per
+  // point with its options, canonical string, scores and Pareto flag.
+  // Deliberately excludes wall-clock so the document is deterministic.
+  Json to_json(const std::string& circuit) const;
+};
+
+// Runs the full cross-product. kInvalidArgument for an empty or malformed
+// axis list (duplicate names, empty value lists, more than kMaxSweepPoints
+// combinations); any failing point aborts with the engine's Status.
+StatusOr<SweepResult> run_sweep(const Netlist& netlist,
+                                const SweepOptions& options);
+
+inline constexpr long long kMaxSweepPoints = 4096;
+
+}  // namespace sfqpart

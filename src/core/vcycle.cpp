@@ -183,6 +183,29 @@ VcycleResult vcycle_partition(const Netlist& netlist, int num_planes,
   }
   const PartitionProblem& coarsest = stack.coarsest(finest);
 
+  // Restrict the warm start down the stack: a coarse vertex inherits the
+  // first (lowest fine index) assigned label among its children. The
+  // restriction is deterministic and Rng-free, like the coarsening order.
+  std::vector<int> warm_restricted;
+  const std::vector<int>* coarse_warm = options.warm;
+  if (options.warm != nullptr) {
+    warm_restricted = *options.warm;
+    for (const CoarseLevel& level : stack.levels) {
+      std::vector<int> next(static_cast<std::size_t>(level.problem.num_gates),
+                            kUnassignedPlane);
+      for (std::size_t f = 0; f < level.parent_of_fine.size(); ++f) {
+        const int label = warm_restricted[f];
+        const auto parent =
+            static_cast<std::size_t>(level.parent_of_fine[f]);
+        if (label != kUnassignedPlane && next[parent] == kUnassignedPlane) {
+          next[parent] = label;
+        }
+      }
+      warm_restricted = std::move(next);
+    }
+    coarse_warm = &warm_restricted;
+  }
+
   VcycleResult result;
   result.levels = stack.num_levels();
   result.coarse_gates = coarsest.num_gates;
@@ -199,6 +222,7 @@ VcycleResult vcycle_partition(const Netlist& netlist, int num_planes,
     coarse_config.threads = options.threads;
     coarse_config.observer = options.observer;
     coarse_config.fixed_labels = stack.coarsest_fixed(options.fixed);
+    coarse_config.warm_labels = coarse_warm;
     // Inputs were validated by the engine adapter; failure here is a
     // programmer bug, mirroring the multilevel driver.
     labels = Solver(coarse_config).solve(coarsest).value().labels;
@@ -232,9 +256,16 @@ VcycleResult vcycle_partition(const Netlist& netlist, int num_planes,
       model.set_thread_pool(pool.get());
       MoveEvaluator eval(model, std::move(fine_labels));
       const double projected_cost = eval.current_cost();
-      const BandedRefineStats stats =
-          banded_refine(eval, options.band, options.refine, pool.get(),
-                        projected_cost, fine_fixed);
+      BandedRefineStats stats;
+      if (options.refine_style == VcycleRefineStyle::kBuckets) {
+        const BucketRefineStats bucket =
+            bucket_refine(eval, options.band, options.refine, fine_fixed);
+        stats.moves = bucket.moves;
+        stats.cost_after = bucket.cost_after;
+      } else {
+        stats = banded_refine(eval, options.band, options.refine, pool.get(),
+                              projected_cost, fine_fixed);
+      }
       result.refine_moves += stats.moves;
       labels = eval.labels();
 

@@ -36,6 +36,15 @@ namespace obs {
 class SolverObserver;
 }  // namespace obs
 
+// Uncoarsening refinement flavor: banded parallel propose/commit sweeps
+// (the default), or serial FM-style best-gain bucket moves
+// (core/refine.h bucket_refine) — better final cost on boundary-heavy
+// graphs, serial wall-clock. A/B'd in bench/capacity_bench.
+enum class VcycleRefineStyle {
+  kBanded,
+  kBuckets,
+};
+
 struct VcycleOptions {
   // Coarsen until at most this many vertices (never below 4*K); the
   // dense coarse solve costs O(coarse_target * K) per iteration.
@@ -69,6 +78,14 @@ struct VcycleOptions {
   // and are never moved by the banded refinement. Null = unconstrained
   // (bit-identical to the pre-constraint driver).
   const std::vector<int>* fixed = nullptr;
+  // Finest-level warm-start labels (compact indices, -1 = unassigned; not
+  // owned). Restricted down the level stack (first assigned fine label
+  // per coarse parent wins) and handed to the coarse Solver as its warm
+  // seed, so an ECO-style rerun descends from the prior solution instead
+  // of a random draw. Null = cold, bit-identical to the pre-warm driver.
+  const std::vector<int>* warm = nullptr;
+  // Uncoarsening refinement flavor (see VcycleRefineStyle).
+  VcycleRefineStyle refine_style = VcycleRefineStyle::kBanded;
 };
 
 struct VcycleResult {

@@ -1,0 +1,98 @@
+#include "gen/mutate.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sfqpart {
+
+Netlist mutate_netlist(const Netlist& before, const MutateParams& params,
+                       MutateStats* stats) {
+  assert(params.remove_fraction >= 0.0 && params.remove_fraction < 1.0);
+  assert(params.add_fraction >= 0.0 && params.add_fraction < 1.0);
+  Rng rng(params.seed);
+
+  const int partitionable = before.num_partitionable_gates();
+  const int remove_count = static_cast<int>(
+      std::llround(params.remove_fraction * partitionable));
+  const int add_count =
+      static_cast<int>(std::llround(params.add_fraction * partitionable));
+
+  // Sample the removals: shuffle the partitionable ids, drop the prefix.
+  std::vector<GateId> candidates;
+  candidates.reserve(static_cast<std::size_t>(partitionable));
+  for (GateId id = 0; id < before.num_gates(); ++id) {
+    if (before.is_partitionable(id)) candidates.push_back(id);
+  }
+  rng.shuffle(candidates);
+  std::vector<char> removed(static_cast<std::size_t>(before.num_gates()), 0);
+  for (int i = 0; i < remove_count && i < static_cast<int>(candidates.size());
+       ++i) {
+    removed[static_cast<std::size_t>(candidates[static_cast<std::size_t>(i)])] =
+        1;
+  }
+
+  // Rebuild: surviving gates in id order (names and relative order are
+  // preserved — core/delta.h joins the two netlists by gate name).
+  Netlist after(&before.library(), before.name());
+  std::vector<GateId> new_id(static_cast<std::size_t>(before.num_gates()),
+                             kInvalidGate);
+  for (GateId id = 0; id < before.num_gates(); ++id) {
+    if (removed[static_cast<std::size_t>(id)]) continue;
+    new_id[static_cast<std::size_t>(id)] =
+        after.add_gate(before.gate(id).name.view(), before.gate(id).cell);
+  }
+  for (NetId n = 0; n < before.num_nets(); ++n) {
+    const Net& net = before.net(n);
+    if (net.driver.gate == kInvalidGate) continue;
+    const GateId from = new_id[static_cast<std::size_t>(net.driver.gate)];
+    if (from == kInvalidGate) continue;
+    for (const PinRef& sink : net.sinks) {
+      const GateId to = new_id[static_cast<std::size_t>(sink.gate)];
+      if (to == kInvalidGate) continue;
+      if (sink.pin == kClockPin) {
+        after.connect_clock(from, net.driver.pin, to);
+      } else {
+        after.connect(from, net.driver.pin, to, sink.pin);
+      }
+    }
+  }
+
+  // Additions: fresh JTLs spliced onto surviving partitionable outputs.
+  // Sources are drawn from the *before* candidate list (minus removals),
+  // so the draw sequence is independent of the rebuild.
+  std::vector<GateId> sources;
+  sources.reserve(candidates.size());
+  for (const GateId id : candidates) {
+    if (removed[static_cast<std::size_t>(id)]) continue;
+    if (before.cell_of(id).num_outputs <= 0) continue;
+    sources.push_back(new_id[static_cast<std::size_t>(id)]);
+  }
+  int added = 0;
+  if (!sources.empty()) {
+    for (int i = 0; i < add_count; ++i) {
+      std::string name = str_format("eco_add_%d", i);
+      // Paranoia against a colliding name in the source netlist.
+      while (after.find_gate(name) != kInvalidGate) name += "_";
+      const GateId jtl = after.add_gate_of_kind(name, CellKind::kJtl);
+      const GateId source =
+          sources[static_cast<std::size_t>(rng.uniform_index(sources.size()))];
+      after.connect(source, 0, jtl, 0);
+      ++added;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->removed = remove_count < static_cast<int>(candidates.size())
+                         ? remove_count
+                         : static_cast<int>(candidates.size());
+    stats->added = added;
+  }
+  return after;
+}
+
+}  // namespace sfqpart

@@ -1,0 +1,39 @@
+// Deterministic ECO-style netlist mutation.
+//
+// Produces the "after" netlist of an engineering change order from a
+// "before" netlist: a sampled fraction of the partitionable gates is
+// removed and a fraction of fresh JTL gates is spliced onto surviving
+// outputs. The mutation is rebuild-based (gates are re-added in id
+// order), so surviving gates keep their names and relative order —
+// exactly what core/delta.h's name-join diffing expects — and the whole
+// operation is a pure function of (netlist, params).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+
+struct MutateParams {
+  // Fraction of partitionable gates to remove / to add (of the *before*
+  // partitionable count). The paper-motivated ECO scenario is ~1% churn.
+  double remove_fraction = 0.01;
+  double add_fraction = 0.01;
+  std::uint64_t seed = 1;
+};
+
+struct MutateStats {
+  int removed = 0;
+  int added = 0;
+};
+
+// Applies the mutation. Removed gates disappear along with their pin
+// connections (an input pin that loses its driver is left unconnected —
+// the partitioner's edge view tolerates dangling pins); added gates are
+// JTLs with their input spliced onto a surviving gate's output net and a
+// dangling output. Deterministic for fixed params.
+Netlist mutate_netlist(const Netlist& before, const MutateParams& params,
+                       MutateStats* stats = nullptr);
+
+}  // namespace sfqpart

@@ -1,0 +1,103 @@
+// Arena-interned gate/net names — the 10^7-gate memory diet.
+//
+// A scaled netlist (gen/scaled.h) carries one name per gate and one per
+// net; as std::string each costs 32 bytes of object plus a heap block
+// (and the name index duplicates every gate name as its key). At 10^7
+// gates that is gigabytes of small allocations. A NameRef is a 16-byte
+// view into an append-only NameArena of NUL-terminated bytes: no
+// per-name allocation, no duplication, and `.c_str()` keeps working so
+// the printf-heavy writers (DOT, DEF, Verilog, validate) compile
+// unchanged. Implicit conversions to std::string_view / std::string
+// cover the remaining call sites (concatenation, map keys, container
+// inserts).
+//
+// The arena is append-only and its blocks never move, so a NameRef is
+// stable for the life of the arena; Netlist holds its arena through a
+// shared_ptr so copied netlists share one arena and every NameRef in
+// the copy stays valid.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sfqpart {
+
+struct NameRef {
+  const char* data = "";  // NUL-terminated bytes owned by a NameArena
+  std::uint32_t len = 0;
+
+  const char* c_str() const { return data; }
+  std::size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  std::string_view view() const { return {data, len}; }
+
+  operator std::string_view() const { return {data, len}; }
+  operator std::string() const { return std::string(data, len); }
+
+  friend bool operator==(const NameRef& a, const NameRef& b) {
+    return a.view() == b.view();
+  }
+  friend bool operator==(const NameRef& a, std::string_view b) {
+    return a.view() == b;
+  }
+  friend bool operator==(std::string_view a, const NameRef& b) {
+    return a == b.view();
+  }
+  friend bool operator!=(const NameRef& a, std::string_view b) {
+    return a.view() != b;
+  }
+  friend std::string operator+(const NameRef& a, const char* b) {
+    return std::string(a.view()) + b;
+  }
+  friend std::string operator+(const char* a, const NameRef& b) {
+    return a + std::string(b.view());
+  }
+  friend std::string operator+(const NameRef& a, const std::string& b) {
+    return std::string(a.view()) + b;
+  }
+  friend std::string operator+(const std::string& a, const NameRef& b) {
+    return a + std::string(b.view());
+  }
+  friend std::ostream& operator<<(std::ostream& os, const NameRef& n) {
+    return os.write(n.data, static_cast<std::streamsize>(n.len));
+  }
+};
+
+// Bump allocator of NUL-terminated strings. Blocks never move or shrink;
+// intern() is the only mutator.
+class NameArena {
+ public:
+  NameRef intern(std::string_view text) {
+    const std::size_t need = text.size() + 1;  // trailing NUL
+    if (need > remaining_) {
+      const std::size_t block = need > kBlockSize ? need : kBlockSize;
+      blocks_.push_back(std::make_unique<char[]>(block));
+      cursor_ = blocks_.back().get();
+      remaining_ = block;
+    }
+    char* out = cursor_;
+    std::memcpy(out, text.data(), text.size());
+    out[text.size()] = '\0';
+    cursor_ += need;
+    remaining_ -= need;
+    bytes_ += need;
+    return NameRef{out, static_cast<std::uint32_t>(text.size())};
+  }
+
+  // Total interned bytes including NULs (capacity bench reporting).
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  static constexpr std::size_t kBlockSize = 1 << 16;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cursor_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace sfqpart

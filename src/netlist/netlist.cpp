@@ -6,16 +6,19 @@
 namespace sfqpart {
 
 Netlist::Netlist(const CellLibrary* library, std::string name)
-    : name_(std::move(name)), library_(library) {
+    : name_(std::move(name)),
+      library_(library),
+      arena_(std::make_shared<NameArena>()) {
   assert(library_ != nullptr);
 }
 
-GateId Netlist::add_gate(const std::string& name, int cell_index) {
+GateId Netlist::add_gate(std::string_view name, int cell_index) {
   assert(cell_index >= 0 && cell_index < library_->num_cells());
   assert(gate_by_name_.find(name) == gate_by_name_.end() && "duplicate gate name");
   const GateId id = static_cast<GateId>(gates_.size());
-  gates_.push_back(Gate{name, cell_index});
-  gate_by_name_.emplace(name, id);
+  const NameRef interned = arena_->intern(name);
+  gates_.push_back(Gate{interned, cell_index});
+  gate_by_name_.emplace(interned.view(), id);
   const Cell& cell = library_->cell(cell_index);
   input_nets_.emplace_back(static_cast<std::size_t>(cell.num_inputs), kInvalidNet);
   output_nets_.emplace_back(static_cast<std::size_t>(cell.num_outputs), kInvalidNet);
@@ -23,20 +26,20 @@ GateId Netlist::add_gate(const std::string& name, int cell_index) {
   return id;
 }
 
-GateId Netlist::add_gate_of_kind(const std::string& name, CellKind kind) {
+GateId Netlist::add_gate_of_kind(std::string_view name, CellKind kind) {
   const auto cell = library_->find_kind(kind);
   assert(cell.has_value() && "library has no cell of requested kind");
   return add_gate(name, *cell);
 }
 
-NetId Netlist::net_for_output(GateId from, int out_pin, const std::string& fallback_name) {
+NetId Netlist::net_for_output(GateId from, int out_pin, std::string_view fallback_name) {
   auto& outputs = output_nets_.at(static_cast<std::size_t>(from));
   assert(out_pin >= 0 && out_pin < static_cast<int>(outputs.size()));
   NetId& slot = outputs[static_cast<std::size_t>(out_pin)];
   if (slot == kInvalidNet) {
     slot = static_cast<NetId>(nets_.size());
     Net net;
-    net.name = fallback_name;
+    net.name = arena_->intern(fallback_name);
     net.driver = PinRef{from, out_pin};
     nets_.push_back(std::move(net));
   }
@@ -68,7 +71,7 @@ NetId Netlist::connect_clock(GateId from, int out_pin, GateId to) {
   return net_id;
 }
 
-GateId Netlist::find_gate(const std::string& name) const {
+GateId Netlist::find_gate(std::string_view name) const {
   auto it = gate_by_name_.find(name);
   return it == gate_by_name_.end() ? kInvalidGate : it->second;
 }

@@ -8,11 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "netlist/cell_library.h"
+#include "netlist/name_arena.h"
 
 namespace sfqpart {
 
@@ -33,13 +36,16 @@ struct PinRef {
 
 inline constexpr int kClockPin = -1;
 
+// Names are arena-interned NameRefs (netlist/name_arena.h): 16 bytes, no
+// per-name heap block, `.c_str()` / string conversions as before. The
+// owning Netlist's arena outlives every Gate/Net it hands out.
 struct Gate {
-  std::string name;
+  NameRef name;
   int cell = -1;  // index into the netlist's CellLibrary
 };
 
 struct Net {
-  std::string name;
+  NameRef name;
   PinRef driver;               // invalid gate id when undriven (parse error)
   std::vector<PinRef> sinks;
 };
@@ -64,10 +70,10 @@ class Netlist {
   // --- Construction -------------------------------------------------------
 
   // Adds a gate instance; names must be unique within the netlist.
-  GateId add_gate(const std::string& name, int cell_index);
+  GateId add_gate(std::string_view name, int cell_index);
 
   // Convenience: instantiate the library's first cell of `kind`.
-  GateId add_gate_of_kind(const std::string& name, CellKind kind);
+  GateId add_gate_of_kind(std::string_view name, CellKind kind);
 
   // Connects output pin `out_pin` of `from` to data-input pin `in_pin` of
   // `to`, creating the net on demand (one net per driver output pin).
@@ -82,7 +88,7 @@ class Netlist {
   int num_gates() const { return static_cast<int>(gates_.size()); }
   const Gate& gate(GateId id) const { return gates_.at(static_cast<std::size_t>(id)); }
   const Cell& cell_of(GateId id) const { return library_->cell(gate(id).cell); }
-  GateId find_gate(const std::string& name) const;  // kInvalidGate if absent
+  GateId find_gate(std::string_view name) const;  // kInvalidGate if absent
 
   double bias_of(GateId id) const { return cell_of(id).bias_ma; }
   double area_of(GateId id) const { return cell_of(id).area_um2; }
@@ -130,14 +136,22 @@ class Netlist {
   // itself is acyclic. Asserts on combinational cycles.
   std::vector<GateId> topological_order() const;
 
+  // Bytes held by the interned name table (capacity bench reporting).
+  std::size_t name_table_bytes() const { return arena_->bytes(); }
+
  private:
-  NetId net_for_output(GateId from, int out_pin, const std::string& fallback_name);
+  NetId net_for_output(GateId from, int out_pin, std::string_view fallback_name);
 
   std::string name_;
   const CellLibrary* library_;
+  // Shared so copied netlists keep their NameRefs valid (the arena is
+  // append-only and blocks never move).
+  std::shared_ptr<NameArena> arena_;
   std::vector<Gate> gates_;
   std::vector<Net> nets_;
-  std::unordered_map<std::string, GateId> gate_by_name_;
+  // Keys view into the arena, so the index stores no second copy of any
+  // gate name.
+  std::unordered_map<std::string_view, GateId> gate_by_name_;
   // Per-gate pin-to-net maps, parallel to gates_.
   std::vector<std::vector<NetId>> input_nets_;   // size = cell.num_inputs
   std::vector<std::vector<NetId>> output_nets_;  // size = cell.num_outputs

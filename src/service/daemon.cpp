@@ -10,6 +10,7 @@
 
 #include "core/certify.h"
 #include "core/engine.h"
+#include "core/partition_io.h"
 #include "def/def_parser.h"
 #include "gen/suite.h"
 #include "metrics/partition_metrics.h"
@@ -30,7 +31,7 @@ bool has_suffix(const std::string& text, const std::string& suffix) {
 
 StatusOr<std::string> read_text_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::not_found("cannot open netlist file '" + path + "'");
+  if (!in) return Status::not_found("cannot open file '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
@@ -222,9 +223,30 @@ void Daemon::submit_line(const std::string& line, Respond respond) {
     }
   }
 
+  // A warm start is read at submit time and content-hashed into the
+  // cache key (like "netlist_file"): two jobs with the same netlist and
+  // options but different seed partitions must not alias, and editing
+  // the CSV in place must miss.
+  std::string warm_content;
+  bool has_warm = false;
+  if (!job->warm_start.empty()) {
+    auto warm_bytes = read_text_file(job->warm_start);
+    if (!warm_bytes) {
+      invalid("warm_start: " + warm_bytes.status().message());
+      return;
+    }
+    warm_content = std::move(*warm_bytes);
+    has_warm = true;
+  }
+
   CacheKey key;
   key.netlist_hash = netlist_hash;
   key.config = job->engine + ";" + canonical;
+  if (has_warm) {
+    key.config +=
+        str_format(";warm:%016llx",
+                   static_cast<unsigned long long>(Fnv1a64::of(warm_content)));
+  }
 
   // Cache lookup and single-flight registration are one atomic step, so a
   // duplicate can never slip between "miss" and "registered" and trigger
@@ -257,9 +279,10 @@ void Daemon::submit_line(const std::string& line, Respond respond) {
   }
   const bool pushed = queue_.push(
       priority, [this, request = std::move(*job), context, key,
-                 body = std::move(content), respond]() mutable {
+                 body = std::move(content), warm = std::move(warm_content),
+                 respond]() mutable {
         execute_job(std::move(request), context, std::move(key),
-                    std::move(body), std::move(respond));
+                    std::move(body), std::move(warm), std::move(respond));
       });
   if (!pushed) {
     {
@@ -291,12 +314,25 @@ void Daemon::submit_line(const std::string& line, Respond respond) {
 
 void Daemon::execute_job(JobRequest request, EngineContext context,
                          CacheKey key, std::string netlist_content,
-                         Respond respond) {
+                         std::string warm_content, Respond respond) {
   std::string report_str;       // set on success
   const char* fail_status = ""; // set on failure
   std::string fail_message;
 
   auto netlist = build_job_netlist(request, netlist_content);
+  // The warm CSV can only be resolved against the built netlist; the
+  // InitialPartition lives here so it outlives the engine run below.
+  InitialPartition warm;
+  if (netlist && !request.warm_start.empty()) {
+    auto parsed = parse_warm_start_csv(warm_content, *netlist);
+    if (!parsed) {
+      netlist = Status::invalid_argument("warm_start: " +
+                                         std::string(parsed.status().message()));
+    } else {
+      warm = *std::move(parsed);
+      context.warm_start = &warm;
+    }
+  }
   if (!netlist) {
     jobs_invalid_.fetch_add(1);
     sink_.counter("job_invalid", 1);

@@ -123,7 +123,8 @@ class Daemon {
   // queue; guarantees exactly one respond() call (possibly asynchronous).
   void submit_line(const std::string& line, Respond respond);
   void execute_job(JobRequest request, EngineContext context, CacheKey key,
-                   std::string netlist_content, Respond respond);
+                   std::string netlist_content, std::string warm_content,
+                   Respond respond);
   std::string handle_admin(const Json& doc);
   void wait_for_idle();
 

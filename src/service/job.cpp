@@ -74,6 +74,10 @@ StatusOr<JobRequest> parse_job(const Json& doc) {
   if (Status s = read_string_field(doc, "engine", engine); !s) return s;
   if (!engine.empty()) job.engine = engine;
 
+  if (Status s = read_string_field(doc, "warm_start", job.warm_start); !s) {
+    return s;
+  }
+
   if (const Json* priority = doc.find("priority"); priority != nullptr) {
     if (!priority->is_number()) {
       return Status::invalid_argument("job field 'priority' must be an integer");

@@ -14,6 +14,12 @@
 // engine's structured OptionSpec list (apply_engine_options), so option
 // errors name the offending knob before any compute is spent.
 //
+// An optional "warm_start" key names a gate->plane CSV (the format
+// `sfqpart partition --csv` writes). The daemon reads it at submit time,
+// folds its content hash into the cache key (";warm:<hash>", so cache
+// keys survive renames and notice edits, like "netlist_file"), and seeds
+// the engine with it — required by engine "eco", advisory elsewhere.
+//
 // Lines whose object carries a "cmd" key instead of "schema" are admin
 // commands ("stats", "engines", "shutdown"), not jobs.
 #pragma once
@@ -41,6 +47,7 @@ struct JobRequest {
   std::string netlist_file;     // .def / .v path
   std::string netlist_verilog;  // inline structural Verilog source
   std::string engine = "gradient";
+  std::string warm_start;  // optional gate->plane CSV path (ECO seed)
   int priority = kDefaultPriority;
   Json options = Json::object();  // engine knobs; validated by the daemon
 };

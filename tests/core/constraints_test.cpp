@@ -156,6 +156,11 @@ TEST(Constraints, UnpinnedGroupsAreElectedDeterministically) {
 // pins, with certification on so the result is independently checked.
 TEST(Constraints, EveryEngineHonorsPins) {
   const Netlist netlist = tiny_netlist();
+  // eco refuses to run cold: an all-unassigned warm start makes the whole
+  // netlist the dirty region (pins still win inside the adapter).
+  InitialPartition warm;
+  warm.plane_of.assign(static_cast<std::size_t>(netlist.num_gates()),
+                       kUnassignedPlane);
   for (const std::string& name : EngineRegistry::names()) {
     const auto engine = EngineRegistry::create(name);
     ASSERT_TRUE(engine.is_ok());
@@ -163,6 +168,7 @@ TEST(Constraints, EveryEngineHonorsPins) {
     context.num_planes = 3;
     context.restarts = 1;
     context.certify = true;
+    if (name == "eco") context.warm_start = &warm;
     context.constraints.pins = {{"g1", 2}, {"g4", 0}, {"m0", 1}};
     const auto run = (*engine)->run(netlist, context);
     ASSERT_TRUE(run.is_ok()) << name << ": " << run.status().message();
@@ -175,6 +181,9 @@ TEST(Constraints, EveryEngineHonorsPins) {
 
 TEST(Constraints, EveryEngineHonorsGroups) {
   const Netlist netlist = tiny_netlist();
+  InitialPartition warm;
+  warm.plane_of.assign(static_cast<std::size_t>(netlist.num_gates()),
+                       kUnassignedPlane);
   for (const std::string& name : EngineRegistry::names()) {
     const auto engine = EngineRegistry::create(name);
     ASSERT_TRUE(engine.is_ok());
@@ -182,6 +191,7 @@ TEST(Constraints, EveryEngineHonorsGroups) {
     context.num_planes = 3;
     context.restarts = 1;
     context.certify = true;
+    if (name == "eco") context.warm_start = &warm;
     context.constraints.groups = {{"g2", "g6", "m0"}};
     const auto run = (*engine)->run(netlist, context);
     ASSERT_TRUE(run.is_ok()) << name << ": " << run.status().message();
@@ -213,12 +223,16 @@ TEST(Constraints, EveryEngineRejectsInfeasiblePinsUniformly) {
 // empty declaration is bit-identical to a run with no declaration.
 TEST(Constraints, EmptyConstraintsAreByteIdenticalNoOp) {
   const Netlist netlist = tiny_netlist();
+  InitialPartition warm;
+  warm.plane_of.assign(static_cast<std::size_t>(netlist.num_gates()),
+                       kUnassignedPlane);
   for (const std::string& name : EngineRegistry::names()) {
     const auto engine = EngineRegistry::create(name);
     ASSERT_TRUE(engine.is_ok());
     EngineContext plain;
     plain.num_planes = 3;
     plain.restarts = 1;
+    if (name == "eco") plain.warm_start = &warm;
     EngineContext declared = plain;
     declared.constraints = GateConstraints{};
     const auto a = (*engine)->run(netlist, plain);

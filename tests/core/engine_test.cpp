@@ -25,8 +25,17 @@ namespace sfqpart {
 namespace {
 
 const std::vector<std::string> kBuiltins = {
-    "annealing", "exact", "fm_kway", "gradient", "layered", "multilevel",
-    "random", "vcycle"};
+    "annealing", "eco", "exact", "fm_kway", "gradient", "layered",
+    "multilevel", "random", "vcycle"};
+
+// The eco engine refuses to run cold; every-engine loops hand it an
+// all-unassigned warm start (everything dirty = a full incremental solve).
+InitialPartition all_dirty_warm(const Netlist& netlist) {
+  InitialPartition warm;
+  warm.plane_of.assign(static_cast<std::size_t>(netlist.num_gates()),
+                       kUnassignedPlane);
+  return warm;
+}
 
 TEST(EngineRegistry, NamesAreSortedStableAndComplete) {
   const std::vector<std::string> names = EngineRegistry::names();
@@ -202,11 +211,13 @@ TEST(EngineRegistry, EveryEngineSurvivesZeroGateNetlist) {
 TEST(EngineRegistry, EveryEngineSurvivesOneGateNetlist) {
   Netlist netlist;
   netlist.add_gate_of_kind("g", CellKind::kJtl);
-  EngineContext context;
-  context.num_planes = 2;
+  const InitialPartition warm = all_dirty_warm(netlist);
   for (const std::string& name : EngineRegistry::names()) {
     const auto engine = EngineRegistry::create(name);
     ASSERT_TRUE(engine.is_ok());
+    EngineContext context;
+    context.num_planes = 2;
+    if (name == "eco") context.warm_start = &warm;
     const auto run = (*engine)->run(netlist, context);
     ASSERT_TRUE(run.is_ok()) << name << ": " << run.status().message();
     const int plane = run->partition.plane(0);
@@ -264,6 +275,7 @@ INSTANTIATE_TEST_SUITE_P(
 // registry engine name (the "engine" field of sfqpart.run_report.v2).
 TEST(EngineRegistry, RunReportCarriesEngineNameForEveryEngine) {
   const Netlist netlist = build_mapped("ksa4");
+  const InitialPartition warm = all_dirty_warm(netlist);
   for (const std::string& name : EngineRegistry::names()) {
     if (name == "exact") continue;  // rejects ksa4 (> max_gates by design)
     const auto engine = EngineRegistry::create(name);
@@ -272,6 +284,7 @@ TEST(EngineRegistry, RunReportCarriesEngineNameForEveryEngine) {
     EngineContext context;
     context.num_planes = 3;
     context.observer = &report;
+    if (name == "eco") context.warm_start = &warm;
     ASSERT_TRUE((*engine)->run(netlist, context).is_ok()) << name;
     const std::string json = report.to_json().dump();
     EXPECT_NE(json.find("\"engine\": \"" + name + "\""), std::string::npos)
@@ -283,12 +296,14 @@ TEST(EngineRegistry, RunReportCarriesEngineNameForEveryEngine) {
 // a weighted total consistent with them, and counters reachable by name.
 TEST(EngineRun, NormalizedFieldsAreConsistent) {
   const Netlist netlist = build_mapped("ksa4");
-  EngineContext context;
-  context.num_planes = 3;
+  const InitialPartition warm = all_dirty_warm(netlist);
   for (const std::string& name : EngineRegistry::names()) {
     if (name == "exact") continue;  // rejects ksa4 (> max_gates by design)
     const auto engine = EngineRegistry::create(name);
     ASSERT_TRUE(engine.is_ok());
+    EngineContext context;
+    context.num_planes = 3;
+    if (name == "eco") context.warm_start = &warm;
     const auto run = (*engine)->run(netlist, context);
     ASSERT_TRUE(run.is_ok()) << name;
     EXPECT_EQ(run->discrete_total, run->discrete_terms.total(context.weights))

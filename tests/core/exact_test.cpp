@@ -151,6 +151,11 @@ TEST(ExactEngine, AnchorsOptimalityGapOfEveryHeuristic) {
   const double optimum = exact->discrete_total;
 
   double min_gap = std::numeric_limits<double>::infinity();
+  // eco refuses to run cold; an all-unassigned warm start makes it a full
+  // (greedy + bucket) solve the optimum can anchor like any heuristic.
+  InitialPartition warm;
+  warm.plane_of.assign(static_cast<std::size_t>(netlist.num_gates()),
+                       kUnassignedPlane);
   for (const std::string& name : EngineRegistry::names()) {
     if (name == "exact") continue;
     const auto engine = EngineRegistry::create(name);
@@ -158,6 +163,7 @@ TEST(ExactEngine, AnchorsOptimalityGapOfEveryHeuristic) {
     EngineContext context;
     context.num_planes = 3;
     context.restarts = 1;
+    if (name == "eco") context.warm_start = &warm;
     const auto run = (*engine)->run(netlist, context);
     ASSERT_TRUE(run.is_ok()) << name << ": " << run.status().message();
     const double gap = run->discrete_total - optimum;

@@ -14,7 +14,7 @@ TEST(KresSearch, MeetsTheBiasLimit) {
   const Netlist netlist = build_mapped("ksa8");  // B_cir ~ 178 mA
   KresOptions options;
   options.bias_limit_ma = 100.0;
-  const KresResult result = find_min_planes(netlist, options);
+  const KresResult result = find_min_planes(netlist, options).value();
   ASSERT_TRUE(result.found);
   EXPECT_LE(result.bmax_ma, 100.0);
   EXPECT_GE(result.k_res, result.k_lb);
@@ -26,7 +26,7 @@ TEST(KresSearch, LowerBoundMatchesCeiling) {
   const Netlist netlist = build_mapped("ksa8");
   KresOptions options;
   options.bias_limit_ma = 100.0;
-  const KresResult result = find_min_planes(netlist, options);
+  const KresResult result = find_min_planes(netlist, options).value();
   const int expected =
       std::max(2, static_cast<int>(std::ceil(netlist.total_bias_ma() / 100.0)));
   EXPECT_EQ(result.k_lb, expected);
@@ -38,8 +38,8 @@ TEST(KresSearch, TighterLimitNeedsMorePlanes) {
   loose.bias_limit_ma = 120.0;
   KresOptions tight;
   tight.bias_limit_ma = 40.0;
-  const KresResult loose_result = find_min_planes(netlist, loose);
-  const KresResult tight_result = find_min_planes(netlist, tight);
+  const KresResult loose_result = find_min_planes(netlist, loose).value();
+  const KresResult tight_result = find_min_planes(netlist, tight).value();
   ASSERT_TRUE(loose_result.found);
   ASSERT_TRUE(tight_result.found);
   EXPECT_GT(tight_result.k_res, loose_result.k_res);
@@ -51,7 +51,7 @@ TEST(KresSearch, GivesUpAtMaxPlanes) {
   KresOptions impossible;
   impossible.bias_limit_ma = 1.5;  // one gate already exceeds this
   impossible.max_planes = 12;
-  const KresResult result = find_min_planes(netlist, impossible);
+  const KresResult result = find_min_planes(netlist, impossible).value();
   EXPECT_FALSE(result.found);
 }
 
@@ -60,7 +60,7 @@ TEST(KresSearch, GenerousLimitStillUsesAtLeastTwoPlanes) {
   const Netlist netlist = build_mapped("ksa4");
   KresOptions options;
   options.bias_limit_ma = 10000.0;
-  const KresResult result = find_min_planes(netlist, options);
+  const KresResult result = find_min_planes(netlist, options).value();
   ASSERT_TRUE(result.found);
   EXPECT_EQ(result.k_lb, 2);
   EXPECT_EQ(result.k_res, 2);

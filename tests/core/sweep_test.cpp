@@ -1,0 +1,154 @@
+// run_sweep (core/sweep.h): cross-product enumeration, per-point parity
+// with standalone cold runs, failure propagation and the Pareto front.
+#include "core/sweep.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "gen/suite.h"
+#include "util/json.h"
+
+namespace sfqpart {
+namespace {
+
+SweepOptions planes_sweep(const std::string& engine = "vcycle") {
+  SweepOptions options;
+  options.engine = engine;
+  SweepAxis planes;
+  planes.name = "planes";
+  planes.values = {Json::number(3LL), Json::number(4LL)};
+  options.axes.push_back(planes);
+  return options;
+}
+
+TEST(Sweep, EnumeratesTheCrossProductLastAxisFastest) {
+  const Netlist netlist = build_mapped("ksa4");
+  SweepOptions options = planes_sweep();
+  SweepAxis style;
+  style.name = "refine_style";
+  style.values = {Json::string("banded"), Json::string("buckets")};
+  options.axes.push_back(style);
+  auto result = run_sweep(netlist, options);
+  ASSERT_TRUE(result.is_ok()) << result.status().message();
+  ASSERT_EQ(result->points.size(), 4u);
+  EXPECT_EQ(result->points[0].index, (std::vector<int>{0, 0}));
+  EXPECT_EQ(result->points[1].index, (std::vector<int>{0, 1}));
+  EXPECT_EQ(result->points[2].index, (std::vector<int>{1, 0}));
+  EXPECT_EQ(result->points[3].index, (std::vector<int>{1, 1}));
+  for (const SweepPoint& point : result->points) {
+    EXPECT_NE(point.canonical.find("refine_style="), std::string::npos);
+    EXPECT_EQ(point.canonical.find("threads="), std::string::npos)
+        << "threads must stay out of the canonical string";
+  }
+}
+
+TEST(Sweep, ColdPointsAreByteIdenticalToStandaloneRuns) {
+  const Netlist netlist = build_mapped("ksa4");
+  const SweepOptions options = planes_sweep();
+  auto result = run_sweep(netlist, options);
+  ASSERT_TRUE(result.is_ok()) << result.status().message();
+
+  auto engine = EngineRegistry::create(options.engine);
+  ASSERT_TRUE(engine.is_ok());
+  const std::vector<OptionSpec> specs = (*engine)->describe_options();
+  for (const SweepPoint& point : result->points) {
+    EngineContext context;
+    ASSERT_TRUE(
+        apply_engine_options(specs, point.options, context, nullptr).is_ok());
+    auto standalone = (*engine)->run(netlist, context);
+    ASSERT_TRUE(standalone.is_ok()) << standalone.status().message();
+    EXPECT_EQ(point.run.partition.plane_of, standalone->partition.plane_of)
+        << "point " << point.canonical;
+    EXPECT_EQ(point.run.discrete_total, standalone->discrete_total);
+  }
+}
+
+TEST(Sweep, DeterministicIncludingTheJsonArtifact) {
+  const Netlist netlist = build_mapped("ksa4");
+  const SweepOptions options = planes_sweep();
+  auto first = run_sweep(netlist, options);
+  auto second = run_sweep(netlist, options);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first->to_json("ksa4").dump(), second->to_json("ksa4").dump());
+}
+
+TEST(Sweep, JsonCarriesSchemaPointsAndParetoIndices) {
+  const Netlist netlist = build_mapped("ksa4");
+  auto result = run_sweep(netlist, planes_sweep());
+  ASSERT_TRUE(result.is_ok());
+  const Json doc = result->to_json("ksa4");
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->as_string(), "sfqpart.sweep.v1");
+  ASSERT_NE(doc.find("points"), nullptr);
+  EXPECT_EQ(doc.find("points")->size(), result->points.size());
+  ASSERT_NE(doc.find("pareto"), nullptr);
+  // At least one point is always non-dominated.
+  EXPECT_GE(result->pareto.size(), 1u);
+  for (const int index : result->pareto) {
+    EXPECT_TRUE(result->points[static_cast<std::size_t>(index)].pareto);
+  }
+}
+
+TEST(Sweep, BadOptionValueAbortsTheWholeSweepNamingThePoint) {
+  const Netlist netlist = build_mapped("ksa4");
+  SweepOptions options;
+  options.engine = "gradient";
+  SweepAxis axis;
+  axis.name = "distance_exponent";
+  axis.values = {Json::number(0LL), Json::number(4LL)};  // 0 out of range
+  options.axes.push_back(axis);
+  auto result = run_sweep(netlist, options);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("distance_exponent"),
+            std::string::npos);
+}
+
+TEST(Sweep, RejectsEmptyDuplicateAndOversizedAxes) {
+  const Netlist netlist = build_mapped("ksa4");
+  SweepOptions no_axes;
+  EXPECT_FALSE(run_sweep(netlist, no_axes).is_ok());
+
+  SweepOptions duplicate = planes_sweep();
+  duplicate.axes.push_back(duplicate.axes[0]);
+  EXPECT_FALSE(run_sweep(netlist, duplicate).is_ok());
+
+  SweepOptions oversized;
+  SweepAxis big;
+  big.name = "seed";
+  for (long long v = 0; v < kMaxSweepPoints + 1; ++v) {
+    big.values.push_back(Json::number(v));
+  }
+  oversized.axes.push_back(big);
+  auto result = run_sweep(netlist, oversized);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("cross-product"), std::string::npos);
+}
+
+TEST(Sweep, WarmNeighborsStaysDeterministicAndMarksSeededPoints) {
+  const Netlist netlist = build_mapped("ksa4");
+  SweepOptions options = planes_sweep("fm_kway");
+  options.warm_neighbors = true;
+  SweepAxis seeds;
+  seeds.name = "seed";
+  seeds.values = {Json::number(1LL), Json::number(2LL)};
+  options.axes.push_back(seeds);
+  auto first = run_sweep(netlist, options);
+  auto second = run_sweep(netlist, options);
+  ASSERT_TRUE(first.is_ok()) << first.status().message();
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first->to_json("ksa4").dump(), second->to_json("ksa4").dump());
+  bool any_warm = false;
+  for (const SweepPoint& point : first->points) {
+    any_warm = any_warm || point.warm_started;
+  }
+  // The very first point has no completed neighbor; later same-K points do.
+  EXPECT_FALSE(first->points[0].warm_started);
+  EXPECT_TRUE(any_warm);
+}
+
+}  // namespace
+}  // namespace sfqpart

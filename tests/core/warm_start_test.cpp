@@ -1,0 +1,155 @@
+// Warm-start seam invariants (EngineContext::warm_start).
+//
+// The adapter contract under test:
+//  - a fully assigned warm start is a quality floor: no engine may return
+//    a worse discrete cost than the seed it was handed (never-worse
+//    fallback, counter "warm_start_kept");
+//  - warm runs surface "warm_start" / "warm_assigned" counters;
+//  - malformed warm starts (wrong size, out-of-range labels) fail with
+//    kInvalidArgument before any compute;
+//  - pins win over conflicting warm labels.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "gen/suite.h"
+#include "netlist/netlist.h"
+
+namespace sfqpart {
+namespace {
+
+constexpr int kPlanes = 3;
+
+// A deterministic full seed: every partitionable gate assigned.
+InitialPartition full_warm_from_vcycle(const Netlist& netlist,
+                                       double* seed_cost) {
+  auto engine = EngineRegistry::create("vcycle");
+  EngineContext context;
+  context.num_planes = kPlanes;
+  auto run = (*engine)->run(netlist, context);
+  EXPECT_TRUE(run.is_ok()) << run.status().message();
+  if (seed_cost != nullptr) *seed_cost = run->discrete_total;
+  InitialPartition warm;
+  warm.plane_of = run->partition.plane_of;
+  return warm;
+}
+
+int partitionable_count(const Netlist& netlist) {
+  int count = 0;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_partitionable(g)) ++count;
+  }
+  return count;
+}
+
+TEST(WarmStart, FullyAssignedSeedIsNeverWorseForEveryEngine) {
+  const Netlist netlist = build_mapped("ksa4");
+  double seed_cost = 0.0;
+  const InitialPartition warm = full_warm_from_vcycle(netlist, &seed_cost);
+  for (const std::string& name : EngineRegistry::names()) {
+    if (name == "exact") continue;  // rejects ksa4 (> max_gates by design)
+    auto engine = EngineRegistry::create(name);
+    ASSERT_TRUE(engine.is_ok());
+    EngineContext context;
+    context.num_planes = kPlanes;
+    context.warm_start = &warm;
+    auto run = (*engine)->run(netlist, context);
+    ASSERT_TRUE(run.is_ok()) << name << ": " << run.status().message();
+    EXPECT_LE(run->discrete_total, seed_cost + 1e-9)
+        << name << " regressed below its warm seed";
+    EXPECT_EQ(run->counter("warm_start"), 1.0) << name;
+    EXPECT_EQ(run->counter("warm_assigned"),
+              static_cast<double>(partitionable_count(netlist)))
+        << name;
+  }
+}
+
+TEST(WarmStart, RandomEnginePreservesTheSeedCost) {
+  // A uniformly random labeling beating a refined V-cycle solution is
+  // (astronomically) out of reach, so whether "random" replays the seed
+  // or the adapter's never-worse fallback replaces its labels, the
+  // returned cost must be exactly the seed's.
+  const Netlist netlist = build_mapped("ksa4");
+  double seed_cost = 0.0;
+  const InitialPartition warm = full_warm_from_vcycle(netlist, &seed_cost);
+  auto engine = EngineRegistry::create("random");
+  EngineContext context;
+  context.num_planes = kPlanes;
+  context.warm_start = &warm;
+  auto run = (*engine)->run(netlist, context);
+  ASSERT_TRUE(run.is_ok()) << run.status().message();
+  EXPECT_EQ(run->counter("warm_start"), 1.0);
+  EXPECT_NEAR(run->discrete_total, seed_cost, 1e-9);
+}
+
+TEST(WarmStart, WrongSizeIsInvalidArgument) {
+  const Netlist netlist = build_mapped("ksa4");
+  InitialPartition warm;
+  warm.plane_of.assign(3, kUnassignedPlane);  // netlist has far more gates
+  for (const std::string& name : EngineRegistry::names()) {
+    auto engine = EngineRegistry::create(name);
+    EngineContext context;
+    context.num_planes = kPlanes;
+    context.warm_start = &warm;
+    auto run = (*engine)->run(netlist, context);
+    ASSERT_FALSE(run.is_ok()) << name << " accepted a wrong-size warm start";
+    EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument) << name;
+    EXPECT_NE(run.status().message().find("warm start"), std::string::npos)
+        << name;
+  }
+}
+
+TEST(WarmStart, OutOfRangeLabelIsInvalidArgument) {
+  const Netlist netlist = build_mapped("ksa4");
+  InitialPartition warm = full_warm_from_vcycle(netlist, nullptr);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (netlist.is_partitionable(g)) {
+      warm.plane_of[static_cast<std::size_t>(g)] = 99;  // K is 3
+      break;
+    }
+  }
+  auto engine = EngineRegistry::create("vcycle");
+  EngineContext context;
+  context.num_planes = kPlanes;
+  context.warm_start = &warm;
+  auto run = (*engine)->run(netlist, context);
+  ASSERT_FALSE(run.is_ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WarmStart, PinsWinOverConflictingWarmLabels) {
+  const Netlist netlist = build_mapped("ksa4");
+  InitialPartition warm = full_warm_from_vcycle(netlist, nullptr);
+  const GateId pinned = netlist.find_gate("and_0");
+  ASSERT_NE(pinned, kInvalidGate);
+  // Warm says one plane, the pin says another; the pin must prevail.
+  const int warm_plane = warm.plane_of[static_cast<std::size_t>(pinned)];
+  const int pin_plane = (warm_plane + 1) % kPlanes;
+  for (const std::string& name : {std::string("vcycle"), std::string("eco"),
+                                  std::string("fm_kway")}) {
+    auto engine = EngineRegistry::create(name);
+    EngineContext context;
+    context.num_planes = kPlanes;
+    context.warm_start = &warm;
+    context.constraints.pins = {{"and_0", pin_plane}};
+    auto run = (*engine)->run(netlist, context);
+    ASSERT_TRUE(run.is_ok()) << name << ": " << run.status().message();
+    EXPECT_EQ(run->partition.plane(pinned), pin_plane) << name;
+  }
+}
+
+TEST(WarmStart, EcoRequiresAWarmStart) {
+  const Netlist netlist = build_mapped("ksa4");
+  auto engine = EngineRegistry::create("eco");
+  EngineContext context;
+  context.num_planes = kPlanes;
+  auto run = (*engine)->run(netlist, context);
+  ASSERT_FALSE(run.is_ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(run.status().message().find("warm start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfqpart

@@ -83,7 +83,7 @@ TEST(EndToEnd, KresFlowProducesUsableStack) {
   const Netlist netlist = build_mapped("mult4");  // B_cir ~ 220 mA
   KresOptions options;
   options.bias_limit_ma = 100.0;
-  const KresResult kres = find_min_planes(netlist, options);
+  const KresResult kres = find_min_planes(netlist, options).value();
   ASSERT_TRUE(kres.found);
   const BiasPlan plan = make_bias_plan(netlist, kres.result.partition);
   EXPECT_LE(plan.supply_ma, 100.0);

@@ -76,12 +76,12 @@ TEST(PaperTrends, TableIIIGapGrowsWithComplexity) {
   options.base.restarts = 2;
 
   const Netlist small = build_mapped("ksa8");
-  const KresResult small_result = find_min_planes(small, options);
+  const KresResult small_result = find_min_planes(small, options).value();
   ASSERT_TRUE(small_result.found);
   EXPECT_LE(small_result.k_res - small_result.k_lb, 1);
 
   const Netlist large = build_mapped("c1908");
-  const KresResult large_result = find_min_planes(large, options);
+  const KresResult large_result = find_min_planes(large, options).value();
   ASSERT_TRUE(large_result.found);
   EXPECT_GE(large_result.k_res, large_result.k_lb);
   EXPECT_GE(large_result.k_res - large_result.k_lb,
@@ -96,7 +96,7 @@ TEST(PaperTrends, BiasLineSaving) {
   KresOptions options;
   options.bias_limit_ma = 100.0;
   options.base.restarts = 1;
-  const KresResult result = find_min_planes(netlist, options);
+  const KresResult result = find_min_planes(netlist, options).value();
   ASSERT_TRUE(result.found);
   const int parallel_pads =
       static_cast<int>(std::ceil(netlist.total_bias_ma() / 100.0));

@@ -273,7 +273,7 @@ TEST(Daemon, EnginesAdminServesTheCatalog) {
   EXPECT_EQ(doc->find("schema")->as_string(), "sfqpart.engines.v1");
   const Json* engines = doc->find("engines");
   ASSERT_NE(engines, nullptr);
-  EXPECT_EQ(engines->size(), 8u);
+  EXPECT_EQ(engines->size(), 9u);
   // Every entry carries structured option specs.
   for (std::size_t i = 0; i < engines->size(); ++i) {
     const Json& engine = engines->at(i);

@@ -37,6 +37,24 @@ TEST(JobParse, AllFieldsLand) {
   EXPECT_EQ(job->options.find("planes")->as_int(), 3);
 }
 
+TEST(JobParse, WarmStartIsOptionalAndTypeChecked) {
+  const auto without = parse_job(
+      parsed(R"({"schema": "sfqpart.job.v1", "id": "j1", "circuit": "ksa4"})"));
+  ASSERT_TRUE(without.is_ok());
+  EXPECT_TRUE(without->warm_start.empty());
+
+  const auto with = parse_job(parsed(
+      R"({"schema": "sfqpart.job.v1", "id": "j2", "circuit": "ksa4",
+          "engine": "eco", "warm_start": "seed.csv"})"));
+  ASSERT_TRUE(with.is_ok()) << with.status().message();
+  EXPECT_EQ(with->warm_start, "seed.csv");
+
+  EXPECT_FALSE(parse_job(parsed(
+                   R"({"schema": "sfqpart.job.v1", "id": "j3",
+                       "circuit": "ksa4", "warm_start": 5})"))
+                   .is_ok());
+}
+
 TEST(JobParse, SchemaTagIsRequiredAndChecked) {
   EXPECT_FALSE(parse_job(parsed(R"({"circuit": "ksa4"})")).is_ok());
   const auto wrong = parse_job(

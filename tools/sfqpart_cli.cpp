@@ -8,6 +8,8 @@
 //                     [--json] [--csv out.csv] [--dot out.dot]
 //                     [--report-json report.json] [--trace]
 //   sfqpart kres      --circuit id8 --limit 100 [--json]
+//   sfqpart sweep     --circuit ksa8 --engine vcycle --sweep "planes=3,4,5"
+//                     [--warm-neighbors]
 //   sfqpart plan      --circuit ksa8 --planes 4 [--json]
 //   sfqpart emit      --circuit mult4 --dir out/
 //
@@ -25,6 +27,7 @@
 #include "core/engine.h"
 #include "core/kres_search.h"
 #include "core/partition_io.h"
+#include "core/sweep.h"
 #include "def/def_parser.h"
 #include "def/def_writer.h"
 #include "def/lef_parser.h"
@@ -53,8 +56,8 @@ namespace sfqpart {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: sfqpart <list|stats|partition|evaluate|kres|plan|timing|floorplan|emit>"
-    " [flags]\n"
+    "usage: sfqpart <list|stats|partition|evaluate|kres|sweep|plan|timing|"
+    "floorplan|emit> [flags]\n"
     "       sfqpart --list-engines [--json]\n"
     "run `sfqpart <command> --help` for the command's flags\n";
 
@@ -94,6 +97,25 @@ OptionsParser make_parser(const std::string& command) {
   parser.add_double("limit", 100.0, "bias pad limit in mA (kres)");
   parser.add_string("dir", ".", "output directory (emit)");
   parser.add_string("assignment", "", "gate->plane CSV to evaluate (evaluate)");
+  parser.add_string("warm-start", "",
+                    "seed the engine from this gate->plane CSV (typically a "
+                    "previous revision's --csv output; stale rows are "
+                    "skipped, missing gates start unassigned)");
+  parser.add_string("refine-style", "banded",
+                    "vcycle uncoarsening refinement: banded | buckets");
+  parser.add_int("halo", 2,
+                 "eco engine: BFS hops around the dirty region the "
+                 "restricted refinement may move");
+  parser.add_flag("compare-scratch", false,
+                  "eco engine: also run a scratch vcycle and report "
+                  "speedup_vs_scratch / cost_drift_pct counters");
+  parser.add_string("sweep", "",
+                    "parameter sweep axes: ';'-separated name=v1,v2,... "
+                    "lists of engine options, e.g. --sweep 'planes=3,4,5;"
+                    "c2=0.1,0.5' (sweep command)");
+  parser.add_flag("warm-neighbors", false,
+                  "sweep: warm-start each point from its best completed "
+                  "neighbor instead of running every point cold");
   return parser;
 }
 
@@ -268,11 +290,24 @@ StatusOr<EngineRun> run_engine(const Netlist& netlist, const OptionsParser& opti
   context.restarts = static_cast<int>(options.get_int("restarts"));
   context.threads = static_cast<int>(options.get_int("threads"));
   context.refine = options.get_flag("refine");
+  context.refine_style = options.get_string("refine-style");
+  context.halo = static_cast<int>(options.get_int("halo"));
+  context.compare_scratch = options.get_flag("compare-scratch");
   // --certify forces certification on; without the flag the context keeps
   // its build-type default (on in debug builds).
   if (options.get_flag("certify")) context.certify = true;
   if (Status st = parse_constraint_flags(options, context.constraints); !st) {
     return st;
+  }
+  // The warm start must outlive the run; the engine call below is
+  // synchronous, so this scope is enough.
+  InitialPartition warm;
+  const std::string warm_path = options.get_string("warm-start");
+  if (!warm_path.empty()) {
+    auto loaded = load_warm_start_csv(warm_path, netlist);
+    if (!loaded) return loaded.status();
+    warm = *std::move(loaded);
+    context.warm_start = &warm;
   }
   context.observer = observer;
 
@@ -445,7 +480,12 @@ int cmd_kres(const OptionsParser& options) {
   KresOptions kopt;
   kopt.bias_limit_ma = options.get_double("limit");
   kopt.base.seed = static_cast<std::uint64_t>(options.get_int("seed"));
-  const KresResult result = find_min_planes(*netlist, kopt);
+  auto search = find_min_planes(*netlist, kopt);
+  if (!search) {
+    std::fprintf(stderr, "%s\n", search.status().message().c_str());
+    return 1;
+  }
+  const KresResult& result = *search;
   if (!result.found) {
     std::fprintf(stderr, "no feasible K up to %d\n", kopt.max_planes);
     return 1;
@@ -465,6 +505,70 @@ int cmd_kres(const OptionsParser& options) {
                 netlist->name().c_str(), result.k_lb, result.k_res, result.bmax_ma,
                 kopt.bias_limit_ma);
   }
+  return 0;
+}
+
+// Parses "name=v1,v2;name2=..." into sweep axes. Values that parse as
+// JSON scalars (numbers, true/false) are used as such; anything else is a
+// string value (e.g. refine_style=banded,buckets).
+Status parse_sweep_axes(const std::string& spec, std::vector<SweepAxis>& out) {
+  for (std::size_t pos = 0; pos < spec.size();) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::invalid_argument(
+          "--sweep expects name=v1,v2,..., got '" + item + "'");
+    }
+    SweepAxis axis;
+    axis.name = item.substr(0, eq);
+    for (std::size_t vpos = eq + 1; vpos <= item.size();) {
+      std::size_t vend = item.find(',', vpos);
+      if (vend == std::string::npos) vend = item.size();
+      const std::string value = item.substr(vpos, vend - vpos);
+      vpos = vend + 1;
+      if (value.empty()) continue;
+      const auto parsed = Json::parse(value);
+      axis.values.push_back(parsed.is_ok() && !parsed->is_null() &&
+                                    !parsed->is_array() && !parsed->is_object()
+                                ? *parsed
+                                : Json::string(value));
+    }
+    if (axis.values.empty()) {
+      return Status::invalid_argument("--sweep axis '" + axis.name +
+                                      "' has no values");
+    }
+    out.push_back(std::move(axis));
+  }
+  if (out.empty()) {
+    return Status::invalid_argument("--sweep expects at least one axis");
+  }
+  return Status::ok();
+}
+
+int cmd_sweep(const OptionsParser& options) {
+  auto netlist = load_netlist(options);
+  if (!netlist) {
+    std::fprintf(stderr, "%s\n", netlist.status().message().c_str());
+    return 1;
+  }
+  SweepOptions sweep;
+  sweep.engine = options.get_string("engine");
+  sweep.warm_neighbors = options.get_flag("warm-neighbors");
+  if (Status st = parse_sweep_axes(options.get_string("sweep"), sweep.axes);
+      !st) {
+    std::fprintf(stderr, "%s\n", st.message().c_str());
+    return 1;
+  }
+  const auto result = run_sweep(*netlist, sweep);
+  if (!result) {
+    std::fprintf(stderr, "%s\n", result.status().message().c_str());
+    return 1;
+  }
+  std::printf("%s\n", result->to_json(netlist->name()).dump().c_str());
   return 0;
 }
 
@@ -630,6 +734,7 @@ int run(int argc, char** argv) {
   if (command == "partition") return cmd_partition(options);
   if (command == "evaluate") return cmd_evaluate(options);
   if (command == "kres") return cmd_kres(options);
+  if (command == "sweep") return cmd_sweep(options);
   if (command == "plan") return cmd_plan(options);
   if (command == "timing") return cmd_timing(options);
   if (command == "floorplan") return cmd_floorplan(options);
