@@ -10,6 +10,10 @@
 // Flags:
 //   --sizes 100000,1000000   comma-separated gate targets
 //   --planes 5 --threads 0 --seed 1
+//   --verbose-levels         embed the full RunReport (per-iteration
+//                            curves, per-restart samples) per run; the
+//                            default emits a compact per-level summary
+//                            so the artifact stays a few hundred lines
 //   --smoke                  single 10^5 run + validity/budget asserts
 //                            (advisory CI: .github/workflows/ci.yml)
 #include <chrono>
@@ -20,6 +24,7 @@
 
 #include "bench_util.h"
 #include "core/vcycle.h"
+#include "obs/run_report.h"
 #include "gen/scaled.h"
 #include "util/mem.h"
 #include "util/options.h"
@@ -58,6 +63,9 @@ int run(int argc, char** argv) {
   parser.add_int("threads", 0, "worker threads (0 = all hardware threads)");
   parser.add_int("seed", 1, "generator and solver seed");
   parser.add_double("rent", 0.65, "Rent exponent of the generated netlists");
+  parser.add_flag("verbose-levels", false,
+                  "embed the full per-iteration RunReport in each run "
+                  "(default: compact per-level summary only)");
   parser.add_flag("smoke", false,
                   "single 10^5-gate run with validity + wall-budget asserts");
   parser.add_int("smoke-budget-sec", 120, "wall budget for --smoke");
@@ -148,9 +156,32 @@ int run(int argc, char** argv) {
         return 1;
       }
 
-      // The report's levels array carries per-level vertex/edge counts,
-      // coarsening ratios and the coarsen/refine stage wall times.
-      Json doc = report.to_json();
+      // Default: a compact per-level summary (vertex/edge counts and
+      // stage wall times — one line per level). The full RunReport with
+      // per-iteration curves made the artifact ~25k lines; it is still
+      // available behind --verbose-levels for deep dives.
+      Json doc;
+      if (parser.get_flag("verbose-levels")) {
+        doc = report.to_json();
+      } else {
+        Json levels = Json::array();
+        for (const obs::LevelEvent& level : report.levels()) {
+          levels.append(
+              Json::object()
+                  .set("level", Json::number(static_cast<long long>(level.level)))
+                  .set("vertices",
+                       Json::number(static_cast<long long>(level.num_vertices)))
+                  .set("edges", Json::number(level.num_edges))
+                  .set("coarsen_ms", Json::number(level.coarsen_ms))
+                  .set("refine_ms", Json::number(level.refine_ms))
+                  .set("refine_moves",
+                       Json::number(static_cast<long long>(level.refine_moves))));
+        }
+        doc = Json::object()
+                  .set("levels", std::move(levels))
+                  .set("coarse_solve_ms", Json::number(report.stage_ms("coarse_solve")))
+                  .set("run_ms", Json::number(report.stage_ms("run")));
+      }
       runs.append(Json::object()
                       .set("target_gates", Json::number(size))
                       .set("refine_style", Json::string(flavor.name))
@@ -170,6 +201,17 @@ int run(int argc, char** argv) {
                       .set("name_table_bytes",
                            Json::number(static_cast<long long>(
                                netlist.name_table_bytes())))
+                      .set("name_index_bytes",
+                           Json::number(static_cast<long long>(
+                               netlist.name_index_bytes())))
+                      // What the old unordered_map<string_view, GateId>
+                      // index cost for the same gate count (measured
+                      // libstdc++ node 56 B + bucket pointer 8 B per
+                      // entry), so the artifact carries the diet's delta.
+                      .set("name_index_map_bytes_before",
+                           Json::number(static_cast<long long>(
+                               static_cast<std::size_t>(netlist.num_gates()) *
+                               64)))
                       .set("report", std::move(doc)));
     }
   }

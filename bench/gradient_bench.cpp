@@ -1,13 +1,23 @@
 // Gradient hot-path throughput: eval-only and eval+gradient rates of the
-// CostModel across thread counts on the largest generated circuits, with
-// an A/B against the pre-CSR serial-scatter reference engine.
+// CostModel on the largest generated circuits, in two series per circuit:
 //
-// Prints the table, writes results/BENCH_gradient.json (the perf artifact
-// future PRs are gated against: `speedup_vs_scatter` on the largest
-// circuit at 8 threads must not regress below 1.5x), then runs the
-// google-benchmark timers. The scatter reference is measured through the
-// plain (workspace-allocating) overloads because that is exactly how the
-// pre-CSR optimizer called it — fresh scratch every iteration.
+//  * kernel tiers — pinned to one CPU, every SIMD tier this build+CPU
+//    offers (scalar / avx2 / avx512) at 1 thread; `speedup_vs_scalar` of
+//    the active tier is the same-session A/B the kernel layer is judged
+//    on (cross-session absolute rates on this shared 1-core runner swing
+//    with neighbor load and are NOT comparable), and for id8 the active
+//    rate is also ratioed against the frozen pre-SIMD baseline;
+//  * thread series — unpinned 1/2/4/8-thread profile with an A/B against
+//    the pre-CSR serial-scatter reference engine, with cpus_allowed /
+//    pool_threads / hardware_threads provenance so a flat series on a
+//    masked runner reads as saturation, not regression.
+//
+// Prints the tables, writes results/BENCH_gradient.json (the perf
+// artifact future PRs are gated against: `speedup_vs_scatter` on the
+// largest circuit at 8 threads must not regress below 1.5x), then runs
+// the google-benchmark timers. The scatter reference is measured through
+// the plain (workspace-allocating) overloads because that is exactly how
+// the pre-CSR optimizer called it — fresh scratch every iteration.
 //
 // `--smoke` runs a short CI gate instead: c3540 only, brief windows, no
 // JSON and no google-benchmark pass. It exits 1 when eval_grad_per_s at
@@ -20,7 +30,12 @@
 #include <cstring>
 #include <vector>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "bench_util.h"
+#include "core/simd/dispatch.h"
 #include "core/soft_assign.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -49,6 +64,52 @@ Workload make_workload(const std::string& circuit) {
   load.w = random_soft_assignment(load.problem.num_gates, kPlanes, rng);
   return load;
 }
+
+// CPUs this process may run on (the pinned-profile provenance: a
+// container or taskset mask below hardware_concurrency explains away a
+// flat thread series).
+int cpus_allowed() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    return CPU_COUNT(&mask);
+  }
+#endif
+  return ThreadPool::hardware_concurrency();
+}
+
+// Pins the calling (measurement) thread to the first allowed CPU for the
+// single-thread series, so tier-vs-tier ratios are not polluted by
+// migrations; restore_affinity undoes it before the multi-thread series.
+#if defined(__linux__)
+cpu_set_t saved_affinity_mask;
+bool saved_affinity_valid = false;
+
+void pin_to_first_cpu() {
+  cpu_set_t mask;
+  if (sched_getaffinity(0, sizeof(mask), &mask) != 0) return;
+  saved_affinity_mask = mask;
+  saved_affinity_valid = true;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &mask)) {
+      cpu_set_t one;
+      CPU_ZERO(&one);
+      CPU_SET(cpu, &one);
+      sched_setaffinity(0, sizeof(one), &one);
+      return;
+    }
+  }
+}
+
+void restore_affinity() {
+  if (saved_affinity_valid) {
+    sched_setaffinity(0, sizeof(saved_affinity_mask), &saved_affinity_mask);
+  }
+}
+#else
+void pin_to_first_cpu() {}
+void restore_affinity() {}
+#endif
 
 // Evals/second of `body` (which runs one evaluation) over one window of
 // `window_s` seconds.
@@ -98,6 +159,78 @@ RatePoint measure_point(const EvalBody& eval_body,
   return point;
 }
 
+// Single-thread per-kernel-tier series (the tentpole's headline figure):
+// eval and eval+grad rates of every tier this build+CPU offers, measured
+// pinned to one CPU, plus the active/scalar ratio. The scalar tier is the
+// pre-SIMD hot path verbatim (same source, same flags), so
+// `speedup_vs_scalar` IS the SIMD speedup over the gather baseline.
+Json bench_kernel_tiers(const Workload& load, double* speedup_out) {
+  CostModel model(load.problem, CostWeights{});
+  Matrix grad;
+  CostModel::Workspace workspace;
+
+  const simd::Tier ambient = simd::dispatch_info().active;
+  std::vector<simd::Tier> tiers = {simd::Tier::kScalar};
+  for (const simd::Tier t : {simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (simd::tier_available(t)) tiers.push_back(t);
+  }
+
+  pin_to_first_cpu();
+  TablePrinter table({"kernel tier", "eval/s", "eval+grad/s", "vs scalar"});
+  Json rows = Json::array();
+  double scalar_rate = 0.0;
+  double active_rate = 0.0;
+  for (const simd::Tier tier : tiers) {
+    simd::force_tier_for_testing(tier);
+    double eval_rate = 0.0;
+    double grad_rate = 0.0;
+    for (int trial = 0; trial < 9; ++trial) {
+      eval_rate = std::max(eval_rate, one_window_per_s([&] {
+        ::benchmark::DoNotOptimize(model.evaluate(load.w, workspace).f1);
+      }));
+      grad_rate = std::max(grad_rate, one_window_per_s([&] {
+        ::benchmark::DoNotOptimize(
+            model.evaluate_with_gradient(load.w, grad, workspace).f1);
+      }));
+    }
+    if (tier == simd::Tier::kScalar) scalar_rate = grad_rate;
+    if (tier == ambient) active_rate = grad_rate;
+    const double ratio = scalar_rate > 0.0 ? grad_rate / scalar_rate : 0.0;
+    table.add_row({simd::tier_name(tier), str_format("%.0f", eval_rate),
+                   str_format("%.0f", grad_rate),
+                   str_format("%.2fx", ratio)});
+    rows.append(Json::object()
+                    .set("tier", Json::string(simd::tier_name(tier)))
+                    .set("eval_per_s", Json::number(eval_rate))
+                    .set("eval_grad_per_s", Json::number(grad_rate))
+                    .set("speedup_vs_scalar", Json::number(ratio)));
+  }
+  simd::force_tier_for_testing(ambient);
+  simd::reset_dispatch_for_testing();
+  restore_affinity();
+
+  const double speedup = scalar_rate > 0.0 ? active_rate / scalar_rate : 0.0;
+  if (speedup_out != nullptr) *speedup_out = speedup;
+  std::printf("== Kernel tiers: %s, 1 thread pinned (active: %s) ==\n",
+              load.circuit.c_str(), simd::tier_name(ambient));
+  table.print();
+  std::printf("active-tier eval+grad speedup vs scalar: %.2fx\n", speedup);
+  return Json::object()
+      .set("active", Json::string(simd::tier_name(ambient)))
+      .set("detected", Json::string(simd::tier_name(simd::dispatch_info().detected)))
+      .set("pinned", Json::boolean(true))
+      .set("tiers", std::move(rows))
+      .set("active_eval_grad_per_s", Json::number(active_rate))
+      .set("speedup_vs_scalar", Json::number(speedup));
+}
+
+// The last pre-SIMD commit's pinned single-thread gather figure on this
+// runner (id8, 4315 gates, 5001 edges, K=5) — frozen so the kernel
+// layer's before/after lives in one artifact. The scalar tier should sit
+// near this number; the active tier's ratio against it is
+// `speedup_vs_pre_simd`.
+constexpr double kPreSimdId8EvalGradPerS = 14476.79;
+
 Json bench_circuit(const Workload& load) {
   CostModel model(load.problem, CostWeights{});
   Matrix grad;
@@ -124,7 +257,7 @@ Json bench_circuit(const Workload& load) {
   TablePrinter table({"path", "threads", "evals/s", "vs scatter@same"});
   Json runs = Json::array();
   double speedup = 0.0;
-  for (const int threads : {1, 2, 8}) {
+  for (const int threads : {1, 2, 4, 8}) {
     ThreadPool pool(threads);
     model.set_thread_pool(threads > 1 ? &pool : nullptr);
 
@@ -218,7 +351,23 @@ Json fifo_baseline() {
 void print_gradient_bench() {
   Json circuits = Json::array();
   for (const char* circuit : kCircuits) {
-    circuits.append(bench_circuit(make_workload(circuit)));
+    const Workload load = make_workload(circuit);
+    double tier_speedup = 0.0;
+    Json kernels = bench_kernel_tiers(load, &tier_speedup);
+    const Json* active = kernels.find("active_eval_grad_per_s");
+    const double active_rate = active != nullptr ? active->as_number() : 0.0;
+    if (load.circuit == "id8") {
+      const double vs_pre_simd = active_rate / kPreSimdId8EvalGradPerS;
+      std::printf("id8 1-thread eval+grad vs frozen pre-SIMD baseline "
+                  "(%.0f/s): %.2fx\n",
+                  kPreSimdId8EvalGradPerS, vs_pre_simd);
+      kernels.set("pre_simd_eval_grad_per_s",
+                  Json::number(kPreSimdId8EvalGradPerS));
+      kernels.set("speedup_vs_pre_simd", Json::number(vs_pre_simd));
+    }
+    Json entry = bench_circuit(load);
+    entry.set("kernels", std::move(kernels));
+    circuits.append(std::move(entry));
   }
   const Json doc =
       Json::object()
@@ -227,6 +376,8 @@ void print_gradient_bench() {
           .set("hardware_threads",
                Json::number(
                    static_cast<long long>(ThreadPool::hardware_concurrency())))
+          .set("cpus_allowed",
+               Json::number(static_cast<long long>(cpus_allowed())))
           .set("baseline_fifo", fifo_baseline())
           .set("circuits", std::move(circuits));
   write_results_json("BENCH_gradient", doc);

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/simd/dispatch.h"
 #include "core/soft_assign.h"
 #include "util/thread_pool.h"
 
@@ -19,24 +20,12 @@ double ipow(double base, int exponent) {
   return result;
 }
 
-// ipow with the small exponents unrolled for the hot edge pass. Every
-// branch reproduces ipow's left-to-right multiply chain exactly
-// (1.0 * b == b in IEEE), so the bits never depend on which is called.
-inline double pow_chain(double base, int exponent) {
-  switch (exponent) {
-    case 0: return 1.0;
-    case 1: return base;
-    case 2: return base * base;
-    case 3: return (base * base) * base;
-    default: return ipow(base, exponent);
-  }
-}
-
 // Chunk size of the parallel reductions. The boundaries depend only on the
 // problem size, so per-chunk partials combined in chunk order give the
 // same floating-point result at every thread count (see thread_pool.h).
 // Sized so the paper-suite unit circuits stay single-chunk and only the
-// thousands-of-gates benches actually split.
+// thousands-of-gates benches actually split. A multiple of the widest
+// vector block (8 gates), so kernel blocks never straddle a chunk edge.
 constexpr std::size_t kReductionGrain = 1024;
 
 // Per-item cost hints for the executor's adaptive serial threshold
@@ -45,203 +34,82 @@ constexpr std::size_t kReductionGrain = 1024;
 double gate_pass_cost(std::size_t k) { return 3.0 * static_cast<double>(k); }
 constexpr double kEdgePassCost = 10.0;
 
-// The parallel kernels, hoisted out of the member functions as plain
-// structs of raw pointers: one instance per pass, built on the stack and
-// handed to parallel_chunks by address — never copied, never allocated.
+// The hot per-chunk loops live in the dispatched kernel layer
+// (core/simd/) — scalar, AVX2 or AVX-512, selected once at startup, all
+// bit-identical in default mode. The structs below are the thin
+// parallel_chunks adapters: they pick the chunk's partial-accumulator
+// rows out of the workspace slabs and forward to the table function.
 
-// aggregate(): per-gate soft labels and row means (element-wise) plus the
-// per-plane bias/area sums as per-chunk partial rows.
-struct AggregateKernel {
-  const Matrix* w;
-  const double* bias;
-  const double* area;
-  double* labels;
-  double* row_mean;
-  ChunkSlab* partials;  // per-chunk rows: [bias[0..K); area[0..K)]
-  std::size_t k;
+struct AggregateBody {
+  const simd::AggregateArgs* args;
+  simd::AggregateFn fn;
+  ChunkSlab* bias_area;  // per-chunk [bias[0..stride); area[0..stride))
+  ChunkSlab* f4;         // null when the F4 term is not wanted
+  std::size_t stride;
 
   void operator()(std::size_t chunk, std::size_t begin,
                   std::size_t end) const {
-    double* bias_out = partials->chunk(chunk);
-    double* area_out = bias_out + k;
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto row = w->row(i);
-      // Hoisted: the compiler cannot prove bias_out/area_out do not alias
-      // the problem arrays, so without locals it reloads them every kk.
-      const double bias_i = bias[i];
-      const double area_i = area[i];
-      double label = 0.0;
-      double sum = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double value = row[kk];
-        label += static_cast<double>(kk + 1) * value;  // plane values 1..K
-        sum += value;
-        bias_out[kk] += bias_i * value;
-        area_out[kk] += area_i * value;
-      }
-      labels[i] = label;
-      row_mean[i] = sum / static_cast<double>(k);
-    }
+    double* bias_acc = bias_area->chunk(chunk);
+    fn(*args, begin, end, bias_acc, bias_acc + stride,
+       f4 != nullptr ? f4->chunk(chunk) : nullptr);
   }
 };
 
-// f1_term(): the F1 edge sum as per-chunk partials.
-struct F1TermKernel {
-  const std::pair<int, int>* edges;
-  const double* labels;
-  ChunkSlab* partials;  // one F1 partial per chunk
-  int exponent;
+struct StepAggregateBody {
+  const simd::AggregateArgs* args;
+  simd::StepAggregateFn fn;
+  double* w;
+  const double* grad;
+  double scale;
+  ChunkSlab* bias_area;
+  ChunkSlab* f4;
+  std::size_t stride;
 
   void operator()(std::size_t chunk, std::size_t begin,
                   std::size_t end) const {
-    double sum = 0.0;
-    for (std::size_t e = begin; e < end; ++e) {
-      const auto& [a, b] = edges[e];
-      const double delta = std::abs(labels[static_cast<std::size_t>(a)] -
-                                    labels[static_cast<std::size_t>(b)]);
-      sum += ipow(delta, exponent);
-    }
-    partials->chunk(chunk)[0] = sum;
+    double* bias_acc = bias_area->chunk(chunk);
+    fn(*args, w, grad, scale, begin, end, bias_acc, bias_acc + stride,
+       f4 != nullptr ? f4->chunk(chunk) : nullptr);
   }
 };
 
-// f1_and_slot_grad(): the F1 term and both signed per-endpoint gradient
-// contributions of every edge, one power chain per edge. Bit-identity
-// bookkeeping:
-//  - `chain * ad` extends pow_chain(ad, p-1)'s multiply sequence by one
-//    factor, which IS ipow(ad, p)'s sequence, so the F1 chunk partials
-//    match F1TermKernel exactly (same grain, same combine order).
-//  - The first endpoint's slot takes the scatter's `+= signed_term` value
-//    and the second takes `-signed_term` (IEEE negation is exact), so
-//    summing a gate's slots in ascending edge order replays the exact
-//    additions the scatter applied to dlabel[i].
-struct EdgeGradientKernel {
-  const std::pair<int, int>* edges;
-  const double* labels;
-  const std::uint32_t* slot_of_first;
-  const std::uint32_t* slot_of_second;
-  double* slot_grad;
-  ChunkSlab* partials;  // one F1 partial per chunk
-  int exponent;
-  double n1;
-  bool analytic;
+struct F1TermBody {
+  const simd::EdgeArgs* args;
+  simd::F1TermFn fn;
+  ChunkSlab* partials;
 
   void operator()(std::size_t chunk, std::size_t begin,
                   std::size_t end) const {
-    double sum = 0.0;
-    for (std::size_t e = begin; e < end; ++e) {
-      const auto& [a, b] = edges[e];
-      const double delta = labels[static_cast<std::size_t>(a)] -
-                           labels[static_cast<std::size_t>(b)];
-      const double ad = std::abs(delta);
-      const double chain = pow_chain(ad, exponent - 1);
-      sum += chain * ad;
-      const double magnitude = exponent * chain / n1;
-      const double first =
-          analytic ? (delta >= 0.0 ? magnitude : -magnitude)
-                   : magnitude;  // eq. 10 as printed: unsigned, +first/-second
-      slot_grad[slot_of_first[e]] = first;
-      slot_grad[slot_of_second[e]] = -first;
-    }
-    partials->chunk(chunk)[0] = sum;
+    partials->chunk(chunk)[0] = fn(*args, begin, end);
   }
 };
 
-// terms_from(): the F4 constraint sum as per-chunk partials.
-struct F4TermKernel {
-  const Matrix* w;
-  const double* row_mean;
-  ChunkSlab* partials;  // one F4 partial per chunk
-  std::size_t k;
+struct EdgeGradBody {
+  const simd::EdgeGradArgs* args;
+  simd::EdgeGradFn fn;
+  ChunkSlab* partials;
 
   void operator()(std::size_t chunk, std::size_t begin,
                   std::size_t end) const {
-    const double kd = static_cast<double>(k);
-    double sum = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      const double mean = row_mean[i];
-      const double sum_term = kd * mean - 1.0;
-      double variance = 0.0;
-      const auto row = w->row(i);
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double dev = row[kk] - mean;
-        variance += dev * dev;
-      }
-      sum += sum_term * sum_term - variance / kd;
-    }
-    partials->chunk(chunk)[0] = sum;
+    partials->chunk(chunk)[0] = fn(*args, begin, end);
   }
 };
 
-// fused_gradient_pass(): one pass over W doing all the per-gate work — the
-// gather of dF1/dl_i from the slot values the edge pass precomputed, the
-// F4 term partial, and the gradient row fill for every term. Everything a
-// chunk writes is either element-wise (gradient rows) or a chunk-indexed
-// partial combined in ascending chunk order, so the result is
-// bit-identical at any thread count. A gate's slots sit in ascending edge
-// order — the exact addition sequence the reference scatter applies to
-// dlabel[i] — which keeps the two engines bit-identical too. The hoisted
-// coefficient products keep the scatter fill's left-to-right association,
-// so hoisting cannot change a bit either.
-struct FusedGradientKernel {
-  const Matrix* w;
-  Matrix* grad;
-  const double* row_mean;
-  const double* bias;
-  const double* area;
-  const double* bias_diff;
-  const double* area_diff;
-  const double* slot_grad;
-  const std::uint32_t* inc_offsets;
-  ChunkSlab* partials;  // one F4 partial per chunk
-  std::size_t k;
-  double c1;
-  double bias_coef;
-  double area_coef;
-  double c4_coef;
-  bool analytic;
+struct FusedGateBody {
+  const simd::FusedGateArgs* args;
+  simd::FusedGateFn fn;
+  ChunkSlab* f4;
 
   void operator()(std::size_t chunk, std::size_t begin,
                   std::size_t end) const {
-    const double kd = static_cast<double>(k);
-    double f4_sum = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      double dlabel = 0.0;
-      for (std::uint32_t inc = inc_offsets[i]; inc < inc_offsets[i + 1];
-           ++inc) {
-        dlabel += slot_grad[inc];
-      }
-
-      const auto grow = grad->row(i);
-      const auto wrow = w->row(i);
-      const double mean = row_mean[i];
-      const double c1_dlabel = c1 * dlabel;
-      const double bias_i = bias_coef * bias[i];
-      const double area_i = area_coef * area[i];
-      const double sum_term = kd * mean - 1.0;
-      double variance = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        double value = c1_dlabel * static_cast<double>(kk + 1);
-        value += bias_i * bias_diff[kk];
-        value += area_i * area_diff[kk];
-        const double dev = wrow[kk] - mean;
-        if (analytic) {
-          value += c4_coef * (sum_term - dev / kd);
-        } else {
-          value += c4_coef * ((kd + 1.0 / kd) * (mean - wrow[kk]) + kd - 1.0);
-        }
-        grow[kk] = value;
-        variance += dev * dev;
-      }
-      f4_sum += sum_term * sum_term - variance / kd;
-    }
-    partials->chunk(chunk)[0] = f4_sum;
+    fn(*args, begin, end, f4->chunk(chunk));
   }
 };
 
 // scatter_gradient_pass(): the reference engine's element-wise fill. Each
 // gate's gradient row is independent; no reduction, so running the chunks
-// on the pool cannot change any value.
+// on the pool cannot change any value. Stays a plain scalar loop — it is
+// the historical bit-anchor the kernel layer is measured against.
 struct ScatterFillKernel {
   const Matrix* w;
   Matrix* grad;
@@ -368,10 +236,29 @@ void CostModel::init(const CostWeights& weights) {
   // slot range in ascending edge order.
 }
 
-void CostModel::aggregate(const Matrix& w, Workspace& ws) const {
+void CostModel::combine_plane_sums(Workspace& ws, std::size_t chunks,
+                                   std::size_t stride) const {
+  const auto k = static_cast<std::size_t>(problem().num_planes);
+  Aggregates& agg = ws.agg;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const double* bias_row = ws.bias_area_partial.chunk(c);
+    const double* area_row = bias_row + stride;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      agg.plane_bias[kk] += bias_row[kk];
+      agg.plane_area[kk] += area_row[kk];
+    }
+  }
+  for (const double b : agg.plane_bias) agg.mean_bias += b;
+  for (const double a : agg.plane_area) agg.mean_area += a;
+  agg.mean_bias /= static_cast<double>(k);
+  agg.mean_area /= static_cast<double>(k);
+}
+
+void CostModel::aggregate(const Matrix& w, Workspace& ws, bool with_f4) const {
   const auto g = static_cast<std::size_t>(problem().num_gates);
   const auto k = static_cast<std::size_t>(problem().num_planes);
   assert(w.rows() == g && w.cols() == k);
+  const std::size_t stride = w.stride();
 
   Aggregates& agg = ws.agg;
   // labels and row_mean are unconditionally overwritten for every gate
@@ -384,30 +271,63 @@ void CostModel::aggregate(const Matrix& w, Workspace& ws) const {
   agg.mean_bias = 0.0;
   agg.mean_area = 0.0;
 
-  // Per-chunk B/A partial rows, combined in chunk order below; labels and
-  // row_mean are element-wise and need no combine step.
+  // Per-chunk B/A partial rows (stride-spaced so the vector tiers store
+  // whole registers), combined in chunk order below; labels and row_mean
+  // are element-wise and need no combine step. The F4 partials ride the
+  // same read of W when requested.
   const std::size_t chunks = chunk_count(g, kReductionGrain);
-  ws.bias_area_partial.reset(chunks, 2 * k);
-  AggregateKernel kernel{&w,
-                         problem().bias.data(),
-                         problem().area.data(),
-                         agg.labels.data(),
-                         agg.row_mean.data(),
+  ws.bias_area_partial.reset(chunks, 2 * stride);
+  if (with_f4) ws.f4_partial.reset(chunks, 1);
+  const simd::KernelTable& kt = simd::kernels();
+  simd::AggregateArgs args{w.flat().data(), stride,
+                           k,               problem().bias.data(),
+                           problem().area.data(), agg.labels.data(),
+                           agg.row_mean.data()};
+  AggregateBody body{&args, kt.aggregate, &ws.bias_area_partial,
+                     with_f4 ? &ws.f4_partial : nullptr, stride};
+  parallel_chunks(pool_, g, kReductionGrain, body, gate_pass_cost(k));
+  combine_plane_sums(ws, chunks, stride);
+  ws.agg_has_f4 = with_f4;
+}
+
+void CostModel::step_and_aggregate(Matrix& w, const Matrix& grad, double scale,
+                                   Workspace& ws) const {
+  const auto g = static_cast<std::size_t>(problem().num_gates);
+  const auto k = static_cast<std::size_t>(problem().num_planes);
+  assert(w.rows() == g && w.cols() == k);
+  assert(grad.rows() == g && grad.cols() == k);
+  const std::size_t stride = w.stride();
+
+  Aggregates& agg = ws.agg;
+  agg.labels.resize(g);
+  agg.row_mean.resize(g);
+  agg.plane_bias.assign(k, 0.0);
+  agg.plane_area.assign(k, 0.0);
+  agg.mean_bias = 0.0;
+  agg.mean_area = 0.0;
+
+  const std::size_t chunks = chunk_count(g, kReductionGrain);
+  ws.bias_area_partial.reset(chunks, 2 * stride);
+  const simd::KernelTable& kt = simd::kernels();
+  simd::AggregateArgs args{w.flat().data(), stride,
+                           k,               problem().bias.data(),
+                           problem().area.data(), agg.labels.data(),
+                           agg.row_mean.data()};
+  // The F4 partials are skipped: the gather engine's fused fill computes
+  // them anyway, and the reference scatter path re-aggregates (see
+  // evaluate_with_gradient_aggregated).
+  StepAggregateBody body{&args,
+                         kt.step_aggregate,
+                         w.flat().data(),
+                         grad.flat().data(),
+                         scale,
                          &ws.bias_area_partial,
-                         k};
-  parallel_chunks(pool_, g, kReductionGrain, kernel, gate_pass_cost(k));
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const double* bias_row = ws.bias_area_partial.chunk(c);
-    const double* area_row = bias_row + k;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      agg.plane_bias[kk] += bias_row[kk];
-      agg.plane_area[kk] += area_row[kk];
-    }
-  }
-  for (const double b : agg.plane_bias) agg.mean_bias += b;
-  for (const double a : agg.plane_area) agg.mean_area += a;
-  agg.mean_bias /= static_cast<double>(k);
-  agg.mean_area /= static_cast<double>(k);
+                         nullptr,
+                         stride};
+  parallel_chunks(pool_, g, kReductionGrain, body,
+                  gate_pass_cost(k) + 2.0 * static_cast<double>(stride));
+  combine_plane_sums(ws, chunks, stride);
+  ws.agg_has_f4 = false;
 }
 
 double CostModel::f1_and_slot_grad(const Aggregates& agg, Workspace& ws) const {
@@ -415,16 +335,20 @@ double CostModel::f1_and_slot_grad(const Aggregates& agg, Workspace& ws) const {
   const std::size_t edge_chunks = chunk_count(edges, kReductionGrain);
   ws.f1_partial.reset(edge_chunks, 1);
   ws.slot_grad.resize(2 * edges);
-  EdgeGradientKernel kernel{problem().edges.data(),
-                            agg.labels.data(),
-                            view_->slot_of_first(),
-                            view_->slot_of_second(),
-                            ws.slot_grad.data(),
-                            &ws.f1_partial,
-                            weights_.distance_exponent,
-                            n1_,
-                            style_ == GradientStyle::kAnalytic};
-  parallel_chunks(pool_, edges, kReductionGrain, kernel, kEdgePassCost);
+  const simd::KernelTable& kt = simd::kernels();
+  const simd::EdgeGradFn fn =
+      (fast_math_ && kt.edge_grad_fast != nullptr) ? kt.edge_grad_fast
+                                                   : kt.edge_grad;
+  simd::EdgeGradArgs args{problem().edges.data(),
+                          agg.labels.data(),
+                          view_->slot_of_first(),
+                          view_->slot_of_second(),
+                          ws.slot_grad.data(),
+                          weights_.distance_exponent,
+                          n1_,
+                          style_ == GradientStyle::kAnalytic};
+  EdgeGradBody body{&args, fn, &ws.f1_partial};
+  parallel_chunks(pool_, edges, kReductionGrain, body, kEdgePassCost);
   double f1 = 0.0;
   for (std::size_t c = 0; c < edge_chunks; ++c) {
     f1 += ws.f1_partial.chunk(c)[0];
@@ -436,9 +360,11 @@ double CostModel::f1_term(const Aggregates& agg, Workspace& ws) const {
   const std::size_t edges = problem().edges.size();
   const std::size_t edge_chunks = chunk_count(edges, kReductionGrain);
   ws.f1_partial.reset(edge_chunks, 1);
-  F1TermKernel kernel{problem().edges.data(), agg.labels.data(),
-                      &ws.f1_partial, weights_.distance_exponent};
-  parallel_chunks(pool_, edges, kReductionGrain, kernel, kEdgePassCost);
+  const simd::KernelTable& kt = simd::kernels();
+  simd::EdgeArgs args{problem().edges.data(), agg.labels.data(),
+                      weights_.distance_exponent};
+  F1TermBody body{&args, kt.f1_term, &ws.f1_partial};
+  parallel_chunks(pool_, edges, kReductionGrain, body, kEdgePassCost);
   double f1 = 0.0;
   for (std::size_t c = 0; c < edge_chunks; ++c) {
     f1 += ws.f1_partial.chunk(c)[0];
@@ -459,19 +385,20 @@ void CostModel::f2_f3_terms(const Aggregates& agg, CostTerms& terms) const {
   terms.f3 /= kd * n3_;
 }
 
-CostTerms CostModel::terms_from(const Matrix& w, Workspace& ws) const {
+CostTerms CostModel::terms_from_aggregated(Workspace& ws) const {
+  assert(ws.agg_has_f4 &&
+         "terms_from_aggregated requires aggregate(w, ws, /*with_f4=*/true)");
   const auto g = static_cast<std::size_t>(problem().num_gates);
-  const auto k = static_cast<std::size_t>(problem().num_planes);
   const Aggregates& agg = ws.agg;
   CostTerms terms;
 
   terms.f1 = f1_term(agg, ws);
   f2_f3_terms(agg, terms);
 
+  // F4 rode the aggregate pass: same grain, same per-chunk sums, same
+  // combine order as the historical standalone pass — and W was read
+  // once for the whole evaluation.
   const std::size_t gate_chunks = chunk_count(g, kReductionGrain);
-  ws.f4_partial.reset(gate_chunks, 1);
-  F4TermKernel kernel{&w, agg.row_mean.data(), &ws.f4_partial, k};
-  parallel_chunks(pool_, g, kReductionGrain, kernel, gate_pass_cost(k));
   for (std::size_t c = 0; c < gate_chunks; ++c) {
     terms.f4 += ws.f4_partial.chunk(c)[0];
   }
@@ -485,8 +412,8 @@ CostTerms CostModel::evaluate(const Matrix& w) const {
 }
 
 CostTerms CostModel::evaluate(const Matrix& w, Workspace& ws) const {
-  aggregate(w, ws);
-  return terms_from(w, ws);
+  aggregate(w, ws, /*with_f4=*/true);
+  return terms_from_aggregated(ws);
 }
 
 CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad) const {
@@ -496,14 +423,38 @@ CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad) const
 
 CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad,
                                             Workspace& ws) const {
+  // The gather engine's fused fill recomputes F4 on its own pass; only
+  // the scatter reference needs it from the aggregate.
+  aggregate(w, ws, /*with_f4=*/engine_ == GradientEngine::kSerialScatter);
+  return gradient_terms(w, grad, ws);
+}
+
+CostTerms CostModel::evaluate_with_gradient_aggregated(const Matrix& w,
+                                                       Matrix& grad,
+                                                       Workspace& ws) const {
   const auto g = static_cast<std::size_t>(problem().num_gates);
   const auto k = static_cast<std::size_t>(problem().num_planes);
+  assert(w.rows() == g && w.cols() == k);
+  assert(ws.agg.labels.size() == g &&
+         "evaluate_with_gradient_aggregated requires step_and_aggregate");
+  (void)g;
+  (void)k;
+  if (engine_ == GradientEngine::kSerialScatter && !ws.agg_has_f4) {
+    // The reference engine wants the aggregate-borne F4 partials;
+    // re-running the aggregate keeps it exactly on its historical path.
+    aggregate(w, ws, /*with_f4=*/true);
+  }
+  return gradient_terms(w, grad, ws);
+}
 
-  aggregate(w, ws);
+CostTerms CostModel::gradient_terms(const Matrix& w, Matrix& grad,
+                                    Workspace& ws) const {
+  const auto g = static_cast<std::size_t>(problem().num_gates);
+  const auto k = static_cast<std::size_t>(problem().num_planes);
   if (grad.rows() != g || grad.cols() != k) grad = Matrix(g, k);
 
   if (engine_ == GradientEngine::kSerialScatter) {
-    const CostTerms terms = terms_from(w, ws);
+    const CostTerms terms = terms_from_aggregated(ws);
     scatter_gradient_pass(w, grad, ws);
     return terms;
   }
@@ -512,8 +463,8 @@ CostTerms CostModel::evaluate_with_gradient(const Matrix& w, Matrix& grad,
   terms.f1 = f1_and_slot_grad(ws.agg, ws);
   f2_f3_terms(ws.agg, terms);
   // The F4 term rides the fused gather/fill pass below: same grain, same
-  // per-chunk sums, same combine order as terms_from, so evaluate() and
-  // evaluate_with_gradient() report bit-identical terms.
+  // per-chunk sums, same combine order as terms_from_aggregated, so
+  // evaluate() and evaluate_with_gradient() report bit-identical terms.
   fused_gradient_pass(w, grad, ws, terms);
   return terms;
 }
@@ -523,34 +474,42 @@ void CostModel::fused_gradient_pass(const Matrix& w, Matrix& grad,
   const auto g = static_cast<std::size_t>(problem().num_gates);
   const auto k = static_cast<std::size_t>(problem().num_planes);
   const double kd = static_cast<double>(k);
+  const std::size_t stride = w.stride();
   const Aggregates& agg = ws.agg;
 
   // The per-plane deviations are row-invariant; computing them once per
-  // call (the identical subtraction, just cached) saves 2K flops per gate.
-  ws.plane_diff.assign(2 * k, 0.0);
+  // call (the identical subtraction, just cached) saves 2K flops per
+  // gate. Padded to the row stride with zeros so the vector tiers load
+  // whole registers.
+  ws.plane_diff.assign(2 * stride, 0.0);
   for (std::size_t kk = 0; kk < k; ++kk) {
     ws.plane_diff[kk] = agg.plane_bias[kk] - agg.mean_bias;
-    ws.plane_diff[k + kk] = agg.plane_area[kk] - agg.mean_area;
+    ws.plane_diff[stride + kk] = agg.plane_area[kk] - agg.mean_area;
   }
   const std::size_t gate_chunks = chunk_count(g, kReductionGrain);
   ws.f4_partial.reset(gate_chunks, 1);
-  FusedGradientKernel kernel{&w,
-                             &grad,
-                             agg.row_mean.data(),
-                             problem().bias.data(),
-                             problem().area.data(),
-                             ws.plane_diff.data(),
-                             ws.plane_diff.data() + k,
-                             ws.slot_grad.data(),
-                             view_->offsets(),
-                             &ws.f4_partial,
-                             k,
-                             weights_.c1,
-                             weights_.c2 * (2.0 / (kd * n2_)),
-                             weights_.c3 * (2.0 / (kd * n3_)),
-                             weights_.c4 * (2.0 / n4_),
-                             style_ == GradientStyle::kAnalytic};
-  parallel_chunks(pool_, g, kReductionGrain, kernel, gate_pass_cost(k));
+  const simd::KernelTable& kt = simd::kernels();
+  const simd::FusedGateFn fn =
+      (fast_math_ && kt.fused_gate_fast != nullptr) ? kt.fused_gate_fast
+                                                    : kt.fused_gate;
+  simd::FusedGateArgs args{w.flat().data(),
+                           grad.flat().data(),
+                           stride,
+                           k,
+                           agg.row_mean.data(),
+                           problem().bias.data(),
+                           problem().area.data(),
+                           ws.plane_diff.data(),
+                           ws.plane_diff.data() + stride,
+                           ws.slot_grad.data(),
+                           view_->offsets(),
+                           weights_.c1,
+                           weights_.c2 * (2.0 / (kd * n2_)),
+                           weights_.c3 * (2.0 / (kd * n3_)),
+                           weights_.c4 * (2.0 / n4_),
+                           style_ == GradientStyle::kAnalytic};
+  FusedGateBody body{&args, fn, &ws.f4_partial};
+  parallel_chunks(pool_, g, kReductionGrain, body, gate_pass_cost(k));
   for (std::size_t c = 0; c < gate_chunks; ++c) {
     terms.f4 += ws.f4_partial.chunk(c)[0];
   }

@@ -28,6 +28,7 @@
 
 #include "core/partition.h"
 #include "core/problem_view.h"
+#include "core/simd/kernels.h"
 #include "util/matrix.h"
 #include "util/thread_pool.h"
 
@@ -98,13 +99,19 @@ class CostModel {
     // Per-chunk partials live in cacheline-padded slabs (util/thread_pool.h
     // ChunkSlab) so concurrent chunks never false-share a line; the combine
     // loops still read them in ascending chunk order, so the padding is
-    // invisible to the math.
-    ChunkSlab bias_area_partial;  // per-chunk [B_k..; A_k..] rows, 2K wide
+    // invisible to the math. The per-plane rows are sized by the padded
+    // Matrix stride (util/matrix.h), not K, so the vector kernels can
+    // store whole registers into them.
+    ChunkSlab bias_area_partial;  // per-chunk [B_k..; A_k..], 2*stride wide
     ChunkSlab f1_partial;         // per-edge-chunk F1 partials, 1 wide
     ChunkSlab f4_partial;         // per-gate-chunk F4 partials, 1 wide
-    std::vector<double> plane_diff;  // 2K scratch: [B_k - Bbar..; A_k - Abar..]
+    std::vector<double> plane_diff;  // 2*stride: [B_k - Bbar..; A_k - Abar..]
     std::vector<double> slot_grad;   // per-slot signed dF1/dl terms, 2|E|
     std::vector<double> dlabel;      // dF/dl_i (kSerialScatter only)
+    // True when agg (and f4_partial) describe the W last aggregated, with
+    // the F4 partials riding along — the precondition of the *_aggregated
+    // entry points.
+    bool agg_has_f4 = false;
   };
 
   CostModel(const PartitionProblem& problem, const CostWeights& weights,
@@ -135,6 +142,14 @@ class CostModel {
   void set_gradient_engine(GradientEngine engine) { engine_ = engine; }
   GradientEngine gradient_engine() const { return engine_; }
 
+  // Opt-in reassociated vector reductions (the `fast_math` engine option).
+  // Off (the default) keeps every path bit-identical to the scalar kernel
+  // tier; on trades that pin for lane-parallel accumulation in the edge
+  // and fused passes, within the tolerance the A/B test enforces. No-op
+  // on the scalar tier, which has no fast variants.
+  void set_fast_math(bool on) { fast_math_ = on; }
+  bool fast_math() const { return fast_math_; }
+
   // Normalization constants (for incremental delta evaluation in refine).
   double n1() const { return n1_; }
   double n2() const { return n2_; }
@@ -152,17 +167,37 @@ class CostModel {
   CostTerms evaluate_with_gradient(const Matrix& w, Matrix& grad,
                                    Workspace& workspace) const;
 
+  // Optimizer loop fusion (DESIGN.md section 15): step_and_aggregate
+  // applies w = clamp01(w - scale * grad) and aggregates the stepped
+  // rows in the same pass — the write of iteration t and the read of
+  // iteration t+1 touch W once. evaluate_with_gradient_aggregated then
+  // skips the aggregate front end, trusting the workspace to hold this
+  // exact W's aggregates. The pair is bit-identical to calling the
+  // unfused step + evaluate_with_gradient.
+  void step_and_aggregate(Matrix& w, const Matrix& grad, double scale,
+                          Workspace& workspace) const;
+  CostTerms evaluate_with_gradient_aggregated(const Matrix& w, Matrix& grad,
+                                              Workspace& workspace) const;
+
   // Cost of a hard assignment (labels are 0-based planes). F4 of a one-hot
   // assignment is the constant -(K-1)/(K^2 (K-1)^2) * G/N4-normalized value;
   // it is reported for completeness but does not rank assignments.
   CostTerms evaluate_discrete(const std::vector<int>& labels) const;
 
  private:
-  void aggregate(const Matrix& w, Workspace& ws) const;
+  // Aggregates W (labels, row means, plane sums); with_f4 also folds the
+  // F4 constraint partials into the same read of W.
+  void aggregate(const Matrix& w, Workspace& ws, bool with_f4) const;
+  void combine_plane_sums(Workspace& ws, std::size_t chunks,
+                          std::size_t stride) const;
   double f1_term(const Aggregates& agg, Workspace& ws) const;
   double f1_and_slot_grad(const Aggregates& agg, Workspace& ws) const;
   void f2_f3_terms(const Aggregates& agg, CostTerms& terms) const;
-  CostTerms terms_from(const Matrix& w, Workspace& ws) const;
+  // Terms from a workspace aggregated with with_f4 == true.
+  CostTerms terms_from_aggregated(Workspace& ws) const;
+  // The per-engine gradient back end; requires aggregate() ran for w.
+  CostTerms gradient_terms(const Matrix& w, Matrix& grad,
+                           Workspace& ws) const;
   void fused_gradient_pass(const Matrix& w, Matrix& grad, Workspace& ws,
                            CostTerms& terms) const;
   void scatter_gradient_pass(const Matrix& w, Matrix& grad,
@@ -180,6 +215,7 @@ class CostModel {
   CostWeights weights_;
   GradientStyle style_;
   GradientEngine engine_ = GradientEngine::kCsrGather;
+  bool fast_math_ = false;
   ThreadPool* pool_ = nullptr;
   // Normalization constants (equations 4-6, 9). Computed once.
   double n1_ = 1.0;

@@ -126,6 +126,7 @@ Status set_context_field(const std::string& name, double value,
   else if (name == "restarts") context.restarts = static_cast<int>(value);
   else if (name == "threads") context.threads = static_cast<int>(value);
   else if (name == "refine") context.refine = value != 0.0;
+  else if (name == "fast_math") context.fast_math = value != 0.0;
   else if (name == "band") context.band = static_cast<int>(value);
   else if (name == "coarse_target") context.coarse_target = static_cast<int>(value);
   else if (name == "max_levels") context.max_levels = static_cast<int>(value);
@@ -426,6 +427,13 @@ OptionSpec refine_spec() {
   return make_spec("refine", OptionSpec::Type::kBool, 0, -kInf, kInf,
                    "post-hardening greedy refinement (not part of the "
                    "published algorithm)");
+}
+
+OptionSpec fast_math_spec() {
+  return make_spec("fast_math", OptionSpec::Type::kBool, 0, -kInf, kInf,
+                   "reassociated vector reductions in the gradient hot path; "
+                   "trades the bit-identity pin for speed within a tested "
+                   "tolerance (no-op on the scalar kernel tier)");
 }
 
 OptionSpec certify_spec() {

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/simd/dispatch.h"
 #include "core/soft_assign.h"
 #include "obs/trace_sink.h"
 #include "util/thread_pool.h"
@@ -13,44 +14,33 @@
 namespace sfqpart {
 namespace {
 
-// Chunking of the element-wise W/grad passes (G*K doubles). Boundaries
-// depend only on the flat size, so the per-chunk |grad| maxima combined
-// in ascending chunk order (and max is value-identical in any order)
-// keep the descent bit-identical at every thread count.
+// Chunking of the element-wise max|grad| pass (G*stride doubles).
+// Boundaries depend only on the flat size, so the per-chunk maxima
+// combined in ascending chunk order (and max is value-identical in any
+// order) keep the descent bit-identical at every thread count.
 constexpr std::size_t kStepGrain = 4096;
 
-// Per-chunk max |grad| reduction for the normalized step.
-struct MaxAbsKernel {
+// Per-chunk max |grad| reduction for the normalized step, through the
+// dispatched kernel tier. The grad padding lanes are zero by the Matrix
+// writer contract, so scanning the full padded storage is value-safe.
+struct MaxAbsBody {
   const double* values;
+  simd::MaxAbsFn fn;
   ChunkSlab* partials;  // one max per chunk
 
   void operator()(std::size_t chunk, std::size_t begin,
                   std::size_t end) const {
-    double max_abs = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      max_abs = std::max(max_abs, std::abs(values[i]));
-    }
-    partials->chunk(chunk)[0] = max_abs;
-  }
-};
-
-// Element-wise descent step with the box projection of Algorithm 1.
-struct StepClampKernel {
-  double* w;
-  const double* g;
-  double scale;
-
-  void operator()(std::size_t, std::size_t begin, std::size_t end) const {
-    for (std::size_t i = begin; i < end; ++i) {
-      w[i] = std::clamp(w[i] - scale * g[i], 0.0, 1.0);
-    }
+    partials->chunk(chunk)[0] = fn(values, begin, end);
   }
 };
 
 // Accumulates per-stage wall time across the descent and emits one
 // "gradient" and one "step" TimerEvent when the loop finishes (whichever
 // return path it takes). Disabled sinks cost a branch and never read a
-// clock, matching the TraceSink overhead contract.
+// clock, matching the TraceSink overhead contract. Since the loop fusion
+// (DESIGN.md section 15) the "step" bucket covers step_and_aggregate —
+// the descent update plus the NEXT iteration's aggregate front end, which
+// ride the same pass over W.
 class StageTimers {
  public:
   StageTimers(obs::TraceSink* sink, int restart)
@@ -102,11 +92,22 @@ OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
   // workspace so the loop stays allocation-free after the first pass.
   ChunkSlab max_partial;
   ThreadPool* pool = model.thread_pool();
+  const simd::MaxAbsFn max_abs_fn = simd::kernels().max_abs;
+
+  // True once step_and_aggregate has run for the current W: the stepped
+  // rows were aggregated in the same pass, so the gradient evaluation can
+  // skip its aggregate front end. The fused pair is bit-identical to the
+  // unfused step + evaluate_with_gradient it replaced — same expressions,
+  // same chunk orders, just one read of W instead of two.
+  bool aggregated = false;
 
   double cost_old = std::numeric_limits<double>::infinity();
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     timers.start();
-    result.final_terms = model.evaluate_with_gradient(result.w, grad, workspace);
+    result.final_terms =
+        aggregated
+            ? model.evaluate_with_gradient_aggregated(result.w, grad, workspace)
+            : model.evaluate_with_gradient(result.w, grad, workspace);
     timers.stop(timers.gradient_ms());
     const double cost_new = result.final_terms.total(model.weights());
     if (options.record_trace) result.cost_trace.push_back(cost_new);
@@ -126,15 +127,14 @@ OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
     }
 
     timers.start();
-    auto w_flat = result.w.flat();
-    const auto g_flat = grad.flat();
-    const std::size_t flat_size = w_flat.size();
     double scale = options.learning_rate;
     if (options.normalize_step) {
+      const auto g_flat = grad.flat();
+      const std::size_t flat_size = g_flat.size();
       const std::size_t chunks = chunk_count(flat_size, kStepGrain);
       max_partial.reset(chunks, 1);
-      MaxAbsKernel max_kernel{g_flat.data(), &max_partial};
-      parallel_chunks(pool, flat_size, kStepGrain, max_kernel, 2.0);
+      MaxAbsBody max_body{g_flat.data(), max_abs_fn, &max_partial};
+      parallel_chunks(pool, flat_size, kStepGrain, max_body, 2.0);
       double max_abs = 0.0;
       for (std::size_t c = 0; c < chunks; ++c) {
         max_abs = std::max(max_abs, max_partial.chunk(c)[0]);
@@ -147,13 +147,14 @@ OptimizerResult run_gradient_descent(const CostModel& model, Matrix w0,
       scale /= max_abs;
     }
 
-    StepClampKernel step_kernel{w_flat.data(), g_flat.data(), scale};
-    parallel_chunks(pool, flat_size, kStepGrain, step_kernel, 4.0);
+    model.step_and_aggregate(result.w, grad, scale, workspace);
+    aggregated = true;
     timers.stop(timers.step_ms());
     cost_old = cost_new;
     result.iterations = iter + 1;
   }
-  // Max iterations reached: refresh terms for the final W.
+  // Max iterations reached: refresh terms for the final W (a fresh
+  // aggregate with the F4 partials, whatever state the loop left).
   result.final_terms = model.evaluate(result.w, workspace);
   if (options.record_trace) {
     result.cost_trace.push_back(result.final_terms.total(model.weights()));

@@ -1,0 +1,75 @@
+// Runtime kernel-tier dispatch (DESIGN.md section 15).
+//
+// The tier is chosen once, on first use:
+//
+//   1. detect: the widest ISA both this build and this CPU support
+//      (__builtin_cpu_supports; scalar everywhere else);
+//   2. request: the SFQPART_KERNELS environment variable ("scalar",
+//      "avx2", "avx512") clamps the detected tier DOWN — it can never
+//      enable an ISA the machine lacks, so CI can force any tier on any
+//      runner without faulting;
+//   3. probe: every vector kernel of the requested tier runs against the
+//      scalar tier on a synthetic problem (odd sizes, partial plane
+//      groups, CSR tails) and must match BIT FOR BIT; a tier that fails
+//      is demoted (avx512 -> avx2 -> scalar). The probe is the safety
+//      net for compilers whose scalar codegen contracts differently than
+//      the kernels assume — the default mode then silently falls back to
+//      a tier that preserves golden labels instead of shipping drifted
+//      bits.
+//
+// kernels() returns the active table; CostModel and the optimizer call
+// it per pass (one relaxed load). force_tier_for_testing() overrides the
+// choice in-process so the identity suite can A/B tiers without
+// re-execing under a different environment.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "core/simd/kernels.h"
+
+namespace sfqpart::simd {
+
+enum class Tier : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+struct DispatchInfo {
+  Tier detected = Tier::kScalar;   // widest build+CPU supported tier
+  Tier requested = Tier::kScalar;  // after the env clamp
+  Tier active = Tier::kScalar;     // after probe demotion / force
+  bool env_override = false;       // SFQPART_KERNELS was set and parsed
+  bool probe_demoted = false;      // active < requested because of probe
+  bool forced = false;             // force_tier_for_testing is in effect
+};
+
+const char* tier_name(Tier tier);
+std::optional<Tier> parse_tier(std::string_view name);
+
+// True when the tier's table is compiled in AND the CPU executes it.
+bool tier_available(Tier tier);
+
+// The tier's table, or null when not compiled in. May be unsafe to RUN
+// when tier_available() is false (missing CPU support) — callers A/B-ing
+// tiers must check availability first.
+const KernelTable* tier_kernels(Tier tier);
+
+// The dispatch decision (computed once, on first call).
+const DispatchInfo& dispatch_info();
+
+// The active tier's kernel table.
+const KernelTable& kernels();
+
+// Runs the bit-identity probe of `tier` against the scalar tier; true on
+// exact match. Scalar trivially passes. Returns false when unavailable.
+bool probe_tier(Tier tier);
+
+// Test/bench hooks. force_tier clamps to an available tier (returns the
+// tier actually activated) and skips the probe; reset re-runs the full
+// env + probe selection.
+Tier force_tier_for_testing(Tier tier);
+void reset_dispatch_for_testing();
+
+}  // namespace sfqpart::simd

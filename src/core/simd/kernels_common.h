@@ -1,0 +1,33 @@
+// Shared scalar helpers of the kernel tiers. ipow/pow_chain are the same
+// multiply chains CostModel has always used (cost_model.cpp keeps private
+// copies for init() and the scatter reference path); they live here too so
+// every tier — including the vector ones' scalar tails — reproduces the
+// exact left-to-right association.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace sfqpart::simd {
+
+inline double ipow(double base, int exponent) {
+  assert(exponent >= 0 && "ipow: negative exponents are not supported");
+  double result = 1.0;
+  for (int i = 0; i < exponent; ++i) result *= base;
+  return result;
+}
+
+// ipow with the small exponents unrolled for the hot edge pass. Every
+// branch reproduces ipow's left-to-right multiply chain exactly
+// (1.0 * b == b in IEEE), so the bits never depend on which is called.
+inline double pow_chain(double base, int exponent) {
+  switch (exponent) {
+    case 0: return 1.0;
+    case 1: return base;
+    case 2: return base * base;
+    case 3: return (base * base) * base;
+    default: return ipow(base, exponent);
+  }
+}
+
+}  // namespace sfqpart::simd

@@ -8,7 +8,12 @@ namespace sfqpart {
 Matrix random_soft_assignment(int num_gates, int num_planes, Rng& rng) {
   assert(num_gates >= 0 && num_planes >= 1);
   Matrix w(static_cast<std::size_t>(num_gates), static_cast<std::size_t>(num_planes));
-  for (double& value : w.flat()) value = rng.uniform();
+  // Row-wise fill, not flat(): the flat storage is padded (util/matrix.h)
+  // and drawing uniforms for padding lanes would shift the RNG stream every
+  // later draw sees — the per-restart sequences are pinned by goldens.
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    for (double& value : w.row(r)) value = rng.uniform();
+  }
   normalize_rows(w);
   return w;
 }

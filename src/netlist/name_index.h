@@ -1,0 +1,84 @@
+// Open-addressing gate-name index — the second half of the name-table
+// memory diet (DESIGN.md section 14).
+//
+// The arena interning (name_arena.h) removed the per-name heap blocks,
+// but the `unordered_map<string_view, GateId>` lookup index still cost a
+// ~56-byte node plus a bucket pointer per gate. This index stores only a
+// power-of-two table of int32 gate ids at <= 50% load (~8 bytes per gate
+// amortized): keys are never copied — a probe resolves the candidate id
+// back to its interned name through the caller's gates array, which is
+// the single source of truth for names anyway.
+//
+// Gates are never removed from a Netlist, so the index needs no
+// tombstones; linear probing with FNV-1a keeps lookups one cache miss in
+// the common case.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sfqpart {
+
+class NameIndex {
+ public:
+  static constexpr std::int32_t kAbsent = -1;
+
+  // Id stored under `name`, or kAbsent. `name_of(id)` must return the
+  // string_view the id was inserted with.
+  template <typename NameOf>
+  std::int32_t find(std::string_view name, NameOf&& name_of) const {
+    if (slots_.empty()) return kAbsent;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t p = hash(name) & mask;; p = (p + 1) & mask) {
+      const std::int32_t id = slots_[p];
+      if (id == kAbsent) return kAbsent;
+      if (name_of(id) == name) return id;
+    }
+  }
+
+  // Inserts `id` under `name`; the caller guarantees the name is absent
+  // (Netlist asserts uniqueness before interning).
+  template <typename NameOf>
+  void insert(std::string_view name, std::int32_t id, NameOf&& name_of) {
+    if ((count_ + 1) * 2 > slots_.size()) grow(name_of);
+    place(name, id);
+    ++count_;
+  }
+
+  std::size_t size() const { return count_; }
+  // Heap bytes held by the index (capacity bench reporting).
+  std::size_t bytes() const { return slots_.capacity() * sizeof(std::int32_t); }
+
+ private:
+  static std::size_t hash(std::string_view name) {
+    // FNV-1a; the id table is power-of-two so only the low bits matter.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : name) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+  void place(std::string_view name, std::int32_t id) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t p = hash(name) & mask;
+    while (slots_[p] != kAbsent) p = (p + 1) & mask;
+    slots_[p] = id;
+  }
+
+  template <typename NameOf>
+  void grow(NameOf&& name_of) {
+    std::vector<std::int32_t> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, kAbsent);
+    for (const std::int32_t id : old) {
+      if (id != kAbsent) place(name_of(id), id);
+    }
+  }
+
+  std::vector<std::int32_t> slots_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace sfqpart

@@ -14,11 +14,15 @@ Netlist::Netlist(const CellLibrary* library, std::string name)
 
 GateId Netlist::add_gate(std::string_view name, int cell_index) {
   assert(cell_index >= 0 && cell_index < library_->num_cells());
-  assert(gate_by_name_.find(name) == gate_by_name_.end() && "duplicate gate name");
+  const auto name_of = [this](GateId g) {
+    return gates_[static_cast<std::size_t>(g)].name.view();
+  };
+  assert(gate_name_index_.find(name, name_of) == NameIndex::kAbsent &&
+         "duplicate gate name");
   const GateId id = static_cast<GateId>(gates_.size());
   const NameRef interned = arena_->intern(name);
   gates_.push_back(Gate{interned, cell_index});
-  gate_by_name_.emplace(interned.view(), id);
+  gate_name_index_.insert(interned.view(), id, name_of);
   const Cell& cell = library_->cell(cell_index);
   input_nets_.emplace_back(static_cast<std::size_t>(cell.num_inputs), kInvalidNet);
   output_nets_.emplace_back(static_cast<std::size_t>(cell.num_outputs), kInvalidNet);
@@ -72,8 +76,9 @@ NetId Netlist::connect_clock(GateId from, int out_pin, GateId to) {
 }
 
 GateId Netlist::find_gate(std::string_view name) const {
-  auto it = gate_by_name_.find(name);
-  return it == gate_by_name_.end() ? kInvalidGate : it->second;
+  return gate_name_index_.find(name, [this](GateId g) {
+    return gates_[static_cast<std::size_t>(g)].name.view();
+  });
 }
 
 bool Netlist::is_io(GateId id) const {

@@ -11,11 +11,11 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "netlist/cell_library.h"
 #include "netlist/name_arena.h"
+#include "netlist/name_index.h"
 
 namespace sfqpart {
 
@@ -136,8 +136,15 @@ class Netlist {
   // itself is acyclic. Asserts on combinational cycles.
   std::vector<GateId> topological_order() const;
 
-  // Bytes held by the interned name table (capacity bench reporting).
-  std::size_t name_table_bytes() const { return arena_->bytes(); }
+  // Bytes held by the interned name table: arena bytes plus the lookup
+  // index's slot table (capacity bench reporting).
+  std::size_t name_table_bytes() const {
+    return arena_->bytes() + gate_name_index_.bytes();
+  }
+  // The lookup index's share alone (the open-addressing replacement of
+  // the old unordered_map<string_view, GateId>; capacity bench reports
+  // the before/after delta).
+  std::size_t name_index_bytes() const { return gate_name_index_.bytes(); }
 
  private:
   NetId net_for_output(GateId from, int out_pin, std::string_view fallback_name);
@@ -149,9 +156,10 @@ class Netlist {
   std::shared_ptr<NameArena> arena_;
   std::vector<Gate> gates_;
   std::vector<Net> nets_;
-  // Keys view into the arena, so the index stores no second copy of any
-  // gate name.
-  std::unordered_map<std::string_view, GateId> gate_by_name_;
+  // Open-addressing id table (netlist/name_index.h): stores no keys at
+  // all — probes resolve ids back to their interned names via gates_, so
+  // the index costs ~8 bytes per gate instead of an unordered_map node.
+  NameIndex gate_name_index_;
   // Per-gate pin-to-net maps, parallel to gates_.
   std::vector<std::vector<NetId>> input_nets_;   // size = cell.num_inputs
   std::vector<std::vector<NetId>> output_nets_;  // size = cell.num_outputs

@@ -1,59 +1,145 @@
-// Dense row-major matrix of doubles.
+// Dense row-major matrix of doubles with vector-width row padding.
 //
 // The soft-assignment matrix W (G x K) and its gradient live in this type.
-// It is deliberately minimal: contiguous storage, bounds-checked in debug
-// builds, with row views for the per-gate operations the optimizer needs.
+// Rows are padded to kRowAlignDoubles (one 64-byte cache line, the widest
+// SIMD register the kernel layer dispatches to — DESIGN.md section 15):
+// a K=5 row occupies one line instead of straddling two, and the simd
+// kernels can load/store whole rows as full vectors. The base pointer is
+// 64-byte aligned for the same reason.
+//
+// Padding lanes are part of the storage contract, not just slack: they
+// are zero-initialized and every writer (the kernel layer's masked row
+// stores, the optimizer's element-wise flat passes over zero padding)
+// keeps them zero, so whole-row vector loads read zeros past K and
+// reductions over flat() see no garbage. row() spans exactly cols()
+// entries, so element-wise callers never observe the padding; flat()
+// exposes the padded storage and is only for passes that are value-safe
+// over zeros (clamp, max-abs, step).
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <new>
 #include <span>
 #include <vector>
 
 namespace sfqpart {
 
+// Minimal aligned allocator so Matrix storage starts on a cache line.
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+  // Required explicitly: the default allocator_traits rebind only works
+  // for allocators whose template parameters are all types, and Alignment
+  // is a non-type parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const {
+    return true;
+  }
+};
+
 class Matrix {
  public:
+  // Row stride granularity in doubles: 64 bytes, i.e. one full AVX-512
+  // register / two AVX2 registers / one cache line.
+  static constexpr std::size_t kRowAlignDoubles = 8;
+
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), stride_(padded(cols)) {
+    data_.assign(rows * stride_, 0.0);
+    if (fill != 0.0) {
+      for (std::size_t r = 0; r < rows_; ++r) {
+        double* row = data_.data() + r * stride_;
+        for (std::size_t c = 0; c < cols_; ++c) row[c] = fill;
+      }
+    }
+  }
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  // Logical element count (rows * cols), excluding padding.
+  std::size_t size() const { return rows_ * cols_; }
+  // Doubles from one row's first entry to the next row's (>= cols).
+  std::size_t stride() const { return stride_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
 
   double& at(std::size_t r, std::size_t c) {
     assert(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return data_[r * stride_ + c];
   }
   double at(std::size_t r, std::size_t c) const {
     assert(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return data_[r * stride_ + c];
   }
   double& operator()(std::size_t r, std::size_t c) { return at(r, c); }
   double operator()(std::size_t r, std::size_t c) const { return at(r, c); }
 
   std::span<double> row(std::size_t r) {
     assert(r < rows_);
-    return {data_.data() + r * cols_, cols_};
+    return {data_.data() + r * stride_, cols_};
   }
   std::span<const double> row(std::size_t r) const {
     assert(r < rows_);
-    return {data_.data() + r * cols_, cols_};
+    return {data_.data() + r * stride_, cols_};
   }
 
+  // The padded storage (rows * stride doubles; padding lanes are zero by
+  // the writer contract above). Only for element-wise passes that are
+  // value-safe over zeros; per-row work should use row().
   std::span<double> flat() { return {data_.data(), data_.size()}; }
   std::span<const double> flat() const { return {data_.data(), data_.size()}; }
 
-  void fill(double value) { data_.assign(data_.size(), value); }
+  void fill(double value) {
+    data_.assign(data_.size(), 0.0);
+    if (value != 0.0) {
+      for (std::size_t r = 0; r < rows_; ++r) {
+        double* row = data_.data() + r * stride_;
+        for (std::size_t c = 0; c < cols_; ++c) row[c] = value;
+      }
+    }
+  }
 
-  bool operator==(const Matrix&) const = default;
+  // Logical equality: shape and per-row entries; padding never compares.
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    if (a.rows_ != b.rows_ || a.cols_ != b.cols_) return false;
+    for (std::size_t r = 0; r < a.rows_; ++r) {
+      const double* ra = a.data_.data() + r * a.stride_;
+      const double* rb = b.data_.data() + r * b.stride_;
+      for (std::size_t c = 0; c < a.cols_; ++c) {
+        if (ra[c] != rb[c]) return false;
+      }
+    }
+    return true;
+  }
 
  private:
+  static std::size_t padded(std::size_t cols) {
+    if (cols == 0) return 0;
+    return (cols + kRowAlignDoubles - 1) / kRowAlignDoubles * kRowAlignDoubles;
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::size_t stride_ = 0;
+  std::vector<double, AlignedAllocator<double, 64>> data_;
 };
 
 }  // namespace sfqpart

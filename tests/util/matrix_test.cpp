@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "util/status.h"
 
 namespace sfqpart {
@@ -25,15 +27,34 @@ TEST(Matrix, RowViewMutates) {
   EXPECT_DOUBLE_EQ(m(0, 2), 0.0);
 }
 
-TEST(Matrix, FlatIsRowMajor) {
+TEST(Matrix, FlatIsStridedRowMajor) {
   Matrix m(2, 2);
   m(0, 0) = 1;
   m(0, 1) = 2;
   m(1, 0) = 3;
   m(1, 1) = 4;
+  // Rows are padded to the SIMD row alignment: row r starts at r*stride
+  // in the flat storage and the padding lanes stay zero.
+  EXPECT_EQ(m.stride(), Matrix::kRowAlignDoubles);
   const auto flat = m.flat();
+  ASSERT_EQ(flat.size(), 2 * m.stride());
   EXPECT_DOUBLE_EQ(flat[1], 2);
-  EXPECT_DOUBLE_EQ(flat[2], 3);
+  EXPECT_DOUBLE_EQ(flat[m.stride()], 3);
+  EXPECT_DOUBLE_EQ(flat[m.stride() + 1], 4);
+  for (std::size_t c = m.cols(); c < m.stride(); ++c) {
+    EXPECT_DOUBLE_EQ(flat[c], 0.0);
+    EXPECT_DOUBLE_EQ(flat[m.stride() + c], 0.0);
+  }
+}
+
+TEST(Matrix, StrideRoundsUpToAlignment) {
+  EXPECT_EQ(Matrix(1, 1).stride(), 8u);
+  EXPECT_EQ(Matrix(1, 8).stride(), 8u);
+  EXPECT_EQ(Matrix(1, 9).stride(), 16u);
+  EXPECT_EQ(Matrix(0, 0).stride(), 0u);
+  // 64-byte base alignment for full-vector row loads.
+  Matrix m(3, 5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.flat().data()) % 64, 0u);
 }
 
 TEST(Matrix, EqualityAndEmpty) {
